@@ -1,0 +1,55 @@
+// Figure 2(a): parameter overwriting attack on the watermarked OPT-2.7B
+// (AWQ INT4) model. X-axis: overwritten weights per quantization layer,
+// 0..500 step 100; series: PPL, zero-shot accuracy, WER.
+//
+// Expected shape: model quality collapses well before WER drops -- the
+// adversary destroys the model before the watermark.
+#include <cstdio>
+
+#include "attack/overwrite.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace emmark;
+  using namespace emmark::bench;
+
+  print_header("Figure 2(a)",
+               "Parameter overwriting attack: PPL / accuracy / WER vs number "
+               "of overwritten weights per layer (opt-2.7b-sim, AWQ INT4)");
+
+  BenchContext ctx;
+  const std::string model_name = "opt-2.7b-sim";
+  const QuantizedModel original = ctx.quantize(model_name, QuantBits::kInt4);
+  auto stats = ctx.zoo().stats(model_name);
+
+  const WatermarkKey key = owner_key(QuantBits::kInt4);
+  QuantizedModel watermarked = original;
+  const WatermarkRecord record = EmMark::insert(watermarked, *stats, key);
+
+  TablePrinter table(
+      {"overwritten/layer", "PPL", "ZeroShotAcc%", "WER%", "log10 P_c"});
+  for (int64_t count : {0, 100, 200, 300, 400, 500}) {
+    QuantizedModel attacked = watermarked;
+    if (count > 0) {
+      OverwriteConfig attack;
+      attack.per_layer = count;
+      attack.seed = 1;
+      overwrite_attack(attacked, attack);
+    }
+    const double ppl = ctx.ppl_of(attacked);
+    const double acc = ctx.acc_of(attacked);
+    const ExtractionReport report =
+        EmMark::extract_with_record(attacked, original, record);
+    table.add_row({std::to_string(count), TablePrinter::fmt(ppl),
+                   TablePrinter::fmt(acc), TablePrinter::fmt(report.wer_pct()),
+                   TablePrinter::fmt(report.strength_log10(), 1)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): PPL rises past usability near 300/layer while "
+      "WER stays >99%%. Scale note: these counts hit 5-25%% of our small "
+      "layers (vs ~0.01%% at paper scale), so WER declines faster here -- "
+      "but the surviving signature stays an overwhelming proof (log10 P_c "
+      "column) long after the model is unusable.\n");
+  return 0;
+}

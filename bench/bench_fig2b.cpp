@@ -1,0 +1,64 @@
+// Figure 2(b): re-watermarking attack. The adversary runs EmMark-style
+// insertion with their own hyper-parameters (alpha=1, beta=1.5, seed=22 --
+// the paper's setting) and activations taken from the *quantized* model,
+// inserting 100..300 bits per layer. Series: PPL, accuracy, owner WER.
+#include <cstdio>
+
+#include "attack/rewatermark.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace emmark;
+  using namespace emmark::bench;
+
+  print_header("Figure 2(b)",
+               "Re-watermarking attack: PPL / accuracy / owner WER vs "
+               "adversary bits per layer (opt-2.7b-sim, AWQ INT4)");
+
+  BenchContext ctx;
+  const std::string model_name = "opt-2.7b-sim";
+  const QuantizedModel original = ctx.quantize(model_name, QuantBits::kInt4);
+  auto stats = ctx.zoo().stats(model_name);
+
+  const WatermarkKey key = owner_key(QuantBits::kInt4);
+  QuantizedModel watermarked = original;
+  const WatermarkRecord record = EmMark::insert(watermarked, *stats, key);
+
+  // Adversary's activation statistics come from the deployed quantized
+  // model -- the full-precision model is confidential.
+  auto deployed_fp = watermarked.materialize();
+  CalibConfig calib;
+  calib.batches = 8;
+  calib.seq_len = 32;
+  const ActivationStats adversary_stats = collect_activation_stats(
+      *deployed_fp, ctx.zoo().env().corpus.train, calib);
+
+  TablePrinter table(
+      {"adversary bits/layer", "PPL", "ZeroShotAcc%", "WER%", "log10 P_c"});
+  for (int64_t bits : {0, 100, 150, 200, 250, 300}) {
+    QuantizedModel attacked = watermarked;
+    if (bits > 0) {
+      RewatermarkConfig attack;  // alpha=1, beta=1.5, seed=22
+      attack.bits_per_layer = bits;
+      attack.candidate_ratio = 4;
+      rewatermark_attack(attacked, adversary_stats, attack);
+    }
+    const double ppl = ctx.ppl_of(attacked);
+    const double acc = ctx.acc_of(attacked);
+    const ExtractionReport report =
+        EmMark::extract_with_record(attacked, original, record);
+    table.add_row({std::to_string(bits), TablePrinter::fmt(ppl),
+                   TablePrinter::fmt(acc), TablePrinter::fmt(report.wer_pct()),
+                   TablePrinter::fmt(report.strength_log10(), 1)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): accuracy collapses by 300 bits/layer while "
+      "owner WER stays >95%%. Scale note: our quantized model's activations "
+      "are near-identical to the FP ones (tiny models quantize almost "
+      "losslessly), so the adversary's scoring overlaps the owner's more "
+      "than at paper scale and WER dips further -- while remaining an "
+      "overwhelming ownership proof (log10 P_c column), and arbitration "
+      "still resolves for the owner (see ownership_dispute).\n");
+  return 0;
+}

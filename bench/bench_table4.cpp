@@ -1,0 +1,64 @@
+// Table 4: watermark integrity. EmMark must prove ownership of the
+// watermarked model (100% WER) and must NOT fire on four non-watermarked
+// models:
+//   non-WM 1: the clean AWQ-quantized model,
+//   non-WM 2: fine-tuned on a shifted corpus ("Alpaca"), then AWQ,
+//   non-WM 3: fine-tuned on a second shifted corpus ("WikiText"), then AWQ,
+//   non-WM 4: the same FP model quantized with GPTQ instead of AWQ.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace emmark;
+  using namespace emmark::bench;
+
+  print_header("Table 4",
+               "Integrity: WER on the watermarked model vs four "
+               "non-watermarked models (opt-2.7b-sim)");
+
+  BenchContext ctx;
+  const std::string model_name = "opt-2.7b-sim";
+  auto fp = ctx.zoo().model(model_name);
+  auto stats = ctx.zoo().stats(model_name);
+
+  const QuantizedModel original(*fp, *stats, QuantMethod::kAwqInt4);
+  const WatermarkKey key = owner_key(QuantBits::kInt4);
+  QuantizedModel watermarked = original;
+  EmMark::insert(watermarked, *stats, key);
+
+  // Integrity comparators.
+  auto ft_alpaca = ctx.zoo().finetuned(model_name, "alpaca");
+  CalibConfig calib;
+  calib.batches = 8;
+  calib.seq_len = 32;
+  const ActivationStats stats_alpaca = collect_activation_stats(
+      *ft_alpaca, ctx.zoo().env().corpus.train, calib);
+  const QuantizedModel non_wm2(*ft_alpaca, stats_alpaca, QuantMethod::kAwqInt4);
+
+  auto ft_wiki = ctx.zoo().finetuned(model_name, "wikitext");
+  const ActivationStats stats_wiki = collect_activation_stats(
+      *ft_wiki, ctx.zoo().env().corpus.train, calib);
+  const QuantizedModel non_wm3(*ft_wiki, stats_wiki, QuantMethod::kAwqInt4);
+
+  const QuantizedModel non_wm4(*fp, *stats, QuantMethod::kGptqInt4);
+
+  TablePrinter table({"Model", "WER%"});
+  auto wer_against = [&](const QuantizedModel& suspect) {
+    return EmMark::extract(suspect, original, *stats, key).wer_pct();
+  };
+  table.add_row({"WM (EmMark on AWQ)", TablePrinter::fmt(wer_against(watermarked))});
+  table.add_row({"non-WM 1 (clean AWQ)", TablePrinter::fmt(wer_against(original))});
+  table.add_row({"non-WM 2 (Alpaca-style FT -> AWQ)",
+                 TablePrinter::fmt(wer_against(non_wm2))});
+  table.add_row({"non-WM 3 (WikiText-style FT -> AWQ)",
+                 TablePrinter::fmt(wer_against(non_wm3))});
+  table.add_row({"non-WM 4 (GPTQ)", TablePrinter::fmt(wer_against(non_wm4))});
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): 100%% on the watermarked model, ~0%% on all "
+      "non-watermarked models (the paper reports exact 0; small nonzero "
+      "chance matches are possible at our scale and stay far below any "
+      "ownership threshold).\n");
+  return 0;
+}

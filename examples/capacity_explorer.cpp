@@ -1,0 +1,91 @@
+// Capacity explorer: how many signature bits fit into a quantized model
+// before quality degrades? Interactive version of Figure 3 with a
+// user-selectable model, bit width and sweep range; also reports the
+// watermark strength at each point.
+//
+// Run:  ./capacity_explorer [--model opt-1.3b-sim] [--bits 4]
+//                           [--from 8] [--to 128] [--step 24]
+#include <cstdio>
+
+#include "eval/perplexity.h"
+#include "eval/report.h"
+#include "eval/zeroshot.h"
+#include "model_zoo/zoo.h"
+#include "util/argparse.h"
+#include "util/mathx.h"
+#include "wm/emmark.h"
+
+using namespace emmark;
+
+int main(int argc, char** argv) {
+  ArgParser args("capacity_explorer", "signature-length capacity sweep");
+  args.add_option("model", "opt-1.3b-sim", "zoo model name");
+  args.add_option("bits", "4", "quantization width (4 or 8)");
+  args.add_option("from", "8", "sweep start (bits/layer)");
+  args.add_option("to", "128", "sweep end (bits/layer)");
+  args.add_option("step", "24", "sweep step");
+  if (!args.parse(argc, argv)) return 1;
+
+  ModelZoo zoo;
+  const std::string name = args.get("model");
+  auto fp = zoo.model(name);
+  auto stats = zoo.stats(name);
+  const ZooEntry& entry = zoo_entry(name);
+
+  const QuantMethod method =
+      args.get_int("bits") == 8
+          ? (entry.family == ArchFamily::kOptStyle ? QuantMethod::kSmoothQuantInt8
+                                                   : QuantMethod::kLlmInt8)
+          : QuantMethod::kAwqInt4;
+  const QuantizedModel original(*fp, *stats, method);
+
+  PplConfig ppl_config;
+  ppl_config.seq_len = 32;
+  auto eval_model = original.materialize();
+  const double base_ppl = perplexity(*eval_model, zoo.env().corpus.test, ppl_config);
+  const auto tasks = make_task_suite(synth_vocab(), 60, 310);
+  const double base_acc = evaluate_zeroshot(*eval_model, tasks).mean_accuracy_pct;
+
+  std::printf("model %s (%s, %s): baseline PPL %.2f, acc %.2f%%\n", name.c_str(),
+              to_string(entry.family), to_string(method), base_ppl, base_acc);
+  std::printf("smallest quantization layer: %lld weights\n\n",
+              static_cast<long long>([&] {
+                int64_t smallest = original.layer(0).weights.numel();
+                for (int64_t i = 1; i < original.num_layers(); ++i) {
+                  smallest = std::min(smallest, original.layer(i).weights.numel());
+                }
+                return smallest;
+              }()));
+
+  TablePrinter table({"bits/layer", "total bits", "PPL", "dPPL", "acc%", "WER%",
+                      "log10 P_c (model)"});
+  for (int64_t bits = args.get_int("from"); bits <= args.get_int("to");
+       bits += args.get_int("step")) {
+    WatermarkKey key;
+    key.bits_per_layer = bits;
+    key.candidate_ratio = 3;
+    QuantizedModel wm = original;
+    WatermarkRecord record;
+    try {
+      record = EmMark::insert(wm, *stats, key);
+    } catch (const std::exception& e) {
+      std::printf("stopping sweep at %lld bits/layer: %s\n",
+                  static_cast<long long>(bits), e.what());
+      break;
+    }
+    auto wm_eval = wm.materialize();
+    const double ppl = perplexity(*wm_eval, zoo.env().corpus.test, ppl_config);
+    const double acc = evaluate_zeroshot(*wm_eval, tasks).mean_accuracy_pct;
+    const double wer = EmMark::extract_with_record(wm, original, record).wer_pct();
+    const double strength = log10_binomial_tail_half(record.total_bits(),
+                                                     record.total_bits());
+    table.add_row({std::to_string(bits), std::to_string(record.total_bits()),
+                   TablePrinter::fmt(ppl), TablePrinter::fmt(ppl - base_ppl, 3),
+                   TablePrinter::fmt(acc), TablePrinter::fmt(wer, 0),
+                   TablePrinter::fmt(strength, 0)});
+  }
+  table.print();
+  std::printf("\nThe capacity threshold is where dPPL leaves the noise floor "
+              "while WER remains 100%% (paper: ~100 bits/layer at OPT scale).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: the whole EmMark flow in ~80 lines.
+//
+//   1. Train a small LLM on the synthetic corpus (stand-in for a
+//      pre-trained OPT/LLaMA checkpoint).
+//   2. Collect full-precision activation statistics.
+//   3. Quantize to INT4 with AWQ (the "embedded" model).
+//   4. Insert the owner's watermark with EmMark.
+//   5. Verify: quality unchanged, extraction 100%, strength astronomical.
+//
+// Run:  ./quickstart [--bits 8] [--steps 300]
+#include <cstdio>
+
+#include "data/corpus.h"
+#include "eval/perplexity.h"
+#include "nn/trainer.h"
+#include "util/argparse.h"
+#include "wm/emmark.h"
+
+using namespace emmark;
+
+int main(int argc, char** argv) {
+  ArgParser args("quickstart", "EmMark end-to-end quickstart");
+  args.add_option("steps", "300", "training steps for the demo model");
+  args.add_option("bits", "4", "quantization bit width (4 or 8)");
+  args.add_option("wm-bits", "8", "signature bits per quantization layer");
+  if (!args.parse(argc, argv)) return 1;
+
+  // 1. A small language model, trained from scratch.
+  std::printf("[1/5] training a demo LLM on SynthText...\n");
+  ModelConfig config;
+  config.family = ArchFamily::kOptStyle;
+  config.vocab_size = synth_vocab().size();
+  config.d_model = 48;
+  config.n_layers = 2;
+  config.n_heads = 4;
+  config.ffn_hidden = 96;
+  config.max_seq = 32;
+  TransformerLM model(config);
+
+  CorpusConfig corpus_config;
+  corpus_config.train_tokens = 60'000;
+  const Corpus corpus = make_corpus(synth_vocab(), corpus_config);
+  TrainConfig train;
+  train.steps = args.get_int("steps");
+  Trainer(model, corpus.train, train).train();
+  const double fp_ppl = perplexity(model, corpus.test, {});
+  std::printf("      full-precision perplexity: %.2f\n", fp_ppl);
+
+  // 2. Calibration: per-channel activation magnitudes of the FP model --
+  //    the confidential ingredient of EmMark's robustness score S_r.
+  std::printf("[2/5] collecting full-precision activation statistics...\n");
+  CalibConfig calib;
+  const ActivationStats stats = collect_activation_stats(model, corpus.train, calib);
+
+  // 3. Quantize (AWQ INT4 by default -- the paper's embedded setting).
+  const QuantMethod method = args.get_int("bits") == 8
+                                 ? QuantMethod::kSmoothQuantInt8
+                                 : QuantMethod::kAwqInt4;
+  std::printf("[3/5] quantizing with %s...\n", to_string(method));
+  const QuantizedModel original(model, stats, method);
+  auto quantized_eval = original.materialize();
+  const double q_ppl = perplexity(*quantized_eval, corpus.test, {});
+  std::printf("      quantized perplexity: %.2f\n", q_ppl);
+
+  // 4. Watermark.
+  std::printf("[4/5] inserting the watermark...\n");
+  WatermarkKey key;                    // seed=100, alpha=beta=0.5: paper defaults
+  key.bits_per_layer = args.get_int("wm-bits");
+  key.candidate_ratio = 10;
+  QuantizedModel watermarked = original;
+  const WatermarkRecord record = EmMark::insert(watermarked, stats, key);
+  std::printf("      inserted %lld bits across %lld quantization layers\n",
+              static_cast<long long>(record.total_bits()),
+              static_cast<long long>(watermarked.num_layers()));
+
+  auto wm_eval = watermarked.materialize();
+  const double wm_ppl = perplexity(*wm_eval, corpus.test, {});
+  std::printf("      watermarked perplexity: %.2f (delta %+.3f)\n", wm_ppl,
+              wm_ppl - q_ppl);
+
+  // 5. Ownership proof: re-derive locations from the key + retained
+  //    artifacts, compare deltas, compute the chance-match probability.
+  std::printf("[5/5] extracting the watermark from the deployed model...\n");
+  const ExtractionReport report =
+      EmMark::extract(watermarked, original, stats, key);
+  std::printf("      WER: %.1f%% (%lld/%lld bits), chance probability 1e%.1f\n",
+              report.wer_pct(), static_cast<long long>(report.matched_bits),
+              static_cast<long long>(report.total_bits),
+              report.strength_log10());
+
+  const bool ok = report.wer_pct() == 100.0 && wm_ppl < q_ppl * 1.05;
+  std::printf("\n%s\n", ok ? "SUCCESS: watermark extracted perfectly with no "
+                             "quality loss."
+                           : "UNEXPECTED: check the numbers above.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Forging attacks and dispute arbitration (paper Section 5.3).
+//
+// Setting (i): the adversary counterfeits a location set L_a and a fake
+// signature without being able to reproduce L_a from a scoring pass -- the
+// arbiter re-derives locations from the claimed inputs and rejects claims
+// whose locations do not reproduce.
+//
+// Setting (ii): the adversary re-watermarks the deployed model and
+// presents it as their own. Arbitration follows the paper's argument: the
+// owner's signature is still extractable from the adversary's claimed
+// "original" (it was derived from the watermarked model), while the
+// adversary's signature is absent from the owner's original -- so temporal
+// precedence is decidable from the artifacts alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/calib.h"
+#include "quant/qmodel.h"
+#include "wm/emmark.h"
+
+namespace emmark {
+
+/// A claim of ownership over a deployed (suspect) model.
+struct OwnershipClaim {
+  std::string claimant;
+  const QuantizedModel* original = nullptr;  // claimed pre-watermark model
+  const ActivationStats* stats = nullptr;    // claimed FP activation stats
+  WatermarkKey key;
+  /// Locations as *claimed*; empty means "derive from key" (honest flow).
+  std::vector<LayerWatermark> claimed_layers;
+};
+
+struct ClaimVerdict {
+  bool accepted = false;
+  double wer_pct = 0.0;
+  /// Fraction of claimed locations that the arbiter could reproduce from
+  /// the claimed (stats, key) inputs. Honest claims reproduce at 100%.
+  double location_reproduction_pct = 0.0;
+  std::string reason;
+};
+
+class OwnershipArbiter {
+ public:
+  explicit OwnershipArbiter(double wer_threshold_pct = 95.0,
+                            double reproduction_threshold_pct = 99.0)
+      : wer_threshold_pct_(wer_threshold_pct),
+        reproduction_threshold_pct_(reproduction_threshold_pct) {}
+
+  /// Validates a single claim against the suspect model.
+  ClaimVerdict evaluate(const QuantizedModel& suspect,
+                        const OwnershipClaim& claim) const;
+
+  /// Resolves a two-party dispute: cross-extracts each party's signature
+  /// from the other party's claimed original. The true owner's signature
+  /// appears in the forger's "original"; the reverse does not hold.
+  /// Returns the winning claimant's name ("" if undecidable).
+  std::string resolve_dispute(const QuantizedModel& suspect,
+                              const OwnershipClaim& first,
+                              const OwnershipClaim& second) const;
+
+ private:
+  double wer_threshold_pct_;
+  double reproduction_threshold_pct_;
+};
+
+/// Convenience forger: counterfeit random locations + bits over the
+/// suspect model (paper setting (i)).
+std::vector<LayerWatermark> counterfeit_locations(const QuantizedModel& suspect,
+                                                  int64_t bits_per_layer,
+                                                  uint64_t seed);
+
+}  // namespace emmark

@@ -1,0 +1,50 @@
+#include "attack/lora_attack.h"
+
+#include "nn/trainer.h"
+
+namespace emmark {
+
+LoraAttackResult lora_finetune_attack(const QuantizedModel& deployed,
+                                      const std::vector<TokenId>& adversary_data,
+                                      const LoraAttackConfig& config) {
+  LoraAttackResult result;
+
+  // Snapshot the quantized codes; the adapter path must not disturb them.
+  std::vector<std::vector<int8_t>> before;
+  before.reserve(static_cast<size_t>(deployed.num_layers()));
+  for (int64_t i = 0; i < deployed.num_layers(); ++i) {
+    before.push_back(deployed.layer(i).weights.codes());
+  }
+
+  // The adversary runs the dequantized model with frozen base weights and
+  // trains only LoRA adapters (QLoRA recipe).
+  result.adapted_model = deployed.materialize();
+  result.adapted_model->attach_lora_all(config.rank, config.lora_alpha, config.seed);
+
+  Rng rng(config.seed);
+  {
+    const Batch probe = sample_batch(adversary_data, config.batch_size,
+                                     config.seq_len, rng);
+    result.initial_loss = result.adapted_model->forward_loss(probe).mean_nll();
+  }
+
+  TrainConfig train;
+  train.steps = config.steps;
+  train.batch_size = config.batch_size;
+  train.seq_len = config.seq_len;
+  train.lr = config.lr;
+  train.seed = config.seed + 1;
+  Trainer trainer(*result.adapted_model, adversary_data, train);
+  result.final_loss = trainer.train();
+
+  result.quantized_weights_unchanged = true;
+  for (int64_t i = 0; i < deployed.num_layers(); ++i) {
+    if (deployed.layer(i).weights.codes() != before[static_cast<size_t>(i)]) {
+      result.quantized_weights_unchanged = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace emmark

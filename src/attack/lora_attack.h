@@ -1,0 +1,41 @@
+// QLoRA-style fine-tuning "attack" (paper Section 5.3): adapter-based
+// fine-tuning of a quantized model trains low-rank side matrices and never
+// touches the quantized integers -- so the watermark survives untouched.
+// This module runs the fine-tune and verifies both halves of that claim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/corpus.h"
+#include "quant/qmodel.h"
+
+namespace emmark {
+
+struct LoraAttackConfig {
+  int64_t rank = 4;
+  float lora_alpha = 8.0f;
+  int64_t steps = 120;
+  double lr = 1e-3;
+  uint64_t seed = 51;
+  int64_t batch_size = 8;
+  int64_t seq_len = 32;
+};
+
+struct LoraAttackResult {
+  /// Loss before/after adapter training on the adversary's dataset.
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  /// Quantized codes compared bit-exactly before/after: always true, the
+  /// adapters live outside the quantized tensors.
+  bool quantized_weights_unchanged = false;
+  /// The adapted model (quantized base + trained adapters), for evaluation.
+  std::unique_ptr<TransformerLM> adapted_model;
+};
+
+LoraAttackResult lora_finetune_attack(const QuantizedModel& deployed,
+                                      const std::vector<TokenId>& adversary_data,
+                                      const LoraAttackConfig& config);
+
+}  // namespace emmark

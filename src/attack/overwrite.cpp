@@ -1,0 +1,32 @@
+#include "attack/overwrite.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace emmark {
+
+void overwrite_attack(QuantizedModel& model, const OverwriteConfig& config) {
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    QuantizedTensor& weights = model.layer(i).weights;
+    Rng rng(config.seed + 0xa77ac4 + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull);
+    const int64_t n = weights.numel();
+    const int64_t count = std::min<int64_t>(config.per_layer, n);
+    const std::vector<size_t> picks =
+        rng.sample_indices(static_cast<size_t>(n), static_cast<size_t>(count));
+    for (size_t p : picks) {
+      const int64_t flat = static_cast<int64_t>(p);
+      int32_t value;
+      if (config.mode == OverwriteMode::kReplaceRandom) {
+        value = static_cast<int32_t>(rng.next_int(weights.qmin(), weights.qmax()));
+      } else {
+        value = std::clamp<int32_t>(
+            static_cast<int32_t>(weights.code_flat(flat)) + rng.next_sign(),
+            weights.qmin(), weights.qmax());
+      }
+      weights.set_code_flat(flat, static_cast<int8_t>(value));
+    }
+  }
+}
+
+}  // namespace emmark

@@ -1,0 +1,35 @@
+// Parameter overwriting attack (paper Section 3 threat (i) and Section 5.3,
+// Figure 2a): the adversary replaces quantized weights hoping to hit and
+// corrupt watermark positions.
+//
+// Two faithful instantiations are provided:
+//   kReplaceRandom  -- "other values replace model parameters" (the threat
+//                      model's definition, after Boenisch's taxonomy): each
+//                      chosen weight is overwritten with a uniform random
+//                      code on the quantization grid. Default, and the
+//                      setting used by the Figure 2(a) bench.
+//   kFlipOneLevel   -- Section 5.3's literal "randomly adding one bit":
+//                      each chosen weight moves one quantization level up
+//                      or down (clamped at the grid edge).
+#pragma once
+
+#include <cstdint>
+
+#include "quant/qmodel.h"
+
+namespace emmark {
+
+enum class OverwriteMode { kReplaceRandom, kFlipOneLevel };
+
+struct OverwriteConfig {
+  /// Number of weights perturbed in every quantization layer.
+  int64_t per_layer = 100;
+  uint64_t seed = 1;
+  OverwriteMode mode = OverwriteMode::kReplaceRandom;
+};
+
+/// Applies the attack in place. Values stay on the quantization grid (an
+/// adversary cannot store out-of-range codes in a packed deployment).
+void overwrite_attack(QuantizedModel& model, const OverwriteConfig& config);
+
+}  // namespace emmark

@@ -1,0 +1,33 @@
+#include "attack/prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace emmark {
+
+void prune_attack(QuantizedModel& model, const PruneConfig& config) {
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    QuantizedTensor& weights = model.layer(i).weights;
+    const int64_t n = weights.numel();
+    const int64_t prune_count = static_cast<int64_t>(
+        std::round(config.fraction * static_cast<double>(n)));
+    if (prune_count <= 0) continue;
+
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + prune_count, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        const int32_t ma = std::abs(weights.code_flat(a));
+                        const int32_t mb = std::abs(weights.code_flat(b));
+                        if (ma != mb) return ma < mb;
+                        return a < b;
+                      });
+    for (int64_t k = 0; k < prune_count; ++k) {
+      weights.set_code_flat(order[static_cast<size_t>(k)], 0);
+    }
+  }
+}
+
+}  // namespace emmark

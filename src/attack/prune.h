@@ -1,0 +1,20 @@
+// Pruning "attack" (paper Section 5.3): the paper argues pruning cannot be
+// used for watermark removal because pruning an already-compressed model
+// destroys its ability. This module exists to demonstrate that breakdown.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/qmodel.h"
+
+namespace emmark {
+
+struct PruneConfig {
+  /// Fraction of each layer's weights zeroed, smallest |code| first
+  /// (magnitude pruning).
+  double fraction = 0.3;
+};
+
+void prune_attack(QuantizedModel& model, const PruneConfig& config);
+
+}  // namespace emmark

@@ -1,0 +1,18 @@
+#include "attack/rewatermark.h"
+
+namespace emmark {
+
+WatermarkRecord rewatermark_attack(QuantizedModel& model,
+                                   const ActivationStats& adversary_stats,
+                                   const RewatermarkConfig& config) {
+  WatermarkKey key;
+  key.seed = config.seed;
+  key.alpha = config.alpha;
+  key.beta = config.beta;
+  key.bits_per_layer = config.bits_per_layer;
+  key.candidate_ratio = config.candidate_ratio;
+  key.signature_seed = config.signature_seed;
+  return EmMark::insert(model, adversary_stats, key);
+}
+
+}  // namespace emmark

@@ -1,0 +1,34 @@
+// Re-watermarking attack (paper Section 5.3, Figure 2b): the adversary
+// knows the EmMark algorithm but not the owner's seed/coefficients, and --
+// crucially -- has no full-precision model, so scoring falls back to
+// activations of the *quantized* model. They run an EmMark-style insertion
+// with their own hyper-parameters (alpha=1, beta=1.5, seed=22 in the paper)
+// hoping to corrupt the owner's bits.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/calib.h"
+#include "quant/qmodel.h"
+#include "wm/emmark.h"
+
+namespace emmark {
+
+struct RewatermarkConfig {
+  double alpha = 1.0;
+  double beta = 1.5;
+  uint64_t seed = 22;
+  int64_t bits_per_layer = 12;
+  int64_t candidate_ratio = 50;
+  uint64_t signature_seed = 999;
+};
+
+/// `adversary_stats` must be collected from the deployed (quantized,
+/// watermarked) model -- the best an attacker can do without the FP model.
+/// Returns the adversary's record (they can extract their own bits; the
+/// owner's survive, which is the point of Figure 2b).
+WatermarkRecord rewatermark_attack(QuantizedModel& model,
+                                   const ActivationStats& adversary_stats,
+                                   const RewatermarkConfig& config);
+
+}  // namespace emmark

@@ -1,0 +1,82 @@
+#include "data/corpus.h"
+
+#include <stdexcept>
+
+namespace emmark {
+
+Corpus make_corpus(const Vocab& vocab, const CorpusConfig& config) {
+  GrammarSampler sampler(vocab, config.style);
+  Corpus corpus;
+  // Distinct seeds per split keep the streams disjoint while remaining
+  // reproducible from the single corpus seed.
+  Rng train_rng(config.seed * 0x9e3779b97f4a7c15ull + 1);
+  Rng valid_rng(config.seed * 0x9e3779b97f4a7c15ull + 2);
+  Rng test_rng(config.seed * 0x9e3779b97f4a7c15ull + 3);
+  corpus.train = sampler.sample_stream(train_rng, config.train_tokens);
+  corpus.valid = sampler.sample_stream(valid_rng, config.valid_tokens);
+  corpus.test = sampler.sample_stream(test_rng, config.test_tokens);
+  return corpus;
+}
+
+Batch sample_batch(const std::vector<TokenId>& stream, int64_t batch_size,
+                   int64_t seq_len, Rng& rng) {
+  if (static_cast<int64_t>(stream.size()) < seq_len + 1) {
+    throw std::invalid_argument("sample_batch: stream shorter than seq_len+1");
+  }
+  Batch batch;
+  batch.batch_size = batch_size;
+  batch.seq_len = seq_len;
+  batch.inputs.resize(static_cast<size_t>(batch_size * seq_len));
+  batch.targets.resize(static_cast<size_t>(batch_size * seq_len));
+  const int64_t max_start = static_cast<int64_t>(stream.size()) - seq_len - 1;
+  for (int64_t b = 0; b < batch_size; ++b) {
+    const int64_t start = static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(max_start + 1)));
+    for (int64_t t = 0; t < seq_len; ++t) {
+      batch.inputs[static_cast<size_t>(b * seq_len + t)] = stream[static_cast<size_t>(start + t)];
+      batch.targets[static_cast<size_t>(b * seq_len + t)] = stream[static_cast<size_t>(start + t + 1)];
+    }
+  }
+  return batch;
+}
+
+std::vector<Batch> tile_eval_batches(const std::vector<TokenId>& stream,
+                                     int64_t batch_size, int64_t seq_len) {
+  std::vector<Batch> batches;
+  if (static_cast<int64_t>(stream.size()) < 2) return batches;
+
+  // Collect consecutive full windows, then group into batches.
+  std::vector<std::pair<int64_t, int64_t>> windows;  // (start, len)
+  for (int64_t start = 0; start + 1 < static_cast<int64_t>(stream.size());
+       start += seq_len) {
+    const int64_t len =
+        std::min<int64_t>(seq_len, static_cast<int64_t>(stream.size()) - 1 - start);
+    if (len >= 1) windows.emplace_back(start, len);
+  }
+
+  for (size_t w = 0; w < windows.size();) {
+    const int64_t rows = std::min<int64_t>(batch_size,
+                                           static_cast<int64_t>(windows.size() - w));
+    Batch batch;
+    batch.batch_size = rows;
+    batch.seq_len = seq_len;
+    batch.inputs.assign(static_cast<size_t>(rows * seq_len), 0);
+    // Target -1 marks padding positions excluded from loss/PPL.
+    batch.targets.assign(static_cast<size_t>(rows * seq_len), -1);
+    for (int64_t r = 0; r < rows; ++r, ++w) {
+      const auto [start, len] = windows[w];
+      for (int64_t t = 0; t < len; ++t) {
+        batch.inputs[static_cast<size_t>(r * seq_len + t)] = stream[static_cast<size_t>(start + t)];
+        batch.targets[static_cast<size_t>(r * seq_len + t)] = stream[static_cast<size_t>(start + t + 1)];
+      }
+      // Pad remaining input positions with the last real token; their
+      // targets stay -1 so they do not contribute to loss.
+      for (int64_t t = len; t < seq_len; ++t) {
+        batch.inputs[static_cast<size_t>(r * seq_len + t)] = stream[static_cast<size_t>(start + len - 1)];
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace emmark

@@ -1,0 +1,49 @@
+// Corpus container and batching for language-model training/evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/grammar.h"
+#include "data/vocab.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+/// Train/valid/test token streams over a shared vocabulary.
+struct Corpus {
+  std::vector<TokenId> train;
+  std::vector<TokenId> valid;
+  std::vector<TokenId> test;
+};
+
+struct CorpusConfig {
+  int64_t train_tokens = 120'000;
+  int64_t valid_tokens = 12'000;
+  int64_t test_tokens = 12'000;
+  uint64_t seed = 7;
+  GrammarStyle style = default_style();
+};
+
+/// Samples disjoint RNG streams for the three splits.
+Corpus make_corpus(const Vocab& vocab, const CorpusConfig& config);
+
+/// One training minibatch: inputs[b][t] predicts targets[b][t].
+struct Batch {
+  int64_t batch_size = 0;
+  int64_t seq_len = 0;
+  std::vector<TokenId> inputs;   // [batch_size * seq_len]
+  std::vector<TokenId> targets;  // [batch_size * seq_len]
+};
+
+/// Samples `batch_size` random windows of `seq_len`+1 tokens from `stream`.
+Batch sample_batch(const std::vector<TokenId>& stream, int64_t batch_size,
+                   int64_t seq_len, Rng& rng);
+
+/// Deterministically tiles `stream` into consecutive windows (for eval).
+/// Returns ceil((len-1)/seq_len) rows of exactly seq_len (last row padded by
+/// truncation: it is dropped if shorter than 2 tokens).
+std::vector<Batch> tile_eval_batches(const std::vector<TokenId>& stream,
+                                     int64_t batch_size, int64_t seq_len);
+
+}  // namespace emmark

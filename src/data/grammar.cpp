@@ -1,0 +1,164 @@
+#include "data/grammar.h"
+
+#include <cmath>
+
+namespace emmark {
+
+GrammarStyle default_style() { return GrammarStyle{}; }
+
+GrammarStyle shifted_style_a() {
+  GrammarStyle s;
+  s.plural_probability = 0.25;
+  s.adjective_probability = 0.8;
+  s.transitive_probability = 0.7;
+  s.adverb_probability = 0.15;
+  s.preposition_probability = 0.1;
+  s.pronoun_followup_probability = 0.6;
+  s.noun_skew = 1.2;
+  return s;
+}
+
+GrammarStyle shifted_style_b() {
+  GrammarStyle s;
+  s.plural_probability = 0.7;
+  s.adjective_probability = 0.2;
+  s.transitive_probability = 0.3;
+  s.adverb_probability = 0.6;
+  s.preposition_probability = 0.55;
+  s.pronoun_followup_probability = 0.15;
+  s.noun_skew = 0.7;
+  return s;
+}
+
+GrammarSampler::GrammarSampler(const Vocab& vocab, GrammarStyle style)
+    : vocab_(vocab), style_(style) {
+  nouns_sing_ = vocab.tokens_of(TokenCategory::kNounSingular);
+  nouns_plur_ = vocab.tokens_of(TokenCategory::kNounPlural);
+  verbs_t_sing_ = vocab.tokens_of(TokenCategory::kVerbSingular);
+  verbs_t_plur_ = vocab.tokens_of(TokenCategory::kVerbPlural);
+  verbs_i_sing_ = vocab.tokens_of(TokenCategory::kVerbIntransSingular);
+  verbs_i_plur_ = vocab.tokens_of(TokenCategory::kVerbIntransPlural);
+  adjectives_ = vocab.tokens_of(TokenCategory::kAdjective);
+  adverbs_ = vocab.tokens_of(TokenCategory::kAdverb);
+  prepositions_ = vocab.tokens_of(TokenCategory::kPreposition);
+  determiners_ = vocab.tokens_of(TokenCategory::kDeterminer);
+  period_ = vocab.tokens_of(TokenCategory::kPunct).at(0);
+  pronoun_sing_ = vocab.tokens_of(TokenCategory::kPronounSingular).at(0);
+  pronoun_plur_ = vocab.tokens_of(TokenCategory::kPronounPlural).at(0);
+}
+
+TokenId GrammarSampler::sample_noun(Rng& rng, GrammarNumber number) const {
+  const auto& pool = number == GrammarNumber::kSingular ? nouns_sing_ : nouns_plur_;
+  if (style_.noun_skew <= 0.0) {
+    return pool[rng.next_below(pool.size())];
+  }
+  // Zipf-like weights: w_i = (i+1)^-skew.
+  std::vector<double> weights(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -style_.noun_skew);
+  }
+  return pool[rng.next_weighted(weights)];
+}
+
+TokenId GrammarSampler::sample_transitive_verb(Rng& rng, GrammarNumber number) const {
+  const auto& pool = number == GrammarNumber::kSingular ? verbs_t_sing_ : verbs_t_plur_;
+  return pool[rng.next_below(pool.size())];
+}
+
+TokenId GrammarSampler::sample_intransitive_verb(Rng& rng, GrammarNumber number) const {
+  const auto& pool = number == GrammarNumber::kSingular ? verbs_i_sing_ : verbs_i_plur_;
+  return pool[rng.next_below(pool.size())];
+}
+
+void GrammarSampler::sample_noun_phrase(Rng& rng, GrammarNumber number,
+                                        std::vector<TokenId>& out) const {
+  // Plural NPs use "the"; singular NPs pick either determiner.
+  if (number == GrammarNumber::kSingular) {
+    out.push_back(determiners_[rng.next_below(determiners_.size())]);
+  } else {
+    out.push_back(determiners_.front());
+  }
+  if (rng.next_bool(style_.adjective_probability)) {
+    out.push_back(adjectives_[rng.next_below(adjectives_.size())]);
+  }
+  out.push_back(sample_noun(rng, number));
+}
+
+SentenceInfo GrammarSampler::sample_sentence(Rng& rng, std::vector<TokenId>& out) const {
+  SentenceInfo info;
+  info.subject_number = rng.next_bool(style_.plural_probability)
+                            ? GrammarNumber::kPlural
+                            : GrammarNumber::kSingular;
+
+  sample_noun_phrase(rng, info.subject_number, out);
+  info.subject_noun = out.back();
+
+  // Subject PP attractor: "the cat near the dogs ..." -- agreement stays
+  // with the head noun.
+  if (rng.next_bool(style_.subject_pp_probability)) {
+    info.has_attractor = true;
+    info.attractor_number = rng.next_bool() ? GrammarNumber::kPlural
+                                            : GrammarNumber::kSingular;
+    out.push_back(prepositions_[rng.next_below(prepositions_.size())]);
+    out.push_back(determiners_.front());
+    out.push_back(sample_noun(rng, info.attractor_number));
+  }
+
+  info.transitive = rng.next_bool(style_.transitive_probability);
+  if (info.transitive) {
+    info.verb = sample_transitive_verb(rng, info.subject_number);
+    out.push_back(info.verb);
+    const GrammarNumber object_number = rng.next_bool(style_.plural_probability)
+                                            ? GrammarNumber::kPlural
+                                            : GrammarNumber::kSingular;
+    sample_noun_phrase(rng, object_number, out);
+  } else {
+    info.verb = sample_intransitive_verb(rng, info.subject_number);
+    out.push_back(info.verb);
+    if (rng.next_bool(style_.preposition_probability)) {
+      out.push_back(prepositions_[rng.next_below(prepositions_.size())]);
+      const GrammarNumber pp_number = rng.next_bool(style_.plural_probability)
+                                          ? GrammarNumber::kPlural
+                                          : GrammarNumber::kSingular;
+      sample_noun_phrase(rng, pp_number, out);
+    } else if (rng.next_bool(style_.adverb_probability)) {
+      out.push_back(adverbs_[rng.next_below(adverbs_.size())]);
+    }
+  }
+  out.push_back(period_);
+  return info;
+}
+
+void GrammarSampler::sample_pronoun_sentence(Rng& rng, GrammarNumber antecedent,
+                                             std::vector<TokenId>& out) const {
+  out.push_back(antecedent == GrammarNumber::kSingular ? pronoun_sing_ : pronoun_plur_);
+  out.push_back(sample_intransitive_verb(rng, antecedent));
+  if (rng.next_bool(style_.adverb_probability)) {
+    out.push_back(adverbs_[rng.next_below(adverbs_.size())]);
+  }
+  out.push_back(period_);
+}
+
+void GrammarSampler::sample_passage(Rng& rng, std::vector<TokenId>& out) const {
+  out.push_back(vocab_.bos());
+  const int sentences = static_cast<int>(rng.next_int(1, 3));
+  SentenceInfo last;
+  for (int i = 0; i < sentences; ++i) {
+    last = sample_sentence(rng, out);
+  }
+  if (rng.next_bool(style_.pronoun_followup_probability)) {
+    sample_pronoun_sentence(rng, last.subject_number, out);
+  }
+  out.push_back(vocab_.eos());
+}
+
+std::vector<TokenId> GrammarSampler::sample_stream(Rng& rng, int64_t min_tokens) const {
+  std::vector<TokenId> out;
+  out.reserve(static_cast<size_t>(min_tokens) + 64);
+  while (static_cast<int64_t>(out.size()) < min_tokens) {
+    sample_passage(rng, out);
+  }
+  return out;
+}
+
+}  // namespace emmark

@@ -1,0 +1,105 @@
+// SynthText: a probabilistic grammar with number agreement.
+//
+// This is the stand-in for the paper's natural-language corpora (WikiText
+// for perplexity, Alpaca/WikiText for the integrity fine-tunes). Sentences
+// follow
+//
+//   S  -> NP(num) VP(num) '.'
+//   NP -> Det Adj? Noun(num)
+//   VP -> Vt(num) NP(any) | Vi(num) Adv? | Vi(num) Prep NP(any)
+//
+// with subject-verb number agreement, and passages optionally continue with
+// a pronoun sentence ('it'/'they' matching the subject's number). The
+// structure is rich enough that a small transformer learns real syntax --
+// which is what makes perplexity and the zero-shot tasks sensitive to
+// weight perturbations, mirroring the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/vocab.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+enum class GrammarNumber { kSingular, kPlural };
+
+/// Metadata about a generated sentence, used by task generators.
+struct SentenceInfo {
+  GrammarNumber subject_number = GrammarNumber::kSingular;
+  TokenId subject_noun = -1;
+  TokenId verb = -1;
+  bool transitive = false;
+  /// Subject carried a PP attractor ("the cat near the dogs ..."); the verb
+  /// still agrees with the head noun, never the attractor.
+  bool has_attractor = false;
+  GrammarNumber attractor_number = GrammarNumber::kSingular;
+};
+
+/// Knobs for domain-shifted corpora (the integrity experiment fine-tunes on
+/// "different datasets"; we shift the distribution instead).
+struct GrammarStyle {
+  double plural_probability = 0.5;
+  double adjective_probability = 0.5;
+  double transitive_probability = 0.5;
+  double adverb_probability = 0.4;
+  double preposition_probability = 0.35;
+  double pronoun_followup_probability = 0.35;
+  /// Probability the subject NP carries a PP attractor ("the cat near the
+  /// dogs sleeps"). Long-distance head agreement is the hard syntactic
+  /// phenomenon the s-winogrande task probes.
+  double subject_pp_probability = 0.3;
+  /// Skew over noun choice: 0 = uniform; larger values concentrate mass on
+  /// the first nouns (Zipf-like), shifting lexical statistics.
+  double noun_skew = 0.0;
+};
+
+/// Default style used for the main ("WikiText-like") corpus.
+GrammarStyle default_style();
+/// Instruction-ish shifted style (stands in for the Alpaca fine-tune).
+GrammarStyle shifted_style_a();
+/// Second shifted style (stands in for the WikiText fine-tune).
+GrammarStyle shifted_style_b();
+
+class GrammarSampler {
+ public:
+  explicit GrammarSampler(const Vocab& vocab, GrammarStyle style = default_style());
+
+  /// Appends one sentence (ending in '.') to `out`; returns its info.
+  SentenceInfo sample_sentence(Rng& rng, std::vector<TokenId>& out) const;
+
+  /// Appends a pronoun follow-up sentence agreeing with `antecedent`.
+  void sample_pronoun_sentence(Rng& rng, GrammarNumber antecedent,
+                               std::vector<TokenId>& out) const;
+
+  /// Appends a passage: 1-3 sentences, possibly a pronoun follow-up,
+  /// bracketed by <bos> ... <eos>.
+  void sample_passage(Rng& rng, std::vector<TokenId>& out) const;
+
+  /// Generates a token stream of at least `min_tokens` tokens.
+  std::vector<TokenId> sample_stream(Rng& rng, int64_t min_tokens) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  const GrammarStyle& style() const { return style_; }
+
+  /// Noun pick honoring the style's skew. Exposed for task generators.
+  TokenId sample_noun(Rng& rng, GrammarNumber number) const;
+  TokenId sample_transitive_verb(Rng& rng, GrammarNumber number) const;
+  TokenId sample_intransitive_verb(Rng& rng, GrammarNumber number) const;
+
+ private:
+  void sample_noun_phrase(Rng& rng, GrammarNumber number,
+                          std::vector<TokenId>& out) const;
+
+  const Vocab& vocab_;
+  GrammarStyle style_;
+  std::vector<TokenId> nouns_sing_, nouns_plur_;
+  std::vector<TokenId> verbs_t_sing_, verbs_t_plur_;
+  std::vector<TokenId> verbs_i_sing_, verbs_i_plur_;
+  std::vector<TokenId> adjectives_, adverbs_, prepositions_, determiners_;
+  TokenId period_ = -1;
+  TokenId pronoun_sing_ = -1, pronoun_plur_ = -1;
+};
+
+}  // namespace emmark

@@ -1,0 +1,189 @@
+#include "data/tasks.h"
+
+#include <algorithm>
+
+namespace emmark {
+
+TaskSet make_lambada_like(const Vocab& vocab, int64_t items, Rng& rng) {
+  // Context: "the ADJ NOUN V_t the ADJ ___" -- the final object noun is
+  // held out; distractors come from verb/adverb/preposition categories, so
+  // exactly one option is grammatical.
+  GrammarSampler sampler(vocab);
+  TaskSet set;
+  set.name = "s-lambada";
+  set.chance_accuracy = 0.25;
+  const auto verbs = vocab.tokens_of(TokenCategory::kVerbIntransPlural);
+  const auto adverbs = vocab.tokens_of(TokenCategory::kAdverb);
+  const auto preps = vocab.tokens_of(TokenCategory::kPreposition);
+  for (int64_t i = 0; i < items; ++i) {
+    const GrammarNumber subj_num =
+        rng.next_bool() ? GrammarNumber::kPlural : GrammarNumber::kSingular;
+    const GrammarNumber obj_num =
+        rng.next_bool() ? GrammarNumber::kPlural : GrammarNumber::kSingular;
+    TaskItem item;
+    item.context.push_back(vocab.bos());
+    item.context.push_back(vocab.id("the"));
+    item.context.push_back(sampler.sample_noun(rng, subj_num));
+    item.context.push_back(sampler.sample_transitive_verb(rng, subj_num));
+    item.context.push_back(vocab.id("the"));
+
+    const TokenId answer = sampler.sample_noun(rng, obj_num);
+    std::vector<TokenId> distractor_pool;
+    distractor_pool.push_back(verbs[rng.next_below(verbs.size())]);
+    distractor_pool.push_back(adverbs[rng.next_below(adverbs.size())]);
+    distractor_pool.push_back(preps[rng.next_below(preps.size())]);
+
+    item.options.push_back({answer});
+    for (TokenId d : distractor_pool) item.options.push_back({d});
+    item.correct = 0;
+    // Shuffle option order so "first option" carries no signal.
+    std::vector<size_t> order(item.options.size());
+    for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+    rng.shuffle(order);
+    std::vector<std::vector<TokenId>> shuffled(item.options.size());
+    for (size_t k = 0; k < order.size(); ++k) {
+      shuffled[k] = item.options[order[k]];
+      if (order[k] == 0) item.correct = static_cast<int64_t>(k);
+    }
+    item.options = std::move(shuffled);
+    set.items.push_back(std::move(item));
+  }
+  return set;
+}
+
+TaskSet make_hellaswag_like(const Vocab& vocab, int64_t items, Rng& rng) {
+  // Context: a full sentence plus the subject NP of a second sentence.
+  // Options: the true continuation (verb phrase + '.') vs the same tokens
+  // randomly permuted (ungrammatical order).
+  GrammarSampler sampler(vocab);
+  TaskSet set;
+  set.name = "s-hellaswag";
+  set.chance_accuracy = 0.25;
+  const auto adverbs = vocab.tokens_of(TokenCategory::kAdverb);
+  for (int64_t i = 0; i < items; ++i) {
+    TaskItem item;
+    item.context.push_back(vocab.bos());
+    SentenceInfo first = sampler.sample_sentence(rng, item.context);
+    item.context.push_back(vocab.id("the"));
+    const GrammarNumber num = first.subject_number;
+    item.context.push_back(sampler.sample_noun(rng, num));
+
+    std::vector<TokenId> continuation;
+    continuation.push_back(sampler.sample_intransitive_verb(rng, num));
+    continuation.push_back(adverbs[rng.next_below(adverbs.size())]);
+    continuation.push_back(vocab.id("."));
+
+    // Three distinct derangement-style distractors of the 3-token
+    // continuation [verb, adverb, '.']: two rotations plus a head swap.
+    // Categories differ per slot, so all four sequences are distinct.
+    std::vector<std::vector<TokenId>> options;
+    options.push_back(continuation);
+    std::vector<TokenId> rot1 = continuation;
+    std::rotate(rot1.begin(), rot1.begin() + 1, rot1.end());
+    std::vector<TokenId> rot2 = continuation;
+    std::rotate(rot2.begin(), rot2.begin() + 2, rot2.end());
+    std::vector<TokenId> swapped = continuation;
+    std::swap(swapped[0], swapped[1]);
+    options.push_back(std::move(rot1));
+    options.push_back(std::move(rot2));
+    options.push_back(std::move(swapped));
+
+    // Shuffle option order so position carries no signal.
+    std::vector<size_t> order{0, 1, 2, 3};
+    rng.shuffle(order);
+    item.options.resize(4);
+    for (size_t k = 0; k < 4; ++k) {
+      item.options[k] = options[order[k]];
+      if (order[k] == 0) item.correct = static_cast<int64_t>(k);
+    }
+    set.items.push_back(std::move(item));
+  }
+  return set;
+}
+
+TaskSet make_piqa_like(const Vocab& vocab, int64_t items, Rng& rng) {
+  // Physical-plausibility stand-in: "the NOUN V_i near the NOUN ." vs the
+  // same sentence with preposition and verb swapped into an ungrammatical
+  // order ("the NOUN near V_i the NOUN .").
+  GrammarSampler sampler(vocab);
+  TaskSet set;
+  set.name = "s-piqa";
+  set.chance_accuracy = 0.5;
+  const auto preps = vocab.tokens_of(TokenCategory::kPreposition);
+  for (int64_t i = 0; i < items; ++i) {
+    const GrammarNumber num =
+        rng.next_bool() ? GrammarNumber::kPlural : GrammarNumber::kSingular;
+    TaskItem item;
+    item.context.push_back(vocab.bos());
+    item.context.push_back(vocab.id("the"));
+    item.context.push_back(sampler.sample_noun(rng, num));
+
+    const TokenId verb = sampler.sample_intransitive_verb(rng, num);
+    const TokenId prep = preps[rng.next_below(preps.size())];
+    const TokenId object = sampler.sample_noun(rng, GrammarNumber::kSingular);
+
+    std::vector<TokenId> good = {verb, prep, vocab.id("the"), object, vocab.id(".")};
+    std::vector<TokenId> bad = {prep, verb, vocab.id("the"), object, vocab.id(".")};
+
+    const bool good_first = rng.next_bool();
+    item.options.push_back(good_first ? good : bad);
+    item.options.push_back(good_first ? bad : good);
+    item.correct = good_first ? 0 : 1;
+    set.items.push_back(std::move(item));
+  }
+  return set;
+}
+
+TaskSet make_winogrande_like(const Vocab& vocab, int64_t items, Rng& rng) {
+  // Long-distance agreement with an attractor, the hardest discriminative
+  // probe in the suite: "the cat near the dogs ___" -- the verb must agree
+  // with the *head* noun (cat), not the linearly closer attractor (dogs).
+  // Trained models sit well above chance but below ceiling, so this task
+  // is the sensitive dial for weight-perturbation damage.
+  GrammarSampler sampler(vocab);
+  TaskSet set;
+  set.name = "s-winogrande";
+  set.chance_accuracy = 0.5;
+  const auto vi_sing = vocab.tokens_of(TokenCategory::kVerbIntransSingular);
+  const auto vi_plur = vocab.tokens_of(TokenCategory::kVerbIntransPlural);
+  const auto preps = vocab.tokens_of(TokenCategory::kPreposition);
+  for (int64_t i = 0; i < items; ++i) {
+    const bool plural_head = rng.next_bool();
+    const GrammarNumber head =
+        plural_head ? GrammarNumber::kPlural : GrammarNumber::kSingular;
+    const GrammarNumber attractor =
+        plural_head ? GrammarNumber::kSingular : GrammarNumber::kPlural;
+    TaskItem item;
+    item.context.push_back(vocab.bos());
+    item.context.push_back(vocab.id("the"));
+    item.context.push_back(sampler.sample_noun(rng, head));
+    item.context.push_back(preps[rng.next_below(preps.size())]);
+    item.context.push_back(vocab.id("the"));
+    item.context.push_back(sampler.sample_noun(rng, attractor));
+
+    // Matched verb pair (same lemma index in both pools).
+    const size_t lemma = rng.next_below(vi_sing.size());
+    const TokenId correct_verb = plural_head ? vi_plur[lemma] : vi_sing[lemma];
+    const TokenId wrong_verb = plural_head ? vi_sing[lemma] : vi_plur[lemma];
+
+    const bool correct_first = rng.next_bool();
+    item.options.push_back({correct_first ? correct_verb : wrong_verb});
+    item.options.push_back({correct_first ? wrong_verb : correct_verb});
+    item.correct = correct_first ? 0 : 1;
+    set.items.push_back(std::move(item));
+  }
+  return set;
+}
+
+std::vector<TaskSet> make_task_suite(const Vocab& vocab, int64_t items_per_task,
+                                     uint64_t seed) {
+  std::vector<TaskSet> suite;
+  Rng r1(seed + 11), r2(seed + 22), r3(seed + 33), r4(seed + 44);
+  suite.push_back(make_lambada_like(vocab, items_per_task, r1));
+  suite.push_back(make_hellaswag_like(vocab, items_per_task, r2));
+  suite.push_back(make_piqa_like(vocab, items_per_task, r3));
+  suite.push_back(make_winogrande_like(vocab, items_per_task, r4));
+  return suite;
+}
+
+}  // namespace emmark

@@ -1,0 +1,55 @@
+// Synthetic zero-shot evaluation tasks.
+//
+// The paper reports the mean zero-shot accuracy over LAMBADA, HellaSwag,
+// PIQA and WinoGrande, all scored by ranking answer options with the
+// model's likelihood. We reproduce the *mechanics* with four synthetic
+// multiple-choice suites over the SynthText grammar:
+//
+//   s-lambada    : predict the held-out final content word of a sentence
+//                  (1 grammatical option + 3 wrong-category distractors)
+//   s-hellaswag  : choose the grammatical continuation of a sentence prefix
+//                  among 1 real + 3 shuffled continuations
+//   s-piqa       : choose the sentence respecting determiner/prep structure
+//                  (swapped-role distractor)
+//   s-winogrande : binary choice of the verb agreeing with a pronoun's
+//                  antecedent ("the cats sleep . they run/runs")
+//
+// Accuracy of a trained model is far above chance; corrupting quantized
+// weights pushes it back toward chance -- the same sensitivity the paper's
+// Table 1 and Figure 2 rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/grammar.h"
+#include "data/vocab.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+/// One multiple-choice item: rank `options` as continuations of `context`;
+/// option `correct` is the grammatical one.
+struct TaskItem {
+  std::vector<TokenId> context;
+  std::vector<std::vector<TokenId>> options;
+  int64_t correct = 0;
+};
+
+struct TaskSet {
+  std::string name;
+  std::vector<TaskItem> items;
+  double chance_accuracy = 0.0;
+};
+
+/// All four suites with `items_per_task` items each, from one seed.
+std::vector<TaskSet> make_task_suite(const Vocab& vocab, int64_t items_per_task,
+                                     uint64_t seed);
+
+TaskSet make_lambada_like(const Vocab& vocab, int64_t items, Rng& rng);
+TaskSet make_hellaswag_like(const Vocab& vocab, int64_t items, Rng& rng);
+TaskSet make_piqa_like(const Vocab& vocab, int64_t items, Rng& rng);
+TaskSet make_winogrande_like(const Vocab& vocab, int64_t items, Rng& rng);
+
+}  // namespace emmark

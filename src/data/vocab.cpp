@@ -1,0 +1,91 @@
+#include "data/vocab.h"
+
+#include <stdexcept>
+
+namespace emmark {
+
+TokenId Vocab::add(const std::string& word, TokenCategory category) {
+  if (ids_.count(word)) throw std::invalid_argument("duplicate vocab word: " + word);
+  const TokenId id = static_cast<TokenId>(words_.size());
+  words_.push_back(word);
+  categories_.push_back(category);
+  ids_.emplace(word, id);
+  return id;
+}
+
+TokenId Vocab::id(const std::string& word) const {
+  const auto it = ids_.find(word);
+  if (it == ids_.end()) throw std::out_of_range("unknown vocab word: " + word);
+  return it->second;
+}
+
+const std::string& Vocab::word(TokenId id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("token id out of range");
+  return words_[static_cast<size_t>(id)];
+}
+
+TokenCategory Vocab::category(TokenId id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("token id out of range");
+  return categories_[static_cast<size_t>(id)];
+}
+
+std::vector<TokenId> Vocab::tokens_of(TokenCategory category) const {
+  std::vector<TokenId> out;
+  for (TokenId i = 0; i < size(); ++i) {
+    if (categories_[static_cast<size_t>(i)] == category) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Vocab::render(const std::vector<TokenId>& tokens) const {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out += ' ';
+    out += word(tokens[i]);
+  }
+  return out;
+}
+
+const Vocab& synth_vocab() {
+  static const Vocab vocab = [] {
+    Vocab v;
+    v.add("<bos>", TokenCategory::kSpecial);
+    v.add("<eos>", TokenCategory::kSpecial);
+
+    v.add("the", TokenCategory::kDeterminer);
+    v.add("a", TokenCategory::kDeterminer);
+
+    for (const char* adj : {"big", "small", "red", "blue", "happy", "sleepy"})
+      v.add(adj, TokenCategory::kAdjective);
+
+    for (const char* noun : {"cat", "dog", "bird", "robot", "child", "wizard"})
+      v.add(noun, TokenCategory::kNounSingular);
+    for (const char* noun : {"cats", "dogs", "birds", "robots", "children", "wizards"})
+      v.add(noun, TokenCategory::kNounPlural);
+
+    for (const char* verb : {"chases", "sees", "likes", "follows"})
+      v.add(verb, TokenCategory::kVerbSingular);
+    for (const char* verb : {"chase", "see", "like", "follow"})
+      v.add(verb, TokenCategory::kVerbPlural);
+
+    for (const char* verb : {"sleeps", "runs", "sings", "jumps"})
+      v.add(verb, TokenCategory::kVerbIntransSingular);
+    for (const char* verb : {"sleep", "run", "sing", "jump"})
+      v.add(verb, TokenCategory::kVerbIntransPlural);
+
+    for (const char* adv : {"quickly", "quietly", "often", "rarely"})
+      v.add(adv, TokenCategory::kAdverb);
+
+    for (const char* prep : {"near", "under", "above"})
+      v.add(prep, TokenCategory::kPreposition);
+
+    v.add("it", TokenCategory::kPronounSingular);
+    v.add("they", TokenCategory::kPronounPlural);
+
+    v.add(".", TokenCategory::kPunct);
+    return v;
+  }();
+  return vocab;
+}
+
+}  // namespace emmark

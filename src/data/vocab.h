@@ -1,0 +1,70 @@
+// Token vocabulary for the synthetic language ("SynthText").
+//
+// The reproduction trains word-level language models on a synthetic
+// probabilistic grammar (see grammar.h). The vocabulary is fixed and
+// category-tagged so task generators can build multiple-choice items with
+// exactly one grammatical answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace emmark {
+
+using TokenId = int32_t;
+
+/// Grammatical category of each token; drives agreement rules and task
+/// distractor sampling.
+enum class TokenCategory {
+  kSpecial,        // <bos>, <eos>
+  kDeterminer,     // the, a
+  kAdjective,      // big, small, ...
+  kNounSingular,   // cat, dog, ...
+  kNounPlural,     // cats, dogs, ...
+  kVerbSingular,   // chases, sees, ... (3rd person singular)
+  kVerbPlural,     // chase, see, ...
+  kVerbIntransSingular,  // sleeps, runs, ...
+  kVerbIntransPlural,    // sleep, run, ...
+  kAdverb,         // quickly, ...
+  kPreposition,    // near, under, ...
+  kPronounSingular,  // it
+  kPronounPlural,    // they
+  kPunct,          // .
+};
+
+class Vocab {
+ public:
+  Vocab() = default;
+
+  /// Registers a token; returns its id. Duplicate words are an error.
+  TokenId add(const std::string& word, TokenCategory category);
+
+  TokenId id(const std::string& word) const;
+  const std::string& word(TokenId id) const;
+  TokenCategory category(TokenId id) const;
+  int64_t size() const { return static_cast<int64_t>(words_.size()); }
+  bool contains(const std::string& word) const { return ids_.count(word) > 0; }
+
+  /// All token ids of a category, in registration order.
+  std::vector<TokenId> tokens_of(TokenCategory category) const;
+
+  /// Render a token sequence as a space-separated string (for logs/examples).
+  std::string render(const std::vector<TokenId>& tokens) const;
+
+  // Well-known special tokens, registered first by synth_vocab().
+  TokenId bos() const { return id("<bos>"); }
+  TokenId eos() const { return id("<eos>"); }
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<TokenCategory> categories_;
+  std::unordered_map<std::string, TokenId> ids_;
+};
+
+/// The fixed SynthText vocabulary used throughout the reproduction
+/// (~56 tokens across all categories).
+const Vocab& synth_vocab();
+
+}  // namespace emmark

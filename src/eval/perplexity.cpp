@@ -1,0 +1,20 @@
+#include "eval/perplexity.h"
+
+#include <cmath>
+
+namespace emmark {
+
+double perplexity(TransformerLM& model, const std::vector<TokenId>& stream,
+                  const PplConfig& config) {
+  double nll_sum = 0.0;
+  int64_t tokens = 0;
+  for (const Batch& batch : tile_eval_batches(stream, config.batch_size, config.seq_len)) {
+    const LossStats stats = model.forward_loss(batch);
+    nll_sum += stats.nll_sum;
+    tokens += stats.tokens;
+  }
+  if (tokens == 0) return 0.0;
+  return std::exp(nll_sum / static_cast<double>(tokens));
+}
+
+}  // namespace emmark

@@ -1,0 +1,22 @@
+// Perplexity evaluation (the paper's PPL metric, WikiText -> SynthText).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/corpus.h"
+#include "nn/transformer.h"
+
+namespace emmark {
+
+struct PplConfig {
+  int64_t batch_size = 8;
+  int64_t seq_len = 32;
+};
+
+/// Exact token-level perplexity of `model` over `stream`:
+/// exp(mean NLL) across consecutive windows.
+double perplexity(TransformerLM& model, const std::vector<TokenId>& stream,
+                  const PplConfig& config = {});
+
+}  // namespace emmark

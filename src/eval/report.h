@@ -1,0 +1,26 @@
+// Plain-text table rendering for the bench harnesses (paper-style rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emmark {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column auto-widths, a header rule and outer padding.
+  std::string render() const;
+  /// render() to stdout.
+  void print() const;
+
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emmark

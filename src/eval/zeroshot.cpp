@@ -1,0 +1,39 @@
+#include "eval/zeroshot.h"
+
+namespace emmark {
+
+ZeroShotResult evaluate_zeroshot(TransformerLM& model,
+                                 const std::vector<TaskSet>& suite) {
+  ZeroShotResult result;
+  double total = 0.0;
+  for (const TaskSet& task : suite) {
+    int64_t correct = 0;
+    for (const TaskItem& item : task.items) {
+      double best = 0.0;
+      int64_t best_index = -1;
+      for (size_t o = 0; o < item.options.size(); ++o) {
+        const double lp = model.option_logprob(item.context, item.options[o]);
+        if (best_index < 0 || lp > best) {
+          best = lp;
+          best_index = static_cast<int64_t>(o);
+        }
+      }
+      if (best_index == item.correct) ++correct;
+    }
+    TaskResult tr;
+    tr.name = task.name;
+    tr.items = static_cast<int64_t>(task.items.size());
+    tr.accuracy = tr.items > 0
+                      ? static_cast<double>(correct) / static_cast<double>(tr.items)
+                      : 0.0;
+    total += tr.accuracy;
+    result.tasks.push_back(tr);
+  }
+  if (!result.tasks.empty()) {
+    result.mean_accuracy_pct =
+        100.0 * total / static_cast<double>(result.tasks.size());
+  }
+  return result;
+}
+
+}  // namespace emmark

@@ -1,0 +1,29 @@
+// Zero-shot accuracy: likelihood-ranking of multiple-choice options, the
+// mechanic behind the paper's LAMBADA/HellaSwag/PIQA/WinoGrande mean.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/tasks.h"
+#include "nn/transformer.h"
+
+namespace emmark {
+
+struct TaskResult {
+  std::string name;
+  double accuracy = 0.0;
+  int64_t items = 0;
+};
+
+struct ZeroShotResult {
+  std::vector<TaskResult> tasks;
+  /// Mean accuracy over tasks (the paper's headline number), in percent.
+  double mean_accuracy_pct = 0.0;
+};
+
+/// Scores each item by summed option log-likelihood and takes argmax.
+ZeroShotResult evaluate_zeroshot(TransformerLM& model,
+                                 const std::vector<TaskSet>& suite);
+
+}  // namespace emmark

@@ -1,0 +1,79 @@
+// Model zoo: the reproduction's stand-in for the paper's OPT and LLaMA-2
+// checkpoints.
+//
+// Each paper model maps to a scaled-down transformer of the matching
+// architecture family, trained in-repo on the shared SynthText corpus.
+// Training results (and activation statistics) are cached on disk under
+// cache_dir() so benches re-use them across runs; delete the cache (or set
+// EMMARK_CACHE elsewhere) to retrain from scratch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/tasks.h"
+#include "nn/trainer.h"
+#include "nn/transformer.h"
+#include "quant/calib.h"
+
+namespace emmark {
+
+struct ZooEntry {
+  std::string name;        // e.g. "opt-2.7b-sim"
+  std::string paper_name;  // e.g. "OPT-2.7B"
+  ArchFamily family = ArchFamily::kOptStyle;
+  int64_t d_model = 64;
+  int64_t n_layers = 2;
+  int64_t n_heads = 4;
+  int64_t ffn_hidden = 256;
+  int64_t train_steps = 500;
+};
+
+/// The nine paper models (OPT 125M..30B, LLaMA-2 7B..70B), smallest first
+/// within each family.
+const std::vector<ZooEntry>& zoo_entries();
+const ZooEntry& zoo_entry(const std::string& name);
+
+/// Shared experiment fixtures derived from fixed seeds.
+struct ZooEnvironment {
+  Corpus corpus;                 // default style (the "WikiText" stand-in)
+  Corpus corpus_shift_a;         // Alpaca-like shifted distribution
+  Corpus corpus_shift_b;         // WikiText-variant shifted distribution
+  std::vector<TaskSet> tasks;    // zero-shot suites
+};
+
+class ModelZoo {
+ public:
+  /// `cache_directory` empty = util::cache_dir().
+  explicit ModelZoo(std::string cache_directory = "");
+
+  const ZooEnvironment& env() const { return env_; }
+
+  /// Trains (or loads from cache) the named model.
+  std::shared_ptr<TransformerLM> model(const std::string& name);
+
+  /// Activation statistics of the full-precision model (cached alongside).
+  std::shared_ptr<const ActivationStats> stats(const std::string& name);
+
+  /// Fine-tuned variants for the integrity experiment; `variant` is
+  /// "alpaca" (shifted style A) or "wikitext" (shifted style B).
+  std::shared_ptr<TransformerLM> finetuned(const std::string& name,
+                                           const std::string& variant);
+
+  /// Trains every zoo model (and caches it); `threads` models in parallel.
+  void prepare_all(size_t threads = 2);
+
+  ModelConfig config_for(const ZooEntry& entry) const;
+  TrainConfig train_config_for(const ZooEntry& entry) const;
+
+ private:
+  std::string checkpoint_path(const std::string& key) const;
+  std::shared_ptr<TransformerLM> train_from_scratch(const ZooEntry& entry);
+
+  std::string cache_dir_;
+  ZooEnvironment env_;
+};
+
+}  // namespace emmark

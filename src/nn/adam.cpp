@@ -1,0 +1,55 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace emmark {
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step(double lr) {
+  ++t_;
+
+  double norm_sq = 0.0;
+  for (Parameter* p : params_) norm_sq += p->grad.squared_norm();
+  last_grad_norm_ = std::sqrt(norm_sq);
+  double scale = 1.0;
+  if (config_.clip_norm > 0.0 && last_grad_norm_ > config_.clip_norm) {
+    scale = config_.clip_norm / (last_grad_norm_ + 1e-12);
+  }
+
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* value = p->value.data();
+    float* grad = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p->numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const double g = static_cast<double>(grad[j]) * scale +
+                       config_.weight_decay * value[j];
+      m[j] = static_cast<float>(config_.beta1 * m[j] + (1.0 - config_.beta1) * g);
+      v[j] = static_cast<float>(config_.beta2 * v[j] + (1.0 - config_.beta2) * g * g);
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      value[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + config_.eps));
+      grad[j] = 0.0f;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace emmark

@@ -1,0 +1,40 @@
+// Adam optimizer with global-norm gradient clipping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace emmark {
+
+struct AdamConfig {
+  double beta1 = 0.9;
+  double beta2 = 0.95;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+  double clip_norm = 1.0;  // <= 0 disables clipping
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config = {});
+
+  /// One update with learning rate `lr`; gradients are consumed (zeroed).
+  void step(double lr);
+
+  void zero_grad();
+
+  /// Global gradient norm before the last clip (diagnostic).
+  double last_grad_norm() const { return last_grad_norm_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t t_ = 0;
+  double last_grad_norm_ = 0.0;
+};
+
+}  // namespace emmark

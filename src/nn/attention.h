@@ -1,0 +1,47 @@
+// Causal multi-head self-attention with a full backward pass.
+//
+// Activations flow as rank-2 tensors [B*T, D]; batch and sequence sizes are
+// passed explicitly so the four projection Linears stay plain GEMMs. RoPE
+// (LLaMA-style family) is applied to q/k after projection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/rope.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(const std::string& name, int64_t d_model, int64_t n_heads,
+                     bool use_rope, int64_t max_seq, bool bias, Rng& rng);
+
+  /// x, y: [B*T, d_model].
+  void forward(const Tensor& x, int64_t batch, int64_t seq, Tensor& y);
+  void backward(const Tensor& dy, Tensor& dx);
+
+  std::vector<Parameter*> parameters();
+  /// The four projection layers, in (q, k, v, o) order -- the paper's
+  /// "quantization layers" within an attention block.
+  std::vector<Linear*> linears() { return {&wq_, &wk_, &wv_, &wo_}; }
+
+ private:
+  int64_t d_model_;
+  int64_t n_heads_;
+  int64_t head_dim_;
+  std::optional<Rope> rope_;
+  Linear wq_, wk_, wv_, wo_;
+
+  // caches from forward (shapes noted for a [B*T, D] input)
+  int64_t batch_ = 0, seq_ = 0;
+  Tensor q_, k_, v_;   // [B*T, D], q/k post-RoPE
+  Tensor probs_;       // [B*H, T, T] softmax rows (causal entries only)
+  Tensor ctx_;         // [B*T, D]
+};
+
+}  // namespace emmark

@@ -1,0 +1,35 @@
+// Token and learned positional embeddings.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "data/vocab.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+class Embedding {
+ public:
+  Embedding(std::string name, int64_t num_embeddings, int64_t dim, Rng& rng);
+
+  /// Gathers rows: y[i, :] = table[tokens[i], :].
+  void forward(std::span<const TokenId> tokens, Tensor& y);
+
+  /// Scatter-adds dy rows into the gradient. `tokens` must match forward.
+  void backward(std::span<const TokenId> tokens, const Tensor& dy);
+
+  Parameter& table() { return table_; }
+  int64_t dim() const { return dim_; }
+  int64_t num_embeddings() const { return num_embeddings_; }
+
+ private:
+  std::string name_;
+  int64_t num_embeddings_;
+  int64_t dim_;
+  Parameter table_;  // [num_embeddings, dim]
+};
+
+}  // namespace emmark

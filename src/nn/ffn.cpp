@@ -1,0 +1,78 @@
+#include "nn/ffn.h"
+
+#include "tensor/ops.h"
+
+namespace emmark {
+
+FeedForward::FeedForward(const std::string& name, FfnKind kind, int64_t d_model,
+                         int64_t hidden, bool bias, Rng& rng)
+    : kind_(kind),
+      d_model_(d_model),
+      hidden_(hidden),
+      up_(name + ".up_proj", d_model, hidden, bias, rng),
+      down_(name + ".down_proj", hidden, d_model, bias, rng),
+      gate_(name + ".gate_proj", d_model, hidden, /*bias=*/false, rng),
+      has_gate_(kind == FfnKind::kSwiGlu) {}
+
+void FeedForward::forward(const Tensor& x, Tensor& y) {
+  up_.forward(x, cached_up_);
+  if (kind_ == FfnKind::kRelu) {
+    cached_h_ = cached_up_;
+    relu_inplace(cached_h_.flat());
+  } else {
+    gate_.forward(x, cached_gate_);
+    cached_h_ = Tensor(cached_up_.shape());
+    const float* g = cached_gate_.data();
+    const float* u = cached_up_.data();
+    float* h = cached_h_.data();
+    for (int64_t i = 0; i < cached_h_.numel(); ++i) h[i] = silu(g[i]) * u[i];
+  }
+  down_.forward(cached_h_, y);
+}
+
+void FeedForward::backward(const Tensor& dy, Tensor& dx) {
+  Tensor dh;
+  down_.backward(dy, dh);
+  if (kind_ == FfnKind::kRelu) {
+    // Through ReLU: pass where pre-activation > 0.
+    const float* pre = cached_up_.data();
+    float* d = dh.data();
+    for (int64_t i = 0; i < dh.numel(); ++i) {
+      if (pre[i] <= 0.0f) d[i] = 0.0f;
+    }
+    up_.backward(dh, dx);
+  } else {
+    // h = silu(g) * u
+    Tensor dg(cached_gate_.shape());
+    Tensor du(cached_up_.shape());
+    const float* g = cached_gate_.data();
+    const float* u = cached_up_.data();
+    const float* d = dh.data();
+    float* pdg = dg.data();
+    float* pdu = du.data();
+    for (int64_t i = 0; i < dh.numel(); ++i) {
+      pdg[i] = d[i] * u[i] * silu_grad(g[i]);
+      pdu[i] = d[i] * silu(g[i]);
+    }
+    Tensor dx_gate, dx_up;
+    gate_.backward(dg, dx_gate);
+    up_.backward(du, dx_up);
+    dx = std::move(dx_gate);
+    dx.add_(dx_up);
+  }
+}
+
+std::vector<Parameter*> FeedForward::parameters() {
+  std::vector<Parameter*> out;
+  for (Linear* l : linears()) {
+    for (Parameter* p : l->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Linear*> FeedForward::linears() {
+  if (has_gate_) return {&gate_, &up_, &down_};
+  return {&up_, &down_};
+}
+
+}  // namespace emmark

@@ -1,0 +1,43 @@
+// Feed-forward blocks: ReLU MLP (OPT-style) and SwiGLU (LLaMA-style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+enum class FfnKind { kRelu, kSwiGlu };
+
+class FeedForward {
+ public:
+  FeedForward(const std::string& name, FfnKind kind, int64_t d_model,
+              int64_t hidden, bool bias, Rng& rng);
+
+  void forward(const Tensor& x, Tensor& y);
+  void backward(const Tensor& dy, Tensor& dx);
+
+  std::vector<Parameter*> parameters();
+  /// Quantizable projections: (up, down) for ReLU; (gate, up, down) for SwiGLU.
+  std::vector<Linear*> linears();
+
+  FfnKind kind() const { return kind_; }
+
+ private:
+  FfnKind kind_;
+  int64_t d_model_;
+  int64_t hidden_;
+  Linear up_;
+  Linear down_;
+  Linear gate_;  // SwiGLU only (constructed for both kinds, unused for ReLU)
+  bool has_gate_;
+
+  Tensor cached_up_;    // pre-activation (ReLU) or up-branch value (SwiGLU)
+  Tensor cached_gate_;  // SwiGLU gate pre-activation
+  Tensor cached_h_;     // post-activation hidden
+};
+
+}  // namespace emmark

@@ -1,0 +1,74 @@
+#include "nn/linear.h"
+
+#include "tensor/gemm.h"
+
+namespace emmark {
+
+Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
+               bool bias, Rng& rng)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  Tensor w({out_features, in_features});
+  for (float& v : w.flat()) v = rng.next_normal_f(0.0f, 0.02f);
+  w_ = Parameter(name_ + ".weight", std::move(w));
+  if (has_bias_) b_ = Parameter(name_ + ".bias", Tensor({out_features}));
+}
+
+void Linear::forward(const Tensor& x, Tensor& y) {
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    throw TensorError("Linear " + name_ + ": bad input shape " + x.shape_string());
+  }
+  const int64_t m = x.dim(0);
+  cached_x_ = x;
+  y = Tensor({m, out_features_});
+  gemm_nt(x.data(), w_.value.data(), y.data(), m, in_features_, out_features_);
+  if (has_bias_) {
+    const float* b = b_.value.data();
+    for (int64_t i = 0; i < m; ++i) {
+      float* row = y.data() + i * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) row[j] += b[j];
+    }
+  }
+  if (lora_) lora_->forward(x, y);
+}
+
+void Linear::backward(const Tensor& dy, Tensor& dx) {
+  const int64_t m = dy.dim(0);
+  dx = Tensor({m, in_features_});
+  gemm_nn(dy.data(), w_.value.data(), dx.data(), m, out_features_, in_features_);
+  if (!frozen_) {
+    // dW += dy^T x
+    gemm_tn(dy.data(), cached_x_.data(), w_.grad.data(), out_features_, m,
+            in_features_, /*accumulate=*/true);
+    if (has_bias_) {
+      float* db = b_.grad.data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float* row = dy.data() + i * out_features_;
+        for (int64_t j = 0; j < out_features_; ++j) db[j] += row[j];
+      }
+    }
+  }
+  if (lora_) lora_->backward(dy, dx);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  std::vector<Parameter*> out;
+  if (!frozen_) {
+    out.push_back(&w_);
+    if (has_bias_) out.push_back(&b_);
+  }
+  if (lora_) {
+    out.push_back(&lora_->a());
+    out.push_back(&lora_->b());
+  }
+  return out;
+}
+
+void Linear::attach_lora(int64_t rank, float alpha, uint64_t seed) {
+  lora_ = std::make_shared<LoraAdapter>(name_, in_features_, out_features_, rank,
+                                        alpha, seed);
+}
+
+}  // namespace emmark

@@ -1,0 +1,68 @@
+// Fully-connected layer with cached-input backward pass.
+//
+// Weights are stored row-major [out_features, in_features] -- the same
+// layout the quantization stack (quant/) and the watermark (wm/) operate
+// on, so a "quantization layer" in the paper maps 1:1 to one Linear here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/lora.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+class Linear {
+ public:
+  /// Initializes W ~ N(0, 0.02) (GPT-style) and b = 0 when `bias` is set.
+  Linear(std::string name, int64_t in_features, int64_t out_features, bool bias,
+         Rng& rng);
+
+  /// y[M, out] = x[M, in] W^T (+ b) (+ LoRA path if attached).
+  void forward(const Tensor& x, Tensor& y);
+
+  /// dx[M, in] from dy[M, out]; accumulates dW/db unless the layer is
+  /// frozen. Must follow a forward() on the same input.
+  void backward(const Tensor& dy, Tensor& dx);
+
+  /// Trainable parameters: base W/b when not frozen, plus LoRA A/B.
+  std::vector<Parameter*> parameters();
+
+  /// Attach a LoRA adapter (replaces any existing one).
+  void attach_lora(int64_t rank, float alpha, uint64_t seed);
+  bool has_lora() const { return lora_ != nullptr; }
+  LoraAdapter* lora() { return lora_.get(); }
+
+  /// Frozen layers skip base-weight gradient accumulation (QLoRA-style).
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
+  /// Input of the most recent forward() -- used by activation calibration
+  /// (quant/calib.h) to gather per-channel statistics without hooks.
+  const Tensor& last_input() const { return cached_x_; }
+
+  const std::string& name() const { return name_; }
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Parameter& weight() { return w_; }
+  const Parameter& weight() const { return w_; }
+  bool has_bias() const { return has_bias_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  std::string name_;
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  bool frozen_ = false;
+  Parameter w_;  // [out, in]
+  Parameter b_;  // [out]
+  Tensor cached_x_;
+  std::shared_ptr<LoraAdapter> lora_;
+};
+
+}  // namespace emmark

@@ -1,0 +1,53 @@
+#include "nn/lora.h"
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+LoraAdapter::LoraAdapter(const std::string& base_name, int64_t in_features,
+                         int64_t out_features, int64_t rank, float alpha,
+                         uint64_t seed)
+    : in_features_(in_features),
+      out_features_(out_features),
+      rank_(rank),
+      scale_(alpha / static_cast<float>(rank)) {
+  Tensor a({rank, in_features});
+  Rng rng(seed);
+  for (float& v : a.flat()) v = rng.next_normal_f(0.0f, 0.02f);
+  a_ = Parameter(base_name + ".lora_a", std::move(a));
+  // B starts at zero so the adapter is an exact no-op before training.
+  b_ = Parameter(base_name + ".lora_b", Tensor({out_features, rank}));
+}
+
+void LoraAdapter::forward(const Tensor& x, Tensor& y) {
+  const int64_t m = x.dim(0);
+  cached_x_ = x;
+  cached_xa_ = Tensor({m, rank_});
+  gemm_nt(x.data(), a_.value.data(), cached_xa_.data(), m, in_features_, rank_);
+  // y += scale * (xA^T) B^T
+  Tensor xab({m, out_features_});
+  gemm_nt(cached_xa_.data(), b_.value.data(), xab.data(), m, rank_, out_features_);
+  y.axpy_(scale_, xab);
+}
+
+void LoraAdapter::backward(const Tensor& dy, Tensor& dx) {
+  const int64_t m = dy.dim(0);
+  // d(xa) = scale * dy B : [M, rank]
+  Tensor dxa({m, rank_});
+  gemm_nn(dy.data(), b_.value.data(), dxa.data(), m, out_features_, rank_);
+  dxa.scale_(scale_);
+  // dB += scale * dy^T (xA^T) : [out, rank]
+  Tensor db({out_features_, rank_});
+  gemm_tn(dy.data(), cached_xa_.data(), db.data(), out_features_, m, rank_);
+  db.scale_(scale_);
+  b_.grad.add_(db);
+  // dA += dxa^T x : [rank, in]
+  gemm_tn(dxa.data(), cached_x_.data(), a_.grad.data(), rank_, m, in_features_,
+          /*accumulate=*/true);
+  // dx += dxa A : [M, in]
+  gemm_nn(dxa.data(), a_.value.data(), dx.data(), m, rank_, in_features_,
+          /*accumulate=*/true);
+}
+
+}  // namespace emmark

@@ -1,0 +1,44 @@
+// Low-rank adaptation (LoRA) of a linear layer.
+//
+// Used by the fine-tuning "attack" analysis: QLoRA-style tuning adds
+// adapters next to the frozen quantized base weights, so the quantized
+// integers -- and therefore the watermark -- never change. The adapter is
+// y += (alpha/rank) * x A^T B^T with A ~ N(0, 0.02), B = 0 at init.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+class LoraAdapter {
+ public:
+  LoraAdapter(const std::string& base_name, int64_t in_features,
+              int64_t out_features, int64_t rank, float alpha, uint64_t seed);
+
+  /// y[M, out] += scale * (x[M, in] A^T) B^T; caches for backward.
+  void forward(const Tensor& x, Tensor& y);
+
+  /// Accumulates adapter gradients and adds the adapter's input gradient
+  /// into dx[M, in].
+  void backward(const Tensor& dy, Tensor& dx);
+
+  Parameter& a() { return a_; }
+  Parameter& b() { return b_; }
+  int64_t rank() const { return rank_; }
+  float scale() const { return scale_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  int64_t rank_;
+  float scale_;
+  Parameter a_;  // [rank, in]
+  Parameter b_;  // [out, rank]
+  Tensor cached_x_;   // [M, in]
+  Tensor cached_xa_;  // [M, rank]
+};
+
+}  // namespace emmark

@@ -1,0 +1,52 @@
+// LayerNorm (OPT-style blocks) and RMSNorm (LLaMA-style blocks), both with
+// full backward passes.
+#pragma once
+
+#include <string>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+/// y = (x - mean) / sqrt(var + eps) * gamma + beta, per row.
+class LayerNorm {
+ public:
+  LayerNorm(std::string name, int64_t dim, float eps = 1e-5f);
+
+  void forward(const Tensor& x, Tensor& y);
+  void backward(const Tensor& dy, Tensor& dx);
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+
+ private:
+  std::string name_;
+  int64_t dim_;
+  float eps_;
+  Parameter gamma_;  // [dim]
+  Parameter beta_;   // [dim]
+  Tensor cached_norm_;  // normalized x, [M, dim]
+  Tensor cached_rstd_;  // [M]
+};
+
+/// y = x / rms(x) * gamma, per row (no centering, no bias).
+class RmsNorm {
+ public:
+  RmsNorm(std::string name, int64_t dim, float eps = 1e-5f);
+
+  void forward(const Tensor& x, Tensor& y);
+  void backward(const Tensor& dy, Tensor& dx);
+
+  Parameter& gamma() { return gamma_; }
+
+ private:
+  std::string name_;
+  int64_t dim_;
+  float eps_;
+  Parameter gamma_;     // [dim]
+  Tensor cached_x_;     // [M, dim]
+  Tensor cached_rrms_;  // [M]
+};
+
+}  // namespace emmark

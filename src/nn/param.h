@@ -1,0 +1,26 @@
+// Trainable parameter: a value tensor plus its gradient accumulator.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name, Tensor value)
+      : name(std::move(name)), value(std::move(value)) {
+    grad = Tensor(this->value.shape());
+  }
+
+  void zero_grad() { grad.zero(); }
+  int64_t numel() const { return value.numel(); }
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+}  // namespace emmark

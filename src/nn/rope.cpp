@@ -1,0 +1,47 @@
+#include "nn/rope.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emmark {
+
+Rope::Rope(int64_t head_dim, int64_t max_seq, float base)
+    : head_dim_(head_dim), max_seq_(max_seq) {
+  if (head_dim % 2 != 0) throw std::invalid_argument("RoPE needs an even head_dim");
+  const int64_t half = head_dim / 2;
+  cos_.resize(static_cast<size_t>(max_seq * half));
+  sin_.resize(static_cast<size_t>(max_seq * half));
+  for (int64_t pos = 0; pos < max_seq; ++pos) {
+    for (int64_t i = 0; i < half; ++i) {
+      const float freq = std::pow(base, -2.0f * static_cast<float>(i) /
+                                            static_cast<float>(head_dim));
+      const float angle = static_cast<float>(pos) * freq;
+      cos_[static_cast<size_t>(pos * half + i)] = std::cos(angle);
+      sin_[static_cast<size_t>(pos * half + i)] = std::sin(angle);
+    }
+  }
+}
+
+void Rope::apply(std::span<float> vec, int64_t pos, float sign) const {
+  if (static_cast<int64_t>(vec.size()) != head_dim_) {
+    throw std::invalid_argument("RoPE: vector size != head_dim");
+  }
+  if (pos < 0 || pos >= max_seq_) throw std::out_of_range("RoPE: position out of range");
+  const int64_t half = head_dim_ / 2;
+  const float* c = cos_.data() + pos * half;
+  const float* s = sin_.data() + pos * half;
+  for (int64_t i = 0; i < half; ++i) {
+    const float x0 = vec[static_cast<size_t>(2 * i)];
+    const float x1 = vec[static_cast<size_t>(2 * i + 1)];
+    vec[static_cast<size_t>(2 * i)] = x0 * c[i] - sign * x1 * s[i];
+    vec[static_cast<size_t>(2 * i + 1)] = sign * x0 * s[i] + x1 * c[i];
+  }
+}
+
+void Rope::rotate(std::span<float> vec, int64_t pos) const { apply(vec, pos, 1.0f); }
+
+void Rope::rotate_inverse(std::span<float> vec, int64_t pos) const {
+  apply(vec, pos, -1.0f);
+}
+
+}  // namespace emmark

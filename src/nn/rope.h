@@ -1,0 +1,35 @@
+// Rotary positional embedding (RoPE) used by the LLaMA-style family.
+//
+// Pairs (x[2i], x[2i+1]) of each head vector are rotated by an angle
+// theta_i * pos; the backward pass is the inverse rotation, which keeps the
+// implementation exactly self-adjoint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace emmark {
+
+class Rope {
+ public:
+  Rope(int64_t head_dim, int64_t max_seq, float base = 10000.0f);
+
+  /// Rotates `vec` (one head at one position) in place.
+  void rotate(std::span<float> vec, int64_t pos) const;
+  /// Applies the inverse rotation (used for gradients).
+  void rotate_inverse(std::span<float> vec, int64_t pos) const;
+
+  int64_t head_dim() const { return head_dim_; }
+  int64_t max_seq() const { return max_seq_; }
+
+ private:
+  void apply(std::span<float> vec, int64_t pos, float sign) const;
+
+  int64_t head_dim_;
+  int64_t max_seq_;
+  std::vector<float> cos_;  // [max_seq * head_dim/2]
+  std::vector<float> sin_;
+};
+
+}  // namespace emmark

@@ -1,0 +1,103 @@
+#include "nn/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace emmark {
+
+TokenId Sampler::next_token(std::span<const float> logits,
+                            const SampleConfig& config, Rng& rng) const {
+  if (config.temperature <= 0.0) {
+    return static_cast<TokenId>(argmax(logits));
+  }
+  std::vector<float> scaled(logits.begin(), logits.end());
+  for (float& v : scaled) v = static_cast<float>(v / config.temperature);
+  if (config.top_k > 0 && config.top_k < static_cast<int64_t>(scaled.size())) {
+    std::vector<float> sorted = scaled;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + (config.top_k - 1), sorted.end(),
+                     std::greater<float>());
+    const float cutoff = sorted[static_cast<size_t>(config.top_k - 1)];
+    for (float& v : scaled) {
+      if (v < cutoff) v = -1e30f;
+    }
+  }
+  softmax_inplace(scaled);
+  std::vector<double> weights(scaled.begin(), scaled.end());
+  return static_cast<TokenId>(rng.next_weighted(weights));
+}
+
+std::vector<TokenId> Sampler::sample(const std::vector<TokenId>& prompt,
+                                     const SampleConfig& config) {
+  if (prompt.empty()) throw std::invalid_argument("sample: empty prompt");
+  Rng rng(config.seed);
+  std::vector<TokenId> sequence = prompt;
+  std::vector<TokenId> continuation;
+  const int64_t max_seq = model_.config().max_seq;
+  for (int64_t step = 0; step < config.max_tokens; ++step) {
+    // Keep the most recent max_seq tokens as context.
+    const int64_t begin =
+        std::max<int64_t>(0, static_cast<int64_t>(sequence.size()) - max_seq);
+    const std::vector<TokenId> window(sequence.begin() + begin, sequence.end());
+    const Tensor logits = model_.logits(window);
+    const int64_t last = logits.dim(0) - 1;
+    const TokenId token = next_token(
+        {logits.data() + last * logits.dim(1), static_cast<size_t>(logits.dim(1))},
+        config, rng);
+    sequence.push_back(token);
+    continuation.push_back(token);
+    if (token == config.stop_token) break;
+  }
+  return continuation;
+}
+
+std::string Sampler::sample_text(const Vocab& vocab,
+                                 const std::vector<TokenId>& prompt,
+                                 const SampleConfig& config) {
+  return vocab.render(sample(prompt, config));
+}
+
+double Sampler::grammaticality(const Vocab& vocab,
+                               const std::vector<TokenId>& tokens) {
+  // Scan subject..verb pairs: "the [adj] NOUN [prep the NOUN] VERB".
+  // Verb number must match the head noun's number.
+  int64_t sentences = 0;
+  int64_t agree = 0;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const auto cat = vocab.category(tokens[i]);
+    const bool head_noun = cat == TokenCategory::kNounSingular ||
+                           cat == TokenCategory::kNounPlural;
+    if (!head_noun) continue;
+    // Only treat as a subject if preceded by a determiner (possibly via an
+    // adjective).
+    if (i == 0) continue;
+    const auto prev = vocab.category(tokens[i - 1]);
+    if (prev != TokenCategory::kDeterminer && prev != TokenCategory::kAdjective) {
+      continue;
+    }
+    // Find the verb: either immediately after, or after a PP attractor.
+    size_t v = i + 1;
+    if (v < tokens.size() && vocab.category(tokens[v]) == TokenCategory::kPreposition) {
+      v += 3;  // prep + det + noun
+    }
+    if (v >= tokens.size()) break;
+    const auto verb_cat = vocab.category(tokens[v]);
+    const bool is_verb = verb_cat == TokenCategory::kVerbSingular ||
+                         verb_cat == TokenCategory::kVerbPlural ||
+                         verb_cat == TokenCategory::kVerbIntransSingular ||
+                         verb_cat == TokenCategory::kVerbIntransPlural;
+    if (!is_verb) continue;
+    ++sentences;
+    const bool plural_subject = cat == TokenCategory::kNounPlural;
+    const bool plural_verb = verb_cat == TokenCategory::kVerbPlural ||
+                             verb_cat == TokenCategory::kVerbIntransPlural;
+    if (plural_subject == plural_verb) ++agree;
+    i = v;  // continue past the verb
+  }
+  if (sentences == 0) return -1.0;
+  return static_cast<double>(agree) / static_cast<double>(sentences);
+}
+
+}  // namespace emmark

@@ -1,0 +1,55 @@
+// Autoregressive text sampling from a TransformerLM.
+//
+// Used by examples and the attack benches to show *what the model says*
+// before and after an attack -- a pruned embedded model does not just lose
+// perplexity points, it stops producing grammatical sentences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/vocab.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace emmark {
+
+struct SampleConfig {
+  int64_t max_tokens = 24;
+  /// 0 = greedy decoding; otherwise softmax temperature.
+  double temperature = 0.0;
+  /// Keep only the k most likely tokens before sampling (0 = all).
+  int64_t top_k = 0;
+  uint64_t seed = 1;
+  /// Stop once this token is produced (-1 = never stop early).
+  TokenId stop_token = -1;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(TransformerLM& model) : model_(model) {}
+
+  /// Extends `prompt` by up to max_tokens; returns only the continuation.
+  std::vector<TokenId> sample(const std::vector<TokenId>& prompt,
+                              const SampleConfig& config);
+
+  /// Convenience: sample and render through a vocabulary.
+  std::string sample_text(const Vocab& vocab, const std::vector<TokenId>& prompt,
+                          const SampleConfig& config);
+
+  /// Fraction of sampled sentences (ending in the period token) whose verb
+  /// agrees with the subject -- a cheap grammaticality score used by the
+  /// breakdown demos. Returns values in [0, 1]; -1 when no sentence was
+  /// completed.
+  static double grammaticality(const Vocab& vocab,
+                               const std::vector<TokenId>& tokens);
+
+ private:
+  TokenId next_token(std::span<const float> logits, const SampleConfig& config,
+                     Rng& rng) const;
+
+  TransformerLM& model_;
+};
+
+}  // namespace emmark

@@ -1,0 +1,54 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "nn/adam.h"
+#include "util/log.h"
+
+namespace emmark {
+
+Trainer::Trainer(TransformerLM& model, const std::vector<TokenId>& train_stream,
+                 TrainConfig config)
+    : model_(model), stream_(train_stream), config_(config) {}
+
+double Trainer::lr_at(int64_t step) const {
+  const double warmup = std::max(1.0, config_.warmup_fraction *
+                                          static_cast<double>(config_.steps));
+  if (static_cast<double>(step) < warmup) {
+    return config_.lr * (static_cast<double>(step) + 1.0) / warmup;
+  }
+  const double progress =
+      (static_cast<double>(step) - warmup) /
+      std::max(1.0, static_cast<double>(config_.steps) - warmup);
+  const double floor = config_.lr * config_.min_lr_fraction;
+  return floor + 0.5 * (config_.lr - floor) *
+                     (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+double Trainer::train() {
+  Adam optimizer(model_.parameters());
+  Rng rng(config_.seed);
+  double running_loss = 0.0;
+  bool have_running = false;
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    const Batch batch =
+        sample_batch(stream_, config_.batch_size, config_.seq_len, rng);
+    const LossStats stats = model_.forward_loss(batch);
+    model_.backward();
+    optimizer.step(lr_at(step));
+
+    const double loss = stats.mean_nll();
+    running_loss = have_running ? 0.95 * running_loss + 0.05 * loss : loss;
+    have_running = true;
+    if (config_.log_every > 0 && (step + 1) % config_.log_every == 0) {
+      EMMARK_INFO("step %lld/%lld loss %.4f lr %.2e",
+                  static_cast<long long>(step + 1),
+                  static_cast<long long>(config_.steps), running_loss,
+                  lr_at(step));
+    }
+  }
+  return running_loss;
+}
+
+}  // namespace emmark

@@ -1,0 +1,40 @@
+// Language-model training loop: Adam + linear-warmup/cosine-decay schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/corpus.h"
+#include "nn/transformer.h"
+
+namespace emmark {
+
+struct TrainConfig {
+  int64_t steps = 1200;
+  int64_t batch_size = 8;
+  int64_t seq_len = 32;
+  double lr = 3e-3;
+  double warmup_fraction = 0.05;
+  double min_lr_fraction = 0.1;
+  uint64_t seed = 17;
+  int64_t log_every = 0;  // 0 = silent
+};
+
+class Trainer {
+ public:
+  Trainer(TransformerLM& model, const std::vector<TokenId>& train_stream,
+          TrainConfig config);
+
+  /// Runs the configured number of steps; returns the final running loss.
+  double train();
+
+  /// LR at a given step under warmup + cosine decay.
+  double lr_at(int64_t step) const;
+
+ private:
+  TransformerLM& model_;
+  const std::vector<TokenId>& stream_;
+  TrainConfig config_;
+};
+
+}  // namespace emmark

@@ -1,0 +1,382 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace emmark {
+
+const char* to_string(ArchFamily family) {
+  switch (family) {
+    case ArchFamily::kOptStyle: return "opt-style";
+    case ArchFamily::kLlamaStyle: return "llama-style";
+  }
+  return "?";
+}
+
+void ModelConfig::save(BinaryWriter& w) const {
+  w.write_u32(family == ArchFamily::kOptStyle ? 0u : 1u);
+  w.write_i64(vocab_size);
+  w.write_i64(d_model);
+  w.write_i64(n_layers);
+  w.write_i64(n_heads);
+  w.write_i64(ffn_hidden);
+  w.write_i64(max_seq);
+  w.write_u64(init_seed);
+}
+
+ModelConfig ModelConfig::load(BinaryReader& r) {
+  ModelConfig c;
+  c.family = r.read_u32() == 0u ? ArchFamily::kOptStyle : ArchFamily::kLlamaStyle;
+  c.vocab_size = r.read_i64();
+  c.d_model = r.read_i64();
+  c.n_layers = r.read_i64();
+  c.n_heads = r.read_i64();
+  c.ffn_hidden = r.read_i64();
+  c.max_seq = r.read_i64();
+  c.init_seed = r.read_u64();
+  return c;
+}
+
+TransformerBlock::TransformerBlock(const std::string& name,
+                                   const ModelConfig& config, Rng& rng)
+    : use_rms_(config.family == ArchFamily::kLlamaStyle),
+      ln1_(name + ".ln1", config.d_model),
+      ln2_(name + ".ln2", config.d_model),
+      rms1_(name + ".rms1", config.d_model),
+      rms2_(name + ".rms2", config.d_model),
+      attn_(name + ".attn", config.d_model, config.n_heads,
+            /*use_rope=*/config.family == ArchFamily::kLlamaStyle,
+            config.max_seq, /*bias=*/config.family == ArchFamily::kOptStyle, rng),
+      ffn_(name + ".ffn",
+           config.family == ArchFamily::kOptStyle ? FfnKind::kRelu : FfnKind::kSwiGlu,
+           config.d_model, config.ffn_hidden,
+           /*bias=*/config.family == ArchFamily::kOptStyle, rng) {}
+
+void TransformerBlock::forward(const Tensor& x, int64_t batch, int64_t seq,
+                               Tensor& y) {
+  if (use_rms_) {
+    rms1_.forward(x, cached_norm1_);
+  } else {
+    ln1_.forward(x, cached_norm1_);
+  }
+  attn_.forward(cached_norm1_, batch, seq, cached_attn_);
+  cached_mid_ = x;
+  cached_mid_.add_(cached_attn_);
+
+  if (use_rms_) {
+    rms2_.forward(cached_mid_, cached_norm2_);
+  } else {
+    ln2_.forward(cached_mid_, cached_norm2_);
+  }
+  ffn_.forward(cached_norm2_, cached_ffn_);
+  y = cached_mid_;
+  y.add_(cached_ffn_);
+}
+
+void TransformerBlock::backward(const Tensor& dy, Tensor& dx) {
+  // Second residual: y = mid + ffn(norm2(mid))
+  Tensor dnorm2;
+  ffn_.backward(dy, dnorm2);
+  Tensor dmid;
+  if (use_rms_) {
+    rms2_.backward(dnorm2, dmid);
+  } else {
+    ln2_.backward(dnorm2, dmid);
+  }
+  dmid.add_(dy);
+
+  // First residual: mid = x + attn(norm1(x))
+  Tensor dnorm1;
+  attn_.backward(dmid, dnorm1);
+  if (use_rms_) {
+    rms1_.backward(dnorm1, dx);
+  } else {
+    ln1_.backward(dnorm1, dx);
+  }
+  dx.add_(dmid);
+}
+
+std::vector<Parameter*> TransformerBlock::parameters() {
+  std::vector<Parameter*> out;
+  if (use_rms_) {
+    out.push_back(&rms1_.gamma());
+    out.push_back(&rms2_.gamma());
+  } else {
+    out.push_back(&ln1_.gamma());
+    out.push_back(&ln1_.beta());
+    out.push_back(&ln2_.gamma());
+    out.push_back(&ln2_.beta());
+  }
+  for (Parameter* p : attn_.parameters()) out.push_back(p);
+  for (Parameter* p : ffn_.parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Linear*> TransformerBlock::linears() {
+  std::vector<Linear*> out = attn_.linears();
+  for (Linear* l : ffn_.linears()) out.push_back(l);
+  return out;
+}
+
+namespace {
+Rng make_init_rng(const ModelConfig& config) { return Rng(config.init_seed); }
+}  // namespace
+
+TransformerLM::TransformerLM(const ModelConfig& config)
+    : config_([&] {
+        if (config.vocab_size <= 0) throw std::invalid_argument("vocab_size must be set");
+        if (config.d_model % config.n_heads != 0) {
+          throw std::invalid_argument("d_model must be divisible by n_heads");
+        }
+        return config;
+      }()),
+      tok_emb_([&] {
+        Rng rng = make_init_rng(config_);
+        return Embedding("tok_emb", config_.vocab_size, config_.d_model, rng);
+      }()),
+      pos_emb_([&] {
+        Rng rng(config_.init_seed + 1);
+        return Embedding("pos_emb", config_.max_seq, config_.d_model, rng);
+      }()),
+      final_ln_("final_ln", config_.d_model),
+      final_rms_("final_rms", config_.d_model),
+      lm_head_([&] {
+        Rng rng(config_.init_seed + 2);
+        return Linear("lm_head", config_.d_model, config_.vocab_size,
+                      /*bias=*/false, rng);
+      }()) {
+  Rng rng(config_.init_seed + 3);
+  blocks_.reserve(static_cast<size_t>(config_.n_layers));
+  for (int64_t i = 0; i < config_.n_layers; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        "blocks." + std::to_string(i), config_, rng));
+  }
+}
+
+void TransformerLM::forward_hidden(std::span<const TokenId> tokens, int64_t batch,
+                                   int64_t seq) {
+  if (seq > config_.max_seq) {
+    throw std::invalid_argument("sequence length exceeds model max_seq");
+  }
+  batch_ = batch;
+  seq_ = seq;
+  cached_tokens_.assign(tokens.begin(), tokens.end());
+
+  Tensor x;
+  tok_emb_.forward(tokens, x);
+  if (config_.family == ArchFamily::kOptStyle) {
+    cached_positions_.resize(tokens.size());
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t t = 0; t < seq; ++t) {
+        cached_positions_[static_cast<size_t>(b * seq + t)] = static_cast<TokenId>(t);
+      }
+    }
+    Tensor pos;
+    pos_emb_.forward(cached_positions_, pos);
+    x.add_(pos);
+  }
+
+  for (auto& block : blocks_) {
+    Tensor y;
+    block->forward(x, batch, seq, y);
+    x = std::move(y);
+  }
+  hidden_ = std::move(x);
+  if (config_.family == ArchFamily::kLlamaStyle) {
+    final_rms_.forward(hidden_, final_normed_);
+  } else {
+    final_ln_.forward(hidden_, final_normed_);
+  }
+  lm_head_.forward(final_normed_, logits_);
+}
+
+LossStats TransformerLM::forward_loss(const Batch& batch) {
+  forward_hidden(batch.inputs, batch.batch_size, batch.seq_len);
+  cached_targets_ = batch.targets;
+
+  LossStats stats;
+  const int64_t rows = batch.batch_size * batch.seq_len;
+  std::vector<float> logp(static_cast<size_t>(config_.vocab_size));
+  for (int64_t i = 0; i < rows; ++i) {
+    const TokenId target = cached_targets_[static_cast<size_t>(i)];
+    if (target < 0) continue;
+    log_softmax({logits_.data() + i * config_.vocab_size,
+                 static_cast<size_t>(config_.vocab_size)},
+                logp);
+    stats.nll_sum -= logp[static_cast<size_t>(target)];
+    stats.tokens += 1;
+  }
+  return stats;
+}
+
+void TransformerLM::backward() {
+  const int64_t rows = batch_ * seq_;
+  int64_t count = 0;
+  for (TokenId t : cached_targets_) {
+    if (t >= 0) ++count;
+  }
+  if (count == 0) return;
+
+  // dL/dlogits = (softmax - onehot) / count on real targets, 0 on padding.
+  Tensor dlogits({rows, config_.vocab_size});
+  const float inv = 1.0f / static_cast<float>(count);
+  for (int64_t i = 0; i < rows; ++i) {
+    const TokenId target = cached_targets_[static_cast<size_t>(i)];
+    if (target < 0) continue;
+    float* drow = dlogits.data() + i * config_.vocab_size;
+    const float* lrow = logits_.data() + i * config_.vocab_size;
+    // softmax(lrow) into drow
+    float hi = lrow[0];
+    for (int64_t j = 1; j < config_.vocab_size; ++j) hi = std::max(hi, lrow[j]);
+    float total = 0.0f;
+    for (int64_t j = 0; j < config_.vocab_size; ++j) {
+      drow[j] = std::exp(lrow[j] - hi);
+      total += drow[j];
+    }
+    const float norm = 1.0f / total;
+    for (int64_t j = 0; j < config_.vocab_size; ++j) drow[j] *= norm * inv;
+    drow[target] -= inv;
+  }
+
+  Tensor dfinal;
+  lm_head_.backward(dlogits, dfinal);
+  Tensor dhidden;
+  if (config_.family == ArchFamily::kLlamaStyle) {
+    final_rms_.backward(dfinal, dhidden);
+  } else {
+    final_ln_.backward(dfinal, dhidden);
+  }
+
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    Tensor dx;
+    (*it)->backward(dhidden, dx);
+    dhidden = std::move(dx);
+  }
+
+  tok_emb_.backward(cached_tokens_, dhidden);
+  if (config_.family == ArchFamily::kOptStyle) {
+    pos_emb_.backward(cached_positions_, dhidden);
+  }
+}
+
+Tensor TransformerLM::logits(std::span<const TokenId> tokens) {
+  forward_hidden(tokens, /*batch=*/1, static_cast<int64_t>(tokens.size()));
+  return logits_;
+}
+
+double TransformerLM::option_logprob(const std::vector<TokenId>& context,
+                                     const std::vector<TokenId>& option) {
+  if (context.empty()) throw std::invalid_argument("option_logprob: empty context");
+  std::vector<TokenId> seq = context;
+  seq.insert(seq.end(), option.begin(), option.end());
+  const Tensor all_logits = logits(seq);
+
+  double total = 0.0;
+  std::vector<float> logp(static_cast<size_t>(config_.vocab_size));
+  // Logits at position i predict token i+1; option tokens sit at positions
+  // [context.size(), seq.size()).
+  for (size_t i = context.size(); i < seq.size(); ++i) {
+    const int64_t row = static_cast<int64_t>(i) - 1;
+    log_softmax({all_logits.data() + row * config_.vocab_size,
+                 static_cast<size_t>(config_.vocab_size)},
+                logp);
+    total += logp[static_cast<size_t>(seq[i])];
+  }
+  return total;
+}
+
+std::vector<Parameter*> TransformerLM::parameters() {
+  std::vector<Parameter*> out;
+  out.push_back(&tok_emb_.table());
+  if (config_.family == ArchFamily::kOptStyle) out.push_back(&pos_emb_.table());
+  for (auto& block : blocks_) {
+    for (Parameter* p : block->parameters()) out.push_back(p);
+  }
+  if (config_.family == ArchFamily::kLlamaStyle) {
+    out.push_back(&final_rms_.gamma());
+  } else {
+    out.push_back(&final_ln_.gamma());
+    out.push_back(&final_ln_.beta());
+  }
+  for (Parameter* p : lm_head_.parameters()) out.push_back(p);
+  return out;
+}
+
+int64_t TransformerLM::parameter_count() {
+  int64_t total = 0;
+  for (Parameter* p : parameters()) total += p->numel();
+  return total;
+}
+
+std::vector<LinearRef> TransformerLM::quantizable_linears() {
+  std::vector<LinearRef> out;
+  for (auto& block : blocks_) {
+    for (Linear* l : block->linears()) out.push_back({l->name(), l});
+  }
+  out.push_back({lm_head_.name(), &lm_head_});
+  return out;
+}
+
+std::unique_ptr<TransformerLM> TransformerLM::clone() const {
+  auto copy = std::make_unique<TransformerLM>(config_);
+  auto* self = const_cast<TransformerLM*>(this);  // parameters() is non-const
+  auto src = self->parameters();
+  auto dst = copy->parameters();
+  if (src.size() != dst.size()) throw std::logic_error("clone: parameter count mismatch");
+  for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  return copy;
+}
+
+void TransformerLM::attach_lora_all(int64_t rank, float alpha, uint64_t seed) {
+  uint64_t salt = 0;
+  for (LinearRef& ref : quantizable_linears()) {
+    ref.linear->set_frozen(true);
+    ref.linear->attach_lora(rank, alpha, seed + (++salt));
+  }
+}
+
+namespace {
+constexpr const char* kCheckpointMagic = "EMMCKPT";
+constexpr uint32_t kCheckpointVersion = 2;
+}  // namespace
+
+void TransformerLM::save(const std::string& path) const {
+  BinaryWriter writer(path, kCheckpointMagic, kCheckpointVersion);
+  config_.save(writer);
+  auto* self = const_cast<TransformerLM*>(this);
+  auto params = self->parameters();
+  writer.write_u64(params.size());
+  for (Parameter* p : params) {
+    writer.write_string(p->name);
+    p->value.save(writer);
+  }
+  writer.close();
+}
+
+std::unique_ptr<TransformerLM> TransformerLM::load(const std::string& path) {
+  BinaryReader reader(path, kCheckpointMagic, kCheckpointVersion);
+  const ModelConfig config = ModelConfig::load(reader);
+  auto model = std::make_unique<TransformerLM>(config);
+  auto params = model->parameters();
+  const uint64_t count = reader.read_u64();
+  if (count != params.size()) {
+    throw SerializeError("checkpoint parameter count mismatch in " + path);
+  }
+  for (Parameter* p : params) {
+    const std::string name = reader.read_string();
+    if (name != p->name) {
+      throw SerializeError("checkpoint parameter order mismatch: " + name +
+                           " vs " + p->name);
+    }
+    Tensor value = Tensor::load(reader);
+    if (!value.same_shape(p->value)) {
+      throw SerializeError("checkpoint shape mismatch for " + name);
+    }
+    p->value = std::move(value);
+  }
+  return model;
+}
+
+}  // namespace emmark

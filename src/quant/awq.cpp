@@ -1,0 +1,83 @@
+#include "quant/awq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emmark {
+namespace {
+
+std::vector<float> awq_scales(const std::vector<float>& act_abs_mean, float alpha) {
+  const int64_t cols = static_cast<int64_t>(act_abs_mean.size());
+  float mean = 0.0f;
+  for (float a : act_abs_mean) mean += a;
+  mean = std::max(mean / static_cast<float>(cols), 1e-12f);
+  std::vector<float> s(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    const float ratio = std::max(act_abs_mean[static_cast<size_t>(c)], 1e-8f) / mean;
+    s[static_cast<size_t>(c)] = std::clamp(std::pow(ratio, alpha), 1e-4f, 1e4f);
+  }
+  return s;
+}
+
+QuantizedTensor quantize_scaled(const Tensor& weight, const std::vector<float>& s,
+                                const AwqConfig& config) {
+  const int64_t rows = weight.dim(0);
+  const int64_t cols = weight.dim(1);
+  Tensor scaled = weight;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = scaled.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] *= s[static_cast<size_t>(c)];
+  }
+  QuantizedTensor q = quantize_rtn(scaled, config.bits, config.group_size);
+  q.set_input_scale(s);
+  return q;
+}
+
+double weighted_reconstruction_error(const Tensor& weight, const QuantizedTensor& q,
+                                     const std::vector<float>& act_abs_mean) {
+  const Tensor recon = q.dequantize();
+  const int64_t rows = weight.dim(0);
+  const int64_t cols = weight.dim(1);
+  double err = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* wr = weight.data() + r * cols;
+    const float* qr = recon.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      const double d = static_cast<double>(wr[c]) - qr[c];
+      const double a = act_abs_mean[static_cast<size_t>(c)];
+      err += a * a * d * d;
+    }
+  }
+  return err;
+}
+
+}  // namespace
+
+AwqResult awq(const Tensor& weight, const std::vector<float>& act_abs_mean,
+              const AwqConfig& config) {
+  if (weight.rank() != 2) throw TensorError("awq: rank-2 weight required");
+  if (static_cast<int64_t>(act_abs_mean.size()) != weight.dim(1)) {
+    throw std::invalid_argument("awq: activation stats length mismatch");
+  }
+  if (config.grid_points < 1) throw std::invalid_argument("awq: grid_points must be >= 1");
+
+  AwqResult best;
+  bool have_best = false;
+  for (int64_t g = 0; g <= config.grid_points; ++g) {
+    const float alpha =
+        static_cast<float>(g) / static_cast<float>(config.grid_points);
+    const std::vector<float> s = awq_scales(act_abs_mean, alpha);
+    QuantizedTensor q = quantize_scaled(weight, s, config);
+    const double err = weighted_reconstruction_error(weight, q, act_abs_mean);
+    if (!have_best || err < best.best_error) {
+      best.tensor = std::move(q);
+      best.best_alpha = alpha;
+      best.best_error = err;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace emmark

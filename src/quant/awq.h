@@ -1,0 +1,37 @@
+// AWQ (Lin et al., 2023): activation-aware weight quantization.
+//
+// Salient weight channels (large mean |activation|) are protected by a
+// per-channel scale s_j = (a_j / mean(a))^alpha before group-wise low-bit
+// quantization; alpha is grid-searched to minimize the activation-weighted
+// reconstruction error
+//
+//     err(alpha) = sum_j a_j^2 * || Q(s o W)_j / s_j - W_j ||^2 .
+//
+// The paper quantizes all INT4 models with AWQ, and EmMark's saliency score
+// S_r leans on the same activation statistics.
+#pragma once
+
+#include <vector>
+
+#include "quant/qtensor.h"
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+struct AwqConfig {
+  QuantBits bits = QuantBits::kInt4;
+  int64_t group_size = 16;
+  int64_t grid_points = 20;  // alpha in {0, 1/g, ..., 1}
+};
+
+struct AwqResult {
+  QuantizedTensor tensor;
+  float best_alpha = 0.0f;
+  double best_error = 0.0;
+};
+
+/// `act_abs_mean` is the calibration per-input-channel mean |activation|.
+AwqResult awq(const Tensor& weight, const std::vector<float>& act_abs_mean,
+              const AwqConfig& config);
+
+}  // namespace emmark

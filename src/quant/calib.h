@@ -1,0 +1,56 @@
+// Activation calibration: per-channel statistics of the inputs feeding each
+// quantizable linear layer.
+//
+// These statistics power four consumers:
+//   * SmoothQuant's migration scales,
+//   * LLM.int8()'s outlier-column detection,
+//   * AWQ's activation-aware scale search + GPTQ's Hessian,
+//   * EmMark's robustness score S_r (per-channel |A_f|).
+// Collection runs the *full-precision* model over calibration batches and
+// reads each Linear's cached input -- no hook machinery needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+#include "util/serialize.h"
+
+namespace emmark {
+
+struct LayerActivationStats {
+  std::string name;
+  std::vector<float> abs_mean;  // per input channel, mean |activation|
+  std::vector<float> abs_max;   // per input channel, max |activation|
+  Tensor samples;               // [sample_rows, in] raw input rows (for GPTQ)
+  int64_t observed_rows = 0;
+};
+
+struct ActivationStats {
+  std::vector<LayerActivationStats> layers;  // order = quantizable_linears()
+
+  const LayerActivationStats& find(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  void save(BinaryWriter& w) const;
+  static ActivationStats load(BinaryReader& r);
+};
+
+struct CalibConfig {
+  int64_t batches = 8;
+  int64_t batch_size = 4;
+  int64_t seq_len = 32;
+  uint64_t seed = 23;
+  /// Rows of raw inputs retained per layer for GPTQ's Hessian (0 disables).
+  int64_t max_sample_rows = 256;
+};
+
+/// Runs `model` over windows of `stream` and aggregates per-layer stats.
+ActivationStats collect_activation_stats(TransformerLM& model,
+                                         const std::vector<TokenId>& stream,
+                                         const CalibConfig& config);
+
+}  // namespace emmark

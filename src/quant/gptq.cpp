@@ -1,0 +1,112 @@
+#include "quant/gptq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+
+namespace emmark {
+
+Tensor cholesky(const Tensor& a) {
+  if (a.rank() != 2 || a.dim(0) != a.dim(1)) {
+    throw TensorError("cholesky: square matrix required");
+  }
+  const int64_t n = a.dim(0);
+  Tensor l({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double acc = a.at(i, j);
+      for (int64_t k = 0; k < j; ++k) acc -= static_cast<double>(l.at(i, k)) * l.at(j, k);
+      if (i == j) {
+        if (acc <= 0.0) throw TensorError("cholesky: matrix not positive definite");
+        l.at(i, j) = static_cast<float>(std::sqrt(acc));
+      } else {
+        l.at(i, j) = static_cast<float>(acc / l.at(j, j));
+      }
+    }
+  }
+  return l;
+}
+
+Tensor spd_inverse(const Tensor& a) {
+  const int64_t n = a.dim(0);
+  const Tensor l = cholesky(a);
+  // Solve L Y = I (forward), then L^T X = Y (backward); X = A^-1.
+  Tensor inv({n, n});
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t col = 0; col < n; ++col) {
+    for (int64_t i = 0; i < n; ++i) {
+      double acc = (i == col) ? 1.0 : 0.0;
+      for (int64_t k = 0; k < i; ++k) acc -= static_cast<double>(l.at(i, k)) * y[static_cast<size_t>(k)];
+      y[static_cast<size_t>(i)] = acc / l.at(i, i);
+    }
+    for (int64_t i = n - 1; i >= 0; --i) {
+      double acc = y[static_cast<size_t>(i)];
+      for (int64_t k = i + 1; k < n; ++k) {
+        acc -= static_cast<double>(l.at(k, i)) * inv.at(k, col);
+      }
+      inv.at(i, col) = static_cast<float>(acc / l.at(i, i));
+    }
+  }
+  return inv;
+}
+
+QuantizedTensor gptq(const Tensor& weight, const Tensor& calib_inputs,
+                     const GptqConfig& config) {
+  if (weight.rank() != 2) throw TensorError("gptq: rank-2 weight required");
+  if (calib_inputs.rank() != 2 || calib_inputs.dim(1) != weight.dim(1)) {
+    throw TensorError("gptq: calibration inputs must be [N, in]");
+  }
+  const int64_t rows = weight.dim(0);
+  const int64_t cols = weight.dim(1);
+  const int64_t samples = calib_inputs.dim(0);
+
+  // H = X^T X + damp I.
+  Tensor h({cols, cols});
+  gemm_tn(calib_inputs.data(), calib_inputs.data(), h.data(), cols, samples, cols);
+  double diag_mean = 0.0;
+  for (int64_t i = 0; i < cols; ++i) diag_mean += h.at(i, i);
+  diag_mean /= static_cast<double>(cols);
+  const float damp = static_cast<float>(std::max(config.percdamp * diag_mean, 1e-6));
+  for (int64_t i = 0; i < cols; ++i) h.at(i, i) += damp;
+
+  const Tensor hinv = spd_inverse(h);
+
+  const int64_t gs = config.group_size > 0 ? config.group_size : cols;
+  QuantizedTensor q(rows, cols, config.bits, config.group_size);
+  const float qmax = static_cast<float>(q.qmax());
+
+  // Mutable residual copy of the weights; rounding errors are propagated
+  // into later columns.
+  Tensor w = weight;
+  for (int64_t g = 0; g * gs < cols; ++g) {
+    const int64_t begin = g * gs;
+    const int64_t end = std::min(cols, begin + gs);
+    // Group scales from the current (error-compensated) residual weights.
+    for (int64_t r = 0; r < rows; ++r) {
+      float absmax = 0.0f;
+      for (int64_t c = begin; c < end; ++c) absmax = std::max(absmax, std::fabs(w.at(r, c)));
+      q.set_scale(r, g, absmax > 0.0f ? absmax / qmax : 1e-8f);
+    }
+    for (int64_t c = begin; c < end; ++c) {
+      const float hinv_cc = hinv.at(c, c);
+      for (int64_t r = 0; r < rows; ++r) {
+        const float scale = q.scale(r, c);
+        const float value = w.at(r, c);
+        const int32_t code = std::clamp<int32_t>(
+            static_cast<int32_t>(std::lround(value / scale)), q.qmin(), q.qmax());
+        q.set_code(r, c, static_cast<int8_t>(code));
+        const float dq = static_cast<float>(code) * scale;
+        const float err = (value - dq) / hinv_cc;
+        // Propagate into every remaining column of this row.
+        for (int64_t k = c + 1; k < cols; ++k) {
+          w.at(r, k) -= err * hinv.at(c, k);
+        }
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace emmark

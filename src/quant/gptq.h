@@ -1,0 +1,35 @@
+// GPTQ (Frantar et al., 2022): second-order post-training quantization.
+//
+// Columns are quantized one at a time; the rounding error of each column is
+// propagated into the not-yet-quantized columns using the inverse Hessian
+// H = X^T X + lambda I of the layer's calibration inputs (Cholesky form).
+// This is the "non-WM 4" comparator in the paper's integrity experiment
+// (Table 4): a GPTQ-quantized model must yield ~0% WER under an AWQ-keyed
+// extraction.
+#pragma once
+
+#include "quant/qtensor.h"
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+struct GptqConfig {
+  QuantBits bits = QuantBits::kInt4;
+  int64_t group_size = 16;
+  /// Hessian dampening as a fraction of mean(diag(H)).
+  double percdamp = 0.01;
+};
+
+/// `calib_inputs` is a [N, in] sample of the layer's inputs (from
+/// ActivationStats::samples).
+QuantizedTensor gptq(const Tensor& weight, const Tensor& calib_inputs,
+                     const GptqConfig& config);
+
+/// Cholesky decomposition of a symmetric positive-definite matrix
+/// (lower-triangular L with A = L L^T). Exposed for tests.
+Tensor cholesky(const Tensor& a);
+
+/// Inverse of an SPD matrix via its Cholesky factor. Exposed for tests.
+Tensor spd_inverse(const Tensor& a);
+
+}  // namespace emmark

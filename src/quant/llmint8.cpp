@@ -1,0 +1,61 @@
+#include "quant/llmint8.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace emmark {
+
+QuantizedTensor llmint8(const Tensor& weight,
+                        const std::vector<float>& act_abs_max,
+                        const LlmInt8Config& config) {
+  if (weight.rank() != 2) throw TensorError("llmint8: rank-2 weight required");
+  const int64_t rows = weight.dim(0);
+  const int64_t cols = weight.dim(1);
+  if (static_cast<int64_t>(act_abs_max.size()) != cols) {
+    throw std::invalid_argument("llmint8: activation stats length mismatch");
+  }
+
+  const float mean_act =
+      std::accumulate(act_abs_max.begin(), act_abs_max.end(), 0.0f) /
+      static_cast<float>(cols);
+  const float threshold = config.threshold_scale * std::max(mean_act, 1e-12f);
+
+  std::vector<int32_t> outliers;
+  for (int64_t c = 0; c < cols; ++c) {
+    if (act_abs_max[static_cast<size_t>(c)] >= threshold) {
+      outliers.push_back(static_cast<int32_t>(c));
+    }
+  }
+  const auto max_outliers = static_cast<size_t>(
+      config.max_outlier_fraction * static_cast<float>(cols));
+  if (outliers.size() > max_outliers) {
+    // Keep the strongest channels only.
+    std::sort(outliers.begin(), outliers.end(), [&](int32_t a, int32_t b) {
+      return act_abs_max[static_cast<size_t>(a)] > act_abs_max[static_cast<size_t>(b)];
+    });
+    outliers.resize(max_outliers);
+    std::sort(outliers.begin(), outliers.end());
+  }
+
+  // Zero outlier columns before quantization so they do not inflate the
+  // group scales, then stash their FP weights.
+  Tensor trimmed = weight;
+  Tensor outlier_weights({rows, std::max<int64_t>(1, static_cast<int64_t>(outliers.size()))});
+  if (!outliers.empty()) {
+    outlier_weights = Tensor({rows, static_cast<int64_t>(outliers.size())});
+    for (size_t k = 0; k < outliers.size(); ++k) {
+      const int64_t c = outliers[k];
+      for (int64_t r = 0; r < rows; ++r) {
+        outlier_weights.at(r, static_cast<int64_t>(k)) = weight.at(r, c);
+        trimmed.at(r, c) = 0.0f;
+      }
+    }
+  }
+
+  QuantizedTensor q = quantize_rtn(trimmed, QuantBits::kInt8, config.group_size);
+  if (!outliers.empty()) q.set_outliers(std::move(outliers), std::move(outlier_weights));
+  return q;
+}
+
+}  // namespace emmark

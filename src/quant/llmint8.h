@@ -1,0 +1,30 @@
+// LLM.int8() (Dettmers et al., 2022): mixed-precision decomposition.
+//
+// Input channels whose calibration activation magnitude exceeds a threshold
+// are treated as outliers: their weight columns stay in FP16/FP32 while the
+// rest of the matrix is quantized to INT8. The paper uses this for the
+// LLaMA-2 family INT8 models.
+#pragma once
+
+#include <vector>
+
+#include "quant/qtensor.h"
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+struct LlmInt8Config {
+  /// Channels with act_abs_max >= threshold_scale * mean(act_abs_max) are
+  /// outliers (the original paper uses an absolute 6.0 threshold on hidden
+  /// states; a relative rule is robust to our smaller activations).
+  float threshold_scale = 4.0f;
+  /// Upper bound on the outlier fraction (safety valve).
+  float max_outlier_fraction = 0.1f;
+  int64_t group_size = 0;
+};
+
+QuantizedTensor llmint8(const Tensor& weight,
+                        const std::vector<float>& act_abs_max,
+                        const LlmInt8Config& config);
+
+}  // namespace emmark

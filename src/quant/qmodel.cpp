@@ -1,0 +1,108 @@
+#include "quant/qmodel.h"
+
+#include <stdexcept>
+
+namespace emmark {
+
+const char* to_string(QuantMethod method) {
+  switch (method) {
+    case QuantMethod::kRtnInt8: return "rtn-int8";
+    case QuantMethod::kSmoothQuantInt8: return "smoothquant-int8";
+    case QuantMethod::kLlmInt8: return "llm.int8";
+    case QuantMethod::kRtnInt4: return "rtn-int4";
+    case QuantMethod::kAwqInt4: return "awq-int4";
+    case QuantMethod::kGptqInt4: return "gptq-int4";
+  }
+  return "?";
+}
+
+QuantBits bits_of(QuantMethod method) {
+  switch (method) {
+    case QuantMethod::kRtnInt8:
+    case QuantMethod::kSmoothQuantInt8:
+    case QuantMethod::kLlmInt8:
+      return QuantBits::kInt8;
+    case QuantMethod::kRtnInt4:
+    case QuantMethod::kAwqInt4:
+    case QuantMethod::kGptqInt4:
+      return QuantBits::kInt4;
+  }
+  return QuantBits::kInt8;
+}
+
+QuantizedModel::QuantizedModel(const TransformerLM& fp_model,
+                               const ActivationStats& stats, QuantMethod method,
+                               const QuantOptions& options)
+    : method_(method), base_(fp_model.clone()) {
+  auto linears = base_->quantizable_linears();
+  layers_.reserve(linears.size());
+  for (auto& ref : linears) {
+    const LayerActivationStats& layer_stats = stats.find(ref.name);
+    const Tensor& w = ref.linear->weight().value;
+    QuantizedLayer layer;
+    layer.name = ref.name;
+    switch (method) {
+      case QuantMethod::kRtnInt8:
+        layer.weights = rtn(w, options.rtn_int8);
+        break;
+      case QuantMethod::kSmoothQuantInt8:
+        layer.weights = smoothquant(w, layer_stats.abs_max, options.smooth);
+        break;
+      case QuantMethod::kLlmInt8:
+        layer.weights = llmint8(w, layer_stats.abs_max, options.llmint8);
+        break;
+      case QuantMethod::kRtnInt4:
+        layer.weights = rtn(w, options.rtn_int4);
+        break;
+      case QuantMethod::kAwqInt4:
+        layer.weights = awq(w, layer_stats.abs_mean, options.awq).tensor;
+        break;
+      case QuantMethod::kGptqInt4:
+        layer.weights = gptq(w, layer_stats.samples, options.gptq);
+        break;
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+QuantizedModel::QuantizedModel(const QuantizedModel& other)
+    : method_(other.method_), layers_(other.layers_), base_(other.base_->clone()) {}
+
+QuantizedModel& QuantizedModel::operator=(const QuantizedModel& other) {
+  if (this != &other) {
+    method_ = other.method_;
+    layers_ = other.layers_;
+    base_ = other.base_->clone();
+  }
+  return *this;
+}
+
+const QuantizedLayer& QuantizedModel::find_layer(const std::string& name) const {
+  for (const auto& layer : layers_) {
+    if (layer.name == name) return layer;
+  }
+  throw std::out_of_range("no quantized layer named " + name);
+}
+
+int64_t QuantizedModel::quantized_param_count() const {
+  int64_t total = 0;
+  for (const auto& layer : layers_) total += layer.weights.numel();
+  return total;
+}
+
+std::unique_ptr<TransformerLM> QuantizedModel::materialize() const {
+  auto model = base_->clone();
+  auto linears = model->quantizable_linears();
+  if (linears.size() != layers_.size()) {
+    throw std::logic_error("quantized layer count does not match model");
+  }
+  for (size_t i = 0; i < linears.size(); ++i) {
+    if (linears[i].name != layers_[i].name) {
+      throw std::logic_error("quantized layer order mismatch: " + linears[i].name);
+    }
+    linears[i].linear->weight().value = layers_[i].weights.dequantize();
+  }
+  return model;
+}
+
+}  // namespace emmark

@@ -1,0 +1,167 @@
+#include "quant/qtensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emmark {
+
+const char* to_string(QuantBits bits) {
+  return bits == QuantBits::kInt4 ? "INT4" : "INT8";
+}
+
+int32_t qmax_for(QuantBits bits) {
+  return bits == QuantBits::kInt4 ? 7 : 127;
+}
+
+QuantizedTensor::QuantizedTensor(int64_t rows, int64_t cols, QuantBits bits,
+                                 int64_t group_size)
+    : rows_(rows), cols_(cols), bits_(bits), group_size_(group_size) {
+  if (rows <= 0 || cols <= 0) throw std::invalid_argument("QuantizedTensor: empty shape");
+  if (group_size < 0 || (group_size > 0 && cols % group_size != 0)) {
+    throw std::invalid_argument("QuantizedTensor: cols must be a multiple of group_size");
+  }
+  groups_per_row_ = group_size > 0 ? cols / group_size : 1;
+  codes_.assign(static_cast<size_t>(rows * cols), 0);
+  scales_ = Tensor({rows, groups_per_row_});
+}
+
+void QuantizedTensor::set_code(int64_t row, int64_t col, int8_t value) {
+  set_code_flat(row * cols_ + col, value);
+}
+
+void QuantizedTensor::set_code_flat(int64_t index, int8_t value) {
+  if (value < qmin() || value > qmax()) {
+    throw std::out_of_range("quantized code out of range for " +
+                            std::string(to_string(bits_)));
+  }
+  codes_[static_cast<size_t>(index)] = value;
+}
+
+bool QuantizedTensor::is_saturated(int64_t row, int64_t col) const {
+  return is_saturated_flat(row * cols_ + col);
+}
+
+bool QuantizedTensor::is_saturated_flat(int64_t index) const {
+  const int8_t c = codes_[static_cast<size_t>(index)];
+  return c <= qmin() || c >= qmax();
+}
+
+float QuantizedTensor::scale(int64_t row, int64_t col) const {
+  return scales_.at(row, group_index(col));
+}
+
+void QuantizedTensor::set_scale(int64_t row, int64_t group, float value) {
+  scales_.at(row, group) = value;
+}
+
+void QuantizedTensor::set_input_scale(std::vector<float> s) {
+  if (static_cast<int64_t>(s.size()) != cols_) {
+    throw std::invalid_argument("input_scale size must equal cols");
+  }
+  input_scale_ = std::move(s);
+}
+
+void QuantizedTensor::set_outliers(std::vector<int32_t> cols, Tensor weights) {
+  if (weights.rank() != 2 || weights.dim(0) != rows_ ||
+      weights.dim(1) != static_cast<int64_t>(cols.size())) {
+    throw std::invalid_argument("outlier weights shape mismatch");
+  }
+  outlier_cols_ = std::move(cols);
+  outlier_weights_ = std::move(weights);
+}
+
+bool QuantizedTensor::is_outlier_col(int64_t col) const {
+  return std::find(outlier_cols_.begin(), outlier_cols_.end(),
+                   static_cast<int32_t>(col)) != outlier_cols_.end();
+}
+
+float QuantizedTensor::dequantize_at(int64_t row, int64_t col) const {
+  for (size_t k = 0; k < outlier_cols_.size(); ++k) {
+    if (outlier_cols_[k] == static_cast<int32_t>(col)) {
+      return outlier_weights_.at(row, static_cast<int64_t>(k));
+    }
+  }
+  float w = static_cast<float>(code(row, col)) * scale(row, col);
+  if (!input_scale_.empty()) w /= input_scale_[static_cast<size_t>(col)];
+  return w;
+}
+
+Tensor QuantizedTensor::dequantize() const {
+  Tensor out({rows_, cols_});
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* row = out.data() + r * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      row[c] = static_cast<float>(code(r, c)) * scale(r, c);
+      if (!input_scale_.empty()) row[c] /= input_scale_[static_cast<size_t>(c)];
+    }
+  }
+  // Outlier columns overwrite the quantized path.
+  for (size_t k = 0; k < outlier_cols_.size(); ++k) {
+    const int64_t c = outlier_cols_[k];
+    for (int64_t r = 0; r < rows_; ++r) {
+      out.at(r, c) = outlier_weights_.at(r, static_cast<int64_t>(k));
+    }
+  }
+  return out;
+}
+
+void QuantizedTensor::save(BinaryWriter& w) const {
+  w.write_i64(rows_);
+  w.write_i64(cols_);
+  w.write_u32(static_cast<uint32_t>(bits_));
+  w.write_i64(group_size_);
+  w.write_vector(codes_);
+  scales_.save(w);
+  w.write_vector(input_scale_);
+  w.write_vector(outlier_cols_);
+  outlier_weights_.save(w);
+}
+
+QuantizedTensor QuantizedTensor::load(BinaryReader& r) {
+  const int64_t rows = r.read_i64();
+  const int64_t cols = r.read_i64();
+  const uint32_t bits_raw = r.read_u32();
+  if (bits_raw != 4 && bits_raw != 8) throw SerializeError("bad quant bit width");
+  const int64_t group_size = r.read_i64();
+  QuantizedTensor q(rows, cols, static_cast<QuantBits>(bits_raw), group_size);
+  q.codes_ = r.read_vector<int8_t>();
+  if (static_cast<int64_t>(q.codes_.size()) != rows * cols) {
+    throw SerializeError("quantized code payload mismatch");
+  }
+  q.scales_ = Tensor::load(r);
+  q.input_scale_ = r.read_vector<float>();
+  q.outlier_cols_ = r.read_vector<int32_t>();
+  q.outlier_weights_ = Tensor::load(r);
+  return q;
+}
+
+QuantizedTensor quantize_rtn(const Tensor& w, QuantBits bits, int64_t group_size) {
+  if (w.rank() != 2) throw TensorError("quantize_rtn: rank-2 weight required");
+  const int64_t rows = w.dim(0);
+  const int64_t cols = w.dim(1);
+  QuantizedTensor q(rows, cols, bits, group_size);
+  const int64_t gs = group_size > 0 ? group_size : cols;
+  const float qmax = static_cast<float>(q.qmax());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = w.data() + r * cols;
+    for (int64_t g = 0; g * gs < cols; ++g) {
+      const int64_t begin = g * gs;
+      const int64_t end = std::min(cols, begin + gs);
+      float absmax = 0.0f;
+      for (int64_t c = begin; c < end; ++c) absmax = std::max(absmax, std::fabs(row[c]));
+      // A zero group keeps scale tiny-positive so dequantization is exact 0.
+      const float scale = absmax > 0.0f ? absmax / qmax : 1e-8f;
+      q.set_scale(r, g, scale);
+      for (int64_t c = begin; c < end; ++c) {
+        const float scaled = row[c] / scale;
+        const int32_t code = std::clamp<int32_t>(
+            static_cast<int32_t>(std::lround(scaled)), q.qmin(), q.qmax());
+        q.set_code(r, c, static_cast<int8_t>(code));
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace emmark

@@ -1,0 +1,107 @@
+// Quantized weight tensor: the object EmMark watermarks.
+//
+// Symmetric integer quantization following Eq. 1 of the paper:
+//     q = round(w / scale),  scale = absmax / qmax
+// with group-wise scales along the input (column) dimension. INT4 codes are
+// stored in int8_t slots with range [-7, 7] (symmetric, no -8, matching
+// AWQ-style symmetric grids). Two optional decorations cover the paper's
+// quantizer families:
+//   * input_scale (SmoothQuant / AWQ): effective weight is
+//     dequant(q) / s per column -- i.e. y = (x/s) . (s o W)_q^T.
+//   * outlier columns (LLM.int8()): listed columns bypass quantization and
+//     keep FP weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/serialize.h"
+
+namespace emmark {
+
+enum class QuantBits : int32_t { kInt4 = 4, kInt8 = 8 };
+
+const char* to_string(QuantBits bits);
+
+/// Largest positive code for a bit width (symmetric grid: [-qmax, qmax]).
+int32_t qmax_for(QuantBits bits);
+
+class QuantizedTensor {
+ public:
+  QuantizedTensor() = default;
+  /// Allocates codes/scales for a [rows, cols] weight with `group_size`
+  /// columns per scale group (group_size == 0 means one group per row).
+  QuantizedTensor(int64_t rows, int64_t cols, QuantBits bits, int64_t group_size);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  QuantBits bits() const { return bits_; }
+  int32_t qmin() const { return -qmax_for(bits_); }
+  int32_t qmax() const { return qmax_for(bits_); }
+  int64_t group_size() const { return group_size_; }
+  int64_t groups_per_row() const { return groups_per_row_; }
+
+  // -- codes -----------------------------------------------------------
+  int8_t code(int64_t row, int64_t col) const {
+    return codes_[static_cast<size_t>(row * cols_ + col)];
+  }
+  void set_code(int64_t row, int64_t col, int8_t value);
+  /// Flat accessors (index = row * cols + col) used by the watermark.
+  int8_t code_flat(int64_t index) const { return codes_[static_cast<size_t>(index)]; }
+  void set_code_flat(int64_t index, int8_t value);
+  const std::vector<int8_t>& codes() const { return codes_; }
+
+  /// True when the code sits at the min or max quantization level; EmMark
+  /// excludes such weights so +-1 never clips.
+  bool is_saturated(int64_t row, int64_t col) const;
+  bool is_saturated_flat(int64_t index) const;
+
+  // -- scales / decorations ---------------------------------------------
+  float scale(int64_t row, int64_t col) const;
+  void set_scale(int64_t row, int64_t group, float value);
+
+  bool has_input_scale() const { return !input_scale_.empty(); }
+  const std::vector<float>& input_scale() const { return input_scale_; }
+  void set_input_scale(std::vector<float> s);
+
+  const std::vector<int32_t>& outlier_cols() const { return outlier_cols_; }
+  /// Marks `cols` as FP outliers with the given weights [rows, cols.size()].
+  void set_outliers(std::vector<int32_t> cols, Tensor weights);
+  bool is_outlier_col(int64_t col) const;
+
+  // -- reconstruction ----------------------------------------------------
+  /// Effective FP weight W_eff with all decorations folded in, such that
+  /// y = x . W_eff^T reproduces the quantized layer's forward.
+  Tensor dequantize() const;
+  /// Dequantized value of a single element (0 contribution path for
+  /// outlier columns returns the FP outlier weight).
+  float dequantize_at(int64_t row, int64_t col) const;
+
+  // -- persistence --------------------------------------------------------
+  void save(BinaryWriter& w) const;
+  static QuantizedTensor load(BinaryReader& r);
+
+ private:
+  int64_t group_index(int64_t col) const {
+    return group_size_ > 0 ? col / group_size_ : 0;
+  }
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  QuantBits bits_ = QuantBits::kInt8;
+  int64_t group_size_ = 0;
+  int64_t groups_per_row_ = 1;
+  std::vector<int8_t> codes_;       // [rows * cols]
+  Tensor scales_;                   // [rows, groups_per_row]
+  std::vector<float> input_scale_;  // [cols] or empty
+  std::vector<int32_t> outlier_cols_;
+  Tensor outlier_weights_;          // [rows, outlier_cols.size()]
+};
+
+/// Plain round-to-nearest group-wise quantization of `w` [rows, cols].
+QuantizedTensor quantize_rtn(const Tensor& w, QuantBits bits, int64_t group_size);
+
+}  // namespace emmark

@@ -1,0 +1,9 @@
+#include "quant/rtn.h"
+
+namespace emmark {
+
+QuantizedTensor rtn(const Tensor& weight, const RtnConfig& config) {
+  return quantize_rtn(weight, config.bits, config.group_size);
+}
+
+}  // namespace emmark

@@ -1,0 +1,18 @@
+// Round-to-nearest (RTN) baseline quantizer: Eq. 1 of the paper, applied
+// group-wise with no activation awareness.
+#pragma once
+
+#include "quant/qtensor.h"
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+struct RtnConfig {
+  QuantBits bits = QuantBits::kInt8;
+  /// Columns per scale group; 0 = one scale per output row.
+  int64_t group_size = 0;
+};
+
+QuantizedTensor rtn(const Tensor& weight, const RtnConfig& config);
+
+}  // namespace emmark

@@ -1,0 +1,41 @@
+#include "quant/smoothquant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace emmark {
+
+QuantizedTensor smoothquant(const Tensor& weight,
+                            const std::vector<float>& act_abs_max,
+                            const SmoothQuantConfig& config) {
+  if (weight.rank() != 2) throw TensorError("smoothquant: rank-2 weight required");
+  const int64_t cols = weight.dim(1);
+  if (static_cast<int64_t>(act_abs_max.size()) != cols) {
+    throw std::invalid_argument("smoothquant: activation stats length mismatch");
+  }
+
+  const std::vector<float> w_col_max = column_abs_max(weight);
+  std::vector<float> s(static_cast<size_t>(cols), 1.0f);
+  for (int64_t c = 0; c < cols; ++c) {
+    const float act = std::max(act_abs_max[static_cast<size_t>(c)], 1e-5f);
+    const float wmx = std::max(w_col_max[static_cast<size_t>(c)], 1e-5f);
+    const float value = std::pow(act, config.alpha) /
+                        std::pow(wmx, 1.0f - config.alpha);
+    s[static_cast<size_t>(c)] = std::clamp(value, 1e-4f, 1e4f);
+  }
+
+  // Quantize the smoothed weight s o W.
+  Tensor smoothed = weight;
+  for (int64_t r = 0; r < weight.dim(0); ++r) {
+    float* row = smoothed.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] *= s[static_cast<size_t>(c)];
+  }
+  QuantizedTensor q = quantize_rtn(smoothed, config.bits, config.group_size);
+  q.set_input_scale(std::move(s));
+  return q;
+}
+
+}  // namespace emmark

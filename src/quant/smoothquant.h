@@ -1,0 +1,29 @@
+// SmoothQuant (Xiao et al., ICML'23): migrate activation outliers into the
+// weights through a per-channel equivalent transform
+//
+//     s_j = max|X_j|^alpha / max|W_j|^(1-alpha)
+//     y   = (x / s) . (s o W)^T
+//
+// then quantize the smoothed weight with RTN INT8. The paper uses this for
+// the OPT-family INT8 models.
+#pragma once
+
+#include <vector>
+
+#include "quant/qtensor.h"
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+struct SmoothQuantConfig {
+  float alpha = 0.5f;  // migration strength
+  QuantBits bits = QuantBits::kInt8;
+  int64_t group_size = 0;  // per-row scales by default
+};
+
+/// `act_abs_max` is the calibration per-input-channel max |activation|.
+QuantizedTensor smoothquant(const Tensor& weight,
+                            const std::vector<float>& act_abs_max,
+                            const SmoothQuantConfig& config);
+
+}  // namespace emmark

@@ -1,0 +1,55 @@
+#include "signal/dct.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace emmark {
+
+std::vector<double> dct2(std::span<const double> x) {
+  const size_t n = x.size();
+  std::vector<double> y(n, 0.0);
+  if (n == 0) return y;
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+  for (size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += x[i] * std::cos(std::numbers::pi / static_cast<double>(n) *
+                             (static_cast<double>(i) + 0.5) * static_cast<double>(k));
+    }
+    y[k] = acc * (k == 0 ? norm0 : norm);
+  }
+  return y;
+}
+
+std::vector<double> idct2(std::span<const double> y) {
+  const size_t n = y.size();
+  std::vector<double> x(n, 0.0);
+  if (n == 0) return x;
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    double acc = y[0] * norm0;
+    for (size_t k = 1; k < n; ++k) {
+      acc += y[k] * norm *
+             std::cos(std::numbers::pi / static_cast<double>(n) *
+                      (static_cast<double>(i) + 0.5) * static_cast<double>(k));
+    }
+    x[i] = acc;
+  }
+  return x;
+}
+
+std::vector<float> dct2(std::span<const float> x) {
+  std::vector<double> tmp(x.begin(), x.end());
+  const auto y = dct2(std::span<const double>(tmp));
+  return {y.begin(), y.end()};
+}
+
+std::vector<float> idct2(std::span<const float> y) {
+  std::vector<double> tmp(y.begin(), y.end());
+  const auto x = idct2(std::span<const double>(tmp));
+  return {x.begin(), x.end()};
+}
+
+}  // namespace emmark

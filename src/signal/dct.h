@@ -1,0 +1,24 @@
+// Orthonormal DCT-II and its inverse (DCT-III), the transform SpecMark uses
+// to embed signatures in the spectral domain of weight vectors.
+//
+// O(n^2) direct evaluation: quantization-layer weight vectors in this
+// reproduction are a few thousand elements, where the direct form is both
+// fast enough and trivially correct.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace emmark {
+
+/// y[k] = c_k * sum_n x[n] cos(pi/N * (n + 1/2) * k), orthonormal scaling.
+std::vector<double> dct2(std::span<const double> x);
+
+/// Inverse of dct2 (orthonormal DCT-III).
+std::vector<double> idct2(std::span<const double> y);
+
+/// Convenience float overloads (compute in double, cast back).
+std::vector<float> dct2(std::span<const float> x);
+std::vector<float> idct2(std::span<const float> y);
+
+}  // namespace emmark

@@ -1,0 +1,63 @@
+#include "tensor/gemm.h"
+
+#include <cstring>
+
+namespace emmark {
+
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, bool accumulate) {
+  // C[i][j] = dot(A row i, B row j): both operands stream contiguously.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = accumulate ? c_row[j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float a_val = a_row[i];
+      if (a_val == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2) throw TensorError("matmul: rank-2 tensors required");
+  if (a.dim(1) != b.dim(0)) {
+    throw TensorError("matmul: inner dimensions differ: " + a.shape_string() +
+                      " x " + b.shape_string());
+  }
+  Tensor out({a.dim(0), b.dim(1)});
+  gemm_nn(a.data(), b.data(), out.data(), a.dim(0), a.dim(1), b.dim(1));
+  return out;
+}
+
+}  // namespace emmark

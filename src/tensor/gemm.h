@@ -1,0 +1,33 @@
+// Single-precision GEMM kernels for the transformer substrate.
+//
+// Three layouts cover every matmul in forward and backward passes:
+//   gemm_nn: C += A(M,K)   * B(K,N)
+//   gemm_nt: C += A(M,K)   * B(N,K)^T   (linear forward with row-major W)
+//   gemm_tn: C += A(K,M)^T * B(K,N)     (weight gradients)
+// Plain raw-pointer kernels with an i-k-j loop order that the compiler
+// auto-vectorizes; matrices here are small (<= a few hundred per side), so
+// cache blocking buys nothing measurable.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace emmark {
+
+/// C(M,N) += A(M,K) * B(K,N). `accumulate=false` clears C first.
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, bool accumulate = false);
+
+/// C(M,N) += A(M,K) * B(N,K)^T.
+void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, bool accumulate = false);
+
+/// C(M,N) += A(K,M)^T * B(K,N).
+void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n, bool accumulate = false);
+
+/// out = a(M,K) * b(K,N) with shape checks; convenience for tests.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace emmark

@@ -1,0 +1,100 @@
+#include "util/argparse.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace emmark {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  order_.push_back(name);
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  order_.push_back(name);
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  values_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown option: --%s\n%s", arg.c_str(), usage().c_str());
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[arg] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "option --%s expects a value\n", arg.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto opt = options_.find(name);
+  if (opt == options_.end()) throw std::invalid_argument("unregistered option: " + name);
+  const auto val = values_.find(name);
+  return val == values_.end() ? opt->second.default_value : val->second;
+}
+
+int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    out << "  --" << name;
+    if (!opt.is_flag) out << " <value>";
+    out << "\n      " << opt.help;
+    if (!opt.is_flag) out << " (default: " << opt.default_value << ")";
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace emmark

@@ -1,0 +1,48 @@
+// Tiny command-line parser for the example binaries.
+//
+// Supports `--flag`, `--key value` and `--key=value`. Unknown options are
+// an error so typos do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emmark {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers an option with a default value; `help` is shown by usage().
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Registers a boolean flag (default false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; returns false (after printing usage) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace emmark

@@ -1,0 +1,28 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace emmark {
+
+std::string cache_dir() {
+  std::string dir;
+  if (const char* env = std::getenv("EMMARK_CACHE"); env && *env) {
+    dir = env;
+  } else if (const char* home = std::getenv("HOME"); home && *home) {
+    dir = std::string(home) + "/.cache/emmark";
+  } else {
+    dir = "emmark_cache";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+std::string path_join(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+}  // namespace emmark

@@ -1,0 +1,16 @@
+// Process environment helpers: cache directory resolution.
+#pragma once
+
+#include <string>
+
+namespace emmark {
+
+/// Directory where trained model-zoo checkpoints are cached.
+/// Resolution order: $EMMARK_CACHE, then $HOME/.cache/emmark, then
+/// ./emmark_cache. The directory is created if missing.
+std::string cache_dir();
+
+/// Join two path fragments with '/'.
+std::string path_join(const std::string& a, const std::string& b);
+
+}  // namespace emmark

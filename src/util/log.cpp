@@ -1,0 +1,74 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <mutex>
+
+#include <algorithm>
+#include <cctype>
+
+namespace emmark {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+void init_from_env() {
+  if (const char* env = std::getenv("EMMARK_LOG")) {
+    g_level.store(parse_log_level(env));
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load();
+}
+
+void set_log_level(LogLevel level) {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(level);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_emit(LogLevel /*level*/, const char* tag, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[emmark %s] %s\n", tag, message.c_str());
+}
+
+std::string log_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace emmark

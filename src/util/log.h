@@ -1,0 +1,41 @@
+// Minimal leveled logger used across the EmMark libraries.
+//
+// The logger writes to stderr so that bench binaries can print clean,
+// machine-readable tables on stdout. Level is process-global and can be
+// overridden with the EMMARK_LOG environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace emmark {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse a level name ("info", "DEBUG", ...); unknown names map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const char* tag, const std::string& message);
+std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define EMMARK_LOG_AT(level, tag, ...)                                     \
+  do {                                                                     \
+    if (static_cast<int>(level) >= static_cast<int>(::emmark::log_level())) \
+      ::emmark::detail::log_emit(level, tag,                               \
+                                 ::emmark::detail::log_format(__VA_ARGS__)); \
+  } while (0)
+
+#define EMMARK_TRACE(...) EMMARK_LOG_AT(::emmark::LogLevel::kTrace, "TRACE", __VA_ARGS__)
+#define EMMARK_DEBUG(...) EMMARK_LOG_AT(::emmark::LogLevel::kDebug, "DEBUG", __VA_ARGS__)
+#define EMMARK_INFO(...)  EMMARK_LOG_AT(::emmark::LogLevel::kInfo,  "INFO ", __VA_ARGS__)
+#define EMMARK_WARN(...)  EMMARK_LOG_AT(::emmark::LogLevel::kWarn,  "WARN ", __VA_ARGS__)
+#define EMMARK_ERROR(...) EMMARK_LOG_AT(::emmark::LogLevel::kError, "ERROR", __VA_ARGS__)
+
+}  // namespace emmark

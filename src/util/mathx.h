@@ -1,0 +1,39 @@
+// Numeric helpers: log-domain binomial tails (watermark strength, Eq. 8 of
+// the paper), log-sum-exp, and small statistics utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emmark {
+
+/// log(n!) via lgamma.
+double log_factorial(int64_t n);
+
+/// log C(n, k); requires 0 <= k <= n.
+double log_binomial_coefficient(int64_t n, int64_t k);
+
+/// log10 of the binomial tail  P[X >= k],  X ~ Binomial(n, 0.5).
+///
+/// This is Eq. 8 of the paper: the probability that a non-watermarked model
+/// matches at least `k` of `n` signature bits by chance. Computed fully in
+/// the log domain so n in the thousands is fine (the paper quotes values
+/// down to 1e-5760).
+double log10_binomial_tail_half(int64_t n, int64_t k);
+
+/// Convenience: the tail as a double (0 when it underflows).
+double binomial_tail_half(int64_t n, int64_t k);
+
+/// log(sum(exp(x_i))) computed stably.
+double log_sum_exp(const std::vector<double>& xs);
+
+/// Mean of a vector (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation (0 for fewer than 2 elements).
+double stddev(const std::vector<double>& xs);
+
+/// Percentile in [0, 100] using linear interpolation on a copy of xs.
+double percentile(std::vector<double> xs, double pct);
+
+}  // namespace emmark

@@ -1,0 +1,152 @@
+// Deterministic, fast random number generation.
+//
+// EmMark's security story depends on *reproducible* pseudo-randomness: the
+// watermark location set must be exactly re-derivable from the secret seed.
+// std::mt19937 distributions are not guaranteed bit-identical across
+// standard library implementations, so we ship our own xoshiro256++ engine
+// plus the handful of distributions the project needs. Everything here is
+// header-only and allocation-free.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace emmark {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+inline uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ by Blackman & Vigna. Period 2^256-1, passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Unbiased uniform integer in [0, bound) via Lemire rejection.
+  uint64_t next_below(uint64_t bound) {
+    if (bound == 0) return 0;
+    uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t next_int(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double next_normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_ = radius * std::sin(angle);
+    has_cached_ = true;
+    return radius * std::cos(angle);
+  }
+
+  float next_normal_f(float mean = 0.0f, float stddev = 1.0f) {
+    return mean + stddev * static_cast<float>(next_normal());
+  }
+
+  /// Rademacher variate: +1 or -1 with equal probability.
+  int next_sign() { return (next_u64() & 1ull) ? 1 : -1; }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(next_below(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> sample_indices(size_t n, size_t k) {
+    k = std::min(k, n);
+    // Partial Fisher-Yates over an index vector: O(n) memory, O(n + k) time.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + static_cast<size_t>(next_below(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  /// Weighted choice over non-negative weights; returns index.
+  size_t next_weighted(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = next_double() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace emmark

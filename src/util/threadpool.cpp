@@ -1,0 +1,91 @@
+#include "util/threadpool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace emmark {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(size_t count,
+                              const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  const size_t threads = workers_.size();
+  if (threads <= 1 || count < 2) {
+    fn(0, count);
+    return;
+  }
+  const size_t chunks = std::min(threads, count);
+  const size_t base = count / chunks;
+  const size_t extra = count % chunks;
+
+  std::atomic<size_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    const size_t end = begin + len;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([&, begin, end] {
+        fn(begin, end);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+    wake_.notify_one();
+    begin = end;
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("EMMARK_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<size_t>(n);
+    }
+    return static_cast<size_t>(0);
+  }());
+  return pool;
+}
+
+}  // namespace emmark

@@ -1,0 +1,48 @@
+// Small fixed-size thread pool with a parallel_for helper.
+//
+// Training the model-zoo transformers is the only compute-heavy part of the
+// reproduction; batch rows are independent, so a static block partition is
+// enough. The pool is created once and reused (thread creation dominates
+// tiny workloads otherwise).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace emmark {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Runs fn(begin, end) over a static partition of [0, count) and blocks
+  /// until every chunk finished. Runs inline when the pool has one thread
+  /// or the range is tiny.
+  void parallel_for(size_t count, const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide shared pool (sized from EMMARK_THREADS or the hardware).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace emmark

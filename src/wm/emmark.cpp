@@ -1,0 +1,236 @@
+#include "wm/emmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/mathx.h"
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-layer RNG: mixes the key seed with the layer index so placements in
+/// one layer are independent of every other layer's geometry.
+Rng layer_rng(uint64_t seed, size_t layer_index) {
+  uint64_t state = seed;
+  (void)splitmix64(state);
+  return Rng(state + 0x9e3779b97f4a7c15ull * (layer_index + 1));
+}
+
+}  // namespace
+
+int64_t WatermarkRecord::total_bits() const {
+  int64_t total = 0;
+  for (const auto& layer : layers) total += static_cast<int64_t>(layer.bits.size());
+  return total;
+}
+
+namespace {
+constexpr const char* kRecordMagic = "EMMWMRC";
+constexpr uint32_t kRecordVersion = 1;
+}  // namespace
+
+void WatermarkRecord::save(BinaryWriter& w) const {
+  key.save(w);
+  w.write_u64(layers.size());
+  for (const auto& layer : layers) {
+    w.write_string(layer.layer_name);
+    w.write_vector(layer.locations);
+    w.write_vector(layer.bits);
+  }
+}
+
+WatermarkRecord WatermarkRecord::load(BinaryReader& r) {
+  WatermarkRecord record;
+  record.key = WatermarkKey::load(r);
+  const uint64_t count = r.read_u64();
+  record.layers.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LayerWatermark layer;
+    layer.layer_name = r.read_string();
+    layer.locations = r.read_vector<int64_t>();
+    layer.bits = r.read_vector<int8_t>();
+    record.layers.push_back(std::move(layer));
+  }
+  return record;
+}
+
+double ExtractionReport::strength_log10() const {
+  if (total_bits <= 0) return 0.0;
+  return log10_binomial_tail_half(total_bits, matched_bits);
+}
+
+std::vector<double> EmMark::score_layer(const QuantizedTensor& weights,
+                                        const std::vector<float>& act,
+                                        double alpha, double beta) {
+  const int64_t rows = weights.rows();
+  const int64_t cols = weights.cols();
+  if (static_cast<int64_t>(act.size()) != cols) {
+    throw std::invalid_argument("score_layer: activation channel count mismatch");
+  }
+
+  // Eq. 4 ingredients: per-channel saliency normalization.
+  float act_max = -std::numeric_limits<float>::infinity();
+  float act_min = std::numeric_limits<float>::infinity();
+  for (float a : act) {
+    act_max = std::max(act_max, a);
+    act_min = std::min(act_min, a);
+  }
+
+  std::vector<double> s_r(static_cast<size_t>(cols), kInf);
+  for (int64_t c = 0; c < cols; ++c) {
+    const double denom = static_cast<double>(act[static_cast<size_t>(c)]) - act_min;
+    s_r[static_cast<size_t>(c)] =
+        denom > 0.0 ? std::fabs(static_cast<double>(act_max) / denom) : kInf;
+  }
+
+  std::vector<double> scores(static_cast<size_t>(rows * cols), kInf);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t flat = r * cols + c;
+      // Structural exclusions, regardless of coefficients: saturated
+      // weights are "set to 0 before scoring" (paper) so S_q = |b/0| = inf;
+      // zero codes likewise; outlier FP columns (LLM.int8()) hold no
+      // integer code to watermark at all.
+      if (weights.is_saturated_flat(flat)) continue;
+      const int8_t code = weights.code_flat(flat);
+      if (code == 0) continue;
+      if (weights.is_outlier_col(c)) continue;
+      // Zero-weighted terms are absent from Eq. 2 rather than 0 * inf
+      // (which would be NaN): with beta = 0 an activation-minimum channel
+      // is still insertable, with alpha = 0 magnitude is ignored.
+      double combined = 0.0;
+      if (alpha != 0.0) {
+        combined += alpha / std::fabs(static_cast<double>(code));  // |b| = 1
+      }
+      if (beta != 0.0) {
+        const double s_r_c = s_r[static_cast<size_t>(c)];
+        if (std::isinf(s_r_c)) continue;  // channel excluded by Eq. 4
+        combined += beta * s_r_c;
+      }
+      scores[static_cast<size_t>(flat)] = combined;
+    }
+  }
+  return scores;
+}
+
+std::vector<LayerWatermark> EmMark::derive(const QuantizedModel& original,
+                                           const ActivationStats& stats,
+                                           const WatermarkKey& key) {
+  if (key.bits_per_layer <= 0) {
+    throw std::invalid_argument("bits_per_layer must be positive");
+  }
+  std::vector<LayerWatermark> layers;
+  layers.reserve(static_cast<size_t>(original.num_layers()));
+
+  for (int64_t i = 0; i < original.num_layers(); ++i) {
+    const QuantizedLayer& layer = original.layer(i);
+    const LayerActivationStats& act = stats.find(layer.name);
+    const std::vector<double> scores =
+        score_layer(layer.weights, act.abs_mean, key.alpha, key.beta);
+
+    // Candidate pool: |B_c| smallest finite scores.
+    const int64_t pool_target = key.candidate_ratio * key.bits_per_layer;
+    std::vector<int64_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    // Deterministic total order: score, then index (ties broken stably).
+    const int64_t pool_size = std::min<int64_t>(pool_target,
+                                                static_cast<int64_t>(order.size()));
+    std::partial_sort(order.begin(), order.begin() + pool_size, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        const double sa = scores[static_cast<size_t>(a)];
+                        const double sb = scores[static_cast<size_t>(b)];
+                        if (sa != sb) return sa < sb;
+                        return a < b;
+                      });
+    std::vector<int64_t> pool;
+    pool.reserve(static_cast<size_t>(pool_size));
+    for (int64_t p = 0; p < pool_size; ++p) {
+      if (std::isinf(scores[static_cast<size_t>(order[static_cast<size_t>(p)])])) break;
+      pool.push_back(order[static_cast<size_t>(p)]);
+    }
+    if (static_cast<int64_t>(pool.size()) < key.bits_per_layer) {
+      throw std::runtime_error("layer " + layer.name +
+                               " has too few watermarkable weights (" +
+                               std::to_string(pool.size()) + " < " +
+                               std::to_string(key.bits_per_layer) + ")");
+    }
+
+    // Secret-seeded subset of the candidate pool (Section 4.1, seed d).
+    Rng rng = layer_rng(key.seed, static_cast<size_t>(i));
+    const std::vector<size_t> picks =
+        rng.sample_indices(pool.size(), static_cast<size_t>(key.bits_per_layer));
+
+    LayerWatermark wm;
+    wm.layer_name = layer.name;
+    wm.locations.reserve(picks.size());
+    for (size_t p : picks) wm.locations.push_back(pool[p]);
+    // Keep locations sorted so insertion order is canonical; the signature
+    // bits are generated per layer from the signature seed.
+    std::sort(wm.locations.begin(), wm.locations.end());
+    wm.bits = rademacher_signature(key.signature_seed + static_cast<uint64_t>(i),
+                                   key.bits_per_layer);
+    layers.push_back(std::move(wm));
+  }
+  return layers;
+}
+
+WatermarkRecord EmMark::insert(QuantizedModel& model, const ActivationStats& stats,
+                               const WatermarkKey& key) {
+  WatermarkRecord record;
+  record.key = key;
+  record.layers = derive(model, stats, key);
+
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    const LayerWatermark& wm = record.layers[i];
+    QuantizedTensor& weights = model.layer(static_cast<int64_t>(i)).weights;
+    for (size_t j = 0; j < wm.locations.size(); ++j) {
+      const int64_t flat = wm.locations[j];
+      const int8_t original = weights.code_flat(flat);
+      // Eq. 5: W'[L_i] = W[L_i] + b_i. Candidates are never saturated, so
+      // the sum stays strictly inside the quantization grid.
+      weights.set_code_flat(flat, static_cast<int8_t>(original + wm.bits[j]));
+    }
+  }
+  return record;
+}
+
+ExtractionReport EmMark::extract(const QuantizedModel& suspect,
+                                 const QuantizedModel& original,
+                                 const ActivationStats& stats,
+                                 const WatermarkKey& key) {
+  WatermarkRecord record;
+  record.key = key;
+  record.layers = derive(original, stats, key);
+  return extract_with_record(suspect, original, record);
+}
+
+ExtractionReport EmMark::extract_with_record(const QuantizedModel& suspect,
+                                             const QuantizedModel& original,
+                                             const WatermarkRecord& record) {
+  if (suspect.num_layers() != original.num_layers()) {
+    throw std::invalid_argument("extract: model layer count mismatch");
+  }
+  ExtractionReport report;
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    const LayerWatermark& wm = record.layers[i];
+    const QuantizedTensor& w_suspect = suspect.layer(static_cast<int64_t>(i)).weights;
+    const QuantizedTensor& w_original = original.layer(static_cast<int64_t>(i)).weights;
+    for (size_t j = 0; j < wm.locations.size(); ++j) {
+      const int64_t flat = wm.locations[j];
+      // Eq. 6: dW = W'[L] - W[L]; a bit matches when dW equals b exactly.
+      const int32_t delta = static_cast<int32_t>(w_suspect.code_flat(flat)) -
+                            static_cast<int32_t>(w_original.code_flat(flat));
+      if (delta == static_cast<int32_t>(wm.bits[j])) ++report.matched_bits;
+      ++report.total_bits;
+    }
+  }
+  return report;
+}
+
+}  // namespace emmark

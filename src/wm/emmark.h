@@ -1,0 +1,98 @@
+// EmMark: the paper's core contribution.
+//
+// Watermark insertion (Section 4.1):
+//   1. Score every quantized weight W_i of every quantization layer:
+//        S = alpha * S_q + beta * S_r                      (Eq. 2)
+//        S_q = |b / W_i|                                   (Eq. 3)
+//        S_r = |max(A_f) / (A_f_i - min(A_f))|             (Eq. 4)
+//      where A_f_i is the full-precision activation magnitude of the
+//      weight's input channel. Weights at the min/max quantization level
+//      (and zero-valued weights) score infinity -- never selected, so a
+//      +-1 insertion can never clip or dominate.
+//   2. Keep the |B_c| smallest-scoring weights per layer as candidates,
+//      pick bits_per_layer of them uniformly with secret seed d, and add
+//      the signature bit:  W'[L_i] = W[L_i] + b_i          (Eq. 5)
+//
+// Watermark extraction (Section 4.2): re-derive L from (seed, original W,
+// A_f, alpha, beta), compute dW = W'[L] - W[L] (Eq. 6) and report
+// WER = 100 * |matches| / |B| (Eq. 7). Watermarking strength follows the
+// Rademacher tail bound (Eq. 8), exposed via strength_log10().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/calib.h"
+#include "quant/qmodel.h"
+#include "wm/signature.h"
+
+namespace emmark {
+
+/// Watermark placement for one quantization layer.
+struct LayerWatermark {
+  std::string layer_name;
+  std::vector<int64_t> locations;  // flat indices (row * cols + col)
+  std::vector<int8_t> bits;        // +-1 signature bits, aligned with locations
+};
+
+/// Everything the owner retains: the key plus the derived placement
+/// (re-derivable, stored for convenience and audit).
+struct WatermarkRecord {
+  WatermarkKey key;
+  std::vector<LayerWatermark> layers;
+
+  int64_t total_bits() const;
+  void save(BinaryWriter& w) const;
+  static WatermarkRecord load(BinaryReader& r);
+};
+
+/// Result of comparing a suspect model against the original.
+struct ExtractionReport {
+  int64_t matched_bits = 0;
+  int64_t total_bits = 0;
+
+  double wer_pct() const {
+    return total_bits > 0
+               ? 100.0 * static_cast<double>(matched_bits) / static_cast<double>(total_bits)
+               : 0.0;
+  }
+  /// log10 of the probability a chance model matches >= matched_bits of
+  /// total_bits (Eq. 8); -inf-ish large negative numbers mean strong proof.
+  double strength_log10() const;
+};
+
+class EmMark {
+ public:
+  /// Eq. 2-4 scores for one layer; +inf marks excluded weights. `act` is
+  /// the layer's per-input-channel full-precision activation magnitude.
+  static std::vector<double> score_layer(const QuantizedTensor& weights,
+                                         const std::vector<float>& act,
+                                         double alpha, double beta);
+
+  /// Deterministically derives watermark locations + signature bits for
+  /// every layer of `original` (the pre-watermark model).
+  static std::vector<LayerWatermark> derive(const QuantizedModel& original,
+                                            const ActivationStats& stats,
+                                            const WatermarkKey& key);
+
+  /// Inserts the watermark into `model` (in place) and returns the record.
+  /// `model` must be the original (non-watermarked) quantized model.
+  static WatermarkRecord insert(QuantizedModel& model,
+                                const ActivationStats& stats,
+                                const WatermarkKey& key);
+
+  /// Extraction with full re-derivation (paper Section 4.2): `original` is
+  /// the owner's retained pre-watermark model.
+  static ExtractionReport extract(const QuantizedModel& suspect,
+                                  const QuantizedModel& original,
+                                  const ActivationStats& stats,
+                                  const WatermarkKey& key);
+
+  /// Extraction against an explicit record (locations already derived).
+  static ExtractionReport extract_with_record(const QuantizedModel& suspect,
+                                              const QuantizedModel& original,
+                                              const WatermarkRecord& record);
+};
+
+}  // namespace emmark

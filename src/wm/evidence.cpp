@@ -1,0 +1,112 @@
+#include "wm/evidence.h"
+
+namespace emmark {
+
+uint64_t fnv1a64(const void* data, size_t size, uint64_t seed) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+uint64_t digest_model_codes(const QuantizedModel& model) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    const auto& layer = model.layer(i);
+    hash = fnv1a64(layer.name.data(), layer.name.size(), hash);
+    const auto& codes = layer.weights.codes();
+    hash = fnv1a64(codes.data(), codes.size(), hash);
+  }
+  return hash;
+}
+
+uint64_t digest_stats(const ActivationStats& stats) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const auto& layer : stats.layers) {
+    hash = fnv1a64(layer.name.data(), layer.name.size(), hash);
+    hash = fnv1a64(layer.abs_mean.data(), layer.abs_mean.size() * sizeof(float), hash);
+  }
+  return hash;
+}
+
+OwnershipEvidence OwnershipEvidence::create(std::string owner,
+                                            const WatermarkRecord& record,
+                                            const QuantizedModel& original,
+                                            const ActivationStats& stats,
+                                            uint64_t created_unix) {
+  OwnershipEvidence evidence;
+  evidence.owner = std::move(owner);
+  evidence.key = record.key;
+  evidence.record = record;
+  evidence.original_digest = digest_model_codes(original);
+  evidence.stats_digest = digest_stats(stats);
+  evidence.created_unix = created_unix;
+  return evidence;
+}
+
+bool OwnershipEvidence::verify(const QuantizedModel& suspect,
+                               const QuantizedModel& original,
+                               const ActivationStats& stats, double min_wer_pct,
+                               std::string* why) const {
+  auto fail = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (digest_model_codes(original) != original_digest) {
+    return fail("presented original model does not match the filed digest");
+  }
+  if (digest_stats(stats) != stats_digest) {
+    return fail("presented activation stats do not match the filed digest");
+  }
+  // Re-derive locations from the presented artifacts; they must equal the
+  // filed record (tamper evidence on the record itself).
+  const auto derived = EmMark::derive(original, stats, key);
+  if (derived.size() != record.layers.size()) {
+    return fail("re-derived layer count mismatch");
+  }
+  for (size_t i = 0; i < derived.size(); ++i) {
+    if (derived[i].locations != record.layers[i].locations ||
+        derived[i].bits != record.layers[i].bits) {
+      return fail("filed record does not re-derive from the presented artifacts");
+    }
+  }
+  const ExtractionReport report =
+      EmMark::extract_with_record(suspect, original, record);
+  if (report.wer_pct() < min_wer_pct) {
+    return fail("signature does not extract from the suspect model");
+  }
+  if (why != nullptr) *why = "verified";
+  return true;
+}
+
+namespace {
+constexpr const char* kEvidenceMagic = "EMMEVID";
+constexpr uint32_t kEvidenceVersion = 1;
+}  // namespace
+
+void OwnershipEvidence::save(const std::string& path) const {
+  BinaryWriter writer(path, kEvidenceMagic, kEvidenceVersion);
+  writer.write_string(owner);
+  record.save(writer);  // includes the key
+  writer.write_u64(original_digest);
+  writer.write_u64(stats_digest);
+  writer.write_u64(created_unix);
+  writer.close();
+}
+
+OwnershipEvidence OwnershipEvidence::load(const std::string& path) {
+  BinaryReader reader(path, kEvidenceMagic, kEvidenceVersion);
+  OwnershipEvidence evidence;
+  evidence.owner = reader.read_string();
+  evidence.record = WatermarkRecord::load(reader);
+  evidence.key = evidence.record.key;
+  evidence.original_digest = reader.read_u64();
+  evidence.stats_digest = reader.read_u64();
+  evidence.created_unix = reader.read_u64();
+  return evidence;
+}
+
+}  // namespace emmark

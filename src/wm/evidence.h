@@ -1,0 +1,56 @@
+// Ownership evidence bundle: everything a proprietor files away at
+// deployment time, in one serializable artifact with integrity digests.
+//
+// The paper's extraction needs four retained inputs (seed/coefficients,
+// original quantized weights, full-precision activations, signature). This
+// bundle packages the key + derived record together with FNV-1a digests of
+// the original model's codes and the activation statistics, so an arbiter
+// can verify that the artifacts presented at dispute time are the ones the
+// evidence was created from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "quant/calib.h"
+#include "quant/qmodel.h"
+#include "wm/emmark.h"
+
+namespace emmark {
+
+/// 64-bit FNV-1a over arbitrary bytes (content fingerprinting, not crypto;
+/// a production deployment would swap in SHA-256 here).
+uint64_t fnv1a64(const void* data, size_t size, uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Digest of every layer's integer codes (order-sensitive).
+uint64_t digest_model_codes(const QuantizedModel& model);
+
+/// Digest of the per-layer activation statistics.
+uint64_t digest_stats(const ActivationStats& stats);
+
+struct OwnershipEvidence {
+  std::string owner;
+  WatermarkKey key;
+  WatermarkRecord record;
+  uint64_t original_digest = 0;  // digest of the pre-watermark model codes
+  uint64_t stats_digest = 0;     // digest of the FP activation stats
+  uint64_t created_unix = 0;     // caller-supplied timestamp
+
+  /// Builds evidence after an EmMark::insert() call.
+  static OwnershipEvidence create(std::string owner, const WatermarkRecord& record,
+                                  const QuantizedModel& original,
+                                  const ActivationStats& stats,
+                                  uint64_t created_unix);
+
+  /// Checks that the presented artifacts match the filed digests and that
+  /// the signature extracts from `suspect`. Returns a human-readable
+  /// failure reason via `why` when the verdict is false.
+  bool verify(const QuantizedModel& suspect, const QuantizedModel& original,
+              const ActivationStats& stats, double min_wer_pct,
+              std::string* why = nullptr) const;
+
+  void save(const std::string& path) const;
+  static OwnershipEvidence load(const std::string& path);
+};
+
+}  // namespace emmark

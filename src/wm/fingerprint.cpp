@@ -1,0 +1,70 @@
+#include "wm/fingerprint.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace emmark {
+
+WatermarkKey Fingerprinter::device_key(const WatermarkKey& base,
+                                       const std::string& device_id) {
+  // Stable, collision-resistant-enough derivation for fleet sizes; the
+  // device id acts as a public salt on the owner's secret base key.
+  const uint64_t salt = std::hash<std::string>{}(device_id);
+  WatermarkKey key = base;
+  key.seed = base.seed ^ (salt * 0x9e3779b97f4a7c15ull + 1);
+  key.signature_seed = base.signature_seed ^ (salt * 0xbf58476d1ce4e5b9ull + 7);
+  return key;
+}
+
+FingerprintSet Fingerprinter::enroll(const QuantizedModel& original,
+                                     const ActivationStats& stats,
+                                     const WatermarkKey& base,
+                                     const std::vector<std::string>& device_ids,
+                                     std::vector<QuantizedModel>& out_models) {
+  if (device_ids.empty()) throw std::invalid_argument("enroll: no device ids");
+  FingerprintSet set;
+  set.devices.reserve(device_ids.size());
+  out_models.clear();
+  out_models.reserve(device_ids.size());
+  for (const std::string& id : device_ids) {
+    DeviceFingerprint fp;
+    fp.device_id = id;
+    fp.key = device_key(base, id);
+    QuantizedModel device_model = original;
+    fp.record = EmMark::insert(device_model, stats, fp.key);
+    out_models.push_back(std::move(device_model));
+    set.devices.push_back(std::move(fp));
+  }
+  return set;
+}
+
+TraceResult Fingerprinter::trace(const QuantizedModel& suspect,
+                                 const QuantizedModel& original,
+                                 const FingerprintSet& set,
+                                 double min_wer_pct) {
+  TraceResult result;
+  double best = -1.0;
+  double second = -1.0;
+  double best_strength = 0.0;
+  std::string best_id;
+  for (const DeviceFingerprint& fp : set.devices) {
+    const ExtractionReport report =
+        EmMark::extract_with_record(suspect, original, fp.record);
+    const double wer = report.wer_pct();
+    if (wer > best) {
+      second = best;
+      best = wer;
+      best_id = fp.device_id;
+      best_strength = report.strength_log10();
+    } else if (wer > second) {
+      second = wer;
+    }
+  }
+  result.wer_pct = best < 0 ? 0.0 : best;
+  result.runner_up_wer_pct = second < 0 ? 0.0 : second;
+  result.strength_log10 = best_strength;
+  if (best >= min_wer_pct) result.device_id = best_id;
+  return result;
+}
+
+}  // namespace emmark

@@ -1,0 +1,66 @@
+// Fleet fingerprinting: per-device EmMark signatures with traitor tracing.
+//
+// Extension beyond the paper's single-signature setting (in the spirit of
+// DeepMarks [Chen et al., ICMR'19], which the paper builds on): a vendor
+// shipping the same base model to N devices gives every device its own
+// (seed, signature) pair. A leaked dump can then be traced back to the
+// device it came from by extracting every enrolled fingerprint and taking
+// the (overwhelmingly separated) best match.
+//
+// Each device's locations derive from a distinct seed, so no two devices
+// share a placement; colluding devices diffing their dumps see only each
+// other's bits, never a third party's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/calib.h"
+#include "quant/qmodel.h"
+#include "wm/emmark.h"
+
+namespace emmark {
+
+struct DeviceFingerprint {
+  std::string device_id;
+  WatermarkKey key;        // per-device seed + signature seed
+  WatermarkRecord record;  // derived placement (audit trail)
+};
+
+struct FingerprintSet {
+  std::vector<DeviceFingerprint> devices;
+};
+
+struct TraceResult {
+  std::string device_id;  // best-matching device ("" if nothing passes)
+  double wer_pct = 0.0;
+  double runner_up_wer_pct = 0.0;
+  /// log10 chance probability of the winning match (Eq. 8).
+  double strength_log10 = 0.0;
+};
+
+class Fingerprinter {
+ public:
+  /// Derives per-device keys from `base` (seed/signature_seed offset by a
+  /// device index hash) and returns one watermarked model per device id.
+  /// `original` stays untouched.
+  static FingerprintSet enroll(const QuantizedModel& original,
+                               const ActivationStats& stats,
+                               const WatermarkKey& base,
+                               const std::vector<std::string>& device_ids,
+                               std::vector<QuantizedModel>& out_models);
+
+  /// Extracts every enrolled fingerprint from `suspect` and returns the
+  /// best match. `min_wer_pct` gates the verdict.
+  static TraceResult trace(const QuantizedModel& suspect,
+                           const QuantizedModel& original,
+                           const FingerprintSet& set,
+                           double min_wer_pct = 90.0);
+
+  /// Per-device key derivation (exposed for tests).
+  static WatermarkKey device_key(const WatermarkKey& base,
+                                 const std::string& device_id);
+};
+
+}  // namespace emmark

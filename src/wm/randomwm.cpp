@@ -1,0 +1,62 @@
+#include "wm/randomwm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace emmark {
+
+WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
+                                 int64_t bits_per_layer, uint64_t signature_seed) {
+  WatermarkRecord record;
+  record.key.seed = seed;
+  record.key.bits_per_layer = bits_per_layer;
+  record.key.signature_seed = signature_seed;
+  record.key.alpha = 0.0;
+  record.key.beta = 0.0;
+
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    QuantizedTensor& weights = model.layer(i).weights;
+    // Eligible = not saturated and not an FP outlier column.
+    std::vector<int64_t> eligible;
+    eligible.reserve(static_cast<size_t>(weights.numel()));
+    const int64_t cols = weights.cols();
+    for (int64_t flat = 0; flat < weights.numel(); ++flat) {
+      if (weights.is_saturated_flat(flat)) continue;
+      if (weights.is_outlier_col(flat % cols)) continue;
+      eligible.push_back(flat);
+    }
+    if (static_cast<int64_t>(eligible.size()) < bits_per_layer) {
+      throw std::runtime_error("RandomWM: not enough eligible weights in layer " +
+                               model.layer(i).name);
+    }
+
+    Rng rng(seed + 0x1234 + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull);
+    const std::vector<size_t> picks =
+        rng.sample_indices(eligible.size(), static_cast<size_t>(bits_per_layer));
+
+    LayerWatermark wm;
+    wm.layer_name = model.layer(i).name;
+    for (size_t p : picks) wm.locations.push_back(eligible[p]);
+    std::sort(wm.locations.begin(), wm.locations.end());
+    wm.bits = rademacher_signature(signature_seed + static_cast<uint64_t>(i),
+                                   bits_per_layer);
+
+    for (size_t j = 0; j < wm.locations.size(); ++j) {
+      const int8_t original = weights.code_flat(wm.locations[j]);
+      weights.set_code_flat(wm.locations[j],
+                            static_cast<int8_t>(original + wm.bits[j]));
+    }
+    record.layers.push_back(std::move(wm));
+  }
+  return record;
+}
+
+ExtractionReport RandomWM::extract(const QuantizedModel& suspect,
+                                   const QuantizedModel& original,
+                                   const WatermarkRecord& record) {
+  return EmMark::extract_with_record(suspect, original, record);
+}
+
+}  // namespace emmark

@@ -1,0 +1,30 @@
+// RandomWM baseline (paper Table 1): signature bits are inserted at
+// uniformly random weight positions -- no sensitivity scoring, no saliency.
+//
+// One refinement keeps the baseline honest: saturated codes are skipped so
+// that +-1 insertions never clip (clipped bits would be unextractable and
+// RandomWM reports 100% WER in the paper). Everything else -- including the
+// tendency to land on tiny or zero-valued weights whose one-step change is
+// large relative to their magnitude -- is left as-is, which is exactly what
+// degrades INT4 quality in Table 1.
+#pragma once
+
+#include "quant/qmodel.h"
+#include "wm/emmark.h"
+
+namespace emmark {
+
+class RandomWM {
+ public:
+  /// Inserts `bits_per_layer` random-position bits per layer.
+  static WatermarkRecord insert(QuantizedModel& model, uint64_t seed,
+                                int64_t bits_per_layer,
+                                uint64_t signature_seed = 424242);
+
+  /// Extraction mechanics are shared with EmMark (delta comparison).
+  static ExtractionReport extract(const QuantizedModel& suspect,
+                                  const QuantizedModel& original,
+                                  const WatermarkRecord& record);
+};
+
+}  // namespace emmark

@@ -1,0 +1,34 @@
+#include "wm/signature.h"
+
+#include "util/rng.h"
+
+namespace emmark {
+
+void WatermarkKey::save(BinaryWriter& w) const {
+  w.write_u64(seed);
+  w.write_f64(alpha);
+  w.write_f64(beta);
+  w.write_i64(bits_per_layer);
+  w.write_i64(candidate_ratio);
+  w.write_u64(signature_seed);
+}
+
+WatermarkKey WatermarkKey::load(BinaryReader& r) {
+  WatermarkKey key;
+  key.seed = r.read_u64();
+  key.alpha = r.read_f64();
+  key.beta = r.read_f64();
+  key.bits_per_layer = r.read_i64();
+  key.candidate_ratio = r.read_i64();
+  key.signature_seed = r.read_u64();
+  return key;
+}
+
+std::vector<int8_t> rademacher_signature(uint64_t seed, int64_t length) {
+  Rng rng(seed);
+  std::vector<int8_t> bits(static_cast<size_t>(length));
+  for (auto& b : bits) b = static_cast<int8_t>(rng.next_sign());
+  return bits;
+}
+
+}  // namespace emmark

@@ -1,0 +1,36 @@
+// Watermark keys and Rademacher signature sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.h"
+
+namespace emmark {
+
+/// The owner's secret watermarking key. Together with the original
+/// quantized weights and the full-precision activation statistics it fully
+/// determines the watermark locations (paper Section 4.1).
+struct WatermarkKey {
+  /// Random seed `d` for selecting the per-layer signature subset from the
+  /// candidate pool (the paper uses 100 in all experiments).
+  uint64_t seed = 100;
+  /// Scoring coefficients of Eq. 2 (paper default 0.5 / 0.5).
+  double alpha = 0.5;
+  double beta = 0.5;
+  /// Signature bits inserted per quantization layer (|B| / n).
+  int64_t bits_per_layer = 12;
+  /// Candidate pool multiplier: |B_c| = candidate_ratio * bits_per_layer
+  /// (the paper's |B_c| * n / |B| -- 50 for small models, 60 for large).
+  int64_t candidate_ratio = 50;
+  /// Seed generating the Rademacher signature sequence B.
+  uint64_t signature_seed = 424242;
+
+  void save(BinaryWriter& w) const;
+  static WatermarkKey load(BinaryReader& r);
+};
+
+/// i.i.d. +-1 bits (Rademacher distribution, paper Eq. 8 assumption).
+std::vector<int8_t> rademacher_signature(uint64_t seed, int64_t length);
+
+}  // namespace emmark

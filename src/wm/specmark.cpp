@@ -1,0 +1,132 @@
+#include "wm/specmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/dct.h"
+#include "util/rng.h"
+#include "wm/signature.h"
+
+namespace emmark {
+namespace {
+
+int64_t chunk_count(int64_t numel) {
+  return (numel + SpecMark::kChunkSize - 1) / SpecMark::kChunkSize;
+}
+
+std::vector<double> chunk_codes(const QuantizedTensor& weights, int64_t chunk) {
+  const int64_t begin = chunk * SpecMark::kChunkSize;
+  const int64_t end = std::min(weights.numel(), begin + SpecMark::kChunkSize);
+  std::vector<double> xs(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    xs[static_cast<size_t>(i - begin)] = static_cast<double>(weights.code_flat(i));
+  }
+  return xs;
+}
+
+}  // namespace
+
+int64_t SpecMarkRecord::total_bits() const {
+  int64_t total = 0;
+  for (const auto& layer : layers) total += static_cast<int64_t>(layer.bits.size());
+  return total;
+}
+
+SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
+                                int64_t bits_per_layer, double epsilon,
+                                double highfreq_fraction) {
+  SpecMarkRecord record;
+  record.seed = seed;
+  record.epsilon = epsilon;
+
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    QuantizedTensor& weights = model.layer(i).weights;
+    const int64_t chunks = chunk_count(weights.numel());
+    Rng rng(seed + 0x5eed + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull);
+
+    SpecMarkLayer layer;
+    layer.layer_name = model.layer(i).name;
+    layer.bits = rademacher_signature(seed + 77 + static_cast<uint64_t>(i),
+                                      bits_per_layer);
+
+    // Distribute bits over chunks round-robin; each perturbs one seeded
+    // coefficient in its chunk's high-frequency band.
+    std::vector<std::vector<std::pair<int64_t, int8_t>>> per_chunk(
+        static_cast<size_t>(chunks));
+    for (int64_t j = 0; j < bits_per_layer; ++j) {
+      const int64_t chunk = j % chunks;
+      const int64_t begin = chunk * kChunkSize;
+      const int64_t len = std::min(weights.numel(), begin + kChunkSize) - begin;
+      const int64_t band_begin =
+          static_cast<int64_t>(static_cast<double>(len) * (1.0 - highfreq_fraction));
+      const int64_t band_size = std::max<int64_t>(1, len - band_begin);
+      const int64_t local =
+          band_begin + static_cast<int64_t>(rng.next_below(
+                           static_cast<uint64_t>(band_size)));
+      per_chunk[static_cast<size_t>(chunk)].emplace_back(
+          local, layer.bits[static_cast<size_t>(j)]);
+      layer.coefficients.push_back(begin + local);
+    }
+
+    for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+      const auto& edits = per_chunk[static_cast<size_t>(chunk)];
+      if (edits.empty()) continue;
+      const int64_t begin = chunk * kChunkSize;
+      std::vector<double> x = chunk_codes(weights, chunk);
+      std::vector<double> y = dct2(std::span<const double>(x));
+      for (const auto& [local, bit] : edits) {
+        y[static_cast<size_t>(local)] += epsilon * static_cast<double>(bit);
+      }
+      // Back to the weight domain -- and back onto the integer grid. This
+      // rounding is what a quantized deployment forces, and what erases
+      // the spectral perturbation.
+      const std::vector<double> perturbed = idct2(std::span<const double>(y));
+      for (size_t k = 0; k < perturbed.size(); ++k) {
+        const int32_t code = std::clamp<int32_t>(
+            static_cast<int32_t>(std::lround(perturbed[k])), weights.qmin(),
+            weights.qmax());
+        weights.set_code_flat(begin + static_cast<int64_t>(k),
+                              static_cast<int8_t>(code));
+      }
+    }
+    record.layers.push_back(std::move(layer));
+  }
+  return record;
+}
+
+SpecMarkReport SpecMark::extract(const QuantizedModel& suspect,
+                                 const QuantizedModel& original,
+                                 const SpecMarkRecord& record) {
+  SpecMarkReport report;
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    const SpecMarkLayer& layer = record.layers[i];
+    const QuantizedTensor& ws = suspect.layer(static_cast<int64_t>(i)).weights;
+    const QuantizedTensor& wo = original.layer(static_cast<int64_t>(i)).weights;
+
+    // Transform only chunks that hold coefficients; cache per chunk.
+    std::vector<std::vector<double>> ys_cache(
+        static_cast<size_t>(chunk_count(ws.numel())));
+    std::vector<std::vector<double>> yo_cache(ys_cache.size());
+    for (size_t j = 0; j < layer.coefficients.size(); ++j) {
+      const int64_t global = layer.coefficients[j];
+      const int64_t chunk = global / kChunkSize;
+      const int64_t local = global % kChunkSize;
+      auto& ys = ys_cache[static_cast<size_t>(chunk)];
+      auto& yo = yo_cache[static_cast<size_t>(chunk)];
+      if (ys.empty()) {
+        ys = dct2(std::span<const double>(chunk_codes(ws, chunk)));
+        yo = dct2(std::span<const double>(chunk_codes(wo, chunk)));
+      }
+      const double delta = ys[static_cast<size_t>(local)] -
+                           yo[static_cast<size_t>(local)];
+      const double expected = record.epsilon * static_cast<double>(layer.bits[j]);
+      const bool survived = std::fabs(delta) >= 0.5 * std::fabs(expected) &&
+                            ((delta > 0) == (expected > 0));
+      if (survived) ++report.matched_bits;
+      ++report.total_bits;
+    }
+  }
+  return report;
+}
+
+}  // namespace emmark

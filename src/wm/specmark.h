@@ -1,0 +1,69 @@
+// SpecMark baseline (Chen et al., INTERSPEECH'20), adapted to quantized
+// weights the way the paper's Table 1 does.
+//
+// SpecMark embeds signatures as small additive perturbations on
+// high-frequency DCT coefficients of the weight vector. On full-precision
+// models this works; on an integer grid the perturbed weights must be
+// rounded back to codes, which erases perturbations far below one
+// quantization step -- the mechanism behind SpecMark's 0% WER row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/qmodel.h"
+
+namespace emmark {
+
+struct SpecMarkLayer {
+  std::string layer_name;
+  /// Global coefficient index = chunk_index * chunk_size + local index.
+  /// Layers are transformed in fixed-size chunks (see SpecMark::kChunkSize)
+  /// so the O(n^2) direct DCT stays tractable on large layers; the
+  /// embedding is still a high-frequency spectral additive per chunk.
+  std::vector<int64_t> coefficients;
+  std::vector<int8_t> bits;
+};
+
+struct SpecMarkRecord {
+  uint64_t seed = 0;
+  double epsilon = 0.0;
+  std::vector<SpecMarkLayer> layers;
+
+  int64_t total_bits() const;
+};
+
+struct SpecMarkReport {
+  int64_t matched_bits = 0;
+  int64_t total_bits = 0;
+  double wer_pct() const {
+    return total_bits > 0
+               ? 100.0 * static_cast<double>(matched_bits) / static_cast<double>(total_bits)
+               : 0.0;
+  }
+};
+
+class SpecMark {
+ public:
+  /// Layers are DCT-transformed in chunks of this many codes; keeps the
+  /// direct O(n^2) transform fast on 10^4+-element layers while preserving
+  /// the scheme's mechanics (the original operates on full-precision
+  /// parameter vectors of similar magnitudes).
+  static constexpr int64_t kChunkSize = 2048;
+
+  /// Embeds epsilon*b on `bits_per_layer` seeded coefficients in the top
+  /// `highfreq_fraction` of the spectrum, then re-rounds to the integer
+  /// grid (the step that defeats the scheme on quantized models).
+  static SpecMarkRecord insert(QuantizedModel& model, uint64_t seed,
+                               int64_t bits_per_layer, double epsilon = 0.05,
+                               double highfreq_fraction = 0.25);
+
+  /// A bit survives if the suspect-vs-original DCT delta at its coefficient
+  /// has the right sign and at least half the embedded magnitude.
+  static SpecMarkReport extract(const QuantizedModel& suspect,
+                                const QuantizedModel& original,
+                                const SpecMarkRecord& record);
+};
+
+}  // namespace emmark

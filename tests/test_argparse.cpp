@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "util/argparse.h"
+
+namespace emmark {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("tool", "test tool");
+  parser.add_option("model", "opt-125m-sim", "model name");
+  parser.add_option("bits", "12", "bits per layer");
+  parser.add_option("alpha", "0.5", "scoring alpha");
+  parser.add_flag("verbose", "chatty output");
+  return parser;
+}
+
+TEST(ArgParse, DefaultsApply) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get("model"), "opt-125m-sim");
+  EXPECT_EQ(parser.get_int("bits"), 12);
+  EXPECT_DOUBLE_EQ(parser.get_double("alpha"), 0.5);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParse, SpaceSeparatedValues) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--model", "llama2-7b-sim", "--bits", "40"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get("model"), "llama2-7b-sim");
+  EXPECT_EQ(parser.get_int("bits"), 40);
+}
+
+TEST(ArgParse, EqualsSeparatedValues) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--alpha=0.25", "--verbose"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_DOUBLE_EQ(parser.get_double("alpha"), 0.25);
+  EXPECT_TRUE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParse, UnknownOptionFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--bogus", "1"};
+  EXPECT_FALSE(parser.parse(3, argv));
+}
+
+TEST(ArgParse, MissingValueFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--bits"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParse, PositionalArgumentFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "oops"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParse, HelpReturnsFalse) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParse, UnregisteredGetThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get("nope"), std::invalid_argument);
+}
+
+TEST(ArgParse, UsageMentionsOptions) {
+  auto parser = make_parser();
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--model"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,188 @@
+// Attack suite: overwriting, re-watermarking, pruning, LoRA fine-tuning.
+#include <gtest/gtest.h>
+
+#include "attack/lora_attack.h"
+#include "attack/overwrite.h"
+#include "attack/prune.h"
+#include "attack/rewatermark.h"
+#include "wm/emmark.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+TEST(OverwriteAttack, PerturbsRequestedCount) {
+  WmFixture f;
+  QuantizedModel attacked = *f.quantized;
+  OverwriteConfig config;
+  config.per_layer = 50;
+  overwrite_attack(attacked, config);
+  for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
+    const auto& before = f.quantized->layer(i).weights.codes();
+    const auto& after = attacked.layer(i).weights.codes();
+    int64_t changed = 0;
+    for (size_t j = 0; j < before.size(); ++j) {
+      if (before[j] != after[j]) ++changed;
+    }
+    // A random replacement can coincide with the old code (p = 1/15 on the
+    // INT4 grid), so changed is bounded by per_layer but close to it.
+    EXPECT_LE(changed, 50);
+    EXPECT_GE(changed, 35);
+  }
+}
+
+TEST(OverwriteAttack, FlipModeMovesExactlyOneLevel) {
+  WmFixture f;
+  QuantizedModel attacked = *f.quantized;
+  OverwriteConfig config;
+  config.per_layer = 200;
+  config.mode = OverwriteMode::kFlipOneLevel;
+  overwrite_attack(attacked, config);
+  for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
+    const auto& before = f.quantized->layer(i).weights.codes();
+    const auto& after = attacked.layer(i).weights.codes();
+    for (size_t j = 0; j < before.size(); ++j) {
+      EXPECT_LE(std::abs(static_cast<int>(before[j]) - after[j]), 1);
+    }
+  }
+}
+
+TEST(OverwriteAttack, WatermarkSurvivesModerateOverwrite) {
+  WmFixture f;
+  WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+
+  QuantizedModel attacked = watermarked;
+  OverwriteConfig config;
+  // ~5% of the smallest layer. On paper-scale layers (10^6 weights) the
+  // same absolute count would be ~0.01% and WER stays >99%; the survival
+  // rate scales with the un-hit fraction.
+  config.per_layer = 60;
+  overwrite_attack(attacked, config);
+
+  const ExtractionReport report =
+      EmMark::extract_with_record(attacked, *f.quantized, record);
+  EXPECT_GT(report.wer_pct(), 85.0);
+}
+
+TEST(OverwriteAttack, MassiveOverwriteDegradesWer) {
+  WmFixture f;
+  WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  QuantizedModel attacked = watermarked;
+  OverwriteConfig config;
+  config.per_layer = 2048;  // every weight in a 32x64 layer
+  overwrite_attack(attacked, config);
+  const ExtractionReport report =
+      EmMark::extract_with_record(attacked, *f.quantized, record);
+  EXPECT_LT(report.wer_pct(), 90.0);
+}
+
+TEST(RewatermarkAttack, OwnerSignatureSurvives) {
+  WmFixture f;
+  WatermarkKey owner_key;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord owner_record =
+      EmMark::insert(watermarked, f.stats, owner_key);
+
+  // Adversary collects activations from the deployed (quantized) model.
+  auto deployed_fp = watermarked.materialize();
+  CalibConfig calib;
+  calib.batches = 4;
+  calib.seq_len = 16;
+  const ActivationStats adversary_stats =
+      collect_activation_stats(*deployed_fp, f.corpus.train, calib);
+
+  QuantizedModel attacked = watermarked;
+  RewatermarkConfig config;  // paper: alpha=1, beta=1.5, seed=22
+  const WatermarkRecord adversary_record =
+      rewatermark_attack(attacked, adversary_stats, config);
+
+  // Owner still extracts (Figure 2b shows > 95%).
+  const ExtractionReport owner_report =
+      EmMark::extract_with_record(attacked, *f.quantized, owner_record);
+  EXPECT_GT(owner_report.wer_pct(), 90.0);
+
+  // The adversary's own bits also extract against their reference -- that
+  // is expected; precedence is resolved by the arbiter (test_forge).
+  const ExtractionReport adv_report =
+      EmMark::extract_with_record(attacked, watermarked, adversary_record);
+  EXPECT_DOUBLE_EQ(adv_report.wer_pct(), 100.0);
+}
+
+TEST(PruneAttack, ZeroesRequestedFraction) {
+  WmFixture f;
+  QuantizedModel pruned = *f.quantized;
+  PruneConfig config;
+  config.fraction = 0.5;
+  prune_attack(pruned, config);
+  for (int64_t i = 0; i < pruned.num_layers(); ++i) {
+    const auto& codes = pruned.layer(i).weights.codes();
+    int64_t zeros = 0;
+    for (int8_t c : codes) {
+      if (c == 0) ++zeros;
+    }
+    EXPECT_GE(zeros, static_cast<int64_t>(codes.size()) / 2);
+  }
+}
+
+TEST(PruneAttack, WatermarkOutlivesUniformExpectation) {
+  // The paper's argument: pruning as a removal attack is self-defeating.
+  // Magnitude pruning kills small codes first; EmMark's S_q term biases
+  // bits toward *large* codes, so the watermark survives at a higher rate
+  // than the pruned fraction would suggest (while the model collapses --
+  // covered by bench_nonattacks on a trained model).
+  WmFixture f;
+  WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  QuantizedModel pruned = watermarked;
+  PruneConfig config;
+  config.fraction = 0.6;
+  prune_attack(pruned, config);
+  const ExtractionReport report =
+      EmMark::extract_with_record(pruned, *f.quantized, record);
+  // Uniform placement would lose ~60% of bits; EmMark keeps clearly more.
+  EXPECT_GT(report.wer_pct(), 45.0);
+  // The match rate stays above the coin-flip chance line.
+  EXPECT_LT(report.strength_log10(), -1.0);
+}
+
+TEST(LoraAttack, QuantizedWeightsUntouchedAndWatermarkIntact) {
+  WmFixture f;
+  WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+
+  LoraAttackConfig config;
+  config.steps = 30;
+  config.seq_len = 16;
+  const LoraAttackResult result =
+      lora_finetune_attack(watermarked, f.corpus.train, config);
+
+  EXPECT_TRUE(result.quantized_weights_unchanged);
+  EXPECT_LT(result.final_loss, result.initial_loss);  // adapters did learn
+  const ExtractionReport report =
+      EmMark::extract_with_record(watermarked, *f.quantized, record);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
+}
+
+TEST(LoraAttack, AdaptedModelHasAdapters) {
+  WmFixture f;
+  LoraAttackConfig config;
+  config.steps = 5;
+  config.seq_len = 16;
+  const LoraAttackResult result =
+      lora_finetune_attack(*f.quantized, f.corpus.train, config);
+  for (auto& ref : result.adapted_model->quantizable_linears()) {
+    EXPECT_TRUE(ref.linear->has_lora());
+    EXPECT_TRUE(ref.linear->frozen());
+  }
+}
+
+}  // namespace
+}  // namespace emmark

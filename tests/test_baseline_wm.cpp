@@ -1,0 +1,132 @@
+// RandomWM and SpecMark baselines: extraction behaviour matching Table 1.
+#include <gtest/gtest.h>
+
+#include "wm/randomwm.h"
+#include "wm/specmark.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+TEST(RandomWM, InsertExtractPerfect) {
+  WmFixture f;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = RandomWM::insert(watermarked, 5, 12);
+  const ExtractionReport report =
+      RandomWM::extract(watermarked, *f.quantized, record);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
+}
+
+TEST(RandomWM, AvoidsSaturatedPositions) {
+  WmFixture f;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = RandomWM::insert(watermarked, 6, 12);
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    const auto& weights = f.quantized->layer(static_cast<int64_t>(i)).weights;
+    for (int64_t loc : record.layers[i].locations) {
+      EXPECT_FALSE(weights.is_saturated_flat(loc));
+    }
+  }
+}
+
+TEST(RandomWM, LocationsDifferFromEmMark) {
+  // RandomWM ignores scoring, so its positions should rarely coincide with
+  // EmMark's (which concentrate on salient large-magnitude weights).
+  WmFixture f;
+  QuantizedModel a = *f.quantized;
+  QuantizedModel b = *f.quantized;
+  const WatermarkRecord random_record = RandomWM::insert(a, 5, 12);
+  WatermarkKey key;
+  key.seed = 5;
+  const WatermarkRecord emmark_record = EmMark::insert(b, f.stats, key);
+
+  int64_t overlap = 0, total = 0;
+  for (size_t i = 0; i < random_record.layers.size(); ++i) {
+    const auto& r = random_record.layers[i].locations;
+    const auto& e = emmark_record.layers[i].locations;
+    for (int64_t loc : r) {
+      ++total;
+      if (std::binary_search(e.begin(), e.end(), loc)) ++overlap;
+    }
+  }
+  EXPECT_LT(overlap * 5, total);  // < 20% overlap
+}
+
+TEST(RandomWM, DeterministicPerSeed) {
+  WmFixture f;
+  QuantizedModel a = *f.quantized;
+  QuantizedModel b = *f.quantized;
+  const WatermarkRecord ra = RandomWM::insert(a, 9, 8);
+  const WatermarkRecord rb = RandomWM::insert(b, 9, 8);
+  for (size_t i = 0; i < ra.layers.size(); ++i) {
+    EXPECT_EQ(ra.layers[i].locations, rb.layers[i].locations);
+  }
+}
+
+// The headline SpecMark result (Table 1): on quantized weights the spectral
+// watermark is destroyed by re-rounding -- 0% WER -- while the model itself
+// is unchanged.
+TEST(SpecMark, FailsOnQuantizedWeightsInt4) {
+  WmFixture f(QuantMethod::kAwqInt4);
+  QuantizedModel watermarked = *f.quantized;
+  const SpecMarkRecord record = SpecMark::insert(watermarked, 3, 12, 0.05);
+  const SpecMarkReport report =
+      SpecMark::extract(watermarked, *f.quantized, record);
+  EXPECT_EQ(report.matched_bits, 0);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
+}
+
+TEST(SpecMark, FailsOnQuantizedWeightsInt8) {
+  WmFixture f(QuantMethod::kSmoothQuantInt8);
+  QuantizedModel watermarked = *f.quantized;
+  const SpecMarkRecord record = SpecMark::insert(watermarked, 3, 12, 0.05);
+  const SpecMarkReport report =
+      SpecMark::extract(watermarked, *f.quantized, record);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
+}
+
+TEST(SpecMark, ModelUnchangedBySubStepPerturbation) {
+  // Sub-half-step spectral additions round back to the original codes, so
+  // the "watermarked" model is bit-identical -- SpecMark's 0 PPL delta row.
+  WmFixture f;
+  QuantizedModel watermarked = *f.quantized;
+  SpecMark::insert(watermarked, 7, 12, 0.05);
+  for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
+    EXPECT_EQ(watermarked.layer(i).weights.codes(),
+              f.quantized->layer(i).weights.codes())
+        << "layer " << i;
+  }
+}
+
+TEST(SpecMark, LargeEpsilonWouldSurviveButDamagesWeights) {
+  // Sanity check of the mechanism: a multi-step epsilon does survive
+  // rounding (and would wreck the model) -- confirming that the 0% WER at
+  // small epsilon is a rounding effect, not an extraction bug.
+  WmFixture f;
+  QuantizedModel watermarked = *f.quantized;
+  const SpecMarkRecord record = SpecMark::insert(watermarked, 11, 12, /*epsilon=*/40.0);
+  const SpecMarkReport report =
+      SpecMark::extract(watermarked, *f.quantized, record);
+  EXPECT_GT(report.wer_pct(), 50.0);
+  int64_t changed = 0;
+  for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
+    const auto& a = watermarked.layer(i).weights.codes();
+    const auto& b = f.quantized->layer(i).weights.codes();
+    for (size_t j = 0; j < a.size(); ++j) {
+      if (a[j] != b[j]) ++changed;
+    }
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST(SpecMark, RecordBitCount) {
+  WmFixture f;
+  QuantizedModel watermarked = *f.quantized;
+  const SpecMarkRecord record = SpecMark::insert(watermarked, 3, 10);
+  EXPECT_EQ(record.total_bits(), 10 * f.quantized->num_layers());
+}
+
+}  // namespace
+}  // namespace emmark

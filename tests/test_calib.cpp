@@ -1,0 +1,123 @@
+// Activation calibration over a real (untrained) model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/corpus.h"
+#include "quant/calib.h"
+
+namespace emmark {
+namespace {
+
+struct CalibFixture {
+  CalibFixture() {
+    ModelConfig config;
+    config.family = ArchFamily::kOptStyle;
+    config.vocab_size = synth_vocab().size();
+    config.d_model = 16;
+    config.n_layers = 2;
+    config.n_heads = 2;
+    config.ffn_hidden = 32;
+    config.max_seq = 24;
+    model = std::make_unique<TransformerLM>(config);
+    CorpusConfig cc;
+    cc.train_tokens = 4000;
+    corpus = make_corpus(synth_vocab(), cc);
+  }
+  std::unique_ptr<TransformerLM> model;
+  Corpus corpus;
+};
+
+TEST(Calib, OneStatsEntryPerQuantizableLinear) {
+  CalibFixture f;
+  CalibConfig config;
+  config.batches = 3;
+  config.seq_len = 16;
+  const ActivationStats stats =
+      collect_activation_stats(*f.model, f.corpus.train, config);
+  const auto linears = f.model->quantizable_linears();
+  ASSERT_EQ(stats.layers.size(), linears.size());
+  for (size_t i = 0; i < linears.size(); ++i) {
+    EXPECT_EQ(stats.layers[i].name, linears[i].name);
+    EXPECT_EQ(static_cast<int64_t>(stats.layers[i].abs_mean.size()),
+              linears[i].linear->in_features());
+    EXPECT_TRUE(stats.has(linears[i].name));
+  }
+  EXPECT_FALSE(stats.has("nonexistent"));
+  EXPECT_THROW(stats.find("nonexistent"), std::out_of_range);
+}
+
+TEST(Calib, StatsAreUsefulMagnitudes) {
+  CalibFixture f;
+  CalibConfig config;
+  config.batches = 4;
+  config.seq_len = 16;
+  const ActivationStats stats =
+      collect_activation_stats(*f.model, f.corpus.train, config);
+  for (const auto& layer : stats.layers) {
+    float mean_total = 0.0f;
+    for (size_t c = 0; c < layer.abs_mean.size(); ++c) {
+      EXPECT_GE(layer.abs_mean[c], 0.0f);
+      EXPECT_GE(layer.abs_max[c], layer.abs_mean[c] - 1e-5f) << layer.name;
+      mean_total += layer.abs_mean[c];
+    }
+    EXPECT_GT(mean_total, 0.0f) << layer.name << " saw no activations";
+    EXPECT_GT(layer.observed_rows, 0);
+  }
+}
+
+TEST(Calib, SampleRowsBoundedAndShaped) {
+  CalibFixture f;
+  CalibConfig config;
+  config.batches = 6;
+  config.batch_size = 4;
+  config.seq_len = 16;
+  config.max_sample_rows = 50;
+  const ActivationStats stats =
+      collect_activation_stats(*f.model, f.corpus.train, config);
+  for (const auto& layer : stats.layers) {
+    EXPECT_LE(layer.samples.dim(0), 50);
+    EXPECT_GT(layer.samples.dim(0), 0);
+  }
+}
+
+TEST(Calib, DeterministicForFixedSeed) {
+  CalibFixture f;
+  CalibConfig config;
+  config.batches = 2;
+  config.seq_len = 16;
+  const ActivationStats a = collect_activation_stats(*f.model, f.corpus.train, config);
+  const ActivationStats b = collect_activation_stats(*f.model, f.corpus.train, config);
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].abs_mean, b.layers[i].abs_mean);
+  }
+}
+
+TEST(Calib, SaveLoadRoundTrip) {
+  CalibFixture f;
+  CalibConfig config;
+  config.batches = 2;
+  config.seq_len = 16;
+  const ActivationStats stats =
+      collect_activation_stats(*f.model, f.corpus.train, config);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_calib_rt.bin").string();
+  {
+    BinaryWriter w(path, "CTEST", 1);
+    stats.save(w);
+    w.close();
+  }
+  BinaryReader r(path, "CTEST", 1);
+  const ActivationStats back = ActivationStats::load(r);
+  ASSERT_EQ(back.layers.size(), stats.layers.size());
+  for (size_t i = 0; i < stats.layers.size(); ++i) {
+    EXPECT_EQ(back.layers[i].name, stats.layers[i].name);
+    EXPECT_EQ(back.layers[i].abs_mean, stats.layers[i].abs_mean);
+    EXPECT_EQ(back.layers[i].abs_max, stats.layers[i].abs_max);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emmark

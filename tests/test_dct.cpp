@@ -1,0 +1,104 @@
+// DCT-II/III: invertibility, orthonormality, and the spectral behaviour
+// SpecMark relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "signal/dct.h"
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+TEST(Dct, RoundTripIsIdentity) {
+  Rng rng(4);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.next_normal();
+  const auto y = dct2(std::span<const double>(x));
+  const auto back = idct2(std::span<const double>(y));
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+class DctRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DctRoundTrip, VariousLengths) {
+  const size_t n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.next_double() * 10 - 5;
+  const auto back = idct2(std::span<const double>(dct2(std::span<const double>(x))));
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DctRoundTrip,
+                         ::testing::Values(1, 2, 3, 8, 17, 100, 255));
+
+TEST(Dct, OrthonormalEnergyPreservation) {
+  Rng rng(7);
+  std::vector<double> x(50);
+  for (auto& v : x) v = rng.next_normal();
+  const auto y = dct2(std::span<const double>(x));
+  double ex = 0.0, ey = 0.0;
+  for (double v : x) ex += v * v;
+  for (double v : y) ey += v * v;
+  EXPECT_NEAR(ex, ey, 1e-9);  // Parseval
+}
+
+TEST(Dct, ConstantSignalIsPureDc) {
+  std::vector<double> x(16, 3.0);
+  const auto y = dct2(std::span<const double>(x));
+  EXPECT_NEAR(y[0], 3.0 * std::sqrt(16.0), 1e-9);
+  for (size_t k = 1; k < y.size(); ++k) EXPECT_NEAR(y[k], 0.0, 1e-9);
+}
+
+TEST(Dct, CosineConcentratesAtMatchingBin) {
+  const size_t n = 32;
+  const size_t target = 5;
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(std::numbers::pi / static_cast<double>(n) *
+                    (static_cast<double>(i) + 0.5) * static_cast<double>(target));
+  }
+  const auto y = dct2(std::span<const double>(x));
+  size_t best = 0;
+  for (size_t k = 1; k < n; ++k) {
+    if (std::fabs(y[k]) > std::fabs(y[best])) best = k;
+  }
+  EXPECT_EQ(best, target);
+}
+
+TEST(Dct, EmptyInput) {
+  const std::vector<double> x;
+  EXPECT_TRUE(dct2(std::span<const double>(x)).empty());
+  EXPECT_TRUE(idct2(std::span<const double>(x)).empty());
+}
+
+TEST(Dct, FloatOverloadMatchesDouble) {
+  std::vector<float> xf{1.0f, -2.0f, 3.0f, 0.5f};
+  std::vector<double> xd(xf.begin(), xf.end());
+  const auto yf = dct2(std::span<const float>(xf));
+  const auto yd = dct2(std::span<const double>(xd));
+  for (size_t i = 0; i < xf.size(); ++i) {
+    EXPECT_NEAR(yf[i], static_cast<float>(yd[i]), 1e-5f);
+  }
+}
+
+// The SpecMark failure mechanism: a sub-half-step spectral perturbation is
+// annihilated by rounding back to the integer grid.
+TEST(Dct, SmallSpectralPerturbationDiesUnderRounding) {
+  std::vector<double> codes(256);
+  Rng rng(11);
+  for (auto& c : codes) c = static_cast<double>(rng.next_int(-7, 7));
+  auto y = dct2(std::span<const double>(codes));
+  y[200] += 0.05;  // epsilon far below one quantization step
+  const auto perturbed = idct2(std::span<const double>(y));
+  for (size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(std::lround(perturbed[i]), std::lround(codes[i]));
+  }
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,206 @@
+// EmMark core mechanics: scoring semantics, insertion, extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "wm/emmark.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+TEST(EmMarkScore, ExcludesSaturatedZeroAndOutlierWeights) {
+  QuantizedTensor q(2, 4, QuantBits::kInt4, 0);
+  q.set_scale(0, 0, 0.1f);
+  q.set_scale(1, 0, 0.1f);
+  q.set_code(0, 0, 7);   // saturated
+  q.set_code(0, 1, -7);  // saturated
+  q.set_code(0, 2, 0);   // zero
+  q.set_code(0, 3, 5);   // eligible
+  q.set_code(1, 0, 3);
+  q.set_code(1, 1, 2);
+  q.set_code(1, 2, 1);
+  q.set_code(1, 3, -4);
+  Tensor outlier_w({2, 1});
+  q.set_outliers({1}, outlier_w);  // column 1 is FP
+
+  const std::vector<float> act{1.0f, 2.0f, 3.0f, 4.0f};
+  const auto scores = EmMark::score_layer(q, act, 0.5, 0.5);
+  EXPECT_TRUE(std::isinf(scores[0]));  // saturated
+  EXPECT_TRUE(std::isinf(scores[1]));  // saturated AND outlier col
+  EXPECT_TRUE(std::isinf(scores[2]));  // zero code
+  EXPECT_FALSE(std::isinf(scores[3]));
+  EXPECT_TRUE(std::isinf(scores[4 + 0]));  // act min channel (S_r divides by 0)
+  EXPECT_TRUE(std::isinf(scores[4 + 1]));  // outlier column
+  EXPECT_FALSE(std::isinf(scores[4 + 3]));
+}
+
+TEST(EmMarkScore, PrefersLargeMagnitudeWeights) {
+  // Same channel, different magnitudes: larger |code| -> smaller S_q.
+  QuantizedTensor q(3, 2, QuantBits::kInt8, 0);
+  for (int64_t r = 0; r < 3; ++r) q.set_scale(r, 0, 0.1f);
+  q.set_code(0, 1, 10);
+  q.set_code(1, 1, 50);
+  q.set_code(2, 1, 100);
+  const std::vector<float> act{0.0f, 1.0f};
+  const auto scores = EmMark::score_layer(q, act, 1.0, 0.0);
+  EXPECT_GT(scores[1], scores[3]);
+  EXPECT_GT(scores[3], scores[5]);
+  EXPECT_NEAR(scores[5], 0.01, 1e-9);  // 1/100
+}
+
+TEST(EmMarkScore, PrefersSalientChannels) {
+  // Same magnitude, different channels: larger activation -> smaller S_r.
+  QuantizedTensor q(1, 4, QuantBits::kInt8, 0);
+  q.set_scale(0, 0, 0.1f);
+  for (int64_t c = 0; c < 4; ++c) q.set_code(0, c, 50);
+  const std::vector<float> act{0.1f, 1.0f, 5.0f, 10.0f};
+  const auto scores = EmMark::score_layer(q, act, 0.0, 1.0);
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_GT(scores[2], scores[3]);
+  // Highest-activation channel: S_r = |max / (max - min)| is the smallest.
+  EXPECT_NEAR(scores[3], 10.0 / (10.0 - 0.1), 1e-6);
+}
+
+TEST(EmMark, DeriveIsDeterministic) {
+  WmFixture f;
+  const WatermarkKey key;
+  const auto a = EmMark::derive(*f.quantized, f.stats, key);
+  const auto b = EmMark::derive(*f.quantized, f.stats, key);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].locations, b[i].locations);
+    EXPECT_EQ(a[i].bits, b[i].bits);
+  }
+}
+
+TEST(EmMark, DifferentSeedsDifferentLocations) {
+  WmFixture f;
+  WatermarkKey k1, k2;
+  k2.seed = 12345;
+  const auto a = EmMark::derive(*f.quantized, f.stats, k1);
+  const auto b = EmMark::derive(*f.quantized, f.stats, k2);
+  int64_t identical_layers = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].locations == b[i].locations) ++identical_layers;
+  }
+  EXPECT_LT(identical_layers, static_cast<int64_t>(a.size()));
+}
+
+TEST(EmMark, InsertThenExtractIsPerfect) {
+  WmFixture f;
+  const WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;  // deep copy
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  EXPECT_EQ(record.total_bits(),
+            key.bits_per_layer * f.quantized->num_layers());
+
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+  EXPECT_EQ(report.matched_bits, report.total_bits);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
+}
+
+TEST(EmMark, CleanModelYieldsZeroWer) {
+  WmFixture f;
+  const WatermarkKey key;
+  // Extraction of the original against itself: every delta is 0 != +-1.
+  const ExtractionReport report =
+      EmMark::extract(*f.quantized, *f.quantized, f.stats, key);
+  EXPECT_EQ(report.matched_bits, 0);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
+}
+
+TEST(EmMark, InsertionTouchesExactlyTheRecordedLocations) {
+  WmFixture f;
+  const WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
+    const auto& original = f.quantized->layer(i).weights;
+    const auto& modified = watermarked.layer(i).weights;
+    const auto& wm = record.layers[static_cast<size_t>(i)];
+    size_t cursor = 0;
+    for (int64_t flat = 0; flat < original.numel(); ++flat) {
+      const bool is_wm_location =
+          cursor < wm.locations.size() && wm.locations[cursor] == flat;
+      if (is_wm_location) {
+        EXPECT_EQ(modified.code_flat(flat) - original.code_flat(flat),
+                  wm.bits[cursor]);
+        ++cursor;
+      } else {
+        EXPECT_EQ(modified.code_flat(flat), original.code_flat(flat));
+      }
+    }
+    EXPECT_EQ(cursor, wm.locations.size());
+  }
+}
+
+TEST(EmMark, InsertionNeverSelectsSaturatedWeights) {
+  WmFixture f;
+  const WatermarkKey key;
+  const auto layers = EmMark::derive(*f.quantized, f.stats, key);
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const auto& weights = f.quantized->layer(static_cast<int64_t>(i)).weights;
+    for (int64_t loc : layers[i].locations) {
+      EXPECT_FALSE(weights.is_saturated_flat(loc));
+      EXPECT_NE(weights.code_flat(loc), 0);
+    }
+  }
+}
+
+TEST(EmMark, WrongSeedExtractsNoise) {
+  WmFixture f;
+  WatermarkKey owner_key;
+  QuantizedModel watermarked = *f.quantized;
+  EmMark::insert(watermarked, f.stats, owner_key);
+
+  WatermarkKey wrong = owner_key;
+  wrong.seed = 31337;
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, wrong);
+  // A wrong seed hits mostly non-watermarked positions (delta 0), so WER
+  // collapses far below the ownership threshold.
+  EXPECT_LT(report.wer_pct(), 50.0);
+}
+
+TEST(EmMark, StrengthMatchesPaperNumbers) {
+  ExtractionReport report;
+  report.total_bits = 40;
+  report.matched_bits = 40;
+  EXPECT_NEAR(std::pow(10.0, report.strength_log10()), 9.09e-13, 0.02e-13);
+}
+
+TEST(EmMark, RecordSaveLoadRoundTrip) {
+  WmFixture f;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, WatermarkKey{});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_rec_rt.bin").string();
+  {
+    BinaryWriter w(path, "RTEST", 1);
+    record.save(w);
+    w.close();
+  }
+  BinaryReader r(path, "RTEST", 1);
+  const WatermarkRecord back = WatermarkRecord::load(r);
+  ASSERT_EQ(back.layers.size(), record.layers.size());
+  const ExtractionReport report =
+      EmMark::extract_with_record(watermarked, *f.quantized, back);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
+  std::remove(path.c_str());
+}
+
+TEST(EmMark, ThrowsWhenLayerTooSmallForRequest) {
+  WmFixture f;
+  WatermarkKey key;
+  key.bits_per_layer = 100000;  // larger than any layer
+  EXPECT_THROW(EmMark::derive(*f.quantized, f.stats, key), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace emmark

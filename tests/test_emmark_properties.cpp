@@ -1,0 +1,164 @@
+// Property sweeps: the insert->extract=100% invariant must hold across
+// seeds, signature lengths, quantization methods, coefficient choices and
+// architecture families.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "wm/emmark.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, PerfectExtractionForAnySeed) {
+  WmFixture f;
+  WatermarkKey key;
+  key.seed = GetParam();
+  key.signature_seed = GetParam() * 3 + 1;
+  QuantizedModel watermarked = *f.quantized;
+  EmMark::insert(watermarked, f.stats, key);
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(0, 1, 100, 31337, 0xdeadbeef,
+                                           0xffffffffffffffffull));
+
+class BitsSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BitsSweep, PerfectExtractionForAnyLength) {
+  WmFixture f;
+  WatermarkKey key;
+  key.bits_per_layer = GetParam();
+  // Large requests need a smaller pool multiplier to stay within layer size.
+  key.candidate_ratio = GetParam() > 50 ? 5 : 50;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  EXPECT_EQ(record.total_bits(), GetParam() * f.quantized->num_layers());
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0) << "bits " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BitsSweep, ::testing::Values(1, 4, 12, 40, 100));
+
+class CoefficientSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CoefficientSweep, PerfectExtractionForAnyAlphaBeta) {
+  const auto [alpha, beta] = GetParam();
+  WmFixture f;
+  WatermarkKey key;
+  key.alpha = alpha;
+  key.beta = beta;
+  QuantizedModel watermarked = *f.quantized;
+  EmMark::insert(watermarked, f.stats, key);
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0)
+      << "alpha=" << alpha << " beta=" << beta;
+}
+
+// The paper's Table 3 grid plus extremes.
+INSTANTIATE_TEST_SUITE_P(Table3Grid, CoefficientSweep,
+                         ::testing::Values(std::make_tuple(1.0, 0.0),
+                                           std::make_tuple(0.5, 0.5),
+                                           std::make_tuple(0.0, 1.0),
+                                           std::make_tuple(0.9, 0.1),
+                                           std::make_tuple(0.1, 0.9)));
+
+class MethodSweep : public ::testing::TestWithParam<QuantMethod> {};
+
+TEST_P(MethodSweep, AgnosticToQuantizationAlgorithm) {
+  // Paper: "EmMark is agnostic to quantization algorithms."
+  WmFixture f(GetParam());
+  WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  EmMark::insert(watermarked, f.stats, key);
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MethodSweep,
+    ::testing::Values(QuantMethod::kRtnInt8, QuantMethod::kSmoothQuantInt8,
+                      QuantMethod::kLlmInt8, QuantMethod::kRtnInt4,
+                      QuantMethod::kAwqInt4, QuantMethod::kGptqInt4),
+    [](const ::testing::TestParamInfo<QuantMethod>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+class FamilySweep : public ::testing::TestWithParam<ArchFamily> {};
+
+TEST_P(FamilySweep, WorksOnBothArchitectures) {
+  WmFixture f(QuantMethod::kAwqInt4, GetParam());
+  WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  EmMark::insert(watermarked, f.stats, key);
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilySweep,
+                         ::testing::Values(ArchFamily::kOptStyle,
+                                           ArchFamily::kLlamaStyle));
+
+// Cross-key property: a signature inserted under key A never reaches the
+// ownership threshold when extracted under unrelated key B.
+class CrossKey : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossKey, ForeignKeyStaysBelowThreshold) {
+  WmFixture f;
+  WatermarkKey owner;
+  QuantizedModel watermarked = *f.quantized;
+  EmMark::insert(watermarked, f.stats, owner);
+
+  WatermarkKey foreign;
+  foreign.seed = GetParam();
+  foreign.signature_seed = GetParam() + 5;
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *f.quantized, f.stats, foreign);
+  EXPECT_LT(report.wer_pct(), 60.0) << "foreign seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ForeignSeeds, CrossKey,
+                         ::testing::Values(7, 1234, 987654321));
+
+// Perturbation property: flipping exactly k watermark bits drops the
+// matched count by exactly k (extraction is bit-precise).
+TEST(EmMarkProperty, BitDamageIsExactlyAccounted) {
+  WmFixture f;
+  WatermarkKey key;
+  QuantizedModel watermarked = *f.quantized;
+  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+
+  QuantizedModel damaged = watermarked;
+  // Undo the first 5 watermark bits of layer 0.
+  const auto& wm = record.layers[0];
+  auto& weights = damaged.layer(0).weights;
+  const int64_t k = 5;
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t flat = wm.locations[static_cast<size_t>(j)];
+    weights.set_code_flat(
+        flat, static_cast<int8_t>(weights.code_flat(flat) - wm.bits[static_cast<size_t>(j)]));
+  }
+  const ExtractionReport report =
+      EmMark::extract_with_record(damaged, *f.quantized, record);
+  EXPECT_EQ(report.total_bits - report.matched_bits, k);
+}
+
+}  // namespace
+}  // namespace emmark

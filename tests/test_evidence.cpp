@@ -1,0 +1,115 @@
+// Ownership evidence bundles: digests, verification, tamper detection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "wm/evidence.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+struct EvidenceFixture {
+  EvidenceFixture() : f() {
+    key.bits_per_layer = 10;
+    watermarked = std::make_unique<QuantizedModel>(*f.quantized);
+    record = EmMark::insert(*watermarked, f.stats, key);
+    evidence = OwnershipEvidence::create("acme-corp", record, *f.quantized,
+                                         f.stats, 1770000000);
+  }
+  WmFixture f;
+  WatermarkKey key;
+  std::unique_ptr<QuantizedModel> watermarked;
+  WatermarkRecord record;
+  OwnershipEvidence evidence;
+};
+
+TEST(Evidence, Fnv1aKnownVector) {
+  // FNV-1a 64 of "a" from the reference implementation.
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+}
+
+TEST(Evidence, ModelDigestSensitiveToSingleCode) {
+  EvidenceFixture fx;
+  const uint64_t before = digest_model_codes(*fx.f.quantized);
+  QuantizedModel mutated = *fx.f.quantized;
+  auto& w = mutated.layer(0).weights;
+  const int8_t c = w.code_flat(5);
+  w.set_code_flat(5, static_cast<int8_t>(c == 0 ? 1 : 0));
+  EXPECT_NE(digest_model_codes(mutated), before);
+}
+
+TEST(Evidence, StatsDigestSensitiveToChannelStat) {
+  EvidenceFixture fx;
+  const uint64_t before = digest_stats(fx.f.stats);
+  ActivationStats mutated = fx.f.stats;
+  mutated.layers[0].abs_mean[0] += 0.5f;
+  EXPECT_NE(digest_stats(mutated), before);
+}
+
+TEST(Evidence, HonestVerificationSucceeds) {
+  EvidenceFixture fx;
+  std::string why;
+  EXPECT_TRUE(fx.evidence.verify(*fx.watermarked, *fx.f.quantized, fx.f.stats,
+                                 95.0, &why))
+      << why;
+  EXPECT_EQ(why, "verified");
+}
+
+TEST(Evidence, RejectsWrongOriginalModel) {
+  EvidenceFixture fx;
+  QuantizedModel other = *fx.watermarked;  // not the filed original
+  std::string why;
+  EXPECT_FALSE(fx.evidence.verify(*fx.watermarked, other, fx.f.stats, 95.0, &why));
+  EXPECT_NE(why.find("digest"), std::string::npos);
+}
+
+TEST(Evidence, RejectsTamperedStats) {
+  EvidenceFixture fx;
+  ActivationStats tampered = fx.f.stats;
+  tampered.layers[1].abs_mean[3] *= 2.0f;
+  std::string why;
+  EXPECT_FALSE(
+      fx.evidence.verify(*fx.watermarked, *fx.f.quantized, tampered, 95.0, &why));
+}
+
+TEST(Evidence, RejectsTamperedRecord) {
+  EvidenceFixture fx;
+  OwnershipEvidence tampered = fx.evidence;
+  tampered.record.layers[0].locations[0] += 1;  // move one location
+  std::string why;
+  EXPECT_FALSE(
+      tampered.verify(*fx.watermarked, *fx.f.quantized, fx.f.stats, 95.0, &why));
+  EXPECT_NE(why.find("re-derive"), std::string::npos);
+}
+
+TEST(Evidence, RejectsCleanSuspect) {
+  EvidenceFixture fx;
+  std::string why;
+  EXPECT_FALSE(fx.evidence.verify(*fx.f.quantized, *fx.f.quantized, fx.f.stats,
+                                  95.0, &why));
+  EXPECT_NE(why.find("extract"), std::string::npos);
+}
+
+TEST(Evidence, SaveLoadRoundTrip) {
+  EvidenceFixture fx;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_evidence.bin").string();
+  fx.evidence.save(path);
+  const OwnershipEvidence back = OwnershipEvidence::load(path);
+  EXPECT_EQ(back.owner, "acme-corp");
+  EXPECT_EQ(back.original_digest, fx.evidence.original_digest);
+  EXPECT_EQ(back.stats_digest, fx.evidence.stats_digest);
+  EXPECT_EQ(back.created_unix, 1770000000u);
+  std::string why;
+  EXPECT_TRUE(back.verify(*fx.watermarked, *fx.f.quantized, fx.f.stats, 95.0, &why))
+      << why;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emmark

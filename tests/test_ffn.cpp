@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "nn/ffn.h"
+#include "tensor/ops.h"
+
+namespace emmark {
+namespace {
+
+TEST(Ffn, ReluVariantHasTwoLinears) {
+  Rng rng(1);
+  FeedForward ffn("ffn", FfnKind::kRelu, 8, 16, true, rng);
+  EXPECT_EQ(ffn.linears().size(), 2u);
+}
+
+TEST(Ffn, SwigluVariantHasThreeLinears) {
+  Rng rng(2);
+  FeedForward ffn("ffn", FfnKind::kSwiGlu, 8, 16, false, rng);
+  EXPECT_EQ(ffn.linears().size(), 3u);
+}
+
+TEST(Ffn, OutputShape) {
+  Rng rng(3);
+  for (FfnKind kind : {FfnKind::kRelu, FfnKind::kSwiGlu}) {
+    FeedForward ffn("ffn", kind, 8, 24, false, rng);
+    Tensor x({5, 8});
+    for (float& v : x.flat()) v = rng.next_normal_f();
+    Tensor y;
+    ffn.forward(x, y);
+    EXPECT_EQ(y.dim(0), 5);
+    EXPECT_EQ(y.dim(1), 8);
+  }
+}
+
+template <FfnKind Kind>
+void grad_check() {
+  Rng rng(4);
+  FeedForward ffn("ffn", Kind, 6, 12, Kind == FfnKind::kRelu, rng);
+  Tensor x({3, 6});
+  for (float& v : x.flat()) v = rng.next_normal_f(0.0f, 0.8f);
+  Tensor dy({3, 6});
+  for (float& v : dy.flat()) v = rng.next_normal_f();
+
+  Tensor y;
+  ffn.forward(x, y);
+  Tensor dx;
+  ffn.backward(dy, dx);
+
+  auto loss = [&](const Tensor& input) {
+    Tensor out;
+    ffn.forward(input, out);
+    double total = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      total += static_cast<double>(out.flat()[i]) * dy.flat()[i];
+    }
+    return total;
+  };
+
+  const float h = 1e-2f;
+  Rng pick(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int64_t idx =
+        static_cast<int64_t>(pick.next_below(static_cast<uint64_t>(x.numel())));
+    Tensor xp = x;
+    xp.flat()[idx] += h;
+    Tensor xm = x;
+    xm.flat()[idx] -= h;
+    const double numeric = (loss(xp) - loss(xm)) / (2.0 * h);
+    EXPECT_NEAR(dx.flat()[idx], numeric, 5e-2) << "idx=" << idx;
+  }
+  // Restore forward cache on the unperturbed input.
+  Tensor tmp;
+  ffn.forward(x, tmp);
+}
+
+TEST(Ffn, ReluBackwardGradCheck) { grad_check<FfnKind::kRelu>(); }
+TEST(Ffn, SwigluBackwardGradCheck) { grad_check<FfnKind::kSwiGlu>(); }
+
+TEST(Ffn, ReluZeroesNegativePreactivations) {
+  Rng rng(6);
+  FeedForward ffn("ffn", FfnKind::kRelu, 4, 8, false, rng);
+  // With all-negative up weights and positive input, hidden is all zeros,
+  // so output must be exactly zero.
+  for (float& v : ffn.linears()[0]->weight().value.flat()) v = -std::fabs(v) - 0.1f;
+  Tensor x = Tensor::full({2, 4}, 1.0f);
+  Tensor y;
+  ffn.forward(x, y);
+  EXPECT_EQ(y.abs_max(), 0.0f);
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,145 @@
+// Forging attacks and arbitration (paper Section 5.3, "Forging Attacks").
+#include <gtest/gtest.h>
+
+#include "attack/forge.h"
+#include "attack/rewatermark.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+struct ForgeFixture {
+  ForgeFixture() : f() {
+    owner_key.seed = 100;
+    watermarked = std::make_unique<QuantizedModel>(*f.quantized);
+    owner_record = EmMark::insert(*watermarked, f.stats, owner_key);
+  }
+  WmFixture f;
+  WatermarkKey owner_key;
+  std::unique_ptr<QuantizedModel> watermarked;
+  WatermarkRecord owner_record;
+};
+
+TEST(Forge, HonestOwnerClaimAccepted) {
+  ForgeFixture fx;
+  OwnershipClaim claim;
+  claim.claimant = "owner";
+  claim.original = fx.f.quantized.get();
+  claim.stats = &fx.f.stats;
+  claim.key = fx.owner_key;
+
+  const OwnershipArbiter arbiter;
+  const ClaimVerdict verdict = arbiter.evaluate(*fx.watermarked, claim);
+  EXPECT_TRUE(verdict.accepted) << verdict.reason;
+  EXPECT_DOUBLE_EQ(verdict.wer_pct, 100.0);
+  EXPECT_DOUBLE_EQ(verdict.location_reproduction_pct, 100.0);
+}
+
+TEST(Forge, CounterfeitLocationsRejected) {
+  // Setting (i): random locations cannot be re-derived from any scoring
+  // pass, so the arbiter rejects them even if the adversary fabricates a
+  // consistent "original".
+  ForgeFixture fx;
+  const auto fake_layers = counterfeit_locations(*fx.watermarked, 12, 666);
+
+  // Adversary fabricates an "original" consistent with the fake bits.
+  QuantizedModel fake_original = *fx.watermarked;
+  for (size_t i = 0; i < fake_layers.size(); ++i) {
+    auto& weights = fake_original.layer(static_cast<int64_t>(i)).weights;
+    for (size_t j = 0; j < fake_layers[i].locations.size(); ++j) {
+      const int64_t flat = fake_layers[i].locations[j];
+      const int32_t undone = static_cast<int32_t>(weights.code_flat(flat)) -
+                             fake_layers[i].bits[j];
+      weights.set_code_flat(
+          flat, static_cast<int8_t>(std::clamp(undone, weights.qmin(), weights.qmax())));
+    }
+  }
+
+  // The adversary has only quantized-model activations.
+  auto deployed_fp = fx.watermarked->materialize();
+  CalibConfig calib;
+  calib.batches = 4;
+  calib.seq_len = 16;
+  const ActivationStats adv_stats =
+      collect_activation_stats(*deployed_fp, fx.f.corpus.train, calib);
+
+  OwnershipClaim claim;
+  claim.claimant = "forger";
+  claim.original = &fake_original;
+  claim.stats = &adv_stats;
+  claim.key.seed = 666;
+  claim.claimed_layers = fake_layers;
+
+  const OwnershipArbiter arbiter;
+  const ClaimVerdict verdict = arbiter.evaluate(*fx.watermarked, claim);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_LT(verdict.location_reproduction_pct, 50.0);
+}
+
+TEST(Forge, MissingArtifactsRejected) {
+  ForgeFixture fx;
+  OwnershipClaim empty;
+  empty.claimant = "nobody";
+  const OwnershipArbiter arbiter;
+  EXPECT_FALSE(arbiter.evaluate(*fx.watermarked, empty).accepted);
+}
+
+TEST(Forge, DisputeResolvedForOwnerAgainstReWatermarker) {
+  // Setting (ii): adversary re-watermarks the deployed model and claims it.
+  ForgeFixture fx;
+
+  auto deployed_fp = fx.watermarked->materialize();
+  CalibConfig calib;
+  calib.batches = 4;
+  calib.seq_len = 16;
+  const ActivationStats adv_stats =
+      collect_activation_stats(*deployed_fp, fx.f.corpus.train, calib);
+
+  // Adversary's "original" is the deployed model before *their* insertion.
+  QuantizedModel adv_original = *fx.watermarked;
+  QuantizedModel final_model = *fx.watermarked;
+  RewatermarkConfig rw;
+  rewatermark_attack(final_model, adv_stats, rw);
+
+  OwnershipClaim owner;
+  owner.claimant = "owner";
+  owner.original = fx.f.quantized.get();
+  owner.stats = &fx.f.stats;
+  owner.key = fx.owner_key;
+
+  OwnershipClaim adversary;
+  adversary.claimant = "adversary";
+  adversary.original = &adv_original;
+  adversary.stats = &adv_stats;
+  adversary.key.seed = rw.seed;
+  adversary.key.alpha = rw.alpha;
+  adversary.key.beta = rw.beta;
+  adversary.key.signature_seed = rw.signature_seed;
+
+  const OwnershipArbiter arbiter(90.0);
+  // Both signatures extract from the final model...
+  EXPECT_TRUE(arbiter.evaluate(final_model, owner).accepted);
+  EXPECT_TRUE(arbiter.evaluate(final_model, adversary).accepted);
+  // ...but cross-extraction proves the owner came first: the owner's bits
+  // are present in the adversary's claimed original, not vice versa.
+  EXPECT_EQ(arbiter.resolve_dispute(final_model, owner, adversary), "owner");
+  EXPECT_EQ(arbiter.resolve_dispute(final_model, adversary, owner), "owner");
+}
+
+TEST(Forge, CounterfeitBitsDoNotMatchByChance) {
+  // Matching the owner's signature by luck has probability 0.5^|B| (Eq. 8);
+  // empirically a random signature matches ~none of the positions.
+  ForgeFixture fx;
+  WatermarkKey guess = fx.owner_key;
+  guess.signature_seed = 31415926;  // wrong bits, right locations
+  const ExtractionReport report =
+      EmMark::extract(*fx.watermarked, *fx.f.quantized, fx.f.stats, guess);
+  // Locations match (same seed/stats) but roughly half the bits disagree.
+  EXPECT_LT(report.wer_pct(), 75.0);
+  EXPECT_GT(report.wer_pct(), 25.0);
+}
+
+}  // namespace
+}  // namespace emmark

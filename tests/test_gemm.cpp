@@ -1,0 +1,120 @@
+// GEMM kernels against a naive reference over random shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+Tensor random_tensor(int64_t rows, int64_t cols, Rng& rng) {
+  Tensor t({rows, cols});
+  for (float& v : t.flat()) v = rng.next_normal_f();
+  return t;
+}
+
+Tensor reference_nn(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < b.dim(1); ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < a.dim(1); ++k) {
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.flat()[i], b.flat()[i], tol) << "at " << i;
+  }
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(GemmShapes, NnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  const Tensor a = random_tensor(m, k, rng);
+  const Tensor b = random_tensor(k, n, rng);
+  Tensor c({m, n});
+  gemm_nn(a.data(), b.data(), c.data(), m, k, n);
+  expect_close(c, reference_nn(a, b));
+}
+
+TEST_P(GemmShapes, NtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 101 + k * 11 + n);
+  const Tensor a = random_tensor(m, k, rng);
+  const Tensor bt = random_tensor(n, k, rng);  // B^T stored row-major
+  Tensor c({m, n});
+  gemm_nt(a.data(), bt.data(), c.data(), m, k, n);
+
+  // reference: a * bt^T
+  Tensor b({k, n});
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < n; ++j) b.at(i, j) = bt.at(j, i);
+  }
+  expect_close(c, reference_nn(a, b));
+}
+
+TEST_P(GemmShapes, TnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 102 + k * 12 + n);
+  const Tensor at = random_tensor(k, m, rng);  // A^T stored row-major
+  const Tensor b = random_tensor(k, n, rng);
+  Tensor c({m, n});
+  gemm_tn(at.data(), b.data(), c.data(), m, k, n);
+
+  Tensor a({m, k});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) a.at(i, j) = at.at(j, i);
+  }
+  expect_close(c, reference_nn(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 9), std::make_tuple(64, 48, 32)));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  Rng rng(5);
+  const Tensor a = random_tensor(4, 6, rng);
+  const Tensor b = random_tensor(6, 5, rng);
+  Tensor c({4, 5});
+  gemm_nn(a.data(), b.data(), c.data(), 4, 6, 5);
+  Tensor c2 = c;
+  gemm_nn(a.data(), b.data(), c2.data(), 4, 6, 5, /*accumulate=*/true);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c2.flat()[i], 2.0f * c.flat()[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, MatmulChecksShapes) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), TensorError);
+  Tensor ok({3, 4});
+  EXPECT_NO_THROW(matmul(a, ok));
+}
+
+TEST(Gemm, MatmulIdentity) {
+  Rng rng(9);
+  const Tensor a = random_tensor(5, 5, rng);
+  Tensor eye({5, 5});
+  for (int64_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  expect_close(matmul(a, eye), a);
+}
+
+}  // namespace
+}  // namespace emmark

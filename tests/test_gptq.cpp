@@ -1,0 +1,134 @@
+// GPTQ: Cholesky algebra and error-compensation quality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/gptq.h"
+#include "quant/rtn.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+Tensor random_spd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tensor a({n, n});
+  for (float& v : a.flat()) v = rng.next_normal_f();
+  // A A^T + n I is SPD.
+  Tensor spd({n, n});
+  gemm_nt(a.data(), a.data(), spd.data(), n, n, n);
+  for (int64_t i = 0; i < n; ++i) spd.at(i, i) += static_cast<float>(n);
+  return spd;
+}
+
+TEST(Gptq, CholeskyReconstructsMatrix) {
+  const Tensor a = random_spd(8, 1);
+  const Tensor l = cholesky(a);
+  Tensor recon({8, 8});
+  gemm_nt(l.data(), l.data(), recon.data(), 8, 8, 8);
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(recon.at(i, j), a.at(i, j), 1e-3f);
+    }
+  }
+  // Upper triangle of L is zero.
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = i + 1; j < 8; ++j) EXPECT_EQ(l.at(i, j), 0.0f);
+  }
+}
+
+TEST(Gptq, CholeskyRejectsIndefinite) {
+  Tensor bad({2, 2});
+  bad.at(0, 0) = 1.0f;
+  bad.at(1, 1) = -1.0f;
+  EXPECT_THROW(cholesky(bad), TensorError);
+  EXPECT_THROW(cholesky(Tensor({2, 3})), TensorError);
+}
+
+TEST(Gptq, SpdInverseIsTrueInverse) {
+  const Tensor a = random_spd(10, 2);
+  const Tensor inv = spd_inverse(a);
+  const Tensor prod = matmul(a, inv);
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(prod.at(i, j), i == j ? 1.0f : 0.0f, 5e-3f);
+    }
+  }
+}
+
+struct GptqFixture {
+  Tensor w;       // [8, 32]
+  Tensor inputs;  // [64, 32] correlated calibration inputs
+};
+
+GptqFixture make_fixture(uint64_t seed) {
+  GptqFixture f;
+  Rng rng(seed);
+  f.w = Tensor({8, 32});
+  for (float& v : f.w.flat()) v = rng.next_normal_f(0.0f, 0.1f);
+  f.inputs = Tensor({64, 32});
+  // Correlated inputs: x = z * M with a fixed mixing matrix, so the Hessian
+  // is far from diagonal and error compensation has something to exploit.
+  Tensor mix({32, 32});
+  for (float& v : mix.flat()) v = rng.next_normal_f(0.0f, 0.3f);
+  for (int64_t i = 0; i < 32; ++i) mix.at(i, i) += 1.0f;
+  Tensor z({64, 32});
+  for (float& v : z.flat()) v = rng.next_normal_f();
+  gemm_nn(z.data(), mix.data(), f.inputs.data(), 64, 32, 32);
+  return f;
+}
+
+/// || X (W - Wq)^T ||^2 -- the objective GPTQ minimizes.
+double output_error(const Tensor& w, const QuantizedTensor& q, const Tensor& x) {
+  const Tensor recon = q.dequantize();
+  Tensor diff = w;
+  diff.axpy_(-1.0f, recon);
+  Tensor out({x.dim(0), w.dim(0)});
+  gemm_nt(x.data(), diff.data(), out.data(), x.dim(0), x.dim(1), w.dim(0));
+  return out.squared_norm();
+}
+
+TEST(Gptq, BeatsRtnOnOutputError) {
+  const GptqFixture f = make_fixture(3);
+  GptqConfig config;
+  config.group_size = 16;
+  const QuantizedTensor gq = gptq(f.w, f.inputs, config);
+  const QuantizedTensor rq = rtn(f.w, RtnConfig{QuantBits::kInt4, 16});
+  EXPECT_LT(output_error(f.w, gq, f.inputs), output_error(f.w, rq, f.inputs));
+}
+
+TEST(Gptq, ProducesValidInt4Codes) {
+  const GptqFixture f = make_fixture(4);
+  GptqConfig config;
+  config.group_size = 16;
+  const QuantizedTensor q = gptq(f.w, f.inputs, config);
+  EXPECT_EQ(q.bits(), QuantBits::kInt4);
+  for (int64_t i = 0; i < q.numel(); ++i) {
+    EXPECT_GE(q.code_flat(i), -7);
+    EXPECT_LE(q.code_flat(i), 7);
+  }
+}
+
+TEST(Gptq, DiffersFromRtnCodes) {
+  // Error propagation must actually change rounding decisions somewhere.
+  const GptqFixture f = make_fixture(5);
+  GptqConfig config;
+  config.group_size = 16;
+  const QuantizedTensor gq = gptq(f.w, f.inputs, config);
+  const QuantizedTensor rq = rtn(f.w, RtnConfig{QuantBits::kInt4, 16});
+  int64_t diffs = 0;
+  for (int64_t i = 0; i < gq.numel(); ++i) {
+    if (gq.code_flat(i) != rq.code_flat(i)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Gptq, RejectsMismatchedInputs) {
+  const GptqFixture f = make_fixture(6);
+  Tensor bad({16, 8});
+  EXPECT_THROW(gptq(f.w, bad, {}), TensorError);
+}
+
+}  // namespace
+}  // namespace emmark

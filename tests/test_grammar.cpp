@@ -1,0 +1,160 @@
+// Grammar invariants: agreement, sentence termination, determinism.
+#include <gtest/gtest.h>
+
+#include "data/grammar.h"
+
+namespace emmark {
+namespace {
+
+bool is_singular_verb(const Vocab& v, TokenId t) {
+  const auto c = v.category(t);
+  return c == TokenCategory::kVerbSingular ||
+         c == TokenCategory::kVerbIntransSingular;
+}
+
+bool is_plural_verb(const Vocab& v, TokenId t) {
+  const auto c = v.category(t);
+  return c == TokenCategory::kVerbPlural || c == TokenCategory::kVerbIntransPlural;
+}
+
+TEST(Grammar, SentencesEndWithPeriod) {
+  const Vocab& v = synth_vocab();
+  GrammarSampler sampler(v);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<TokenId> out;
+    sampler.sample_sentence(rng, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(v.category(out.back()), TokenCategory::kPunct);
+  }
+}
+
+TEST(Grammar, SubjectVerbAgreementHolds) {
+  const Vocab& v = synth_vocab();
+  GrammarSampler sampler(v);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<TokenId> out;
+    const SentenceInfo info = sampler.sample_sentence(rng, out);
+    if (info.subject_number == GrammarNumber::kSingular) {
+      EXPECT_TRUE(is_singular_verb(v, info.verb)) << v.render(out);
+    } else {
+      EXPECT_TRUE(is_plural_verb(v, info.verb)) << v.render(out);
+    }
+    // The verb recorded in info is actually in the sentence.
+    EXPECT_NE(std::find(out.begin(), out.end(), info.verb), out.end());
+  }
+}
+
+TEST(Grammar, PronounAgreesWithAntecedent) {
+  const Vocab& v = synth_vocab();
+  GrammarSampler sampler(v);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<TokenId> out;
+    sampler.sample_pronoun_sentence(rng, GrammarNumber::kPlural, out);
+    EXPECT_EQ(out.front(), v.id("they"));
+    EXPECT_TRUE(is_plural_verb(v, out[1])) << v.render(out);
+
+    out.clear();
+    sampler.sample_pronoun_sentence(rng, GrammarNumber::kSingular, out);
+    EXPECT_EQ(out.front(), v.id("it"));
+    EXPECT_TRUE(is_singular_verb(v, out[1])) << v.render(out);
+  }
+}
+
+TEST(Grammar, PassagesBracketedBySpecials) {
+  const Vocab& v = synth_vocab();
+  GrammarSampler sampler(v);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<TokenId> out;
+    sampler.sample_passage(rng, out);
+    EXPECT_EQ(out.front(), v.bos());
+    EXPECT_EQ(out.back(), v.eos());
+  }
+}
+
+TEST(Grammar, StreamReachesRequestedLength) {
+  GrammarSampler sampler(synth_vocab());
+  Rng rng(5);
+  const auto stream = sampler.sample_stream(rng, 5000);
+  EXPECT_GE(stream.size(), 5000u);
+  EXPECT_LT(stream.size(), 5200u);  // overshoot bounded by one passage
+}
+
+TEST(Grammar, DeterministicGivenSeed) {
+  GrammarSampler sampler(synth_vocab());
+  Rng a(42), b(42);
+  EXPECT_EQ(sampler.sample_stream(a, 1000), sampler.sample_stream(b, 1000));
+}
+
+TEST(Grammar, StyleShiftsDistribution) {
+  const Vocab& v = synth_vocab();
+  GrammarSampler plain(v, default_style());
+  GrammarSampler shifted(v, shifted_style_a());  // plural_probability 0.25
+  Rng r1(6), r2(6);
+  int plain_plural = 0, shifted_plural = 0;
+  const int n = 600;
+  for (int i = 0; i < n; ++i) {
+    std::vector<TokenId> out;
+    if (plain.sample_sentence(r1, out).subject_number == GrammarNumber::kPlural) {
+      ++plain_plural;
+    }
+    out.clear();
+    if (shifted.sample_sentence(r2, out).subject_number == GrammarNumber::kPlural) {
+      ++shifted_plural;
+    }
+  }
+  EXPECT_GT(plain_plural, shifted_plural + n / 10);
+}
+
+TEST(Grammar, NounSkewConcentratesMass) {
+  const Vocab& v = synth_vocab();
+  GrammarStyle skewed = default_style();
+  skewed.noun_skew = 2.0;
+  GrammarSampler sampler(v, skewed);
+  Rng rng(7);
+  const auto nouns = v.tokens_of(TokenCategory::kNounSingular);
+  int first = 0, last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const TokenId t = sampler.sample_noun(rng, GrammarNumber::kSingular);
+    if (t == nouns.front()) ++first;
+    if (t == nouns.back()) ++last;
+  }
+  EXPECT_GT(first, 4 * std::max(last, 1));
+}
+
+TEST(Grammar, AttractorNeverChangesAgreement) {
+  // "the cat near the dogs sleeps": the verb agrees with the head noun
+  // regardless of the PP attractor's number.
+  const Vocab& v = synth_vocab();
+  GrammarStyle style = default_style();
+  style.subject_pp_probability = 1.0;
+  GrammarSampler sampler(v, style);
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<TokenId> out;
+    const SentenceInfo info = sampler.sample_sentence(rng, out);
+    ASSERT_TRUE(info.has_attractor);
+    if (info.subject_number == GrammarNumber::kSingular) {
+      EXPECT_TRUE(is_singular_verb(v, info.verb)) << v.render(out);
+    } else {
+      EXPECT_TRUE(is_plural_verb(v, info.verb)) << v.render(out);
+    }
+  }
+}
+
+TEST(Grammar, AllTokensAreInVocabRange) {
+  const Vocab& v = synth_vocab();
+  GrammarSampler sampler(v);
+  Rng rng(8);
+  const auto stream = sampler.sample_stream(rng, 10000);
+  for (TokenId t : stream) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, v.size());
+  }
+}
+
+}  // namespace
+}  // namespace emmark

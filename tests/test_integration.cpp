@@ -1,0 +1,220 @@
+// End-to-end pipeline on a *trained* model: train -> calibrate -> quantize
+// (AWQ INT4) -> watermark -> verify fidelity, extraction and robustness in
+// one pass. This is the paper's whole flow in miniature.
+#include <gtest/gtest.h>
+
+#include "attack/overwrite.h"
+#include "data/corpus.h"
+#include "eval/perplexity.h"
+#include "eval/zeroshot.h"
+#include "nn/trainer.h"
+#include "wm/emmark.h"
+#include "wm/randomwm.h"
+#include "wm/specmark.h"
+
+namespace emmark {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  // Train once for the whole suite (expensive-ish).
+  static void SetUpTestSuite() {
+    ModelConfig config;
+    config.family = ArchFamily::kOptStyle;
+    config.vocab_size = synth_vocab().size();
+    config.d_model = 32;
+    config.n_layers = 2;
+    config.n_heads = 2;
+    config.ffn_hidden = 64;
+    config.max_seq = 32;
+    config.init_seed = 11;
+    model_ = new TransformerLM(config);
+
+    CorpusConfig cc;
+    cc.train_tokens = 40'000;
+    corpus_ = new Corpus(make_corpus(synth_vocab(), cc));
+
+    TrainConfig train;
+    train.steps = 260;
+    train.batch_size = 8;
+    train.seq_len = 24;
+    Trainer trainer(*model_, corpus_->train, train);
+    trainer.train();
+
+    CalibConfig calib;
+    calib.batches = 6;
+    calib.seq_len = 24;
+    stats_ = new ActivationStats(
+        collect_activation_stats(*model_, corpus_->train, calib));
+    quantized_ = new QuantizedModel(*model_, *stats_, QuantMethod::kAwqInt4);
+    tasks_ = new std::vector<TaskSet>(make_task_suite(synth_vocab(), 60, 5));
+  }
+
+  static void TearDownTestSuite() {
+    delete tasks_;
+    delete quantized_;
+    delete stats_;
+    delete corpus_;
+    delete model_;
+  }
+
+  static double quantized_ppl(const QuantizedModel& qm) {
+    auto m = qm.materialize();
+    PplConfig config;
+    config.seq_len = 24;
+    return perplexity(*m, corpus_->test, config);
+  }
+
+  static double quantized_acc(const QuantizedModel& qm) {
+    auto m = qm.materialize();
+    return evaluate_zeroshot(*m, *tasks_).mean_accuracy_pct;
+  }
+
+  static TransformerLM* model_;
+  static Corpus* corpus_;
+  static ActivationStats* stats_;
+  static QuantizedModel* quantized_;
+  static std::vector<TaskSet>* tasks_;
+};
+
+TransformerLM* IntegrationTest::model_ = nullptr;
+Corpus* IntegrationTest::corpus_ = nullptr;
+ActivationStats* IntegrationTest::stats_ = nullptr;
+QuantizedModel* IntegrationTest::quantized_ = nullptr;
+std::vector<TaskSet>* IntegrationTest::tasks_ = nullptr;
+
+TEST_F(IntegrationTest, TrainedModelLearnedTheGrammar) {
+  PplConfig config;
+  config.seq_len = 24;
+  const double ppl = perplexity(*model_, corpus_->test, config);
+  EXPECT_LT(ppl, 15.0);  // uniform would be 48
+  const double acc = evaluate_zeroshot(*model_, *tasks_).mean_accuracy_pct;
+  EXPECT_GT(acc, 65.0);
+}
+
+TEST_F(IntegrationTest, QuantizationPreservesQuality) {
+  PplConfig config;
+  config.seq_len = 24;
+  const double fp_ppl = perplexity(*model_, corpus_->test, config);
+  const double q_ppl = quantized_ppl(*quantized_);
+  EXPECT_LT(q_ppl, fp_ppl * 1.35);
+}
+
+TEST_F(IntegrationTest, EmMarkFidelityOnTrainedModel) {
+  // The paper's headline: watermark insertion costs ~0 PPL and ~0 accuracy.
+  const double base_ppl = quantized_ppl(*quantized_);
+  const double base_acc = quantized_acc(*quantized_);
+
+  WatermarkKey key;
+  key.bits_per_layer = 8;
+  QuantizedModel watermarked = *quantized_;
+  EmMark::insert(watermarked, *stats_, key);
+
+  const double wm_ppl = quantized_ppl(watermarked);
+  const double wm_acc = quantized_acc(watermarked);
+  EXPECT_NEAR(wm_ppl, base_ppl, base_ppl * 0.05);
+  EXPECT_NEAR(wm_acc, base_acc, 5.0);
+
+  const ExtractionReport report =
+      EmMark::extract(watermarked, *quantized_, *stats_, key);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
+  EXPECT_LT(report.strength_log10(), -4.0);  // strong ownership proof
+}
+
+TEST_F(IntegrationTest, RandomWmPerturbsWeightsMoreThanEmMark) {
+  // Table 1's INT4 mechanism: Eq. 3 places bits on large-|W| codes where a
+  // one-step change is relatively tiny; random placement lands on small
+  // codes where one step is a 50-100% relative change. We assert the
+  // mechanism on the deterministic relative-perturbation metric (at our
+  // model scale the resulting PPL deltas of both schemes are within
+  // evaluation noise; on 10^9-parameter models the paper measures +2.29
+  // PPL for RandomWM).
+  QuantizedModel em = *quantized_;
+  WatermarkKey key;
+  key.bits_per_layer = 24;
+  key.candidate_ratio = 10;
+  const WatermarkRecord em_record = EmMark::insert(em, *stats_, key);
+
+  QuantizedModel rnd = *quantized_;
+  const WatermarkRecord rnd_record = RandomWM::insert(rnd, 5, 24);
+
+  auto mean_relative_perturbation = [&](const WatermarkRecord& record) {
+    double total = 0.0;
+    int64_t count = 0;
+    for (size_t i = 0; i < record.layers.size(); ++i) {
+      const auto& weights = quantized_->layer(static_cast<int64_t>(i)).weights;
+      for (int64_t loc : record.layers[i].locations) {
+        const double code = std::abs(weights.code_flat(loc));
+        total += 1.0 / std::max(code, 1e-9);  // |b / W_i|, Eq. 3
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+
+  const double em_pert = mean_relative_perturbation(em_record);
+  const double rnd_pert = mean_relative_perturbation(rnd_record);
+  EXPECT_LT(em_pert * 1.5, rnd_pert);
+
+  // EmMark's headline fidelity claim still holds outright: PPL unchanged.
+  const double base_ppl = quantized_ppl(*quantized_);
+  const double em_ppl = quantized_ppl(em);
+  EXPECT_LT(std::fabs(em_ppl - base_ppl) / base_ppl, 0.02);
+}
+
+TEST_F(IntegrationTest, SpecMarkFailsEndToEnd) {
+  QuantizedModel spec = *quantized_;
+  const SpecMarkRecord record = SpecMark::insert(spec, 3, 8, 0.05);
+  const SpecMarkReport report = SpecMark::extract(spec, *quantized_, record);
+  EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
+  // And the model is untouched (identical codes), matching Table 1's
+  // unchanged PPL for SpecMark.
+  for (int64_t i = 0; i < quantized_->num_layers(); ++i) {
+    EXPECT_EQ(spec.layer(i).weights.codes(), quantized_->layer(i).weights.codes());
+  }
+}
+
+TEST_F(IntegrationTest, OverwriteAttackTradeoff) {
+  // Figure 2a in miniature: quality degrades faster than the watermark.
+  // Note on scale: 400 replacements hit ~20-40% of each of our small
+  // layers; on paper-scale layers the same count is ~0.01% and WER stays
+  // >99%. The claim preserved here is the *ordering*: the model is badly
+  // damaged while the surviving signature still proves ownership with
+  // overwhelming probability.
+  WatermarkKey key;
+  key.bits_per_layer = 8;
+  QuantizedModel watermarked = *quantized_;
+  const WatermarkRecord record = EmMark::insert(watermarked, *stats_, key);
+  const double base_ppl = quantized_ppl(watermarked);
+
+  QuantizedModel attacked = watermarked;
+  OverwriteConfig attack;
+  attack.per_layer = 400;
+  overwrite_attack(attacked, attack);
+
+  const double attacked_ppl = quantized_ppl(attacked);
+  const ExtractionReport report =
+      EmMark::extract_with_record(attacked, *quantized_, record);
+  EXPECT_GT(attacked_ppl, base_ppl * 1.25);  // model badly damaged
+  EXPECT_GT(report.wer_pct(), 55.0);         // majority of bits intact
+  EXPECT_LT(report.strength_log10(), -2.0);  // still a significant proof
+}
+
+TEST_F(IntegrationTest, IntegrityCleanModelsShowNoWatermark) {
+  // Table 4 in miniature: extraction against a non-watermarked model.
+  WatermarkKey key;
+  key.bits_per_layer = 8;
+  const ExtractionReport self =
+      EmMark::extract(*quantized_, *quantized_, *stats_, key);
+  EXPECT_EQ(self.matched_bits, 0);
+
+  // GPTQ-quantized variant of the same FP model: different grids, no
+  // watermark -> low WER.
+  const QuantizedModel gptq_model(*model_, *stats_, QuantMethod::kGptqInt4);
+  const ExtractionReport cross =
+      EmMark::extract(gptq_model, *quantized_, *stats_, key);
+  EXPECT_LT(cross.wer_pct(), 50.0);
+}
+
+}  // namespace
+}  // namespace emmark

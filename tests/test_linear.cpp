@@ -1,0 +1,114 @@
+// Linear layer: forward semantics and analytic backward vs finite
+// differences.
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "tensor/gemm.h"
+
+namespace emmark {
+namespace {
+
+TEST(Linear, ForwardMatchesManualGemm) {
+  Rng rng(1);
+  Linear layer("fc", 4, 3, /*bias=*/true, rng);
+  Tensor x = Tensor::from_matrix(2, 4, {1, 2, 3, 4, -1, 0, 1, 2});
+  Tensor y;
+  layer.forward(x, y);
+  ASSERT_EQ(y.dim(0), 2);
+  ASSERT_EQ(y.dim(1), 3);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t o = 0; o < 3; ++o) {
+      float expected = layer.bias().value.at(o);
+      for (int64_t k = 0; k < 4; ++k) {
+        expected += x.at(i, k) * layer.weight().value.at(o, k);
+      }
+      EXPECT_NEAR(y.at(i, o), expected, 1e-5f);
+    }
+  }
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+  Rng rng(2);
+  Linear layer("fc", 4, 3, false, rng);
+  Tensor bad({2, 5});
+  Tensor y;
+  EXPECT_THROW(layer.forward(bad, y), TensorError);
+}
+
+TEST(Linear, BackwardInputGradMatchesFiniteDifference) {
+  Rng rng(3);
+  Linear layer("fc", 5, 4, true, rng);
+  Tensor x({3, 5});
+  for (float& v : x.flat()) v = rng.next_normal_f();
+
+  Tensor y;
+  layer.forward(x, y);
+  // Loss = sum(y); dy = ones.
+  Tensor dy = Tensor::full({3, 4}, 1.0f);
+  Tensor dx;
+  layer.backward(dy, dx);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      Tensor xp = x;
+      xp.at(i, j) += h;
+      Tensor yp;
+      layer.forward(xp, yp);
+      Tensor xm = x;
+      xm.at(i, j) -= h;
+      Tensor ym;
+      layer.forward(xm, ym);
+      const float numeric =
+          static_cast<float>((yp.sum() - ym.sum()) / (2.0 * h));
+      EXPECT_NEAR(dx.at(i, j), numeric, 5e-2f);
+    }
+  }
+}
+
+TEST(Linear, BackwardAccumulatesWeightGrad) {
+  Rng rng(4);
+  Linear layer("fc", 3, 2, true, rng);
+  Tensor x = Tensor::from_matrix(2, 3, {1, 0, 2, -1, 1, 0});
+  Tensor y, dx;
+  layer.forward(x, y);
+  Tensor dy = Tensor::full({2, 2}, 1.0f);
+  layer.backward(dy, dx);
+  // dW[o][k] = sum_i dy[i][o] * x[i][k] = column sums of x.
+  EXPECT_NEAR(layer.weight().grad.at(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(layer.weight().grad.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(layer.weight().grad.at(0, 2), 2.0f, 1e-6f);
+  // db[o] = sum_i dy[i][o] = 2.
+  EXPECT_NEAR(layer.bias().grad.at(0), 2.0f, 1e-6f);
+
+  // Second backward accumulates.
+  layer.forward(x, y);
+  layer.backward(dy, dx);
+  EXPECT_NEAR(layer.bias().grad.at(0), 4.0f, 1e-6f);
+}
+
+TEST(Linear, FrozenSkipsBaseGradients) {
+  Rng rng(5);
+  Linear layer("fc", 3, 2, true, rng);
+  layer.set_frozen(true);
+  Tensor x = Tensor::full({1, 3}, 1.0f);
+  Tensor y, dx;
+  layer.forward(x, y);
+  layer.backward(Tensor::full({1, 2}, 1.0f), dx);
+  EXPECT_EQ(layer.weight().grad.abs_max(), 0.0f);
+  EXPECT_TRUE(layer.parameters().empty());
+  // dx still flows (needed by earlier layers).
+  EXPECT_GT(dx.abs_max(), 0.0f);
+}
+
+TEST(Linear, ParameterNamesFollowLayerName) {
+  Rng rng(6);
+  Linear layer("blocks.0.attn.q_proj", 2, 2, true, rng);
+  const auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "blocks.0.attn.q_proj.weight");
+  EXPECT_EQ(params[1]->name, "blocks.0.attn.q_proj.bias");
+}
+
+}  // namespace
+}  // namespace emmark

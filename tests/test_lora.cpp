@@ -1,0 +1,133 @@
+// LoRA adapters: exact no-op at init, trainability, frozen-base property.
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/transformer.h"
+
+namespace emmark {
+namespace {
+
+TEST(Lora, FreshAdapterIsExactNoop) {
+  Rng rng(1);
+  Linear layer("fc", 6, 4, false, rng);
+  Tensor x({3, 6});
+  for (float& v : x.flat()) v = rng.next_normal_f();
+  Tensor before;
+  layer.forward(x, before);
+
+  layer.attach_lora(2, 4.0f, 7);
+  Tensor after;
+  layer.forward(x, after);
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_EQ(before.flat()[i], after.flat()[i]);  // B starts at zero
+  }
+}
+
+TEST(Lora, AdapterChangesOutputOnceBIsNonzero) {
+  Rng rng(2);
+  Linear layer("fc", 6, 4, false, rng);
+  layer.attach_lora(2, 4.0f, 7);
+  layer.lora()->b().value.fill(0.1f);
+  Tensor x = Tensor::full({2, 6}, 1.0f);
+  Tensor with_adapter;
+  layer.forward(x, with_adapter);
+
+  Linear bare("fc", 6, 4, false, rng);
+  // Same base weights.
+  bare.weight().value = layer.weight().value;
+  Tensor without;
+  bare.forward(x, without);
+
+  float diff = 0.0f;
+  for (int64_t i = 0; i < with_adapter.numel(); ++i) {
+    diff += std::fabs(with_adapter.flat()[i] - without.flat()[i]);
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(Lora, FrozenBaseOnlyAdapterParamsTrainable) {
+  Rng rng(3);
+  Linear layer("fc", 6, 4, true, rng);
+  layer.set_frozen(true);
+  layer.attach_lora(2, 4.0f, 9);
+  const auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "fc.lora_a");
+  EXPECT_EQ(params[1]->name, "fc.lora_b");
+}
+
+TEST(Lora, AdapterGradCheck) {
+  Rng rng(4);
+  Linear layer("fc", 5, 3, false, rng);
+  layer.set_frozen(true);
+  layer.attach_lora(2, 2.0f, 11);
+  // Give B nonzero values so gradients flow to A too.
+  for (float& v : layer.lora()->b().value.flat()) v = rng.next_normal_f(0.0f, 0.1f);
+
+  Tensor x({4, 5});
+  for (float& v : x.flat()) v = rng.next_normal_f();
+  Tensor dy({4, 3});
+  for (float& v : dy.flat()) v = rng.next_normal_f();
+
+  Tensor y, dx;
+  layer.forward(x, y);
+  layer.backward(dy, dx);
+
+  auto loss = [&]() {
+    Tensor out;
+    layer.forward(x, out);
+    double total = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      total += static_cast<double>(out.flat()[i]) * dy.flat()[i];
+    }
+    return total;
+  };
+
+  const float h = 1e-2f;
+  for (Parameter* p : layer.parameters()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      Rng pick(100 + trial);
+      const int64_t idx =
+          static_cast<int64_t>(pick.next_below(static_cast<uint64_t>(p->numel())));
+      const float saved = p->value.flat()[idx];
+      p->value.flat()[idx] = saved + h;
+      const double up = loss();
+      p->value.flat()[idx] = saved - h;
+      const double down = loss();
+      p->value.flat()[idx] = saved;
+      const double numeric = (up - down) / (2.0 * h);
+      EXPECT_NEAR(p->grad.flat()[idx], numeric, 2e-2 + 0.05 * std::fabs(numeric))
+          << p->name << "[" << idx << "]";
+    }
+  }
+}
+
+TEST(Lora, AttachAllFreezesEveryLinear) {
+  ModelConfig config;
+  config.family = ArchFamily::kLlamaStyle;
+  config.vocab_size = 20;
+  config.d_model = 8;
+  config.n_layers = 2;
+  config.n_heads = 2;
+  config.ffn_hidden = 16;
+  config.max_seq = 8;
+  TransformerLM model(config);
+  const int64_t before = static_cast<int64_t>(model.parameters().size());
+  model.attach_lora_all(2, 4.0f, 13);
+  for (auto& ref : model.quantizable_linears()) {
+    EXPECT_TRUE(ref.linear->frozen());
+    EXPECT_TRUE(ref.linear->has_lora());
+  }
+  // Parameter list now excludes linear base weights but includes adapters.
+  const auto params = model.parameters();
+  int64_t lora_params = 0;
+  for (Parameter* p : params) {
+    EXPECT_EQ(p->name.find("lm_head.weight"), std::string::npos);
+    if (p->name.find("lora") != std::string::npos) ++lora_params;
+  }
+  EXPECT_EQ(lora_params, 2 * static_cast<int64_t>(model.quantizable_linears().size()));
+  EXPECT_NE(static_cast<int64_t>(params.size()), before);
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,124 @@
+// LayerNorm / RMSNorm: forward statistics and finite-difference backward.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/norm.h"
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+Tensor random_matrix(int64_t m, int64_t d, uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({m, d});
+  for (float& v : x.flat()) v = rng.next_normal_f(0.5f, 2.0f);
+  return x;
+}
+
+TEST(LayerNorm, RowsAreStandardized) {
+  LayerNorm ln("ln", 16);
+  const Tensor x = random_matrix(4, 16, 1);
+  Tensor y;
+  ln.forward(x, y);
+  for (int64_t i = 0; i < 4; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < 16; ++j) mean += y.at(i, j);
+    mean /= 16.0;
+    for (int64_t j = 0; j < 16; ++j) var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  LayerNorm ln("ln", 4);
+  ln.gamma().value.fill(2.0f);
+  ln.beta().value.fill(0.5f);
+  const Tensor x = random_matrix(2, 4, 2);
+  Tensor y;
+  ln.forward(x, y);
+  for (int64_t i = 0; i < 2; ++i) {
+    double mean = 0.0;
+    for (int64_t j = 0; j < 4; ++j) mean += y.at(i, j);
+    EXPECT_NEAR(mean / 4.0, 0.5, 1e-4);  // beta shifts the mean
+  }
+}
+
+TEST(RmsNorm, UnitRmsAfterNormalization) {
+  RmsNorm rms("rms", 16);
+  const Tensor x = random_matrix(3, 16, 3);
+  Tensor y;
+  rms.forward(x, y);
+  for (int64_t i = 0; i < 3; ++i) {
+    double ss = 0.0;
+    for (int64_t j = 0; j < 16; ++j) ss += y.at(i, j) * y.at(i, j);
+    EXPECT_NEAR(std::sqrt(ss / 16.0), 1.0, 1e-3);
+  }
+}
+
+template <typename Norm>
+void check_input_gradient(Norm& norm, int64_t m, int64_t d, uint64_t seed) {
+  const Tensor x = random_matrix(m, d, seed);
+  Tensor y;
+  norm.forward(x, y);
+  // Loss: weighted sum so gradients differ per element.
+  Tensor dy({m, d});
+  Rng rng(seed + 1);
+  for (float& v : dy.flat()) v = rng.next_normal_f();
+  Tensor dx;
+  norm.backward(dy, dx);
+
+  auto loss = [&](const Tensor& input) {
+    Tensor out;
+    norm.forward(input, out);
+    double total = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      total += static_cast<double>(out.flat()[i]) * dy.flat()[i];
+    }
+    return total;
+  };
+
+  const float h = 1e-2f;
+  Rng pick(seed + 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t idx = static_cast<int64_t>(pick.next_below(static_cast<uint64_t>(x.numel())));
+    Tensor xp = x;
+    xp.flat()[idx] += h;
+    Tensor xm = x;
+    xm.flat()[idx] -= h;
+    const double numeric = (loss(xp) - loss(xm)) / (2.0 * h);
+    EXPECT_NEAR(dx.flat()[idx], numeric, 2e-2)
+        << "element " << idx;
+  }
+  // restore caches for the caller (forward on original input)
+  Tensor tmp;
+  norm.forward(x, tmp);
+}
+
+TEST(LayerNorm, BackwardMatchesFiniteDifference) {
+  LayerNorm ln("ln", 12);
+  check_input_gradient(ln, 3, 12, 10);
+}
+
+TEST(RmsNorm, BackwardMatchesFiniteDifference) {
+  RmsNorm rms("rms", 12);
+  check_input_gradient(rms, 3, 12, 11);
+}
+
+TEST(LayerNorm, GammaGradAccumulates) {
+  LayerNorm ln("ln", 6);
+  const Tensor x = random_matrix(2, 6, 12);
+  Tensor y, dx;
+  ln.forward(x, y);
+  ln.backward(Tensor::full({2, 6}, 1.0f), dx);
+  const float after_one = ln.gamma().grad.abs_max();
+  EXPECT_GT(after_one, 0.0f);
+  ln.forward(x, y);
+  ln.backward(Tensor::full({2, 6}, 1.0f), dx);
+  EXPECT_NEAR(ln.gamma().grad.abs_max(), 2.0f * after_one, 1e-4f);
+}
+
+}  // namespace
+}  // namespace emmark

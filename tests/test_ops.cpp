@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace emmark {
+namespace {
+
+TEST(Ops, ReluAndSilu) {
+  EXPECT_EQ(relu(-1.0f), 0.0f);
+  EXPECT_EQ(relu(2.5f), 2.5f);
+  EXPECT_NEAR(silu(0.0f), 0.0f, 1e-7f);
+  EXPECT_NEAR(silu(10.0f), 10.0f, 1e-3f);  // sigmoid saturates to 1
+  EXPECT_LT(silu(-10.0f), 0.0f);
+  EXPECT_NEAR(silu(-10.0f), 0.0f, 1e-3f);
+}
+
+TEST(Ops, SiluGradMatchesFiniteDifference) {
+  for (float x : {-3.0f, -1.0f, -0.1f, 0.0f, 0.1f, 1.0f, 3.0f}) {
+    const float h = 1e-3f;
+    const float numeric = (silu(x + h) - silu(x - h)) / (2 * h);
+    EXPECT_NEAR(silu_grad(x), numeric, 1e-3f) << "x=" << x;
+  }
+}
+
+TEST(Ops, SoftmaxRowSumsToOne) {
+  std::vector<float> row{1.0f, 2.0f, 3.0f, 4.0f};
+  softmax_inplace(row);
+  float total = 0.0f;
+  for (float v : row) {
+    EXPECT_GT(v, 0.0f);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-6f);
+  EXPECT_GT(row[3], row[0]);
+}
+
+TEST(Ops, SoftmaxStableUnderLargeInputs) {
+  std::vector<float> row{1000.0f, 1000.0f};
+  softmax_inplace(row);
+  EXPECT_NEAR(row[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(row[1], 0.5f, 1e-6f);
+}
+
+TEST(Ops, LogSoftmaxMatchesSoftmax) {
+  const std::vector<float> logits{0.5f, -1.0f, 2.0f};
+  std::vector<float> probs = logits;
+  softmax_inplace(probs);
+  std::vector<float> logp(3);
+  log_softmax(std::span<const float>(logits), logp);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(std::exp(logp[i]), probs[i], 1e-6f);
+}
+
+TEST(Ops, ColumnAbsMeanAndMax) {
+  const Tensor x = Tensor::from_matrix(2, 3, {1, -2, 3, -4, 5, -6});
+  const auto mean = column_abs_mean(x);
+  const auto max = column_abs_max(x);
+  ASSERT_EQ(mean.size(), 3u);
+  EXPECT_NEAR(mean[0], 2.5f, 1e-6f);
+  EXPECT_NEAR(mean[1], 3.5f, 1e-6f);
+  EXPECT_NEAR(mean[2], 4.5f, 1e-6f);
+  EXPECT_EQ(max[0], 4.0f);
+  EXPECT_EQ(max[2], 6.0f);
+}
+
+TEST(Ops, RowAbsMax) {
+  const Tensor x = Tensor::from_matrix(2, 2, {1, -7, 0, 3});
+  const auto rmax = row_abs_max(x);
+  EXPECT_EQ(rmax[0], 7.0f);
+  EXPECT_EQ(rmax[1], 3.0f);
+}
+
+TEST(Ops, ArgmaxFirstWins) {
+  const std::vector<float> xs{1.0f, 3.0f, 3.0f, 2.0f};
+  EXPECT_EQ(argmax(xs), 1);
+  EXPECT_EQ(argmax(std::span<const float>{}), -1);
+}
+
+TEST(Ops, MseAndCosine) {
+  const Tensor a = Tensor::from_vector({1, 2, 3});
+  const Tensor b = Tensor::from_vector({1, 2, 3});
+  EXPECT_DOUBLE_EQ(mse(a, b), 0.0);
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-9);
+
+  const Tensor c = Tensor::from_vector({-1, -2, -3});
+  EXPECT_NEAR(cosine_similarity(a, c), -1.0, 1e-9);
+
+  const Tensor zero = Tensor::from_vector({0, 0, 0});
+  EXPECT_EQ(cosine_similarity(a, zero), 0.0);
+}
+
+TEST(Ops, RankChecksThrow) {
+  Tensor vec({4});
+  EXPECT_THROW(column_abs_mean(vec), TensorError);
+  EXPECT_THROW(row_abs_max(vec), TensorError);
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,127 @@
+// QuantizedModel: construction across all six methods, materialization
+// fidelity, copy semantics.
+#include <gtest/gtest.h>
+
+#include "data/corpus.h"
+#include "eval/perplexity.h"
+#include "quant/qmodel.h"
+
+namespace emmark {
+namespace {
+
+struct QmFixture {
+  QmFixture() {
+    ModelConfig config;
+    config.family = ArchFamily::kOptStyle;
+    config.vocab_size = synth_vocab().size();
+    config.d_model = 32;
+    config.n_layers = 2;
+    config.n_heads = 2;
+    config.ffn_hidden = 64;
+    config.max_seq = 24;
+    config.init_seed = 21;
+    model = std::make_unique<TransformerLM>(config);
+    CorpusConfig cc;
+    cc.train_tokens = 6000;
+    corpus = make_corpus(synth_vocab(), cc);
+    CalibConfig calib;
+    calib.batches = 4;
+    calib.seq_len = 16;
+    stats = collect_activation_stats(*model, corpus.train, calib);
+  }
+  std::unique_ptr<TransformerLM> model;
+  Corpus corpus;
+  ActivationStats stats;
+};
+
+class AllMethods : public ::testing::TestWithParam<QuantMethod> {};
+
+TEST_P(AllMethods, ConstructsWithOneTensorPerLinear) {
+  QmFixture f;
+  const QuantizedModel qm(*f.model, f.stats, GetParam());
+  EXPECT_EQ(qm.num_layers(),
+            static_cast<int64_t>(f.model->quantizable_linears().size()));
+  EXPECT_EQ(qm.method(), GetParam());
+  EXPECT_EQ(qm.bits(), bits_of(GetParam()));
+  EXPECT_GT(qm.quantized_param_count(), 0);
+}
+
+TEST_P(AllMethods, MaterializedModelStaysClose) {
+  QmFixture f;
+  const QuantizedModel qm(*f.model, f.stats, GetParam());
+  auto deq = qm.materialize();
+  // Fake-quant perplexity should stay in the same ballpark as FP.
+  PplConfig ppl_config;
+  ppl_config.seq_len = 16;
+  const double fp_ppl = perplexity(*f.model, f.corpus.valid, ppl_config);
+  const double q_ppl = perplexity(*deq, f.corpus.valid, ppl_config);
+  EXPECT_LT(q_ppl, fp_ppl * 1.5) << to_string(GetParam());
+  EXPECT_GT(q_ppl, fp_ppl * 0.5) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllMethods,
+    ::testing::Values(QuantMethod::kRtnInt8, QuantMethod::kSmoothQuantInt8,
+                      QuantMethod::kLlmInt8, QuantMethod::kRtnInt4,
+                      QuantMethod::kAwqInt4, QuantMethod::kGptqInt4),
+    [](const ::testing::TestParamInfo<QuantMethod>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(QModel, Int8TighterThanInt4) {
+  QmFixture f;
+  const QuantizedModel q8(*f.model, f.stats, QuantMethod::kRtnInt8);
+  const QuantizedModel q4(*f.model, f.stats, QuantMethod::kRtnInt4);
+  auto m8 = q8.materialize();
+  auto m4 = q4.materialize();
+  // Average per-layer weight reconstruction error: INT8 must be far lower.
+  double e8 = 0.0, e4 = 0.0;
+  auto fp = f.model->quantizable_linears();
+  auto l8 = m8->quantizable_linears();
+  auto l4 = m4->quantizable_linears();
+  for (size_t i = 0; i < fp.size(); ++i) {
+    Tensor d8 = l8[i].linear->weight().value;
+    d8.axpy_(-1.0f, fp[i].linear->weight().value);
+    Tensor d4 = l4[i].linear->weight().value;
+    d4.axpy_(-1.0f, fp[i].linear->weight().value);
+    e8 += d8.squared_norm();
+    e4 += d4.squared_norm();
+  }
+  EXPECT_LT(e8 * 5.0, e4);
+}
+
+TEST(QModel, CopyIsDeep) {
+  QmFixture f;
+  QuantizedModel a(*f.model, f.stats, QuantMethod::kAwqInt4);
+  QuantizedModel b = a;
+  // Mutate the copy; the original's codes must not move.
+  const int8_t original_code = a.layer(0).weights.code_flat(0);
+  int8_t new_code = original_code < a.layer(0).weights.qmax()
+                        ? static_cast<int8_t>(original_code + 1)
+                        : static_cast<int8_t>(original_code - 1);
+  b.layer(0).weights.set_code_flat(0, new_code);
+  EXPECT_EQ(a.layer(0).weights.code_flat(0), original_code);
+  EXPECT_NE(b.layer(0).weights.code_flat(0), original_code);
+}
+
+TEST(QModel, FindLayerByName) {
+  QmFixture f;
+  const QuantizedModel qm(*f.model, f.stats, QuantMethod::kRtnInt8);
+  EXPECT_NO_THROW(qm.find_layer("lm_head"));
+  EXPECT_NO_THROW(qm.find_layer("blocks.0.attn.q_proj"));
+  EXPECT_THROW(qm.find_layer("blocks.9.attn.q_proj"), std::out_of_range);
+}
+
+TEST(QModel, MethodNames) {
+  EXPECT_STREQ(to_string(QuantMethod::kAwqInt4), "awq-int4");
+  EXPECT_STREQ(to_string(QuantMethod::kSmoothQuantInt8), "smoothquant-int8");
+  EXPECT_EQ(bits_of(QuantMethod::kGptqInt4), QuantBits::kInt4);
+  EXPECT_EQ(bits_of(QuantMethod::kLlmInt8), QuantBits::kInt8);
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,158 @@
+// QuantizedTensor: grids, scales, saturation, decorations, persistence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "quant/qtensor.h"
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+Tensor random_weight(int64_t rows, int64_t cols, uint64_t seed, float scale = 0.1f) {
+  Rng rng(seed);
+  Tensor w({rows, cols});
+  for (float& v : w.flat()) v = rng.next_normal_f(0.0f, scale);
+  return w;
+}
+
+TEST(QTensor, GridBoundsPerBitWidth) {
+  QuantizedTensor q8(2, 4, QuantBits::kInt8, 0);
+  EXPECT_EQ(q8.qmin(), -127);
+  EXPECT_EQ(q8.qmax(), 127);
+  QuantizedTensor q4(2, 4, QuantBits::kInt4, 0);
+  EXPECT_EQ(q4.qmin(), -7);
+  EXPECT_EQ(q4.qmax(), 7);
+}
+
+TEST(QTensor, SetCodeRejectsOutOfRange) {
+  QuantizedTensor q(1, 4, QuantBits::kInt4, 0);
+  EXPECT_NO_THROW(q.set_code(0, 0, 7));
+  EXPECT_NO_THROW(q.set_code(0, 1, -7));
+  EXPECT_THROW(q.set_code(0, 2, 8), std::out_of_range);
+  EXPECT_THROW(q.set_code(0, 3, -8), std::out_of_range);
+}
+
+TEST(QTensor, SaturationDetection) {
+  QuantizedTensor q(1, 3, QuantBits::kInt4, 0);
+  q.set_code(0, 0, 7);
+  q.set_code(0, 1, -7);
+  q.set_code(0, 2, 3);
+  EXPECT_TRUE(q.is_saturated(0, 0));
+  EXPECT_TRUE(q.is_saturated(0, 1));
+  EXPECT_FALSE(q.is_saturated(0, 2));
+}
+
+TEST(QTensor, GroupGeometryValidation) {
+  EXPECT_NO_THROW(QuantizedTensor(2, 32, QuantBits::kInt4, 16));
+  EXPECT_THROW(QuantizedTensor(2, 30, QuantBits::kInt4, 16), std::invalid_argument);
+  EXPECT_THROW(QuantizedTensor(0, 4, QuantBits::kInt8, 0), std::invalid_argument);
+}
+
+TEST(QTensor, RtnRoundTripErrorBounded) {
+  const Tensor w = random_weight(8, 32, 1);
+  for (QuantBits bits : {QuantBits::kInt8, QuantBits::kInt4}) {
+    for (int64_t group : {int64_t{0}, int64_t{16}}) {
+      const QuantizedTensor q = quantize_rtn(w, bits, group);
+      const Tensor recon = q.dequantize();
+      // Max error is half a step = absmax/(2*qmax) per group.
+      for (int64_t r = 0; r < w.dim(0); ++r) {
+        for (int64_t c = 0; c < w.dim(1); ++c) {
+          const float step = q.scale(r, c);
+          EXPECT_LE(std::fabs(recon.at(r, c) - w.at(r, c)), 0.5f * step + 1e-7f)
+              << to_string(bits) << " g" << group;
+        }
+      }
+    }
+  }
+}
+
+TEST(QTensor, RtnInt8MuchTighterThanInt4) {
+  const Tensor w = random_weight(16, 64, 2);
+  const Tensor r8 = quantize_rtn(w, QuantBits::kInt8, 0).dequantize();
+  const Tensor r4 = quantize_rtn(w, QuantBits::kInt4, 0).dequantize();
+  double e8 = 0.0, e4 = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    e8 += std::pow(r8.flat()[i] - w.flat()[i], 2.0f);
+    e4 += std::pow(r4.flat()[i] - w.flat()[i], 2.0f);
+  }
+  EXPECT_LT(e8 * 10.0, e4);
+}
+
+TEST(QTensor, GroupingReducesInt4Error) {
+  // A weight row with one huge outlier: per-row scale wrecks the small
+  // weights, group-wise scales confine the damage.
+  Tensor w({1, 32});
+  Rng rng(3);
+  for (float& v : w.flat()) v = rng.next_normal_f(0.0f, 0.05f);
+  w.at(0, 0) = 5.0f;
+  const Tensor per_row = quantize_rtn(w, QuantBits::kInt4, 0).dequantize();
+  const Tensor grouped = quantize_rtn(w, QuantBits::kInt4, 16).dequantize();
+  // The outlier sits in group 0 (cols 0..15); group 1 (cols 16..31) must be
+  // rescued by group-wise scales while per-row scales wreck it.
+  double e_row = 0.0, e_group = 0.0;
+  for (int64_t i = 16; i < 32; ++i) {
+    e_row += std::pow(per_row.at(0, i) - w.at(0, i), 2.0f);
+    e_group += std::pow(grouped.at(0, i) - w.at(0, i), 2.0f);
+  }
+  EXPECT_LT(e_group, e_row * 0.25);
+}
+
+TEST(QTensor, ZeroWeightQuantizesToZero) {
+  Tensor w({2, 4});
+  const QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, 0);
+  const Tensor recon = q.dequantize();
+  for (int64_t i = 0; i < recon.numel(); ++i) EXPECT_EQ(recon.flat()[i], 0.0f);
+}
+
+TEST(QTensor, InputScaleFoldsIntoDequant) {
+  Tensor w = Tensor::from_matrix(1, 2, {1.0f, 2.0f});
+  QuantizedTensor q = quantize_rtn(w, QuantBits::kInt8, 0);
+  q.set_input_scale({2.0f, 4.0f});
+  const Tensor recon = q.dequantize();
+  // dequantize divides by the input scale.
+  EXPECT_NEAR(recon.at(0, 0), 0.5f, 0.01f);
+  EXPECT_NEAR(recon.at(0, 1), 0.5f, 0.01f);
+  EXPECT_THROW(q.set_input_scale({1.0f}), std::invalid_argument);
+}
+
+TEST(QTensor, OutlierColumnsBypassQuantization) {
+  Tensor w = random_weight(4, 8, 5);
+  QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, 0);
+  Tensor outlier_w({4, 1});
+  for (int64_t r = 0; r < 4; ++r) outlier_w.at(r, 0) = w.at(r, 3);
+  q.set_outliers({3}, outlier_w);
+  EXPECT_TRUE(q.is_outlier_col(3));
+  EXPECT_FALSE(q.is_outlier_col(2));
+  const Tensor recon = q.dequantize();
+  for (int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(recon.at(r, 3), w.at(r, 3));  // exact FP passthrough
+    EXPECT_EQ(q.dequantize_at(r, 3), w.at(r, 3));
+  }
+}
+
+TEST(QTensor, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_qt_rt.bin").string();
+  Tensor w = random_weight(4, 32, 6);
+  QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, 16);
+  q.set_input_scale(std::vector<float>(32, 1.5f));
+  {
+    BinaryWriter writer(path, "QTEST", 1);
+    q.save(writer);
+    writer.close();
+  }
+  BinaryReader reader(path, "QTEST", 1);
+  const QuantizedTensor back = QuantizedTensor::load(reader);
+  EXPECT_EQ(back.rows(), q.rows());
+  EXPECT_EQ(back.cols(), q.cols());
+  EXPECT_EQ(back.bits(), q.bits());
+  EXPECT_EQ(back.codes(), q.codes());
+  EXPECT_EQ(back.input_scale(), q.input_scale());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emmark

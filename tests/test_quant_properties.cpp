@@ -1,0 +1,112 @@
+// Cross-cutting quantization properties: idempotence, monotonicity in bit
+// width, and invariances the watermark relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/awq.h"
+#include "quant/qmodel.h"
+#include "quant/rtn.h"
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+Tensor random_weight(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor w({rows, cols});
+  for (float& v : w.flat()) v = rng.next_normal_f(0.0f, 0.1f);
+  return w;
+}
+
+// Quantizing an already-quantized (dequantized) weight is a fixed point:
+// codes reproduce exactly. This is why a pirate cannot "launder" the
+// watermark by re-running RTN over a dumped model.
+class RtnIdempotence
+    : public ::testing::TestWithParam<std::tuple<QuantBits, int64_t>> {};
+
+TEST_P(RtnIdempotence, RequantizationReproducesCodes) {
+  const auto [bits, group] = GetParam();
+  const Tensor w = random_weight(8, 32, 42);
+  const QuantizedTensor q1 = quantize_rtn(w, bits, group);
+  const QuantizedTensor q2 = quantize_rtn(q1.dequantize(), bits, group);
+  EXPECT_EQ(q1.codes(), q2.codes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RtnIdempotence,
+    ::testing::Combine(::testing::Values(QuantBits::kInt4, QuantBits::kInt8),
+                       ::testing::Values(int64_t{0}, int64_t{16})));
+
+TEST(QuantProperties, ErrorShrinksWithBits) {
+  const Tensor w = random_weight(16, 64, 7);
+  double prev_err = 1e30;
+  for (QuantBits bits : {QuantBits::kInt4, QuantBits::kInt8}) {
+    const Tensor recon = quantize_rtn(w, bits, 16).dequantize();
+    double err = 0.0;
+    for (int64_t i = 0; i < w.numel(); ++i) {
+      err += std::pow(recon.flat()[i] - w.flat()[i], 2.0f);
+    }
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(QuantProperties, ScalingWeightsScalesDequant) {
+  // Symmetric quantization is scale-equivariant: quantizing 2W yields the
+  // same codes with doubled scales.
+  const Tensor w = random_weight(4, 32, 9);
+  Tensor w2 = w;
+  w2.scale_(2.0f);
+  const QuantizedTensor qa = quantize_rtn(w, QuantBits::kInt4, 16);
+  const QuantizedTensor qb = quantize_rtn(w2, QuantBits::kInt4, 16);
+  EXPECT_EQ(qa.codes(), qb.codes());
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t g = 0; g < qa.groups_per_row(); ++g) {
+      EXPECT_NEAR(qb.scale(r, g * 16), 2.0f * qa.scale(r, g * 16), 1e-6f);
+    }
+  }
+}
+
+TEST(QuantProperties, EveryGroupHasASaturatedCode) {
+  // Symmetric absmax scaling puts each group's largest weight exactly at
+  // +-qmax -- the reason EmMark must exclude saturated codes.
+  const Tensor w = random_weight(6, 32, 11);
+  const QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, 16);
+  for (int64_t r = 0; r < 6; ++r) {
+    for (int64_t g = 0; g < q.groups_per_row(); ++g) {
+      bool any_saturated = false;
+      for (int64_t c = g * 16; c < (g + 1) * 16; ++c) {
+        any_saturated |= q.is_saturated(r, c);
+      }
+      EXPECT_TRUE(any_saturated) << "row " << r << " group " << g;
+    }
+  }
+}
+
+TEST(QuantProperties, AwqReducesToRtnOnFlatActivations) {
+  // With uniform activations every candidate scale vector is all-ones, so
+  // AWQ's choice must coincide with plain RTN.
+  const Tensor w = random_weight(8, 32, 13);
+  const std::vector<float> flat(32, 1.0f);
+  AwqConfig config;
+  config.group_size = 16;
+  const AwqResult result = awq(w, flat, config);
+  const QuantizedTensor plain = rtn(w, RtnConfig{QuantBits::kInt4, 16});
+  EXPECT_EQ(result.tensor.codes(), plain.codes());
+}
+
+TEST(QuantProperties, DequantizeAtMatchesFullDequantize) {
+  const Tensor w = random_weight(5, 32, 17);
+  QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, 16);
+  q.set_input_scale(std::vector<float>(32, 1.5f));
+  const Tensor full = q.dequantize();
+  for (int64_t r = 0; r < 5; ++r) {
+    for (int64_t c = 0; c < 32; ++c) {
+      EXPECT_FLOAT_EQ(q.dequantize_at(r, c), full.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emmark

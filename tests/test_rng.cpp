@@ -1,0 +1,151 @@
+// Determinism and distribution sanity of the xoshiro256++ engine -- the
+// watermark's reproducibility rests on this.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace emmark {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  const uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, SignIsBalanced) {
+  Rng rng(17);
+  int plus = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int s = rng.next_sign();
+    ASSERT_TRUE(s == 1 || s == -1);
+    if (s == 1) ++plus;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / n, 0.5, 0.02);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(23);
+  const auto picks = rng.sample_indices(100, 30);
+  ASSERT_EQ(picks.size(), 30u);
+  std::set<size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, SampleIndicesFullPopulationIsPermutation) {
+  Rng rng(29);
+  auto picks = rng.sample_indices(50, 50);
+  std::sort(picks.begin(), picks.end());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(picks[i], i);
+}
+
+TEST(Rng, SampleIndicesClampsOversizedRequest) {
+  Rng rng(31);
+  EXPECT_EQ(rng.sample_indices(5, 10).size(), 5u);
+}
+
+TEST(Rng, SampleIndicesDeterministicPerSeed) {
+  Rng a(99), b(99);
+  EXPECT_EQ(a.sample_indices(1000, 100), b.sample_indices(1000, 100));
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, WeightedChoiceFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.next_weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, SplitmixDistinctOutputs) {
+  uint64_t state = 0;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(state));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace emmark

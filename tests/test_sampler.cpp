@@ -1,0 +1,151 @@
+// Autoregressive sampling + grammaticality scoring.
+#include <gtest/gtest.h>
+
+#include "attack/prune.h"
+#include "data/corpus.h"
+#include "nn/sampler.h"
+#include "nn/trainer.h"
+#include "eval/perplexity.h"
+#include "quant/qmodel.h"
+
+#include <set>
+
+namespace emmark {
+namespace {
+
+struct SamplerFixture {
+  SamplerFixture() {
+    ModelConfig config;
+    config.family = ArchFamily::kOptStyle;
+    config.vocab_size = synth_vocab().size();
+    config.d_model = 32;
+    config.n_layers = 2;
+    config.n_heads = 2;
+    config.ffn_hidden = 64;
+    config.max_seq = 32;
+    config.init_seed = 31;
+    model = std::make_unique<TransformerLM>(config);
+    CorpusConfig cc;
+    cc.train_tokens = 30'000;
+    corpus = make_corpus(synth_vocab(), cc);
+    TrainConfig train;
+    train.steps = 220;
+    train.seq_len = 24;
+    Trainer(*model, corpus.train, train).train();
+  }
+  std::unique_ptr<TransformerLM> model;
+  Corpus corpus;
+};
+
+SamplerFixture& fixture() {
+  static SamplerFixture f;
+  return f;
+}
+
+TEST(Sampler, GreedyIsDeterministic) {
+  Sampler sampler(*fixture().model);
+  const std::vector<TokenId> prompt{synth_vocab().bos()};
+  SampleConfig config;
+  config.max_tokens = 12;
+  const auto a = sampler.sample(prompt, config);
+  const auto b = sampler.sample(prompt, config);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 12u);
+}
+
+TEST(Sampler, TemperatureSamplingVariesWithSeed) {
+  Sampler sampler(*fixture().model);
+  const std::vector<TokenId> prompt{synth_vocab().bos()};
+  SampleConfig config;
+  config.max_tokens = 16;
+  config.temperature = 1.0;
+  config.seed = 1;
+  const auto a = sampler.sample(prompt, config);
+  config.seed = 2;
+  const auto b = sampler.sample(prompt, config);
+  EXPECT_NE(a, b);
+}
+
+TEST(Sampler, StopTokenEndsGeneration) {
+  Sampler sampler(*fixture().model);
+  const std::vector<TokenId> prompt{synth_vocab().bos()};
+  SampleConfig config;
+  config.max_tokens = 30;
+  config.stop_token = synth_vocab().eos();
+  const auto out = sampler.sample(prompt, config);
+  if (!out.empty() && out.back() == synth_vocab().eos()) {
+    for (size_t i = 0; i + 1 < out.size(); ++i) {
+      EXPECT_NE(out[i], synth_vocab().eos());
+    }
+  }
+}
+
+TEST(Sampler, PromptLongerThanContextIsWindowed) {
+  Sampler sampler(*fixture().model);
+  std::vector<TokenId> prompt(50, synth_vocab().id("the"));
+  SampleConfig config;
+  config.max_tokens = 4;
+  EXPECT_NO_THROW(sampler.sample(prompt, config));
+  EXPECT_THROW(sampler.sample({}, config), std::invalid_argument);
+}
+
+TEST(Sampler, TrainedModelGeneratesGrammaticalText) {
+  Sampler sampler(*fixture().model);
+  const std::vector<TokenId> prompt{synth_vocab().bos()};
+  SampleConfig config;
+  config.max_tokens = 40;
+  config.temperature = 0.7;
+  config.seed = 5;
+  const auto tokens = sampler.sample(prompt, config);
+  const double score = Sampler::grammaticality(synth_vocab(), tokens);
+  EXPECT_GT(score, 0.7) << synth_vocab().render(tokens);
+}
+
+TEST(Sampler, GrammaticalityScoresHandwrittenCases) {
+  const Vocab& v = synth_vocab();
+  // "the cat sleeps" -- agree; "the cats sleeps" -- disagree.
+  const std::vector<TokenId> good{v.id("the"), v.id("cat"), v.id("sleeps")};
+  const std::vector<TokenId> bad{v.id("the"), v.id("cats"), v.id("sleeps")};
+  EXPECT_DOUBLE_EQ(Sampler::grammaticality(v, good), 1.0);
+  EXPECT_DOUBLE_EQ(Sampler::grammaticality(v, bad), 0.0);
+  // Attractor case: "the cat near the dogs sleeps" -- agree with head.
+  const std::vector<TokenId> attractor{v.id("the"),  v.id("cat"), v.id("near"),
+                                       v.id("the"),  v.id("dogs"),
+                                       v.id("sleeps")};
+  EXPECT_DOUBLE_EQ(Sampler::grammaticality(v, attractor), 1.0);
+  // No scorable sentence at all.
+  const std::vector<TokenId> none{v.id("quickly"), v.id(".")};
+  EXPECT_DOUBLE_EQ(Sampler::grammaticality(v, none), -1.0);
+}
+
+TEST(Sampler, PrunedModelBreaksDown) {
+  // The paper's "model ability breakdown": heavy pruning of the quantized
+  // model destroys its language modelling. (Its *samples* can remain
+  // locally grammatical -- degenerate loops of memorized bigrams -- so the
+  // breakdown is asserted on held-out perplexity, and we additionally
+  // check the sampler surfaces the degeneracy as reduced diversity.)
+  SamplerFixture& f = fixture();
+  const ActivationStats stats =
+      collect_activation_stats(*f.model, f.corpus.train, {});
+  QuantizedModel quantized(*f.model, stats, QuantMethod::kAwqInt4);
+  PruneConfig prune;
+  prune.fraction = 0.85;
+  prune_attack(quantized, prune);
+  auto broken = quantized.materialize();
+
+  PplConfig ppl_config;
+  ppl_config.seq_len = 24;
+  const double healthy_ppl = perplexity(*f.model, f.corpus.test, ppl_config);
+  const double broken_ppl = perplexity(*broken, f.corpus.test, ppl_config);
+  EXPECT_GT(broken_ppl, healthy_ppl * 2.0);
+
+  // The sampler still runs on the broken model (no crashes / non-finite
+  // logits), which is what the attack_lab example relies on.
+  Sampler broken_sampler(*broken);
+  SampleConfig config;
+  config.max_tokens = 20;
+  EXPECT_NO_THROW(broken_sampler.sample({synth_vocab().bos()}, config));
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "wm/signature.h"
+
+namespace emmark {
+namespace {
+
+TEST(Signature, RademacherBitsAreSigns) {
+  const auto bits = rademacher_signature(1, 500);
+  ASSERT_EQ(bits.size(), 500u);
+  for (int8_t b : bits) EXPECT_TRUE(b == 1 || b == -1);
+}
+
+TEST(Signature, RademacherBalanced) {
+  const auto bits = rademacher_signature(2, 20000);
+  int64_t plus = 0;
+  for (int8_t b : bits) {
+    if (b == 1) ++plus;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / 20000.0, 0.5, 0.02);
+}
+
+TEST(Signature, DeterministicPerSeed) {
+  EXPECT_EQ(rademacher_signature(7, 100), rademacher_signature(7, 100));
+  EXPECT_NE(rademacher_signature(7, 100), rademacher_signature(8, 100));
+}
+
+TEST(Signature, KeyRoundTrip) {
+  WatermarkKey key;
+  key.seed = 100;
+  key.alpha = 0.25;
+  key.beta = 0.75;
+  key.bits_per_layer = 40;
+  key.candidate_ratio = 60;
+  key.signature_seed = 31337;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_key_rt.bin").string();
+  {
+    BinaryWriter w(path, "KTEST", 1);
+    key.save(w);
+    w.close();
+  }
+  BinaryReader r(path, "KTEST", 1);
+  const WatermarkKey back = WatermarkKey::load(r);
+  EXPECT_EQ(back.seed, key.seed);
+  EXPECT_EQ(back.alpha, key.alpha);
+  EXPECT_EQ(back.beta, key.beta);
+  EXPECT_EQ(back.bits_per_layer, key.bits_per_layer);
+  EXPECT_EQ(back.candidate_ratio, key.candidate_ratio);
+  EXPECT_EQ(back.signature_seed, key.signature_seed);
+  std::remove(path.c_str());
+}
+
+TEST(Signature, PaperDefaults) {
+  const WatermarkKey key;
+  EXPECT_EQ(key.seed, 100u);       // paper Section 5.1
+  EXPECT_EQ(key.alpha, 0.5);       // paper Section 5.1
+  EXPECT_EQ(key.beta, 0.5);
+  EXPECT_EQ(key.candidate_ratio, 50);
+}
+
+}  // namespace
+}  // namespace emmark

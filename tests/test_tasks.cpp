@@ -1,0 +1,136 @@
+// Task generators: structural invariants of the four zero-shot suites.
+#include <gtest/gtest.h>
+
+#include "data/tasks.h"
+
+namespace emmark {
+namespace {
+
+class TaskSuite : public ::testing::TestWithParam<size_t> {
+ protected:
+  static const std::vector<TaskSet>& suite() {
+    static const std::vector<TaskSet> s = make_task_suite(synth_vocab(), 50, 99);
+    return s;
+  }
+};
+
+TEST_P(TaskSuite, ItemsWellFormed) {
+  const TaskSet& set = suite()[GetParam()];
+  EXPECT_EQ(set.items.size(), 50u);
+  for (const TaskItem& item : set.items) {
+    EXPECT_GE(item.options.size(), 2u);
+    EXPECT_GE(item.correct, 0);
+    EXPECT_LT(item.correct, static_cast<int64_t>(item.options.size()));
+    EXPECT_FALSE(item.context.empty());
+    for (const auto& option : item.options) {
+      EXPECT_FALSE(option.empty());
+      for (TokenId t : option) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, synth_vocab().size());
+      }
+    }
+  }
+}
+
+TEST_P(TaskSuite, OptionsAreDistinct) {
+  const TaskSet& set = suite()[GetParam()];
+  for (const TaskItem& item : set.items) {
+    for (size_t a = 0; a < item.options.size(); ++a) {
+      for (size_t b = a + 1; b < item.options.size(); ++b) {
+        EXPECT_NE(item.options[a], item.options[b]);
+      }
+    }
+  }
+}
+
+TEST_P(TaskSuite, CorrectIndexNotConstant) {
+  // If the correct answer were always option 0, likelihood ranking could be
+  // gamed by position; the generators shuffle.
+  const TaskSet& set = suite()[GetParam()];
+  int64_t first_count = 0;
+  for (const TaskItem& item : set.items) {
+    if (item.correct == 0) ++first_count;
+  }
+  EXPECT_LT(first_count, static_cast<int64_t>(set.items.size()));
+  EXPECT_GT(first_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskSuite, ::testing::Values(0, 1, 2, 3));
+
+TEST(Tasks, SuiteHasFourNamedSets) {
+  const auto suite = make_task_suite(synth_vocab(), 10, 1);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "s-lambada");
+  EXPECT_EQ(suite[1].name, "s-hellaswag");
+  EXPECT_EQ(suite[2].name, "s-piqa");
+  EXPECT_EQ(suite[3].name, "s-winogrande");
+}
+
+TEST(Tasks, DeterministicPerSeed) {
+  const auto a = make_task_suite(synth_vocab(), 20, 5);
+  const auto b = make_task_suite(synth_vocab(), 20, 5);
+  for (size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].items.size(), b[s].items.size());
+    for (size_t i = 0; i < a[s].items.size(); ++i) {
+      EXPECT_EQ(a[s].items[i].context, b[s].items[i].context);
+      EXPECT_EQ(a[s].items[i].correct, b[s].items[i].correct);
+    }
+  }
+}
+
+TEST(Tasks, LambadaCorrectOptionIsNoun) {
+  const Vocab& v = synth_vocab();
+  Rng rng(3);
+  const TaskSet set = make_lambada_like(v, 50, rng);
+  for (const TaskItem& item : set.items) {
+    const auto& correct = item.options[static_cast<size_t>(item.correct)];
+    ASSERT_EQ(correct.size(), 1u);
+    const auto cat = v.category(correct[0]);
+    EXPECT_TRUE(cat == TokenCategory::kNounSingular ||
+                cat == TokenCategory::kNounPlural);
+  }
+}
+
+TEST(Tasks, WinograndeCorrectVerbAgreesWithHeadNotAttractor) {
+  const Vocab& v = synth_vocab();
+  Rng rng(4);
+  const TaskSet set = make_winogrande_like(v, 50, rng);
+  for (const TaskItem& item : set.items) {
+    // Context: <bos> the HEAD prep the ATTRACTOR.
+    ASSERT_EQ(item.context.size(), 6u);
+    const TokenId head = item.context[2];
+    const TokenId attractor = item.context[5];
+    const bool head_plural = v.category(head) == TokenCategory::kNounPlural;
+    const bool attractor_plural =
+        v.category(attractor) == TokenCategory::kNounPlural;
+    EXPECT_NE(head_plural, attractor_plural);  // numbers always conflict
+
+    const auto& correct = item.options[static_cast<size_t>(item.correct)];
+    const auto cat = v.category(correct[0]);
+    if (head_plural) {
+      EXPECT_EQ(cat, TokenCategory::kVerbIntransPlural);
+    } else {
+      EXPECT_EQ(cat, TokenCategory::kVerbIntransSingular);
+    }
+  }
+}
+
+TEST(Tasks, HellaswagDistractorsAreScrambles) {
+  const Vocab& v = synth_vocab();
+  Rng rng(5);
+  const TaskSet set = make_hellaswag_like(v, 30, rng);
+  for (const TaskItem& item : set.items) {
+    const auto& correct = item.options[static_cast<size_t>(item.correct)];
+    for (size_t o = 0; o < item.options.size(); ++o) {
+      if (static_cast<int64_t>(o) == item.correct) continue;
+      auto sorted_a = correct;
+      auto sorted_b = item.options[o];
+      std::sort(sorted_a.begin(), sorted_a.end());
+      std::sort(sorted_b.begin(), sorted_b.end());
+      EXPECT_EQ(sorted_a, sorted_b);  // same multiset, different order
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emmark

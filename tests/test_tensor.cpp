@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "tensor/tensor.h"
+#include "util/serialize.h"
+
+namespace emmark {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({2, 3, 5});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(2), 5);
+  EXPECT_EQ(t.shape_string(), "[2, 3, 5]");
+  EXPECT_THROW(t.dim(3), TensorError);
+}
+
+TEST(Tensor, ElementAccessByRank) {
+  Tensor v({4});
+  v.at(2) = 7.0f;
+  EXPECT_EQ(v.at(2), 7.0f);
+
+  Tensor m({2, 3});
+  m.at(1, 2) = 5.0f;
+  EXPECT_EQ(m.at(1, 2), 5.0f);
+  EXPECT_EQ(m.flat()[5], 5.0f);
+
+  Tensor c({2, 2, 2});
+  c.at(1, 0, 1) = 3.0f;
+  EXPECT_EQ(c.at(1, 0, 1), 3.0f);
+
+  EXPECT_THROW(v.at(0, 0), TensorError);
+  EXPECT_THROW(m.at(0), TensorError);
+}
+
+TEST(Tensor, RowViewAliasesStorage) {
+  Tensor m({3, 4});
+  auto row = m.row(1);
+  row[2] = 9.0f;
+  EXPECT_EQ(m.at(1, 2), 9.0f);
+}
+
+TEST(Tensor, FiberViewAliasesStorage) {
+  Tensor t({2, 3, 4});
+  t.fiber(1, 2)[3] = 4.0f;
+  EXPECT_EQ(t.at(1, 2, 3), 4.0f);
+}
+
+TEST(Tensor, FromMatrixValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from_matrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_matrix(2, 2, {1, 2, 3}), TensorError);
+}
+
+TEST(Tensor, ReshapePreservesCount) {
+  Tensor t({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_THROW(t.reshape({5, 5}), TensorError);
+}
+
+TEST(Tensor, ArithmeticOps) {
+  Tensor a = Tensor::from_matrix(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::from_matrix(2, 2, {10, 20, 30, 40});
+  a.axpy_(0.5f, b);
+  EXPECT_EQ(a.at(0, 0), 6.0f);
+  EXPECT_EQ(a.at(1, 1), 24.0f);
+  a.scale_(2.0f);
+  EXPECT_EQ(a.at(0, 1), 24.0f);
+  EXPECT_THROW(a.add_(Tensor({3, 3})), TensorError);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from_vector({-3.0f, 1.0f, 2.0f});
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+  EXPECT_EQ(t.abs_max(), 3.0f);
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 14.0);
+}
+
+TEST(Tensor, NonFiniteDetection) {
+  Tensor t({2});
+  EXPECT_FALSE(t.has_non_finite());
+  t.at(1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(t.has_non_finite());
+  t.at(1) = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(t.has_non_finite());
+}
+
+TEST(Tensor, NegativeDimensionRejected) {
+  EXPECT_THROW(Tensor({2, -1}), TensorError);
+}
+
+TEST(Tensor, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_tensor_rt.bin").string();
+  Tensor t = Tensor::from_matrix(2, 3, {1.5f, -2.5f, 0.0f, 4.0f, 5.0f, -6.0f});
+  {
+    BinaryWriter w(path, "TTEST", 1);
+    t.save(w);
+    w.close();
+  }
+  BinaryReader r(path, "TTEST", 1);
+  const Tensor back = Tensor::load(r);
+  ASSERT_TRUE(back.same_shape(t));
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back.flat()[i], t.flat()[i]);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emmark

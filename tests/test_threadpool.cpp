@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/threadpool.h"
+
+namespace emmark {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRunsInline) {
+  ThreadPool pool(4);
+  int value = 0;
+  pool.parallel_for(1, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+  ThreadPool pool(3);
+  std::vector<int64_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<int64_t> total{0};
+  pool.parallel_for(data.size(), [&](size_t begin, size_t end) {
+    int64_t local = 0;
+    for (size_t i = begin; i < end; ++i) local += data[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> count{0};
+    pool.parallel_for(100, [&](size_t begin, size_t end) {
+      count.fetch_add(end - begin);
+    });
+    EXPECT_EQ(count.load(), 100u);
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsAlive) {
+  auto& pool = ThreadPool::shared();
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.parallel_for(10, [&](size_t begin, size_t end) {
+    ran.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+}  // namespace
+}  // namespace emmark

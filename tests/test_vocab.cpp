@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "data/vocab.h"
+
+namespace emmark {
+namespace {
+
+TEST(Vocab, AddAndLookup) {
+  Vocab v;
+  const TokenId a = v.add("alpha", TokenCategory::kNounSingular);
+  const TokenId b = v.add("beta", TokenCategory::kVerbSingular);
+  EXPECT_EQ(v.id("alpha"), a);
+  EXPECT_EQ(v.word(b), "beta");
+  EXPECT_EQ(v.category(a), TokenCategory::kNounSingular);
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(Vocab, DuplicateRejected) {
+  Vocab v;
+  v.add("x", TokenCategory::kAdverb);
+  EXPECT_THROW(v.add("x", TokenCategory::kAdverb), std::invalid_argument);
+}
+
+TEST(Vocab, UnknownLookupsThrow) {
+  Vocab v;
+  EXPECT_THROW(v.id("ghost"), std::out_of_range);
+  EXPECT_THROW(v.word(0), std::out_of_range);
+  EXPECT_THROW(v.category(-1), std::out_of_range);
+}
+
+TEST(Vocab, TokensOfFiltersByCategory) {
+  const Vocab& v = synth_vocab();
+  const auto nouns = v.tokens_of(TokenCategory::kNounSingular);
+  EXPECT_EQ(nouns.size(), 6u);
+  for (TokenId t : nouns) EXPECT_EQ(v.category(t), TokenCategory::kNounSingular);
+}
+
+TEST(Vocab, SynthVocabStructure) {
+  const Vocab& v = synth_vocab();
+  EXPECT_EQ(v.size(), 48);
+  EXPECT_EQ(v.word(v.bos()), "<bos>");
+  EXPECT_EQ(v.word(v.eos()), "<eos>");
+  EXPECT_TRUE(v.contains("the"));
+  EXPECT_TRUE(v.contains("cats"));
+  EXPECT_TRUE(v.contains("."));
+  EXPECT_FALSE(v.contains("zebra"));
+  // Singular/plural verb pools align lemma-by-lemma (needed by the
+  // winogrande-style task).
+  EXPECT_EQ(v.tokens_of(TokenCategory::kVerbIntransSingular).size(),
+            v.tokens_of(TokenCategory::kVerbIntransPlural).size());
+}
+
+TEST(Vocab, SynthVocabIsSingleton) {
+  EXPECT_EQ(&synth_vocab(), &synth_vocab());
+}
+
+TEST(Vocab, RenderJoinsWords) {
+  const Vocab& v = synth_vocab();
+  const std::vector<TokenId> tokens{v.id("the"), v.id("cat"), v.id("sleeps"), v.id(".")};
+  EXPECT_EQ(v.render(tokens), "the cat sleeps .");
+  EXPECT_EQ(v.render({}), "");
+}
+
+}  // namespace
+}  // namespace emmark

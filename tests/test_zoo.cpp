@@ -1,0 +1,105 @@
+// Model zoo registry and cache behaviour. Uses a throwaway cache directory
+// and the smallest model only, to keep test time bounded.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "model_zoo/zoo.h"
+
+namespace emmark {
+namespace {
+
+TEST(Zoo, RegistryHasNinePaperModels) {
+  const auto& entries = zoo_entries();
+  ASSERT_EQ(entries.size(), 9u);
+  int opt = 0, llama = 0;
+  for (const auto& e : entries) {
+    if (e.family == ArchFamily::kOptStyle) ++opt;
+    if (e.family == ArchFamily::kLlamaStyle) ++llama;
+  }
+  EXPECT_EQ(opt, 6);   // OPT 125M..30B
+  EXPECT_EQ(llama, 3);  // LLaMA-2 7B/13B/70B
+}
+
+TEST(Zoo, EntriesScaleMonotonically) {
+  // Within a family, larger paper models never shrink in width or depth.
+  const auto& entries = zoo_entries();
+  for (size_t i = 1; i < 6; ++i) {
+    EXPECT_GE(entries[i].d_model * entries[i].n_layers,
+              entries[i - 1].d_model * entries[i - 1].n_layers)
+        << entries[i].name;
+  }
+}
+
+TEST(Zoo, LookupByName) {
+  EXPECT_EQ(zoo_entry("opt-2.7b-sim").paper_name, "OPT-2.7B");
+  EXPECT_EQ(zoo_entry("llama2-70b-sim").family, ArchFamily::kLlamaStyle);
+  EXPECT_THROW(zoo_entry("gpt-5"), std::out_of_range);
+}
+
+TEST(Zoo, ConfigRespectsEntry) {
+  ModelZoo zoo;
+  const ZooEntry& entry = zoo_entry("opt-125m-sim");
+  const ModelConfig config = zoo.config_for(entry);
+  EXPECT_EQ(config.d_model, entry.d_model);
+  EXPECT_EQ(config.n_layers, entry.n_layers);
+  EXPECT_EQ(config.vocab_size, synth_vocab().size());
+  EXPECT_EQ(config.family, ArchFamily::kOptStyle);
+}
+
+TEST(Zoo, EnvironmentFixturesPopulated) {
+  ModelZoo zoo;
+  EXPECT_GT(zoo.env().corpus.train.size(), 100'000u);
+  EXPECT_GT(zoo.env().corpus_shift_a.train.size(), 30'000u);
+  EXPECT_EQ(zoo.env().tasks.size(), 4u);
+}
+
+TEST(Zoo, TrainCachesAndReloadsIdentically) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "emmark_zoo_test_cache").string();
+  std::filesystem::remove_all(cache);
+
+  ModelZoo zoo(cache);
+  auto first = zoo.model("opt-125m-sim");  // trains (~seconds)
+  ASSERT_TRUE(std::filesystem::exists(cache + "/opt-125m-sim.ckpt"));
+
+  ModelZoo zoo2(cache);
+  auto second = zoo2.model("opt-125m-sim");  // loads from cache
+  const std::vector<TokenId> probe{2, 5, 9, 11};
+  const Tensor a = first->logits(probe);
+  const Tensor b = second->logits(probe);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.flat()[i], b.flat()[i]);
+
+  // Stats are cached alongside and have one entry per linear.
+  auto stats = zoo2.stats("opt-125m-sim");
+  EXPECT_EQ(stats->layers.size(), first->quantizable_linears().size());
+  ASSERT_TRUE(std::filesystem::exists(cache + "/opt-125m-sim.stats"));
+
+  std::filesystem::remove_all(cache);
+}
+
+TEST(Zoo, FinetunedVariantDiffersFromBase) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "emmark_zoo_ft_cache").string();
+  std::filesystem::remove_all(cache);
+
+  ModelZoo zoo(cache);
+  auto base = zoo.model("opt-125m-sim");
+  auto tuned = zoo.finetuned("opt-125m-sim", "alpaca");
+  // Weights moved.
+  double diff = 0.0;
+  auto bp = base->parameters();
+  auto tp = tuned->parameters();
+  ASSERT_EQ(bp.size(), tp.size());
+  for (size_t i = 0; i < bp.size(); ++i) {
+    Tensor d = bp[i]->value;
+    d.axpy_(-1.0f, tp[i]->value);
+    diff += d.squared_norm();
+  }
+  EXPECT_GT(diff, 1e-4);
+  EXPECT_THROW(zoo.finetuned("opt-125m-sim", "bogus"), std::invalid_argument);
+  std::filesystem::remove_all(cache);
+}
+
+}  // namespace
+}  // namespace emmark

@@ -1,0 +1,49 @@
+// Shared fixture for watermark/attack tests: a small transformer plus its
+// quantized form and calibration stats. Untrained weights are fine for the
+// mechanics under test (scoring, insertion, extraction); quality-sensitive
+// behaviour is covered by test_integration and the benches.
+#pragma once
+
+#include <memory>
+
+#include "data/corpus.h"
+#include "quant/qmodel.h"
+
+namespace emmark::testfx {
+
+struct WmFixture {
+  std::unique_ptr<TransformerLM> fp_model;
+  Corpus corpus;
+  ActivationStats stats;
+  std::unique_ptr<QuantizedModel> quantized;
+
+  explicit WmFixture(QuantMethod method = QuantMethod::kAwqInt4,
+                     ArchFamily family = ArchFamily::kOptStyle,
+                     uint64_t seed = 21) {
+    ModelConfig config;
+    config.family = family;
+    config.vocab_size = synth_vocab().size();
+    config.d_model = 32;
+    config.n_layers = 2;
+    config.n_heads = 2;
+    config.ffn_hidden = 64;
+    config.max_seq = 24;
+    config.init_seed = seed;
+    fp_model = std::make_unique<TransformerLM>(config);
+
+    CorpusConfig cc;
+    cc.train_tokens = 6000;
+    cc.seed = seed;
+    corpus = make_corpus(synth_vocab(), cc);
+
+    CalibConfig calib;
+    calib.batches = 4;
+    calib.seq_len = 16;
+    calib.seed = seed + 1;
+    stats = collect_activation_stats(*fp_model, corpus.train, calib);
+
+    quantized = std::make_unique<QuantizedModel>(*fp_model, stats, method);
+  }
+};
+
+}  // namespace emmark::testfx
