@@ -1,0 +1,162 @@
+// Serial vs. pooled watermark hot paths (derive + extract).
+//
+// Times EmMark::derive and EmMark::extract over the largest model-zoo
+// config at several thread counts via ThreadPool::ScopedOverride, printing
+// a table plus a machine-readable JSON line (the repo's perf trajectory is
+// tracked from these). Thread-count invariance of the *results* is asserted
+// here too -- a speedup that changed placements would be worthless.
+//
+// Usage: bench_parallel_wm [--model <zoo-name>] [--repeats N]
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/argparse.h"
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace emmark;
+using namespace emmark::bench;
+
+/// Largest zoo entry by quantized-parameter proxy.
+const ZooEntry& largest_entry() {
+  const auto& entries = zoo_entries();
+  const ZooEntry* best = &entries.front();
+  auto weight_proxy = [](const ZooEntry& e) {
+    return e.n_layers * (4 * e.d_model * e.d_model + 3 * e.d_model * e.ffn_hidden);
+  };
+  for (const ZooEntry& e : entries) {
+    if (weight_proxy(e) > weight_proxy(*best)) best = &e;
+  }
+  return *best;
+}
+
+double best_of(int repeats, const std::function<double()>& run_ms) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) best = std::min(best, run_ms());
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_parallel_wm",
+                 "Serial vs. pooled EmMark derive/extract timings");
+  args.add_option("model", largest_entry().name, "zoo model to watermark");
+  args.add_option("repeats", "5", "timing repeats per cell (best-of)");
+  if (!args.parse(argc, argv)) return 2;
+  const std::string model_name = args.get("model");
+  const int repeats = std::max(1, static_cast<int>(args.get_int("repeats")));
+
+  const auto& entries = zoo_entries();
+  if (std::none_of(entries.begin(), entries.end(),
+                   [&](const ZooEntry& e) { return e.name == model_name; })) {
+    std::fprintf(stderr, "unknown zoo model: %s\navailable:", model_name.c_str());
+    for (const ZooEntry& e : entries) std::fprintf(stderr, " %s", e.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  print_header("Parallel watermark hot paths",
+               "Serial vs. ThreadPool derive+extract, largest zoo config");
+
+  BenchContext ctx;
+  const ZooEntry& entry = zoo_entry(model_name);
+  auto fp = ctx.zoo().model(model_name);
+  auto stats = ctx.zoo().stats(model_name);
+  const QuantizedModel original(*fp, *stats,
+                                method_for(entry.family, QuantBits::kInt4));
+  const WatermarkKey key = owner_key(QuantBits::kInt4);
+
+  QuantizedModel marked = original;
+  const WatermarkRecord record = EmMark::insert(marked, *stats, key);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  if (std::find(thread_counts.begin(), thread_counts.end(),
+                static_cast<size_t>(hw)) == thread_counts.end()) {
+    thread_counts.push_back(hw);
+    std::sort(thread_counts.begin(), thread_counts.end());
+  }
+
+  struct Row {
+    size_t threads;
+    double derive_ms;
+    double extract_ms;
+  };
+  std::vector<Row> rows;
+  std::vector<LayerWatermark> reference;
+
+  for (size_t n : thread_counts) {
+    ThreadPool pool(n);
+    ThreadPool::ScopedOverride over(pool);
+
+    std::vector<LayerWatermark> derived;
+    const double derive_ms = best_of(repeats, [&] {
+      Timer t;
+      derived = EmMark::derive(original, *stats, key);
+      return t.milliseconds();
+    });
+    ExtractionReport report;
+    const double extract_ms = best_of(repeats, [&] {
+      Timer t;
+      report = EmMark::extract(marked, original, *stats, key);
+      return t.milliseconds();
+    });
+
+    // Invariance check: every thread count must reproduce the same
+    // placements and the same (perfect) extraction.
+    if (reference.empty()) {
+      reference = derived;
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        if (derived[i].locations != reference[i].locations ||
+            derived[i].bits != reference[i].bits) {
+          std::fprintf(stderr,
+                       "FATAL: thread count %zu changed layer %zu placements\n",
+                       n, i);
+          return 1;
+        }
+      }
+    }
+    if (report.matched_bits != report.total_bits ||
+        report.total_bits != record.total_bits()) {
+      std::fprintf(stderr, "FATAL: extraction mismatch at %zu threads\n", n);
+      return 1;
+    }
+    rows.push_back({n, derive_ms, extract_ms});
+  }
+
+  const double base_derive = rows.front().derive_ms;
+  const double base_extract = rows.front().extract_ms;
+  TablePrinter table({"threads", "derive ms", "extract ms", "speedup (derive)"});
+  for (const Row& row : rows) {
+    table.add_row({std::to_string(row.threads), TablePrinter::fmt(row.derive_ms, 2),
+                   TablePrinter::fmt(row.extract_ms, 2),
+                   TablePrinter::fmt(base_derive / row.derive_ms, 2)});
+  }
+  table.print();
+  std::printf("\n(hardware_concurrency = %u; counts above it oversubscribe)\n", hw);
+
+  // Machine-readable summary, one JSON object on its own line.
+  std::printf("\nJSON: {\"bench\":\"parallel_wm\",\"model\":\"%s\",\"layers\":%lld,"
+              "\"bits_per_layer\":%lld,\"repeats\":%d,\"hardware_threads\":%u,"
+              "\"rows\":[",
+              model_name.c_str(), static_cast<long long>(original.num_layers()),
+              static_cast<long long>(key.bits_per_layer), repeats, hw);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%s{\"threads\":%zu,\"derive_ms\":%.3f,\"extract_ms\":%.3f,"
+                "\"derive_speedup\":%.3f,\"extract_speedup\":%.3f}",
+                i ? "," : "", rows[i].threads, rows[i].derive_ms,
+                rows[i].extract_ms, base_derive / rows[i].derive_ms,
+                base_extract / rows[i].extract_ms);
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full ctest suite.
+#
+# Usage:
+#   scripts/check.sh                 # Release build + tests (the tier-1 line)
+#   scripts/check.sh --warnings      # Debug build with -Wall -Wextra -Werror
+#   scripts/check.sh --build-dir DIR # custom build tree (default: build)
+#
+# CI runs exactly this script, so a green local run means a green CI run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+BUILD_TYPE=Release
+WARNINGS=OFF
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --warnings)
+      BUILD_TYPE=Debug
+      WARNINGS=ON
+      BUILD_DIR=build-warnings
+      shift
+      ;;
+    --build-dir)
+      BUILD_DIR="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+  -DEMMARK_WARNINGS_AS_ERRORS="$WARNINGS"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)"

@@ -5,15 +5,20 @@
 #include <numeric>
 #include <vector>
 
+#include "util/threadpool.h"
+
 namespace emmark {
 
 void prune_attack(QuantizedModel& model, const PruneConfig& config) {
-  for (int64_t i = 0; i < model.num_layers(); ++i) {
+  // Magnitude pruning is per-layer independent and the partial_sort is the
+  // hot part; each iteration touches only its own layer's weights.
+  parallel_for_index(static_cast<size_t>(model.num_layers()), [&](size_t idx) {
+    const int64_t i = static_cast<int64_t>(idx);
     QuantizedTensor& weights = model.layer(i).weights;
     const int64_t n = weights.numel();
     const int64_t prune_count = static_cast<int64_t>(
         std::round(config.fraction * static_cast<double>(n)));
-    if (prune_count <= 0) continue;
+    if (prune_count <= 0) return;
 
     std::vector<int64_t> order(static_cast<size_t>(n));
     std::iota(order.begin(), order.end(), 0);
@@ -27,7 +32,7 @@ void prune_attack(QuantizedModel& model, const PruneConfig& config) {
     for (int64_t k = 0; k < prune_count; ++k) {
       weights.set_code_flat(order[static_cast<size_t>(k)], 0);
     }
-  }
+  });
 }
 
 }  // namespace emmark

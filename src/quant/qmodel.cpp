@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/threadpool.h"
+
 namespace emmark {
 
 const char* to_string(QuantMethod method) {
@@ -35,8 +37,11 @@ QuantizedModel::QuantizedModel(const TransformerLM& fp_model,
                                const QuantOptions& options)
     : method_(method), base_(fp_model.clone()) {
   auto linears = base_->quantizable_linears();
-  layers_.reserve(linears.size());
-  for (auto& ref : linears) {
+  // Layers quantize independently (the AWQ/GPTQ searches are the hot part);
+  // pre-sized slots keep layer order identical to quantizable_linears().
+  layers_.resize(linears.size());
+  parallel_for_index(linears.size(), [&](size_t idx) {
+    auto& ref = linears[idx];
     const LayerActivationStats& layer_stats = stats.find(ref.name);
     const Tensor& w = ref.linear->weight().value;
     QuantizedLayer layer;
@@ -61,8 +66,8 @@ QuantizedModel::QuantizedModel(const TransformerLM& fp_model,
         layer.weights = gptq(w, layer_stats.samples, options.gptq);
         break;
     }
-    layers_.push_back(std::move(layer));
-  }
+    layers_[idx] = std::move(layer);
+  });
 }
 
 QuantizedModel::QuantizedModel(const QuantizedModel& other)

@@ -2,8 +2,20 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 
 namespace emmark {
+namespace {
+
+// Set while a thread is executing pool work; parallel_for from such a
+// thread runs inline instead of enqueueing (all workers may be blocked in
+// outer parallel_for waits, so queued nested chunks would never drain).
+thread_local bool tl_inside_worker = false;
+
+// Innermost ScopedOverride pool for this thread (nullptr = use shared()).
+thread_local ThreadPool* tl_override_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
@@ -26,6 +38,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_inside_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,7 +56,7 @@ void ThreadPool::parallel_for(size_t count,
                               const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
   const size_t threads = workers_.size();
-  if (threads <= 1 || count < 2) {
+  if (threads <= 1 || count < 2 || tl_inside_worker) {
     fn(0, count);
     return;
   }
@@ -51,7 +64,11 @@ void ThreadPool::parallel_for(size_t count,
   const size_t base = count / chunks;
   const size_t extra = count % chunks;
 
-  std::atomic<size_t> remaining{chunks};
+  // The decrement happens under done_mutex: the waiter can only observe
+  // remaining == 0 after the final worker released the lock, so the worker
+  // never touches these stack-locals after the wait returns and the frame
+  // is popped.
+  size_t remaining = chunks;
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
@@ -63,10 +80,8 @@ void ThreadPool::parallel_for(size_t count,
       std::lock_guard<std::mutex> lock(mutex_);
       tasks_.emplace([&, begin, end] {
         fn(begin, end);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(done_mutex);
-          done_cv.notify_one();
-        }
+        std::lock_guard<std::mutex> done_lock(done_mutex);
+        if (--remaining == 0) done_cv.notify_one();
       });
     }
     wake_.notify_one();
@@ -74,7 +89,7 @@ void ThreadPool::parallel_for(size_t count,
   }
 
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -86,6 +101,38 @@ ThreadPool& ThreadPool::shared() {
     return static_cast<size_t>(0);
   }());
   return pool;
+}
+
+ThreadPool& ThreadPool::active() {
+  return tl_override_pool != nullptr ? *tl_override_pool : shared();
+}
+
+ThreadPool::ScopedOverride::ScopedOverride(ThreadPool& pool)
+    : previous_(tl_override_pool) {
+  tl_override_pool = &pool;
+}
+
+ThreadPool::ScopedOverride::~ScopedOverride() { tl_override_pool = previous_; }
+
+void parallel_for_index(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<bool> failed{false};
+  ThreadPool::active().parallel_for(count, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  if (failed.load(std::memory_order_relaxed)) {
+    for (auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
 }
 
 }  // namespace emmark

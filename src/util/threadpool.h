@@ -1,8 +1,9 @@
 // Small fixed-size thread pool with a parallel_for helper.
 //
-// Training the model-zoo transformers is the only compute-heavy part of the
-// reproduction; batch rows are independent, so a static block partition is
-// enough. The pool is created once and reused (thread creation dominates
+// Training the model-zoo transformers and the per-layer watermark paths
+// (scoring, derivation, extraction) are the compute-heavy parts of the
+// reproduction; units of work are independent, so a static block partition
+// is enough. The pool is created once and reused (thread creation dominates
 // tiny workloads otherwise).
 #pragma once
 
@@ -28,12 +29,33 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
   /// Runs fn(begin, end) over a static partition of [0, count) and blocks
-  /// until every chunk finished. Runs inline when the pool has one thread
-  /// or the range is tiny.
+  /// until every chunk finished. Runs inline when the pool has one thread,
+  /// the range is tiny, or the caller is itself a pool worker (nested
+  /// parallel_for would otherwise deadlock waiting on occupied workers).
   void parallel_for(size_t count, const std::function<void(size_t, size_t)>& fn);
 
   /// Process-wide shared pool (sized from EMMARK_THREADS or the hardware).
   static ThreadPool& shared();
+
+  /// The pool parallel code should use: the innermost ScopedOverride's pool
+  /// if one is active on this thread, otherwise shared().
+  static ThreadPool& active();
+
+  /// RAII override of active() for the current thread. Lets tests and
+  /// benches run the same code path with explicit thread counts (e.g.
+  /// proving 1-thread and 8-thread derivations are bit-identical) without
+  /// touching the process-wide EMMARK_THREADS-sized pool.
+  class ScopedOverride {
+   public:
+    explicit ScopedOverride(ThreadPool& pool);
+    ~ScopedOverride();
+
+    ScopedOverride(const ScopedOverride&) = delete;
+    ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+   private:
+    ThreadPool* previous_;
+  };
 
  private:
   void worker_loop();
@@ -44,5 +66,12 @@ class ThreadPool {
   std::condition_variable wake_;
   bool stopping_ = false;
 };
+
+/// parallel_for over single indices on the active pool: runs fn(i) for every
+/// i in [0, count), blocks until done. Exceptions thrown by fn are captured
+/// per index and the one with the smallest index is rethrown on the calling
+/// thread, so error behaviour is deterministic and independent of the
+/// thread count (a bare throw inside a worker would std::terminate).
+void parallel_for_index(size_t count, const std::function<void(size_t)>& fn);
 
 }  // namespace emmark

@@ -8,6 +8,7 @@
 
 #include "util/mathx.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace emmark {
 namespace {
@@ -125,10 +126,14 @@ std::vector<LayerWatermark> EmMark::derive(const QuantizedModel& original,
   if (key.bits_per_layer <= 0) {
     throw std::invalid_argument("bits_per_layer must be positive");
   }
-  std::vector<LayerWatermark> layers;
-  layers.reserve(static_cast<size_t>(original.num_layers()));
+  // Layers are independent: each derivation reads only its own weights,
+  // activation channel, and a per-layer-seeded RNG. Every iteration writes
+  // exactly layers[i], so the pooled result is bit-identical to the serial
+  // walk regardless of thread count.
+  std::vector<LayerWatermark> layers(static_cast<size_t>(original.num_layers()));
 
-  for (int64_t i = 0; i < original.num_layers(); ++i) {
+  parallel_for_index(layers.size(), [&](size_t idx) {
+    const int64_t i = static_cast<int64_t>(idx);
     const QuantizedLayer& layer = original.layer(i);
     const LayerActivationStats& act = stats.find(layer.name);
     const std::vector<double> scores =
@@ -175,8 +180,8 @@ std::vector<LayerWatermark> EmMark::derive(const QuantizedModel& original,
     std::sort(wm.locations.begin(), wm.locations.end());
     wm.bits = rademacher_signature(key.signature_seed + static_cast<uint64_t>(i),
                                    key.bits_per_layer);
-    layers.push_back(std::move(wm));
-  }
+    layers[idx] = std::move(wm);
+  });
   return layers;
 }
 
@@ -186,7 +191,9 @@ WatermarkRecord EmMark::insert(QuantizedModel& model, const ActivationStats& sta
   record.key = key;
   record.layers = derive(model, stats, key);
 
-  for (size_t i = 0; i < record.layers.size(); ++i) {
+  // Each iteration touches only its own layer's weights, so layers can be
+  // stamped concurrently without synchronization.
+  parallel_for_index(record.layers.size(), [&](size_t i) {
     const LayerWatermark& wm = record.layers[i];
     QuantizedTensor& weights = model.layer(static_cast<int64_t>(i)).weights;
     for (size_t j = 0; j < wm.locations.size(); ++j) {
@@ -196,7 +203,7 @@ WatermarkRecord EmMark::insert(QuantizedModel& model, const ActivationStats& sta
       // the sum stays strictly inside the quantization grid.
       weights.set_code_flat(flat, static_cast<int8_t>(original + wm.bits[j]));
     }
-  }
+  });
   return record;
 }
 
@@ -216,19 +223,41 @@ ExtractionReport EmMark::extract_with_record(const QuantizedModel& suspect,
   if (suspect.num_layers() != original.num_layers()) {
     throw std::invalid_argument("extract: model layer count mismatch");
   }
-  ExtractionReport report;
-  for (size_t i = 0; i < record.layers.size(); ++i) {
+  if (static_cast<int64_t>(record.layers.size()) > original.num_layers()) {
+    throw std::invalid_argument("extract: record has more layers than the model");
+  }
+  // Per-layer match counts land in pre-sized slots and are summed in layer
+  // order afterwards, keeping the report independent of the thread count.
+  std::vector<int64_t> matched(record.layers.size(), 0);
+  std::vector<int64_t> total(record.layers.size(), 0);
+  parallel_for_index(record.layers.size(), [&](size_t i) {
     const LayerWatermark& wm = record.layers[i];
     const QuantizedTensor& w_suspect = suspect.layer(static_cast<int64_t>(i)).weights;
     const QuantizedTensor& w_original = original.layer(static_cast<int64_t>(i)).weights;
+    // Records reach this path from disk (evidence bundles), so the
+    // record-driven indices are untrusted input, not invariants.
+    if (w_suspect.numel() != w_original.numel()) {
+      throw std::invalid_argument("extract: layer shape mismatch");
+    }
+    if (wm.locations.size() != wm.bits.size()) {
+      throw std::invalid_argument("extract: record bits/locations size mismatch");
+    }
     for (size_t j = 0; j < wm.locations.size(); ++j) {
       const int64_t flat = wm.locations[j];
+      if (flat < 0 || flat >= w_suspect.numel()) {
+        throw std::invalid_argument("extract: record location out of range");
+      }
       // Eq. 6: dW = W'[L] - W[L]; a bit matches when dW equals b exactly.
       const int32_t delta = static_cast<int32_t>(w_suspect.code_flat(flat)) -
                             static_cast<int32_t>(w_original.code_flat(flat));
-      if (delta == static_cast<int32_t>(wm.bits[j])) ++report.matched_bits;
-      ++report.total_bits;
+      if (delta == static_cast<int32_t>(wm.bits[j])) ++matched[i];
+      ++total[i];
     }
+  });
+  ExtractionReport report;
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    report.matched_bits += matched[i];
+    report.total_bits += total[i];
   }
   return report;
 }

@@ -1,7 +1,11 @@
 #include "wm/fingerprint.h"
 
 #include <functional>
+#include <memory>
 #include <stdexcept>
+#include <vector>
+
+#include "util/threadpool.h"
 
 namespace emmark {
 
@@ -22,19 +26,25 @@ FingerprintSet Fingerprinter::enroll(const QuantizedModel& original,
                                      const std::vector<std::string>& device_ids,
                                      std::vector<QuantizedModel>& out_models) {
   if (device_ids.empty()) throw std::invalid_argument("enroll: no device ids");
+  // Devices are enrolled concurrently: each stamps its own copy of the
+  // original into a pre-sized slot, so fleet order matches device_ids and
+  // results are identical to the serial walk.
   FingerprintSet set;
-  set.devices.reserve(device_ids.size());
+  set.devices.resize(device_ids.size());
+  std::vector<std::unique_ptr<QuantizedModel>> models(device_ids.size());
+  parallel_for_index(device_ids.size(), [&](size_t i) {
+    // The deep copy of the original is the dominant per-device cost, so it
+    // happens on the worker too, not up front on the caller.
+    models[i] = std::make_unique<QuantizedModel>(original);
+    DeviceFingerprint fp;
+    fp.device_id = device_ids[i];
+    fp.key = device_key(base, device_ids[i]);
+    fp.record = EmMark::insert(*models[i], stats, fp.key);
+    set.devices[i] = std::move(fp);
+  });
   out_models.clear();
   out_models.reserve(device_ids.size());
-  for (const std::string& id : device_ids) {
-    DeviceFingerprint fp;
-    fp.device_id = id;
-    fp.key = device_key(base, id);
-    QuantizedModel device_model = original;
-    fp.record = EmMark::insert(device_model, stats, fp.key);
-    out_models.push_back(std::move(device_model));
-    set.devices.push_back(std::move(fp));
-  }
+  for (auto& model : models) out_models.push_back(std::move(*model));
   return set;
 }
 
@@ -43,13 +53,21 @@ TraceResult Fingerprinter::trace(const QuantizedModel& suspect,
                                  const FingerprintSet& set,
                                  double min_wer_pct) {
   TraceResult result;
+  // Per-device extractions run in parallel into pre-sized slots; the
+  // best/runner-up scan stays serial in device order so tie-breaking is
+  // unchanged from the serial implementation.
+  std::vector<ExtractionReport> reports(set.devices.size());
+  parallel_for_index(set.devices.size(), [&](size_t i) {
+    reports[i] =
+        EmMark::extract_with_record(suspect, original, set.devices[i].record);
+  });
   double best = -1.0;
   double second = -1.0;
   double best_strength = 0.0;
   std::string best_id;
-  for (const DeviceFingerprint& fp : set.devices) {
-    const ExtractionReport report =
-        EmMark::extract_with_record(suspect, original, fp.record);
+  for (size_t i = 0; i < set.devices.size(); ++i) {
+    const DeviceFingerprint& fp = set.devices[i];
+    const ExtractionReport& report = reports[i];
     const double wer = report.wer_pct();
     if (wer > best) {
       second = best;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace emmark {
 
@@ -16,7 +17,11 @@ WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
   record.key.alpha = 0.0;
   record.key.beta = 0.0;
 
-  for (int64_t i = 0; i < model.num_layers(); ++i) {
+  // Same layer-independence argument as EmMark::derive: per-layer RNG and
+  // per-layer weights, results written into pre-sized slots.
+  record.layers.resize(static_cast<size_t>(model.num_layers()));
+  parallel_for_index(record.layers.size(), [&](size_t idx) {
+    const int64_t i = static_cast<int64_t>(idx);
     QuantizedTensor& weights = model.layer(i).weights;
     // Eligible = not saturated and not an FP outlier column.
     std::vector<int64_t> eligible;
@@ -48,8 +53,8 @@ WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
       weights.set_code_flat(wm.locations[j],
                             static_cast<int8_t>(original + wm.bits[j]));
     }
-    record.layers.push_back(std::move(wm));
-  }
+    record.layers[idx] = std::move(wm);
+  });
   return record;
 }
 

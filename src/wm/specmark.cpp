@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "signal/dct.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 #include "wm/signature.h"
 
 namespace emmark {
@@ -38,8 +40,12 @@ SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
   SpecMarkRecord record;
   record.seed = seed;
   record.epsilon = epsilon;
+  // Layers are independent (per-layer RNG, per-layer weights); pre-sized
+  // record slots keep the pooled result identical to the serial walk.
+  record.layers.resize(static_cast<size_t>(model.num_layers()));
 
-  for (int64_t i = 0; i < model.num_layers(); ++i) {
+  parallel_for_index(record.layers.size(), [&](size_t idx) {
+    const int64_t i = static_cast<int64_t>(idx);
     QuantizedTensor& weights = model.layer(i).weights;
     const int64_t chunks = chunk_count(weights.numel());
     Rng rng(seed + 0x5eed + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull);
@@ -89,19 +95,33 @@ SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
                               static_cast<int8_t>(code));
       }
     }
-    record.layers.push_back(std::move(layer));
-  }
+    record.layers[idx] = std::move(layer);
+  });
   return record;
 }
 
 SpecMarkReport SpecMark::extract(const QuantizedModel& suspect,
                                  const QuantizedModel& original,
                                  const SpecMarkRecord& record) {
-  SpecMarkReport report;
-  for (size_t i = 0; i < record.layers.size(); ++i) {
+  if (suspect.num_layers() != original.num_layers() ||
+      static_cast<int64_t>(record.layers.size()) > suspect.num_layers()) {
+    throw std::invalid_argument("SpecMark::extract: layer count mismatch");
+  }
+  std::vector<int64_t> matched(record.layers.size(), 0);
+  std::vector<int64_t> total(record.layers.size(), 0);
+  parallel_for_index(record.layers.size(), [&](size_t i) {
     const SpecMarkLayer& layer = record.layers[i];
     const QuantizedTensor& ws = suspect.layer(static_cast<int64_t>(i)).weights;
     const QuantizedTensor& wo = original.layer(static_cast<int64_t>(i)).weights;
+    // Record coefficients drive chunk/cache indexing below, so validate
+    // them (and the layer shapes they assume) before touching memory.
+    if (ws.numel() != wo.numel()) {
+      throw std::invalid_argument("SpecMark::extract: layer shape mismatch");
+    }
+    if (layer.coefficients.size() != layer.bits.size()) {
+      throw std::invalid_argument(
+          "SpecMark::extract: record bits/coefficients size mismatch");
+    }
 
     // Transform only chunks that hold coefficients; cache per chunk.
     std::vector<std::vector<double>> ys_cache(
@@ -109,6 +129,10 @@ SpecMarkReport SpecMark::extract(const QuantizedModel& suspect,
     std::vector<std::vector<double>> yo_cache(ys_cache.size());
     for (size_t j = 0; j < layer.coefficients.size(); ++j) {
       const int64_t global = layer.coefficients[j];
+      if (global < 0 || global >= ws.numel()) {
+        throw std::invalid_argument(
+            "SpecMark::extract: record coefficient out of range");
+      }
       const int64_t chunk = global / kChunkSize;
       const int64_t local = global % kChunkSize;
       auto& ys = ys_cache[static_cast<size_t>(chunk)];
@@ -122,9 +146,14 @@ SpecMarkReport SpecMark::extract(const QuantizedModel& suspect,
       const double expected = record.epsilon * static_cast<double>(layer.bits[j]);
       const bool survived = std::fabs(delta) >= 0.5 * std::fabs(expected) &&
                             ((delta > 0) == (expected > 0));
-      if (survived) ++report.matched_bits;
-      ++report.total_bits;
+      if (survived) ++matched[i];
+      ++total[i];
     }
+  });
+  SpecMarkReport report;
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    report.matched_bits += matched[i];
+    report.total_bits += total[i];
   }
   return report;
 }

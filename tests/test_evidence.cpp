@@ -1,6 +1,7 @@
 // Ownership evidence bundles: digests, verification, tamper detection.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
@@ -26,6 +27,63 @@ struct EvidenceFixture {
   WatermarkRecord record;
   OwnershipEvidence evidence;
 };
+
+// --- ExtractionReport::strength_log10 golden values (Eq. 8) ---------------
+//
+// strength_log10 is log10 P[X >= matched], X ~ Binomial(total, 1/2): the
+// chance a non-watermarked model matches at least that many signature bits.
+
+TEST(Strength, ZeroTotalBitsIsNeutral) {
+  ExtractionReport report;  // total_bits == 0
+  EXPECT_EQ(report.strength_log10(), 0.0);
+  EXPECT_EQ(report.wer_pct(), 0.0);
+}
+
+TEST(Strength, ZeroMatchesIsCertainty) {
+  // P[X >= 0] = 1 exactly, for any n.
+  ExtractionReport report;
+  report.total_bits = 64;
+  report.matched_bits = 0;
+  EXPECT_DOUBLE_EQ(report.strength_log10(), 0.0);
+}
+
+TEST(Strength, AllMatchesIsHalfToTheN) {
+  // P[X >= n] = 2^-n, so log10 = -n * log10(2).
+  ExtractionReport report;
+  report.total_bits = 40;
+  report.matched_bits = 40;
+  EXPECT_NEAR(report.strength_log10(), -40.0 * std::log10(2.0), 1e-9);
+  EXPECT_NEAR(report.strength_log10(), -12.041199826559248, 1e-9);
+}
+
+TEST(Strength, MidRangeClosedForm) {
+  // n = 10, k = 7: tail = (C(10,7)+C(10,8)+C(10,9)+C(10,10)) / 2^10
+  //                     = (120+45+10+1)/1024 = 176/1024.
+  ExtractionReport report;
+  report.total_bits = 10;
+  report.matched_bits = 7;
+  const double expected = std::log10(176.0 / 1024.0);
+  EXPECT_NEAR(report.strength_log10(), expected, 1e-12);
+  EXPECT_NEAR(report.strength_log10(), -0.7647872888256613, 1e-9);
+}
+
+TEST(Strength, PaperScaleStaysFinite) {
+  // Log-domain evaluation must survive paper-size signatures (the paper
+  // quotes strengths down to 1e-5760) without underflowing to -inf.
+  ExtractionReport report;
+  report.total_bits = 20000;
+  report.matched_bits = 20000;
+  EXPECT_NEAR(report.strength_log10(), -20000.0 * std::log10(2.0), 1e-6);
+  EXPECT_TRUE(std::isfinite(report.strength_log10()));
+}
+
+TEST(Strength, MonotoneInMatches) {
+  ExtractionReport lo, hi;
+  lo.total_bits = hi.total_bits = 100;
+  lo.matched_bits = 60;
+  hi.matched_bits = 90;
+  EXPECT_LT(hi.strength_log10(), lo.strength_log10());
+}
 
 TEST(Evidence, Fnv1aKnownVector) {
   // FNV-1a 64 of "a" from the reference implementation.

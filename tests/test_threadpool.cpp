@@ -70,5 +70,50 @@ TEST(ThreadPool, SharedPoolIsAlive) {
   EXPECT_EQ(ran.load(), 10);
 }
 
+TEST(ThreadPool, ActiveDefaultsToShared) {
+  EXPECT_EQ(&ThreadPool::active(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, ScopedOverrideRedirectsAndNests) {
+  ThreadPool outer(2);
+  ThreadPool inner(3);
+  {
+    ThreadPool::ScopedOverride over_outer(outer);
+    EXPECT_EQ(&ThreadPool::active(), &outer);
+    {
+      ThreadPool::ScopedOverride over_inner(inner);
+      EXPECT_EQ(&ThreadPool::active(), &inner);
+    }
+    EXPECT_EQ(&ThreadPool::active(), &outer);
+  }
+  EXPECT_EQ(&ThreadPool::active(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, ScopedOverrideIsThreadLocal) {
+  ThreadPool pool(2);
+  ThreadPool::ScopedOverride over(pool);
+  // Pool workers are different threads: they must not inherit the caller's
+  // override (they would otherwise re-enter the pool they run on).
+  std::atomic<int> saw_override{0};
+  pool.parallel_for(2, [&](size_t, size_t) {
+    if (&ThreadPool::active() != &ThreadPool::shared()) saw_override.fetch_add(1);
+  });
+  EXPECT_EQ(saw_override.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForIndexCoversRange) {
+  ThreadPool pool(4);
+  ThreadPool::ScopedOverride over(pool);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_index(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForIndexEmptyIsNoop) {
+  bool called = false;
+  parallel_for_index(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 }  // namespace
 }  // namespace emmark

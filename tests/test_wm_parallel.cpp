@@ -1,0 +1,223 @@
+// Thread-count invariance of the watermark hot paths.
+//
+// Ownership proofs re-derive placements from the retained key + artifacts;
+// if the derivation depended on how many worker threads happened to run
+// (EMMARK_THREADS=1 on the arbiter's laptop vs 8 on the owner's server),
+// extraction would be irreproducible and the evidence worthless. These
+// tests pin derive/insert/extract to be bit-identical across pool sizes.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/threadpool.h"
+#include "wm/emmark.h"
+#include "wm/randomwm.h"
+#include "wm/specmark.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+void expect_same_layers(const std::vector<LayerWatermark>& a,
+                        const std::vector<LayerWatermark>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].layer_name, b[i].layer_name);
+    EXPECT_EQ(a[i].locations, b[i].locations) << "layer " << a[i].layer_name;
+    EXPECT_EQ(a[i].bits, b[i].bits) << "layer " << a[i].layer_name;
+  }
+}
+
+TEST(WmParallel, DeriveIdenticalAcrossThreadCounts) {
+  WmFixture f;
+  WatermarkKey key;
+
+  ThreadPool serial(1);
+  ThreadPool pooled(8);
+
+  std::vector<LayerWatermark> with_one;
+  {
+    ThreadPool::ScopedOverride over(serial);
+    with_one = EmMark::derive(*f.quantized, f.stats, key);
+  }
+  std::vector<LayerWatermark> with_eight;
+  {
+    ThreadPool::ScopedOverride over(pooled);
+    with_eight = EmMark::derive(*f.quantized, f.stats, key);
+  }
+  expect_same_layers(with_one, with_eight);
+}
+
+TEST(WmParallel, InsertAndExtractIdenticalAcrossThreadCounts) {
+  WmFixture f;
+  WatermarkKey key;
+
+  ThreadPool serial(1);
+  ThreadPool pooled(8);
+
+  QuantizedModel marked_one = *f.quantized;
+  WatermarkRecord record_one;
+  ExtractionReport report_one;
+  {
+    ThreadPool::ScopedOverride over(serial);
+    record_one = EmMark::insert(marked_one, f.stats, key);
+    report_one = EmMark::extract(marked_one, *f.quantized, f.stats, key);
+  }
+
+  QuantizedModel marked_eight = *f.quantized;
+  WatermarkRecord record_eight;
+  ExtractionReport report_eight;
+  {
+    ThreadPool::ScopedOverride over(pooled);
+    record_eight = EmMark::insert(marked_eight, f.stats, key);
+    report_eight = EmMark::extract(marked_eight, *f.quantized, f.stats, key);
+  }
+
+  expect_same_layers(record_one.layers, record_eight.layers);
+  EXPECT_EQ(report_one.matched_bits, report_eight.matched_bits);
+  EXPECT_EQ(report_one.total_bits, report_eight.total_bits);
+  EXPECT_EQ(report_one.total_bits, record_one.total_bits());
+  EXPECT_DOUBLE_EQ(report_one.wer_pct(), report_eight.wer_pct());
+  EXPECT_DOUBLE_EQ(report_one.strength_log10(), report_eight.strength_log10());
+
+  // The stamped models themselves must agree code-for-code.
+  for (int64_t i = 0; i < marked_one.num_layers(); ++i) {
+    const auto& w1 = marked_one.layer(i).weights;
+    const auto& w8 = marked_eight.layer(i).weights;
+    ASSERT_EQ(w1.numel(), w8.numel());
+    for (int64_t flat = 0; flat < w1.numel(); ++flat) {
+      ASSERT_EQ(w1.code_flat(flat), w8.code_flat(flat))
+          << "layer " << i << " flat " << flat;
+    }
+  }
+}
+
+TEST(WmParallel, CrossThreadCountExtraction) {
+  // Insert with 8 threads, extract with 1 (the arbiter scenario).
+  WmFixture f;
+  WatermarkKey key;
+
+  ThreadPool serial(1);
+  ThreadPool pooled(8);
+
+  QuantizedModel marked = *f.quantized;
+  {
+    ThreadPool::ScopedOverride over(pooled);
+    EmMark::insert(marked, f.stats, key);
+  }
+  ExtractionReport report;
+  {
+    ThreadPool::ScopedOverride over(serial);
+    report = EmMark::extract(marked, *f.quantized, f.stats, key);
+  }
+  EXPECT_EQ(report.matched_bits, report.total_bits);
+  EXPECT_EQ(report.total_bits, key.bits_per_layer * f.quantized->num_layers());
+}
+
+TEST(WmParallel, BaselinesIdenticalAcrossThreadCounts) {
+  WmFixture f;
+  ThreadPool serial(1);
+  ThreadPool pooled(8);
+
+  QuantizedModel rnd_one = *f.quantized;
+  QuantizedModel rnd_eight = *f.quantized;
+  QuantizedModel spec_one = *f.quantized;
+  QuantizedModel spec_eight = *f.quantized;
+  WatermarkRecord rnd_record_one, rnd_record_eight;
+  SpecMarkRecord spec_record_one, spec_record_eight;
+  {
+    ThreadPool::ScopedOverride over(serial);
+    rnd_record_one = RandomWM::insert(rnd_one, 9, 6, 1234);
+    spec_record_one = SpecMark::insert(spec_one, 9, 6);
+  }
+  {
+    ThreadPool::ScopedOverride over(pooled);
+    rnd_record_eight = RandomWM::insert(rnd_eight, 9, 6, 1234);
+    spec_record_eight = SpecMark::insert(spec_eight, 9, 6);
+  }
+
+  expect_same_layers(rnd_record_one.layers, rnd_record_eight.layers);
+  ASSERT_EQ(spec_record_one.layers.size(), spec_record_eight.layers.size());
+  for (size_t i = 0; i < spec_record_one.layers.size(); ++i) {
+    EXPECT_EQ(spec_record_one.layers[i].coefficients,
+              spec_record_eight.layers[i].coefficients);
+    EXPECT_EQ(spec_record_one.layers[i].bits, spec_record_eight.layers[i].bits);
+  }
+  for (int64_t i = 0; i < rnd_one.num_layers(); ++i) {
+    for (int64_t flat = 0; flat < rnd_one.layer(i).weights.numel(); ++flat) {
+      ASSERT_EQ(rnd_one.layer(i).weights.code_flat(flat),
+                rnd_eight.layer(i).weights.code_flat(flat));
+      ASSERT_EQ(spec_one.layer(i).weights.code_flat(flat),
+                spec_eight.layer(i).weights.code_flat(flat));
+    }
+  }
+}
+
+TEST(WmParallel, DeriveErrorsAreDeterministicUnderPooling) {
+  WmFixture f;
+  WatermarkKey key;
+  key.bits_per_layer = 1 << 20;  // more bits than any layer has weights
+
+  ThreadPool pooled(8);
+  ThreadPool::ScopedOverride over(pooled);
+  EXPECT_THROW(EmMark::derive(*f.quantized, f.stats, key), std::runtime_error);
+}
+
+TEST(WmParallel, OversizedRecordIsRejectedNotOutOfBounds) {
+  WmFixture f;
+  WatermarkRecord record;
+  record.key = WatermarkKey{};
+  record.layers = EmMark::derive(*f.quantized, f.stats, record.key);
+  record.layers.push_back(record.layers.back());  // one layer too many
+  EXPECT_THROW(EmMark::extract_with_record(*f.quantized, *f.quantized, record),
+               std::invalid_argument);
+}
+
+TEST(WmParallel, TamperedRecordIndicesAreRejectedNotOutOfBounds) {
+  WmFixture f;
+  WatermarkRecord record;
+  record.key = WatermarkKey{};
+  record.layers = EmMark::derive(*f.quantized, f.stats, record.key);
+
+  WatermarkRecord oob = record;
+  oob.layers[0].locations[0] = f.quantized->layer(0).weights.numel();  // past end
+  EXPECT_THROW(EmMark::extract_with_record(*f.quantized, *f.quantized, oob),
+               std::invalid_argument);
+
+  WatermarkRecord short_bits = record;
+  short_bits.layers[0].bits.pop_back();
+  EXPECT_THROW(
+      EmMark::extract_with_record(*f.quantized, *f.quantized, short_bits),
+      std::invalid_argument);
+}
+
+TEST(WmParallel, ParallelForIndexRethrowsLowestIndex) {
+  ThreadPool pooled(8);
+  ThreadPool::ScopedOverride over(pooled);
+  try {
+    parallel_for_index(64, [](size_t i) {
+      if (i % 2 == 1) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected parallel_for_index to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 1");
+  }
+}
+
+TEST(WmParallel, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pooled(4);
+  ThreadPool::ScopedOverride over(pooled);
+  std::vector<int> out(16, 0);
+  parallel_for_index(4, [&](size_t i) {
+    // Nested call runs inline on the worker; must complete, not deadlock.
+    ThreadPool::active().parallel_for(4, [&, i](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) out[i * 4 + j] = 1;
+    });
+  });
+  for (int v : out) EXPECT_EQ(v, 1);
+}
+
+}  // namespace
+}  // namespace emmark

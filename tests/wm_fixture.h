@@ -2,9 +2,18 @@
 // quantized form and calibration stats. Untrained weights are fine for the
 // mechanics under test (scoring, insertion, extraction); quality-sensitive
 // behaviour is covered by test_integration and the benches.
+//
+// Construction (calibration forward passes + quantizer search) dominates
+// the wm test binaries, so the built artifacts are memoized per
+// (method, family, seed) for the lifetime of the process. Every WmFixture
+// hands out private mutable copies (clone / deep copy), so tests that
+// mutate the model or stats never observe each other.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "data/corpus.h"
 #include "quant/qmodel.h"
@@ -20,6 +29,37 @@ struct WmFixture {
   explicit WmFixture(QuantMethod method = QuantMethod::kAwqInt4,
                      ArchFamily family = ArchFamily::kOptStyle,
                      uint64_t seed = 21) {
+    const CacheEntry& entry = cached(method, family, seed);
+    fp_model = entry.fp_model->clone();
+    corpus = entry.corpus;
+    stats = entry.stats;
+    quantized = std::make_unique<QuantizedModel>(*entry.quantized);
+  }
+
+ private:
+  struct CacheEntry {
+    std::unique_ptr<TransformerLM> fp_model;
+    Corpus corpus;
+    ActivationStats stats;
+    std::unique_ptr<QuantizedModel> quantized;
+  };
+
+  static const CacheEntry& cached(QuantMethod method, ArchFamily family,
+                                  uint64_t seed) {
+    using Key = std::tuple<QuantMethod, ArchFamily, uint64_t>;
+    static std::mutex mutex;
+    static std::map<Key, std::unique_ptr<CacheEntry>> cache;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& slot = cache[Key{method, family, seed}];
+    if (!slot) slot = build(method, family, seed);
+    return *slot;
+  }
+
+  static std::unique_ptr<CacheEntry> build(QuantMethod method, ArchFamily family,
+                                           uint64_t seed) {
+    auto entry = std::make_unique<CacheEntry>();
+
     ModelConfig config;
     config.family = family;
     config.vocab_size = synth_vocab().size();
@@ -29,20 +69,23 @@ struct WmFixture {
     config.ffn_hidden = 64;
     config.max_seq = 24;
     config.init_seed = seed;
-    fp_model = std::make_unique<TransformerLM>(config);
+    entry->fp_model = std::make_unique<TransformerLM>(config);
 
     CorpusConfig cc;
     cc.train_tokens = 6000;
     cc.seed = seed;
-    corpus = make_corpus(synth_vocab(), cc);
+    entry->corpus = make_corpus(synth_vocab(), cc);
 
     CalibConfig calib;
     calib.batches = 4;
     calib.seq_len = 16;
     calib.seed = seed + 1;
-    stats = collect_activation_stats(*fp_model, corpus.train, calib);
+    entry->stats = collect_activation_stats(*entry->fp_model, entry->corpus.train,
+                                            calib);
 
-    quantized = std::make_unique<QuantizedModel>(*fp_model, stats, method);
+    entry->quantized =
+        std::make_unique<QuantizedModel>(*entry->fp_model, entry->stats, method);
+    return entry;
   }
 };
 
