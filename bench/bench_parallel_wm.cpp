@@ -1,10 +1,12 @@
-// Serial vs. pooled watermark hot paths (derive + extract).
+// Serial vs. pooled watermark hot paths (derive + extract + in-layer score).
 //
-// Times EmMark::derive and EmMark::extract over the largest model-zoo
-// config at several thread counts via ThreadPool::ScopedOverride, printing
-// a table plus a machine-readable JSON line (the repo's perf trajectory is
-// tracked from these). Thread-count invariance of the *results* is asserted
-// here too -- a speedup that changed placements would be worthless.
+// Times EmMark::derive, EmMark::extract, and EmMark::score_layer (row-
+// chunked within a single layer -- the largest one) over the largest
+// model-zoo config at several thread counts via ThreadPool::ScopedOverride,
+// printing a table plus a machine-readable JSON line (the repo's perf
+// trajectory is tracked from these). Thread-count invariance of the
+// *results* is asserted here too -- a speedup that changed placements or
+// scores would be worthless.
 //
 // Usage: bench_parallel_wm [--model <zoo-name>] [--repeats N]
 #include <algorithm>
@@ -77,6 +79,17 @@ int main(int argc, char** argv) {
   QuantizedModel marked = original;
   const WatermarkRecord record = EmMark::insert(marked, *stats, key);
 
+  // Largest quantization layer: the score_layer timing target.
+  int64_t score_layer_index = 0;
+  for (int64_t i = 1; i < original.num_layers(); ++i) {
+    if (original.layer(i).weights.numel() >
+        original.layer(score_layer_index).weights.numel()) {
+      score_layer_index = i;
+    }
+  }
+  const QuantizedLayer& score_target = original.layer(score_layer_index);
+  const LayerActivationStats& score_act = stats->find(score_target.name);
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<size_t> thread_counts = {1, 2, 4, 8};
   if (std::find(thread_counts.begin(), thread_counts.end(),
@@ -89,9 +102,11 @@ int main(int argc, char** argv) {
     size_t threads;
     double derive_ms;
     double extract_ms;
+    double score_ms;
   };
   std::vector<Row> rows;
   std::vector<LayerWatermark> reference;
+  std::vector<double> score_reference;
 
   for (size_t n : thread_counts) {
     ThreadPool pool(n);
@@ -107,6 +122,13 @@ int main(int argc, char** argv) {
     const double extract_ms = best_of(repeats, [&] {
       Timer t;
       report = EmMark::extract(marked, original, *stats, key);
+      return t.milliseconds();
+    });
+    std::vector<double> scores;
+    const double score_ms = best_of(repeats, [&] {
+      Timer t;
+      scores = EmMark::score_layer(score_target.weights, score_act.abs_mean,
+                                   key.alpha, key.beta);
       return t.milliseconds();
     });
 
@@ -130,18 +152,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FATAL: extraction mismatch at %zu threads\n", n);
       return 1;
     }
-    rows.push_back({n, derive_ms, extract_ms});
+    if (score_reference.empty()) {
+      score_reference = scores;
+    } else if (scores != score_reference) {
+      std::fprintf(stderr, "FATAL: thread count %zu changed layer scores\n", n);
+      return 1;
+    }
+    rows.push_back({n, derive_ms, extract_ms, score_ms});
   }
 
   const double base_derive = rows.front().derive_ms;
   const double base_extract = rows.front().extract_ms;
-  TablePrinter table({"threads", "derive ms", "extract ms", "speedup (derive)"});
+  const double base_score = rows.front().score_ms;
+  TablePrinter table({"threads", "derive ms", "extract ms", "score ms",
+                      "speedup (derive)", "speedup (score)"});
   for (const Row& row : rows) {
     table.add_row({std::to_string(row.threads), TablePrinter::fmt(row.derive_ms, 2),
                    TablePrinter::fmt(row.extract_ms, 2),
-                   TablePrinter::fmt(base_derive / row.derive_ms, 2)});
+                   TablePrinter::fmt(row.score_ms, 3),
+                   TablePrinter::fmt(base_derive / row.derive_ms, 2),
+                   TablePrinter::fmt(base_score / row.score_ms, 2)});
   }
   table.print();
+  std::printf("(score column: single largest layer, %lld x %lld weights)\n",
+              static_cast<long long>(score_target.weights.rows()),
+              static_cast<long long>(score_target.weights.cols()));
   std::printf("\n(hardware_concurrency = %u; counts above it oversubscribe)\n", hw);
 
   // Machine-readable summary, one JSON object on its own line.
@@ -152,10 +187,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(key.bits_per_layer), repeats, hw);
   for (size_t i = 0; i < rows.size(); ++i) {
     std::printf("%s{\"threads\":%zu,\"derive_ms\":%.3f,\"extract_ms\":%.3f,"
-                "\"derive_speedup\":%.3f,\"extract_speedup\":%.3f}",
+                "\"score_ms\":%.3f,\"derive_speedup\":%.3f,"
+                "\"extract_speedup\":%.3f,\"score_speedup\":%.3f}",
                 i ? "," : "", rows[i].threads, rows[i].derive_ms,
-                rows[i].extract_ms, base_derive / rows[i].derive_ms,
-                base_extract / rows[i].extract_ms);
+                rows[i].extract_ms, rows[i].score_ms,
+                base_derive / rows[i].derive_ms,
+                base_extract / rows[i].extract_ms,
+                base_score / rows[i].score_ms);
   }
   std::printf("]}\n");
   return 0;

@@ -4,20 +4,31 @@
 // {w/o WM, SpecMark, RandomWM, EmMark}; metrics PPL (down), zero-shot
 // accuracy (up) and WER (up), plus the mean degradation column.
 //
+// All three schemes run through the unified WatermarkScheme registry --
+// one insert/extract loop covers the whole row set, and adding a scheme to
+// the registry adds its row here automatically via kSchemeRows.
+//
 // Expected shape (paper): SpecMark rows identical to w/o WM but 0% WER;
 // RandomWM 100% WER with visible INT4 quality loss; EmMark 100% WER with
 // no degradation anywhere.
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "bench_common.h"
-#include "wm/randomwm.h"
-#include "wm/specmark.h"
+#include "wm/scheme.h"
 
 namespace {
 
 using namespace emmark;
 using namespace emmark::bench;
+
+/// Paper row order (baselines first, EmMark last).
+const std::vector<std::pair<std::string, const char*>> kSchemeRows = {
+    {"specmark", "SpecMark"},
+    {"randomwm", "RandomWM"},
+    {"emmark", "EmMark"},
+};
 
 struct Cell {
   double ppl = 0.0;
@@ -27,7 +38,8 @@ struct Cell {
 
 struct ModelColumn {
   std::string name;
-  Cell none, specmark, randomwm, emmark;
+  Cell none;
+  std::map<std::string, Cell> by_scheme;
 };
 
 ModelColumn run_model(BenchContext& ctx, const std::string& name, QuantBits bits) {
@@ -38,46 +50,30 @@ ModelColumn run_model(BenchContext& ctx, const std::string& name, QuantBits bits
   column.none.ppl = ctx.ppl_of(original);
   column.none.acc = ctx.acc_of(original);
 
-  // SpecMark: spectral insertion + re-rounding.
-  {
+  auto stats = ctx.zoo().stats(name);
+  const WatermarkKey key = owner_key(bits);
+
+  for (const auto& [scheme_name, row_label] : kSchemeRows) {
+    (void)row_label;
+    const auto scheme = WatermarkRegistry::create(scheme_name);
     QuantizedModel wm = original;
-    const SpecMarkRecord record =
-        SpecMark::insert(wm, kOwnerSeed, default_bits(bits), 0.05);
-    column.specmark.wer = SpecMark::extract(wm, original, record).wer_pct();
-    // Sub-step perturbations round back to identical codes; re-evaluate
-    // only if anything actually changed.
+    const SchemeRecord record = scheme->insert(wm, *stats, key);
+    Cell cell;
+    cell.wer = scheme->extract(wm, original, record).wer_pct();
+    // SpecMark's sub-step perturbations round back to identical codes;
+    // re-evaluate quality only if anything actually changed.
     bool changed = false;
     for (int64_t i = 0; i < wm.num_layers() && !changed; ++i) {
       changed = wm.layer(i).weights.codes() != original.layer(i).weights.codes();
     }
     if (changed) {
-      column.specmark.ppl = ctx.ppl_of(wm);
-      column.specmark.acc = ctx.acc_of(wm);
+      cell.ppl = ctx.ppl_of(wm);
+      cell.acc = ctx.acc_of(wm);
     } else {
-      column.specmark.ppl = column.none.ppl;
-      column.specmark.acc = column.none.acc;
+      cell.ppl = column.none.ppl;
+      cell.acc = column.none.acc;
     }
-  }
-
-  // RandomWM: random positions, no scoring.
-  {
-    QuantizedModel wm = original;
-    const WatermarkRecord record =
-        RandomWM::insert(wm, kOwnerSeed, default_bits(bits));
-    column.randomwm.ppl = ctx.ppl_of(wm);
-    column.randomwm.acc = ctx.acc_of(wm);
-    column.randomwm.wer = RandomWM::extract(wm, original, record).wer_pct();
-  }
-
-  // EmMark.
-  {
-    QuantizedModel wm = original;
-    auto stats = ctx.zoo().stats(name);
-    const WatermarkKey key = owner_key(bits);
-    EmMark::insert(wm, *stats, key);
-    column.emmark.ppl = ctx.ppl_of(wm);
-    column.emmark.acc = ctx.acc_of(wm);
-    column.emmark.wer = EmMark::extract(wm, original, *stats, key).wer_pct();
+    column.by_scheme[scheme_name] = cell;
   }
   return column;
 }
@@ -95,11 +91,11 @@ void print_grid(const std::vector<ModelColumn>& columns, QuantBits bits) {
       if (delta_col) headers.push_back("mean-delta");
       return headers;
     }());
-    auto add_row = [&](const char* label, auto member) {
+    auto add_row = [&](const char* label, auto cell_of) {
       std::vector<std::string> cells{label};
       double delta = 0.0;
       for (const auto& c : columns) {
-        const Cell& cell = c.*member;
+        const Cell& cell = cell_of(c);
         const double value = getter(cell);
         cells.push_back(value < 0 ? std::string("-") : TablePrinter::fmt(value));
         delta += getter(cell) - getter(c.none);
@@ -109,10 +105,12 @@ void print_grid(const std::vector<ModelColumn>& columns, QuantBits bits) {
       }
       table.add_row(std::move(cells));
     };
-    add_row("w/o WM", &ModelColumn::none);
-    add_row("SpecMark", &ModelColumn::specmark);
-    add_row("RandomWM", &ModelColumn::randomwm);
-    add_row("EmMark", &ModelColumn::emmark);
+    add_row("w/o WM", [](const ModelColumn& c) -> const Cell& { return c.none; });
+    for (const auto& [scheme_name, row_label] : kSchemeRows) {
+      add_row(row_label, [&scheme_name](const ModelColumn& c) -> const Cell& {
+        return c.by_scheme.at(scheme_name);
+      });
+    }
     table.print();
   };
 

@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   key.bits_per_layer = args.get_int("wm-bits");
   key.candidate_ratio = 10;
   QuantizedModel watermarked = original;
-  const WatermarkRecord record = EmMark::insert(watermarked, *stats, key);
+  const auto scheme = WatermarkRegistry::create("emmark");
+  const SchemeRecord record = scheme->insert(watermarked, *stats, key);
 
   PplConfig ppl_config;
   ppl_config.seq_len = 32;
@@ -42,13 +43,14 @@ int main(int argc, char** argv) {
     return perplexity(*m, zoo.env().corpus.test, ppl_config);
   };
   auto report_of = [&](const QuantizedModel& qm) {
-    return EmMark::extract_with_record(qm, original, record);
+    return scheme->extract(qm, original, record);
   };
   auto wer_of = [&](const QuantizedModel& qm) { return report_of(qm).wer_pct(); };
 
   const double base_ppl = ppl_of(watermarked);
   std::printf("target: %s, AWQ INT4, %lld watermark bits, baseline PPL %.2f\n\n",
-              name.c_str(), static_cast<long long>(record.total_bits()), base_ppl);
+              name.c_str(), static_cast<long long>(scheme->total_bits(record)),
+              base_ppl);
 
   TablePrinter table({"attack", "PPL after", "WER% after", "verdict"});
   // Ownership is decided by the chance-match probability (Eq. 8), not the

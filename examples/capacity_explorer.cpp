@@ -13,7 +13,7 @@
 #include "model_zoo/zoo.h"
 #include "util/argparse.h"
 #include "util/mathx.h"
-#include "wm/emmark.h"
+#include "wm/scheme.h"
 
 using namespace emmark;
 
@@ -65,9 +65,10 @@ int main(int argc, char** argv) {
     key.bits_per_layer = bits;
     key.candidate_ratio = 3;
     QuantizedModel wm = original;
-    WatermarkRecord record;
+    const auto scheme = WatermarkRegistry::create("emmark");
+    SchemeRecord record;
     try {
-      record = EmMark::insert(wm, *stats, key);
+      record = scheme->insert(wm, *stats, key);
     } catch (const std::exception& e) {
       std::printf("stopping sweep at %lld bits/layer: %s\n",
                   static_cast<long long>(bits), e.what());
@@ -76,10 +77,10 @@ int main(int argc, char** argv) {
     auto wm_eval = wm.materialize();
     const double ppl = perplexity(*wm_eval, zoo.env().corpus.test, ppl_config);
     const double acc = evaluate_zeroshot(*wm_eval, tasks).mean_accuracy_pct;
-    const double wer = EmMark::extract_with_record(wm, original, record).wer_pct();
-    const double strength = log10_binomial_tail_half(record.total_bits(),
-                                                     record.total_bits());
-    table.add_row({std::to_string(bits), std::to_string(record.total_bits()),
+    const double wer = scheme->extract(wm, original, record).wer_pct();
+    const int64_t total_bits = scheme->total_bits(record);
+    const double strength = log10_binomial_tail_half(total_bits, total_bits);
+    table.add_row({std::to_string(bits), std::to_string(total_bits),
                    TablePrinter::fmt(ppl), TablePrinter::fmt(ppl - base_ppl, 3),
                    TablePrinter::fmt(acc), TablePrinter::fmt(wer, 0),
                    TablePrinter::fmt(strength, 0)});

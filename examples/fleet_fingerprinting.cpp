@@ -1,9 +1,12 @@
 // Fleet fingerprinting demo (extension): a vendor ships one quantized model
-// to many devices, each carrying a distinct EmMark signature. When a dump
-// appears on a model-sharing site, the vendor traces which device leaked --
-// even after the leaker scrubbed a fraction of the weights.
+// to many devices, each carrying a distinct signature. When a dump appears
+// on a model-sharing site, the vendor traces which device leaked -- even
+// after the leaker scrubbed a fraction of the weights.
 //
-// Run:  ./fleet_fingerprinting [--devices 8] [--scrub 80]
+// The fleet machinery is scheme-agnostic: pass --scheme randomwm to stamp
+// the fleet with the baseline instead of EmMark.
+//
+// Run:  ./fleet_fingerprinting [--devices 8] [--scrub 80] [--scheme emmark]
 #include <cstdio>
 
 #include "attack/overwrite.h"
@@ -19,6 +22,7 @@ int main(int argc, char** argv) {
   args.add_option("devices", "8", "fleet size");
   args.add_option("scrub", "80", "weights per layer the leaker overwrites");
   args.add_option("model", "opt-1.3b-sim", "zoo model");
+  args.add_option("scheme", "emmark", "registered watermarking scheme");
   if (!args.parse(argc, argv)) return 1;
 
   ModelZoo zoo;
@@ -35,10 +39,12 @@ int main(int argc, char** argv) {
   base.bits_per_layer = 10;
   base.candidate_ratio = 10;
   std::vector<QuantizedModel> device_models;
-  const FingerprintSet set =
-      Fingerprinter::enroll(original, *stats, base, fleet, device_models);
-  std::printf("enrolled %zu devices, %lld signature bits each\n\n", fleet.size(),
-              static_cast<long long>(set.devices.front().record.total_bits()));
+  const FingerprintSet set = Fingerprinter::enroll(
+      args.get("scheme"), original, *stats, base, fleet, device_models);
+  const auto scheme = WatermarkRegistry::create(set.scheme);
+  std::printf("enrolled %zu devices with %s, %lld signature bits each\n\n",
+              fleet.size(), set.scheme.c_str(),
+              static_cast<long long>(scheme->total_bits(set.devices.front().record)));
 
   // A dump from device 3 leaks; the leaker scrubs random weights first.
   const size_t leaker = std::min<size_t>(3, fleet.size() - 1);
@@ -53,8 +59,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"device", "WER% in dump"});
   for (const DeviceFingerprint& fp : set.devices) {
-    const ExtractionReport report =
-        EmMark::extract_with_record(dump, original, fp.record);
+    const ExtractionReport report = scheme->extract(dump, original, fp.record);
     table.add_row({fp.device_id, TablePrinter::fmt(report.wer_pct(), 1)});
   }
   table.print();

@@ -3,8 +3,15 @@
 // printing a per-model summary. Run this once before the bench suite to
 // warm the checkpoint cache.
 //
+// Watermarking goes through the WatermarkEngine service layer: all INT8 and
+// INT4 insertions across the whole zoo are submitted as one batch (fanned
+// out on the shared ThreadPool), then verified with one extract batch --
+// the shape a production endpoint would use.
+//
 // Run:  ./model_zoo_pipeline [--model opt-2.7b-sim] [--threads 2]
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "util/argparse.h"
 
@@ -12,7 +19,7 @@
 #include "eval/report.h"
 #include "eval/zeroshot.h"
 #include "model_zoo/zoo.h"
-#include "wm/emmark.h"
+#include "wm/engine.h"
 
 using namespace emmark;
 
@@ -39,47 +46,89 @@ int main(int argc, char** argv) {
     zoo.prepare_all(static_cast<size_t>(args.get_int("threads")));
   }
 
+  // One pipeline entry per (model, bit width): the original quantized model
+  // plus its to-be-watermarked copy, addressed by a stable request id.
+  struct PipelineEntry {
+    const ZooEntry* entry = nullptr;
+    std::shared_ptr<TransformerLM> fp;
+    std::shared_ptr<const ActivationStats> stats;
+    std::unique_ptr<QuantizedModel> original;
+    std::unique_ptr<QuantizedModel> watermarked;
+    std::string request_id;
+  };
+  std::vector<PipelineEntry> pipeline;
+  for (const ZooEntry& entry : zoo_entries()) {
+    if (!args.get("model").empty() && entry.name != args.get("model")) continue;
+    for (const bool int8 : {true, false}) {
+      PipelineEntry pe;
+      pe.entry = &entry;
+      pe.fp = zoo.model(entry.name);
+      pe.stats = zoo.stats(entry.name);
+      pe.original = std::make_unique<QuantizedModel>(
+          *pe.fp, *pe.stats,
+          int8 ? int8_method(entry.family) : QuantMethod::kAwqInt4);
+      pe.watermarked = std::make_unique<QuantizedModel>(*pe.original);
+      pe.request_id = entry.name + (int8 ? "/int8" : "/int4");
+      pipeline.push_back(std::move(pe));
+    }
+  }
+
+  // Batch insert: the whole zoo in one engine call.
+  WatermarkEngine engine;
+  std::vector<WatermarkEngine::InsertRequest> inserts;
+  for (PipelineEntry& pe : pipeline) {
+    WatermarkEngine::InsertRequest request;
+    request.id = pe.request_id;
+    request.scheme = "emmark";
+    request.model = pe.watermarked.get();
+    request.stats = pe.stats.get();
+    request.key.bits_per_layer = pe.original->bits() == QuantBits::kInt8 ? 24 : 8;
+    request.key.candidate_ratio = 10;
+    inserts.push_back(request);
+  }
+  const auto insert_results = engine.insert_batch(inserts);
+
+  // Batch extract against the originals.
+  std::vector<WatermarkEngine::ExtractRequest> extracts;
+  for (size_t i = 0; i < pipeline.size(); ++i) {
+    WatermarkEngine::ExtractRequest request;
+    request.id = pipeline[i].request_id;
+    request.suspect = pipeline[i].watermarked.get();
+    request.original = pipeline[i].original.get();
+    request.record = &insert_results[i].record;
+    extracts.push_back(request);
+  }
+  const auto extract_results = engine.extract_batch(extracts);
+
   const auto tasks = make_task_suite(synth_vocab(), 60, 310);
+  PplConfig ppl_config;
+  ppl_config.seq_len = 32;
   TablePrinter table({"model", "family", "params", "fp PPL", "int8 PPL",
                       "int4 PPL", "acc%", "WER8%", "WER4%"});
 
-  for (const ZooEntry& entry : zoo_entries()) {
-    if (!args.get("model").empty() && entry.name != args.get("model")) continue;
-    auto fp = zoo.model(entry.name);
-    auto stats = zoo.stats(entry.name);
-
-    PplConfig ppl_config;
-    ppl_config.seq_len = 32;
-    const double fp_ppl = perplexity(*fp, zoo.env().corpus.test, ppl_config);
-
-    const QuantizedModel q8(*fp, *stats, int8_method(entry.family));
-    const QuantizedModel q4(*fp, *stats, QuantMethod::kAwqInt4);
-
-    WatermarkKey key8;
-    key8.bits_per_layer = 24;
-    key8.candidate_ratio = 10;
-    WatermarkKey key4 = key8;
-    key4.bits_per_layer = 8;
-
-    QuantizedModel wm8 = q8;
-    EmMark::insert(wm8, *stats, key8);
-    QuantizedModel wm4 = q4;
-    EmMark::insert(wm4, *stats, key4);
-
-    auto wm8_eval = wm8.materialize();
-    auto wm4_eval = wm4.materialize();
+  for (size_t i = 0; i + 1 < pipeline.size(); i += 2) {
+    const PipelineEntry& pe8 = pipeline[i];      // int8 first per model
+    const PipelineEntry& pe4 = pipeline[i + 1];  // then int4
+    if (!insert_results[i].ok || !insert_results[i + 1].ok) {
+      std::fprintf(stderr, "insert failed for %s: %s%s\n", pe8.entry->name.c_str(),
+                   insert_results[i].error.c_str(),
+                   insert_results[i + 1].error.c_str());
+      continue;
+    }
+    const double fp_ppl = perplexity(*pe8.fp, zoo.env().corpus.test, ppl_config);
+    auto wm8_eval = pe8.watermarked->materialize();
+    auto wm4_eval = pe4.watermarked->materialize();
     const double ppl8 = perplexity(*wm8_eval, zoo.env().corpus.test, ppl_config);
     const double ppl4 = perplexity(*wm4_eval, zoo.env().corpus.test, ppl_config);
     const double acc = evaluate_zeroshot(*wm4_eval, tasks).mean_accuracy_pct;
-    const double wer8 = EmMark::extract(wm8, q8, *stats, key8).wer_pct();
-    const double wer4 = EmMark::extract(wm4, q4, *stats, key4).wer_pct();
 
-    table.add_row({entry.name, to_string(entry.family),
-                   std::to_string(fp->parameter_count()),
+    table.add_row({pe8.entry->name, to_string(pe8.entry->family),
+                   std::to_string(pe8.fp->parameter_count()),
                    TablePrinter::fmt(fp_ppl), TablePrinter::fmt(ppl8),
                    TablePrinter::fmt(ppl4), TablePrinter::fmt(acc),
-                   TablePrinter::fmt(wer8, 0), TablePrinter::fmt(wer4, 0)});
-    std::printf("done: %s\n", entry.name.c_str());
+                   TablePrinter::fmt(extract_results[i].report.wer_pct(), 0),
+                   TablePrinter::fmt(extract_results[i + 1].report.wer_pct(), 0)});
+    std::printf("done: %s\n", pe8.entry->name.c_str());
   }
   std::printf("\n");
   table.print();

@@ -51,7 +51,7 @@ int main() {
   vendor_key.bits_per_layer = 8;
   vendor_key.candidate_ratio = 10;
   QuantizedModel deployed = vendor_original;
-  EmMark::insert(deployed, vendor_stats, vendor_key);
+  WatermarkRegistry::create("emmark")->insert(deployed, vendor_stats, vendor_key);
   std::printf("[vendor] watermark inserted; model shipped to edge devices.\n\n");
 
   // --- Pirate side --------------------------------------------------------

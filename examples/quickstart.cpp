@@ -14,7 +14,7 @@
 #include "eval/perplexity.h"
 #include "nn/trainer.h"
 #include "util/argparse.h"
-#include "wm/emmark.h"
+#include "wm/scheme.h"
 
 using namespace emmark;
 
@@ -62,15 +62,17 @@ int main(int argc, char** argv) {
   const double q_ppl = perplexity(*quantized_eval, corpus.test, {});
   std::printf("      quantized perplexity: %.2f\n", q_ppl);
 
-  // 4. Watermark.
+  // 4. Watermark, through the unified scheme registry ("emmark" here;
+  //    "specmark"/"randomwm" plug into the same call).
   std::printf("[4/5] inserting the watermark...\n");
   WatermarkKey key;                    // seed=100, alpha=beta=0.5: paper defaults
   key.bits_per_layer = args.get_int("wm-bits");
   key.candidate_ratio = 10;
   QuantizedModel watermarked = original;
-  const WatermarkRecord record = EmMark::insert(watermarked, stats, key);
+  const auto scheme = WatermarkRegistry::create("emmark");
+  const SchemeRecord record = scheme->insert(watermarked, stats, key);
   std::printf("      inserted %lld bits across %lld quantization layers\n",
-              static_cast<long long>(record.total_bits()),
+              static_cast<long long>(scheme->total_bits(record)),
               static_cast<long long>(watermarked.num_layers()));
 
   auto wm_eval = watermarked.materialize();
@@ -81,8 +83,9 @@ int main(int argc, char** argv) {
   // 5. Ownership proof: re-derive locations from the key + retained
   //    artifacts, compare deltas, compute the chance-match probability.
   std::printf("[5/5] extracting the watermark from the deployed model...\n");
+  const SchemeRecord rederived = scheme->derive(original, stats, key);
   const ExtractionReport report =
-      EmMark::extract(watermarked, original, stats, key);
+      scheme->extract(watermarked, original, rederived);
   std::printf("      WER: %.1f%% (%lld/%lld bits), chance probability 1e%.1f\n",
               report.wer_pct(), static_cast<long long>(report.matched_bits),
               static_cast<long long>(report.total_bits),

@@ -4,6 +4,7 @@
 # Usage:
 #   scripts/check.sh                 # Release build + tests (the tier-1 line)
 #   scripts/check.sh --warnings      # Debug build with -Wall -Wextra -Werror
+#   scripts/check.sh --sanitize      # ASan + UBSan build, full ctest suite
 #   scripts/check.sh --build-dir DIR # custom build tree (default: build)
 #
 # CI runs exactly this script, so a green local run means a green CI run.
@@ -14,6 +15,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 BUILD_TYPE=Release
 WARNINGS=OFF
+SANITIZE=OFF
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -21,6 +23,12 @@ while [[ $# -gt 0 ]]; do
       BUILD_TYPE=Debug
       WARNINGS=ON
       BUILD_DIR=build-warnings
+      shift
+      ;;
+    --sanitize)
+      BUILD_TYPE=RelWithDebInfo
+      SANITIZE=ON
+      BUILD_DIR=build-sanitize
       shift
       ;;
     --build-dir)
@@ -36,7 +44,8 @@ done
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
-  -DEMMARK_WARNINGS_AS_ERRORS="$WARNINGS"
+  -DEMMARK_WARNINGS_AS_ERRORS="$WARNINGS" \
+  -DEMMARK_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)"

@@ -1,5 +1,6 @@
 #include "model_zoo/zoo.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <mutex>
 #include <stdexcept>
@@ -83,7 +84,8 @@ ModelConfig ModelZoo::config_for(const ZooEntry& entry) const {
 
 TrainConfig ModelZoo::train_config_for(const ZooEntry& entry) const {
   TrainConfig config;
-  config.steps = entry.train_steps;
+  config.steps = train_steps_cap_ > 0 ? std::min(entry.train_steps, train_steps_cap_)
+                                      : entry.train_steps;
   config.batch_size = 8;
   config.seq_len = 32;
   config.lr = 3e-3;
@@ -92,7 +94,15 @@ TrainConfig ModelZoo::train_config_for(const ZooEntry& entry) const {
 }
 
 std::string ModelZoo::checkpoint_path(const std::string& key) const {
-  return path_join(cache_dir_, key);
+  // Step-capped artifacts get their own cache namespace: an under-trained
+  // checkpoint silently standing in for the full model would corrupt every
+  // later bench/CLI run that hits the shared cache.
+  const std::string suffix =
+      train_steps_cap_ > 0 ? "-cap" + std::to_string(train_steps_cap_) : "";
+  const auto dot = key.rfind('.');
+  const std::string name = dot == std::string::npos ? key : key.substr(0, dot);
+  const std::string ext = dot == std::string::npos ? "" : key.substr(dot);
+  return path_join(cache_dir_, name + suffix + ext);
 }
 
 std::shared_ptr<TransformerLM> ModelZoo::train_from_scratch(const ZooEntry& entry) {
@@ -164,7 +174,7 @@ std::shared_ptr<TransformerLM> ModelZoo::finetuned(const std::string& name,
   auto base = model(name);
   auto tuned = std::shared_ptr<TransformerLM>(base->clone());
   TrainConfig config = train_config_for(zoo_entry(name));
-  config.steps = 150;
+  config.steps = train_steps_cap_ > 0 ? std::min<int64_t>(150, train_steps_cap_) : 150;
   config.lr = 1e-3;
   config.seed += 7;
   Trainer trainer(*tuned, *stream, config);

@@ -65,6 +65,13 @@ class ModelZoo {
   /// Trains every zoo model (and caches it); `threads` models in parallel.
   void prepare_all(size_t threads = 2);
 
+  /// Caps training (and fine-tuning) steps for every entry; 0 = no cap.
+  /// For tests/dev. Capped checkpoints are cached under a distinct
+  /// "-cap<N>" key, so a capped zoo can never poison the full-quality
+  /// cache entries (and vice versa).
+  void set_train_steps_cap(int64_t steps) { train_steps_cap_ = steps; }
+  int64_t train_steps_cap() const { return train_steps_cap_; }
+
   ModelConfig config_for(const ZooEntry& entry) const;
   TrainConfig train_config_for(const ZooEntry& entry) const;
 
@@ -73,6 +80,7 @@ class ModelZoo {
   std::shared_ptr<TransformerLM> train_from_scratch(const ZooEntry& entry);
 
   std::string cache_dir_;
+  int64_t train_steps_cap_ = 0;
   ZooEnvironment env_;
 };
 

@@ -95,6 +95,53 @@ int64_t QuantizedModel::quantized_param_count() const {
   return total;
 }
 
+namespace {
+constexpr const char* kCodesMagic = "EMMQCODE";
+constexpr uint32_t kCodesVersion = 1;
+}  // namespace
+
+void QuantizedModel::save_codes(const std::string& path) const {
+  BinaryWriter writer(path, kCodesMagic, kCodesVersion);
+  writer.write_string(to_string(method_));
+  writer.write_u64(layers_.size());
+  for (const auto& layer : layers_) {
+    writer.write_string(layer.name);
+    writer.write_i64(layer.weights.rows());
+    writer.write_i64(layer.weights.cols());
+    writer.write_vector(layer.weights.codes());
+  }
+  writer.close();
+}
+
+void QuantizedModel::load_codes(const std::string& path) {
+  BinaryReader reader(path, kCodesMagic, kCodesVersion);
+  const std::string method_name = reader.read_string();
+  if (method_name != to_string(method_)) {
+    throw SerializeError("codes snapshot quantized with " + method_name +
+                         ", model uses " + to_string(method_));
+  }
+  const uint64_t count = reader.read_u64();
+  if (count != layers_.size()) {
+    throw SerializeError("codes snapshot layer count mismatch");
+  }
+  for (auto& layer : layers_) {
+    const std::string name = reader.read_string();
+    const int64_t rows = reader.read_i64();
+    const int64_t cols = reader.read_i64();
+    if (name != layer.name || rows != layer.weights.rows() ||
+        cols != layer.weights.cols()) {
+      throw SerializeError("codes snapshot does not match layer " + layer.name);
+    }
+    const std::vector<int8_t> codes = reader.read_vector<int8_t>();
+    if (codes.size() != layer.weights.codes().size()) {
+      throw SerializeError("codes snapshot size mismatch in " + layer.name);
+    }
+    for (size_t i = 0; i < codes.size(); ++i) {
+      layer.weights.set_code_flat(static_cast<int64_t>(i), codes[i]);
+    }
+  }
+}
+
 std::unique_ptr<TransformerLM> QuantizedModel::materialize() const {
   auto model = base_->clone();
   auto linears = model->quantizable_linears();

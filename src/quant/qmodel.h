@@ -78,6 +78,16 @@ class QuantizedModel {
   /// weight replaced by the dequantized effective weight.
   std::unique_ptr<TransformerLM> materialize() const;
 
+  /// Codes snapshot: just the integer codes of every layer. Watermarking
+  /// only flips codes (scales/outliers/base weights are untouched), so a
+  /// snapshot applied onto a freshly re-quantized original reconstructs the
+  /// deployed model exactly -- the artifact emmark_cli ships between its
+  /// insert and extract/verify/trace runs.
+  void save_codes(const std::string& path) const;
+  /// Overwrites this model's codes from a snapshot; throws SerializeError
+  /// when layer names or shapes do not line up.
+  void load_codes(const std::string& path);
+
  private:
   QuantMethod method_;
   std::vector<QuantizedLayer> layers_;

@@ -20,15 +20,42 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
   options_[name] = Option{"false", help, /*is_flag=*/true};
 }
 
+void ArgParser::add_command(const std::string& name, const std::string& help) {
+  command_order_.push_back(name);
+  commands_[name] = help;
+}
+
 bool ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
   values_.clear();
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+  command_.clear();
+  command_args_.clear();
+  for (size_t i = 0; i < args.size(); ++i) {
+    std::string arg = args[i];
     if (arg == "--help" || arg == "-h") {
       std::fputs(usage().c_str(), stdout);
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (!commands_.empty()) {
+        // Subcommand mode: the first positional selects the command; the
+        // per-command parser owns everything after it.
+        if (commands_.find(arg) == commands_.end()) {
+          std::fprintf(stderr, "unknown command: %s\n%s", arg.c_str(),
+                       usage().c_str());
+          return false;
+        }
+        command_ = arg;
+        command_args_.assign(args.begin() + static_cast<ptrdiff_t>(i) + 1,
+                             args.end());
+        return true;
+      }
       std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
                    usage().c_str());
       return false;
@@ -50,14 +77,18 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       values_[arg] = has_value ? value : "true";
     } else {
       if (!has_value) {
-        if (i + 1 >= argc) {
+        if (i + 1 >= args.size()) {
           std::fprintf(stderr, "option --%s expects a value\n", arg.c_str());
           return false;
         }
-        value = argv[++i];
+        value = args[++i];
       }
       values_[arg] = value;
     }
+  }
+  if (!commands_.empty()) {
+    std::fprintf(stderr, "expected a command\n%s", usage().c_str());
+    return false;
   }
   return true;
 }
@@ -84,7 +115,18 @@ bool ArgParser::get_flag(const std::string& name) const {
 
 std::string ArgParser::usage() const {
   std::ostringstream out;
-  out << program_ << " - " << description_ << "\n\noptions:\n";
+  out << program_ << " - " << description_ << "\n";
+  if (!command_order_.empty()) {
+    out << "\nusage: " << program_ << " <command> [options]\n\ncommands:\n";
+    for (const auto& name : command_order_) {
+      out << "  " << name << "\n      " << commands_.at(name) << "\n";
+    }
+    if (options_.empty()) {
+      out << "  (run `" << program_ << " <command> --help` for command options)\n";
+      return out.str();
+    }
+  }
+  out << "\noptions:\n";
   for (const auto& name : order_) {
     const Option& opt = options_.at(name);
     out << "  --" << name;

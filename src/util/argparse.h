@@ -1,7 +1,11 @@
-// Tiny command-line parser for the example binaries.
+// Tiny command-line parser for the example and CLI binaries.
 //
 // Supports `--flag`, `--key value` and `--key=value`. Unknown options are
 // an error so typos do not silently fall back to defaults.
+//
+// Subcommand mode (emmark_cli): register commands with add_command(); parse
+// then treats the first positional as the command name, stops there, and
+// leaves the remaining argv in command_args() for a per-command ArgParser.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +24,19 @@ class ArgParser {
                   const std::string& help);
   /// Registers a boolean flag (default false).
   void add_flag(const std::string& name, const std::string& help);
+  /// Registers a subcommand; any number may be added. Once one is
+  /// registered, parse() expects `program <command> [args...]`.
+  void add_command(const std::string& name, const std::string& help);
 
   /// Parses argv; returns false (after printing usage) on --help or error.
   bool parse(int argc, const char* const* argv);
+  /// Same, over pre-split arguments (argv[0]/program name NOT included).
+  bool parse(const std::vector<std::string>& args);
+
+  /// Selected subcommand ("" when none was parsed).
+  const std::string& command() const { return command_; }
+  /// Arguments following the subcommand, for the per-command parser.
+  const std::vector<std::string>& command_args() const { return command_args_; }
 
   std::string get(const std::string& name) const;
   int64_t get_int(const std::string& name) const;
@@ -43,6 +57,10 @@ class ArgParser {
   std::vector<std::string> order_;
   std::map<std::string, Option> options_;
   std::map<std::string, std::string> values_;
+  std::vector<std::string> command_order_;
+  std::map<std::string, std::string> commands_;
+  std::string command_;
+  std::vector<std::string> command_args_;
 };
 
 }  // namespace emmark

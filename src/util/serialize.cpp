@@ -50,6 +50,10 @@ void BinaryWriter::write_bytes(const void* data, size_t size) {
 
 BinaryReader::BinaryReader(const std::string& path, const std::string& magic,
                            uint32_t expected_version)
+    : BinaryReader(path, magic, expected_version, expected_version) {}
+
+BinaryReader::BinaryReader(const std::string& path, const std::string& magic,
+                           uint32_t min_version, uint32_t max_version)
     : in_(path, std::ios::binary), path_(path) {
   if (!in_) throw SerializeError("cannot open for reading: " + path);
   std::array<char, kMagicSize> found{};
@@ -58,10 +62,13 @@ BinaryReader::BinaryReader(const std::string& path, const std::string& magic,
     throw SerializeError("bad magic in " + path + " (expected " + magic + ")");
   }
   version_ = read_u32();
-  if (version_ != expected_version) {
-    throw SerializeError("version mismatch in " + path + ": have " +
-                         std::to_string(version_) + ", want " +
-                         std::to_string(expected_version));
+  if (version_ < min_version || version_ > max_version) {
+    throw SerializeError(
+        "version mismatch in " + path + ": have " + std::to_string(version_) +
+        ", want " +
+        (min_version == max_version
+             ? std::to_string(min_version)
+             : std::to_string(min_version) + ".." + std::to_string(max_version)));
   }
 }
 

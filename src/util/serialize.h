@@ -69,6 +69,12 @@ class BinaryReader {
   /// Opens `path`, validates magic and version.
   BinaryReader(const std::string& path, const std::string& magic, uint32_t expected_version);
 
+  /// Version-tolerant variant: accepts any archive version in
+  /// [min_version, max_version]. Callers branch on version() to parse older
+  /// layouts (e.g. evidence bundles written before the scheme tag existed).
+  BinaryReader(const std::string& path, const std::string& magic,
+               uint32_t min_version, uint32_t max_version);
+
   BinaryReader(const BinaryReader&) = delete;
   BinaryReader& operator=(const BinaryReader&) = delete;
 

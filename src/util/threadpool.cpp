@@ -60,33 +60,43 @@ void ThreadPool::parallel_for(size_t count,
     fn(0, count);
     return;
   }
-  const size_t chunks = std::min(threads, count);
-  const size_t base = count / chunks;
-  const size_t extra = count % chunks;
+  // Chunked dynamic scheduling: workers pull fixed-size chunks off a shared
+  // atomic counter instead of owning one static slice each, so a skewed
+  // chunk (layers vary wildly in size) cannot idle the rest of the pool.
+  // Determinism: chunk boundaries depend only on (count, pool size) --
+  // every index is visited exactly once, in contiguous [begin, end) ranges
+  // aligned to the chunk size -- only the chunk->worker assignment varies
+  // between runs, which callers never observe (they write disjoint slots).
+  // kChunksPerThread > 1 trades scheduling overhead for load balance.
+  constexpr size_t kChunksPerThread = 8;
+  const size_t chunk_size =
+      std::max<size_t>(1, count / (threads * kChunksPerThread));
+  const size_t pullers = std::min(threads, (count + chunk_size - 1) / chunk_size);
 
+  std::atomic<size_t> next{0};
   // The decrement happens under done_mutex: the waiter can only observe
   // remaining == 0 after the final worker released the lock, so the worker
   // never touches these stack-locals after the wait returns and the frame
   // is popped.
-  size_t remaining = chunks;
+  size_t remaining = pullers;
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
-  size_t begin = 0;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t len = base + (c < extra ? 1 : 0);
-    const size_t end = begin + len;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace([&, begin, end] {
-        fn(begin, end);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t p = 0; p < pullers; ++p) {
+      tasks_.emplace([&, chunk_size, count] {
+        for (;;) {
+          const size_t begin = next.fetch_add(chunk_size, std::memory_order_relaxed);
+          if (begin >= count) break;
+          fn(begin, std::min(begin + chunk_size, count));
+        }
         std::lock_guard<std::mutex> done_lock(done_mutex);
         if (--remaining == 0) done_cv.notify_one();
       });
     }
-    wake_.notify_one();
-    begin = end;
   }
+  wake_.notify_all();
 
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining == 0; });

@@ -2,9 +2,12 @@
 //
 // Training the model-zoo transformers and the per-layer watermark paths
 // (scoring, derivation, extraction) are the compute-heavy parts of the
-// reproduction; units of work are independent, so a static block partition
-// is enough. The pool is created once and reused (thread creation dominates
-// tiny workloads otherwise).
+// reproduction; units of work are independent. parallel_for uses chunked
+// dynamic scheduling (workers pull fixed-size chunks off an atomic
+// counter), so skewed per-unit cost -- quantization layers differ by an
+// order of magnitude in size -- cannot idle workers the way a static
+// partition did. The pool is created once and reused (thread creation
+// dominates tiny workloads otherwise).
 #pragma once
 
 #include <condition_variable>
@@ -28,10 +31,13 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
-  /// Runs fn(begin, end) over a static partition of [0, count) and blocks
-  /// until every chunk finished. Runs inline when the pool has one thread,
-  /// the range is tiny, or the caller is itself a pool worker (nested
-  /// parallel_for would otherwise deadlock waiting on occupied workers).
+  /// Runs fn(begin, end) over [0, count) in dynamically-scheduled chunks
+  /// and blocks until every chunk finished. Every index is covered exactly
+  /// once; chunk boundaries are a pure function of (count, pool size), so
+  /// callers that write per-index results observe bit-identical output at
+  /// any thread count. Runs inline when the pool has one thread, the range
+  /// is tiny, or the caller is itself a pool worker (nested parallel_for
+  /// would otherwise deadlock waiting on occupied workers).
   void parallel_for(size_t count, const std::function<void(size_t, size_t)>& fn);
 
   /// Process-wide shared pool (sized from EMMARK_THREADS or the hardware).

@@ -6,7 +6,6 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "util/mathx.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 
@@ -31,10 +30,16 @@ int64_t WatermarkRecord::total_bits() const {
   return total;
 }
 
-namespace {
-constexpr const char* kRecordMagic = "EMMWMRC";
-constexpr uint32_t kRecordVersion = 1;
-}  // namespace
+bool placements_equal(const WatermarkRecord& a, const WatermarkRecord& b) {
+  if (a.layers.size() != b.layers.size()) return false;
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    if (a.layers[i].locations != b.layers[i].locations ||
+        a.layers[i].bits != b.layers[i].bits) {
+      return false;
+    }
+  }
+  return true;
+}
 
 void WatermarkRecord::save(BinaryWriter& w) const {
   key.save(w);
@@ -61,11 +66,6 @@ WatermarkRecord WatermarkRecord::load(BinaryReader& r) {
   return record;
 }
 
-double ExtractionReport::strength_log10() const {
-  if (total_bits <= 0) return 0.0;
-  return log10_binomial_tail_half(total_bits, matched_bits);
-}
-
 std::vector<double> EmMark::score_layer(const QuantizedTensor& weights,
                                         const std::vector<float>& act,
                                         double alpha, double beta) {
@@ -90,33 +90,43 @@ std::vector<double> EmMark::score_layer(const QuantizedTensor& weights,
         denom > 0.0 ? std::fabs(static_cast<double>(act_max) / denom) : kInf;
   }
 
+  // Rows are scored in parallel over the active pool: each row writes only
+  // its own scores slice, so the result is bit-identical to the serial walk
+  // at any thread count. Inside derive() this runs on a pool worker and
+  // falls back to inline execution; standalone callers (benches, ablations)
+  // get within-layer parallelism.
   std::vector<double> scores(static_cast<size_t>(rows * cols), kInf);
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) {
-      const int64_t flat = r * cols + c;
-      // Structural exclusions, regardless of coefficients: saturated
-      // weights are "set to 0 before scoring" (paper) so S_q = |b/0| = inf;
-      // zero codes likewise; outlier FP columns (LLM.int8()) hold no
-      // integer code to watermark at all.
-      if (weights.is_saturated_flat(flat)) continue;
-      const int8_t code = weights.code_flat(flat);
-      if (code == 0) continue;
-      if (weights.is_outlier_col(c)) continue;
-      // Zero-weighted terms are absent from Eq. 2 rather than 0 * inf
-      // (which would be NaN): with beta = 0 an activation-minimum channel
-      // is still insertable, with alpha = 0 magnitude is ignored.
-      double combined = 0.0;
-      if (alpha != 0.0) {
-        combined += alpha / std::fabs(static_cast<double>(code));  // |b| = 1
-      }
-      if (beta != 0.0) {
-        const double s_r_c = s_r[static_cast<size_t>(c)];
-        if (std::isinf(s_r_c)) continue;  // channel excluded by Eq. 4
-        combined += beta * s_r_c;
-      }
-      scores[static_cast<size_t>(flat)] = combined;
-    }
-  }
+  ThreadPool::active().parallel_for(
+      static_cast<size_t>(rows), [&](size_t row_begin, size_t row_end) {
+        for (int64_t r = static_cast<int64_t>(row_begin);
+             r < static_cast<int64_t>(row_end); ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            const int64_t flat = r * cols + c;
+            // Structural exclusions, regardless of coefficients: saturated
+            // weights are "set to 0 before scoring" (paper) so S_q = |b/0| =
+            // inf; zero codes likewise; outlier FP columns (LLM.int8()) hold
+            // no integer code to watermark at all.
+            if (weights.is_saturated_flat(flat)) continue;
+            const int8_t code = weights.code_flat(flat);
+            if (code == 0) continue;
+            if (weights.is_outlier_col(c)) continue;
+            // Zero-weighted terms are absent from Eq. 2 rather than 0 * inf
+            // (which would be NaN): with beta = 0 an activation-minimum
+            // channel is still insertable, with alpha = 0 magnitude is
+            // ignored.
+            double combined = 0.0;
+            if (alpha != 0.0) {
+              combined += alpha / std::fabs(static_cast<double>(code));  // |b| = 1
+            }
+            if (beta != 0.0) {
+              const double s_r_c = s_r[static_cast<size_t>(c)];
+              if (std::isinf(s_r_c)) continue;  // channel excluded by Eq. 4
+              combined += beta * s_r_c;
+            }
+            scores[static_cast<size_t>(flat)] = combined;
+          }
+        }
+      });
   return scores;
 }
 
@@ -260,6 +270,59 @@ ExtractionReport EmMark::extract_with_record(const QuantizedModel& suspect,
     report.total_bits += total[i];
   }
   return report;
+}
+
+// --- WatermarkScheme port ---------------------------------------------------
+
+SchemeRecord EmMarkScheme::wrap(WatermarkRecord record) {
+  return SchemeRecord::wrap("emmark", /*payload_version=*/1, std::move(record));
+}
+
+SchemeRecord EmMarkScheme::derive(const QuantizedModel& original,
+                                  const ActivationStats& stats,
+                                  const WatermarkKey& key) const {
+  WatermarkRecord record;
+  record.key = key;
+  record.layers = EmMark::derive(original, stats, key);
+  return wrap(std::move(record));
+}
+
+SchemeRecord EmMarkScheme::insert(QuantizedModel& model, const ActivationStats& stats,
+                                  const WatermarkKey& key) const {
+  return wrap(EmMark::insert(model, stats, key));
+}
+
+ExtractionReport EmMarkScheme::extract(const QuantizedModel& suspect,
+                                       const QuantizedModel& original,
+                                       const SchemeRecord& record) const {
+  return EmMark::extract_with_record(suspect, original, record.as<WatermarkRecord>());
+}
+
+int64_t EmMarkScheme::total_bits(const SchemeRecord& record) const {
+  return record.as<WatermarkRecord>().total_bits();
+}
+
+bool EmMarkScheme::rederives(const SchemeRecord& filed, const QuantizedModel& original,
+                             const ActivationStats& stats) const {
+  const WatermarkRecord& record = filed.as<WatermarkRecord>();
+  WatermarkRecord derived;
+  derived.key = record.key;
+  derived.layers = EmMark::derive(original, stats, record.key);
+  return placements_equal(derived, record);
+}
+
+void EmMarkScheme::save_payload(BinaryWriter& w, const SchemeRecord& record) const {
+  record.as<WatermarkRecord>().save(w);
+}
+
+SchemeRecord EmMarkScheme::load_payload(BinaryReader& r,
+                                        uint32_t stored_version) const {
+  if (stored_version != payload_version()) {
+    throw SerializeError("emmark record payload version " +
+                         std::to_string(stored_version) + " unsupported (want " +
+                         std::to_string(payload_version()) + ")");
+  }
+  return wrap(WatermarkRecord::load(r));
 }
 
 }  // namespace emmark

@@ -25,6 +25,7 @@
 
 #include "quant/calib.h"
 #include "quant/qmodel.h"
+#include "wm/scheme.h"
 #include "wm/signature.h"
 
 namespace emmark {
@@ -47,20 +48,10 @@ struct WatermarkRecord {
   static WatermarkRecord load(BinaryReader& r);
 };
 
-/// Result of comparing a suspect model against the original.
-struct ExtractionReport {
-  int64_t matched_bits = 0;
-  int64_t total_bits = 0;
-
-  double wer_pct() const {
-    return total_bits > 0
-               ? 100.0 * static_cast<double>(matched_bits) / static_cast<double>(total_bits)
-               : 0.0;
-  }
-  /// log10 of the probability a chance model matches >= matched_bits of
-  /// total_bits (Eq. 8); -inf-ish large negative numbers mean strong proof.
-  double strength_log10() const;
-};
+/// True when both records carry identical placements and signature bits --
+/// the arbiter's tamper-evidence comparison, shared by every scheme whose
+/// payload is a WatermarkRecord.
+bool placements_equal(const WatermarkRecord& a, const WatermarkRecord& b);
 
 class EmMark {
  public:
@@ -93,6 +84,31 @@ class EmMark {
   static ExtractionReport extract_with_record(const QuantizedModel& suspect,
                                               const QuantizedModel& original,
                                               const WatermarkRecord& record);
+};
+
+/// EmMark behind the unified WatermarkScheme interface (registry key
+/// "emmark"). The payload is a WatermarkRecord; the legacy statics above
+/// remain as thin entry points for one release.
+class EmMarkScheme final : public WatermarkScheme {
+ public:
+  std::string name() const override { return "emmark"; }
+  uint32_t payload_version() const override { return 1; }
+
+  /// Wraps a native record in a scheme-tagged SchemeRecord.
+  static SchemeRecord wrap(WatermarkRecord record);
+
+  SchemeRecord derive(const QuantizedModel& original, const ActivationStats& stats,
+                      const WatermarkKey& key) const override;
+  SchemeRecord insert(QuantizedModel& model, const ActivationStats& stats,
+                      const WatermarkKey& key) const override;
+  ExtractionReport extract(const QuantizedModel& suspect,
+                           const QuantizedModel& original,
+                           const SchemeRecord& record) const override;
+  int64_t total_bits(const SchemeRecord& record) const override;
+  bool rederives(const SchemeRecord& filed, const QuantizedModel& original,
+                 const ActivationStats& stats) const override;
+  void save_payload(BinaryWriter& w, const SchemeRecord& record) const override;
+  SchemeRecord load_payload(BinaryReader& r, uint32_t stored_version) const override;
 };
 
 }  // namespace emmark

@@ -1,0 +1,104 @@
+#include "wm/engine.h"
+
+#include <exception>
+
+#include "util/rng.h"
+#include "util/threadpool.h"
+#include "wm/evidence.h"
+
+namespace emmark {
+namespace {
+
+/// Runs one request body, routing any exception into the slot's error
+/// string: a malformed request must not take down the rest of the batch.
+template <typename Result, typename Fn>
+void run_guarded(Result& slot, const Fn& fn) {
+  try {
+    fn();
+    slot.ok = true;
+  } catch (const std::exception& e) {
+    slot.ok = false;
+    slot.error = e.what();
+  }
+}
+
+}  // namespace
+
+WatermarkEngine::WatermarkEngine(EngineConfig config) : config_(config) {}
+
+uint64_t WatermarkEngine::request_seed(uint64_t base_seed,
+                                       const std::string& request_id,
+                                       uint64_t lane) {
+  // fnv1a64 is byte-stable across platforms (unlike std::hash), so replayed
+  // batches reproduce their seeds anywhere.
+  uint64_t state = base_seed ^ fnv1a64(request_id.data(), request_id.size()) ^
+                   (lane * 0xbf58476d1ce4e5b9ull);
+  return splitmix64(state);
+}
+
+std::vector<WatermarkEngine::InsertResult> WatermarkEngine::insert_batch(
+    const std::vector<InsertRequest>& requests) const {
+  std::vector<InsertResult> results(requests.size());
+  parallel_for_index(requests.size(), [&](size_t i) {
+    const InsertRequest& request = requests[i];
+    InsertResult& slot = results[i];
+    slot.id = request.id;
+    run_guarded(slot, [&] {
+      if (request.model == nullptr || request.stats == nullptr) {
+        throw std::invalid_argument("insert request needs model and stats");
+      }
+      WatermarkKey key = request.key;
+      if (request.seed_from_id) {
+        key.seed = request_seed(config_.base_seed, request.id, /*lane=*/0);
+        key.signature_seed = request_seed(config_.base_seed, request.id, /*lane=*/1);
+      }
+      slot.key = key;
+      slot.record = WatermarkRegistry::create(request.scheme)
+                        ->insert(*request.model, *request.stats, key);
+    });
+  });
+  return results;
+}
+
+std::vector<WatermarkEngine::ExtractResult> WatermarkEngine::extract_batch(
+    const std::vector<ExtractRequest>& requests) const {
+  std::vector<ExtractResult> results(requests.size());
+  parallel_for_index(requests.size(), [&](size_t i) {
+    const ExtractRequest& request = requests[i];
+    ExtractResult& slot = results[i];
+    slot.id = request.id;
+    run_guarded(slot, [&] {
+      if (request.suspect == nullptr || request.original == nullptr ||
+          request.record == nullptr) {
+        throw std::invalid_argument("extract request needs suspect, original, record");
+      }
+      slot.report = WatermarkRegistry::create(request.record->scheme())
+                        ->extract(*request.suspect, *request.original,
+                                  *request.record);
+    });
+  });
+  return results;
+}
+
+std::vector<WatermarkEngine::TraceBatchResult> WatermarkEngine::trace_batch(
+    const std::vector<TraceRequest>& requests) const {
+  std::vector<TraceBatchResult> results(requests.size());
+  parallel_for_index(requests.size(), [&](size_t i) {
+    const TraceRequest& request = requests[i];
+    TraceBatchResult& slot = results[i];
+    slot.id = request.id;
+    run_guarded(slot, [&] {
+      if (request.suspect == nullptr || request.original == nullptr ||
+          request.set == nullptr) {
+        throw std::invalid_argument("trace request needs suspect, original, set");
+      }
+      const double gate = request.min_wer_pct >= 0.0 ? request.min_wer_pct
+                                                     : config_.trace_min_wer_pct;
+      slot.trace = Fingerprinter::trace(*request.suspect, *request.original,
+                                        *request.set, gate);
+    });
+  });
+  return results;
+}
+
+}  // namespace emmark

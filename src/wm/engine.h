@@ -1,0 +1,102 @@
+// WatermarkEngine: the batched service front-door over the scheme registry.
+//
+// A vendor operating at fleet scale does not watermark one model at a time:
+// deployments arrive as batches spanning many models, devices and schemes
+// (ROADMAP north star). The engine accepts such batches and fans each
+// request out on the shared ThreadPool. Guarantees:
+//
+//   * Results come back in request order, one slot per request, at any pool
+//     size -- a failed request reports {ok=false, error} in its slot instead
+//     of aborting the batch (service semantics, unlike the throwing
+//     library calls).
+//   * Deterministic per-request seeding: requests flagged `seed_from_id`
+//     get their key seeds derived from (config.base_seed, request id), so a
+//     replayed batch reproduces every placement regardless of request order
+//     or thread count -- and two requests never share a seed unless they
+//     share an id.
+//
+// Request payloads reference caller-owned models/stats (non-owning
+// pointers); the caller keeps them alive for the duration of the batch call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wm/fingerprint.h"
+#include "wm/scheme.h"
+
+namespace emmark {
+
+struct EngineConfig {
+  /// Base for deterministic per-request seed derivation (seed_from_id).
+  uint64_t base_seed = 0;
+  /// Verdict gate applied to trace requests that do not set their own.
+  double trace_min_wer_pct = 90.0;
+};
+
+class WatermarkEngine {
+ public:
+  struct InsertRequest {
+    std::string id;                           // unique within the batch
+    std::string scheme = "emmark";            // registry key
+    QuantizedModel* model = nullptr;          // watermarked in place
+    const ActivationStats* stats = nullptr;
+    WatermarkKey key;
+    /// Overwrite key.seed / key.signature_seed from (base_seed, id).
+    bool seed_from_id = false;
+  };
+  struct InsertResult {
+    std::string id;
+    bool ok = false;
+    std::string error;
+    WatermarkKey key;  // effective key (post seed derivation)
+    SchemeRecord record;
+  };
+
+  struct ExtractRequest {
+    std::string id;
+    const QuantizedModel* suspect = nullptr;
+    const QuantizedModel* original = nullptr;
+    const SchemeRecord* record = nullptr;  // carries its scheme tag
+  };
+  struct ExtractResult {
+    std::string id;
+    bool ok = false;
+    std::string error;
+    ExtractionReport report;
+  };
+
+  struct TraceRequest {
+    std::string id;
+    const QuantizedModel* suspect = nullptr;
+    const QuantizedModel* original = nullptr;
+    const FingerprintSet* set = nullptr;
+    /// Negative = use config.trace_min_wer_pct.
+    double min_wer_pct = -1.0;
+  };
+  struct TraceBatchResult {
+    std::string id;
+    bool ok = false;
+    std::string error;
+    TraceResult trace;
+  };
+
+  explicit WatermarkEngine(EngineConfig config = {});
+
+  /// Deterministic seed for a request id (stable across platforms; FNV-1a
+  /// into SplitMix64, salted by `lane` for independent streams).
+  static uint64_t request_seed(uint64_t base_seed, const std::string& request_id,
+                               uint64_t lane = 0);
+
+  std::vector<InsertResult> insert_batch(const std::vector<InsertRequest>& requests) const;
+  std::vector<ExtractResult> extract_batch(const std::vector<ExtractRequest>& requests) const;
+  std::vector<TraceBatchResult> trace_batch(const std::vector<TraceRequest>& requests) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace emmark

@@ -32,49 +32,58 @@ uint64_t digest_stats(const ActivationStats& stats) {
   return hash;
 }
 
-OwnershipEvidence OwnershipEvidence::create(std::string owner,
-                                            const WatermarkRecord& record,
+OwnershipEvidence OwnershipEvidence::create(std::string owner, SchemeRecord record,
                                             const QuantizedModel& original,
                                             const ActivationStats& stats,
                                             uint64_t created_unix) {
+  if (record.empty()) {
+    throw std::invalid_argument("OwnershipEvidence::create: empty record");
+  }
   OwnershipEvidence evidence;
   evidence.owner = std::move(owner);
-  evidence.key = record.key;
-  evidence.record = record;
+  evidence.record = std::move(record);
   evidence.original_digest = digest_model_codes(original);
   evidence.stats_digest = digest_stats(stats);
   evidence.created_unix = created_unix;
   return evidence;
 }
 
+OwnershipEvidence OwnershipEvidence::create(std::string owner,
+                                            const WatermarkRecord& record,
+                                            const QuantizedModel& original,
+                                            const ActivationStats& stats,
+                                            uint64_t created_unix) {
+  return create(std::move(owner), EmMarkScheme::wrap(record), original, stats,
+                created_unix);
+}
+
 bool OwnershipEvidence::verify(const QuantizedModel& suspect,
                                const QuantizedModel& original,
                                const ActivationStats& stats, double min_wer_pct,
                                std::string* why) const {
-  auto fail = [&](const char* reason) {
+  auto fail = [&](const std::string& reason) {
     if (why != nullptr) *why = reason;
     return false;
   };
+  if (record.empty()) return fail("evidence holds no record");
   if (digest_model_codes(original) != original_digest) {
     return fail("presented original model does not match the filed digest");
   }
   if (digest_stats(stats) != stats_digest) {
     return fail("presented activation stats do not match the filed digest");
   }
-  // Re-derive locations from the presented artifacts; they must equal the
+  std::unique_ptr<WatermarkScheme> scheme;
+  try {
+    scheme = WatermarkRegistry::create(record.scheme());
+  } catch (const std::out_of_range& e) {
+    return fail(e.what());
+  }
+  // Re-derive the placement from the presented artifacts; it must equal the
   // filed record (tamper evidence on the record itself).
-  const auto derived = EmMark::derive(original, stats, key);
-  if (derived.size() != record.layers.size()) {
-    return fail("re-derived layer count mismatch");
+  if (!scheme->rederives(record, original, stats)) {
+    return fail("filed record does not re-derive from the presented artifacts");
   }
-  for (size_t i = 0; i < derived.size(); ++i) {
-    if (derived[i].locations != record.layers[i].locations ||
-        derived[i].bits != record.layers[i].bits) {
-      return fail("filed record does not re-derive from the presented artifacts");
-    }
-  }
-  const ExtractionReport report =
-      EmMark::extract_with_record(suspect, original, record);
+  const ExtractionReport report = scheme->extract(suspect, original, record);
   if (report.wer_pct() < min_wer_pct) {
     return fail("signature does not extract from the suspect model");
   }
@@ -84,13 +93,16 @@ bool OwnershipEvidence::verify(const QuantizedModel& suspect,
 
 namespace {
 constexpr const char* kEvidenceMagic = "EMMEVID";
-constexpr uint32_t kEvidenceVersion = 1;
+// v1 embedded a bare EmMark WatermarkRecord; v2 embeds a scheme-tagged
+// SchemeRecord. Both load (the reader accepts the version range).
+constexpr uint32_t kEvidenceVersionLegacy = 1;
+constexpr uint32_t kEvidenceVersion = 2;
 }  // namespace
 
 void OwnershipEvidence::save(const std::string& path) const {
   BinaryWriter writer(path, kEvidenceMagic, kEvidenceVersion);
   writer.write_string(owner);
-  record.save(writer);  // includes the key
+  record.save(writer);
   writer.write_u64(original_digest);
   writer.write_u64(stats_digest);
   writer.write_u64(created_unix);
@@ -98,11 +110,12 @@ void OwnershipEvidence::save(const std::string& path) const {
 }
 
 OwnershipEvidence OwnershipEvidence::load(const std::string& path) {
-  BinaryReader reader(path, kEvidenceMagic, kEvidenceVersion);
+  BinaryReader reader(path, kEvidenceMagic, kEvidenceVersionLegacy, kEvidenceVersion);
   OwnershipEvidence evidence;
   evidence.owner = reader.read_string();
-  evidence.record = WatermarkRecord::load(reader);
-  evidence.key = evidence.record.key;
+  evidence.record = reader.version() == kEvidenceVersionLegacy
+                        ? EmMarkScheme::wrap(WatermarkRecord::load(reader))
+                        : SchemeRecord::load(reader);
   evidence.original_digest = reader.read_u64();
   evidence.stats_digest = reader.read_u64();
   evidence.created_unix = reader.read_u64();

@@ -3,10 +3,11 @@
 //
 // The paper's extraction needs four retained inputs (seed/coefficients,
 // original quantized weights, full-precision activations, signature). This
-// bundle packages the key + derived record together with FNV-1a digests of
+// bundle packages the scheme-tagged record together with FNV-1a digests of
 // the original model's codes and the activation statistics, so an arbiter
 // can verify that the artifacts presented at dispute time are the ones the
-// evidence was created from.
+// evidence was created from. Verification is scheme-agnostic: the record's
+// scheme tag resolves the extractor through the WatermarkRegistry.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +16,7 @@
 #include "quant/calib.h"
 #include "quant/qmodel.h"
 #include "wm/emmark.h"
+#include "wm/scheme.h"
 
 namespace emmark {
 
@@ -30,21 +32,29 @@ uint64_t digest_stats(const ActivationStats& stats);
 
 struct OwnershipEvidence {
   std::string owner;
-  WatermarkKey key;
-  WatermarkRecord record;
+  SchemeRecord record;           // scheme tag + retained placement/signature
   uint64_t original_digest = 0;  // digest of the pre-watermark model codes
   uint64_t stats_digest = 0;     // digest of the FP activation stats
   uint64_t created_unix = 0;     // caller-supplied timestamp
 
-  /// Builds evidence after an EmMark::insert() call.
+  const std::string& scheme() const { return record.scheme(); }
+
+  /// Builds evidence after any registered scheme's insert().
+  static OwnershipEvidence create(std::string owner, SchemeRecord record,
+                                  const QuantizedModel& original,
+                                  const ActivationStats& stats,
+                                  uint64_t created_unix);
+
+  /// Legacy EmMark entry point (kept as a thin wrapper for one release).
   static OwnershipEvidence create(std::string owner, const WatermarkRecord& record,
                                   const QuantizedModel& original,
                                   const ActivationStats& stats,
                                   uint64_t created_unix);
 
-  /// Checks that the presented artifacts match the filed digests and that
-  /// the signature extracts from `suspect`. Returns a human-readable
-  /// failure reason via `why` when the verdict is false.
+  /// Checks that the presented artifacts match the filed digests, that the
+  /// record re-derives from them (tamper evidence), and that the signature
+  /// extracts from `suspect`. Returns a human-readable failure reason via
+  /// `why` when the verdict is false.
   bool verify(const QuantizedModel& suspect, const QuantizedModel& original,
               const ActivationStats& stats, double min_wer_pct,
               std::string* why = nullptr) const;

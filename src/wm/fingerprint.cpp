@@ -9,6 +9,39 @@
 
 namespace emmark {
 
+namespace {
+constexpr const char* kSetMagic = "EMMFPSET";
+constexpr uint32_t kSetVersion = 1;
+}  // namespace
+
+void FingerprintSet::save(const std::string& path) const {
+  BinaryWriter writer(path, kSetMagic, kSetVersion);
+  writer.write_string(scheme);
+  writer.write_u64(devices.size());
+  for (const DeviceFingerprint& fp : devices) {
+    writer.write_string(fp.device_id);
+    fp.key.save(writer);
+    fp.record.save(writer);
+  }
+  writer.close();
+}
+
+FingerprintSet FingerprintSet::load(const std::string& path) {
+  BinaryReader reader(path, kSetMagic, kSetVersion);
+  FingerprintSet set;
+  set.scheme = reader.read_string();
+  const uint64_t count = reader.read_u64();
+  set.devices.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DeviceFingerprint fp;
+    fp.device_id = reader.read_string();
+    fp.key = WatermarkKey::load(reader);
+    fp.record = SchemeRecord::load(reader);
+    set.devices.push_back(std::move(fp));
+  }
+  return set;
+}
+
 WatermarkKey Fingerprinter::device_key(const WatermarkKey& base,
                                        const std::string& device_id) {
   // Stable, collision-resistant-enough derivation for fleet sizes; the
@@ -20,16 +53,21 @@ WatermarkKey Fingerprinter::device_key(const WatermarkKey& base,
   return key;
 }
 
-FingerprintSet Fingerprinter::enroll(const QuantizedModel& original,
+FingerprintSet Fingerprinter::enroll(const std::string& scheme_name,
+                                     const QuantizedModel& original,
                                      const ActivationStats& stats,
                                      const WatermarkKey& base,
                                      const std::vector<std::string>& device_ids,
                                      std::vector<QuantizedModel>& out_models) {
   if (device_ids.empty()) throw std::invalid_argument("enroll: no device ids");
+  // Resolve the scheme up front so an unknown name fails before any work
+  // (and each worker gets its own stateless instance).
+  (void)WatermarkRegistry::create(scheme_name);
   // Devices are enrolled concurrently: each stamps its own copy of the
   // original into a pre-sized slot, so fleet order matches device_ids and
   // results are identical to the serial walk.
   FingerprintSet set;
+  set.scheme = scheme_name;
   set.devices.resize(device_ids.size());
   std::vector<std::unique_ptr<QuantizedModel>> models(device_ids.size());
   parallel_for_index(device_ids.size(), [&](size_t i) {
@@ -39,13 +77,22 @@ FingerprintSet Fingerprinter::enroll(const QuantizedModel& original,
     DeviceFingerprint fp;
     fp.device_id = device_ids[i];
     fp.key = device_key(base, device_ids[i]);
-    fp.record = EmMark::insert(*models[i], stats, fp.key);
+    fp.record = WatermarkRegistry::create(scheme_name)->insert(*models[i], stats,
+                                                               fp.key);
     set.devices[i] = std::move(fp);
   });
   out_models.clear();
   out_models.reserve(device_ids.size());
   for (auto& model : models) out_models.push_back(std::move(*model));
   return set;
+}
+
+FingerprintSet Fingerprinter::enroll(const QuantizedModel& original,
+                                     const ActivationStats& stats,
+                                     const WatermarkKey& base,
+                                     const std::vector<std::string>& device_ids,
+                                     std::vector<QuantizedModel>& out_models) {
+  return enroll("emmark", original, stats, base, device_ids, out_models);
 }
 
 TraceResult Fingerprinter::trace(const QuantizedModel& suspect,
@@ -58,8 +105,8 @@ TraceResult Fingerprinter::trace(const QuantizedModel& suspect,
   // unchanged from the serial implementation.
   std::vector<ExtractionReport> reports(set.devices.size());
   parallel_for_index(set.devices.size(), [&](size_t i) {
-    reports[i] =
-        EmMark::extract_with_record(suspect, original, set.devices[i].record);
+    reports[i] = WatermarkRegistry::create(set.scheme)
+                     ->extract(suspect, original, set.devices[i].record);
   });
   double best = -1.0;
   double second = -1.0;

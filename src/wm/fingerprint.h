@@ -1,4 +1,4 @@
-// Fleet fingerprinting: per-device EmMark signatures with traitor tracing.
+// Fleet fingerprinting: per-device signatures with traitor tracing.
 //
 // Extension beyond the paper's single-signature setting (in the spirit of
 // DeepMarks [Chen et al., ICMR'19], which the paper builds on): a vendor
@@ -10,6 +10,10 @@
 // Each device's locations derive from a distinct seed, so no two devices
 // share a placement; colluding devices diffing their dumps see only each
 // other's bits, never a third party's.
+//
+// The machinery is scheme-agnostic: any WatermarkRegistry scheme can stamp
+// the fleet (EmMark by default; the legacy entry points below keep the old
+// EmMark-only signatures for one release).
 #pragma once
 
 #include <cstdint>
@@ -18,18 +22,22 @@
 
 #include "quant/calib.h"
 #include "quant/qmodel.h"
-#include "wm/emmark.h"
+#include "wm/scheme.h"
 
 namespace emmark {
 
 struct DeviceFingerprint {
   std::string device_id;
-  WatermarkKey key;        // per-device seed + signature seed
-  WatermarkRecord record;  // derived placement (audit trail)
+  WatermarkKey key;     // per-device seed + signature seed
+  SchemeRecord record;  // scheme-tagged derived placement (audit trail)
 };
 
 struct FingerprintSet {
+  std::string scheme = "emmark";  // registry key all devices were stamped with
   std::vector<DeviceFingerprint> devices;
+
+  void save(const std::string& path) const;
+  static FingerprintSet load(const std::string& path);
 };
 
 struct TraceResult {
@@ -43,16 +51,24 @@ struct TraceResult {
 class Fingerprinter {
  public:
   /// Derives per-device keys from `base` (seed/signature_seed offset by a
-  /// device index hash) and returns one watermarked model per device id.
-  /// `original` stays untouched.
+  /// device index hash) and returns one watermarked model per device id,
+  /// stamped with the named registry scheme. `original` stays untouched.
+  static FingerprintSet enroll(const std::string& scheme,
+                               const QuantizedModel& original,
+                               const ActivationStats& stats,
+                               const WatermarkKey& base,
+                               const std::vector<std::string>& device_ids,
+                               std::vector<QuantizedModel>& out_models);
+
+  /// Legacy EmMark entry point (kept as a thin wrapper for one release).
   static FingerprintSet enroll(const QuantizedModel& original,
                                const ActivationStats& stats,
                                const WatermarkKey& base,
                                const std::vector<std::string>& device_ids,
                                std::vector<QuantizedModel>& out_models);
 
-  /// Extracts every enrolled fingerprint from `suspect` and returns the
-  /// best match. `min_wer_pct` gates the verdict.
+  /// Extracts every enrolled fingerprint from `suspect` with the set's
+  /// scheme and returns the best match. `min_wer_pct` gates the verdict.
   static TraceResult trace(const QuantizedModel& suspect,
                            const QuantizedModel& original,
                            const FingerprintSet& set,

@@ -8,7 +8,7 @@
 
 namespace emmark {
 
-WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
+WatermarkRecord RandomWM::derive(const QuantizedModel& model, uint64_t seed,
                                  int64_t bits_per_layer, uint64_t signature_seed) {
   WatermarkRecord record;
   record.key.seed = seed;
@@ -18,11 +18,11 @@ WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
   record.key.beta = 0.0;
 
   // Same layer-independence argument as EmMark::derive: per-layer RNG and
-  // per-layer weights, results written into pre-sized slots.
+  // per-layer eligibility, results written into pre-sized slots.
   record.layers.resize(static_cast<size_t>(model.num_layers()));
   parallel_for_index(record.layers.size(), [&](size_t idx) {
     const int64_t i = static_cast<int64_t>(idx);
-    QuantizedTensor& weights = model.layer(i).weights;
+    const QuantizedTensor& weights = model.layer(i).weights;
     // Eligible = not saturated and not an FP outlier column.
     std::vector<int64_t> eligible;
     eligible.reserve(static_cast<size_t>(weights.numel()));
@@ -47,13 +47,23 @@ WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
     std::sort(wm.locations.begin(), wm.locations.end());
     wm.bits = rademacher_signature(signature_seed + static_cast<uint64_t>(i),
                                    bits_per_layer);
+    record.layers[idx] = std::move(wm);
+  });
+  return record;
+}
 
+WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
+                                 int64_t bits_per_layer, uint64_t signature_seed) {
+  WatermarkRecord record = derive(model, seed, bits_per_layer, signature_seed);
+
+  parallel_for_index(record.layers.size(), [&](size_t idx) {
+    const LayerWatermark& wm = record.layers[idx];
+    QuantizedTensor& weights = model.layer(static_cast<int64_t>(idx)).weights;
     for (size_t j = 0; j < wm.locations.size(); ++j) {
       const int8_t original = weights.code_flat(wm.locations[j]);
       weights.set_code_flat(wm.locations[j],
                             static_cast<int8_t>(original + wm.bits[j]));
     }
-    record.layers[idx] = std::move(wm);
   });
   return record;
 }
@@ -62,6 +72,60 @@ ExtractionReport RandomWM::extract(const QuantizedModel& suspect,
                                    const QuantizedModel& original,
                                    const WatermarkRecord& record) {
   return EmMark::extract_with_record(suspect, original, record);
+}
+
+// --- WatermarkScheme port ---------------------------------------------------
+
+SchemeRecord RandomWMScheme::wrap(WatermarkRecord record) {
+  return SchemeRecord::wrap("randomwm", /*payload_version=*/1, std::move(record));
+}
+
+SchemeRecord RandomWMScheme::derive(const QuantizedModel& original,
+                                    const ActivationStats& /*stats*/,
+                                    const WatermarkKey& key) const {
+  return wrap(
+      RandomWM::derive(original, key.seed, key.bits_per_layer, key.signature_seed));
+}
+
+SchemeRecord RandomWMScheme::insert(QuantizedModel& model,
+                                    const ActivationStats& /*stats*/,
+                                    const WatermarkKey& key) const {
+  return wrap(
+      RandomWM::insert(model, key.seed, key.bits_per_layer, key.signature_seed));
+}
+
+ExtractionReport RandomWMScheme::extract(const QuantizedModel& suspect,
+                                         const QuantizedModel& original,
+                                         const SchemeRecord& record) const {
+  return RandomWM::extract(suspect, original, record.as<WatermarkRecord>());
+}
+
+int64_t RandomWMScheme::total_bits(const SchemeRecord& record) const {
+  return record.as<WatermarkRecord>().total_bits();
+}
+
+bool RandomWMScheme::rederives(const SchemeRecord& filed,
+                               const QuantizedModel& original,
+                               const ActivationStats& /*stats*/) const {
+  const WatermarkRecord& record = filed.as<WatermarkRecord>();
+  const WatermarkRecord derived =
+      RandomWM::derive(original, record.key.seed, record.key.bits_per_layer,
+                       record.key.signature_seed);
+  return placements_equal(derived, record);
+}
+
+void RandomWMScheme::save_payload(BinaryWriter& w, const SchemeRecord& record) const {
+  record.as<WatermarkRecord>().save(w);
+}
+
+SchemeRecord RandomWMScheme::load_payload(BinaryReader& r,
+                                          uint32_t stored_version) const {
+  if (stored_version != payload_version()) {
+    throw SerializeError("randomwm record payload version " +
+                         std::to_string(stored_version) + " unsupported (want " +
+                         std::to_string(payload_version()) + ")");
+  }
+  return wrap(WatermarkRecord::load(r));
 }
 
 }  // namespace emmark

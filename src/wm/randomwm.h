@@ -11,11 +11,19 @@
 
 #include "quant/qmodel.h"
 #include "wm/emmark.h"
+#include "wm/scheme.h"
 
 namespace emmark {
 
 class RandomWM {
  public:
+  /// Derives `bits_per_layer` random eligible positions per layer without
+  /// mutating the model; re-running against the same pre-watermark model
+  /// reproduces the placement exactly.
+  static WatermarkRecord derive(const QuantizedModel& model, uint64_t seed,
+                                int64_t bits_per_layer,
+                                uint64_t signature_seed = 424242);
+
   /// Inserts `bits_per_layer` random-position bits per layer.
   static WatermarkRecord insert(QuantizedModel& model, uint64_t seed,
                                 int64_t bits_per_layer,
@@ -25,6 +33,31 @@ class RandomWM {
   static ExtractionReport extract(const QuantizedModel& suspect,
                                   const QuantizedModel& original,
                                   const WatermarkRecord& record);
+};
+
+/// RandomWM behind the unified WatermarkScheme interface (registry key
+/// "randomwm"). WatermarkKey mapping: `seed` drives position selection,
+/// `signature_seed` the Rademacher bits; alpha/beta/candidate_ratio are
+/// ignored (no scoring). Payload is the shared WatermarkRecord.
+class RandomWMScheme final : public WatermarkScheme {
+ public:
+  std::string name() const override { return "randomwm"; }
+  uint32_t payload_version() const override { return 1; }
+
+  static SchemeRecord wrap(WatermarkRecord record);
+
+  SchemeRecord derive(const QuantizedModel& original, const ActivationStats& stats,
+                      const WatermarkKey& key) const override;
+  SchemeRecord insert(QuantizedModel& model, const ActivationStats& stats,
+                      const WatermarkKey& key) const override;
+  ExtractionReport extract(const QuantizedModel& suspect,
+                           const QuantizedModel& original,
+                           const SchemeRecord& record) const override;
+  int64_t total_bits(const SchemeRecord& record) const override;
+  bool rederives(const SchemeRecord& filed, const QuantizedModel& original,
+                 const ActivationStats& stats) const override;
+  void save_payload(BinaryWriter& w, const SchemeRecord& record) const override;
+  SchemeRecord load_payload(BinaryReader& r, uint32_t stored_version) const override;
 };
 
 }  // namespace emmark

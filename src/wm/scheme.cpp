@@ -1,0 +1,110 @@
+#include "wm/scheme.h"
+
+#include <sstream>
+
+#include "util/mathx.h"
+#include "wm/emmark.h"
+#include "wm/randomwm.h"
+#include "wm/specmark.h"
+
+namespace emmark {
+namespace {
+
+// Standalone SchemeRecord archives: container version 1 wraps
+// {scheme name, payload version, scheme-serialized payload}.
+constexpr const char* kRecordMagic = "EMMSREC";
+constexpr uint32_t kRecordContainerVersion = 1;
+
+}  // namespace
+
+double ExtractionReport::strength_log10() const {
+  if (total_bits <= 0) return 0.0;
+  return log10_binomial_tail_half(total_bits, matched_bits);
+}
+
+void SchemeRecord::save(BinaryWriter& w) const {
+  if (empty()) throw std::logic_error("SchemeRecord::save: empty record");
+  const auto scheme = WatermarkRegistry::create(scheme_);
+  w.write_string(scheme_);
+  w.write_u32(payload_version_);
+  scheme->save_payload(w, *this);
+}
+
+SchemeRecord SchemeRecord::load(BinaryReader& r) {
+  const std::string name = r.read_string();
+  if (!WatermarkRegistry::instance().contains(name)) {
+    throw SerializeError("record carries unknown watermark scheme: \"" + name + "\"");
+  }
+  const auto scheme = WatermarkRegistry::create(name);
+  const uint32_t stored_version = r.read_u32();
+  return scheme->load_payload(r, stored_version);
+}
+
+void SchemeRecord::save(const std::string& path) const {
+  BinaryWriter writer(path, kRecordMagic, kRecordContainerVersion);
+  save(writer);
+  writer.close();
+}
+
+SchemeRecord SchemeRecord::load(const std::string& path) {
+  BinaryReader reader(path, kRecordMagic, kRecordContainerVersion);
+  return load(reader);
+}
+
+WatermarkRegistry::WatermarkRegistry() {
+  factories_["emmark"] = [] {
+    return std::unique_ptr<WatermarkScheme>(std::make_unique<EmMarkScheme>());
+  };
+  factories_["specmark"] = [] {
+    return std::unique_ptr<WatermarkScheme>(std::make_unique<SpecMarkScheme>());
+  };
+  factories_["randomwm"] = [] {
+    return std::unique_ptr<WatermarkScheme>(std::make_unique<RandomWMScheme>());
+  };
+}
+
+WatermarkRegistry& WatermarkRegistry::instance() {
+  static WatermarkRegistry registry;
+  return registry;
+}
+
+void WatermarkRegistry::add(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (factories_.count(name) > 0) {
+    throw std::invalid_argument("watermark scheme already registered: " + name);
+  }
+  factories_[name] = std::move(factory);
+}
+
+bool WatermarkRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> WatermarkRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::unique_ptr<WatermarkScheme> WatermarkRegistry::create(const std::string& name) {
+  WatermarkRegistry& registry = instance();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex_);
+    const auto it = registry.factories_.find(name);
+    if (it != registry.factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream message;
+    message << "unknown watermark scheme: \"" << name << "\" (registered:";
+    for (const auto& known : registry.names()) message << " " << known;
+    message << ")";
+    throw std::out_of_range(message.str());
+  }
+  return factory();
+}
+
+}  // namespace emmark

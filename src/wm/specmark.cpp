@@ -34,19 +34,65 @@ int64_t SpecMarkRecord::total_bits() const {
   return total;
 }
 
-SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
+void SpecMarkRecord::save(BinaryWriter& w) const {
+  w.write_u64(seed);
+  w.write_f64(epsilon);
+  w.write_i64(bits_per_layer);
+  w.write_f64(highfreq_fraction);
+  w.write_u64(layers.size());
+  for (const auto& layer : layers) {
+    w.write_string(layer.layer_name);
+    w.write_vector(layer.coefficients);
+    w.write_vector(layer.bits);
+  }
+}
+
+SpecMarkRecord SpecMarkRecord::load(BinaryReader& r) {
+  SpecMarkRecord record;
+  record.seed = r.read_u64();
+  record.epsilon = r.read_f64();
+  record.bits_per_layer = r.read_i64();
+  record.highfreq_fraction = r.read_f64();
+  const uint64_t count = r.read_u64();
+  record.layers.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SpecMarkLayer layer;
+    layer.layer_name = r.read_string();
+    layer.coefficients = r.read_vector<int64_t>();
+    layer.bits = r.read_vector<int8_t>();
+    record.layers.push_back(std::move(layer));
+  }
+  return record;
+}
+
+bool placements_equal(const SpecMarkRecord& a, const SpecMarkRecord& b) {
+  if (a.layers.size() != b.layers.size()) return false;
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    if (a.layers[i].coefficients != b.layers[i].coefficients ||
+        a.layers[i].bits != b.layers[i].bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SpecMarkRecord SpecMark::derive(const QuantizedModel& model, uint64_t seed,
                                 int64_t bits_per_layer, double epsilon,
                                 double highfreq_fraction) {
   SpecMarkRecord record;
   record.seed = seed;
   record.epsilon = epsilon;
-  // Layers are independent (per-layer RNG, per-layer weights); pre-sized
-  // record slots keep the pooled result identical to the serial walk.
+  record.bits_per_layer = bits_per_layer;
+  record.highfreq_fraction = highfreq_fraction;
+  // Layers are independent (per-layer RNG, geometry only); pre-sized record
+  // slots keep the pooled result identical to the serial walk. The
+  // selection never reads weight values, so derivation is non-mutating and
+  // exactly repeatable by an arbiter holding only the record.
   record.layers.resize(static_cast<size_t>(model.num_layers()));
 
   parallel_for_index(record.layers.size(), [&](size_t idx) {
     const int64_t i = static_cast<int64_t>(idx);
-    QuantizedTensor& weights = model.layer(i).weights;
+    const QuantizedTensor& weights = model.layer(i).weights;
     const int64_t chunks = chunk_count(weights.numel());
     Rng rng(seed + 0x5eed + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull);
 
@@ -57,8 +103,6 @@ SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
 
     // Distribute bits over chunks round-robin; each perturbs one seeded
     // coefficient in its chunk's high-frequency band.
-    std::vector<std::vector<std::pair<int64_t, int8_t>>> per_chunk(
-        static_cast<size_t>(chunks));
     for (int64_t j = 0; j < bits_per_layer; ++j) {
       const int64_t chunk = j % chunks;
       const int64_t begin = chunk * kChunkSize;
@@ -69,9 +113,32 @@ SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
       const int64_t local =
           band_begin + static_cast<int64_t>(rng.next_below(
                            static_cast<uint64_t>(band_size)));
-      per_chunk[static_cast<size_t>(chunk)].emplace_back(
-          local, layer.bits[static_cast<size_t>(j)]);
       layer.coefficients.push_back(begin + local);
+    }
+    record.layers[idx] = std::move(layer);
+  });
+  return record;
+}
+
+SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
+                                int64_t bits_per_layer, double epsilon,
+                                double highfreq_fraction) {
+  const SpecMarkRecord record =
+      derive(model, seed, bits_per_layer, epsilon, highfreq_fraction);
+
+  parallel_for_index(record.layers.size(), [&](size_t idx) {
+    const int64_t i = static_cast<int64_t>(idx);
+    const SpecMarkLayer& layer = record.layers[idx];
+    QuantizedTensor& weights = model.layer(i).weights;
+    const int64_t chunks = chunk_count(weights.numel());
+
+    // Group the recorded edits per chunk, preserving signature order.
+    std::vector<std::vector<std::pair<int64_t, int8_t>>> per_chunk(
+        static_cast<size_t>(chunks));
+    for (size_t j = 0; j < layer.coefficients.size(); ++j) {
+      const int64_t chunk = layer.coefficients[j] / kChunkSize;
+      const int64_t local = layer.coefficients[j] % kChunkSize;
+      per_chunk[static_cast<size_t>(chunk)].emplace_back(local, layer.bits[j]);
     }
 
     for (int64_t chunk = 0; chunk < chunks; ++chunk) {
@@ -95,7 +162,6 @@ SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
                               static_cast<int8_t>(code));
       }
     }
-    record.layers[idx] = std::move(layer);
   });
   return record;
 }
@@ -156,6 +222,58 @@ SpecMarkReport SpecMark::extract(const QuantizedModel& suspect,
     report.total_bits += total[i];
   }
   return report;
+}
+
+// --- WatermarkScheme port ---------------------------------------------------
+
+SchemeRecord SpecMarkScheme::wrap(SpecMarkRecord record) {
+  return SchemeRecord::wrap("specmark", /*payload_version=*/1, std::move(record));
+}
+
+SchemeRecord SpecMarkScheme::derive(const QuantizedModel& original,
+                                    const ActivationStats& /*stats*/,
+                                    const WatermarkKey& key) const {
+  return wrap(SpecMark::derive(original, key.seed, key.bits_per_layer));
+}
+
+SchemeRecord SpecMarkScheme::insert(QuantizedModel& model,
+                                    const ActivationStats& /*stats*/,
+                                    const WatermarkKey& key) const {
+  return wrap(SpecMark::insert(model, key.seed, key.bits_per_layer));
+}
+
+ExtractionReport SpecMarkScheme::extract(const QuantizedModel& suspect,
+                                         const QuantizedModel& original,
+                                         const SchemeRecord& record) const {
+  return SpecMark::extract(suspect, original, record.as<SpecMarkRecord>());
+}
+
+int64_t SpecMarkScheme::total_bits(const SchemeRecord& record) const {
+  return record.as<SpecMarkRecord>().total_bits();
+}
+
+bool SpecMarkScheme::rederives(const SchemeRecord& filed,
+                               const QuantizedModel& original,
+                               const ActivationStats& /*stats*/) const {
+  const SpecMarkRecord& record = filed.as<SpecMarkRecord>();
+  const SpecMarkRecord derived =
+      SpecMark::derive(original, record.seed, record.bits_per_layer,
+                       record.epsilon, record.highfreq_fraction);
+  return placements_equal(derived, record);
+}
+
+void SpecMarkScheme::save_payload(BinaryWriter& w, const SchemeRecord& record) const {
+  record.as<SpecMarkRecord>().save(w);
+}
+
+SchemeRecord SpecMarkScheme::load_payload(BinaryReader& r,
+                                          uint32_t stored_version) const {
+  if (stored_version != payload_version()) {
+    throw SerializeError("specmark record payload version " +
+                         std::to_string(stored_version) + " unsupported (want " +
+                         std::to_string(payload_version()) + ")");
+  }
+  return wrap(SpecMarkRecord::load(r));
 }
 
 }  // namespace emmark

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "quant/qmodel.h"
+#include "wm/scheme.h"
 
 namespace emmark {
 
@@ -29,20 +30,24 @@ struct SpecMarkLayer {
 struct SpecMarkRecord {
   uint64_t seed = 0;
   double epsilon = 0.0;
+  /// Embedding parameters retained so the placement re-derives exactly from
+  /// the record alone (arbiter tamper check).
+  int64_t bits_per_layer = 0;
+  double highfreq_fraction = 0.25;
   std::vector<SpecMarkLayer> layers;
 
   int64_t total_bits() const;
+  void save(BinaryWriter& w) const;
+  static SpecMarkRecord load(BinaryReader& r);
 };
 
-struct SpecMarkReport {
-  int64_t matched_bits = 0;
-  int64_t total_bits = 0;
-  double wer_pct() const {
-    return total_bits > 0
-               ? 100.0 * static_cast<double>(matched_bits) / static_cast<double>(total_bits)
-               : 0.0;
-  }
-};
+/// SpecMark reports in the unified currency (strength_log10 applies to its
+/// Rademacher signature bits exactly as it does to EmMark's).
+using SpecMarkReport = ExtractionReport;
+
+/// True when both records carry identical coefficient placements and bits
+/// (the spectral analogue of the WatermarkRecord overload in emmark.h).
+bool placements_equal(const SpecMarkRecord& a, const SpecMarkRecord& b);
 
 class SpecMark {
  public:
@@ -51,6 +56,13 @@ class SpecMark {
   /// the scheme's mechanics (the original operates on full-precision
   /// parameter vectors of similar magnitudes).
   static constexpr int64_t kChunkSize = 2048;
+
+  /// Derives the seeded coefficient placement without touching the model;
+  /// the selection depends only on layer geometry (chunk layout), never on
+  /// weight values.
+  static SpecMarkRecord derive(const QuantizedModel& model, uint64_t seed,
+                               int64_t bits_per_layer, double epsilon = 0.05,
+                               double highfreq_fraction = 0.25);
 
   /// Embeds epsilon*b on `bits_per_layer` seeded coefficients in the top
   /// `highfreq_fraction` of the spectrum, then re-rounds to the integer
@@ -64,6 +76,32 @@ class SpecMark {
   static SpecMarkReport extract(const QuantizedModel& suspect,
                                 const QuantizedModel& original,
                                 const SpecMarkRecord& record);
+};
+
+/// SpecMark behind the unified WatermarkScheme interface (registry key
+/// "specmark"). WatermarkKey mapping: `seed` seeds the coefficient
+/// selection, `bits_per_layer` is the signature length; the perturbation
+/// magnitude stays at the scheme default (alpha/beta/candidate_ratio have
+/// no spectral analogue and are ignored).
+class SpecMarkScheme final : public WatermarkScheme {
+ public:
+  std::string name() const override { return "specmark"; }
+  uint32_t payload_version() const override { return 1; }
+
+  static SchemeRecord wrap(SpecMarkRecord record);
+
+  SchemeRecord derive(const QuantizedModel& original, const ActivationStats& stats,
+                      const WatermarkKey& key) const override;
+  SchemeRecord insert(QuantizedModel& model, const ActivationStats& stats,
+                      const WatermarkKey& key) const override;
+  ExtractionReport extract(const QuantizedModel& suspect,
+                           const QuantizedModel& original,
+                           const SchemeRecord& record) const override;
+  int64_t total_bits(const SchemeRecord& record) const override;
+  bool rederives(const SchemeRecord& filed, const QuantizedModel& original,
+                 const ActivationStats& stats) const override;
+  void save_payload(BinaryWriter& w, const SchemeRecord& record) const override;
+  SchemeRecord load_payload(BinaryReader& r, uint32_t stored_version) const override;
 };
 
 }  // namespace emmark

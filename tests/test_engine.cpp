@@ -1,0 +1,260 @@
+// WatermarkEngine service layer: batch fan-out, per-slot error isolation,
+// deterministic per-request seeding, and pool-size invariance.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "model_zoo/zoo.h"
+#include "util/threadpool.h"
+#include "wm/engine.h"
+#include "wm/evidence.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+TEST(EngineSeed, DeterministicAndDistinct) {
+  const uint64_t a = WatermarkEngine::request_seed(7, "request-1");
+  EXPECT_EQ(a, WatermarkEngine::request_seed(7, "request-1"));
+  EXPECT_NE(a, WatermarkEngine::request_seed(7, "request-2"));
+  EXPECT_NE(a, WatermarkEngine::request_seed(8, "request-1"));
+  // Lanes give independent streams for placement vs. signature seeds.
+  EXPECT_NE(a, WatermarkEngine::request_seed(7, "request-1", /*lane=*/1));
+}
+
+struct EngineFixture {
+  EngineFixture() : f() {
+    key.bits_per_layer = 8;
+    key.candidate_ratio = 10;
+  }
+
+  std::vector<WatermarkEngine::InsertRequest> make_requests(
+      std::vector<QuantizedModel>& models) const {
+    const std::vector<std::string> schemes = {"emmark", "randomwm", "specmark"};
+    std::vector<WatermarkEngine::InsertRequest> requests;
+    for (size_t i = 0; i < models.size(); ++i) {
+      WatermarkEngine::InsertRequest request;
+      request.id = "model-" + std::to_string(i);
+      request.scheme = schemes[i % schemes.size()];
+      request.model = &models[i];
+      request.stats = &f.stats;
+      request.key = key;
+      request.seed_from_id = true;
+      requests.push_back(request);
+    }
+    return requests;
+  }
+
+  WmFixture f;
+  WatermarkKey key;
+};
+
+TEST(Engine, InsertBatchIsDeterministicAcrossPoolSizes) {
+  EngineFixture fx;
+  constexpr size_t kBatch = 7;
+
+  std::vector<uint64_t> reference;
+  std::vector<uint64_t> reference_seeds;
+  for (size_t pool_size : {size_t{1}, size_t{3}, size_t{8}}) {
+    ThreadPool pool(pool_size);
+    ThreadPool::ScopedOverride over(pool);
+    std::vector<QuantizedModel> models(kBatch, *fx.f.quantized);
+    const WatermarkEngine engine({/*base_seed=*/11, /*trace_min_wer_pct=*/90.0});
+    const auto results = engine.insert_batch(fx.make_requests(models));
+
+    ASSERT_EQ(results.size(), kBatch);
+    std::vector<uint64_t> digests;
+    std::vector<uint64_t> seeds;
+    for (size_t i = 0; i < kBatch; ++i) {
+      EXPECT_TRUE(results[i].ok) << results[i].error;
+      EXPECT_EQ(results[i].id, "model-" + std::to_string(i));
+      digests.push_back(digest_model_codes(models[i]));
+      seeds.push_back(results[i].key.seed);
+    }
+    if (reference.empty()) {
+      reference = digests;
+      reference_seeds = seeds;
+    } else {
+      EXPECT_EQ(digests, reference) << "pool size " << pool_size;
+      EXPECT_EQ(seeds, reference_seeds) << "pool size " << pool_size;
+    }
+  }
+}
+
+TEST(Engine, SeedFromIdSeparatesIdenticalRequests) {
+  // Two models watermarked from the same key template but different request
+  // ids must land on different placements (no cross-device collisions).
+  EngineFixture fx;
+  std::vector<QuantizedModel> models(2, *fx.f.quantized);
+  const WatermarkEngine engine({/*base_seed=*/5, /*trace_min_wer_pct=*/90.0});
+  auto requests = fx.make_requests(models);
+  requests[1].scheme = requests[0].scheme;  // same scheme, different id
+  const auto results = engine.insert_batch(requests);
+  ASSERT_TRUE(results[0].ok && results[1].ok);
+  EXPECT_NE(results[0].key.seed, results[1].key.seed);
+  EXPECT_NE(digest_model_codes(models[0]), digest_model_codes(models[1]));
+}
+
+TEST(Engine, BadRequestFailsItsSlotOnly) {
+  EngineFixture fx;
+  std::vector<QuantizedModel> models(3, *fx.f.quantized);
+  auto requests = fx.make_requests(models);
+  requests[1].scheme = "no-such-scheme";
+  const WatermarkEngine engine;
+  const auto results = engine.insert_batch(requests);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("no-such-scheme"), std::string::npos);
+  EXPECT_TRUE(results[2].ok) << results[2].error;
+
+  // Null-model request reports, does not crash.
+  requests[1].scheme = "emmark";
+  requests[1].model = nullptr;
+  const auto retry = engine.insert_batch(requests);
+  EXPECT_FALSE(retry[1].ok);
+  EXPECT_NE(retry[1].error.find("model"), std::string::npos);
+}
+
+TEST(Engine, ExtractBatchMatchesDirectExtraction) {
+  EngineFixture fx;
+  constexpr size_t kBatch = 5;
+  std::vector<QuantizedModel> models(kBatch, *fx.f.quantized);
+  const WatermarkEngine engine;
+  const auto inserted = engine.insert_batch(fx.make_requests(models));
+
+  std::vector<WatermarkEngine::ExtractRequest> extracts;
+  for (size_t i = 0; i < kBatch; ++i) {
+    WatermarkEngine::ExtractRequest request;
+    request.id = inserted[i].id;
+    request.suspect = &models[i];
+    request.original = fx.f.quantized.get();
+    request.record = &inserted[i].record;
+    extracts.push_back(request);
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> reference;
+  for (size_t pool_size : {size_t{1}, size_t{6}}) {
+    ThreadPool pool(pool_size);
+    ThreadPool::ScopedOverride over(pool);
+    const auto results = engine.extract_batch(extracts);
+    std::vector<std::pair<int64_t, int64_t>> reports;
+    for (size_t i = 0; i < kBatch; ++i) {
+      ASSERT_TRUE(results[i].ok) << results[i].error;
+      reports.emplace_back(results[i].report.matched_bits,
+                           results[i].report.total_bits);
+      // Direct scheme extraction agrees with the batched slot.
+      const auto direct =
+          WatermarkRegistry::create(inserted[i].record.scheme())
+              ->extract(models[i], *fx.f.quantized, inserted[i].record);
+      EXPECT_EQ(direct.matched_bits, results[i].report.matched_bits);
+      EXPECT_EQ(direct.total_bits, results[i].report.total_bits);
+    }
+    if (reference.empty()) {
+      reference = reports;
+    } else {
+      EXPECT_EQ(reports, reference);  // bit-identical at pool sizes 1 and N
+    }
+  }
+}
+
+TEST(Engine, TraceBatchIdentifiesLeakers) {
+  EngineFixture fx;
+  std::vector<QuantizedModel> device_models;
+  const FingerprintSet set = Fingerprinter::enroll(
+      "emmark", *fx.f.quantized, fx.f.stats, fx.key,
+      {"dev-a", "dev-b", "dev-c"}, device_models);
+
+  std::vector<WatermarkEngine::TraceRequest> requests;
+  for (size_t i = 0; i < device_models.size(); ++i) {
+    WatermarkEngine::TraceRequest request;
+    request.id = "leak-" + std::to_string(i);
+    request.suspect = &device_models[i];
+    request.original = fx.f.quantized.get();
+    request.set = &set;
+    requests.push_back(request);
+  }
+  const WatermarkEngine engine;
+  const auto results = engine.trace_batch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].trace.device_id, "dev-a");
+  EXPECT_EQ(results[1].trace.device_id, "dev-b");
+  EXPECT_EQ(results[2].trace.device_id, "dev-c");
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_DOUBLE_EQ(result.trace.wer_pct, 100.0);
+  }
+}
+
+TEST(Engine, ZooBatchExtractionBitIdenticalAtPoolSizes1AndN) {
+  // The acceptance-criterion shape: watermark two zoo models (training
+  // capped, throwaway cache), then batch-extract at pool sizes 1 and N and
+  // require bit-identical reports.
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "emmark_engine_zoo_cache").string();
+  std::filesystem::remove_all(cache);
+  ModelZoo zoo(cache);
+  zoo.set_train_steps_cap(40);
+
+  const std::vector<std::string> names = {"opt-125m-sim", "opt-1.3b-sim"};
+  std::vector<std::shared_ptr<const ActivationStats>> stats;
+  std::vector<std::unique_ptr<QuantizedModel>> originals;
+  std::vector<std::unique_ptr<QuantizedModel>> marked;
+  for (const std::string& name : names) {
+    auto fp = zoo.model(name);
+    stats.push_back(zoo.stats(name));
+    originals.push_back(std::make_unique<QuantizedModel>(*fp, *stats.back(),
+                                                         QuantMethod::kAwqInt4));
+    marked.push_back(std::make_unique<QuantizedModel>(*originals.back()));
+  }
+
+  const WatermarkEngine engine({/*base_seed=*/3, /*trace_min_wer_pct=*/90.0});
+  std::vector<WatermarkEngine::InsertRequest> inserts;
+  for (size_t i = 0; i < names.size(); ++i) {
+    WatermarkEngine::InsertRequest request;
+    request.id = names[i];
+    request.model = marked[i].get();
+    request.stats = stats[i].get();
+    request.key.bits_per_layer = 8;
+    request.key.candidate_ratio = 10;
+    request.seed_from_id = true;
+    inserts.push_back(request);
+  }
+  const auto inserted = engine.insert_batch(inserts);
+  for (const auto& result : inserted) ASSERT_TRUE(result.ok) << result.error;
+
+  std::vector<WatermarkEngine::ExtractRequest> extracts;
+  for (size_t i = 0; i < names.size(); ++i) {
+    WatermarkEngine::ExtractRequest request;
+    request.id = names[i];
+    request.suspect = marked[i].get();
+    request.original = originals[i].get();
+    request.record = &inserted[i].record;
+    extracts.push_back(request);
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> reference;
+  for (size_t pool_size : {size_t{1}, ThreadPool::shared().size()}) {
+    ThreadPool pool(pool_size);
+    ThreadPool::ScopedOverride over(pool);
+    const auto results = engine.extract_batch(extracts);
+    std::vector<std::pair<int64_t, int64_t>> reports;
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_DOUBLE_EQ(result.report.wer_pct(), 100.0);
+      reports.emplace_back(result.report.matched_bits, result.report.total_bits);
+    }
+    if (reference.empty()) {
+      reference = reports;
+    } else {
+      EXPECT_EQ(reports, reference);
+    }
+  }
+  std::filesystem::remove_all(cache);
+}
+
+}  // namespace
+}  // namespace emmark

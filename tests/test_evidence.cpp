@@ -137,12 +137,40 @@ TEST(Evidence, RejectsTamperedStats) {
 
 TEST(Evidence, RejectsTamperedRecord) {
   EvidenceFixture fx;
+  // SchemeRecord payloads are immutable; a forger has to rewrap a doctored
+  // native record, which is exactly what the re-derivation check catches.
+  WatermarkRecord doctored = fx.evidence.record.as<WatermarkRecord>();
+  doctored.layers[0].locations[0] += 1;  // move one location
   OwnershipEvidence tampered = fx.evidence;
-  tampered.record.layers[0].locations[0] += 1;  // move one location
+  tampered.record = EmMarkScheme::wrap(std::move(doctored));
   std::string why;
   EXPECT_FALSE(
       tampered.verify(*fx.watermarked, *fx.f.quantized, fx.f.stats, 95.0, &why));
   EXPECT_NE(why.find("re-derive"), std::string::npos);
+}
+
+TEST(Evidence, SchemeTagTravelsWithTheRecord) {
+  EvidenceFixture fx;
+  EXPECT_EQ(fx.evidence.scheme(), "emmark");
+  EXPECT_EQ(fx.evidence.record.payload_version(), 1u);
+}
+
+TEST(Evidence, VerifiesRandomWmRecords) {
+  // The bundle is scheme-agnostic: a RandomWM insertion verifies through
+  // the same registry-driven path.
+  WmFixture f;
+  QuantizedModel watermarked = *f.quantized;
+  const auto scheme = WatermarkRegistry::create("randomwm");
+  WatermarkKey key;
+  key.seed = 11;
+  key.bits_per_layer = 10;
+  const SchemeRecord record = scheme->insert(watermarked, f.stats, key);
+  const auto evidence =
+      OwnershipEvidence::create("acme-corp", record, *f.quantized, f.stats, 1);
+  std::string why;
+  EXPECT_TRUE(evidence.verify(watermarked, *f.quantized, f.stats, 95.0, &why))
+      << why;
+  EXPECT_FALSE(evidence.verify(*f.quantized, *f.quantized, f.stats, 95.0, &why));
 }
 
 TEST(Evidence, RejectsCleanSuspect) {

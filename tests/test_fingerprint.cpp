@@ -1,6 +1,9 @@
 // Fleet fingerprinting (extension): per-device signatures + traitor tracing.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "attack/overwrite.h"
 #include "wm/fingerprint.h"
 #include "wm_fixture.h"
@@ -36,8 +39,9 @@ TEST(Fingerprint, DeviceKeysAreDistinct) {
 
 TEST(Fingerprint, EveryDeviceExtractsItsOwnPerfectly) {
   FleetFixture fx;
+  const auto scheme = WatermarkRegistry::create(fx.set.scheme);
   for (size_t i = 0; i < kFleet.size(); ++i) {
-    const ExtractionReport report = EmMark::extract_with_record(
+    const ExtractionReport report = scheme->extract(
         fx.models[i], *fx.f.quantized, fx.set.devices[i].record);
     EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0) << kFleet[i];
   }
@@ -45,10 +49,11 @@ TEST(Fingerprint, EveryDeviceExtractsItsOwnPerfectly) {
 
 TEST(Fingerprint, CrossDeviceExtractionIsNoise) {
   FleetFixture fx;
+  const auto scheme = WatermarkRegistry::create(fx.set.scheme);
   for (size_t i = 0; i < kFleet.size(); ++i) {
     for (size_t j = 0; j < kFleet.size(); ++j) {
       if (i == j) continue;
-      const ExtractionReport report = EmMark::extract_with_record(
+      const ExtractionReport report = scheme->extract(
           fx.models[i], *fx.f.quantized, fx.set.devices[j].record);
       EXPECT_LT(report.wer_pct(), 40.0) << kFleet[i] << " vs " << kFleet[j];
     }
@@ -93,6 +98,48 @@ TEST(Fingerprint, EnrollRejectsEmptyFleet) {
   WatermarkKey base;
   EXPECT_THROW(Fingerprinter::enroll(*f.quantized, f.stats, base, {}, models),
                std::invalid_argument);
+}
+
+TEST(Fingerprint, EnrollRejectsUnknownScheme) {
+  WmFixture f;
+  std::vector<QuantizedModel> models;
+  WatermarkKey base;
+  EXPECT_THROW(Fingerprinter::enroll("no-such-scheme", *f.quantized, f.stats,
+                                     base, kFleet, models),
+               std::out_of_range);
+}
+
+TEST(Fingerprint, EnrollWithRandomWmSchemeTraces) {
+  // Fleet machinery is scheme-generic: a RandomWM-stamped fleet traces the
+  // same way an EmMark fleet does.
+  WmFixture f;
+  std::vector<QuantizedModel> models;
+  WatermarkKey base;
+  base.bits_per_layer = 10;
+  const FingerprintSet set = Fingerprinter::enroll("randomwm", *f.quantized,
+                                                   f.stats, base, kFleet, models);
+  EXPECT_EQ(set.scheme, "randomwm");
+  const TraceResult result =
+      Fingerprinter::trace(models[1], *f.quantized, set);
+  EXPECT_EQ(result.device_id, kFleet[1]);
+  EXPECT_DOUBLE_EQ(result.wer_pct, 100.0);
+}
+
+TEST(Fingerprint, SetSurvivesDiskRoundTrip) {
+  FleetFixture fx;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_fpset.bin").string();
+  fx.set.save(path);
+  const FingerprintSet back = FingerprintSet::load(path);
+  ASSERT_EQ(back.devices.size(), kFleet.size());
+  EXPECT_EQ(back.scheme, "emmark");
+  EXPECT_EQ(back.devices[2].device_id, kFleet[2]);
+  EXPECT_EQ(back.devices[2].key.seed, fx.set.devices[2].key.seed);
+  // Tracing through the reloaded set still identifies the leaker.
+  const TraceResult result =
+      Fingerprinter::trace(fx.models[4], *fx.f.quantized, back);
+  EXPECT_EQ(result.device_id, kFleet[4]);
+  std::remove(path.c_str());
 }
 
 }  // namespace

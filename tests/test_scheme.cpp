@@ -1,0 +1,205 @@
+// Unified WatermarkScheme interface: registry, SchemeRecord round-trips,
+// legacy-wrapper equivalence, and archive rejection paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "wm/emmark.h"
+#include "wm/randomwm.h"
+#include "wm/scheme.h"
+#include "wm/specmark.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Registry, BuiltinSchemesAreRegistered) {
+  const auto names = WatermarkRegistry::instance().names();
+  EXPECT_TRUE(WatermarkRegistry::instance().contains("emmark"));
+  EXPECT_TRUE(WatermarkRegistry::instance().contains("specmark"));
+  EXPECT_TRUE(WatermarkRegistry::instance().contains("randomwm"));
+  EXPECT_GE(names.size(), 3u);
+  // names() is sorted.
+  for (size_t i = 1; i < names.size(); ++i) EXPECT_LT(names[i - 1], names[i]);
+}
+
+TEST(Registry, CreateRoundTripsEveryName) {
+  for (const std::string& name : WatermarkRegistry::instance().names()) {
+    const auto scheme = WatermarkRegistry::create(name);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_EQ(scheme->name(), name);
+    EXPECT_GE(scheme->payload_version(), 1u);
+  }
+}
+
+TEST(Registry, UnknownSchemeThrowsWithKnownNames) {
+  try {
+    (void)WatermarkRegistry::create("definitely-not-a-scheme");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The message lists what IS registered, for operators reading logs.
+    EXPECT_NE(std::string(e.what()).find("emmark"), std::string::npos);
+  }
+}
+
+TEST(Registry, OneLineRegistrationAndDuplicateRejection) {
+  // A scheme registers in one line; a second registration of the same name
+  // is a configuration bug and throws.
+  const std::string name = "test-only-alias";
+  if (!WatermarkRegistry::instance().contains(name)) {
+    WatermarkRegistry::instance().add(
+        name, [] { return std::make_unique<EmMarkScheme>(); });
+  }
+  EXPECT_TRUE(WatermarkRegistry::instance().contains(name));
+  EXPECT_THROW(WatermarkRegistry::instance().add(
+                   name, [] { return std::make_unique<EmMarkScheme>(); }),
+               std::invalid_argument);
+  // The alias instantiates and behaves like its implementation.
+  EXPECT_EQ(WatermarkRegistry::create(name)->name(), "emmark");
+}
+
+TEST(Scheme, LegacyStaticsMatchSchemePort) {
+  // The static EmMark entry points are thin wrappers over the scheme port:
+  // both paths must produce identical placements and identical codes.
+  WmFixture f;
+  WatermarkKey key;
+  key.bits_per_layer = 9;
+
+  QuantizedModel via_static = *f.quantized;
+  QuantizedModel via_scheme = *f.quantized;
+  const WatermarkRecord record_static = EmMark::insert(via_static, f.stats, key);
+  const SchemeRecord record_scheme =
+      EmMarkScheme().insert(via_scheme, f.stats, key);
+
+  const WatermarkRecord& unwrapped = record_scheme.as<WatermarkRecord>();
+  ASSERT_EQ(unwrapped.layers.size(), record_static.layers.size());
+  for (size_t i = 0; i < unwrapped.layers.size(); ++i) {
+    EXPECT_EQ(unwrapped.layers[i].locations, record_static.layers[i].locations);
+    EXPECT_EQ(unwrapped.layers[i].bits, record_static.layers[i].bits);
+  }
+  for (int64_t i = 0; i < via_static.num_layers(); ++i) {
+    EXPECT_EQ(via_static.layer(i).weights.codes(),
+              via_scheme.layer(i).weights.codes());
+  }
+}
+
+class SchemeRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeRoundTrip, InsertSaveLoadExtract) {
+  WmFixture f;
+  const std::string name = GetParam();
+  const auto scheme = WatermarkRegistry::create(name);
+  WatermarkKey key;
+  key.seed = 31;
+  key.bits_per_layer = 8;
+  key.candidate_ratio = 10;
+
+  QuantizedModel watermarked = *f.quantized;
+  const SchemeRecord record = scheme->insert(watermarked, f.stats, key);
+  EXPECT_EQ(record.scheme(), name);
+  EXPECT_EQ(scheme->total_bits(record), 8 * f.quantized->num_layers());
+
+  const std::string path = temp_path("emmark_scheme_" + name + ".rec");
+  record.save(path);
+  const SchemeRecord loaded = SchemeRecord::load(path);
+  EXPECT_EQ(loaded.scheme(), name);
+  EXPECT_EQ(loaded.payload_version(), record.payload_version());
+
+  // The reloaded record extracts exactly what the in-memory one does
+  // (SpecMark: 0% by design -- re-rounding destroys it; others: 100%).
+  const ExtractionReport before = scheme->extract(watermarked, *f.quantized, record);
+  const ExtractionReport after = scheme->extract(watermarked, *f.quantized, loaded);
+  EXPECT_EQ(before.matched_bits, after.matched_bits);
+  EXPECT_EQ(before.total_bits, after.total_bits);
+  const double expected_wer = name == std::string("specmark") ? 0.0 : 100.0;
+  EXPECT_DOUBLE_EQ(after.wer_pct(), expected_wer);
+
+  // The reloaded record also re-derives from the original artifacts.
+  EXPECT_TRUE(scheme->rederives(loaded, *f.quantized, f.stats));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeRoundTrip,
+                         ::testing::Values("emmark", "specmark", "randomwm"));
+
+TEST(Scheme, RederivesDetectsDoctoredRecords) {
+  WmFixture f;
+  WatermarkKey key;
+  key.bits_per_layer = 8;
+  const auto scheme = WatermarkRegistry::create("randomwm");
+  QuantizedModel watermarked = *f.quantized;
+  const SchemeRecord record = scheme->insert(watermarked, f.stats, key);
+
+  WatermarkRecord doctored = record.as<WatermarkRecord>();
+  doctored.layers[0].bits[0] = static_cast<int8_t>(-doctored.layers[0].bits[0]);
+  EXPECT_FALSE(scheme->rederives(RandomWMScheme::wrap(std::move(doctored)),
+                                 *f.quantized, f.stats));
+}
+
+TEST(SchemeRecordArchive, RejectsUnknownScheme) {
+  const std::string path = temp_path("emmark_scheme_unknown.rec");
+  {
+    BinaryWriter writer(path, "EMMSREC", 1);
+    writer.write_string("scheme-from-the-future");
+    writer.write_u32(1);
+    writer.close();
+  }
+  EXPECT_THROW((void)SchemeRecord::load(path), SerializeError);
+  std::remove(path.c_str());
+}
+
+TEST(SchemeRecordArchive, RejectsPayloadVersionMismatch) {
+  const std::string path = temp_path("emmark_scheme_version.rec");
+  {
+    BinaryWriter writer(path, "EMMSREC", 1);
+    writer.write_string("specmark");
+    writer.write_u32(42);  // payload version this build does not know
+    writer.close();
+  }
+  EXPECT_THROW((void)SchemeRecord::load(path), SerializeError);
+  std::remove(path.c_str());
+}
+
+TEST(SchemeRecordArchive, RejectsWrongMagic) {
+  const std::string path = temp_path("emmark_scheme_magic.rec");
+  {
+    BinaryWriter writer(path, "EMMCKPT1", 1);
+    writer.close();
+  }
+  EXPECT_THROW((void)SchemeRecord::load(path), SerializeError);
+  std::remove(path.c_str());
+}
+
+TEST(SchemeRecord, EmptyRecordGuards) {
+  SchemeRecord record;
+  EXPECT_TRUE(record.empty());
+  EXPECT_THROW((void)record.as<WatermarkRecord>(), std::logic_error);
+  EXPECT_THROW(record.save(temp_path("emmark_empty.rec")), std::logic_error);
+}
+
+TEST(Scheme, SpecMarkDeriveDoesNotTouchTheModel) {
+  WmFixture f;
+  QuantizedModel model = *f.quantized;
+  const SpecMarkRecord record = SpecMark::derive(model, 3, 12);
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    EXPECT_EQ(model.layer(i).weights.codes(), f.quantized->layer(i).weights.codes());
+  }
+  // Derivation matches what insert() records for the same parameters.
+  QuantizedModel watermarked = *f.quantized;
+  const SpecMarkRecord inserted = SpecMark::insert(watermarked, 3, 12);
+  ASSERT_EQ(record.layers.size(), inserted.layers.size());
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    EXPECT_EQ(record.layers[i].coefficients, inserted.layers[i].coefficients);
+    EXPECT_EQ(record.layers[i].bits, inserted.layers[i].bits);
+  }
+}
+
+}  // namespace
+}  // namespace emmark

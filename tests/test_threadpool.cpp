@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "util/threadpool.h"
@@ -113,6 +117,86 @@ TEST(ThreadPool, ParallelForIndexEmptyIsNoop) {
   bool called = false;
   parallel_for_index(0, [&](size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// --- chunked dynamic scheduling ------------------------------------------
+
+TEST(ThreadPool, DynamicChunksCoverOddRangesExactlyOnce) {
+  // Counts that do not divide evenly by (threads * chunks-per-thread) must
+  // still cover every index exactly once.
+  for (size_t count : {2u, 7u, 63u, 1000u, 10007u}) {
+    ThreadPool pool(7);
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](size_t begin, size_t end) {
+      ASSERT_LE(begin, end);
+      ASSERT_LE(end, count);
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << "count " << count;
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesAreDeterministic) {
+  // Chunk [begin, end) ranges are a pure function of (count, pool size):
+  // two runs may assign chunks to different workers, but the set of ranges
+  // handed to fn must be identical. Result-determinism of every pooled
+  // watermark path rests on per-index writes, which this guarantees.
+  auto collect = [](ThreadPool& pool, size_t count) {
+    std::set<std::pair<size_t, size_t>> ranges;
+    std::mutex mutex;
+    pool.parallel_for(count, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mutex);
+      ranges.emplace(begin, end);
+    });
+    return ranges;
+  };
+  ThreadPool pool(4);
+  const auto first = collect(pool, 1234);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(collect(pool, 1234), first);
+  }
+}
+
+TEST(ThreadPool, SkewedWorkloadStillCoversAndBalances) {
+  // A pathologically skewed cost profile (one huge unit at the front --
+  // the shape of a model whose first layer dwarfs the rest) must not lose
+  // or duplicate work. With dynamic chunking the remaining workers drain
+  // the tail while one chews the expensive chunk.
+  ThreadPool pool(4);
+  constexpr size_t kCount = 400;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<int64_t> effort{0};
+  pool.parallel_for(kCount, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Index 0 costs ~kCount times a tail index.
+      int64_t sink = 0;
+      const int64_t reps = i == 0 ? 400'000 : 1'000;
+      for (int64_t r = 0; r < reps; ++r) sink += r ^ static_cast<int64_t>(i);
+      effort.fetch_add(sink >= 0 ? 1 : 0);
+      hits[i].fetch_add(1);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(effort.load(), static_cast<int64_t>(kCount));
+}
+
+TEST(ThreadPool, ParallelForIndexRethrowsSmallestIndexAtAnyPoolSize) {
+  // Deterministic error behaviour: when several indices throw, the caller
+  // always sees the smallest index's exception, independent of pool size.
+  for (size_t pool_size : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(pool_size);
+    ThreadPool::ScopedOverride over(pool);
+    try {
+      parallel_for_index(100, [&](size_t i) {
+        if (i % 30 == 7) {  // indices 7, 37, 67, 97 throw
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 7") << "pool size " << pool_size;
+    }
+  }
 }
 
 }  // namespace

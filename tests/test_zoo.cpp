@@ -59,11 +59,17 @@ TEST(Zoo, TrainCachesAndReloadsIdentically) {
       (std::filesystem::temp_directory_path() / "emmark_zoo_test_cache").string();
   std::filesystem::remove_all(cache);
 
+  // The cache round-trip under test is training-length agnostic, so cap the
+  // throwaway model at a few steps instead of the full 500-step retrain.
   ModelZoo zoo(cache);
-  auto first = zoo.model("opt-125m-sim");  // trains (~seconds)
-  ASSERT_TRUE(std::filesystem::exists(cache + "/opt-125m-sim.ckpt"));
+  zoo.set_train_steps_cap(40);
+  auto first = zoo.model("opt-125m-sim");  // trains (capped, well under 1s)
+  // Capped checkpoints cache under a distinct key, never the full one.
+  ASSERT_TRUE(std::filesystem::exists(cache + "/opt-125m-sim-cap40.ckpt"));
+  EXPECT_FALSE(std::filesystem::exists(cache + "/opt-125m-sim.ckpt"));
 
   ModelZoo zoo2(cache);
+  zoo2.set_train_steps_cap(40);
   auto second = zoo2.model("opt-125m-sim");  // loads from cache
   const std::vector<TokenId> probe{2, 5, 9, 11};
   const Tensor a = first->logits(probe);
@@ -73,7 +79,7 @@ TEST(Zoo, TrainCachesAndReloadsIdentically) {
   // Stats are cached alongside and have one entry per linear.
   auto stats = zoo2.stats("opt-125m-sim");
   EXPECT_EQ(stats->layers.size(), first->quantizable_linears().size());
-  ASSERT_TRUE(std::filesystem::exists(cache + "/opt-125m-sim.stats"));
+  ASSERT_TRUE(std::filesystem::exists(cache + "/opt-125m-sim-cap40.stats"));
 
   std::filesystem::remove_all(cache);
 }
@@ -84,6 +90,7 @@ TEST(Zoo, FinetunedVariantDiffersFromBase) {
   std::filesystem::remove_all(cache);
 
   ModelZoo zoo(cache);
+  zoo.set_train_steps_cap(40);  // weight movement, not quality, is under test
   auto base = zoo.model("opt-125m-sim");
   auto tuned = zoo.finetuned("opt-125m-sim", "alpaca");
   // Weights moved.
