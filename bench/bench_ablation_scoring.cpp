@@ -41,15 +41,14 @@ int main() {
     key.beta = beta;
     key.bits_per_layer = 24;
     key.candidate_ratio = 6;
+    const EmMarkScheme scheme;
     QuantizedModel wm = original;
-    const WatermarkRecord record = EmMark::insert(wm, *stats, key);
+    const SchemeRecord record = scheme.insert(wm, *stats, key);
     const double dppl = ctx.ppl_of(wm) - base_ppl;
-    const double wer0 =
-        EmMark::extract_with_record(wm, original, record).wer_pct();
+    const double wer0 = scheme.extract(wm, original, record).wer_pct();
     QuantizedModel attacked = wm;
     overwrite_attack(attacked, attack);
-    const double wer1 =
-        EmMark::extract_with_record(attacked, original, record).wer_pct();
+    const double wer1 = scheme.extract(attacked, original, record).wer_pct();
     table.add_row({label, TablePrinter::fmt(dppl, 3), TablePrinter::fmt(wer0),
                    TablePrinter::fmt(wer1)});
   };
@@ -59,13 +58,17 @@ int main() {
   run_emmark("combined (0.5, 0.5)", 0.5, 0.5);
 
   {
+    const RandomWMScheme scheme;
+    WatermarkKey key;
+    key.seed = kOwnerSeed;
+    key.bits_per_layer = 24;
     QuantizedModel wm = original;
-    const WatermarkRecord record = RandomWM::insert(wm, kOwnerSeed, 24);
+    const SchemeRecord record = scheme.insert(wm, *stats, key);
     const double dppl = ctx.ppl_of(wm) - base_ppl;
-    const double wer0 = RandomWM::extract(wm, original, record).wer_pct();
+    const double wer0 = scheme.extract(wm, original, record).wer_pct();
     QuantizedModel attacked = wm;
     overwrite_attack(attacked, attack);
-    const double wer1 = RandomWM::extract(attacked, original, record).wer_pct();
+    const double wer1 = scheme.extract(attacked, original, record).wer_pct();
     table.add_row({"random (RandomWM)", TablePrinter::fmt(dppl, 3),
                    TablePrinter::fmt(wer0), TablePrinter::fmt(wer1)});
   }

@@ -23,8 +23,9 @@ int main() {
   auto stats = ctx.zoo().stats(model_name);
 
   const WatermarkKey key = owner_key(QuantBits::kInt4);
+  const EmMarkScheme scheme;
   QuantizedModel watermarked = original;
-  const WatermarkRecord record = EmMark::insert(watermarked, *stats, key);
+  const SchemeRecord record = scheme.insert(watermarked, *stats, key);
 
   TablePrinter table(
       {"overwritten/layer", "PPL", "ZeroShotAcc%", "WER%", "log10 P_c"});
@@ -38,8 +39,7 @@ int main() {
     }
     const double ppl = ctx.ppl_of(attacked);
     const double acc = ctx.acc_of(attacked);
-    const ExtractionReport report =
-        EmMark::extract_with_record(attacked, original, record);
+    const ExtractionReport report = scheme.extract(attacked, original, record);
     table.add_row({std::to_string(count), TablePrinter::fmt(ppl),
                    TablePrinter::fmt(acc), TablePrinter::fmt(report.wer_pct()),
                    TablePrinter::fmt(report.strength_log10(), 1)});

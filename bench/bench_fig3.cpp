@@ -40,10 +40,12 @@ int main() {
     key.bits_per_layer = bits;
     key.candidate_ratio = 3;
     QuantizedModel wm = original;
-    EmMark::insert(wm, *stats, key);
+    const EmMarkScheme scheme;
+    scheme.insert(wm, *stats, key);
     const double ppl = ctx.ppl_of(wm);
     const double acc = ctx.acc_of(wm);
-    const double wer = EmMark::extract(wm, original, *stats, key).wer_pct();
+    const double wer =
+        scheme.extract_derived(wm, original, *stats, key).wer_pct();
     table.add_row({std::to_string(bits), TablePrinter::fmt(ppl),
                    TablePrinter::fmt(acc), TablePrinter::fmt(wer),
                    TablePrinter::fmt(log10_binomial_tail_half(bits, bits), 1)});

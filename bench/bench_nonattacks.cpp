@@ -27,8 +27,9 @@ int main() {
   auto stats = ctx.zoo().stats(model_name);
 
   const WatermarkKey key = owner_key(QuantBits::kInt4);
+  const EmMarkScheme scheme;
   QuantizedModel watermarked = original;
-  const WatermarkRecord record = EmMark::insert(watermarked, *stats, key);
+  const SchemeRecord record = scheme.insert(watermarked, *stats, key);
   const double base_ppl = ctx.ppl_of(watermarked);
 
   std::printf("\n-- Pruning sweep (magnitude pruning of quantized codes) --\n");
@@ -41,8 +42,7 @@ int main() {
       prune_attack(pruned, config);
     }
     const double ppl = ctx.ppl_of(pruned);
-    const double wer =
-        EmMark::extract_with_record(pruned, original, record).wer_pct();
+    const double wer = scheme.extract(pruned, original, record).wer_pct();
     prune_table.add_row({TablePrinter::fmt(fraction, 1), TablePrinter::fmt(ppl),
                          TablePrinter::fmt(wer)});
   }
@@ -59,7 +59,7 @@ int main() {
   const LoraAttackResult result = lora_finetune_attack(
       watermarked, ctx.zoo().env().corpus_shift_a.train, lora);
   const double wer_after =
-      EmMark::extract_with_record(watermarked, original, record).wer_pct();
+      scheme.extract(watermarked, original, record).wer_pct();
 
   TablePrinter lora_table({"metric", "value"});
   lora_table.add_row({"adapter train loss (initial)",

@@ -1,6 +1,6 @@
 // Serial vs. pooled watermark hot paths (derive + extract + in-layer score).
 //
-// Times EmMark::derive, EmMark::extract, and EmMark::score_layer (row-
+// Times EmMark derive, extract, and score_layer (row-
 // chunked within a single layer -- the largest one) over the largest
 // model-zoo config at several thread counts via ThreadPool::ScopedOverride,
 // printing a table plus a machine-readable JSON line (the repo's perf
@@ -76,8 +76,9 @@ int main(int argc, char** argv) {
                                 method_for(entry.family, QuantBits::kInt4));
   const WatermarkKey key = owner_key(QuantBits::kInt4);
 
+  const EmMarkScheme emmark;
   QuantizedModel marked = original;
-  const WatermarkRecord record = EmMark::insert(marked, *stats, key);
+  const SchemeRecord record = emmark.insert(marked, *stats, key);
 
   // Largest quantization layer: the score_layer timing target.
   int64_t score_layer_index = 0;
@@ -115,20 +116,20 @@ int main(int argc, char** argv) {
     std::vector<LayerWatermark> derived;
     const double derive_ms = best_of(repeats, [&] {
       Timer t;
-      derived = EmMark::derive(original, *stats, key);
+      derived = emmark.derive(original, *stats, key).as<WatermarkRecord>().layers;
       return t.milliseconds();
     });
     ExtractionReport report;
     const double extract_ms = best_of(repeats, [&] {
       Timer t;
-      report = EmMark::extract(marked, original, *stats, key);
+      report = emmark.extract_derived(marked, original, *stats, key);
       return t.milliseconds();
     });
     std::vector<double> scores;
     const double score_ms = best_of(repeats, [&] {
       Timer t;
-      scores = EmMark::score_layer(score_target.weights, score_act.abs_mean,
-                                   key.alpha, key.beta);
+      scores = score_layer(score_target.weights, score_act.abs_mean,
+                           key.alpha, key.beta);
       return t.milliseconds();
     });
 
@@ -148,7 +149,7 @@ int main(int argc, char** argv) {
       }
     }
     if (report.matched_bits != report.total_bits ||
-        report.total_bits != record.total_bits()) {
+        report.total_bits != emmark.total_bits(record)) {
       std::fprintf(stderr, "FATAL: extraction mismatch at %zu threads\n", n);
       return 1;
     }

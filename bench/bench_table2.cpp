@@ -40,10 +40,11 @@ void insert_benchmark(benchmark::State& state, const QuantizedModel& original,
                       QuantBits bits) {
   auto stats = fixture().stats;
   const WatermarkKey key = owner_key(bits);
+  const auto scheme = WatermarkRegistry::create("emmark");
   for (auto _ : state) {
     QuantizedModel wm = original;  // copy outside timing? paper times insertion
-    const WatermarkRecord record = EmMark::insert(wm, *stats, key);
-    benchmark::DoNotOptimize(record.total_bits());
+    const SchemeRecord record = scheme->insert(wm, *stats, key);
+    benchmark::DoNotOptimize(scheme->total_bits(record));
   }
   state.counters["layers"] = static_cast<double>(original.num_layers());
   state.counters["s_per_layer"] = benchmark::Counter(
@@ -77,11 +78,12 @@ int main(int argc, char** argv) {
          {std::pair{QuantBits::kInt8, f.int8_model.get()},
           std::pair{QuantBits::kInt4, f.int4_model.get()}}) {
       // Best of several repetitions (first run pays allocator warm-up).
+      const auto scheme = WatermarkRegistry::create("emmark");
       double best = 1e30;
       for (int rep = 0; rep < 7; ++rep) {
         QuantizedModel wm = *model;
         Timer timer;
-        EmMark::insert(wm, *f.stats, owner_key(bits));
+        scheme->insert(wm, *f.stats, owner_key(bits));
         best = std::min(best, timer.seconds());
       }
       const double per_layer = best / static_cast<double>(model->num_layers());

@@ -35,10 +35,12 @@ int main() {
     key.bits_per_layer = 24;
     key.candidate_ratio = 6;
     QuantizedModel wm = original;
-    EmMark::insert(wm, *stats, key);
+    const EmMarkScheme scheme;
+    scheme.insert(wm, *stats, key);
     const double ppl = ctx.ppl_of(wm);
     const double acc = ctx.acc_of(wm);
-    const double wer = EmMark::extract(wm, original, *stats, key).wer_pct();
+    const double wer =
+        scheme.extract_derived(wm, original, *stats, key).wer_pct();
     table.add_row({"(" + TablePrinter::fmt(alpha, 1) + ", " +
                        TablePrinter::fmt(beta, 1) + ")",
                    TablePrinter::fmt(ppl), TablePrinter::fmt(acc),

@@ -24,8 +24,9 @@ int main() {
 
   const QuantizedModel original(*fp, *stats, QuantMethod::kAwqInt4);
   const WatermarkKey key = owner_key(QuantBits::kInt4);
+  const EmMarkScheme scheme;
   QuantizedModel watermarked = original;
-  EmMark::insert(watermarked, *stats, key);
+  scheme.insert(watermarked, *stats, key);
 
   // Integrity comparators.
   auto ft_alpaca = ctx.zoo().finetuned(model_name, "alpaca");
@@ -45,7 +46,7 @@ int main() {
 
   TablePrinter table({"Model", "WER%"});
   auto wer_against = [&](const QuantizedModel& suspect) {
-    return EmMark::extract(suspect, original, *stats, key).wer_pct();
+    return scheme.extract_derived(suspect, original, *stats, key).wer_pct();
   };
   table.add_row({"WM (EmMark on AWQ)", TablePrinter::fmt(wer_against(watermarked))});
   table.add_row({"non-WM 1 (clean AWQ)", TablePrinter::fmt(wer_against(original))});

@@ -12,7 +12,9 @@ WatermarkRecord rewatermark_attack(QuantizedModel& model,
   key.bits_per_layer = config.bits_per_layer;
   key.candidate_ratio = config.candidate_ratio;
   key.signature_seed = config.signature_seed;
-  return EmMark::insert(model, adversary_stats, key);
+  // The adversary runs the real EmMark insertion, just with their own key
+  // and degraded (quantized-model) statistics.
+  return EmMarkScheme().insert(model, adversary_stats, key).as<WatermarkRecord>();
 }
 
 }  // namespace emmark

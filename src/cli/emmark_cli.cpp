@@ -9,6 +9,13 @@
 //   emmark_cli enroll   --devices 8 --set fleet.fps --codes-dir fleet/
 //   emmark_cli trace    --set fleet.fps --codes fleet/edge-device-3.codes
 //   emmark_cli list-schemes
+//   emmark_cli daemon   --script session.txt   # or interactive over stdin
+//
+// `daemon` keeps a ModelStore of built originals and an async
+// WatermarkEngine warm across newline-delimited requests (see
+// src/cli/daemon.h for the protocol), streaming one JSON result line per
+// request -- the serving mode for multi-request sessions, where N requests
+// against one model pay for a single build.
 //
 // Models come from the cached model zoo (trained on first use, deterministic
 // seeds); quantization is deterministic, so `extract`/`verify`/`trace` can
@@ -21,9 +28,12 @@
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "cli/daemon.h"
 #include "data/corpus.h"
 #include "model_zoo/zoo.h"
 #include "util/argparse.h"
@@ -36,22 +46,6 @@
 
 namespace emmark {
 namespace {
-
-QuantMethod parse_quant(const std::string& spec, ArchFamily family) {
-  if (spec == "int8") {
-    return family == ArchFamily::kOptStyle ? QuantMethod::kSmoothQuantInt8
-                                           : QuantMethod::kLlmInt8;
-  }
-  if (spec == "int4") return QuantMethod::kAwqInt4;
-  for (QuantMethod method :
-       {QuantMethod::kRtnInt8, QuantMethod::kSmoothQuantInt8, QuantMethod::kLlmInt8,
-        QuantMethod::kRtnInt4, QuantMethod::kAwqInt4, QuantMethod::kGptqInt4}) {
-    if (spec == to_string(method)) return method;
-  }
-  throw std::invalid_argument(
-      "unknown --quant: " + spec +
-      " (use int4, int8, or an explicit method like awq-int4)");
-}
 
 /// Shared --model/--quant/--cache options for commands that rebuild the
 /// owner's original model.
@@ -74,7 +68,7 @@ RebuiltModel rebuild_original(const ArgParser& args) {
   RebuiltModel out;
   out.stats = zoo.stats(name);
   const QuantMethod method =
-      parse_quant(args.get("quant"), zoo_entry(name).family);
+      parse_quant_spec(args.get("quant"), zoo_entry(name).family);
   out.original = std::make_unique<QuantizedModel>(*fp, *out.stats, method);
   return out;
 }
@@ -236,6 +230,41 @@ int cmd_trace(const std::vector<std::string>& argv) {
               verdict.device_id.empty() ? "<no match>" : verdict.device_id.c_str(),
               verdict.wer_pct, verdict.runner_up_wer_pct, verdict.strength_log10);
   return verdict.device_id.empty() ? 1 : 0;
+}
+
+int cmd_daemon(const std::vector<std::string>& argv) {
+  ArgParser args("emmark_cli daemon",
+                 "serving loop: warm ModelStore + async engine over "
+                 "newline-delimited commands, one JSON result per line");
+  args.add_option("script", "", "read commands from this file instead of stdin");
+  args.add_option("cache", "", "zoo checkpoint cache directory (default: auto)");
+  args.add_option("capacity", "4", "resident originals before LRU eviction");
+  args.add_option("train-cap", "0", "cap zoo training steps (0 = full; for dev)");
+  args.add_option("workers", "0", "engine worker cap (0 = thread-pool size)");
+  args.add_option("base-seed", "0", "engine base seed for seed-from-id requests");
+  args.add_option("min-wer", "90", "default verify/trace WER gate (percent)");
+  args.add_flag("echo", "echo each parsed command to stderr");
+  if (!args.parse(argv)) return 2;
+
+  DaemonConfig config;
+  config.cache_dir = args.get("cache");
+  config.store_capacity = static_cast<size_t>(args.get_int("capacity"));
+  config.train_steps_cap = args.get_int("train-cap");
+  config.base_seed = static_cast<uint64_t>(args.get_int("base-seed"));
+  config.max_workers = static_cast<size_t>(args.get_int("workers"));
+  config.min_wer_pct = args.get_double("min-wer");
+  config.echo = args.get_flag("echo");
+
+  if (!args.get("script").empty()) {
+    std::ifstream script(args.get("script"));
+    if (!script) {
+      std::fprintf(stderr, "error: cannot open script %s\n",
+                   args.get("script").c_str());
+      return 2;
+    }
+    return run_daemon(script, std::cout, config);
+  }
+  return run_daemon(std::cin, std::cout, config);
 }
 
 // --- selftest ---------------------------------------------------------------
@@ -452,6 +481,7 @@ int run(int argc, char** argv) {
   cli.add_command("enroll", "stamp a per-device fleet; write the fingerprint set");
   cli.add_command("trace", "trace a leaked snapshot to its device");
   cli.add_command("list-schemes", "print registered watermarking schemes");
+  cli.add_command("daemon", "serving loop with a warm model store (JSON results)");
   cli.add_command("selftest", "end-to-end disk round-trip over every scheme");
   if (!cli.parse(argc, argv)) return 2;
 
@@ -462,6 +492,7 @@ int run(int argc, char** argv) {
     if (cli.command() == "enroll") return cmd_enroll(cli.command_args());
     if (cli.command() == "trace") return cmd_trace(cli.command_args());
     if (cli.command() == "list-schemes") return cmd_list_schemes();
+    if (cli.command() == "daemon") return cmd_daemon(cli.command_args());
     if (cli.command() == "selftest") return cmd_selftest(cli.command_args());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,130 @@
+#include "model_zoo/store.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "model_zoo/zoo.h"
+
+namespace emmark {
+
+std::string ModelSpec::key() const {
+  std::string key = model;
+  key += '|';
+  key += to_string(method);
+  if (train_steps_cap > 0) {
+    key += "|cap";
+    key += std::to_string(train_steps_cap);
+  }
+  return key;
+}
+
+ModelStore::ModelStore(ModelStoreConfig config) : config_(std::move(config)) {
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+ModelHandle ModelStore::build(const ModelSpec& spec) const {
+  // A private ModelZoo per build keeps zoo state (train-steps cap, disk
+  // writes) isolated between concurrently building specs -- the same
+  // pattern ModelZoo::prepare_all uses. The on-disk checkpoint cache still
+  // dedupes the actual training across store instances and processes.
+  ModelZoo zoo(config_.cache_dir);
+  zoo.set_train_steps_cap(spec.train_steps_cap);
+  auto fp = zoo.model(spec.model);
+  ModelHandle handle;
+  handle.stats = zoo.stats(spec.model);
+  handle.original =
+      std::make_shared<const QuantizedModel>(*fp, *handle.stats, spec.method);
+  return handle;
+}
+
+ModelHandle ModelStore::get(const ModelSpec& spec) {
+  // Validate the name eagerly so typos fail fast (and never occupy a slot).
+  (void)zoo_entry(spec.model);
+  const std::string key = spec.key();
+
+  std::shared_future<ModelHandle> future;
+  std::shared_ptr<std::promise<ModelHandle>> to_build;
+  uint64_t build_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      touch(key);
+      future = it->second.handle;
+    } else {
+      ++stats_.misses;
+      ++stats_.builds;
+      to_build = std::make_shared<std::promise<ModelHandle>>();
+      build_id = next_entry_id_++;
+      Entry entry;
+      entry.handle = to_build->get_future().share();
+      entry.id = build_id;
+      future = entry.handle;
+      lru_.push_front(key);
+      entry.lru_pos = lru_.begin();
+      entries_.emplace(key, std::move(entry));
+      evict_excess();
+    }
+  }
+
+  if (to_build != nullptr) {
+    // Build outside the lock: other specs stay servable during training,
+    // and same-spec callers wait on the shared future instead of
+    // duplicating the work.
+    try {
+      to_build->set_value(build(spec));
+    } catch (...) {
+      to_build->set_exception(std::current_exception());
+      {
+        // A failed build must not poison the slot; the next get() retries.
+        // The id check keeps an unrelated slot (evicted + re-created under
+        // the same key while we were building) intact.
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.id == build_id) {
+          lru_.erase(it->second.lru_pos);
+          entries_.erase(it);
+        }
+      }
+      return future.get();  // rethrows for this caller
+    }
+  }
+  return future.get();
+}
+
+std::unique_ptr<QuantizedModel> ModelStore::checkout(const ModelSpec& spec) {
+  const ModelHandle handle = get(spec);
+  return std::make_unique<QuantizedModel>(*handle.original);
+}
+
+ModelStore::Stats ModelStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.resident = entries_.size();
+  return out;
+}
+
+void ModelStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+void ModelStore::touch(const std::string& key) {
+  auto it = entries_.find(key);
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+}
+
+void ModelStore::evict_excess() {
+  while (entries_.size() > config_.capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace emmark

@@ -1,0 +1,114 @@
+// ModelStore: a thread-safe handle cache over the model zoo.
+//
+// Every serving-path command (CLI daemon, engine workloads, benches) needs
+// the same expensive artifact: the owner's original quantized model plus
+// its activation statistics, rebuilt deterministically from the zoo cache.
+// Before this cache the CLI re-trained/re-quantized per invocation; the
+// store amortizes that across a whole session:
+//
+//   * get() hands out a shared, immutable ModelHandle keyed by the full
+//     zoo spec (model name, quantization method, train-steps cap). Handles
+//     are reference-counted snapshots: eviction never invalidates a handle
+//     a caller still holds.
+//   * Mutating requests (watermark insertion) never touch the cached
+//     model; checkout() returns a private copy-on-write deep copy to stamp.
+//   * Capacity is enforced with LRU eviction over the resident entries.
+//   * Concurrent get()s of the same spec deduplicate: one caller builds,
+//     the rest wait on the same shared future (no duplicate training).
+//
+// Hit/miss/build/eviction counters are exposed for observability; the
+// daemon reports them in its JSON stats (the acceptance check that N
+// requests against one model cost exactly one build reads these).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "quant/calib.h"
+#include "quant/qmodel.h"
+
+namespace emmark {
+
+/// Everything that identifies one rebuildable original model.
+struct ModelSpec {
+  std::string model = "opt-125m-sim";            // zoo entry name
+  QuantMethod method = QuantMethod::kAwqInt4;    // quantizer
+  int64_t train_steps_cap = 0;                   // 0 = full training
+
+  /// Canonical cache key ("name|method|capN").
+  std::string key() const;
+};
+
+/// Shared immutable view of a built original. Copyable; keeps the
+/// underlying artifacts alive independently of the store.
+struct ModelHandle {
+  std::shared_ptr<const QuantizedModel> original;
+  std::shared_ptr<const ActivationStats> stats;
+
+  explicit operator bool() const { return original != nullptr; }
+};
+
+struct ModelStoreConfig {
+  /// Zoo checkpoint cache directory ("" = util::cache_dir()).
+  std::string cache_dir;
+  /// Max resident handles before LRU eviction (>= 1).
+  size_t capacity = 4;
+};
+
+class ModelStore {
+ public:
+  struct Stats {
+    /// get() served from a resident entry -- including joining a build
+    /// that another caller already started (no new build, but the joiner
+    /// still waits for it).
+    uint64_t hits = 0;
+    /// get() that created the entry and performed the build itself.
+    uint64_t misses = 0;
+    uint64_t builds = 0;     // actual zoo builds performed
+    uint64_t evictions = 0;  // entries dropped by LRU pressure
+    size_t resident = 0;     // entries currently cached
+  };
+
+  explicit ModelStore(ModelStoreConfig config = {});
+
+  /// Returns the shared handle for `spec`, building it on first use.
+  /// Build failures propagate to every waiter and are not cached (a later
+  /// get() retries).
+  ModelHandle get(const ModelSpec& spec);
+
+  /// Copy-on-write snapshot for mutating requests: a private deep copy of
+  /// the cached original (which itself stays pristine).
+  std::unique_ptr<QuantizedModel> checkout(const ModelSpec& spec);
+
+  Stats stats() const;
+
+  /// Drops every resident entry (outstanding handles stay valid).
+  void clear();
+
+  const ModelStoreConfig& config() const { return config_; }
+
+ private:
+  ModelHandle build(const ModelSpec& spec) const;
+  void touch(const std::string& key);   // requires mutex_ held
+  void evict_excess();                  // requires mutex_ held
+
+  struct Entry {
+    std::shared_future<ModelHandle> handle;
+    std::list<std::string>::iterator lru_pos;
+    uint64_t id = 0;  // distinguishes re-created slots in failure cleanup
+  };
+
+  ModelStoreConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // most-recently-used first
+  uint64_t next_entry_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace emmark

@@ -52,6 +52,14 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
 void ThreadPool::parallel_for(size_t count,
                               const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;

@@ -31,6 +31,13 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  /// Enqueues a fire-and-forget task on the pool and returns immediately.
+  /// Unlike parallel_for there is no completion wait, so posting from a
+  /// pool worker is always safe; the task runs whenever a worker frees up
+  /// (service-style draining, used by the async WatermarkEngine). Tasks
+  /// must not throw -- an escaped exception would terminate the worker.
+  void post(std::function<void()> task);
+
   /// Runs fn(begin, end) over [0, count) in dynamically-scheduled chunks
   /// and blocks until every chunk finished. Every index is covered exactly
   /// once; chunk boundaries are a pure function of (count, pool size), so

@@ -22,117 +22,10 @@ Rng layer_rng(uint64_t seed, size_t layer_index) {
   return Rng(state + 0x9e3779b97f4a7c15ull * (layer_index + 1));
 }
 
-}  // namespace
-
-int64_t WatermarkRecord::total_bits() const {
-  int64_t total = 0;
-  for (const auto& layer : layers) total += static_cast<int64_t>(layer.bits.size());
-  return total;
-}
-
-bool placements_equal(const WatermarkRecord& a, const WatermarkRecord& b) {
-  if (a.layers.size() != b.layers.size()) return false;
-  for (size_t i = 0; i < a.layers.size(); ++i) {
-    if (a.layers[i].locations != b.layers[i].locations ||
-        a.layers[i].bits != b.layers[i].bits) {
-      return false;
-    }
-  }
-  return true;
-}
-
-void WatermarkRecord::save(BinaryWriter& w) const {
-  key.save(w);
-  w.write_u64(layers.size());
-  for (const auto& layer : layers) {
-    w.write_string(layer.layer_name);
-    w.write_vector(layer.locations);
-    w.write_vector(layer.bits);
-  }
-}
-
-WatermarkRecord WatermarkRecord::load(BinaryReader& r) {
-  WatermarkRecord record;
-  record.key = WatermarkKey::load(r);
-  const uint64_t count = r.read_u64();
-  record.layers.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    LayerWatermark layer;
-    layer.layer_name = r.read_string();
-    layer.locations = r.read_vector<int64_t>();
-    layer.bits = r.read_vector<int8_t>();
-    record.layers.push_back(std::move(layer));
-  }
-  return record;
-}
-
-std::vector<double> EmMark::score_layer(const QuantizedTensor& weights,
-                                        const std::vector<float>& act,
-                                        double alpha, double beta) {
-  const int64_t rows = weights.rows();
-  const int64_t cols = weights.cols();
-  if (static_cast<int64_t>(act.size()) != cols) {
-    throw std::invalid_argument("score_layer: activation channel count mismatch");
-  }
-
-  // Eq. 4 ingredients: per-channel saliency normalization.
-  float act_max = -std::numeric_limits<float>::infinity();
-  float act_min = std::numeric_limits<float>::infinity();
-  for (float a : act) {
-    act_max = std::max(act_max, a);
-    act_min = std::min(act_min, a);
-  }
-
-  std::vector<double> s_r(static_cast<size_t>(cols), kInf);
-  for (int64_t c = 0; c < cols; ++c) {
-    const double denom = static_cast<double>(act[static_cast<size_t>(c)]) - act_min;
-    s_r[static_cast<size_t>(c)] =
-        denom > 0.0 ? std::fabs(static_cast<double>(act_max) / denom) : kInf;
-  }
-
-  // Rows are scored in parallel over the active pool: each row writes only
-  // its own scores slice, so the result is bit-identical to the serial walk
-  // at any thread count. Inside derive() this runs on a pool worker and
-  // falls back to inline execution; standalone callers (benches, ablations)
-  // get within-layer parallelism.
-  std::vector<double> scores(static_cast<size_t>(rows * cols), kInf);
-  ThreadPool::active().parallel_for(
-      static_cast<size_t>(rows), [&](size_t row_begin, size_t row_end) {
-        for (int64_t r = static_cast<int64_t>(row_begin);
-             r < static_cast<int64_t>(row_end); ++r) {
-          for (int64_t c = 0; c < cols; ++c) {
-            const int64_t flat = r * cols + c;
-            // Structural exclusions, regardless of coefficients: saturated
-            // weights are "set to 0 before scoring" (paper) so S_q = |b/0| =
-            // inf; zero codes likewise; outlier FP columns (LLM.int8()) hold
-            // no integer code to watermark at all.
-            if (weights.is_saturated_flat(flat)) continue;
-            const int8_t code = weights.code_flat(flat);
-            if (code == 0) continue;
-            if (weights.is_outlier_col(c)) continue;
-            // Zero-weighted terms are absent from Eq. 2 rather than 0 * inf
-            // (which would be NaN): with beta = 0 an activation-minimum
-            // channel is still insertable, with alpha = 0 magnitude is
-            // ignored.
-            double combined = 0.0;
-            if (alpha != 0.0) {
-              combined += alpha / std::fabs(static_cast<double>(code));  // |b| = 1
-            }
-            if (beta != 0.0) {
-              const double s_r_c = s_r[static_cast<size_t>(c)];
-              if (std::isinf(s_r_c)) continue;  // channel excluded by Eq. 4
-              combined += beta * s_r_c;
-            }
-            scores[static_cast<size_t>(flat)] = combined;
-          }
-        }
-      });
-  return scores;
-}
-
-std::vector<LayerWatermark> EmMark::derive(const QuantizedModel& original,
-                                           const ActivationStats& stats,
-                                           const WatermarkKey& key) {
+/// Section 4.1 derivation: locations + signature bits for every layer.
+std::vector<LayerWatermark> derive_layers(const QuantizedModel& original,
+                                          const ActivationStats& stats,
+                                          const WatermarkKey& key) {
   if (key.bits_per_layer <= 0) {
     throw std::invalid_argument("bits_per_layer must be positive");
   }
@@ -195,12 +88,8 @@ std::vector<LayerWatermark> EmMark::derive(const QuantizedModel& original,
   return layers;
 }
 
-WatermarkRecord EmMark::insert(QuantizedModel& model, const ActivationStats& stats,
-                               const WatermarkKey& key) {
-  WatermarkRecord record;
-  record.key = key;
-  record.layers = derive(model, stats, key);
-
+/// Eq. 5: stamps a derived record into `model` in place.
+void stamp_layers(QuantizedModel& model, const WatermarkRecord& record) {
   // Each iteration touches only its own layer's weights, so layers can be
   // stamped concurrently without synchronization.
   parallel_for_index(record.layers.size(), [&](size_t i) {
@@ -214,22 +103,119 @@ WatermarkRecord EmMark::insert(QuantizedModel& model, const ActivationStats& sta
       weights.set_code_flat(flat, static_cast<int8_t>(original + wm.bits[j]));
     }
   });
+}
+
+}  // namespace
+
+int64_t WatermarkRecord::total_bits() const {
+  int64_t total = 0;
+  for (const auto& layer : layers) total += static_cast<int64_t>(layer.bits.size());
+  return total;
+}
+
+bool placements_equal(const WatermarkRecord& a, const WatermarkRecord& b) {
+  if (a.layers.size() != b.layers.size()) return false;
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    if (a.layers[i].locations != b.layers[i].locations ||
+        a.layers[i].bits != b.layers[i].bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WatermarkRecord::save(BinaryWriter& w) const {
+  key.save(w);
+  w.write_u64(layers.size());
+  for (const auto& layer : layers) {
+    w.write_string(layer.layer_name);
+    w.write_vector(layer.locations);
+    w.write_vector(layer.bits);
+  }
+}
+
+WatermarkRecord WatermarkRecord::load(BinaryReader& r) {
+  WatermarkRecord record;
+  record.key = WatermarkKey::load(r);
+  const uint64_t count = r.read_u64();
+  record.layers.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LayerWatermark layer;
+    layer.layer_name = r.read_string();
+    layer.locations = r.read_vector<int64_t>();
+    layer.bits = r.read_vector<int8_t>();
+    record.layers.push_back(std::move(layer));
+  }
   return record;
 }
 
-ExtractionReport EmMark::extract(const QuantizedModel& suspect,
-                                 const QuantizedModel& original,
-                                 const ActivationStats& stats,
-                                 const WatermarkKey& key) {
-  WatermarkRecord record;
-  record.key = key;
-  record.layers = derive(original, stats, key);
-  return extract_with_record(suspect, original, record);
+std::vector<double> score_layer(const QuantizedTensor& weights,
+                                const std::vector<float>& act, double alpha,
+                                double beta) {
+  const int64_t rows = weights.rows();
+  const int64_t cols = weights.cols();
+  if (static_cast<int64_t>(act.size()) != cols) {
+    throw std::invalid_argument("score_layer: activation channel count mismatch");
+  }
+
+  // Eq. 4 ingredients: per-channel saliency normalization.
+  float act_max = -std::numeric_limits<float>::infinity();
+  float act_min = std::numeric_limits<float>::infinity();
+  for (float a : act) {
+    act_max = std::max(act_max, a);
+    act_min = std::min(act_min, a);
+  }
+
+  std::vector<double> s_r(static_cast<size_t>(cols), kInf);
+  for (int64_t c = 0; c < cols; ++c) {
+    const double denom = static_cast<double>(act[static_cast<size_t>(c)]) - act_min;
+    s_r[static_cast<size_t>(c)] =
+        denom > 0.0 ? std::fabs(static_cast<double>(act_max) / denom) : kInf;
+  }
+
+  // Rows are scored in parallel over the active pool: each row writes only
+  // its own scores slice, so the result is bit-identical to the serial walk
+  // at any thread count. Inside derive() this runs on a pool worker and
+  // falls back to inline execution; standalone callers (benches, ablations)
+  // get within-layer parallelism.
+  std::vector<double> scores(static_cast<size_t>(rows * cols), kInf);
+  ThreadPool::active().parallel_for(
+      static_cast<size_t>(rows), [&](size_t row_begin, size_t row_end) {
+        for (int64_t r = static_cast<int64_t>(row_begin);
+             r < static_cast<int64_t>(row_end); ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            const int64_t flat = r * cols + c;
+            // Structural exclusions, regardless of coefficients: saturated
+            // weights are "set to 0 before scoring" (paper) so S_q = |b/0| =
+            // inf; zero codes likewise; outlier FP columns (LLM.int8()) hold
+            // no integer code to watermark at all.
+            if (weights.is_saturated_flat(flat)) continue;
+            const int8_t code = weights.code_flat(flat);
+            if (code == 0) continue;
+            if (weights.is_outlier_col(c)) continue;
+            // Zero-weighted terms are absent from Eq. 2 rather than 0 * inf
+            // (which would be NaN): with beta = 0 an activation-minimum
+            // channel is still insertable, with alpha = 0 magnitude is
+            // ignored.
+            double combined = 0.0;
+            if (alpha != 0.0) {
+              combined += alpha / std::fabs(static_cast<double>(code));  // |b| = 1
+            }
+            if (beta != 0.0) {
+              const double s_r_c = s_r[static_cast<size_t>(c)];
+              if (std::isinf(s_r_c)) continue;  // channel excluded by Eq. 4
+              combined += beta * s_r_c;
+            }
+            scores[static_cast<size_t>(flat)] = combined;
+          }
+        }
+      });
+  return scores;
 }
 
-ExtractionReport EmMark::extract_with_record(const QuantizedModel& suspect,
-                                             const QuantizedModel& original,
-                                             const WatermarkRecord& record) {
+ExtractionReport extract_recorded_bits(const QuantizedModel& suspect,
+                                       const QuantizedModel& original,
+                                       const WatermarkRecord& record) {
   if (suspect.num_layers() != original.num_layers()) {
     throw std::invalid_argument("extract: model layer count mismatch");
   }
@@ -283,19 +269,23 @@ SchemeRecord EmMarkScheme::derive(const QuantizedModel& original,
                                   const WatermarkKey& key) const {
   WatermarkRecord record;
   record.key = key;
-  record.layers = EmMark::derive(original, stats, key);
+  record.layers = derive_layers(original, stats, key);
   return wrap(std::move(record));
 }
 
 SchemeRecord EmMarkScheme::insert(QuantizedModel& model, const ActivationStats& stats,
                                   const WatermarkKey& key) const {
-  return wrap(EmMark::insert(model, stats, key));
+  WatermarkRecord record;
+  record.key = key;
+  record.layers = derive_layers(model, stats, key);
+  stamp_layers(model, record);
+  return wrap(std::move(record));
 }
 
 ExtractionReport EmMarkScheme::extract(const QuantizedModel& suspect,
                                        const QuantizedModel& original,
                                        const SchemeRecord& record) const {
-  return EmMark::extract_with_record(suspect, original, record.as<WatermarkRecord>());
+  return extract_recorded_bits(suspect, original, record.as<WatermarkRecord>());
 }
 
 int64_t EmMarkScheme::total_bits(const SchemeRecord& record) const {
@@ -307,7 +297,7 @@ bool EmMarkScheme::rederives(const SchemeRecord& filed, const QuantizedModel& or
   const WatermarkRecord& record = filed.as<WatermarkRecord>();
   WatermarkRecord derived;
   derived.key = record.key;
-  derived.layers = EmMark::derive(original, stats, record.key);
+  derived.layers = derive_layers(original, stats, record.key);
   return placements_equal(derived, record);
 }
 

@@ -17,6 +17,13 @@
 // A_f, alpha, beta), compute dW = W'[L] - W[L] (Eq. 6) and report
 // WER = 100 * |matches| / |B| (Eq. 7). Watermarking strength follows the
 // Rademacher tail bound (Eq. 8), exposed via strength_log10().
+//
+// The one public entry point is EmMarkScheme behind the WatermarkScheme
+// registry ("emmark"); the former EmMark static class was retired after the
+// scheme API landed. Two algorithm primitives stay exported because other
+// payload-sharing code (RandomWM, the ablation benches, white-box tests)
+// builds on them: score_layer (Eq. 2-4) and extract_recorded_bits (Eq. 6/7
+// over an explicit WatermarkRecord).
 #pragma once
 
 #include <cstdint>
@@ -53,42 +60,24 @@ struct WatermarkRecord {
 /// payload is a WatermarkRecord.
 bool placements_equal(const WatermarkRecord& a, const WatermarkRecord& b);
 
-class EmMark {
- public:
-  /// Eq. 2-4 scores for one layer; +inf marks excluded weights. `act` is
-  /// the layer's per-input-channel full-precision activation magnitude.
-  static std::vector<double> score_layer(const QuantizedTensor& weights,
-                                         const std::vector<float>& act,
-                                         double alpha, double beta);
+/// Eq. 2-4 scores for one layer; +inf marks excluded weights. `act` is the
+/// layer's per-input-channel full-precision activation magnitude. Rows are
+/// scored in parallel on the active pool with bit-identical results at any
+/// thread count.
+std::vector<double> score_layer(const QuantizedTensor& weights,
+                                const std::vector<float>& act, double alpha,
+                                double beta);
 
-  /// Deterministically derives watermark locations + signature bits for
-  /// every layer of `original` (the pre-watermark model).
-  static std::vector<LayerWatermark> derive(const QuantizedModel& original,
-                                            const ActivationStats& stats,
-                                            const WatermarkKey& key);
-
-  /// Inserts the watermark into `model` (in place) and returns the record.
-  /// `model` must be the original (non-watermarked) quantized model.
-  static WatermarkRecord insert(QuantizedModel& model,
-                                const ActivationStats& stats,
-                                const WatermarkKey& key);
-
-  /// Extraction with full re-derivation (paper Section 4.2): `original` is
-  /// the owner's retained pre-watermark model.
-  static ExtractionReport extract(const QuantizedModel& suspect,
-                                  const QuantizedModel& original,
-                                  const ActivationStats& stats,
-                                  const WatermarkKey& key);
-
-  /// Extraction against an explicit record (locations already derived).
-  static ExtractionReport extract_with_record(const QuantizedModel& suspect,
-                                              const QuantizedModel& original,
-                                              const WatermarkRecord& record);
-};
+/// Eq. 6/7 delta comparison of an explicit recorded placement against
+/// (suspect, original). Record contents are treated as untrusted input
+/// (records reach this path from disk); malformed shapes/indices throw
+/// std::invalid_argument. Shared by every WatermarkRecord-payload scheme.
+ExtractionReport extract_recorded_bits(const QuantizedModel& suspect,
+                                       const QuantizedModel& original,
+                                       const WatermarkRecord& record);
 
 /// EmMark behind the unified WatermarkScheme interface (registry key
-/// "emmark"). The payload is a WatermarkRecord; the legacy statics above
-/// remain as thin entry points for one release.
+/// "emmark"). The payload is a WatermarkRecord.
 class EmMarkScheme final : public WatermarkScheme {
  public:
   std::string name() const override { return "emmark"; }

@@ -1,6 +1,7 @@
 #include "wm/engine.h"
 
 #include <exception>
+#include <utility>
 
 #include "util/rng.h"
 #include "util/threadpool.h"
@@ -10,7 +11,7 @@ namespace emmark {
 namespace {
 
 /// Runs one request body, routing any exception into the slot's error
-/// string: a malformed request must not take down the rest of the batch.
+/// string: a malformed request must not take down the rest of the workload.
 template <typename Result, typename Fn>
 void run_guarded(Result& slot, const Fn& fn) {
   try {
@@ -24,38 +25,89 @@ void run_guarded(Result& slot, const Fn& fn) {
 
 }  // namespace
 
-WatermarkEngine::WatermarkEngine(EngineConfig config) : config_(config) {}
+WatermarkEngine::WatermarkEngine(EngineConfig config)
+    : config_(config), pool_(&ThreadPool::active()) {
+  if (config_.max_queue == 0) config_.max_queue = 1;
+}
+
+WatermarkEngine::~WatermarkEngine() { shutdown(); }
 
 uint64_t WatermarkEngine::request_seed(uint64_t base_seed,
                                        const std::string& request_id,
                                        uint64_t lane) {
   // fnv1a64 is byte-stable across platforms (unlike std::hash), so replayed
-  // batches reproduce their seeds anywhere.
+  // workloads reproduce their seeds anywhere.
   uint64_t state = base_seed ^ fnv1a64(request_id.data(), request_id.size()) ^
                    (lane * 0xbf58476d1ce4e5b9ull);
   return splitmix64(state);
 }
 
+// --- single-request executors (shared by the batch and async paths) ---------
+
+WatermarkEngine::InsertResult WatermarkEngine::run_insert(
+    const EngineConfig& config, const InsertRequest& request) {
+  InsertResult slot;
+  slot.id = request.id;
+  run_guarded(slot, [&] {
+    QuantizedModel* model = request.model;
+    if (model == nullptr && request.model_factory) {
+      model = request.model_factory();  // materialized on this worker
+    }
+    if (model == nullptr || request.stats == nullptr) {
+      throw std::invalid_argument("insert request needs model and stats");
+    }
+    WatermarkKey key = request.key;
+    if (request.seed_from_id) {
+      key.seed = request_seed(config.base_seed, request.id, /*lane=*/0);
+      key.signature_seed = request_seed(config.base_seed, request.id, /*lane=*/1);
+    }
+    slot.key = key;
+    slot.record = WatermarkRegistry::create(request.scheme)
+                      ->insert(*model, *request.stats, key);
+  });
+  return slot;
+}
+
+WatermarkEngine::ExtractResult WatermarkEngine::run_extract(
+    const EngineConfig& /*config*/, const ExtractRequest& request) {
+  ExtractResult slot;
+  slot.id = request.id;
+  run_guarded(slot, [&] {
+    if (request.suspect == nullptr || request.original == nullptr ||
+        request.record == nullptr) {
+      throw std::invalid_argument("extract request needs suspect, original, record");
+    }
+    slot.report = WatermarkRegistry::create(request.record->scheme())
+                      ->extract(*request.suspect, *request.original,
+                                *request.record);
+  });
+  return slot;
+}
+
+WatermarkEngine::TraceBatchResult WatermarkEngine::run_trace(
+    const EngineConfig& config, const TraceRequest& request) {
+  TraceBatchResult slot;
+  slot.id = request.id;
+  run_guarded(slot, [&] {
+    if (request.suspect == nullptr || request.original == nullptr ||
+        request.set == nullptr) {
+      throw std::invalid_argument("trace request needs suspect, original, set");
+    }
+    const double gate = request.min_wer_pct >= 0.0 ? request.min_wer_pct
+                                                   : config.trace_min_wer_pct;
+    slot.trace = Fingerprinter::trace(*request.suspect, *request.original,
+                                      *request.set, gate);
+  });
+  return slot;
+}
+
+// --- batched (synchronous) path ---------------------------------------------
+
 std::vector<WatermarkEngine::InsertResult> WatermarkEngine::insert_batch(
     const std::vector<InsertRequest>& requests) const {
   std::vector<InsertResult> results(requests.size());
   parallel_for_index(requests.size(), [&](size_t i) {
-    const InsertRequest& request = requests[i];
-    InsertResult& slot = results[i];
-    slot.id = request.id;
-    run_guarded(slot, [&] {
-      if (request.model == nullptr || request.stats == nullptr) {
-        throw std::invalid_argument("insert request needs model and stats");
-      }
-      WatermarkKey key = request.key;
-      if (request.seed_from_id) {
-        key.seed = request_seed(config_.base_seed, request.id, /*lane=*/0);
-        key.signature_seed = request_seed(config_.base_seed, request.id, /*lane=*/1);
-      }
-      slot.key = key;
-      slot.record = WatermarkRegistry::create(request.scheme)
-                        ->insert(*request.model, *request.stats, key);
-    });
+    results[i] = run_insert(config_, requests[i]);
   });
   return results;
 }
@@ -64,18 +116,7 @@ std::vector<WatermarkEngine::ExtractResult> WatermarkEngine::extract_batch(
     const std::vector<ExtractRequest>& requests) const {
   std::vector<ExtractResult> results(requests.size());
   parallel_for_index(requests.size(), [&](size_t i) {
-    const ExtractRequest& request = requests[i];
-    ExtractResult& slot = results[i];
-    slot.id = request.id;
-    run_guarded(slot, [&] {
-      if (request.suspect == nullptr || request.original == nullptr ||
-          request.record == nullptr) {
-        throw std::invalid_argument("extract request needs suspect, original, record");
-      }
-      slot.report = WatermarkRegistry::create(request.record->scheme())
-                        ->extract(*request.suspect, *request.original,
-                                  *request.record);
-    });
+    results[i] = run_extract(config_, requests[i]);
   });
   return results;
 }
@@ -84,21 +125,150 @@ std::vector<WatermarkEngine::TraceBatchResult> WatermarkEngine::trace_batch(
     const std::vector<TraceRequest>& requests) const {
   std::vector<TraceBatchResult> results(requests.size());
   parallel_for_index(requests.size(), [&](size_t i) {
-    const TraceRequest& request = requests[i];
-    TraceBatchResult& slot = results[i];
-    slot.id = request.id;
-    run_guarded(slot, [&] {
-      if (request.suspect == nullptr || request.original == nullptr ||
-          request.set == nullptr) {
-        throw std::invalid_argument("trace request needs suspect, original, set");
-      }
-      const double gate = request.min_wer_pct >= 0.0 ? request.min_wer_pct
-                                                     : config_.trace_min_wer_pct;
-      slot.trace = Fingerprinter::trace(*request.suspect, *request.original,
-                                        *request.set, gate);
-    });
+    results[i] = run_trace(config_, requests[i]);
   });
   return results;
+}
+
+// --- asynchronous path -------------------------------------------------------
+
+size_t WatermarkEngine::worker_cap() const {
+  const size_t pool_size = pool_->size() == 0 ? 1 : pool_->size();
+  return config_.max_workers == 0 ? pool_size
+                                  : std::min(config_.max_workers, pool_size);
+}
+
+void WatermarkEngine::pump() {
+  for (;;) {
+    QueuedTask task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) {
+        --running_pumps_;
+        if (running_pumps_ == 0 && in_flight_ == 0) idle_cv_.notify_all();
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      space_cv_.notify_one();
+    }
+    task.run();  // never throws: the executor captures errors in the slot
+    {
+      // The idle notification is owned by the pump exit path: in_flight_
+      // can only reach zero while at least this pump is still counted in
+      // running_pumps_, so the last exiting pump always observes (and
+      // announces) the idle state.
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+  }
+}
+
+template <typename Request, typename Result, typename Callback>
+std::future<Result> WatermarkEngine::enqueue(
+    Request request, Callback done,
+    Result (*runner)(const EngineConfig&, const Request&)) {
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> future = promise->get_future();
+
+  auto reject = [](const Request& req, const Callback& cb,
+                   const std::shared_ptr<std::promise<Result>>& prom,
+                   const char* why) {
+    Result slot;
+    slot.id = req.id;
+    slot.ok = false;
+    slot.error = why;
+    if (cb) {
+      try {
+        cb(slot);
+      } catch (...) {
+      }
+    }
+    prom->set_value(std::move(slot));
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [&] {
+    return !accepting_ || queue_.size() < config_.max_queue;
+  });
+  if (!accepting_) {
+    lock.unlock();
+    reject(request, done, promise, "engine is shut down");
+    return future;
+  }
+
+  QueuedTask task;
+  auto shared_request = std::make_shared<Request>(std::move(request));
+  auto shared_done = std::make_shared<Callback>(std::move(done));
+  task.run = [this, shared_request, shared_done, promise, runner] {
+    Result slot = runner(config_, *shared_request);
+    if (*shared_done) {
+      try {
+        (*shared_done)(slot);
+      } catch (...) {
+        // Callback failures must not kill the pool worker or drop the
+        // future; the slot still resolves below.
+      }
+    }
+    promise->set_value(std::move(slot));
+  };
+  task.cancel = [shared_request, shared_done, promise, reject] {
+    reject(*shared_request, *shared_done, promise,
+           "engine shut down before the request ran");
+  };
+  queue_.push_back(std::move(task));
+  if (running_pumps_ < worker_cap()) {
+    ++running_pumps_;
+    pool_->post([this] { pump(); });
+  }
+  return future;
+}
+
+std::future<WatermarkEngine::InsertResult> WatermarkEngine::submit(
+    InsertRequest request, InsertCallback done) {
+  return enqueue<InsertRequest, InsertResult, InsertCallback>(
+      std::move(request), std::move(done), &WatermarkEngine::run_insert);
+}
+
+std::future<WatermarkEngine::ExtractResult> WatermarkEngine::submit(
+    ExtractRequest request, ExtractCallback done) {
+  return enqueue<ExtractRequest, ExtractResult, ExtractCallback>(
+      std::move(request), std::move(done), &WatermarkEngine::run_extract);
+}
+
+std::future<WatermarkEngine::TraceBatchResult> WatermarkEngine::submit(
+    TraceRequest request, TraceCallback done) {
+  return enqueue<TraceRequest, TraceBatchResult, TraceCallback>(
+      std::move(request), std::move(done), &WatermarkEngine::run_trace);
+}
+
+void WatermarkEngine::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return queue_.empty() && in_flight_ == 0 && running_pumps_ == 0;
+  });
+}
+
+void WatermarkEngine::shutdown() {
+  std::deque<QueuedTask> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    cancelled.swap(queue_);
+    // Blocked submitters re-check accepting_ and bail out with rejections.
+    space_cv_.notify_all();
+  }
+  // Cancellations complete promises/callbacks outside the lock: a callback
+  // is caller code and may itself touch the engine (pending(), submit()).
+  for (QueuedTask& task : cancelled) task.cancel();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0 && running_pumps_ == 0; });
+}
+
+size_t WatermarkEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_flight_;
 }
 
 }  // namespace emmark

@@ -1,25 +1,52 @@
-// WatermarkEngine: the batched service front-door over the scheme registry.
+// WatermarkEngine: the service front-door over the scheme registry.
 //
 // A vendor operating at fleet scale does not watermark one model at a time:
-// deployments arrive as batches spanning many models, devices and schemes
-// (ROADMAP north star). The engine accepts such batches and fans each
-// request out on the shared ThreadPool. Guarantees:
+// deployments arrive as streams of requests spanning many models, devices
+// and schemes (ROADMAP north star). The engine offers two entry styles over
+// one execution path:
 //
-//   * Results come back in request order, one slot per request, at any pool
-//     size -- a failed request reports {ok=false, error} in its slot instead
-//     of aborting the batch (service semantics, unlike the throwing
-//     library calls).
+//   * Batched (synchronous): insert_batch / extract_batch / trace_batch fan
+//     a request vector out on the thread pool and block until every slot is
+//     filled, in request order.
+//   * Asynchronous (service): submit() enqueues one request on a bounded
+//     queue and returns a std::future immediately; worker tasks drain the
+//     queue on the shared ThreadPool. An optional completion callback fires
+//     on the worker right before the future becomes ready. drain() blocks
+//     until the engine is idle; shutdown() stops intake, cancels queued
+//     requests (their slots report ok=false, futures still become ready)
+//     and waits for in-flight work -- a destructor-safe shutdown even with
+//     a non-empty queue.
+//
+// Guarantees, shared by both styles:
+//
+//   * One result slot per request -- a failed request reports {ok=false,
+//     error} in its slot instead of aborting anything else (service
+//     semantics, unlike the throwing library calls).
 //   * Deterministic per-request seeding: requests flagged `seed_from_id`
 //     get their key seeds derived from (config.base_seed, request id), so a
-//     replayed batch reproduces every placement regardless of request order
-//     or thread count -- and two requests never share a seed unless they
-//     share an id.
+//     replayed workload reproduces every placement regardless of request
+//     order, queue/worker interleaving, or thread count -- and two requests
+//     never share a seed unless they share an id. Async results are
+//     byte-identical to the synchronous path for the same requests.
 //
 // Request payloads reference caller-owned models/stats (non-owning
-// pointers); the caller keeps them alive for the duration of the batch call.
+// pointers); the caller keeps them alive until the request's result is
+// observed (batch return, future ready, or callback fired).
+//
+// Queue semantics: submit() applies backpressure -- it blocks while the
+// queue holds config.max_queue requests. Worker parallelism is capped at
+// config.max_workers (0 = the bound pool's size). The engine binds
+// ThreadPool::active() at construction; create the engine inside a
+// ScopedOverride to pin it to a private pool, and destroy the engine before
+// that pool.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,19 +55,31 @@
 
 namespace emmark {
 
+class ThreadPool;
+
 struct EngineConfig {
   /// Base for deterministic per-request seed derivation (seed_from_id).
   uint64_t base_seed = 0;
   /// Verdict gate applied to trace requests that do not set their own.
   double trace_min_wer_pct = 90.0;
+  /// Bounded queue depth for submit(); a full queue blocks the submitter.
+  size_t max_queue = 256;
+  /// Max concurrently executing async requests (0 = bound pool size).
+  size_t max_workers = 0;
 };
 
 class WatermarkEngine {
  public:
   struct InsertRequest {
-    std::string id;                           // unique within the batch
+    std::string id;                           // unique within the workload
     std::string scheme = "emmark";            // registry key
     QuantizedModel* model = nullptr;          // watermarked in place
+    /// Lazy alternative to `model`: invoked on the executing worker to
+    /// materialize the target (e.g. deep-copying a shared ModelStore
+    /// handle) so submission threads never pay the copy. Used when
+    /// `model` is null; exceptions it throws fail only this slot. The
+    /// returned model stays caller-owned, like `model`.
+    std::function<QuantizedModel*()> model_factory;
     const ActivationStats* stats = nullptr;
     WatermarkKey key;
     /// Overwrite key.seed / key.signature_seed from (base_seed, id).
@@ -82,21 +121,77 @@ class WatermarkEngine {
     TraceResult trace;
   };
 
+  using InsertCallback = std::function<void(const InsertResult&)>;
+  using ExtractCallback = std::function<void(const ExtractResult&)>;
+  using TraceCallback = std::function<void(const TraceBatchResult&)>;
+
   explicit WatermarkEngine(EngineConfig config = {});
+  ~WatermarkEngine();
+
+  WatermarkEngine(const WatermarkEngine&) = delete;
+  WatermarkEngine& operator=(const WatermarkEngine&) = delete;
 
   /// Deterministic seed for a request id (stable across platforms; FNV-1a
   /// into SplitMix64, salted by `lane` for independent streams).
   static uint64_t request_seed(uint64_t base_seed, const std::string& request_id,
                                uint64_t lane = 0);
 
+  // --- batched (synchronous) entry points ----------------------------------
   std::vector<InsertResult> insert_batch(const std::vector<InsertRequest>& requests) const;
   std::vector<ExtractResult> extract_batch(const std::vector<ExtractRequest>& requests) const;
   std::vector<TraceBatchResult> trace_batch(const std::vector<TraceRequest>& requests) const;
 
+  // --- asynchronous entry points --------------------------------------------
+  /// Enqueues the request and returns immediately (unless the queue is
+  /// full, which blocks until space frees). The optional callback runs on
+  /// the worker that executed the request, with the same result the future
+  /// delivers; callback exceptions are swallowed. After shutdown() the
+  /// future resolves at once with an ok=false rejection slot.
+  std::future<InsertResult> submit(InsertRequest request, InsertCallback done = {});
+  std::future<ExtractResult> submit(ExtractRequest request, ExtractCallback done = {});
+  std::future<TraceBatchResult> submit(TraceRequest request, TraceCallback done = {});
+
+  /// Blocks until every submitted request has completed and no worker task
+  /// remains scheduled.
+  void drain();
+
+  /// Stops intake, completes queued-but-unstarted requests with ok=false
+  /// cancellation slots (futures and callbacks still fire), and waits for
+  /// in-flight requests to finish. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Requests currently queued or executing.
+  size_t pending() const;
+
   const EngineConfig& config() const { return config_; }
 
  private:
+  struct QueuedTask {
+    std::function<void()> run;     // executes + completes the promise
+    std::function<void()> cancel;  // completes the promise with a rejection
+  };
+
+  template <typename Request, typename Result, typename Callback>
+  std::future<Result> enqueue(Request request, Callback done,
+                              Result (*runner)(const EngineConfig&, const Request&));
+
+  static InsertResult run_insert(const EngineConfig& config, const InsertRequest& request);
+  static ExtractResult run_extract(const EngineConfig& config, const ExtractRequest& request);
+  static TraceBatchResult run_trace(const EngineConfig& config, const TraceRequest& request);
+
+  size_t worker_cap() const;
+  void pump();
+
   EngineConfig config_;
+  ThreadPool* pool_;  // bound at construction (ThreadPool::active())
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;  // submit backpressure
+  std::condition_variable idle_cv_;   // drain / shutdown
+  std::deque<QueuedTask> queue_;
+  size_t running_pumps_ = 0;  // drain tasks scheduled or running on the pool
+  size_t in_flight_ = 0;      // requests currently executing
+  bool accepting_ = true;
 };
 
 }  // namespace emmark

@@ -1,5 +1,7 @@
 #include "wm/evidence.h"
 
+#include "wm/emmark.h"
+
 namespace emmark {
 
 uint64_t fnv1a64(const void* data, size_t size, uint64_t seed) {
@@ -46,15 +48,6 @@ OwnershipEvidence OwnershipEvidence::create(std::string owner, SchemeRecord reco
   evidence.stats_digest = digest_stats(stats);
   evidence.created_unix = created_unix;
   return evidence;
-}
-
-OwnershipEvidence OwnershipEvidence::create(std::string owner,
-                                            const WatermarkRecord& record,
-                                            const QuantizedModel& original,
-                                            const ActivationStats& stats,
-                                            uint64_t created_unix) {
-  return create(std::move(owner), EmMarkScheme::wrap(record), original, stats,
-                created_unix);
 }
 
 bool OwnershipEvidence::verify(const QuantizedModel& suspect,

@@ -15,7 +15,6 @@
 
 #include "quant/calib.h"
 #include "quant/qmodel.h"
-#include "wm/emmark.h"
 #include "wm/scheme.h"
 
 namespace emmark {
@@ -41,12 +40,6 @@ struct OwnershipEvidence {
 
   /// Builds evidence after any registered scheme's insert().
   static OwnershipEvidence create(std::string owner, SchemeRecord record,
-                                  const QuantizedModel& original,
-                                  const ActivationStats& stats,
-                                  uint64_t created_unix);
-
-  /// Legacy EmMark entry point (kept as a thin wrapper for one release).
-  static OwnershipEvidence create(std::string owner, const WatermarkRecord& record,
                                   const QuantizedModel& original,
                                   const ActivationStats& stats,
                                   uint64_t created_unix);

@@ -87,14 +87,6 @@ FingerprintSet Fingerprinter::enroll(const std::string& scheme_name,
   return set;
 }
 
-FingerprintSet Fingerprinter::enroll(const QuantizedModel& original,
-                                     const ActivationStats& stats,
-                                     const WatermarkKey& base,
-                                     const std::vector<std::string>& device_ids,
-                                     std::vector<QuantizedModel>& out_models) {
-  return enroll("emmark", original, stats, base, device_ids, out_models);
-}
-
 TraceResult Fingerprinter::trace(const QuantizedModel& suspect,
                                  const QuantizedModel& original,
                                  const FingerprintSet& set,

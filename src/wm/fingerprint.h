@@ -12,8 +12,8 @@
 // other's bits, never a third party's.
 //
 // The machinery is scheme-agnostic: any WatermarkRegistry scheme can stamp
-// the fleet (EmMark by default; the legacy entry points below keep the old
-// EmMark-only signatures for one release).
+// the fleet (the legacy EmMark-only entry point was retired once every
+// caller named its scheme explicitly).
 #pragma once
 
 #include <cstdint>
@@ -55,13 +55,6 @@ class Fingerprinter {
   /// stamped with the named registry scheme. `original` stays untouched.
   static FingerprintSet enroll(const std::string& scheme,
                                const QuantizedModel& original,
-                               const ActivationStats& stats,
-                               const WatermarkKey& base,
-                               const std::vector<std::string>& device_ids,
-                               std::vector<QuantizedModel>& out_models);
-
-  /// Legacy EmMark entry point (kept as a thin wrapper for one release).
-  static FingerprintSet enroll(const QuantizedModel& original,
                                const ActivationStats& stats,
                                const WatermarkKey& base,
                                const std::vector<std::string>& device_ids,

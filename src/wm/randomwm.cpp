@@ -7,9 +7,10 @@
 #include "util/threadpool.h"
 
 namespace emmark {
+namespace {
 
-WatermarkRecord RandomWM::derive(const QuantizedModel& model, uint64_t seed,
-                                 int64_t bits_per_layer, uint64_t signature_seed) {
+WatermarkRecord random_derive(const QuantizedModel& model, uint64_t seed,
+                              int64_t bits_per_layer, uint64_t signature_seed) {
   WatermarkRecord record;
   record.key.seed = seed;
   record.key.bits_per_layer = bits_per_layer;
@@ -17,8 +18,8 @@ WatermarkRecord RandomWM::derive(const QuantizedModel& model, uint64_t seed,
   record.key.alpha = 0.0;
   record.key.beta = 0.0;
 
-  // Same layer-independence argument as EmMark::derive: per-layer RNG and
-  // per-layer eligibility, results written into pre-sized slots.
+  // Same layer-independence argument as EmMark's derivation: per-layer RNG
+  // and per-layer eligibility, results written into pre-sized slots.
   record.layers.resize(static_cast<size_t>(model.num_layers()));
   parallel_for_index(record.layers.size(), [&](size_t idx) {
     const int64_t i = static_cast<int64_t>(idx);
@@ -33,7 +34,7 @@ WatermarkRecord RandomWM::derive(const QuantizedModel& model, uint64_t seed,
       eligible.push_back(flat);
     }
     if (static_cast<int64_t>(eligible.size()) < bits_per_layer) {
-      throw std::runtime_error("RandomWM: not enough eligible weights in layer " +
+      throw std::runtime_error("randomwm: not enough eligible weights in layer " +
                                model.layer(i).name);
     }
 
@@ -52,9 +53,24 @@ WatermarkRecord RandomWM::derive(const QuantizedModel& model, uint64_t seed,
   return record;
 }
 
-WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
-                                 int64_t bits_per_layer, uint64_t signature_seed) {
-  WatermarkRecord record = derive(model, seed, bits_per_layer, signature_seed);
+}  // namespace
+
+SchemeRecord RandomWMScheme::wrap(WatermarkRecord record) {
+  return SchemeRecord::wrap("randomwm", /*payload_version=*/1, std::move(record));
+}
+
+SchemeRecord RandomWMScheme::derive(const QuantizedModel& original,
+                                    const ActivationStats& /*stats*/,
+                                    const WatermarkKey& key) const {
+  return wrap(
+      random_derive(original, key.seed, key.bits_per_layer, key.signature_seed));
+}
+
+SchemeRecord RandomWMScheme::insert(QuantizedModel& model,
+                                    const ActivationStats& /*stats*/,
+                                    const WatermarkKey& key) const {
+  WatermarkRecord record =
+      random_derive(model, key.seed, key.bits_per_layer, key.signature_seed);
 
   parallel_for_index(record.layers.size(), [&](size_t idx) {
     const LayerWatermark& wm = record.layers[idx];
@@ -65,39 +81,13 @@ WatermarkRecord RandomWM::insert(QuantizedModel& model, uint64_t seed,
                             static_cast<int8_t>(original + wm.bits[j]));
     }
   });
-  return record;
-}
-
-ExtractionReport RandomWM::extract(const QuantizedModel& suspect,
-                                   const QuantizedModel& original,
-                                   const WatermarkRecord& record) {
-  return EmMark::extract_with_record(suspect, original, record);
-}
-
-// --- WatermarkScheme port ---------------------------------------------------
-
-SchemeRecord RandomWMScheme::wrap(WatermarkRecord record) {
-  return SchemeRecord::wrap("randomwm", /*payload_version=*/1, std::move(record));
-}
-
-SchemeRecord RandomWMScheme::derive(const QuantizedModel& original,
-                                    const ActivationStats& /*stats*/,
-                                    const WatermarkKey& key) const {
-  return wrap(
-      RandomWM::derive(original, key.seed, key.bits_per_layer, key.signature_seed));
-}
-
-SchemeRecord RandomWMScheme::insert(QuantizedModel& model,
-                                    const ActivationStats& /*stats*/,
-                                    const WatermarkKey& key) const {
-  return wrap(
-      RandomWM::insert(model, key.seed, key.bits_per_layer, key.signature_seed));
+  return wrap(std::move(record));
 }
 
 ExtractionReport RandomWMScheme::extract(const QuantizedModel& suspect,
                                          const QuantizedModel& original,
                                          const SchemeRecord& record) const {
-  return RandomWM::extract(suspect, original, record.as<WatermarkRecord>());
+  return extract_recorded_bits(suspect, original, record.as<WatermarkRecord>());
 }
 
 int64_t RandomWMScheme::total_bits(const SchemeRecord& record) const {
@@ -109,8 +99,8 @@ bool RandomWMScheme::rederives(const SchemeRecord& filed,
                                const ActivationStats& /*stats*/) const {
   const WatermarkRecord& record = filed.as<WatermarkRecord>();
   const WatermarkRecord derived =
-      RandomWM::derive(original, record.key.seed, record.key.bits_per_layer,
-                       record.key.signature_seed);
+      random_derive(original, record.key.seed, record.key.bits_per_layer,
+                    record.key.signature_seed);
   return placements_equal(derived, record);
 }
 

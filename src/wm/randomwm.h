@@ -7,6 +7,12 @@
 // tendency to land on tiny or zero-valued weights whose one-step change is
 // large relative to their magnitude -- is left as-is, which is exactly what
 // degrades INT4 quality in Table 1.
+//
+// The only public entry point is RandomWMScheme behind the WatermarkScheme
+// registry ("randomwm"); the former RandomWM static class was retired with
+// the rest of the legacy scheme entry points. The WatermarkKey covers the
+// full parameter space (seed, bits_per_layer, signature_seed), and
+// extraction shares extract_recorded_bits with EmMark.
 #pragma once
 
 #include "quant/qmodel.h"
@@ -14,26 +20,6 @@
 #include "wm/scheme.h"
 
 namespace emmark {
-
-class RandomWM {
- public:
-  /// Derives `bits_per_layer` random eligible positions per layer without
-  /// mutating the model; re-running against the same pre-watermark model
-  /// reproduces the placement exactly.
-  static WatermarkRecord derive(const QuantizedModel& model, uint64_t seed,
-                                int64_t bits_per_layer,
-                                uint64_t signature_seed = 424242);
-
-  /// Inserts `bits_per_layer` random-position bits per layer.
-  static WatermarkRecord insert(QuantizedModel& model, uint64_t seed,
-                                int64_t bits_per_layer,
-                                uint64_t signature_seed = 424242);
-
-  /// Extraction mechanics are shared with EmMark (delta comparison).
-  static ExtractionReport extract(const QuantizedModel& suspect,
-                                  const QuantizedModel& original,
-                                  const WatermarkRecord& record);
-};
 
 /// RandomWM behind the unified WatermarkScheme interface (registry key
 /// "randomwm"). WatermarkKey mapping: `seed` drives position selection,

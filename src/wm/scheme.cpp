@@ -22,6 +22,13 @@ double ExtractionReport::strength_log10() const {
   return log10_binomial_tail_half(total_bits, matched_bits);
 }
 
+ExtractionReport WatermarkScheme::extract_derived(const QuantizedModel& suspect,
+                                                  const QuantizedModel& original,
+                                                  const ActivationStats& stats,
+                                                  const WatermarkKey& key) const {
+  return extract(suspect, original, derive(original, stats, key));
+}
+
 void SchemeRecord::save(BinaryWriter& w) const {
   if (empty()) throw std::logic_error("SchemeRecord::save: empty record");
   const auto scheme = WatermarkRegistry::create(scheme_);

@@ -126,6 +126,15 @@ class WatermarkScheme {
                                    const QuantizedModel& original,
                                    const SchemeRecord& record) const = 0;
 
+  /// Full re-derivation extraction (paper Section 4.2): derives the record
+  /// from (original, stats, key) and extracts it from `suspect` in one
+  /// call. This is what an owner holding only the key runs; callers that
+  /// retain the record use extract() directly.
+  ExtractionReport extract_derived(const QuantizedModel& suspect,
+                                   const QuantizedModel& original,
+                                   const ActivationStats& stats,
+                                   const WatermarkKey& key) const;
+
   /// Total signature bits held by `record`.
   virtual int64_t total_bits(const SchemeRecord& record) const = 0;
 

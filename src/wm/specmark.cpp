@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "signal/dct.h"
 #include "util/rng.h"
@@ -13,17 +14,60 @@ namespace emmark {
 namespace {
 
 int64_t chunk_count(int64_t numel) {
-  return (numel + SpecMark::kChunkSize - 1) / SpecMark::kChunkSize;
+  return (numel + kSpecMarkChunkSize - 1) / kSpecMarkChunkSize;
 }
 
 std::vector<double> chunk_codes(const QuantizedTensor& weights, int64_t chunk) {
-  const int64_t begin = chunk * SpecMark::kChunkSize;
-  const int64_t end = std::min(weights.numel(), begin + SpecMark::kChunkSize);
+  const int64_t begin = chunk * kSpecMarkChunkSize;
+  const int64_t end = std::min(weights.numel(), begin + kSpecMarkChunkSize);
   std::vector<double> xs(static_cast<size_t>(end - begin));
   for (int64_t i = begin; i < end; ++i) {
     xs[static_cast<size_t>(i - begin)] = static_cast<double>(weights.code_flat(i));
   }
   return xs;
+}
+
+/// One unit of spectral work: a single chunk of a single layer. Chunks are
+/// disjoint code ranges, so jobs parallelize with no synchronization and
+/// each job's transform is numerically identical to the serial walk --
+/// within-layer chunk parallelism is what speeds SpecMark up on big layers
+/// (a layer used to be one serial unit however many chunks it spanned).
+struct ChunkJob {
+  int64_t layer = 0;
+  int64_t chunk = 0;
+  /// (local coefficient index, payload) pairs for this chunk.
+  std::vector<std::pair<int64_t, size_t>> slots;
+};
+
+/// Groups a record's coefficients into per-(layer, chunk) jobs. The payload
+/// index points back into layers[layer] (bits / coefficient order).
+std::vector<ChunkJob> chunk_jobs(const SpecMarkRecord& record) {
+  std::vector<ChunkJob> jobs;
+  for (size_t li = 0; li < record.layers.size(); ++li) {
+    const SpecMarkLayer& layer = record.layers[li];
+    // Coefficients arrive round-robin over chunks; collect them per chunk
+    // in signature order. A small map keyed by chunk keeps job order
+    // deterministic (layer-major, chunk-minor).
+    std::vector<std::pair<int64_t, ChunkJob>> per_chunk;
+    for (size_t j = 0; j < layer.coefficients.size(); ++j) {
+      const int64_t chunk = layer.coefficients[j] / kSpecMarkChunkSize;
+      const int64_t local = layer.coefficients[j] % kSpecMarkChunkSize;
+      auto it = std::find_if(per_chunk.begin(), per_chunk.end(),
+                             [&](const auto& e) { return e.first == chunk; });
+      if (it == per_chunk.end()) {
+        ChunkJob job;
+        job.layer = static_cast<int64_t>(li);
+        job.chunk = chunk;
+        per_chunk.emplace_back(chunk, std::move(job));
+        it = std::prev(per_chunk.end());
+      }
+      it->second.slots.emplace_back(local, j);
+    }
+    std::sort(per_chunk.begin(), per_chunk.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [chunk, job] : per_chunk) jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 }  // namespace
@@ -76,9 +120,9 @@ bool placements_equal(const SpecMarkRecord& a, const SpecMarkRecord& b) {
   return true;
 }
 
-SpecMarkRecord SpecMark::derive(const QuantizedModel& model, uint64_t seed,
-                                int64_t bits_per_layer, double epsilon,
-                                double highfreq_fraction) {
+SpecMarkRecord specmark_derive(const QuantizedModel& model, uint64_t seed,
+                               int64_t bits_per_layer, double epsilon,
+                               double highfreq_fraction) {
   SpecMarkRecord record;
   record.seed = seed;
   record.epsilon = epsilon;
@@ -105,8 +149,9 @@ SpecMarkRecord SpecMark::derive(const QuantizedModel& model, uint64_t seed,
     // coefficient in its chunk's high-frequency band.
     for (int64_t j = 0; j < bits_per_layer; ++j) {
       const int64_t chunk = j % chunks;
-      const int64_t begin = chunk * kChunkSize;
-      const int64_t len = std::min(weights.numel(), begin + kChunkSize) - begin;
+      const int64_t begin = chunk * kSpecMarkChunkSize;
+      const int64_t len =
+          std::min(weights.numel(), begin + kSpecMarkChunkSize) - begin;
       const int64_t band_begin =
           static_cast<int64_t>(static_cast<double>(len) * (1.0 - highfreq_fraction));
       const int64_t band_size = std::max<int64_t>(1, len - band_begin);
@@ -120,106 +165,103 @@ SpecMarkRecord SpecMark::derive(const QuantizedModel& model, uint64_t seed,
   return record;
 }
 
-SpecMarkRecord SpecMark::insert(QuantizedModel& model, uint64_t seed,
-                                int64_t bits_per_layer, double epsilon,
-                                double highfreq_fraction) {
+SpecMarkRecord specmark_insert(QuantizedModel& model, uint64_t seed,
+                               int64_t bits_per_layer, double epsilon,
+                               double highfreq_fraction) {
   const SpecMarkRecord record =
-      derive(model, seed, bits_per_layer, epsilon, highfreq_fraction);
+      specmark_derive(model, seed, bits_per_layer, epsilon, highfreq_fraction);
 
-  parallel_for_index(record.layers.size(), [&](size_t idx) {
-    const int64_t i = static_cast<int64_t>(idx);
-    const SpecMarkLayer& layer = record.layers[idx];
-    QuantizedTensor& weights = model.layer(i).weights;
-    const int64_t chunks = chunk_count(weights.numel());
-
-    // Group the recorded edits per chunk, preserving signature order.
-    std::vector<std::vector<std::pair<int64_t, int8_t>>> per_chunk(
-        static_cast<size_t>(chunks));
-    for (size_t j = 0; j < layer.coefficients.size(); ++j) {
-      const int64_t chunk = layer.coefficients[j] / kChunkSize;
-      const int64_t local = layer.coefficients[j] % kChunkSize;
-      per_chunk[static_cast<size_t>(chunk)].emplace_back(local, layer.bits[j]);
+  // Flattened (layer, chunk) fan-out: every job owns a disjoint code range,
+  // so within-layer chunks transform concurrently and the stamped codes are
+  // bit-identical at any thread count (each chunk's DCT -> perturb -> IDCT
+  // -> round pipeline is computed exactly as the serial walk would).
+  const std::vector<ChunkJob> jobs = chunk_jobs(record);
+  parallel_for_index(jobs.size(), [&](size_t j) {
+    const ChunkJob& job = jobs[j];
+    const SpecMarkLayer& layer = record.layers[static_cast<size_t>(job.layer)];
+    QuantizedTensor& weights = model.layer(job.layer).weights;
+    const int64_t begin = job.chunk * kSpecMarkChunkSize;
+    std::vector<double> x = chunk_codes(weights, job.chunk);
+    std::vector<double> y = dct2(std::span<const double>(x));
+    for (const auto& [local, bit_index] : job.slots) {
+      y[static_cast<size_t>(local)] +=
+          epsilon * static_cast<double>(layer.bits[bit_index]);
     }
-
-    for (int64_t chunk = 0; chunk < chunks; ++chunk) {
-      const auto& edits = per_chunk[static_cast<size_t>(chunk)];
-      if (edits.empty()) continue;
-      const int64_t begin = chunk * kChunkSize;
-      std::vector<double> x = chunk_codes(weights, chunk);
-      std::vector<double> y = dct2(std::span<const double>(x));
-      for (const auto& [local, bit] : edits) {
-        y[static_cast<size_t>(local)] += epsilon * static_cast<double>(bit);
-      }
-      // Back to the weight domain -- and back onto the integer grid. This
-      // rounding is what a quantized deployment forces, and what erases
-      // the spectral perturbation.
-      const std::vector<double> perturbed = idct2(std::span<const double>(y));
-      for (size_t k = 0; k < perturbed.size(); ++k) {
-        const int32_t code = std::clamp<int32_t>(
-            static_cast<int32_t>(std::lround(perturbed[k])), weights.qmin(),
-            weights.qmax());
-        weights.set_code_flat(begin + static_cast<int64_t>(k),
-                              static_cast<int8_t>(code));
-      }
+    // Back to the weight domain -- and back onto the integer grid. This
+    // rounding is what a quantized deployment forces, and what erases
+    // the spectral perturbation.
+    const std::vector<double> perturbed = idct2(std::span<const double>(y));
+    for (size_t k = 0; k < perturbed.size(); ++k) {
+      const int32_t code = std::clamp<int32_t>(
+          static_cast<int32_t>(std::lround(perturbed[k])), weights.qmin(),
+          weights.qmax());
+      weights.set_code_flat(begin + static_cast<int64_t>(k),
+                            static_cast<int8_t>(code));
     }
   });
   return record;
 }
 
-SpecMarkReport SpecMark::extract(const QuantizedModel& suspect,
-                                 const QuantizedModel& original,
-                                 const SpecMarkRecord& record) {
+SpecMarkReport specmark_extract(const QuantizedModel& suspect,
+                                const QuantizedModel& original,
+                                const SpecMarkRecord& record) {
   if (suspect.num_layers() != original.num_layers() ||
       static_cast<int64_t>(record.layers.size()) > suspect.num_layers()) {
-    throw std::invalid_argument("SpecMark::extract: layer count mismatch");
+    throw std::invalid_argument("specmark_extract: layer count mismatch");
   }
-  std::vector<int64_t> matched(record.layers.size(), 0);
-  std::vector<int64_t> total(record.layers.size(), 0);
-  parallel_for_index(record.layers.size(), [&](size_t i) {
+  // Record coefficients drive the chunk indexing below, so validate them
+  // (and the layer shapes they assume) up front, serially in layer order:
+  // malformed records fail deterministically before any transform runs.
+  for (size_t i = 0; i < record.layers.size(); ++i) {
     const SpecMarkLayer& layer = record.layers[i];
     const QuantizedTensor& ws = suspect.layer(static_cast<int64_t>(i)).weights;
     const QuantizedTensor& wo = original.layer(static_cast<int64_t>(i)).weights;
-    // Record coefficients drive chunk/cache indexing below, so validate
-    // them (and the layer shapes they assume) before touching memory.
     if (ws.numel() != wo.numel()) {
-      throw std::invalid_argument("SpecMark::extract: layer shape mismatch");
+      throw std::invalid_argument("specmark_extract: layer shape mismatch");
     }
     if (layer.coefficients.size() != layer.bits.size()) {
       throw std::invalid_argument(
-          "SpecMark::extract: record bits/coefficients size mismatch");
+          "specmark_extract: record bits/coefficients size mismatch");
     }
-
-    // Transform only chunks that hold coefficients; cache per chunk.
-    std::vector<std::vector<double>> ys_cache(
-        static_cast<size_t>(chunk_count(ws.numel())));
-    std::vector<std::vector<double>> yo_cache(ys_cache.size());
-    for (size_t j = 0; j < layer.coefficients.size(); ++j) {
-      const int64_t global = layer.coefficients[j];
+    for (int64_t global : layer.coefficients) {
       if (global < 0 || global >= ws.numel()) {
         throw std::invalid_argument(
-            "SpecMark::extract: record coefficient out of range");
+            "specmark_extract: record coefficient out of range");
       }
-      const int64_t chunk = global / kChunkSize;
-      const int64_t local = global % kChunkSize;
-      auto& ys = ys_cache[static_cast<size_t>(chunk)];
-      auto& yo = yo_cache[static_cast<size_t>(chunk)];
-      if (ys.empty()) {
-        ys = dct2(std::span<const double>(chunk_codes(ws, chunk)));
-        yo = dct2(std::span<const double>(chunk_codes(wo, chunk)));
-      }
+    }
+  }
+
+  // Transform only chunks that hold coefficients, all of them concurrently
+  // (layer- and chunk-level). Per-job match counts land in pre-sized slots
+  // and are summed in job order afterwards: the report is independent of
+  // the thread count.
+  const std::vector<ChunkJob> jobs = chunk_jobs(record);
+  std::vector<int64_t> matched(jobs.size(), 0);
+  std::vector<int64_t> total(jobs.size(), 0);
+  parallel_for_index(jobs.size(), [&](size_t j) {
+    const ChunkJob& job = jobs[j];
+    const SpecMarkLayer& layer = record.layers[static_cast<size_t>(job.layer)];
+    const QuantizedTensor& ws = suspect.layer(job.layer).weights;
+    const QuantizedTensor& wo = original.layer(job.layer).weights;
+    const std::vector<double> ys =
+        dct2(std::span<const double>(chunk_codes(ws, job.chunk)));
+    const std::vector<double> yo =
+        dct2(std::span<const double>(chunk_codes(wo, job.chunk)));
+    for (const auto& [local, bit_index] : job.slots) {
       const double delta = ys[static_cast<size_t>(local)] -
                            yo[static_cast<size_t>(local)];
-      const double expected = record.epsilon * static_cast<double>(layer.bits[j]);
+      const double expected =
+          record.epsilon * static_cast<double>(layer.bits[bit_index]);
       const bool survived = std::fabs(delta) >= 0.5 * std::fabs(expected) &&
                             ((delta > 0) == (expected > 0));
-      if (survived) ++matched[i];
-      ++total[i];
+      if (survived) ++matched[j];
+      ++total[j];
     }
   });
   SpecMarkReport report;
-  for (size_t i = 0; i < record.layers.size(); ++i) {
-    report.matched_bits += matched[i];
-    report.total_bits += total[i];
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    report.matched_bits += matched[j];
+    report.total_bits += total[j];
   }
   return report;
 }
@@ -233,19 +275,19 @@ SchemeRecord SpecMarkScheme::wrap(SpecMarkRecord record) {
 SchemeRecord SpecMarkScheme::derive(const QuantizedModel& original,
                                     const ActivationStats& /*stats*/,
                                     const WatermarkKey& key) const {
-  return wrap(SpecMark::derive(original, key.seed, key.bits_per_layer));
+  return wrap(specmark_derive(original, key.seed, key.bits_per_layer));
 }
 
 SchemeRecord SpecMarkScheme::insert(QuantizedModel& model,
                                     const ActivationStats& /*stats*/,
                                     const WatermarkKey& key) const {
-  return wrap(SpecMark::insert(model, key.seed, key.bits_per_layer));
+  return wrap(specmark_insert(model, key.seed, key.bits_per_layer));
 }
 
 ExtractionReport SpecMarkScheme::extract(const QuantizedModel& suspect,
                                          const QuantizedModel& original,
                                          const SchemeRecord& record) const {
-  return SpecMark::extract(suspect, original, record.as<SpecMarkRecord>());
+  return specmark_extract(suspect, original, record.as<SpecMarkRecord>());
 }
 
 int64_t SpecMarkScheme::total_bits(const SchemeRecord& record) const {
@@ -257,8 +299,8 @@ bool SpecMarkScheme::rederives(const SchemeRecord& filed,
                                const ActivationStats& /*stats*/) const {
   const SpecMarkRecord& record = filed.as<SpecMarkRecord>();
   const SpecMarkRecord derived =
-      SpecMark::derive(original, record.seed, record.bits_per_layer,
-                       record.epsilon, record.highfreq_fraction);
+      specmark_derive(original, record.seed, record.bits_per_layer,
+                      record.epsilon, record.highfreq_fraction);
   return placements_equal(derived, record);
 }
 

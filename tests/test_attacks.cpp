@@ -53,7 +53,7 @@ TEST(OverwriteAttack, WatermarkSurvivesModerateOverwrite) {
   WmFixture f;
   WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
 
   QuantizedModel attacked = watermarked;
   OverwriteConfig config;
@@ -64,7 +64,7 @@ TEST(OverwriteAttack, WatermarkSurvivesModerateOverwrite) {
   overwrite_attack(attacked, config);
 
   const ExtractionReport report =
-      EmMark::extract_with_record(attacked, *f.quantized, record);
+      extract_recorded_bits(attacked, *f.quantized, record);
   EXPECT_GT(report.wer_pct(), 85.0);
 }
 
@@ -72,13 +72,13 @@ TEST(OverwriteAttack, MassiveOverwriteDegradesWer) {
   WmFixture f;
   WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
   QuantizedModel attacked = watermarked;
   OverwriteConfig config;
   config.per_layer = 2048;  // every weight in a 32x64 layer
   overwrite_attack(attacked, config);
   const ExtractionReport report =
-      EmMark::extract_with_record(attacked, *f.quantized, record);
+      extract_recorded_bits(attacked, *f.quantized, record);
   EXPECT_LT(report.wer_pct(), 90.0);
 }
 
@@ -87,7 +87,7 @@ TEST(RewatermarkAttack, OwnerSignatureSurvives) {
   WatermarkKey owner_key;
   QuantizedModel watermarked = *f.quantized;
   const WatermarkRecord owner_record =
-      EmMark::insert(watermarked, f.stats, owner_key);
+      testfx::em_insert(watermarked, f.stats, owner_key);
 
   // Adversary collects activations from the deployed (quantized) model.
   auto deployed_fp = watermarked.materialize();
@@ -104,13 +104,13 @@ TEST(RewatermarkAttack, OwnerSignatureSurvives) {
 
   // Owner still extracts (Figure 2b shows > 95%).
   const ExtractionReport owner_report =
-      EmMark::extract_with_record(attacked, *f.quantized, owner_record);
+      extract_recorded_bits(attacked, *f.quantized, owner_record);
   EXPECT_GT(owner_report.wer_pct(), 90.0);
 
   // The adversary's own bits also extract against their reference -- that
   // is expected; precedence is resolved by the arbiter (test_forge).
   const ExtractionReport adv_report =
-      EmMark::extract_with_record(attacked, watermarked, adversary_record);
+      extract_recorded_bits(attacked, watermarked, adversary_record);
   EXPECT_DOUBLE_EQ(adv_report.wer_pct(), 100.0);
 }
 
@@ -139,13 +139,13 @@ TEST(PruneAttack, WatermarkOutlivesUniformExpectation) {
   WmFixture f;
   WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
   QuantizedModel pruned = watermarked;
   PruneConfig config;
   config.fraction = 0.6;
   prune_attack(pruned, config);
   const ExtractionReport report =
-      EmMark::extract_with_record(pruned, *f.quantized, record);
+      extract_recorded_bits(pruned, *f.quantized, record);
   // Uniform placement would lose ~60% of bits; EmMark keeps clearly more.
   EXPECT_GT(report.wer_pct(), 45.0);
   // The match rate stays above the coin-flip chance line.
@@ -156,7 +156,7 @@ TEST(LoraAttack, QuantizedWeightsUntouchedAndWatermarkIntact) {
   WmFixture f;
   WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
 
   LoraAttackConfig config;
   config.steps = 30;
@@ -167,7 +167,7 @@ TEST(LoraAttack, QuantizedWeightsUntouchedAndWatermarkIntact) {
   EXPECT_TRUE(result.quantized_weights_unchanged);
   EXPECT_LT(result.final_loss, result.initial_loss);  // adapters did learn
   const ExtractionReport report =
-      EmMark::extract_with_record(watermarked, *f.quantized, record);
+      extract_recorded_bits(watermarked, *f.quantized, record);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
 }
 

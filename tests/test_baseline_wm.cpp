@@ -13,16 +13,16 @@ using testfx::WmFixture;
 TEST(RandomWM, InsertExtractPerfect) {
   WmFixture f;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = RandomWM::insert(watermarked, 5, 12);
+  const WatermarkRecord record = testfx::rnd_insert(watermarked, 5, 12);
   const ExtractionReport report =
-      RandomWM::extract(watermarked, *f.quantized, record);
+      extract_recorded_bits(watermarked, *f.quantized, record);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
 }
 
 TEST(RandomWM, AvoidsSaturatedPositions) {
   WmFixture f;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = RandomWM::insert(watermarked, 6, 12);
+  const WatermarkRecord record = testfx::rnd_insert(watermarked, 6, 12);
   for (size_t i = 0; i < record.layers.size(); ++i) {
     const auto& weights = f.quantized->layer(static_cast<int64_t>(i)).weights;
     for (int64_t loc : record.layers[i].locations) {
@@ -37,10 +37,10 @@ TEST(RandomWM, LocationsDifferFromEmMark) {
   WmFixture f;
   QuantizedModel a = *f.quantized;
   QuantizedModel b = *f.quantized;
-  const WatermarkRecord random_record = RandomWM::insert(a, 5, 12);
+  const WatermarkRecord random_record = testfx::rnd_insert(a, 5, 12);
   WatermarkKey key;
   key.seed = 5;
-  const WatermarkRecord emmark_record = EmMark::insert(b, f.stats, key);
+  const WatermarkRecord emmark_record = testfx::em_insert(b, f.stats, key);
 
   int64_t overlap = 0, total = 0;
   for (size_t i = 0; i < random_record.layers.size(); ++i) {
@@ -58,8 +58,8 @@ TEST(RandomWM, DeterministicPerSeed) {
   WmFixture f;
   QuantizedModel a = *f.quantized;
   QuantizedModel b = *f.quantized;
-  const WatermarkRecord ra = RandomWM::insert(a, 9, 8);
-  const WatermarkRecord rb = RandomWM::insert(b, 9, 8);
+  const WatermarkRecord ra = testfx::rnd_insert(a, 9, 8);
+  const WatermarkRecord rb = testfx::rnd_insert(b, 9, 8);
   for (size_t i = 0; i < ra.layers.size(); ++i) {
     EXPECT_EQ(ra.layers[i].locations, rb.layers[i].locations);
   }
@@ -71,9 +71,9 @@ TEST(RandomWM, DeterministicPerSeed) {
 TEST(SpecMark, FailsOnQuantizedWeightsInt4) {
   WmFixture f(QuantMethod::kAwqInt4);
   QuantizedModel watermarked = *f.quantized;
-  const SpecMarkRecord record = SpecMark::insert(watermarked, 3, 12, 0.05);
+  const SpecMarkRecord record = specmark_insert(watermarked, 3, 12, 0.05);
   const SpecMarkReport report =
-      SpecMark::extract(watermarked, *f.quantized, record);
+      specmark_extract(watermarked, *f.quantized, record);
   EXPECT_EQ(report.matched_bits, 0);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
 }
@@ -81,9 +81,9 @@ TEST(SpecMark, FailsOnQuantizedWeightsInt4) {
 TEST(SpecMark, FailsOnQuantizedWeightsInt8) {
   WmFixture f(QuantMethod::kSmoothQuantInt8);
   QuantizedModel watermarked = *f.quantized;
-  const SpecMarkRecord record = SpecMark::insert(watermarked, 3, 12, 0.05);
+  const SpecMarkRecord record = specmark_insert(watermarked, 3, 12, 0.05);
   const SpecMarkReport report =
-      SpecMark::extract(watermarked, *f.quantized, record);
+      specmark_extract(watermarked, *f.quantized, record);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
 }
 
@@ -92,7 +92,7 @@ TEST(SpecMark, ModelUnchangedBySubStepPerturbation) {
   // the "watermarked" model is bit-identical -- SpecMark's 0 PPL delta row.
   WmFixture f;
   QuantizedModel watermarked = *f.quantized;
-  SpecMark::insert(watermarked, 7, 12, 0.05);
+  specmark_insert(watermarked, 7, 12, 0.05);
   for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
     EXPECT_EQ(watermarked.layer(i).weights.codes(),
               f.quantized->layer(i).weights.codes())
@@ -106,9 +106,9 @@ TEST(SpecMark, LargeEpsilonWouldSurviveButDamagesWeights) {
   // small epsilon is a rounding effect, not an extraction bug.
   WmFixture f;
   QuantizedModel watermarked = *f.quantized;
-  const SpecMarkRecord record = SpecMark::insert(watermarked, 11, 12, /*epsilon=*/40.0);
+  const SpecMarkRecord record = specmark_insert(watermarked, 11, 12, /*epsilon=*/40.0);
   const SpecMarkReport report =
-      SpecMark::extract(watermarked, *f.quantized, record);
+      specmark_extract(watermarked, *f.quantized, record);
   EXPECT_GT(report.wer_pct(), 50.0);
   int64_t changed = 0;
   for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
@@ -124,7 +124,7 @@ TEST(SpecMark, LargeEpsilonWouldSurviveButDamagesWeights) {
 TEST(SpecMark, RecordBitCount) {
   WmFixture f;
   QuantizedModel watermarked = *f.quantized;
-  const SpecMarkRecord record = SpecMark::insert(watermarked, 3, 10);
+  const SpecMarkRecord record = specmark_insert(watermarked, 3, 10);
   EXPECT_EQ(record.total_bits(), 10 * f.quantized->num_layers());
 }
 

@@ -1,0 +1,158 @@
+// Daemon mode: the run_daemon() loop over in-memory streams. Pins the
+// acceptance shape -- N requests against one zoo model cost exactly one
+// model build (store hit counters in the stats JSON) -- plus per-request
+// error isolation, output ordering, and the line protocol's edges.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/daemon.h"
+#include "model_zoo/zoo.h"
+
+namespace emmark {
+namespace {
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = (std::filesystem::temp_directory_path() / "emmark_daemon_test").string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  static void TearDownTestSuite() { std::filesystem::remove_all(dir_); }
+
+  static DaemonConfig config() {
+    DaemonConfig c;
+    c.cache_dir = dir_ + "/cache";
+    c.train_steps_cap = 25;
+    c.store_capacity = 2;
+    return c;
+  }
+
+  static std::string path(const std::string& name) { return dir_ + "/" + name; }
+
+  static std::vector<std::string> run(const std::string& script) {
+    std::istringstream in(script);
+    std::ostringstream out;
+    EXPECT_EQ(run_daemon(in, out, config()), 0);
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+    return lines;
+  }
+
+  static std::string dir_;
+};
+
+std::string DaemonTest::dir_;
+
+TEST_F(DaemonTest, SessionCostsExactlyOneModelBuild) {
+  // The acceptance criterion: >= 3 sequential requests against the same
+  // zoo model, exactly one build, proven by the stats JSON.
+  const std::vector<std::string> lines = run(
+      "# transcript: insert once, extract twice, audit the cost\n"
+      "insert id=a model=opt-125m-sim quant=int4 scheme=emmark bits=8 "
+      "record=" + path("wm.rec") + " codes=" + path("dep.codes") + "\n"
+      "extract id=b model=opt-125m-sim quant=int4 record=" + path("wm.rec") +
+      " codes=" + path("dep.codes") + "\n"
+      "extract id=c model=opt-125m-sim quant=int4 record=" + path("wm.rec") +
+      " codes=" + path("dep.codes") + "\n"
+      "stats id=s\n"
+      "quit\n");
+
+  ASSERT_EQ(lines.size(), 5u);  // a, b, c, stats, quit -- in request order
+  EXPECT_NE(lines[0].find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cmd\":\"insert\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+  for (size_t i : {size_t{1}, size_t{2}}) {
+    EXPECT_NE(lines[i].find("\"cmd\":\"extract\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(lines[i].find("\"wer_pct\":100"), std::string::npos) << lines[i];
+  }
+  EXPECT_NE(lines[1].find("\"id\":\"b\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":\"c\""), std::string::npos);
+
+  // One build, two (or more) hits: the whole session reused one model.
+  const std::string& stats = lines[3];
+  EXPECT_NE(stats.find("\"cmd\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"builds\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"hits\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"failed\":0"), std::string::npos) << stats;
+
+  EXPECT_NE(lines[4].find("\"cmd\":\"quit\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"served\":3"), std::string::npos);
+}
+
+TEST_F(DaemonTest, RequestFailuresAreIsolatedAndOrdered) {
+  const std::vector<std::string> lines = run(
+      "insert id=good model=opt-125m-sim quant=int4 codes=" + path("g.codes") + "\n"
+      "insert id=bad model=opt-125m-sim quant=int4 scheme=no-such-scheme\n"
+      "extract id=missing model=opt-125m-sim quant=int4 record=" +
+      path("nope.rec") + " codes=" + path("g.codes") + "\n"
+      "frobnicate id=unknown\n"
+      "insert id=tail model=opt-125m-sim quant=int4\n"
+      "stats id=s\n");
+
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_NE(lines[0].find("\"id\":\"good\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+
+  // Unknown scheme fails in its own slot, after submission.
+  EXPECT_NE(lines[1].find("\"id\":\"bad\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[1].find("no-such-scheme"), std::string::npos);
+
+  // Missing artifact fails at submission; still one ordered JSON line.
+  EXPECT_NE(lines[2].find("\"id\":\"missing\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":false"), std::string::npos);
+
+  // Unknown commands report instead of killing the session.
+  EXPECT_NE(lines[3].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[3].find("unknown command"), std::string::npos);
+
+  // The daemon survives everything above and keeps serving.
+  EXPECT_NE(lines[4].find("\"id\":\"tail\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"ok\":true"), std::string::npos);
+
+  // Store cost is still one build (same spec throughout; failures that
+  // reached the store count as hits, not rebuilds).
+  EXPECT_NE(lines[5].find("\"builds\":1"), std::string::npos) << lines[5];
+}
+
+TEST_F(DaemonTest, SeedFromIdGivesDistinctPlacementsPerRequest) {
+  const std::vector<std::string> lines = run(
+      "insert id=dev-0 model=opt-125m-sim quant=int4 seed-from-id=1 codes=" +
+      path("d0.codes") + "\n"
+      "insert id=dev-1 model=opt-125m-sim quant=int4 seed-from-id=1 codes=" +
+      path("d1.codes") + "\n");
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  }
+  // Distinct derived seeds are reported back (and imply distinct stamps).
+  const auto seed_of = [](const std::string& line) {
+    const auto pos = line.find("\"seed\":");
+    return line.substr(pos, line.find(',', pos) - pos);
+  };
+  EXPECT_NE(seed_of(lines[0]), seed_of(lines[1]));
+}
+
+TEST_F(DaemonTest, VerifyAuditsEvidenceInline) {
+  const std::vector<std::string> lines = run(
+      "insert id=a model=opt-125m-sim quant=int4 codes=" + path("v.codes") +
+      " evidence=" + path("v.evid") + " owner=acme\n"
+      "verify id=v model=opt-125m-sim quant=int4 evidence=" + path("v.evid") +
+      " codes=" + path("v.codes") + " min-wer=90\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"cmd\":\"verify\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"verified\":true"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"owner\":\"acme\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emmark

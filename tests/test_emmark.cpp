@@ -29,7 +29,7 @@ TEST(EmMarkScore, ExcludesSaturatedZeroAndOutlierWeights) {
   q.set_outliers({1}, outlier_w);  // column 1 is FP
 
   const std::vector<float> act{1.0f, 2.0f, 3.0f, 4.0f};
-  const auto scores = EmMark::score_layer(q, act, 0.5, 0.5);
+  const auto scores = score_layer(q, act, 0.5, 0.5);
   EXPECT_TRUE(std::isinf(scores[0]));  // saturated
   EXPECT_TRUE(std::isinf(scores[1]));  // saturated AND outlier col
   EXPECT_TRUE(std::isinf(scores[2]));  // zero code
@@ -47,7 +47,7 @@ TEST(EmMarkScore, PrefersLargeMagnitudeWeights) {
   q.set_code(1, 1, 50);
   q.set_code(2, 1, 100);
   const std::vector<float> act{0.0f, 1.0f};
-  const auto scores = EmMark::score_layer(q, act, 1.0, 0.0);
+  const auto scores = score_layer(q, act, 1.0, 0.0);
   EXPECT_GT(scores[1], scores[3]);
   EXPECT_GT(scores[3], scores[5]);
   EXPECT_NEAR(scores[5], 0.01, 1e-9);  // 1/100
@@ -59,7 +59,7 @@ TEST(EmMarkScore, PrefersSalientChannels) {
   q.set_scale(0, 0, 0.1f);
   for (int64_t c = 0; c < 4; ++c) q.set_code(0, c, 50);
   const std::vector<float> act{0.1f, 1.0f, 5.0f, 10.0f};
-  const auto scores = EmMark::score_layer(q, act, 0.0, 1.0);
+  const auto scores = score_layer(q, act, 0.0, 1.0);
   EXPECT_GT(scores[1], scores[2]);
   EXPECT_GT(scores[2], scores[3]);
   // Highest-activation channel: S_r = |max / (max - min)| is the smallest.
@@ -69,8 +69,8 @@ TEST(EmMarkScore, PrefersSalientChannels) {
 TEST(EmMark, DeriveIsDeterministic) {
   WmFixture f;
   const WatermarkKey key;
-  const auto a = EmMark::derive(*f.quantized, f.stats, key);
-  const auto b = EmMark::derive(*f.quantized, f.stats, key);
+  const auto a = testfx::em_derive(*f.quantized, f.stats, key);
+  const auto b = testfx::em_derive(*f.quantized, f.stats, key);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].locations, b[i].locations);
@@ -82,8 +82,8 @@ TEST(EmMark, DifferentSeedsDifferentLocations) {
   WmFixture f;
   WatermarkKey k1, k2;
   k2.seed = 12345;
-  const auto a = EmMark::derive(*f.quantized, f.stats, k1);
-  const auto b = EmMark::derive(*f.quantized, f.stats, k2);
+  const auto a = testfx::em_derive(*f.quantized, f.stats, k1);
+  const auto b = testfx::em_derive(*f.quantized, f.stats, k2);
   int64_t identical_layers = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i].locations == b[i].locations) ++identical_layers;
@@ -95,12 +95,12 @@ TEST(EmMark, InsertThenExtractIsPerfect) {
   WmFixture f;
   const WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;  // deep copy
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
   EXPECT_EQ(record.total_bits(),
             key.bits_per_layer * f.quantized->num_layers());
 
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, key);
   EXPECT_EQ(report.matched_bits, report.total_bits);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
 }
@@ -110,7 +110,7 @@ TEST(EmMark, CleanModelYieldsZeroWer) {
   const WatermarkKey key;
   // Extraction of the original against itself: every delta is 0 != +-1.
   const ExtractionReport report =
-      EmMark::extract(*f.quantized, *f.quantized, f.stats, key);
+      testfx::em_extract(*f.quantized, *f.quantized, f.stats, key);
   EXPECT_EQ(report.matched_bits, 0);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
 }
@@ -119,7 +119,7 @@ TEST(EmMark, InsertionTouchesExactlyTheRecordedLocations) {
   WmFixture f;
   const WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
   for (int64_t i = 0; i < f.quantized->num_layers(); ++i) {
     const auto& original = f.quantized->layer(i).weights;
     const auto& modified = watermarked.layer(i).weights;
@@ -143,7 +143,7 @@ TEST(EmMark, InsertionTouchesExactlyTheRecordedLocations) {
 TEST(EmMark, InsertionNeverSelectsSaturatedWeights) {
   WmFixture f;
   const WatermarkKey key;
-  const auto layers = EmMark::derive(*f.quantized, f.stats, key);
+  const auto layers = testfx::em_derive(*f.quantized, f.stats, key);
   for (size_t i = 0; i < layers.size(); ++i) {
     const auto& weights = f.quantized->layer(static_cast<int64_t>(i)).weights;
     for (int64_t loc : layers[i].locations) {
@@ -157,12 +157,12 @@ TEST(EmMark, WrongSeedExtractsNoise) {
   WmFixture f;
   WatermarkKey owner_key;
   QuantizedModel watermarked = *f.quantized;
-  EmMark::insert(watermarked, f.stats, owner_key);
+  testfx::em_insert(watermarked, f.stats, owner_key);
 
   WatermarkKey wrong = owner_key;
   wrong.seed = 31337;
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, wrong);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, wrong);
   // A wrong seed hits mostly non-watermarked positions (delta 0), so WER
   // collapses far below the ownership threshold.
   EXPECT_LT(report.wer_pct(), 50.0);
@@ -178,7 +178,7 @@ TEST(EmMark, StrengthMatchesPaperNumbers) {
 TEST(EmMark, RecordSaveLoadRoundTrip) {
   WmFixture f;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, WatermarkKey{});
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, WatermarkKey{});
   const std::string path =
       (std::filesystem::temp_directory_path() / "emmark_rec_rt.bin").string();
   {
@@ -190,7 +190,7 @@ TEST(EmMark, RecordSaveLoadRoundTrip) {
   const WatermarkRecord back = WatermarkRecord::load(r);
   ASSERT_EQ(back.layers.size(), record.layers.size());
   const ExtractionReport report =
-      EmMark::extract_with_record(watermarked, *f.quantized, back);
+      extract_recorded_bits(watermarked, *f.quantized, back);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
   std::remove(path.c_str());
 }
@@ -199,7 +199,7 @@ TEST(EmMark, ThrowsWhenLayerTooSmallForRequest) {
   WmFixture f;
   WatermarkKey key;
   key.bits_per_layer = 100000;  // larger than any layer
-  EXPECT_THROW(EmMark::derive(*f.quantized, f.stats, key), std::runtime_error);
+  EXPECT_THROW(testfx::em_derive(*f.quantized, f.stats, key), std::runtime_error);
 }
 
 }  // namespace

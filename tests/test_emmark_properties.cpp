@@ -21,9 +21,9 @@ TEST_P(SeedSweep, PerfectExtractionForAnySeed) {
   key.seed = GetParam();
   key.signature_seed = GetParam() * 3 + 1;
   QuantizedModel watermarked = *f.quantized;
-  EmMark::insert(watermarked, f.stats, key);
+  testfx::em_insert(watermarked, f.stats, key);
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, key);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0) << "seed " << GetParam();
 }
 
@@ -40,10 +40,10 @@ TEST_P(BitsSweep, PerfectExtractionForAnyLength) {
   // Large requests need a smaller pool multiplier to stay within layer size.
   key.candidate_ratio = GetParam() > 50 ? 5 : 50;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
   EXPECT_EQ(record.total_bits(), GetParam() * f.quantized->num_layers());
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, key);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0) << "bits " << GetParam();
 }
 
@@ -59,9 +59,9 @@ TEST_P(CoefficientSweep, PerfectExtractionForAnyAlphaBeta) {
   key.alpha = alpha;
   key.beta = beta;
   QuantizedModel watermarked = *f.quantized;
-  EmMark::insert(watermarked, f.stats, key);
+  testfx::em_insert(watermarked, f.stats, key);
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, key);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0)
       << "alpha=" << alpha << " beta=" << beta;
 }
@@ -81,9 +81,9 @@ TEST_P(MethodSweep, AgnosticToQuantizationAlgorithm) {
   WmFixture f(GetParam());
   WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  EmMark::insert(watermarked, f.stats, key);
+  testfx::em_insert(watermarked, f.stats, key);
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, key);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0) << to_string(GetParam());
 }
 
@@ -106,9 +106,9 @@ TEST_P(FamilySweep, WorksOnBothArchitectures) {
   WmFixture f(QuantMethod::kAwqInt4, GetParam());
   WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  EmMark::insert(watermarked, f.stats, key);
+  testfx::em_insert(watermarked, f.stats, key);
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, key);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, key);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
 }
 
@@ -124,13 +124,13 @@ TEST_P(CrossKey, ForeignKeyStaysBelowThreshold) {
   WmFixture f;
   WatermarkKey owner;
   QuantizedModel watermarked = *f.quantized;
-  EmMark::insert(watermarked, f.stats, owner);
+  testfx::em_insert(watermarked, f.stats, owner);
 
   WatermarkKey foreign;
   foreign.seed = GetParam();
   foreign.signature_seed = GetParam() + 5;
   const ExtractionReport report =
-      EmMark::extract(watermarked, *f.quantized, f.stats, foreign);
+      testfx::em_extract(watermarked, *f.quantized, f.stats, foreign);
   EXPECT_LT(report.wer_pct(), 60.0) << "foreign seed " << GetParam();
 }
 
@@ -143,7 +143,7 @@ TEST(EmMarkProperty, BitDamageIsExactlyAccounted) {
   WmFixture f;
   WatermarkKey key;
   QuantizedModel watermarked = *f.quantized;
-  const WatermarkRecord record = EmMark::insert(watermarked, f.stats, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, f.stats, key);
 
   QuantizedModel damaged = watermarked;
   // Undo the first 5 watermark bits of layer 0.
@@ -156,7 +156,7 @@ TEST(EmMarkProperty, BitDamageIsExactlyAccounted) {
         flat, static_cast<int8_t>(weights.code_flat(flat) - wm.bits[static_cast<size_t>(j)]));
   }
   const ExtractionReport report =
-      EmMark::extract_with_record(damaged, *f.quantized, record);
+      extract_recorded_bits(damaged, *f.quantized, record);
   EXPECT_EQ(report.total_bits - report.matched_bits, k);
 }
 

@@ -2,8 +2,11 @@
 // deterministic per-request seeding, and pool-size invariance.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "model_zoo/zoo.h"
@@ -187,6 +190,233 @@ TEST(Engine, TraceBatchIdentifiesLeakers) {
     EXPECT_TRUE(result.ok) << result.error;
     EXPECT_DOUBLE_EQ(result.trace.wer_pct, 100.0);
   }
+}
+
+// --- asynchronous path -------------------------------------------------------
+
+TEST(AsyncEngine, SubmitMatchesBatchByteForByte) {
+  // The async pipeline must be a scheduling change only: for the same
+  // requests, results and stamped codes are byte-identical to the
+  // synchronous batch path.
+  EngineFixture fx;
+  constexpr size_t kBatch = 6;
+  const EngineConfig config{/*base_seed=*/21, /*trace_min_wer_pct=*/90.0};
+
+  std::vector<QuantizedModel> sync_models(kBatch, *fx.f.quantized);
+  const WatermarkEngine sync_engine(config);
+  const auto sync_results = sync_engine.insert_batch(fx.make_requests(sync_models));
+
+  std::vector<QuantizedModel> async_models(kBatch, *fx.f.quantized);
+  WatermarkEngine async_engine(config);
+  const auto async_requests = fx.make_requests(async_models);
+  std::vector<std::future<WatermarkEngine::InsertResult>> futures;
+  for (const auto& request : async_requests) {
+    futures.push_back(async_engine.submit(request));
+  }
+  async_engine.drain();
+
+  for (size_t i = 0; i < kBatch; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const auto slot = futures[i].get();
+    ASSERT_TRUE(slot.ok) << slot.error;
+    EXPECT_EQ(slot.id, sync_results[i].id);
+    EXPECT_EQ(slot.key.seed, sync_results[i].key.seed);
+    EXPECT_EQ(slot.key.signature_seed, sync_results[i].key.signature_seed);
+    EXPECT_EQ(digest_model_codes(async_models[i]),
+              digest_model_codes(sync_models[i]))
+        << "request " << i;
+  }
+}
+
+TEST(AsyncEngine, CompletionCallbackDeliversTheResult) {
+  EngineFixture fx;
+  std::vector<QuantizedModel> models(1, *fx.f.quantized);
+  WatermarkEngine engine;
+  auto requests = fx.make_requests(models);
+
+  std::promise<std::string> seen_id;
+  auto future = engine.submit(requests[0], [&](const WatermarkEngine::InsertResult& r) {
+    seen_id.set_value(r.ok ? r.id : "error:" + r.error);
+  });
+  EXPECT_EQ(seen_id.get_future().get(), requests[0].id);
+  EXPECT_TRUE(future.get().ok);
+
+  // A throwing callback must not lose the future or kill the worker.
+  std::vector<QuantizedModel> more(1, *fx.f.quantized);
+  auto retry = fx.make_requests(more);
+  auto future2 = engine.submit(
+      retry[0], [](const WatermarkEngine::InsertResult&) {
+        throw std::runtime_error("callback boom");
+      });
+  EXPECT_TRUE(future2.get().ok);
+  engine.drain();
+}
+
+TEST(AsyncEngine, StressInterleavedSubmittersAreIsolatedAndDeterministic) {
+  // Several threads hammer one engine with interleaved insert / extract /
+  // trace submissions (plus a sprinkling of malformed requests). Every
+  // future must resolve, failures must stay in their own slot, and the
+  // insert placements must match a synchronous replay of the same ids.
+  EngineFixture fx;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 6;
+  constexpr size_t kTotal = kThreads * kPerThread;
+
+  std::vector<QuantizedModel> device_models;
+  const FingerprintSet set =
+      Fingerprinter::enroll("emmark", *fx.f.quantized, fx.f.stats, fx.key,
+                            {"dev-a", "dev-b"}, device_models);
+  QuantizedModel marked = *fx.f.quantized;
+  const SchemeRecord record = EmMarkScheme().insert(marked, fx.f.stats, fx.key);
+
+  const EngineConfig config{/*base_seed=*/17, /*trace_min_wer_pct=*/90.0};
+  auto make_insert = [&](size_t slot, QuantizedModel* model) {
+    WatermarkEngine::InsertRequest request;
+    request.id = "ins-" + std::to_string(slot);
+    request.scheme = slot % 5 == 0 ? "no-such-scheme" : "emmark";
+    request.model = model;
+    request.stats = &fx.f.stats;
+    request.key = fx.key;
+    request.seed_from_id = true;
+    return request;
+  };
+
+  // Synchronous reference for the insert slots.
+  std::vector<QuantizedModel> reference_models(kTotal, *fx.f.quantized);
+  std::vector<WatermarkEngine::InsertRequest> reference_requests;
+  for (size_t slot = 0; slot < kTotal; ++slot) {
+    if (slot % 3 == 0) {
+      reference_requests.push_back(make_insert(slot, &reference_models[slot]));
+    }
+  }
+  const WatermarkEngine reference_engine(config);
+  const auto reference = reference_engine.insert_batch(reference_requests);
+
+  WatermarkEngine engine(config);
+  std::vector<QuantizedModel> async_models(kTotal, *fx.f.quantized);
+  std::vector<std::shared_future<WatermarkEngine::InsertResult>> inserts(kTotal);
+  std::vector<std::shared_future<WatermarkEngine::ExtractResult>> extracts(kTotal);
+  std::vector<std::shared_future<WatermarkEngine::TraceBatchResult>> traces(kTotal);
+
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const size_t slot = t * kPerThread + i;
+        if (slot % 3 == 0) {
+          inserts[slot] =
+              engine.submit(make_insert(slot, &async_models[slot])).share();
+        } else if (slot % 3 == 1) {
+          WatermarkEngine::ExtractRequest request;
+          request.id = "ext-" + std::to_string(slot);
+          request.suspect = &marked;
+          request.original = fx.f.quantized.get();
+          request.record = &record;
+          extracts[slot] = engine.submit(request).share();
+        } else {
+          WatermarkEngine::TraceRequest request;
+          request.id = "trc-" + std::to_string(slot);
+          request.suspect = &device_models[slot % 2];
+          request.original = fx.f.quantized.get();
+          request.set = &set;
+          traces[slot] = engine.submit(request).share();
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  engine.drain();
+  EXPECT_EQ(engine.pending(), 0u);
+
+  size_t reference_cursor = 0;
+  for (size_t slot = 0; slot < kTotal; ++slot) {
+    if (slot % 3 == 0) {
+      ASSERT_EQ(inserts[slot].wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      const auto result = inserts[slot].get();
+      const auto& expected = reference[reference_cursor++];
+      EXPECT_EQ(result.id, expected.id);
+      EXPECT_EQ(result.ok, expected.ok);
+      if (slot % 5 == 0) {
+        EXPECT_FALSE(result.ok);
+        EXPECT_NE(result.error.find("no-such-scheme"), std::string::npos);
+      } else {
+        ASSERT_TRUE(result.ok) << result.error;
+        EXPECT_EQ(result.key.seed, expected.key.seed);
+      }
+      EXPECT_EQ(digest_model_codes(async_models[slot]),
+                digest_model_codes(reference_models[slot]))
+          << "slot " << slot;
+    } else if (slot % 3 == 1) {
+      const auto result = extracts[slot].get();
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_DOUBLE_EQ(result.report.wer_pct(), 100.0);
+    } else {
+      const auto result = traces[slot].get();
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_EQ(result.trace.device_id, slot % 2 == 0 ? "dev-a" : "dev-b");
+    }
+  }
+}
+
+TEST(AsyncEngine, ShutdownWithNonEmptyQueueResolvesEveryFuture) {
+  // One worker + a deep backlog: shutdown() must cancel the queued tail
+  // (ok=false slots), finish the in-flight head, and leave no dangling
+  // futures -- the destructor-safety contract.
+  EngineFixture fx;
+  ThreadPool pool(1);
+  ThreadPool::ScopedOverride over(pool);
+
+  EngineConfig config;
+  config.max_workers = 1;
+  WatermarkEngine engine(config);
+
+  constexpr size_t kBacklog = 12;
+  std::vector<QuantizedModel> models(kBacklog, *fx.f.quantized);
+  auto requests = fx.make_requests(models);
+  std::vector<std::future<WatermarkEngine::InsertResult>> futures;
+  for (auto& request : requests) futures.push_back(engine.submit(request));
+  engine.shutdown();
+
+  size_t completed = 0;
+  size_t cancelled = 0;
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    const auto slot = future.get();
+    if (slot.ok) {
+      ++completed;
+    } else {
+      ++cancelled;
+      EXPECT_NE(slot.error.find("shut down"), std::string::npos) << slot.error;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, kBacklog);
+  EXPECT_EQ(engine.pending(), 0u);
+
+  // Post-shutdown submissions are rejected immediately, not queued.
+  auto rejected = engine.submit(requests[0]);
+  const auto slot = rejected.get();
+  EXPECT_FALSE(slot.ok);
+  EXPECT_NE(slot.error.find("shut down"), std::string::npos);
+}
+
+TEST(AsyncEngine, BoundedQueueBackpressureStillCompletesEverything) {
+  EngineFixture fx;
+  EngineConfig config;
+  config.max_queue = 2;  // deep workloads must squeeze through a tiny queue
+  WatermarkEngine engine(config);
+
+  constexpr size_t kRequests = 10;
+  std::vector<QuantizedModel> models(kRequests, *fx.f.quantized);
+  auto requests = fx.make_requests(models);
+  std::vector<std::future<WatermarkEngine::InsertResult>> futures;
+  for (auto& request : requests) futures.push_back(engine.submit(request));
+  for (auto& future : futures) {
+    const auto slot = future.get();
+    EXPECT_TRUE(slot.ok) << slot.error;
+  }
+  engine.drain();
 }
 
 TEST(Engine, ZooBatchExtractionBitIdenticalAtPoolSizes1AndN) {

@@ -17,9 +17,9 @@ struct EvidenceFixture {
   EvidenceFixture() : f() {
     key.bits_per_layer = 10;
     watermarked = std::make_unique<QuantizedModel>(*f.quantized);
-    record = EmMark::insert(*watermarked, f.stats, key);
-    evidence = OwnershipEvidence::create("acme-corp", record, *f.quantized,
-                                         f.stats, 1770000000);
+    record = testfx::em_insert(*watermarked, f.stats, key);
+    evidence = OwnershipEvidence::create("acme-corp", EmMarkScheme::wrap(record),
+                                         *f.quantized, f.stats, 1770000000);
   }
   WmFixture f;
   WatermarkKey key;

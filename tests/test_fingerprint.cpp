@@ -20,7 +20,8 @@ struct FleetFixture {
   FleetFixture() : f() {
     WatermarkKey base;
     base.bits_per_layer = 10;
-    set = Fingerprinter::enroll(*f.quantized, f.stats, base, kFleet, models);
+    set = Fingerprinter::enroll("emmark", *f.quantized, f.stats, base, kFleet,
+                                models);
   }
   WmFixture f;
   FingerprintSet set;
@@ -96,7 +97,8 @@ TEST(Fingerprint, EnrollRejectsEmptyFleet) {
   WmFixture f;
   std::vector<QuantizedModel> models;
   WatermarkKey base;
-  EXPECT_THROW(Fingerprinter::enroll(*f.quantized, f.stats, base, {}, models),
+  EXPECT_THROW(Fingerprinter::enroll("emmark", *f.quantized, f.stats, base, {},
+                                     models),
                std::invalid_argument);
 }
 

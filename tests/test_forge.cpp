@@ -14,7 +14,7 @@ struct ForgeFixture {
   ForgeFixture() : f() {
     owner_key.seed = 100;
     watermarked = std::make_unique<QuantizedModel>(*f.quantized);
-    owner_record = EmMark::insert(*watermarked, f.stats, owner_key);
+    owner_record = testfx::em_insert(*watermarked, f.stats, owner_key);
   }
   WmFixture f;
   WatermarkKey owner_key;
@@ -135,7 +135,7 @@ TEST(Forge, CounterfeitBitsDoNotMatchByChance) {
   WatermarkKey guess = fx.owner_key;
   guess.signature_seed = 31415926;  // wrong bits, right locations
   const ExtractionReport report =
-      EmMark::extract(*fx.watermarked, *fx.f.quantized, fx.f.stats, guess);
+      testfx::em_extract(*fx.watermarked, *fx.f.quantized, fx.f.stats, guess);
   // Locations match (same seed/stats) but roughly half the bits disagree.
   EXPECT_LT(report.wer_pct(), 75.0);
   EXPECT_GT(report.wer_pct(), 25.0);

@@ -11,6 +11,7 @@
 #include "wm/emmark.h"
 #include "wm/randomwm.h"
 #include "wm/specmark.h"
+#include "wm_fixture.h"
 
 namespace emmark {
 namespace {
@@ -108,7 +109,7 @@ TEST_F(IntegrationTest, EmMarkFidelityOnTrainedModel) {
   WatermarkKey key;
   key.bits_per_layer = 8;
   QuantizedModel watermarked = *quantized_;
-  EmMark::insert(watermarked, *stats_, key);
+  testfx::em_insert(watermarked, *stats_, key);
 
   const double wm_ppl = quantized_ppl(watermarked);
   const double wm_acc = quantized_acc(watermarked);
@@ -116,7 +117,7 @@ TEST_F(IntegrationTest, EmMarkFidelityOnTrainedModel) {
   EXPECT_NEAR(wm_acc, base_acc, 5.0);
 
   const ExtractionReport report =
-      EmMark::extract(watermarked, *quantized_, *stats_, key);
+      testfx::em_extract(watermarked, *quantized_, *stats_, key);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 100.0);
   EXPECT_LT(report.strength_log10(), -4.0);  // strong ownership proof
 }
@@ -133,10 +134,10 @@ TEST_F(IntegrationTest, RandomWmPerturbsWeightsMoreThanEmMark) {
   WatermarkKey key;
   key.bits_per_layer = 24;
   key.candidate_ratio = 10;
-  const WatermarkRecord em_record = EmMark::insert(em, *stats_, key);
+  const WatermarkRecord em_record = testfx::em_insert(em, *stats_, key);
 
   QuantizedModel rnd = *quantized_;
-  const WatermarkRecord rnd_record = RandomWM::insert(rnd, 5, 24);
+  const WatermarkRecord rnd_record = testfx::rnd_insert(rnd, 5, 24);
 
   auto mean_relative_perturbation = [&](const WatermarkRecord& record) {
     double total = 0.0;
@@ -164,8 +165,8 @@ TEST_F(IntegrationTest, RandomWmPerturbsWeightsMoreThanEmMark) {
 
 TEST_F(IntegrationTest, SpecMarkFailsEndToEnd) {
   QuantizedModel spec = *quantized_;
-  const SpecMarkRecord record = SpecMark::insert(spec, 3, 8, 0.05);
-  const SpecMarkReport report = SpecMark::extract(spec, *quantized_, record);
+  const SpecMarkRecord record = specmark_insert(spec, 3, 8, 0.05);
+  const SpecMarkReport report = specmark_extract(spec, *quantized_, record);
   EXPECT_DOUBLE_EQ(report.wer_pct(), 0.0);
   // And the model is untouched (identical codes), matching Table 1's
   // unchanged PPL for SpecMark.
@@ -184,7 +185,7 @@ TEST_F(IntegrationTest, OverwriteAttackTradeoff) {
   WatermarkKey key;
   key.bits_per_layer = 8;
   QuantizedModel watermarked = *quantized_;
-  const WatermarkRecord record = EmMark::insert(watermarked, *stats_, key);
+  const WatermarkRecord record = testfx::em_insert(watermarked, *stats_, key);
   const double base_ppl = quantized_ppl(watermarked);
 
   QuantizedModel attacked = watermarked;
@@ -194,7 +195,7 @@ TEST_F(IntegrationTest, OverwriteAttackTradeoff) {
 
   const double attacked_ppl = quantized_ppl(attacked);
   const ExtractionReport report =
-      EmMark::extract_with_record(attacked, *quantized_, record);
+      extract_recorded_bits(attacked, *quantized_, record);
   EXPECT_GT(attacked_ppl, base_ppl * 1.25);  // model badly damaged
   EXPECT_GT(report.wer_pct(), 55.0);         // majority of bits intact
   EXPECT_LT(report.strength_log10(), -2.0);  // still a significant proof
@@ -205,14 +206,14 @@ TEST_F(IntegrationTest, IntegrityCleanModelsShowNoWatermark) {
   WatermarkKey key;
   key.bits_per_layer = 8;
   const ExtractionReport self =
-      EmMark::extract(*quantized_, *quantized_, *stats_, key);
+      testfx::em_extract(*quantized_, *quantized_, *stats_, key);
   EXPECT_EQ(self.matched_bits, 0);
 
   // GPTQ-quantized variant of the same FP model: different grids, no
   // watermark -> low WER.
   const QuantizedModel gptq_model(*model_, *stats_, QuantMethod::kGptqInt4);
   const ExtractionReport cross =
-      EmMark::extract(gptq_model, *quantized_, *stats_, key);
+      testfx::em_extract(gptq_model, *quantized_, *stats_, key);
   EXPECT_LT(cross.wer_pct(), 50.0);
 }
 

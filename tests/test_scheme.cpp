@@ -65,28 +65,27 @@ TEST(Registry, OneLineRegistrationAndDuplicateRejection) {
   EXPECT_EQ(WatermarkRegistry::create(name)->name(), "emmark");
 }
 
-TEST(Scheme, LegacyStaticsMatchSchemePort) {
-  // The static EmMark entry points are thin wrappers over the scheme port:
-  // both paths must produce identical placements and identical codes.
+TEST(Scheme, ExtractDerivedMatchesRetainedRecord) {
+  // Two owner verification paths exist: extract() with the record retained
+  // at insertion time, and extract_derived() re-deriving everything from
+  // (original, stats, key). They must agree bit for bit -- otherwise an
+  // owner who only kept the key would prove a different claim than one who
+  // filed the record.
   WmFixture f;
   WatermarkKey key;
   key.bits_per_layer = 9;
 
-  QuantizedModel via_static = *f.quantized;
-  QuantizedModel via_scheme = *f.quantized;
-  const WatermarkRecord record_static = EmMark::insert(via_static, f.stats, key);
-  const SchemeRecord record_scheme =
-      EmMarkScheme().insert(via_scheme, f.stats, key);
+  for (const std::string& name : WatermarkRegistry::instance().names()) {
+    const auto scheme = WatermarkRegistry::create(name);
+    QuantizedModel watermarked = *f.quantized;
+    const SchemeRecord record = scheme->insert(watermarked, f.stats, key);
 
-  const WatermarkRecord& unwrapped = record_scheme.as<WatermarkRecord>();
-  ASSERT_EQ(unwrapped.layers.size(), record_static.layers.size());
-  for (size_t i = 0; i < unwrapped.layers.size(); ++i) {
-    EXPECT_EQ(unwrapped.layers[i].locations, record_static.layers[i].locations);
-    EXPECT_EQ(unwrapped.layers[i].bits, record_static.layers[i].bits);
-  }
-  for (int64_t i = 0; i < via_static.num_layers(); ++i) {
-    EXPECT_EQ(via_static.layer(i).weights.codes(),
-              via_scheme.layer(i).weights.codes());
+    const ExtractionReport with_record =
+        scheme->extract(watermarked, *f.quantized, record);
+    const ExtractionReport with_key =
+        scheme->extract_derived(watermarked, *f.quantized, f.stats, key);
+    EXPECT_EQ(with_record.matched_bits, with_key.matched_bits) << name;
+    EXPECT_EQ(with_record.total_bits, with_key.total_bits) << name;
   }
 }
 
@@ -187,13 +186,13 @@ TEST(SchemeRecord, EmptyRecordGuards) {
 TEST(Scheme, SpecMarkDeriveDoesNotTouchTheModel) {
   WmFixture f;
   QuantizedModel model = *f.quantized;
-  const SpecMarkRecord record = SpecMark::derive(model, 3, 12);
+  const SpecMarkRecord record = specmark_derive(model, 3, 12);
   for (int64_t i = 0; i < model.num_layers(); ++i) {
     EXPECT_EQ(model.layer(i).weights.codes(), f.quantized->layer(i).weights.codes());
   }
   // Derivation matches what insert() records for the same parameters.
   QuantizedModel watermarked = *f.quantized;
-  const SpecMarkRecord inserted = SpecMark::insert(watermarked, 3, 12);
+  const SpecMarkRecord inserted = specmark_insert(watermarked, 3, 12);
   ASSERT_EQ(record.layers.size(), inserted.layers.size());
   for (size_t i = 0; i < record.layers.size(); ++i) {
     EXPECT_EQ(record.layers[i].coefficients, inserted.layers[i].coefficients);

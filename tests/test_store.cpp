@@ -1,0 +1,153 @@
+// ModelStore: spec-keyed handle cache with LRU eviction, copy-on-write
+// checkouts, build dedup, and observability counters.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "model_zoo/store.h"
+#include "wm/evidence.h"
+
+namespace emmark {
+namespace {
+
+/// Shared throwaway disk cache: the first build trains (capped), later
+/// builds in any test reload the checkpoint, keeping the file fast.
+class StoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cache_dir_ = (std::filesystem::temp_directory_path() / "emmark_store_test").string();
+    std::filesystem::remove_all(cache_dir_);
+  }
+  static void TearDownTestSuite() { std::filesystem::remove_all(cache_dir_); }
+
+  static ModelSpec spec(const std::string& model = "opt-125m-sim",
+                        QuantMethod method = QuantMethod::kAwqInt4) {
+    ModelSpec s;
+    s.model = model;
+    s.method = method;
+    s.train_steps_cap = 25;
+    return s;
+  }
+
+  static ModelStore make_store(size_t capacity = 4) {
+    ModelStoreConfig config;
+    config.cache_dir = cache_dir_;
+    config.capacity = capacity;
+    return ModelStore(config);
+  }
+
+  static std::string cache_dir_;
+};
+
+std::string StoreTest::cache_dir_;
+
+TEST_F(StoreTest, SpecKeyEncodesModelMethodAndCap) {
+  EXPECT_EQ(spec().key(), "opt-125m-sim|awq-int4|cap25");
+  ModelSpec full = spec();
+  full.train_steps_cap = 0;
+  EXPECT_EQ(full.key(), "opt-125m-sim|awq-int4");
+  EXPECT_NE(spec("opt-125m-sim", QuantMethod::kRtnInt4).key(), spec().key());
+}
+
+TEST_F(StoreTest, HitMissAndBuildCounters) {
+  ModelStore store = make_store();
+  const ModelHandle first = store.get(spec());
+  ASSERT_TRUE(first);
+  EXPECT_NE(first.stats, nullptr);
+
+  const ModelHandle second = store.get(spec());
+  EXPECT_EQ(second.original.get(), first.original.get());  // shared, not rebuilt
+
+  auto checked_out = store.checkout(spec());
+  ASSERT_NE(checked_out, nullptr);
+
+  const ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.hits, 2u);  // second get + checkout
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident, 1u);
+}
+
+TEST_F(StoreTest, CheckoutIsCopyOnWrite) {
+  ModelStore store = make_store();
+  const ModelHandle handle = store.get(spec());
+  const uint64_t pristine = digest_model_codes(*handle.original);
+
+  auto working = store.checkout(spec());
+  auto& weights = working->layer(0).weights;
+  const int8_t code = weights.code_flat(0);
+  weights.set_code_flat(0, static_cast<int8_t>(code == 0 ? 1 : 0));
+
+  // The cached original (and every other handle) is untouched.
+  EXPECT_EQ(digest_model_codes(*handle.original), pristine);
+  EXPECT_EQ(digest_model_codes(*store.get(spec()).original), pristine);
+  EXPECT_NE(digest_model_codes(*working), pristine);
+}
+
+TEST_F(StoreTest, LruEvictionKeepsTheHotEntryAndHandlesStayValid) {
+  ModelStore store = make_store(/*capacity=*/1);
+  const ModelHandle a = store.get(spec("opt-125m-sim"));
+  const ModelHandle b = store.get(spec("opt-1.3b-sim"));  // evicts a
+
+  ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident, 1u);
+  // The evicted handle is a reference-counted snapshot; it outlives the
+  // store entry.
+  EXPECT_GT(a.original->num_layers(), 0);
+
+  // Re-requesting the evicted spec is a fresh miss (rebuilt from the disk
+  // checkpoint, so cheap -- but a distinct in-memory build).
+  const ModelHandle a2 = store.get(spec("opt-125m-sim"));
+  EXPECT_NE(a2.original.get(), a.original.get());
+  stats = store.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.builds, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  (void)b;
+}
+
+TEST_F(StoreTest, UnknownModelThrowsWithoutOccupyingASlot) {
+  ModelStore store = make_store();
+  ModelSpec bogus = spec();
+  bogus.model = "not-a-zoo-model";
+  EXPECT_THROW((void)store.get(bogus), std::out_of_range);
+  const ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.resident, 0u);
+}
+
+TEST_F(StoreTest, ConcurrentSameSpecGetsBuildOnce) {
+  ModelStore store = make_store();
+  constexpr size_t kThreads = 6;
+  std::vector<ModelHandle> handles(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] { handles[i] = store.get(spec()); });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (size_t i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(handles[i].original.get(), handles[0].original.get());
+  }
+  const ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+}
+
+TEST_F(StoreTest, ClearDropsResidencyButNotOutstandingHandles) {
+  ModelStore store = make_store();
+  const ModelHandle handle = store.get(spec());
+  store.clear();
+  EXPECT_EQ(store.stats().resident, 0u);
+  EXPECT_GT(handle.original->num_layers(), 0);
+  // Next get is a rebuild.
+  (void)store.get(spec());
+  EXPECT_EQ(store.stats().builds, 2u);
+}
+
+}  // namespace
+}  // namespace emmark

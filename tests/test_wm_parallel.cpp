@@ -7,6 +7,7 @@
 // tests pin derive/insert/extract to be bit-identical across pool sizes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/threadpool.h"
@@ -40,12 +41,12 @@ TEST(WmParallel, DeriveIdenticalAcrossThreadCounts) {
   std::vector<LayerWatermark> with_one;
   {
     ThreadPool::ScopedOverride over(serial);
-    with_one = EmMark::derive(*f.quantized, f.stats, key);
+    with_one = testfx::em_derive(*f.quantized, f.stats, key);
   }
   std::vector<LayerWatermark> with_eight;
   {
     ThreadPool::ScopedOverride over(pooled);
-    with_eight = EmMark::derive(*f.quantized, f.stats, key);
+    with_eight = testfx::em_derive(*f.quantized, f.stats, key);
   }
   expect_same_layers(with_one, with_eight);
 }
@@ -62,8 +63,8 @@ TEST(WmParallel, InsertAndExtractIdenticalAcrossThreadCounts) {
   ExtractionReport report_one;
   {
     ThreadPool::ScopedOverride over(serial);
-    record_one = EmMark::insert(marked_one, f.stats, key);
-    report_one = EmMark::extract(marked_one, *f.quantized, f.stats, key);
+    record_one = testfx::em_insert(marked_one, f.stats, key);
+    report_one = testfx::em_extract(marked_one, *f.quantized, f.stats, key);
   }
 
   QuantizedModel marked_eight = *f.quantized;
@@ -71,8 +72,8 @@ TEST(WmParallel, InsertAndExtractIdenticalAcrossThreadCounts) {
   ExtractionReport report_eight;
   {
     ThreadPool::ScopedOverride over(pooled);
-    record_eight = EmMark::insert(marked_eight, f.stats, key);
-    report_eight = EmMark::extract(marked_eight, *f.quantized, f.stats, key);
+    record_eight = testfx::em_insert(marked_eight, f.stats, key);
+    report_eight = testfx::em_extract(marked_eight, *f.quantized, f.stats, key);
   }
 
   expect_same_layers(record_one.layers, record_eight.layers);
@@ -105,12 +106,12 @@ TEST(WmParallel, CrossThreadCountExtraction) {
   QuantizedModel marked = *f.quantized;
   {
     ThreadPool::ScopedOverride over(pooled);
-    EmMark::insert(marked, f.stats, key);
+    testfx::em_insert(marked, f.stats, key);
   }
   ExtractionReport report;
   {
     ThreadPool::ScopedOverride over(serial);
-    report = EmMark::extract(marked, *f.quantized, f.stats, key);
+    report = testfx::em_extract(marked, *f.quantized, f.stats, key);
   }
   EXPECT_EQ(report.matched_bits, report.total_bits);
   EXPECT_EQ(report.total_bits, key.bits_per_layer * f.quantized->num_layers());
@@ -129,13 +130,13 @@ TEST(WmParallel, BaselinesIdenticalAcrossThreadCounts) {
   SpecMarkRecord spec_record_one, spec_record_eight;
   {
     ThreadPool::ScopedOverride over(serial);
-    rnd_record_one = RandomWM::insert(rnd_one, 9, 6, 1234);
-    spec_record_one = SpecMark::insert(spec_one, 9, 6);
+    rnd_record_one = testfx::rnd_insert(rnd_one, 9, 6, 1234);
+    spec_record_one = specmark_insert(spec_one, 9, 6);
   }
   {
     ThreadPool::ScopedOverride over(pooled);
-    rnd_record_eight = RandomWM::insert(rnd_eight, 9, 6, 1234);
-    spec_record_eight = SpecMark::insert(spec_eight, 9, 6);
+    rnd_record_eight = testfx::rnd_insert(rnd_eight, 9, 6, 1234);
+    spec_record_eight = specmark_insert(spec_eight, 9, 6);
   }
 
   expect_same_layers(rnd_record_one.layers, rnd_record_eight.layers);
@@ -155,6 +156,81 @@ TEST(WmParallel, BaselinesIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(WmParallel, SpecMarkChunkParallelismIsBitIdentical) {
+  // The WmFixture layers fit in a single DCT chunk, so chunk-level
+  // parallelism never kicks in there. This fixture's FFN projections span
+  // multiple chunks (64 x 256 = 16384 codes = 8 chunks of 2048), and a
+  // single transformer block keeps layer-level parallelism from masking a
+  // chunk-scheduling bug. The multi-step epsilon makes the insertion
+  // actually change codes (a sub-step epsilon rounds away and would pin
+  // nothing).
+  ModelConfig config;
+  config.family = ArchFamily::kOptStyle;
+  config.vocab_size = synth_vocab().size();
+  config.d_model = 64;
+  config.n_layers = 1;
+  config.n_heads = 2;
+  config.ffn_hidden = 256;
+  config.max_seq = 16;
+  config.init_seed = 5;
+  TransformerLM fp_model(config);
+
+  CorpusConfig cc;
+  cc.train_tokens = 4000;
+  cc.seed = 5;
+  const Corpus corpus = make_corpus(synth_vocab(), cc);
+  CalibConfig calib;
+  calib.batches = 2;
+  calib.seq_len = 12;
+  const ActivationStats stats =
+      collect_activation_stats(fp_model, corpus.train, calib);
+  const QuantizedModel quantized(fp_model, stats, QuantMethod::kAwqInt4);
+
+  int64_t largest = 0;
+  for (int64_t i = 0; i < quantized.num_layers(); ++i) {
+    largest = std::max(largest, quantized.layer(i).weights.numel());
+  }
+  ASSERT_GT(largest, kSpecMarkChunkSize) << "fixture must span multiple chunks";
+
+  ThreadPool serial(1);
+  ThreadPool pooled(8);
+
+  QuantizedModel marked_one = quantized;
+  QuantizedModel marked_eight = quantized;
+  SpecMarkRecord record_one, record_eight;
+  SpecMarkReport report_one, report_eight;
+  {
+    ThreadPool::ScopedOverride over(serial);
+    record_one = specmark_insert(marked_one, 7, 16, /*epsilon=*/40.0);
+    report_one = specmark_extract(marked_one, quantized, record_one);
+  }
+  {
+    ThreadPool::ScopedOverride over(pooled);
+    record_eight = specmark_insert(marked_eight, 7, 16, /*epsilon=*/40.0);
+    report_eight = specmark_extract(marked_eight, quantized, record_eight);
+  }
+
+  ASSERT_EQ(record_one.layers.size(), record_eight.layers.size());
+  for (size_t i = 0; i < record_one.layers.size(); ++i) {
+    EXPECT_EQ(record_one.layers[i].coefficients,
+              record_eight.layers[i].coefficients);
+    EXPECT_EQ(record_one.layers[i].bits, record_eight.layers[i].bits);
+  }
+  EXPECT_EQ(report_one.matched_bits, report_eight.matched_bits);
+  EXPECT_EQ(report_one.total_bits, report_eight.total_bits);
+  // A multi-step epsilon must actually survive and perturb codes.
+  EXPECT_GT(report_one.wer_pct(), 50.0);
+  for (int64_t i = 0; i < marked_one.num_layers(); ++i) {
+    const auto& w1 = marked_one.layer(i).weights;
+    const auto& w8 = marked_eight.layer(i).weights;
+    ASSERT_EQ(w1.numel(), w8.numel());
+    for (int64_t flat = 0; flat < w1.numel(); ++flat) {
+      ASSERT_EQ(w1.code_flat(flat), w8.code_flat(flat))
+          << "layer " << i << " flat " << flat;
+    }
+  }
+}
+
 TEST(WmParallel, DeriveErrorsAreDeterministicUnderPooling) {
   WmFixture f;
   WatermarkKey key;
@@ -162,16 +238,16 @@ TEST(WmParallel, DeriveErrorsAreDeterministicUnderPooling) {
 
   ThreadPool pooled(8);
   ThreadPool::ScopedOverride over(pooled);
-  EXPECT_THROW(EmMark::derive(*f.quantized, f.stats, key), std::runtime_error);
+  EXPECT_THROW(testfx::em_derive(*f.quantized, f.stats, key), std::runtime_error);
 }
 
 TEST(WmParallel, OversizedRecordIsRejectedNotOutOfBounds) {
   WmFixture f;
   WatermarkRecord record;
   record.key = WatermarkKey{};
-  record.layers = EmMark::derive(*f.quantized, f.stats, record.key);
+  record.layers = testfx::em_derive(*f.quantized, f.stats, record.key);
   record.layers.push_back(record.layers.back());  // one layer too many
-  EXPECT_THROW(EmMark::extract_with_record(*f.quantized, *f.quantized, record),
+  EXPECT_THROW(extract_recorded_bits(*f.quantized, *f.quantized, record),
                std::invalid_argument);
 }
 
@@ -179,17 +255,17 @@ TEST(WmParallel, TamperedRecordIndicesAreRejectedNotOutOfBounds) {
   WmFixture f;
   WatermarkRecord record;
   record.key = WatermarkKey{};
-  record.layers = EmMark::derive(*f.quantized, f.stats, record.key);
+  record.layers = testfx::em_derive(*f.quantized, f.stats, record.key);
 
   WatermarkRecord oob = record;
   oob.layers[0].locations[0] = f.quantized->layer(0).weights.numel();  // past end
-  EXPECT_THROW(EmMark::extract_with_record(*f.quantized, *f.quantized, oob),
+  EXPECT_THROW(extract_recorded_bits(*f.quantized, *f.quantized, oob),
                std::invalid_argument);
 
   WatermarkRecord short_bits = record;
   short_bits.layers[0].bits.pop_back();
   EXPECT_THROW(
-      EmMark::extract_with_record(*f.quantized, *f.quantized, short_bits),
+      extract_recorded_bits(*f.quantized, *f.quantized, short_bits),
       std::invalid_argument);
 }
 

@@ -17,8 +17,46 @@
 
 #include "data/corpus.h"
 #include "quant/qmodel.h"
+#include "wm/emmark.h"
+#include "wm/randomwm.h"
 
 namespace emmark::testfx {
+
+// --- scheme-API sugar --------------------------------------------------------
+//
+// Tests that assert on native record internals (placements, per-layer bits)
+// go through the registry schemes like production code does, then unwrap
+// the payload. These helpers keep that two-step pattern one call long.
+
+inline WatermarkRecord em_insert(QuantizedModel& model, const ActivationStats& stats,
+                                 const WatermarkKey& key) {
+  return EmMarkScheme().insert(model, stats, key).as<WatermarkRecord>();
+}
+
+inline std::vector<LayerWatermark> em_derive(const QuantizedModel& original,
+                                             const ActivationStats& stats,
+                                             const WatermarkKey& key) {
+  return EmMarkScheme().derive(original, stats, key).as<WatermarkRecord>().layers;
+}
+
+inline ExtractionReport em_extract(const QuantizedModel& suspect,
+                                   const QuantizedModel& original,
+                                   const ActivationStats& stats,
+                                   const WatermarkKey& key) {
+  return EmMarkScheme().extract_derived(suspect, original, stats, key);
+}
+
+/// RandomWM's full key surface is (seed, bits, signature_seed); stats are
+/// ignored by the scheme (no scoring).
+inline WatermarkRecord rnd_insert(QuantizedModel& model, uint64_t seed,
+                                  int64_t bits_per_layer,
+                                  uint64_t signature_seed = 424242) {
+  WatermarkKey key;
+  key.seed = seed;
+  key.bits_per_layer = bits_per_layer;
+  key.signature_seed = signature_seed;
+  return RandomWMScheme().insert(model, ActivationStats{}, key).as<WatermarkRecord>();
+}
 
 struct WmFixture {
   std::unique_ptr<TransformerLM> fp_model;
