@@ -7,12 +7,18 @@
 // between the sync and async paths are asserted on every run -- a speedup
 // that changed a placement would be worthless.
 //
+// A third phase times the socket serving path end to end: an in-process
+// SocketServer (2 shards) on an ephemeral loopback port, driven by the
+// LineClient helper with a pipelined insert workload -- so the measured
+// cost includes the poll loop, line framing, and per-connection ordering,
+// not just the engine.
+//
 // Prints a table plus one machine-readable JSON line (like
 // bench_parallel_wm; the repo's perf trajectory is tracked from these).
 //
 // Usage: bench_engine_throughput [--requests N] [--repeats N] [--smoke]
-//   --smoke: small fixed workload for CI (the Release lane runs this so the
-//   daemon serving path cannot silently rot).
+//   --smoke: small fixed workload for CI (the Release lane runs this so
+//   the daemon AND socket serving paths cannot silently rot).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -22,9 +28,12 @@
 #include <thread>
 #include <vector>
 
+#include "cli/router.h"
 #include "data/corpus.h"
 #include "eval/report.h"
 #include "model_zoo/store.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "quant/calib.h"
 #include "quant/qmodel.h"
 #include "util/argparse.h"
@@ -250,6 +259,66 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.misses),
               static_cast<unsigned long long>(stats.builds));
 
+  // --- socket serving path --------------------------------------------------
+  std::printf("\n-- socket path: emmark_cli serve loopback round-trip --\n");
+  const size_t serve_requests = smoke ? 6 : requests_n;
+  double serve_warm_ms = 0;
+  double serve_ms = 0;
+  {
+    const std::string serve_cache =
+        (std::filesystem::temp_directory_path() / "emmark_bench_serve_cache").string();
+    std::filesystem::remove_all(serve_cache);
+    RouterConfig rc;
+    rc.cache_dir = serve_cache;
+    rc.train_steps_cap = 25;
+    rc.shards = 2;
+    RequestRouter router(rc);
+    SocketServer server(router, {});
+    std::thread loop([&] { server.run(); });
+
+    // Any exit path must stop and join the loop thread first: unwinding
+    // past a joinable std::thread calls std::terminate, which would turn
+    // a reportable failure into a bare abort in CI.
+    bool serve_failed = false;
+    try {
+      LineClient client("127.0.0.1", server.port());
+      {
+        // Warm request: pays the one model build of the session.
+        Timer t;
+        (void)client.roundtrip({"insert id=warm model=opt-125m-sim quant=int4"}, 1);
+        serve_warm_ms = t.milliseconds();
+      }
+      std::vector<std::string> script;
+      for (size_t i = 0; i < serve_requests; ++i) {
+        script.push_back("insert id=req-" + std::to_string(i) +
+                         " model=opt-125m-sim quant=int4 seed-from-id=1");
+      }
+      Timer t;
+      const auto responses = client.roundtrip(script, script.size());
+      serve_ms = t.milliseconds();
+      for (const std::string& line : responses) {
+        if (line.find("\"ok\":true") == std::string::npos) {
+          std::fprintf(stderr, "FATAL: socket request failed: %s\n", line.c_str());
+          serve_failed = true;
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FATAL: socket phase: %s\n", e.what());
+      serve_failed = true;
+    }
+    server.request_stop();
+    loop.join();
+    std::filesystem::remove_all(serve_cache);
+    if (serve_failed) return 1;
+  }
+  TablePrinter serve_table({"socket op", "ms"});
+  serve_table.add_row({"first request (cold build)", TablePrinter::fmt(serve_warm_ms, 1)});
+  serve_table.add_row({std::to_string(serve_requests) + " pipelined inserts (warm)",
+                       TablePrinter::fmt(serve_ms, 2)});
+  serve_table.print();
+  std::printf("socket warm throughput: %.1f requests/sec\n",
+              1e3 * serve_requests / serve_ms);
+
   // Machine-readable summary, one JSON object on its own line.
   std::printf("\nJSON: {\"bench\":\"engine_throughput\",\"requests\":%zu,"
               "\"repeats\":%d,\"smoke\":%s,\"hardware_threads\":%u,\"rows\":[",
@@ -260,7 +329,9 @@ int main(int argc, char** argv) {
                 rows[i].rps);
   }
   std::printf("],\"store\":{\"model\":\"%s\",\"cold_ms\":%.1f,\"warm_ms\":%.3f,"
-              "\"checkout_ms\":%.3f}}\n",
-              spec.model.c_str(), cold_ms, warm_ms, checkout_ms);
+              "\"checkout_ms\":%.3f},\"serve\":{\"requests\":%zu,"
+              "\"cold_ms\":%.1f,\"ms\":%.2f,\"rps\":%.1f}}\n",
+              spec.model.c_str(), cold_ms, warm_ms, checkout_ms, serve_requests,
+              serve_warm_ms, serve_ms, 1e3 * serve_requests / serve_ms);
   return 0;
 }

@@ -5,12 +5,18 @@
 #   scripts/check.sh                 # Release build + tests (the tier-1 line)
 #   scripts/check.sh --warnings      # Debug build with -Wall -Wextra -Werror
 #   scripts/check.sh --sanitize      # ASan + UBSan build, full ctest suite
+#   scripts/check.sh --docs          # docs lane: markdown link check, no build
 #   scripts/check.sh --build-dir DIR # custom build tree (default: build)
 #
 # CI runs exactly this script, so a green local run means a green CI run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Docs lane: fails on broken relative links in the documentation tree.
+if [[ "${1:-}" == "--docs" ]]; then
+  exec python3 scripts/check_links.py README.md ROADMAP.md docs/*.md
+fi
 
 BUILD_DIR=build
 BUILD_TYPE=Release

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in markdown files.
+
+Usage: scripts/check_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link `[text](target)` whose target is a
+relative path (http(s)/mailto/pure-anchor links are skipped) and verifies
+the target exists relative to the linking file's directory. Anchors
+(`path#section`) are stripped before the existence check. Exit code 1
+lists every broken link; 0 means all links resolve.
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def main(paths):
+    broken = []
+    checked = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as err:
+            broken.append(f"{path}: unreadable ({err})")
+            continue
+        base = os.path.dirname(path)
+        for target in LINK.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            checked += 1
+            if not os.path.exists(os.path.join(base, file_part)):
+                broken.append(f"{path}: broken link -> {target}")
+    if broken:
+        print("broken relative links:")
+        for item in broken:
+            print(f"  {item}")
+        return 1
+    print(f"check_links: {checked} relative links across {len(paths)} files, all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))

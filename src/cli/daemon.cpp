@@ -1,475 +1,24 @@
 #include "cli/daemon.h"
 
-#include <chrono>
-#include <cinttypes>
-#include <cstdio>
-#include <ctime>
-#include <deque>
-#include <filesystem>
-#include <functional>
-#include <future>
 #include <istream>
-#include <map>
-#include <memory>
-#include <set>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
-#include <utility>
-#include <vector>
-
-#include "model_zoo/store.h"
-#include "model_zoo/zoo.h"
-#include "wm/engine.h"
-#include "wm/evidence.h"
-#include "wm/fingerprint.h"
-#include "wm/scheme.h"
+#include <string>
 
 namespace emmark {
 
-QuantMethod parse_quant_spec(const std::string& spec, ArchFamily family) {
-  if (spec == "int8") {
-    return family == ArchFamily::kOptStyle ? QuantMethod::kSmoothQuantInt8
-                                           : QuantMethod::kLlmInt8;
-  }
-  if (spec == "int4") return QuantMethod::kAwqInt4;
-  for (QuantMethod method :
-       {QuantMethod::kRtnInt8, QuantMethod::kSmoothQuantInt8, QuantMethod::kLlmInt8,
-        QuantMethod::kRtnInt4, QuantMethod::kAwqInt4, QuantMethod::kGptqInt4}) {
-    if (spec == to_string(method)) return method;
-  }
-  throw std::invalid_argument(
-      "unknown quant spec: " + spec +
-      " (use int4, int8, or an explicit method like awq-int4)");
-}
-
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-/// `key=value` parameters following the command word.
-struct Params {
-  std::map<std::string, std::string> kv;
-
-  bool has(const std::string& key) const { return kv.count(key) > 0; }
-  std::string get(const std::string& key, const std::string& def) const {
-    const auto it = kv.find(key);
-    return it == kv.end() ? def : it->second;
-  }
-  std::string require(const std::string& key) const {
-    const auto it = kv.find(key);
-    if (it == kv.end()) throw std::invalid_argument("missing parameter: " + key);
-    return it->second;
-  }
-  int64_t get_int(const std::string& key, int64_t def) const {
-    const auto it = kv.find(key);
-    if (it == kv.end()) return def;
-    try {
-      return std::stoll(it->second);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("parameter " + key + " expects an integer, got: " +
-                                  it->second);
-    }
-  }
-  double get_double(const std::string& key, double def) const {
-    const auto it = kv.find(key);
-    if (it == kv.end()) return def;
-    try {
-      return std::stod(it->second);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("parameter " + key + " expects a number, got: " +
-                                  it->second);
-    }
-  }
-};
-
-Params parse_params(const std::vector<std::string>& tokens) {
-  Params params;
-  for (size_t i = 1; i < tokens.size(); ++i) {
-    const auto eq = tokens[i].find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument("expected key=value, got: " + tokens[i]);
-    }
-    params.kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
-  }
-  return params;
-}
-
-/// Stable key for read-after-write artifact matching: two spellings of
-/// one path ("dep.codes", "./dep.codes") must collide.
-std::string artifact_key(const std::string& path) {
-  std::error_code ec;
-  const std::filesystem::path canon = std::filesystem::weakly_canonical(path, ec);
-  return ec ? path : canon.string();
-}
-
-std::string error_line(const std::string& id, const std::string& cmd,
-                       const std::string& error) {
-  return "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"" + json_escape(cmd) +
-         "\",\"ok\":false,\"error\":\"" + json_escape(error) + "\"}";
-}
-
-/// One output slot awaiting its turn: results stream strictly in request
-/// order, so a slot is flushed once it is ready and everything before it
-/// has been flushed.
-struct PendingOutput {
-  std::function<bool()> ready;
-  std::function<std::string()> finalize;  // never throws; returns the JSON line
-};
-
-template <typename Result>
-bool future_ready(const std::shared_future<Result>& future) {
-  return future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
-}
-
-WatermarkKey key_from(const Params& params) {
-  WatermarkKey key;
-  key.seed = static_cast<uint64_t>(params.get_int("seed", 100));
-  key.signature_seed =
-      static_cast<uint64_t>(params.get_int("signature-seed", 424242));
-  key.bits_per_layer = params.get_int("bits", 8);
-  key.candidate_ratio = params.get_int("ratio", 10);
-  return key;
-}
-
-}  // namespace
-
 int run_daemon(std::istream& in, std::ostream& out, const DaemonConfig& config) {
-  ModelStore store({config.cache_dir, config.store_capacity});
-  EngineConfig engine_config;
-  engine_config.base_seed = config.base_seed;
-  engine_config.trace_min_wer_pct = config.min_wer_pct;
-  engine_config.max_workers = config.max_workers;
-  WatermarkEngine engine(engine_config);
-
-  uint64_t auto_id = 0;
-  uint64_t submitted = 0;
-  uint64_t completed = 0;
-  uint64_t failed = 0;
-  std::deque<PendingOutput> pending;
-  // Artifact paths that in-flight inserts have promised to write. A later
-  // command reading one of them must not race the write: requests pipeline
-  // freely otherwise, but a read-after-write dependency forces the queue
-  // to settle first (finalizers erase their paths as they flush).
-  std::multiset<std::string> pending_writes;
-
-  auto emit = [&](const std::string& line) { out << line << "\n" << std::flush; };
-
-  /// Flushes front-of-queue slots; blocking mode waits for every slot.
-  auto flush_pending = [&](bool block) {
-    while (!pending.empty()) {
-      if (!block && !pending.front().ready()) break;
-      PendingOutput slot = std::move(pending.front());
-      pending.pop_front();
-      emit(slot.finalize());
-    }
+  RequestRouter router(config);
+  auto session = router.open_session();
+  const RequestRouter::LineSink emit = [&](const std::string& line) {
+    out << line << "\n" << std::flush;
   };
 
-  /// Settles the pipeline before `paths` are read, if any of them is
-  /// still owed by a pending insert.
-  auto await_artifacts = [&](std::initializer_list<std::string> paths) {
-    for (const std::string& path : paths) {
-      if (!path.empty() && pending_writes.count(artifact_key(path)) > 0) {
-        flush_pending(/*block=*/true);
-        return;
-      }
-    }
-  };
-
-  auto spec_for = [&](const Params& params) {
-    ModelSpec spec;
-    spec.model = params.get("model", "opt-125m-sim");
-    spec.method =
-        parse_quant_spec(params.get("quant", "int4"), zoo_entry(spec.model).family);
-    spec.train_steps_cap = config.train_steps_cap;
-    return spec;
-  };
-
-  bool quit = false;
   std::string line;
-  while (!quit && std::getline(in, line)) {
-    // Tokenize; skip blanks and comment lines.
-    std::vector<std::string> tokens;
-    {
-      std::istringstream split(line);
-      std::string token;
-      while (split >> token) tokens.push_back(token);
-    }
-    if (tokens.empty() || tokens[0][0] == '#') continue;
-    const std::string cmd = tokens[0];
-    if (config.echo) std::fprintf(stderr, "[daemon] %s\n", line.c_str());
-
-    std::string id;
-    try {
-      const Params params = parse_params(tokens);
-      id = params.get("id", "req-" + std::to_string(++auto_id));
-
-      if (cmd == "quit") {
-        quit = true;
-      } else if (cmd == "stats") {
-        // Settle in-flight work first so the counters are stable (and so a
-        // session transcript reads: requests, then their true cost).
-        flush_pending(/*block=*/true);
-        engine.drain();
-        const ModelStore::Stats s = store.stats();
-        std::ostringstream json;
-        json << "{\"id\":\"" << json_escape(id) << "\",\"cmd\":\"stats\",\"ok\":true"
-             << ",\"store\":{\"hits\":" << s.hits << ",\"misses\":" << s.misses
-             << ",\"builds\":" << s.builds << ",\"evictions\":" << s.evictions
-             << ",\"resident\":" << s.resident
-             << ",\"capacity\":" << store.config().capacity << "}"
-             << ",\"engine\":{\"submitted\":" << submitted
-             << ",\"completed\":" << completed << ",\"failed\":" << failed
-             << ",\"pending\":" << engine.pending() << "}}";
-        emit(json.str());
-      } else if (cmd == "insert") {
-        struct InsertCtx {
-          ModelHandle handle;
-          std::unique_ptr<QuantizedModel> model;
-          std::string codes_path, record_path, evidence_path, owner;
-        };
-        auto ctx = std::make_shared<InsertCtx>();
-        ctx->handle = store.get(spec_for(params));
-        ctx->codes_path = params.get("codes", "");
-        ctx->record_path = params.get("record", "");
-        ctx->evidence_path = params.get("evidence", "");
-        ctx->owner = params.get("owner", "owner");
-
-        WatermarkEngine::InsertRequest request;
-        request.id = id;
-        request.scheme = params.get("scheme", "emmark");
-        // The deep copy of the cached original happens on the engine
-        // worker (model_factory), so intake stays at parse speed and
-        // back-to-back inserts pipeline instead of serializing on copies.
-        request.model_factory = [ctx] {
-          ctx->model = std::make_unique<QuantizedModel>(*ctx->handle.original);
-          return ctx->model.get();
-        };
-        request.stats = ctx->handle.stats.get();
-        request.key = key_from(params);
-        request.seed_from_id = params.get_int("seed-from-id", 0) != 0;
-
-        // Every parse step that can throw has run; only now promise the
-        // artifact paths (a malformed line must not leave stale entries
-        // that would serialize the rest of the session).
-        for (const std::string* path :
-             {&ctx->codes_path, &ctx->record_path, &ctx->evidence_path}) {
-          if (!path->empty()) pending_writes.insert(artifact_key(*path));
-        }
-
-        auto future = std::make_shared<std::shared_future<WatermarkEngine::InsertResult>>(
-            engine.submit(std::move(request)).share());
-        ++submitted;
-        pending.push_back(PendingOutput{
-            [future] { return future_ready(*future); },
-            [future, ctx, id, &completed, &failed, &pending_writes]() -> std::string {
-              // Whatever happens below, the promised paths stop being owed
-              // once this slot flushes (written, or never going to be).
-              struct Release {
-                std::multiset<std::string>& owed;
-                const std::shared_ptr<InsertCtx>& ctx;
-                ~Release() {
-                  for (const std::string* path :
-                       {&ctx->codes_path, &ctx->record_path, &ctx->evidence_path}) {
-                    if (path->empty()) continue;
-                    const auto it = owed.find(artifact_key(*path));
-                    if (it != owed.end()) owed.erase(it);
-                  }
-                }
-              } release{pending_writes, ctx};
-              const WatermarkEngine::InsertResult slot = future->get();
-              if (!slot.ok) {
-                ++failed;
-                return error_line(id, "insert", slot.error);
-              }
-              try {
-                std::string artifacts;
-                if (!ctx->codes_path.empty()) {
-                  ctx->model->save_codes(ctx->codes_path);
-                  artifacts += ",\"codes\":\"" + json_escape(ctx->codes_path) + "\"";
-                }
-                if (!ctx->record_path.empty()) {
-                  slot.record.save(ctx->record_path);
-                  artifacts += ",\"record\":\"" + json_escape(ctx->record_path) + "\"";
-                }
-                if (!ctx->evidence_path.empty()) {
-                  OwnershipEvidence::create(
-                      ctx->owner, slot.record, *ctx->handle.original,
-                      *ctx->handle.stats,
-                      static_cast<uint64_t>(std::time(nullptr)))
-                      .save(ctx->evidence_path);
-                  artifacts +=
-                      ",\"evidence\":\"" + json_escape(ctx->evidence_path) + "\"";
-                }
-                const int64_t bits = WatermarkRegistry::create(slot.record.scheme())
-                                         ->total_bits(slot.record);
-                ++completed;
-                return "{\"id\":\"" + json_escape(id) +
-                       "\",\"cmd\":\"insert\",\"ok\":true,\"scheme\":\"" +
-                       json_escape(slot.record.scheme()) +
-                       "\",\"total_bits\":" + std::to_string(bits) +
-                       ",\"seed\":" + std::to_string(slot.key.seed) + artifacts + "}";
-              } catch (const std::exception& e) {
-                ++failed;
-                return error_line(id, "insert", e.what());
-              }
-            }});
-      } else if (cmd == "extract") {
-        struct ExtractCtx {
-          ModelHandle handle;
-          std::unique_ptr<QuantizedModel> suspect;
-          SchemeRecord record;
-        };
-        auto ctx = std::make_shared<ExtractCtx>();
-        await_artifacts({params.get("codes", ""), params.get("record", "")});
-        ctx->handle = store.get(spec_for(params));
-        ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
-        ctx->suspect->load_codes(params.require("codes"));
-        ctx->record = SchemeRecord::load(params.require("record"));
-
-        WatermarkEngine::ExtractRequest request;
-        request.id = id;
-        request.suspect = ctx->suspect.get();
-        request.original = ctx->handle.original.get();
-        request.record = &ctx->record;
-
-        auto future = std::make_shared<std::shared_future<WatermarkEngine::ExtractResult>>(
-            engine.submit(std::move(request)).share());
-        ++submitted;
-        pending.push_back(PendingOutput{
-            [future] { return future_ready(*future); },
-            [future, ctx, id, &completed, &failed]() -> std::string {
-              const WatermarkEngine::ExtractResult slot = future->get();
-              if (!slot.ok) {
-                ++failed;
-                return error_line(id, "extract", slot.error);
-              }
-              ++completed;
-              return "{\"id\":\"" + json_escape(id) +
-                     "\",\"cmd\":\"extract\",\"ok\":true,\"scheme\":\"" +
-                     json_escape(ctx->record.scheme()) +
-                     "\",\"wer_pct\":" + json_double(slot.report.wer_pct()) +
-                     ",\"matched_bits\":" + std::to_string(slot.report.matched_bits) +
-                     ",\"total_bits\":" + std::to_string(slot.report.total_bits) +
-                     ",\"strength_log10\":" +
-                     json_double(slot.report.strength_log10()) + "}";
-            }});
-      } else if (cmd == "trace") {
-        struct TraceCtx {
-          ModelHandle handle;
-          std::unique_ptr<QuantizedModel> suspect;
-          FingerprintSet set;
-        };
-        auto ctx = std::make_shared<TraceCtx>();
-        await_artifacts({params.get("codes", ""), params.get("set", "")});
-        ctx->handle = store.get(spec_for(params));
-        ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
-        ctx->suspect->load_codes(params.require("codes"));
-        ctx->set = FingerprintSet::load(params.require("set"));
-
-        WatermarkEngine::TraceRequest request;
-        request.id = id;
-        request.suspect = ctx->suspect.get();
-        request.original = ctx->handle.original.get();
-        request.set = &ctx->set;
-        request.min_wer_pct = params.get_double("min-wer", -1.0);
-
-        auto future =
-            std::make_shared<std::shared_future<WatermarkEngine::TraceBatchResult>>(
-                engine.submit(std::move(request)).share());
-        ++submitted;
-        pending.push_back(PendingOutput{
-            [future] { return future_ready(*future); },
-            [future, ctx, id, &completed, &failed]() -> std::string {
-              const WatermarkEngine::TraceBatchResult slot = future->get();
-              if (!slot.ok) {
-                ++failed;
-                return error_line(id, "trace", slot.error);
-              }
-              ++completed;
-              return "{\"id\":\"" + json_escape(id) +
-                     "\",\"cmd\":\"trace\",\"ok\":true,\"device\":\"" +
-                     json_escape(slot.trace.device_id) +
-                     "\",\"matched\":" + (slot.trace.device_id.empty() ? "false" : "true") +
-                     ",\"wer_pct\":" + json_double(slot.trace.wer_pct) +
-                     ",\"runner_up_wer_pct\":" +
-                     json_double(slot.trace.runner_up_wer_pct) +
-                     ",\"strength_log10\":" + json_double(slot.trace.strength_log10) +
-                     "}";
-            }});
-      } else if (cmd == "verify") {
-        // Arbiter-side audit: runs inline (synchronously) but still queues
-        // its output slot so the transcript stays in request order.
-        await_artifacts({params.get("codes", ""), params.get("evidence", "")});
-        const ModelHandle handle = store.get(spec_for(params));
-        QuantizedModel suspect = *handle.original;
-        suspect.load_codes(params.require("codes"));
-        const OwnershipEvidence evidence =
-            OwnershipEvidence::load(params.require("evidence"));
-        std::string why;
-        const bool verified =
-            evidence.verify(suspect, *handle.original, *handle.stats,
-                            params.get_double("min-wer", config.min_wer_pct), &why);
-        ++submitted;
-        ++completed;
-        const std::string json =
-            "{\"id\":\"" + json_escape(id) +
-            "\",\"cmd\":\"verify\",\"ok\":true,\"verified\":" +
-            (verified ? "true" : "false") + ",\"owner\":\"" +
-            json_escape(evidence.owner) + "\",\"scheme\":\"" +
-            json_escape(evidence.scheme()) + "\",\"why\":\"" + json_escape(why) +
-            "\"}";
-        pending.push_back(PendingOutput{[] { return true; },
-                                        [json]() -> std::string { return json; }});
-      } else {
-        throw std::invalid_argument(
-            "unknown command: " + cmd +
-            " (known: insert extract verify trace stats quit)");
-      }
-    } catch (const std::exception& e) {
-      ++failed;
-      const std::string json =
-          error_line(id.empty() ? "req-" + std::to_string(++auto_id) : id, cmd,
-                     e.what());
-      pending.push_back(PendingOutput{[] { return true; },
-                                      [json]() -> std::string { return json; }});
-    }
-    flush_pending(/*block=*/false);
+  while (std::getline(in, line)) {
+    if (!session->handle_line(line, emit)) break;
   }
-
-  flush_pending(/*block=*/true);
-  engine.drain();
-  if (quit) {
-    emit("{\"cmd\":\"quit\",\"ok\":true,\"served\":" + std::to_string(submitted) +
-         "}");
-  }
+  session->finish(emit);
+  router.drain();
   return 0;
 }
 

@@ -1,63 +1,27 @@
-// Daemon mode: a long-lived watermarking service loop over text streams.
+// Daemon mode: the stdio transport over the RequestRouter serving core.
 //
-// `emmark_cli daemon` keeps a warm ModelStore and an async WatermarkEngine
-// across requests, so a session of N commands against the same zoo model
-// pays for exactly one model build (the store's hit counters prove it in
-// the `stats` output). Commands arrive newline-delimited on the input
-// stream (stdin or a --script file); every request streams back exactly one
-// JSON object on its own output line, in request order.
+// `emmark_cli daemon` keeps warm, sharded ModelStores and async
+// WatermarkEngines across requests, so a session of N commands against the
+// same zoo model pays for exactly one model build (the store's hit counters
+// prove it in the `stats` output). Commands arrive newline-delimited on the
+// input stream (stdin or a --script file); every request streams back
+// exactly one JSON object on its own output line, in request order.
 //
-// Protocol (whitespace-separated `key=value` pairs after the command word;
-// values must not contain whitespace; `#` starts a comment line):
-//
-//   insert  [id=..] [model=opt-125m-sim] [quant=int4] [scheme=emmark]
-//           [seed=100] [signature-seed=424242] [bits=8] [ratio=10]
-//           [seed-from-id=0|1] [record=path] [codes=path] [evidence=path]
-//           [owner=name]
-//   extract [id=..] [model=..] [quant=..] record=path codes=path
-//   verify  [id=..] [model=..] [quant=..] evidence=path codes=path
-//           [min-wer=90]
-//   trace   [id=..] [model=..] [quant=..] set=path codes=path [min-wer=90]
-//   stats   [id=..]        # store hit/miss/build/eviction + engine counters
-//   quit                   # drain pending work and exit
-//
-// insert/extract/trace run through the async engine (submission returns
-// immediately; results are flushed to the output in order as they
-// complete), so independent requests overlap. verify runs inline (it is an
-// arbiter-side audit, not a serving-path operation). Request ids default to
-// "req-<n>".
+// The wire protocol is specified normatively in docs/PROTOCOL.md and is
+// shared verbatim with the TCP socket server (`emmark_cli serve`,
+// src/net/server.h): run_daemon() and the server both drive
+// RequestRouter::Session (src/cli/router.h), so a request script produces
+// byte-identical responses over either transport.
 #pragma once
 
-#include <cstdint>
 #include <iosfwd>
-#include <string>
 
-#include "nn/transformer.h"
-#include "quant/qmodel.h"
+#include "cli/router.h"
 
 namespace emmark {
 
-/// Maps a --quant spec to a method: "int8"/"int4" pick the paper's
-/// per-family quantizer; explicit method names ("awq-int4", ...) pass
-/// through. Throws std::invalid_argument on unknown specs.
-QuantMethod parse_quant_spec(const std::string& spec, ArchFamily family);
-
-struct DaemonConfig {
-  /// Zoo checkpoint cache directory ("" = default).
-  std::string cache_dir;
-  /// ModelStore capacity (resident originals before LRU eviction).
-  size_t store_capacity = 4;
-  /// Train-steps cap applied to every zoo build (0 = full training).
-  int64_t train_steps_cap = 0;
-  /// Engine base seed for seed-from-id requests.
-  uint64_t base_seed = 0;
-  /// Engine worker cap (0 = thread-pool size).
-  size_t max_workers = 0;
-  /// Default trace/verify WER gate (percent).
-  double min_wer_pct = 90.0;
-  /// Echo each parsed command to stderr (interactive sessions).
-  bool echo = false;
-};
+/// The daemon loop is configured exactly like the serving core.
+using DaemonConfig = RouterConfig;
 
 /// Runs the daemon loop until EOF or `quit`; returns the process exit code
 /// (0 = every line parsed; individual request failures are reported in

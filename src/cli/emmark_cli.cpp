@@ -10,12 +10,13 @@
 //   emmark_cli trace    --set fleet.fps --codes fleet/edge-device-3.codes
 //   emmark_cli list-schemes
 //   emmark_cli daemon   --script session.txt   # or interactive over stdin
+//   emmark_cli serve    --port 4780 --shards 2 # TCP front-end, same protocol
 //
-// `daemon` keeps a ModelStore of built originals and an async
-// WatermarkEngine warm across newline-delimited requests (see
-// src/cli/daemon.h for the protocol), streaming one JSON result line per
-// request -- the serving mode for multi-request sessions, where N requests
-// against one model pay for a single build.
+// `daemon` and `serve` are two transports over one serving core
+// (RequestRouter, src/cli/router.h): warm sharded ModelStores plus async
+// WatermarkEngines across newline-delimited requests, one JSON result line
+// per request. The protocol is specified in docs/PROTOCOL.md; a session of
+// N requests against one model pays for a single build.
 //
 // Models come from the cached model zoo (trained on first use, deterministic
 // seeds); quantization is deterministic, so `extract`/`verify`/`trace` can
@@ -25,6 +26,7 @@
 // `selftest` runs the full insert->disk->extract/verify round-trip for every
 // registered scheme on a tiny in-memory model (no training), plus engine
 // batch-determinism and fleet-tracing checks; it is registered with ctest.
+#include <csignal>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
@@ -34,6 +36,7 @@
 #include <vector>
 
 #include "cli/daemon.h"
+#include "net/server.h"
 #include "data/corpus.h"
 #include "model_zoo/zoo.h"
 #include "util/argparse.h"
@@ -232,28 +235,44 @@ int cmd_trace(const std::vector<std::string>& argv) {
   return verdict.device_id.empty() ? 1 : 0;
 }
 
-int cmd_daemon(const std::vector<std::string>& argv) {
-  ArgParser args("emmark_cli daemon",
-                 "serving loop: warm ModelStore + async engine over "
-                 "newline-delimited commands, one JSON result per line");
-  args.add_option("script", "", "read commands from this file instead of stdin");
+/// Shared serving-core options (the stdio daemon and the socket server
+/// configure the same RequestRouter).
+void add_router_options(ArgParser& args) {
   args.add_option("cache", "", "zoo checkpoint cache directory (default: auto)");
-  args.add_option("capacity", "4", "resident originals before LRU eviction");
+  args.add_option("capacity", "4", "per-shard resident originals before LRU eviction");
+  args.add_option("max-bytes", "0",
+                  "per-shard store byte budget over code buffers (0 = entry cap only)");
+  args.add_option("shards", "1", "backend shards (ModelStore+engine pairs)");
   args.add_option("train-cap", "0", "cap zoo training steps (0 = full; for dev)");
-  args.add_option("workers", "0", "engine worker cap (0 = thread-pool size)");
+  args.add_option("workers", "0", "per-shard engine worker cap (0 = thread-pool size)");
   args.add_option("base-seed", "0", "engine base seed for seed-from-id requests");
   args.add_option("min-wer", "90", "default verify/trace WER gate (percent)");
   args.add_flag("echo", "echo each parsed command to stderr");
-  if (!args.parse(argv)) return 2;
+}
 
-  DaemonConfig config;
+RouterConfig router_config_from(const ArgParser& args) {
+  RouterConfig config;
   config.cache_dir = args.get("cache");
   config.store_capacity = static_cast<size_t>(args.get_int("capacity"));
+  config.max_resident_bytes = static_cast<uint64_t>(args.get_int("max-bytes"));
+  config.shards = static_cast<size_t>(args.get_int("shards"));
   config.train_steps_cap = args.get_int("train-cap");
   config.base_seed = static_cast<uint64_t>(args.get_int("base-seed"));
   config.max_workers = static_cast<size_t>(args.get_int("workers"));
   config.min_wer_pct = args.get_double("min-wer");
   config.echo = args.get_flag("echo");
+  return config;
+}
+
+int cmd_daemon(const std::vector<std::string>& argv) {
+  ArgParser args("emmark_cli daemon",
+                 "serving loop: warm ModelStore + async engine over "
+                 "newline-delimited commands, one JSON result per line");
+  args.add_option("script", "", "read commands from this file instead of stdin");
+  add_router_options(args);
+  if (!args.parse(argv)) return 2;
+
+  const DaemonConfig config = router_config_from(args);
 
   if (!args.get("script").empty()) {
     std::ifstream script(args.get("script"));
@@ -265,6 +284,51 @@ int cmd_daemon(const std::vector<std::string>& argv) {
     return run_daemon(script, std::cout, config);
   }
   return run_daemon(std::cin, std::cout, config);
+}
+
+// --- serve ------------------------------------------------------------------
+
+SocketServer* g_serve_instance = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  // Async-signal-safe: just flips an atomic; the poll loop notices within
+  // one poll interval and shuts down gracefully.
+  if (g_serve_instance != nullptr) g_serve_instance->request_stop();
+}
+
+int cmd_serve(const std::vector<std::string>& argv) {
+  ArgParser args("emmark_cli serve",
+                 "TCP socket server: the daemon protocol over loopback "
+                 "sockets, sharded backends, N concurrent connections");
+  args.add_option("port", "4780", "port to listen on (0 = ephemeral)");
+  args.add_option("bind", "127.0.0.1", "bind address");
+  args.add_option("max-inflight", "64",
+                  "unflushed requests per connection before reads pause");
+  add_router_options(args);
+  if (!args.parse(argv)) return 2;
+
+  RequestRouter router(router_config_from(args));
+
+  ServerConfig server_config;
+  server_config.port = static_cast<uint16_t>(args.get_int("port"));
+  server_config.bind_addr = args.get("bind");
+  server_config.max_inflight_per_conn =
+      static_cast<size_t>(args.get_int("max-inflight"));
+  SocketServer server(router, server_config);
+
+  g_serve_instance = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  std::fprintf(stderr,
+               "emmark_cli serve: listening on %s:%u (%zu shard%s); "
+               "SIGINT/SIGTERM for graceful shutdown\n",
+               args.get("bind").c_str(), static_cast<unsigned>(server.port()),
+               router.config().shards, router.config().shards == 1 ? "" : "s");
+  const int rc = server.run();
+  std::fprintf(stderr, "emmark_cli serve: shut down cleanly\n");
+  g_serve_instance = nullptr;
+  return rc;
 }
 
 // --- selftest ---------------------------------------------------------------
@@ -482,6 +546,7 @@ int run(int argc, char** argv) {
   cli.add_command("trace", "trace a leaked snapshot to its device");
   cli.add_command("list-schemes", "print registered watermarking schemes");
   cli.add_command("daemon", "serving loop with a warm model store (JSON results)");
+  cli.add_command("serve", "TCP socket server over the daemon protocol (sharded)");
   cli.add_command("selftest", "end-to-end disk round-trip over every scheme");
   if (!cli.parse(argc, argv)) return 2;
 
@@ -493,6 +558,7 @@ int run(int argc, char** argv) {
     if (cli.command() == "trace") return cmd_trace(cli.command_args());
     if (cli.command() == "list-schemes") return cmd_list_schemes();
     if (cli.command() == "daemon") return cmd_daemon(cli.command_args());
+    if (cli.command() == "serve") return cmd_serve(cli.command_args());
     if (cli.command() == "selftest") return cmd_selftest(cli.command_args());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,603 @@
+#include "cli/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "model_zoo/zoo.h"
+#include "util/rng.h"
+#include "wm/evidence.h"
+#include "wm/fingerprint.h"
+#include "wm/scheme.h"
+
+namespace emmark {
+
+QuantMethod parse_quant_spec(const std::string& spec, ArchFamily family) {
+  if (spec == "int8") {
+    return family == ArchFamily::kOptStyle ? QuantMethod::kSmoothQuantInt8
+                                           : QuantMethod::kLlmInt8;
+  }
+  if (spec == "int4") return QuantMethod::kAwqInt4;
+  for (QuantMethod method :
+       {QuantMethod::kRtnInt8, QuantMethod::kSmoothQuantInt8, QuantMethod::kLlmInt8,
+        QuantMethod::kRtnInt4, QuantMethod::kAwqInt4, QuantMethod::kGptqInt4}) {
+    if (spec == to_string(method)) return method;
+  }
+  throw std::invalid_argument(
+      "unknown quant spec: " + spec +
+      " (use int4, int8, or an explicit method like awq-int4)");
+}
+
+// --- ShardRouter -------------------------------------------------------------
+
+namespace {
+
+/// Ring hash: fnv1a64 (byte-stable) finished through splitmix64. FNV-1a
+/// alone has weak avalanche on short, near-identical strings -- vnode
+/// labels and zoo spec keys both are -- which left one shard owning ~90%
+/// of the ring; the finisher restores uniformity while staying fully
+/// deterministic across platforms.
+uint64_t ring_hash(const std::string& s) {
+  uint64_t state = fnv1a64(s.data(), s.size());
+  return splitmix64(state);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(size_t shards, size_t vnodes_per_shard)
+    : shards_(shards == 0 ? 1 : shards) {
+  if (shards_ == 1) return;  // ring unused: everything maps to shard 0
+  ring_.reserve(shards_ * vnodes_per_shard);
+  for (size_t shard = 0; shard < shards_; ++shard) {
+    for (size_t v = 0; v < vnodes_per_shard; ++v) {
+      const std::string label =
+          "shard-" + std::to_string(shard) + "#" + std::to_string(v);
+      ring_.emplace_back(ring_hash(label), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t ShardRouter::shard_for(const std::string& key) const {
+  if (shards_ == 1) return 0;
+  const uint64_t point = ring_hash(key);
+  auto it = std::upper_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, size_t{0}),
+                             [](const auto& a, const auto& b) { return a.first < b.first; });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+// --- wire helpers ------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// `key=value` parameters following the command word.
+struct Params {
+  std::map<std::string, std::string> kv;
+
+  std::string get(const std::string& key, const std::string& def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) throw std::invalid_argument("missing parameter: " + key);
+    return it->second;
+  }
+  int64_t get_int(const std::string& key, int64_t def) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return def;
+    try {
+      return std::stoll(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parameter " + key + " expects an integer, got: " +
+                                  it->second);
+    }
+  }
+  double get_double(const std::string& key, double def) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return def;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parameter " + key + " expects a number, got: " +
+                                  it->second);
+    }
+  }
+};
+
+Params parse_params(const std::vector<std::string>& tokens) {
+  Params params;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value, got: " + tokens[i]);
+    }
+    params.kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return params;
+}
+
+/// Stable key for read-after-write artifact matching: two spellings of
+/// one path ("dep.codes", "./dep.codes") must collide.
+std::string artifact_key(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path canon = std::filesystem::weakly_canonical(path, ec);
+  return ec ? path : canon.string();
+}
+
+std::string error_line(const std::string& id, const std::string& cmd,
+                       const std::string& error) {
+  return "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"" + json_escape(cmd) +
+         "\",\"ok\":false,\"error\":\"" + json_escape(error) + "\"}";
+}
+
+template <typename Result>
+bool future_ready(const std::shared_future<Result>& future) {
+  return future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+WatermarkKey key_from(const Params& params) {
+  WatermarkKey key;
+  key.seed = static_cast<uint64_t>(params.get_int("seed", 100));
+  key.signature_seed =
+      static_cast<uint64_t>(params.get_int("signature-seed", 424242));
+  key.bits_per_layer = params.get_int("bits", 8);
+  key.candidate_ratio = params.get_int("ratio", 10);
+  return key;
+}
+
+}  // namespace
+
+// --- RequestRouter -----------------------------------------------------------
+
+RequestRouter::Shard::Shard(const RouterConfig& config)
+    : store([&] {
+        ModelStoreConfig sc;
+        sc.cache_dir = config.cache_dir;
+        sc.capacity = config.store_capacity;
+        sc.max_resident_bytes = config.max_resident_bytes;
+        return sc;
+      }()),
+      engine([&] {
+        EngineConfig ec;
+        ec.base_seed = config.base_seed;
+        ec.trace_min_wer_pct = config.min_wer_pct;
+        ec.max_workers = config.max_workers;
+        return ec;
+      }()) {}
+
+RequestRouter::RequestRouter(const RouterConfig& config)
+    : config_(config), ring_(config.shards == 0 ? 1 : config.shards) {
+  config_.shards = ring_.shards();
+  shards_.reserve(config_.shards);
+  for (size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+}
+
+RequestRouter::~RequestRouter() {
+  // Engines shut down before their sibling stores go away (per-shard
+  // member order already guarantees it; spelled out for the reader).
+  for (auto& shard : shards_) shard->engine.shutdown();
+}
+
+void RequestRouter::drain() {
+  for (auto& shard : shards_) shard->engine.drain();
+}
+
+std::vector<RequestRouter::ShardSnapshot> RequestRouter::shard_stats() const {
+  std::vector<ShardSnapshot> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardSnapshot snap;
+    snap.store = shard->store.stats();
+    snap.engine = shard->engine.counters();
+    snap.engine_pending = shard->engine.pending();
+    out.push_back(snap);
+  }
+  return out;
+}
+
+std::unique_ptr<RequestRouter::Session> RequestRouter::open_session() {
+  return std::unique_ptr<Session>(new Session(*this));
+}
+
+// --- Session -----------------------------------------------------------------
+
+RequestRouter::Session::~Session() {
+  // A session abandoned mid-flight (connection reset) discards its
+  // unflushed results: the finalizers are dropped, not run -- running
+  // them would block this thread (the server's event loop) on engine
+  // futures for a peer that is gone. Engine-side work stays memory-safe
+  // without them: every submitted request keeps its context alive via a
+  // shared_ptr capture (insert's model_factory, the extract/trace
+  // keep-alive callbacks), so a still-executing request never dangles.
+  pending_.clear();
+}
+
+void RequestRouter::Session::flush_pending(bool block, const LineSink& emit) {
+  while (!pending_.empty()) {
+    if (!block && !pending_.front().ready()) break;
+    PendingOutput slot = std::move(pending_.front());
+    pending_.pop_front();
+    emit(slot.finalize());
+  }
+}
+
+void RequestRouter::Session::await_artifacts(
+    std::initializer_list<std::string> paths, const LineSink& emit) {
+  for (const std::string& path : paths) {
+    if (!path.empty() && pending_writes_.count(artifact_key(path)) > 0) {
+      flush_pending(/*block=*/true, emit);
+      return;
+    }
+  }
+}
+
+void RequestRouter::Session::poll(const LineSink& emit) {
+  flush_pending(/*block=*/false, emit);
+}
+
+void RequestRouter::Session::settle(const LineSink& emit) {
+  flush_pending(/*block=*/true, emit);
+}
+
+void RequestRouter::Session::finish(const LineSink& emit) {
+  flush_pending(/*block=*/true, emit);
+  if (quit_) {
+    emit("{\"cmd\":\"quit\",\"ok\":true,\"served\":" + std::to_string(submitted_) +
+         "}");
+  }
+}
+
+bool RequestRouter::Session::handle_line(const std::string& line,
+                                         const LineSink& emit) {
+  const RouterConfig& config = router_.config_;
+
+  // Tokenize; skip blanks and comment lines.
+  std::vector<std::string> tokens;
+  {
+    std::istringstream split(line);
+    std::string token;
+    while (split >> token) tokens.push_back(token);
+  }
+  if (tokens.empty() || tokens[0][0] == '#') {
+    flush_pending(/*block=*/false, emit);
+    return !quit_;
+  }
+  const std::string cmd = tokens[0];
+  if (config.echo) std::fprintf(stderr, "[serve] %s\n", line.c_str());
+
+  std::string id;
+  try {
+    const Params params = parse_params(tokens);
+    id = params.get("id", "req-" + std::to_string(++auto_id_));
+
+    auto spec_for = [&] {
+      ModelSpec spec;
+      spec.model = params.get("model", "opt-125m-sim");
+      spec.method = parse_quant_spec(params.get("quant", "int4"),
+                                     zoo_entry(spec.model).family);
+      spec.train_steps_cap = config.train_steps_cap;
+      return spec;
+    };
+
+    if (cmd == "quit") {
+      quit_ = true;
+    } else if (cmd == "stats") {
+      // Settle in-flight work first so the counters are stable (and so a
+      // session transcript reads: requests, then their true cost).
+      flush_pending(/*block=*/true, emit);
+      router_.drain();
+      const std::vector<ShardSnapshot> shards = router_.shard_stats();
+      ModelStore::Stats total;
+      size_t engine_pending = 0;
+      for (const ShardSnapshot& snap : shards) {
+        total.hits += snap.store.hits;
+        total.misses += snap.store.misses;
+        total.builds += snap.store.builds;
+        total.evictions += snap.store.evictions;
+        total.resident += snap.store.resident;
+        total.resident_bytes += snap.store.resident_bytes;
+        engine_pending += snap.engine_pending;
+      }
+      std::ostringstream json;
+      json << "{\"id\":\"" << json_escape(id) << "\",\"cmd\":\"stats\",\"ok\":true"
+           << ",\"store\":{\"hits\":" << total.hits << ",\"misses\":" << total.misses
+           << ",\"builds\":" << total.builds << ",\"evictions\":" << total.evictions
+           << ",\"resident\":" << total.resident
+           << ",\"resident_bytes\":" << total.resident_bytes
+           << ",\"capacity\":" << config.store_capacity * shards.size() << "}"
+           << ",\"engine\":{\"submitted\":" << submitted_
+           << ",\"completed\":" << completed_ << ",\"failed\":" << failed_
+           << ",\"pending\":" << engine_pending << "}"
+           << ",\"shards\":[";
+      for (size_t i = 0; i < shards.size(); ++i) {
+        const ShardSnapshot& snap = shards[i];
+        json << (i ? "," : "") << "{\"shard\":" << i
+             << ",\"store\":{\"hits\":" << snap.store.hits
+             << ",\"misses\":" << snap.store.misses
+             << ",\"builds\":" << snap.store.builds
+             << ",\"evictions\":" << snap.store.evictions
+             << ",\"resident\":" << snap.store.resident
+             << ",\"resident_bytes\":" << snap.store.resident_bytes << "}"
+             << ",\"engine\":{\"submitted\":" << snap.engine.submitted
+             << ",\"completed\":" << snap.engine.completed
+             << ",\"failed\":" << snap.engine.failed
+             << ",\"cancelled\":" << snap.engine.cancelled
+             << ",\"pending\":" << snap.engine_pending << "}}";
+      }
+      json << "]}";
+      emit(json.str());
+    } else if (cmd == "insert") {
+      struct InsertCtx {
+        ModelHandle handle;
+        std::unique_ptr<QuantizedModel> model;
+        std::string codes_path, record_path, evidence_path, owner;
+      };
+      auto ctx = std::make_shared<InsertCtx>();
+      const ModelSpec spec = spec_for();
+      Shard& home = router_.shard(router_.shard_for(spec));
+      ctx->handle = home.store.get(spec);
+      ctx->codes_path = params.get("codes", "");
+      ctx->record_path = params.get("record", "");
+      ctx->evidence_path = params.get("evidence", "");
+      ctx->owner = params.get("owner", "owner");
+
+      WatermarkEngine::InsertRequest request;
+      request.id = id;
+      request.scheme = params.get("scheme", "emmark");
+      // The deep copy of the cached original happens on the engine
+      // worker (model_factory), so intake stays at parse speed and
+      // back-to-back inserts pipeline instead of serializing on copies.
+      request.model_factory = [ctx] {
+        ctx->model = std::make_unique<QuantizedModel>(*ctx->handle.original);
+        return ctx->model.get();
+      };
+      request.stats = ctx->handle.stats.get();
+      request.key = key_from(params);
+      request.seed_from_id = params.get_int("seed-from-id", 0) != 0;
+
+      // Every parse step that can throw has run; only now promise the
+      // artifact paths (a malformed line must not leave stale entries
+      // that would serialize the rest of the session).
+      for (const std::string* path :
+           {&ctx->codes_path, &ctx->record_path, &ctx->evidence_path}) {
+        if (!path->empty()) pending_writes_.insert(artifact_key(*path));
+      }
+
+      auto future = std::make_shared<std::shared_future<WatermarkEngine::InsertResult>>(
+          home.engine.submit(std::move(request)).share());
+      ++submitted_;
+      pending_.push_back(PendingOutput{
+          [future] { return future_ready(*future); },
+          [future, ctx, id, this]() -> std::string {
+            // Whatever happens below, the promised paths stop being owed
+            // once this slot flushes (written, or never going to be).
+            struct Release {
+              std::multiset<std::string>& owed;
+              const std::shared_ptr<InsertCtx>& ctx;
+              ~Release() {
+                for (const std::string* path :
+                     {&ctx->codes_path, &ctx->record_path, &ctx->evidence_path}) {
+                  if (path->empty()) continue;
+                  const auto it = owed.find(artifact_key(*path));
+                  if (it != owed.end()) owed.erase(it);
+                }
+              }
+            } release{pending_writes_, ctx};
+            const WatermarkEngine::InsertResult slot = future->get();
+            if (!slot.ok) {
+              ++failed_;
+              return error_line(id, "insert", slot.error);
+            }
+            try {
+              std::string artifacts;
+              if (!ctx->codes_path.empty()) {
+                ctx->model->save_codes(ctx->codes_path);
+                artifacts += ",\"codes\":\"" + json_escape(ctx->codes_path) + "\"";
+              }
+              if (!ctx->record_path.empty()) {
+                slot.record.save(ctx->record_path);
+                artifacts += ",\"record\":\"" + json_escape(ctx->record_path) + "\"";
+              }
+              if (!ctx->evidence_path.empty()) {
+                OwnershipEvidence::create(
+                    ctx->owner, slot.record, *ctx->handle.original,
+                    *ctx->handle.stats,
+                    static_cast<uint64_t>(std::time(nullptr)))
+                    .save(ctx->evidence_path);
+                artifacts +=
+                    ",\"evidence\":\"" + json_escape(ctx->evidence_path) + "\"";
+              }
+              const int64_t bits = WatermarkRegistry::create(slot.record.scheme())
+                                       ->total_bits(slot.record);
+              ++completed_;
+              return "{\"id\":\"" + json_escape(id) +
+                     "\",\"cmd\":\"insert\",\"ok\":true,\"scheme\":\"" +
+                     json_escape(slot.record.scheme()) +
+                     "\",\"total_bits\":" + std::to_string(bits) +
+                     ",\"seed\":" + std::to_string(slot.key.seed) + artifacts + "}";
+            } catch (const std::exception& e) {
+              ++failed_;
+              return error_line(id, "insert", e.what());
+            }
+          }});
+    } else if (cmd == "extract") {
+      struct ExtractCtx {
+        ModelHandle handle;
+        std::unique_ptr<QuantizedModel> suspect;
+        SchemeRecord record;
+      };
+      auto ctx = std::make_shared<ExtractCtx>();
+      await_artifacts({params.get("codes", ""), params.get("record", "")}, emit);
+      const ModelSpec spec = spec_for();
+      Shard& home = router_.shard(router_.shard_for(spec));
+      ctx->handle = home.store.get(spec);
+      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+      ctx->suspect->load_codes(params.require("codes"));
+      ctx->record = SchemeRecord::load(params.require("record"));
+
+      WatermarkEngine::ExtractRequest request;
+      request.id = id;
+      request.suspect = ctx->suspect.get();
+      request.original = ctx->handle.original.get();
+      request.record = &ctx->record;
+
+      // The keep-alive callback pins ctx (which owns the request's suspect
+      // and record) until the engine finishes the slot, so an abandoned
+      // session can drop its finalizer without dangling the worker.
+      auto future = std::make_shared<std::shared_future<WatermarkEngine::ExtractResult>>(
+          home.engine
+              .submit(std::move(request),
+                      [ctx](const WatermarkEngine::ExtractResult&) {})
+              .share());
+      ++submitted_;
+      pending_.push_back(PendingOutput{
+          [future] { return future_ready(*future); },
+          [future, ctx, id, this]() -> std::string {
+            const WatermarkEngine::ExtractResult slot = future->get();
+            if (!slot.ok) {
+              ++failed_;
+              return error_line(id, "extract", slot.error);
+            }
+            ++completed_;
+            return "{\"id\":\"" + json_escape(id) +
+                   "\",\"cmd\":\"extract\",\"ok\":true,\"scheme\":\"" +
+                   json_escape(ctx->record.scheme()) +
+                   "\",\"wer_pct\":" + json_double(slot.report.wer_pct()) +
+                   ",\"matched_bits\":" + std::to_string(slot.report.matched_bits) +
+                   ",\"total_bits\":" + std::to_string(slot.report.total_bits) +
+                   ",\"strength_log10\":" +
+                   json_double(slot.report.strength_log10()) + "}";
+          }});
+    } else if (cmd == "trace") {
+      struct TraceCtx {
+        ModelHandle handle;
+        std::unique_ptr<QuantizedModel> suspect;
+        FingerprintSet set;
+      };
+      auto ctx = std::make_shared<TraceCtx>();
+      await_artifacts({params.get("codes", ""), params.get("set", "")}, emit);
+      const ModelSpec spec = spec_for();
+      Shard& home = router_.shard(router_.shard_for(spec));
+      ctx->handle = home.store.get(spec);
+      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+      ctx->suspect->load_codes(params.require("codes"));
+      ctx->set = FingerprintSet::load(params.require("set"));
+
+      WatermarkEngine::TraceRequest request;
+      request.id = id;
+      request.suspect = ctx->suspect.get();
+      request.original = ctx->handle.original.get();
+      request.set = &ctx->set;
+      request.min_wer_pct = params.get_double("min-wer", -1.0);
+
+      // Keep-alive callback: same lifetime contract as extract above.
+      auto future =
+          std::make_shared<std::shared_future<WatermarkEngine::TraceBatchResult>>(
+              home.engine
+                  .submit(std::move(request),
+                          [ctx](const WatermarkEngine::TraceBatchResult&) {})
+                  .share());
+      ++submitted_;
+      pending_.push_back(PendingOutput{
+          [future] { return future_ready(*future); },
+          [future, ctx, id, this]() -> std::string {
+            const WatermarkEngine::TraceBatchResult slot = future->get();
+            if (!slot.ok) {
+              ++failed_;
+              return error_line(id, "trace", slot.error);
+            }
+            ++completed_;
+            return "{\"id\":\"" + json_escape(id) +
+                   "\",\"cmd\":\"trace\",\"ok\":true,\"device\":\"" +
+                   json_escape(slot.trace.device_id) +
+                   "\",\"matched\":" + (slot.trace.device_id.empty() ? "false" : "true") +
+                   ",\"wer_pct\":" + json_double(slot.trace.wer_pct) +
+                   ",\"runner_up_wer_pct\":" +
+                   json_double(slot.trace.runner_up_wer_pct) +
+                   ",\"strength_log10\":" + json_double(slot.trace.strength_log10) +
+                   "}";
+          }});
+    } else if (cmd == "verify") {
+      // Arbiter-side audit: runs inline (synchronously) but still queues
+      // its output slot so the transcript stays in request order.
+      await_artifacts({params.get("codes", ""), params.get("evidence", "")}, emit);
+      const ModelSpec spec = spec_for();
+      Shard& home = router_.shard(router_.shard_for(spec));
+      const ModelHandle handle = home.store.get(spec);
+      QuantizedModel suspect = *handle.original;
+      suspect.load_codes(params.require("codes"));
+      const OwnershipEvidence evidence =
+          OwnershipEvidence::load(params.require("evidence"));
+      std::string why;
+      const bool verified =
+          evidence.verify(suspect, *handle.original, *handle.stats,
+                          params.get_double("min-wer", config.min_wer_pct), &why);
+      ++submitted_;
+      ++completed_;
+      const std::string json =
+          "{\"id\":\"" + json_escape(id) +
+          "\",\"cmd\":\"verify\",\"ok\":true,\"verified\":" +
+          (verified ? "true" : "false") + ",\"owner\":\"" +
+          json_escape(evidence.owner) + "\",\"scheme\":\"" +
+          json_escape(evidence.scheme()) + "\",\"why\":\"" + json_escape(why) +
+          "\"}";
+      pending_.push_back(PendingOutput{[] { return true; },
+                                       [json]() -> std::string { return json; }});
+    } else {
+      throw std::invalid_argument(
+          "unknown command: " + cmd +
+          " (known: insert extract verify trace stats quit)");
+    }
+  } catch (const std::exception& e) {
+    ++failed_;
+    const std::string json =
+        error_line(id.empty() ? "req-" + std::to_string(++auto_id_) : id, cmd,
+                   e.what());
+    pending_.push_back(PendingOutput{[] { return true; },
+                                     [json]() -> std::string { return json; }});
+  }
+  flush_pending(/*block=*/false, emit);
+  return !quit_;
+}
+
+}  // namespace emmark

@@ -1,0 +1,206 @@
+// RequestRouter: the transport-agnostic core of the serving protocol.
+//
+// PR 3's daemon fused three things into one loop: the newline-delimited
+// JSON protocol, the stdio transport, and a single ModelStore + engine
+// backend. This splits them so the stdio daemon and the TCP socket server
+// (src/net/server.h) share one implementation byte for byte:
+//
+//   * RequestRouter owns the backend shards. Each shard is an independent
+//     ModelStore + async WatermarkEngine pair; a ShardRouter consistent-
+//     hashes model-spec keys across them, so every spec has a home shard
+//     and hot models from different shards never thrash one LRU.
+//   * RequestRouter::Session is one protocol conversation (a stdin stream,
+//     or one TCP connection): it parses request lines, dispatches to the
+//     spec's home shard, and flushes exactly one JSON line per request in
+//     request order. Ordering, artifact read-after-write dependencies, and
+//     the submitted/completed/failed counters in `stats` are all
+//     per-session; store and engine counters are per-shard (shared by every
+//     session on the same router).
+//
+// The wire protocol itself is specified normatively in docs/PROTOCOL.md;
+// the architecture (layering, threading, sharding) in docs/ARCHITECTURE.md.
+//
+// Sessions are single-threaded: all calls on one Session must come from
+// one thread at a time (the daemon loop, or the server's event loop). The
+// router's shards are thread-safe and shared by any number of sessions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model_zoo/store.h"
+#include "nn/transformer.h"
+#include "wm/engine.h"
+
+namespace emmark {
+
+/// Maps a --quant spec to a method: "int8"/"int4" pick the paper's
+/// per-family quantizer; explicit method names ("awq-int4", ...) pass
+/// through. Throws std::invalid_argument on unknown specs.
+QuantMethod parse_quant_spec(const std::string& spec, ArchFamily family);
+
+struct RouterConfig {
+  /// Zoo checkpoint cache directory ("" = default).
+  std::string cache_dir;
+  /// Per-shard ModelStore capacity (resident originals before LRU
+  /// eviction).
+  size_t store_capacity = 4;
+  /// Per-shard ModelStore byte budget over code-buffer footprints
+  /// (0 = entry-count cap only).
+  uint64_t max_resident_bytes = 0;
+  /// Train-steps cap applied to every zoo build (0 = full training).
+  int64_t train_steps_cap = 0;
+  /// Engine base seed for seed-from-id requests (every shard's engine
+  /// shares it, so request seeds do not depend on shard placement).
+  uint64_t base_seed = 0;
+  /// Per-shard engine worker cap (0 = thread-pool size).
+  size_t max_workers = 0;
+  /// Default trace/verify WER gate (percent).
+  double min_wer_pct = 90.0;
+  /// Backend shard count (>= 1). One shard reproduces PR 3's daemon
+  /// exactly; N shards partition the spec key space N ways.
+  size_t shards = 1;
+  /// Echo each parsed command to stderr (interactive sessions).
+  bool echo = false;
+};
+
+/// Consistent-hash ring over shard indices. Each shard contributes a fixed
+/// number of virtual points hashed from "shard-<i>#<v>" (fnv1a64 finished
+/// through splitmix64, so the mapping is byte-stable across platforms and
+/// runs); a key lands on the first point clockwise from its own hash. Growing the shard set by one
+/// therefore remaps only ~1/N of the key space -- the property that makes
+/// the same ring usable for process-level sharding later, where a remap
+/// means losing a warm cache.
+class ShardRouter {
+ public:
+  explicit ShardRouter(size_t shards, size_t vnodes_per_shard = 64);
+
+  size_t shards() const { return shards_; }
+  size_t shard_for(const std::string& key) const;
+
+ private:
+  size_t shards_;
+  std::vector<std::pair<uint64_t, size_t>> ring_;  // sorted (point, shard)
+};
+
+class RequestRouter {
+ public:
+  /// Receives one complete response line (no trailing newline).
+  using LineSink = std::function<void(const std::string&)>;
+
+  /// Per-shard observability snapshot for the `stats` verb.
+  struct ShardSnapshot {
+    ModelStore::Stats store;
+    WatermarkEngine::Counters engine;
+    size_t engine_pending = 0;
+  };
+
+  explicit RequestRouter(const RouterConfig& config);
+  ~RequestRouter();
+
+  RequestRouter(const RequestRouter&) = delete;
+  RequestRouter& operator=(const RequestRouter&) = delete;
+
+  const RouterConfig& config() const { return config_; }
+  const ShardRouter& ring() const { return ring_; }
+  size_t shard_for(const ModelSpec& spec) const {
+    return ring_.shard_for(spec.key());
+  }
+
+  /// Blocks until every shard engine is idle.
+  void drain();
+
+  std::vector<ShardSnapshot> shard_stats() const;
+
+  /// One protocol conversation. Responses stream through the sink passed
+  /// to each call, strictly in request order for this session.
+  class Session {
+   public:
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Parses and dispatches one request line. Ready responses (this
+    /// request's, or earlier ones that just completed) are flushed to
+    /// `emit`. Returns false once the session saw `quit`: the caller must
+    /// stop feeding lines and call finish().
+    bool handle_line(const std::string& line, const LineSink& emit);
+
+    /// Flushes responses whose results became ready, without blocking.
+    /// Transports call this between inputs so completed async work
+    /// reaches the client even while the connection is idle.
+    void poll(const LineSink& emit);
+
+    /// Blocks until every currently pending response has flushed, without
+    /// ending the session (unlike finish()). The socket server uses it at
+    /// graceful shutdown to alternate settle/feed passes over a backlog
+    /// that was throttled at the in-flight bound.
+    void settle(const LineSink& emit);
+
+    /// Blocks until every pending response has flushed; emits the closing
+    /// quit line if the session ended via `quit` (EOF sessions just
+    /// settle). Call exactly once, after the last handle_line.
+    void finish(const LineSink& emit);
+
+    /// Requests whose responses have not flushed yet (the per-connection
+    /// in-flight bound the socket server throttles reads on).
+    size_t inflight() const { return pending_.size(); }
+
+    bool quit_seen() const { return quit_; }
+
+   private:
+    friend class RequestRouter;
+    explicit Session(RequestRouter& router) : router_(router) {}
+
+    /// One response slot awaiting its turn: results stream strictly in
+    /// request order, so a slot is flushed once it is ready and everything
+    /// before it has been flushed.
+    struct PendingOutput {
+      std::function<bool()> ready;
+      std::function<std::string()> finalize;  // never throws; returns JSON
+    };
+
+    void flush_pending(bool block, const LineSink& emit);
+    void await_artifacts(std::initializer_list<std::string> paths,
+                         const LineSink& emit);
+
+    RequestRouter& router_;
+    uint64_t auto_id_ = 0;
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t failed_ = 0;
+    bool quit_ = false;
+    std::deque<PendingOutput> pending_;
+    /// Artifact paths that in-flight inserts have promised to write; a
+    /// later command reading one must not race the write (see
+    /// docs/PROTOCOL.md, "Artifact dependencies").
+    std::multiset<std::string> pending_writes_;
+  };
+
+  std::unique_ptr<Session> open_session();
+
+ private:
+  friend class Session;
+
+  /// One backend shard: an independent model cache plus engine.
+  struct Shard {
+    explicit Shard(const RouterConfig& config);
+    ModelStore store;
+    WatermarkEngine engine;
+  };
+
+  Shard& shard(size_t index) { return *shards_[index]; }
+
+  RouterConfig config_;
+  ShardRouter ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace emmark

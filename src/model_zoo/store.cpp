@@ -1,5 +1,6 @@
 #include "model_zoo/store.h"
 
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -73,7 +74,21 @@ ModelHandle ModelStore::get(const ModelSpec& spec) {
     // and same-spec callers wait on the shared future instead of
     // duplicating the work.
     try {
-      to_build->set_value(build(spec));
+      ModelHandle built = build(spec);
+      const uint64_t footprint = built.original->code_bytes();
+      to_build->set_value(std::move(built));
+      {
+        // Footprint is only known once the build lands; record it and run
+        // the byte-budget pass. The id check skips a slot that was evicted
+        // and re-created under the same key while we were building.
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.id == build_id) {
+          it->second.bytes = footprint;
+          resident_bytes_ += footprint;
+          evict_over_budget(/*protect=*/key);
+        }
+      }
     } catch (...) {
       to_build->set_exception(std::current_exception());
       {
@@ -102,6 +117,7 @@ ModelStore::Stats ModelStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats out = stats_;
   out.resident = entries_.size();
+  out.resident_bytes = resident_bytes_;
   return out;
 }
 
@@ -109,6 +125,7 @@ void ModelStore::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
+  resident_bytes_ = 0;
 }
 
 void ModelStore::touch(const std::string& key) {
@@ -118,11 +135,39 @@ void ModelStore::touch(const std::string& key) {
   it->second.lru_pos = lru_.begin();
 }
 
+void ModelStore::evict_lru() {
+  const std::string victim = lru_.back();
+  lru_.pop_back();
+  auto it = entries_.find(victim);
+  resident_bytes_ -= it->second.bytes;
+  entries_.erase(it);
+  ++stats_.evictions;
+}
+
 void ModelStore::evict_excess() {
-  while (entries_.size() > config_.capacity) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
+  while (entries_.size() > config_.capacity) evict_lru();
+}
+
+void ModelStore::evict_over_budget(const std::string& protect) {
+  if (config_.max_resident_bytes == 0) return;
+  while (resident_bytes_ > config_.max_resident_bytes) {
+    // Walk from the LRU tail to the first evictable victim: not the
+    // protected (just-built) entry, and not an in-flight build -- an
+    // unfinished entry has bytes 0, so evicting it frees nothing and
+    // would break same-spec build dedup for its waiters.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (*it != protect && entries_.find(*it)->second.bytes > 0) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) break;  // nothing evictable frees bytes
+    auto entry = entries_.find(*victim);
+    resident_bytes_ -= entry->second.bytes;
+    entries_.erase(entry);
+    lru_.erase(victim);
     ++stats_.evictions;
   }
 }

@@ -12,7 +12,10 @@
 //     a caller still holds.
 //   * Mutating requests (watermark insertion) never touch the cached
 //     model; checkout() returns a private copy-on-write deep copy to stamp.
-//   * Capacity is enforced with LRU eviction over the resident entries.
+//   * Residency is enforced with LRU eviction over the resident entries,
+//     by entry count (capacity) and optionally by code-buffer byte budget
+//     (max_resident_bytes) -- zoo models vary ~30x in size, so a serving
+//     deployment sizes the cache in bytes, not slots.
 //   * Concurrent get()s of the same spec deduplicate: one caller builds,
 //     the rest wait on the same shared future (no duplicate training).
 //
@@ -58,6 +61,13 @@ struct ModelStoreConfig {
   std::string cache_dir;
   /// Max resident handles before LRU eviction (>= 1).
   size_t capacity = 4;
+  /// Optional byte budget over the resident models' code-buffer
+  /// footprints (QuantizedModel::code_bytes); 0 = entry-count cap only.
+  /// When the budget is exceeded, LRU entries are evicted until under it
+  /// -- except the most-recently-built entry, which stays resident even
+  /// when it alone exceeds the budget (evicting it would just thrash:
+  /// every get() of that spec would become a rebuild).
+  uint64_t max_resident_bytes = 0;
 };
 
 class ModelStore {
@@ -70,8 +80,11 @@ class ModelStore {
     /// get() that created the entry and performed the build itself.
     uint64_t misses = 0;
     uint64_t builds = 0;     // actual zoo builds performed
-    uint64_t evictions = 0;  // entries dropped by LRU pressure
+    uint64_t evictions = 0;  // entries dropped by LRU pressure (count or byte)
     size_t resident = 0;     // entries currently cached
+    /// Code-buffer bytes of the resident, fully built entries (an entry
+    /// whose build is still in flight counts 0 until it completes).
+    uint64_t resident_bytes = 0;
   };
 
   explicit ModelStore(ModelStoreConfig config = {});
@@ -95,12 +108,18 @@ class ModelStore {
  private:
   ModelHandle build(const ModelSpec& spec) const;
   void touch(const std::string& key);   // requires mutex_ held
+  void evict_lru();                     // requires mutex_ held
   void evict_excess();                  // requires mutex_ held
+  /// Byte-budget pass: evicts LRU-first until under max_resident_bytes,
+  /// never evicting `protect` (the entry whose build just landed).
+  /// Requires mutex_ held.
+  void evict_over_budget(const std::string& protect);
 
   struct Entry {
     std::shared_future<ModelHandle> handle;
     std::list<std::string>::iterator lru_pos;
-    uint64_t id = 0;  // distinguishes re-created slots in failure cleanup
+    uint64_t id = 0;     // distinguishes re-created slots in failure cleanup
+    uint64_t bytes = 0;  // code-buffer footprint; 0 until the build lands
   };
 
   ModelStoreConfig config_;
@@ -108,6 +127,7 @@ class ModelStore {
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // most-recently-used first
   uint64_t next_entry_id_ = 1;
+  uint64_t resident_bytes_ = 0;
   Stats stats_;
 };
 

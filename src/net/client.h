@@ -1,0 +1,47 @@
+// LineClient: a minimal blocking loopback client for the socket server.
+//
+// Speaks the newline-delimited protocol (docs/PROTOCOL.md) for tests and
+// benches: send request lines, read response lines, detect EOF. Not a
+// production client -- just enough to drive emmark_cli serve end to end
+// from the same process (tests/test_server.cpp, bench_engine_throughput's
+// socket phase).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emmark {
+
+class LineClient {
+ public:
+  /// Connects (blocking) to host:port; throws std::runtime_error on
+  /// failure.
+  LineClient(const std::string& host, uint16_t port);
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Sends one request line (newline appended). Throws on a dead socket.
+  void send_line(const std::string& line);
+
+  /// Blocks for the next complete response line. Returns false on EOF
+  /// with no buffered data (server closed the connection).
+  bool recv_line(std::string& line);
+
+  /// Half-close: signals end of requests (the server sees EOF and settles
+  /// the session) while responses can still be read.
+  void shutdown_send();
+
+  /// Convenience: send every line, then read exactly `expect` responses.
+  /// Throws if the server closes early.
+  std::vector<std::string> roundtrip(const std::vector<std::string>& lines,
+                                     size_t expect);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace emmark

@@ -1,0 +1,165 @@
+#include "net/conn.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace emmark {
+
+namespace {
+/// Hard cap on a single request line: past this without a newline the
+/// peer is not speaking the protocol and the connection is dropped.
+constexpr size_t kMaxLineBytes = 1 << 20;
+}  // namespace
+
+Conn::Conn(int fd, std::unique_ptr<RequestRouter::Session> session,
+           size_t max_inflight)
+    : fd_(fd),
+      session_(std::move(session)),
+      max_inflight_(max_inflight == 0 ? 1 : max_inflight) {
+  sink_ = [this](const std::string& line) {
+    out_buf_ += line;
+    out_buf_ += '\n';
+  };
+}
+
+Conn::~Conn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Conn::wants_read() const {
+  return !input_eof_ && !session_->quit_seen() &&
+         session_->inflight() < max_inflight_;
+}
+
+void Conn::feed_buffered_lines() {
+  while (!input_eof_ || !in_buf_.empty()) {
+    if (session_->quit_seen()) {
+      in_buf_.clear();  // anything after quit is not part of the protocol
+      break;
+    }
+    if (session_->inflight() >= max_inflight_) break;
+    const size_t nl = in_buf_.find('\n');
+    if (nl == std::string::npos) {
+      // No complete line buffered. At EOF a trailing unterminated line is
+      // still fed (matching std::getline in the stdio daemon).
+      if (input_eof_ && !in_buf_.empty()) {
+        std::string line = std::move(in_buf_);
+        in_buf_.clear();
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        session_->handle_line(line, sink_);
+        continue;
+      }
+      break;
+    }
+    std::string line = in_buf_.substr(0, nl);
+    in_buf_.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    session_->handle_line(line, sink_);
+  }
+  // Input is over (EOF or quit), every buffered line was consumed, and
+  // nothing is pending: end the session. Waiting for inflight() to reach
+  // zero (via pump cycles) instead of settling here keeps the blocking
+  // flush off the event loop -- one connection's quit must not starve the
+  // others while its last requests drain.
+  if (!finished_ && in_buf_.empty() && (input_eof_ || session_->quit_seen()) &&
+      session_->inflight() == 0) {
+    session_->finish(sink_);  // instant: nothing left to wait for
+    finished_ = true;
+  }
+}
+
+bool Conn::drain_socket() {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in_buf_.append(chunk, static_cast<size_t>(n));
+      // A newline-free stream must not grow the buffer without bound:
+      // the in-flight throttle only bites on complete lines, so a peer
+      // that never sends one would otherwise bypass all backpressure.
+      if (in_buf_.size() > kMaxLineBytes &&
+          in_buf_.find('\n') == std::string::npos) {
+        return false;  // protocol abuse; drop the connection
+      }
+      // Stop slurping once the session is saturated; the unread remainder
+      // stays in the kernel buffer and throttles the peer.
+      if (session_->inflight() >= max_inflight_) break;
+      continue;
+    }
+    if (n == 0) {
+      input_eof_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // connection reset / hard error
+  }
+  return true;
+}
+
+bool Conn::on_readable() {
+  if (!drain_socket()) return false;
+  feed_buffered_lines();
+  return true;
+}
+
+bool Conn::on_writable() {
+  while (!out_buf_.empty()) {
+    const ssize_t n = ::send(fd_, out_buf_.data(), out_buf_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      out_buf_.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Conn::pump() {
+  session_->poll(sink_);
+  feed_buffered_lines();
+}
+
+void Conn::finish() {
+  if (finished_) return;
+  // Serve the backlog that was throttled at the in-flight bound before
+  // ending the session: re-drain the socket (bytes may still sit in the
+  // kernel buffer from a paused read), blocking-settle to free in-flight
+  // slots, feed the next lines, repeat until no complete line remains.
+  // Without this, a graceful shutdown would silently drop requests the
+  // client had already pipelined past the bound.
+  // (feed_buffered_lines can settle the session itself once the input is
+  // over -- the finished_ checks keep finish() from running twice.)
+  while (!finished_ && !session_->quit_seen()) {
+    if (!input_eof_) (void)drain_socket();  // best-effort; errors just stop intake
+    if (in_buf_.find('\n') == std::string::npos) break;
+    session_->settle(sink_);
+    feed_buffered_lines();
+  }
+  if (!finished_) {
+    session_->finish(sink_);
+    finished_ = true;
+  }
+}
+
+bool Conn::done() const {
+  return finished_ && out_buf_.empty();
+}
+
+void Conn::flush_blocking() {
+  while (!out_buf_.empty()) {
+    struct pollfd pfd = {fd_, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/1000);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return;  // peer gone or stuck; shutdown must not hang
+    if (!on_writable()) return;
+  }
+}
+
+}  // namespace emmark

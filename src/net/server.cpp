@@ -1,0 +1,149 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/conn.h"
+
+namespace emmark {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+SocketServer::SocketServer(RequestRouter& router, ServerConfig config)
+    : router_(router), config_(std::move(config)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad bind address: " + config_.bind_addr);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, SOMAXCONN) < 0) {
+    const std::string why = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen on " + config_.bind_addr + ":" +
+                             std::to_string(config_.port) + ": " + why);
+  }
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void SocketServer::accept_new_connections() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (no more pending) or transient accept error
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conns_.push_back(std::make_unique<Conn>(fd, router_.open_session(),
+                                            config_.max_inflight_per_conn));
+    connection_count_.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+int SocketServer::run() {
+  std::vector<struct pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : conns_) {
+      short events = 0;
+      if (conn->wants_read()) events |= POLLIN;
+      if (conn->wants_write()) events |= POLLOUT;
+      fds.push_back({conn->fd(), events, 0});
+    }
+
+    // Connections polled this cycle; accept() below appends new ones that
+    // have no fds entry yet (they get their first poll next cycle).
+    const size_t polled = fds.size() - 1;
+
+    const int rc = ::poll(fds.data(), fds.size(), config_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) accept_new_connections();
+
+    // Event pass over the polled connections, then a pump pass for
+    // everyone: async completions must reach idle connections too, and a
+    // flush may unblock buffered lines.
+    std::vector<Conn*> dead;
+    for (size_t i = 0; i < polled; ++i) {
+      Conn* conn = conns_[i].get();
+      const short revents = fds[i + 1].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) && !conn->on_readable()) {
+        dead.push_back(conn);
+      } else if ((revents & POLLOUT) && !conn->on_writable()) {
+        dead.push_back(conn);
+      }
+    }
+    for (auto& conn : conns_) {
+      if (std::find(dead.begin(), dead.end(), conn.get()) != dead.end()) continue;
+      conn->pump();
+      if (conn->wants_write() && !conn->on_writable()) dead.push_back(conn.get());
+    }
+
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [&](const std::unique_ptr<Conn>& c) {
+                                  return c->done() ||
+                                         std::find(dead.begin(), dead.end(),
+                                                   c.get()) != dead.end();
+                                }),
+                 conns_.end());
+    connection_count_.store(conns_.size(), std::memory_order_relaxed);
+  }
+
+  // Graceful shutdown: no new connections, then settle every live session
+  // -- in-flight requests complete, their responses flush, sockets close.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (auto& conn : conns_) {
+    if (conn->on_readable()) {
+      // One final drain of already-received input before settling.
+    }
+    conn->finish();
+    conn->flush_blocking();
+  }
+  conns_.clear();
+  connection_count_.store(0, std::memory_order_relaxed);
+  router_.drain();
+  return 0;
+}
+
+}  // namespace emmark

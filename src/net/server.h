@@ -1,0 +1,84 @@
+// SocketServer: the TCP front-end over the RequestRouter serving core.
+//
+// `emmark_cli serve` binds a listening socket and runs a single-threaded
+// poll/accept loop. Every accepted connection gets its own
+// RequestRouter::Session (per-connection ordering, artifact dependencies,
+// counters) speaking the same newline-delimited JSON protocol as the stdio
+// daemon (docs/PROTOCOL.md) -- same RequestRouter code path, so responses
+// are byte-identical between transports. Heavy work (insert/extract/trace
+// bodies) runs on the shard engines' pool workers; the loop thread only
+// parses, dispatches, and shuttles bytes. The known exception is a cold
+// model build, which runs on the dispatching thread and stalls the loop
+// for its duration (docs/ARCHITECTURE.md, "Threading"); warm traffic never
+// touches it.
+//
+// Lifecycle: the constructor binds and listens (port() is valid
+// immediately; port 0 picks an ephemeral port). run() blocks until
+// request_stop() -- callable from any thread or a signal handler -- then
+// shuts down gracefully: stop accepting, settle every live session
+// (in-flight requests complete and their responses flush), close. `quit`
+// on a connection ends only that connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/router.h"
+
+namespace emmark {
+
+class Conn;
+
+struct ServerConfig {
+  /// Port to bind (0 = ephemeral; read the result from port()).
+  uint16_t port = 0;
+  /// Bind address. Loopback by default: the daemon protocol is
+  /// unauthenticated, so exposing it wider is an explicit operator choice.
+  std::string bind_addr = "127.0.0.1";
+  /// Unflushed requests per connection before the server stops reading
+  /// from that socket (TCP backpressure instead of an unbounded queue).
+  size_t max_inflight_per_conn = 64;
+  /// Poll timeout: the latency floor for flushing async completions to
+  /// idle connections.
+  int poll_interval_ms = 20;
+};
+
+class SocketServer {
+ public:
+  /// Binds and listens immediately; throws std::runtime_error on failure
+  /// (port in use, bad address). `router` must outlive the server.
+  SocketServer(RequestRouter& router, ServerConfig config = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound port (resolves port 0 to the actual ephemeral port).
+  uint16_t port() const { return port_; }
+
+  /// Serves until request_stop(); returns 0 on a clean shutdown.
+  int run();
+
+  /// Async-signal-safe stop request: run() finishes the current poll
+  /// cycle, settles every connection, and returns.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Connections currently open (for tests/observability).
+  size_t connections() const { return connection_count_.load(std::memory_order_relaxed); }
+
+ private:
+  void accept_new_connections();
+
+  RequestRouter& router_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> connection_count_{0};
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace emmark

@@ -95,6 +95,14 @@ int64_t QuantizedModel::quantized_param_count() const {
   return total;
 }
 
+uint64_t QuantizedModel::code_bytes() const {
+  uint64_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.weights.codes().size() * sizeof(int8_t);
+  }
+  return total;
+}
+
 namespace {
 constexpr const char* kCodesMagic = "EMMQCODE";
 constexpr uint32_t kCodesVersion = 1;

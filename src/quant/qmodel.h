@@ -74,6 +74,12 @@ class QuantizedModel {
   /// Total number of quantized weight elements.
   int64_t quantized_param_count() const;
 
+  /// Bytes held by the integer code buffers across every layer: the
+  /// model's dominant resident footprint, and the unit ModelStore's
+  /// byte-budget eviction accounts in (zoo models vary ~30x in size, so an
+  /// entry-count cap alone mis-sizes the cache).
+  uint64_t code_bytes() const;
+
   /// Fake-quant evaluation model: clone of the FP base with each linear's
   /// weight replaced by the dequantized effective weight.
   std::unique_ptr<TransformerLM> materialize() const;

@@ -203,6 +203,10 @@ std::future<Result> WatermarkEngine::enqueue(
   auto shared_done = std::make_shared<Callback>(std::move(done));
   task.run = [this, shared_request, shared_done, promise, runner] {
     Result slot = runner(config_, *shared_request);
+    {
+      std::lock_guard<std::mutex> count_lock(mutex_);
+      slot.ok ? ++counters_.completed : ++counters_.failed;
+    }
     if (*shared_done) {
       try {
         (*shared_done)(slot);
@@ -213,10 +217,15 @@ std::future<Result> WatermarkEngine::enqueue(
     }
     promise->set_value(std::move(slot));
   };
-  task.cancel = [shared_request, shared_done, promise, reject] {
+  task.cancel = [this, shared_request, shared_done, promise, reject] {
+    {
+      std::lock_guard<std::mutex> count_lock(mutex_);
+      ++counters_.cancelled;
+    }
     reject(*shared_request, *shared_done, promise,
            "engine shut down before the request ran");
   };
+  ++counters_.submitted;
   queue_.push_back(std::move(task));
   if (running_pumps_ < worker_cap()) {
     ++running_pumps_;
@@ -269,6 +278,11 @@ void WatermarkEngine::shutdown() {
 size_t WatermarkEngine::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size() + in_flight_;
+}
+
+WatermarkEngine::Counters WatermarkEngine::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
 }
 
 }  // namespace emmark

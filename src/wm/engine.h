@@ -70,6 +70,17 @@ struct EngineConfig {
 
 class WatermarkEngine {
  public:
+  /// Lifetime counters over the asynchronous path (submit/cancel), exposed
+  /// so a serving layer that owns one engine per shard can report per-shard
+  /// load without wrapping every submission. The batch entry points do not
+  /// count here: they are library calls, not service traffic.
+  struct Counters {
+    uint64_t submitted = 0;  // accepted submit() calls
+    uint64_t completed = 0;  // executed requests whose slot reported ok
+    uint64_t failed = 0;     // executed requests whose slot reported !ok
+    uint64_t cancelled = 0;  // queued requests cancelled by shutdown()
+  };
+
   struct InsertRequest {
     std::string id;                           // unique within the workload
     std::string scheme = "emmark";            // registry key
@@ -163,6 +174,9 @@ class WatermarkEngine {
   /// Requests currently queued or executing.
   size_t pending() const;
 
+  /// Snapshot of the async-path lifetime counters.
+  Counters counters() const;
+
   const EngineConfig& config() const { return config_; }
 
  private:
@@ -192,6 +206,7 @@ class WatermarkEngine {
   size_t running_pumps_ = 0;  // drain tasks scheduled or running on the pool
   size_t in_flight_ = 0;      // requests currently executing
   bool accepting_ = true;
+  Counters counters_;
 };
 
 }  // namespace emmark

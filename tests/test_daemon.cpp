@@ -1,7 +1,10 @@
-// Daemon mode: the run_daemon() loop over in-memory streams. Pins the
-// acceptance shape -- N requests against one zoo model cost exactly one
-// model build (store hit counters in the stats JSON) -- plus per-request
-// error isolation, output ordering, and the line protocol's edges.
+// Daemon mode: the run_daemon() loop over in-memory streams, i.e. the
+// stdio transport of the wire protocol specified in docs/PROTOCOL.md (the
+// socket transport is covered by tests/test_server.cpp, including byte-
+// identity between the two). Pins the acceptance shape -- N requests
+// against one zoo model cost exactly one model build (store hit counters
+// in the stats JSON) -- plus per-request error isolation, output ordering,
+// and the line protocol's edges.
 #include <gtest/gtest.h>
 
 #include <filesystem>

@@ -1,5 +1,6 @@
-// ModelStore: spec-keyed handle cache with LRU eviction, copy-on-write
-// checkouts, build dedup, and observability counters.
+// ModelStore: spec-keyed handle cache with LRU eviction (entry-count cap
+// and code-buffer byte budget), copy-on-write checkouts, build dedup, and
+// observability counters.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -31,10 +32,12 @@ class StoreTest : public ::testing::Test {
     return s;
   }
 
-  static ModelStore make_store(size_t capacity = 4) {
+  static ModelStore make_store(size_t capacity = 4,
+                               uint64_t max_resident_bytes = 0) {
     ModelStoreConfig config;
     config.cache_dir = cache_dir_;
     config.capacity = capacity;
+    config.max_resident_bytes = max_resident_bytes;
     return ModelStore(config);
   }
 
@@ -136,6 +139,63 @@ TEST_F(StoreTest, ConcurrentSameSpecGetsBuildOnce) {
   const ModelStore::Stats stats = store.stats();
   EXPECT_EQ(stats.builds, 1u);
   EXPECT_EQ(stats.hits + stats.misses, kThreads);
+}
+
+TEST_F(StoreTest, ResidentBytesTrackCodeFootprints) {
+  ModelStore store = make_store();
+  const ModelHandle a = store.get(spec("opt-125m-sim"));
+  EXPECT_EQ(store.stats().resident_bytes, a.original->code_bytes());
+  const ModelHandle b = store.get(spec("opt-1.3b-sim"));
+  EXPECT_EQ(store.stats().resident_bytes,
+            a.original->code_bytes() + b.original->code_bytes());
+  store.clear();
+  EXPECT_EQ(store.stats().resident_bytes, 0u);
+}
+
+TEST_F(StoreTest, ByteBudgetEvictsLruUntilUnderBudget) {
+  // Learn the two footprints, then size a budget that fits either model
+  // alone but not both: the second build must evict the first (LRU), even
+  // though the entry-count capacity has plenty of room.
+  uint64_t bytes_a = 0, bytes_b = 0;
+  {
+    ModelStore probe = make_store();
+    bytes_a = probe.get(spec("opt-125m-sim")).original->code_bytes();
+    bytes_b = probe.get(spec("opt-1.3b-sim")).original->code_bytes();
+  }
+  ASSERT_GT(bytes_a, 0u);
+  ASSERT_GT(bytes_b, 0u);
+
+  ModelStore store = make_store(/*capacity=*/8, bytes_a + bytes_b - 1);
+  (void)store.get(spec("opt-125m-sim"));
+  (void)store.get(spec("opt-1.3b-sim"));
+  ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_bytes, bytes_b);
+
+  // The survivor is the recently built model; re-requesting it is a hit.
+  (void)store.get(spec("opt-1.3b-sim"));
+  EXPECT_EQ(store.stats().hits, 1u);
+
+  // Re-requesting the evicted spec rebuilds and pushes the other out.
+  (void)store.get(spec("opt-125m-sim"));
+  stats = store.stats();
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.resident_bytes, bytes_a);
+}
+
+TEST_F(StoreTest, SingleOverBudgetModelStaysResident) {
+  // A budget smaller than any one model must not thrash: the sole entry
+  // is protected, so repeat gets are hits, not rebuilds.
+  ModelStore store = make_store(/*capacity=*/4, /*max_resident_bytes=*/1);
+  (void)store.get(spec());
+  (void)store.get(spec());
+  const ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
 }
 
 TEST_F(StoreTest, ClearDropsResidencyButNotOutstandingHandles) {
