@@ -1,12 +1,17 @@
-// Serial vs. pooled watermark hot paths (derive + extract + in-layer score).
+// Serial vs. pooled watermark hot paths (derive + extract + in-layer score),
+// plus the SIMD kernel-dispatch levels.
 //
-// Times EmMark derive, extract, and score_layer (row-
-// chunked within a single layer -- the largest one) over the largest
-// model-zoo config at several thread counts via ThreadPool::ScopedOverride,
-// printing a table plus a machine-readable JSON line (the repo's perf
-// trajectory is tracked from these). Thread-count invariance of the
-// *results* is asserted here too -- a speedup that changed placements or
-// scores would be worthless.
+// Phase 1 times EmMark derive, extract, and score_layer (row-chunked
+// within a single layer -- the largest one) over the largest model-zoo
+// config at several thread counts via ThreadPool::ScopedOverride. Phase 2
+// pins the pool at one thread and sweeps every supported kernel level
+// (scalar / sse2 / avx2 / neon) through the same paths, so the SIMD
+// speedup is attributed separately from threading. A table prints per
+// phase, plus one machine-readable JSON line (the repo's perf trajectory
+// -- scripts/bench_baseline.sh, BENCH_5.json -- is tracked from it).
+// Invariance of the *results* across thread counts and kernel levels is
+// asserted here too -- a speedup that changed placements or scores would
+// be worthless.
 //
 // Usage: bench_parallel_wm [--model <zoo-name>] [--repeats N]
 #include <algorithm>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "kernels/kernels.h"
 #include "util/argparse.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
@@ -105,61 +111,74 @@ int main(int argc, char** argv) {
     double extract_ms;
     double score_ms;
   };
+  struct Cell {
+    double derive_ms;
+    double extract_ms;
+    double score_ms;
+  };
   std::vector<Row> rows;
   std::vector<LayerWatermark> reference;
   std::vector<double> score_reference;
 
-  for (size_t n : thread_counts) {
-    ThreadPool pool(n);
-    ThreadPool::ScopedOverride over(pool);
-
+  // Times the three hot paths under whatever pool/kernel context the
+  // caller set up, and checks the results against the first cell measured:
+  // every thread count AND every kernel level must reproduce the same
+  // placements, scores, and (perfect) extraction -- a speedup that changed
+  // any of them would be worthless. Returns false (after a FATAL line
+  // naming `label`) on a mismatch.
+  auto run_cell = [&](const std::string& label, Cell& out) -> bool {
     std::vector<LayerWatermark> derived;
-    const double derive_ms = best_of(repeats, [&] {
+    out.derive_ms = best_of(repeats, [&] {
       Timer t;
       derived = emmark.derive(original, *stats, key).as<WatermarkRecord>().layers;
       return t.milliseconds();
     });
     ExtractionReport report;
-    const double extract_ms = best_of(repeats, [&] {
+    out.extract_ms = best_of(repeats, [&] {
       Timer t;
       report = emmark.extract_derived(marked, original, *stats, key);
       return t.milliseconds();
     });
     std::vector<double> scores;
-    const double score_ms = best_of(repeats, [&] {
+    out.score_ms = best_of(repeats, [&] {
       Timer t;
       scores = score_layer(score_target.weights, score_act.abs_mean,
                            key.alpha, key.beta);
       return t.milliseconds();
     });
 
-    // Invariance check: every thread count must reproduce the same
-    // placements and the same (perfect) extraction.
     if (reference.empty()) {
       reference = derived;
     } else {
       for (size_t i = 0; i < reference.size(); ++i) {
         if (derived[i].locations != reference[i].locations ||
             derived[i].bits != reference[i].bits) {
-          std::fprintf(stderr,
-                       "FATAL: thread count %zu changed layer %zu placements\n",
-                       n, i);
-          return 1;
+          std::fprintf(stderr, "FATAL: %s changed layer %zu placements\n",
+                       label.c_str(), i);
+          return false;
         }
       }
     }
     if (report.matched_bits != report.total_bits ||
         report.total_bits != emmark.total_bits(record)) {
-      std::fprintf(stderr, "FATAL: extraction mismatch at %zu threads\n", n);
-      return 1;
+      std::fprintf(stderr, "FATAL: extraction mismatch at %s\n", label.c_str());
+      return false;
     }
     if (score_reference.empty()) {
       score_reference = scores;
     } else if (scores != score_reference) {
-      std::fprintf(stderr, "FATAL: thread count %zu changed layer scores\n", n);
-      return 1;
+      std::fprintf(stderr, "FATAL: %s changed layer scores\n", label.c_str());
+      return false;
     }
-    rows.push_back({n, derive_ms, extract_ms, score_ms});
+    return true;
+  };
+
+  for (size_t n : thread_counts) {
+    ThreadPool pool(n);
+    ThreadPool::ScopedOverride over(pool);
+    Cell cell;
+    if (!run_cell("thread count " + std::to_string(n), cell)) return 1;
+    rows.push_back({n, cell.derive_ms, cell.extract_ms, cell.score_ms});
   }
 
   const double base_derive = rows.front().derive_ms;
@@ -180,12 +199,57 @@ int main(int argc, char** argv) {
               static_cast<long long>(score_target.weights.cols()));
   std::printf("\n(hardware_concurrency = %u; counts above it oversubscribe)\n", hw);
 
+  // --- kernel dispatch levels, single-threaded --------------------------
+  // One pool thread isolates the SIMD contribution from threading; the
+  // scalar row is the pre-SIMD reference the ">= 3x" acceptance gate in
+  // BENCH_5.json is measured against.
+  struct KernelRow {
+    kernels::Level level;
+    double derive_ms;
+    double extract_ms;
+    double score_ms;
+  };
+  std::vector<KernelRow> kernel_rows;
+  {
+    ThreadPool pool(1);
+    ThreadPool::ScopedOverride over(pool);
+    for (kernels::Level level : kernels::supported_levels()) {
+      kernels::ScopedLevelOverride kernel(level);
+      Cell cell;
+      if (!run_cell(std::string("kernel level ") + kernels::to_string(level),
+                    cell)) {
+        return 1;
+      }
+      kernel_rows.push_back({level, cell.derive_ms, cell.extract_ms,
+                             cell.score_ms});
+    }
+  }
+
+  const double kernel_base_derive = kernel_rows.front().derive_ms;
+  const double kernel_base_score = kernel_rows.front().score_ms;
+  TablePrinter kernel_table({"kernel", "derive ms", "extract ms", "score ms",
+                             "speedup (derive)", "speedup (score)"});
+  for (const KernelRow& row : kernel_rows) {
+    kernel_table.add_row({kernels::to_string(row.level),
+                          TablePrinter::fmt(row.derive_ms, 2),
+                          TablePrinter::fmt(row.extract_ms, 2),
+                          TablePrinter::fmt(row.score_ms, 3),
+                          TablePrinter::fmt(kernel_base_derive / row.derive_ms, 2),
+                          TablePrinter::fmt(kernel_base_score / row.score_ms, 2)});
+  }
+  std::printf("\n");
+  kernel_table.print();
+  std::printf("(kernel rows: 1 pool thread, scalar row = pre-SIMD reference; "
+              "active default = %s)\n",
+              kernels::to_string(kernels::default_level()));
+
   // Machine-readable summary, one JSON object on its own line.
   std::printf("\nJSON: {\"bench\":\"parallel_wm\",\"model\":\"%s\",\"layers\":%lld,"
               "\"bits_per_layer\":%lld,\"repeats\":%d,\"hardware_threads\":%u,"
-              "\"rows\":[",
+              "\"kernel_default\":\"%s\",\"rows\":[",
               model_name.c_str(), static_cast<long long>(original.num_layers()),
-              static_cast<long long>(key.bits_per_layer), repeats, hw);
+              static_cast<long long>(key.bits_per_layer), repeats, hw,
+              kernels::to_string(kernels::default_level()));
   for (size_t i = 0; i < rows.size(); ++i) {
     std::printf("%s{\"threads\":%zu,\"derive_ms\":%.3f,\"extract_ms\":%.3f,"
                 "\"score_ms\":%.3f,\"derive_speedup\":%.3f,"
@@ -195,6 +259,16 @@ int main(int argc, char** argv) {
                 base_derive / rows[i].derive_ms,
                 base_extract / rows[i].extract_ms,
                 base_score / rows[i].score_ms);
+  }
+  std::printf("],\"kernels\":[");
+  for (size_t i = 0; i < kernel_rows.size(); ++i) {
+    std::printf("%s{\"kernel\":\"%s\",\"derive_ms\":%.3f,\"extract_ms\":%.3f,"
+                "\"score_ms\":%.3f,\"derive_speedup\":%.3f,\"score_speedup\":%.3f}",
+                i ? "," : "", kernels::to_string(kernel_rows[i].level),
+                kernel_rows[i].derive_ms, kernel_rows[i].extract_ms,
+                kernel_rows[i].score_ms,
+                kernel_base_derive / kernel_rows[i].derive_ms,
+                kernel_base_score / kernel_rows[i].score_ms);
   }
   std::printf("]}\n");
   return 0;

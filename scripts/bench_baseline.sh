@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Perf baseline: run the watermark hot-path bench and the serving-stack
+# smoke bench, then assemble one JSON document (machine info, kernel
+# dispatch level, per-phase timings in both ms and ns) for the repo's
+# bench trajectory. BENCH_5.json at the repo root is a committed snapshot
+# produced by this script; CI regenerates a fresh one per run and uploads
+# it as an artifact so the trajectory has points per machine.
+#
+# Usage:
+#   scripts/bench_baseline.sh                     # full run -> BENCH_5.json
+#   scripts/bench_baseline.sh --quick             # small model, few repeats (CI)
+#   scripts/bench_baseline.sh --out PATH          # custom output path
+#   scripts/bench_baseline.sh --build-dir DIR     # custom build tree (default: build)
+#   scripts/bench_baseline.sh --pre-json FILE     # embed a pre-rewrite bench JSON
+#                                                 # (one bench_parallel_wm JSON line)
+#                                                 # and compute speedups against it
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT=BENCH_5.json
+MODEL=""
+REPEATS=5
+QUICK=0
+PRE_JSON_FILE=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --model) MODEL="$2"; shift 2 ;;
+    --pre-json) PRE_JSON_FILE="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "$BUILD_DIR/bench_parallel_wm" || ! -x "$BUILD_DIR/bench_engine_throughput" ]]; then
+  echo "bench binaries missing; build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+
+WM_ARGS=(--repeats "$REPEATS")
+if [[ "$QUICK" == 1 ]]; then
+  WM_ARGS=(--repeats 2 --model opt-125m-sim)
+fi
+if [[ -n "$MODEL" ]]; then
+  WM_ARGS+=(--model "$MODEL")
+fi
+
+echo "[bench_baseline] bench_parallel_wm ${WM_ARGS[*]}" >&2
+WM_JSON=$("$BUILD_DIR/bench_parallel_wm" "${WM_ARGS[@]}" | sed -n 's/^JSON: //p')
+echo "[bench_baseline] bench_engine_throughput --smoke" >&2
+ENGINE_JSON=$("$BUILD_DIR/bench_engine_throughput" --smoke | sed -n 's/^JSON: //p')
+
+PRE_JSON=""
+if [[ -n "$PRE_JSON_FILE" ]]; then
+  PRE_JSON=$(sed -n 's/^JSON: //p;/^{/p' "$PRE_JSON_FILE" | head -1)
+fi
+
+WM_JSON="$WM_JSON" ENGINE_JSON="$ENGINE_JSON" PRE_JSON="$PRE_JSON" OUT="$OUT" python3 - <<'EOF'
+import json
+import os
+import platform
+import subprocess
+
+wm = json.loads(os.environ["WM_JSON"])
+engine = json.loads(os.environ["ENGINE_JSON"])
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+def git_head():
+    try:
+        return subprocess.check_output(
+            ["git", "describe", "--always", "--dirty"], text=True).strip()
+    except Exception:
+        return "unknown"
+
+# Headline phases: best thread row and best kernel row (fastest measured
+# derive, not merely the widest ISA), ms and ns.
+best_threads = min(wm["rows"], key=lambda r: r["derive_ms"])
+kernels = {row["kernel"]: row for row in wm["kernels"]}
+best_kernel = min(wm["kernels"], key=lambda r: r["derive_ms"])
+scalar = kernels["scalar"]
+
+def phases(row):
+    out = {}
+    for phase in ("derive", "extract", "score"):
+        ms = row[f"{phase}_ms"]
+        out[f"{phase}_ms"] = ms
+        out[f"{phase}_ns"] = int(ms * 1e6)
+    return out
+
+doc = {
+    "bench_baseline_version": 5,
+    "machine": {
+        "os": f"{platform.system()} {platform.release()}",
+        "arch": platform.machine(),
+        "cpu": cpu_model(),
+        "hardware_threads": wm["hardware_threads"],
+    },
+    "git_head": git_head(),
+    "kernel_level": wm["kernel_default"],
+    "summary": {
+        "model": wm["model"],
+        "best_kernel": dict(kernel=best_kernel["kernel"], **phases(best_kernel)),
+        "scalar_kernel": dict(kernel="scalar", **phases(scalar)),
+        "kernel_speedup": {
+            "derive": round(scalar["derive_ms"] / best_kernel["derive_ms"], 3),
+            "score": round(scalar["score_ms"] / best_kernel["score_ms"], 3),
+        },
+        "best_threads": dict(threads=best_threads["threads"], **phases(best_threads)),
+    },
+    "parallel_wm": wm,
+    "engine_throughput": engine,
+}
+
+# Optional: a bench_parallel_wm JSON line captured on the pre-rewrite tree
+# (branchy scalar scoring + full-tensor partial_sort selection). Recording
+# it alongside the new numbers is what lets a committed snapshot state the
+# true before/after speedup rather than only scalar-vs-SIMD.
+pre_raw = os.environ.get("PRE_JSON", "")
+if pre_raw:
+    pre = json.loads(pre_raw)
+    pre_serial = min(pre["rows"], key=lambda r: r["threads"])
+    doc["pre_pr"] = {
+        "parallel_wm": pre,
+        "serial_row": phases(pre_serial),
+        "speedup_vs_best_kernel": {
+            phase: round(pre_serial[f"{phase}_ms"] / best_kernel[f"{phase}_ms"], 3)
+            for phase in ("derive", "extract", "score")
+        },
+    }
+
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"[bench_baseline] wrote {os.environ['OUT']}")
+EOF

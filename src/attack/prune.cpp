@@ -1,37 +1,32 @@
 #include "attack/prune.h"
 
-#include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <vector>
 
+#include "kernels/select.h"
 #include "util/threadpool.h"
 
 namespace emmark {
 
 void prune_attack(QuantizedModel& model, const PruneConfig& config) {
-  // Magnitude pruning is per-layer independent and the partial_sort is the
-  // hot part; each iteration touches only its own layer's weights.
+  // Magnitude pruning is per-layer independent; the smallest-|code|
+  // selection was the hot part and now shares EmMark's two-pass selection
+  // helper (histogram threshold + SIMD scan) instead of partial_sorting
+  // every weight. Victims are identical to the old (|code|, index)
+  // partial_sort, so attacked models -- and the bench curves derived from
+  // them -- are unchanged.
   parallel_for_index(static_cast<size_t>(model.num_layers()), [&](size_t idx) {
-    const int64_t i = static_cast<int64_t>(idx);
-    QuantizedTensor& weights = model.layer(i).weights;
+    QuantizedTensor& weights = model.layer(static_cast<int64_t>(idx)).weights;
     const int64_t n = weights.numel();
     const int64_t prune_count = static_cast<int64_t>(
         std::round(config.fraction * static_cast<double>(n)));
     if (prune_count <= 0) return;
 
-    std::vector<int64_t> order(static_cast<size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    std::partial_sort(order.begin(), order.begin() + prune_count, order.end(),
-                      [&](int64_t a, int64_t b) {
-                        const int32_t ma = std::abs(weights.code_flat(a));
-                        const int32_t mb = std::abs(weights.code_flat(b));
-                        if (ma != mb) return ma < mb;
-                        return a < b;
-                      });
-    for (int64_t k = 0; k < prune_count; ++k) {
-      weights.set_code_flat(order[static_cast<size_t>(k)], 0);
-    }
+    const std::vector<int64_t> victims = kernels::smallest_k_by_abs_code(
+        weights.code_data(), static_cast<size_t>(n),
+        static_cast<size_t>(prune_count));
+    int8_t* codes = weights.code_data_mut();
+    for (const int64_t flat : victims) codes[flat] = 0;
   });
 }
 

@@ -183,6 +183,69 @@ WatermarkKey key_from(const Params& params) {
   return key;
 }
 
+/// Everything an insert needs between intake and response. The engine
+/// submission is deferred until the model build future resolves: a cold
+/// build runs on the pool (ModelStore::get_async) while the session keeps
+/// taking lines, and no engine worker ever blocks waiting for a build (a
+/// worker parked on a build future could deadlock a small pool).
+struct InsertCtx {
+  WatermarkEngine* engine = nullptr;
+  std::shared_future<ModelHandle> build;
+  ModelHandle handle;
+  std::unique_ptr<QuantizedModel> model;
+  // Request fields captured at parse time, submitted when the build lands.
+  std::string id, scheme;
+  WatermarkKey key;
+  bool seed_from_id = false;
+  std::string codes_path, record_path, evidence_path, owner;
+  // Set once submitted / failed.
+  std::shared_ptr<std::shared_future<WatermarkEngine::InsertResult>> result;
+  std::string build_error;
+};
+
+/// Resolves the build future (ready, or blocking when `block`) and submits
+/// the insert to the engine. Returns false while the build is still in
+/// flight. In the non-blocking mode a full engine queue also defers the
+/// submission (engine.submit applies blocking backpressure, and this path
+/// runs from Session::poll on the server event loop, which must never
+/// park); the next poll retries. A failed build lands in ctx.build_error
+/// instead of throwing: the response slot turns it into the same error
+/// line an intake-time build failure used to produce.
+bool submit_insert(const std::shared_ptr<InsertCtx>& ctx, bool block) {
+  if (ctx->result != nullptr || !ctx->build_error.empty()) return true;
+  if (!block) {
+    if (ctx->build.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      return false;
+    }
+    if (ctx->engine->queue_full()) return false;
+  }
+  try {
+    ctx->handle = ctx->build.get();
+  } catch (const std::exception& e) {
+    ctx->build_error = e.what();
+    return true;
+  }
+
+  WatermarkEngine::InsertRequest request;
+  request.id = ctx->id;
+  request.scheme = ctx->scheme;
+  request.key = ctx->key;
+  request.seed_from_id = ctx->seed_from_id;
+  request.stats = ctx->handle.stats.get();
+  // The deep copy of the cached original happens on the engine worker
+  // (model_factory), so even a warm insert costs the session only a
+  // queue push, and back-to-back inserts pipeline instead of
+  // serializing on copies.
+  request.model_factory = [ctx] {
+    ctx->model = std::make_unique<QuantizedModel>(*ctx->handle.original);
+    return ctx->model.get();
+  };
+  ctx->result = std::make_shared<std::shared_future<WatermarkEngine::InsertResult>>(
+      ctx->engine->submit(std::move(request)).share());
+  return true;
+}
+
 }  // namespace
 
 // --- RequestRouter -----------------------------------------------------------
@@ -367,33 +430,23 @@ bool RequestRouter::Session::handle_line(const std::string& line,
       json << "]}";
       emit(json.str());
     } else if (cmd == "insert") {
-      struct InsertCtx {
-        ModelHandle handle;
-        std::unique_ptr<QuantizedModel> model;
-        std::string codes_path, record_path, evidence_path, owner;
-      };
       auto ctx = std::make_shared<InsertCtx>();
       const ModelSpec spec = spec_for();
       Shard& home = router_.shard(router_.shard_for(spec));
-      ctx->handle = home.store.get(spec);
+      ctx->engine = &home.engine;
+      // Cold builds run on the pool behind the store's shared future; the
+      // engine submission happens from this session's flush path once the
+      // future resolves, so intake never stalls on zoo training and no
+      // engine worker parks on a build.
+      ctx->build = home.store.get_async(spec);
+      ctx->id = id;
+      ctx->scheme = params.get("scheme", "emmark");
+      ctx->key = key_from(params);
+      ctx->seed_from_id = params.get_int("seed-from-id", 0) != 0;
       ctx->codes_path = params.get("codes", "");
       ctx->record_path = params.get("record", "");
       ctx->evidence_path = params.get("evidence", "");
       ctx->owner = params.get("owner", "owner");
-
-      WatermarkEngine::InsertRequest request;
-      request.id = id;
-      request.scheme = params.get("scheme", "emmark");
-      // The deep copy of the cached original happens on the engine
-      // worker (model_factory), so intake stays at parse speed and
-      // back-to-back inserts pipeline instead of serializing on copies.
-      request.model_factory = [ctx] {
-        ctx->model = std::make_unique<QuantizedModel>(*ctx->handle.original);
-        return ctx->model.get();
-      };
-      request.stats = ctx->handle.stats.get();
-      request.key = key_from(params);
-      request.seed_from_id = params.get_int("seed-from-id", 0) != 0;
 
       // Every parse step that can throw has run; only now promise the
       // artifact paths (a malformed line must not leave stale entries
@@ -403,12 +456,14 @@ bool RequestRouter::Session::handle_line(const std::string& line,
         if (!path->empty()) pending_writes_.insert(artifact_key(*path));
       }
 
-      auto future = std::make_shared<std::shared_future<WatermarkEngine::InsertResult>>(
-          home.engine.submit(std::move(request)).share());
+      submit_insert(ctx, /*block=*/false);
       ++submitted_;
       pending_.push_back(PendingOutput{
-          [future] { return future_ready(*future); },
-          [future, ctx, id, this]() -> std::string {
+          [ctx] {
+            return submit_insert(ctx, /*block=*/false) &&
+                   (!ctx->build_error.empty() || future_ready(*ctx->result));
+          },
+          [ctx, id, this]() -> std::string {
             // Whatever happens below, the promised paths stop being owed
             // once this slot flushes (written, or never going to be).
             struct Release {
@@ -423,7 +478,12 @@ bool RequestRouter::Session::handle_line(const std::string& line,
                 }
               }
             } release{pending_writes_, ctx};
-            const WatermarkEngine::InsertResult slot = future->get();
+            submit_insert(ctx, /*block=*/true);
+            if (!ctx->build_error.empty()) {
+              ++failed_;
+              return error_line(id, "insert", ctx->build_error);
+            }
+            const WatermarkEngine::InsertResult slot = ctx->result->get();
             if (!slot.ok) {
               ++failed_;
               return error_line(id, "insert", slot.error);

@@ -1,0 +1,139 @@
+// Runtime-dispatched SIMD kernels for the watermark hot loops.
+//
+// EmMark's derivation cost is dominated by three inner loops: the Eq. 2-4
+// scoring sweep over every int8 code (score_row), the Eq. 6 delta-compare
+// at extraction (count_matches), and the Eq. 5 stamp (stamp). On top of
+// them sit the threshold scans (collect_le_*) that power the two-pass
+// candidate selection in src/kernels/select.h. Each op exists at up to
+// four dispatch levels -- scalar, SSE2, AVX2, NEON -- selected once per
+// process by CPUID-style detection and forceable via EMMARK_KERNEL
+// (scalar|sse2|avx2|neon, resolved through util/env).
+//
+// The contract every level must honour: **bit-identical results**. The
+// scalar implementation is the semantic reference; a vector level may only
+// reorder independent elements, never reassociate floating-point math (all
+// FP here is single IEEE div/mul/add per element, which vector units round
+// identically to scalar). tests/test_kernels.cpp enforces this across
+// every level the host supports -- placement invariance across hardware is
+// an ownership-proof requirement, not just a nicety.
+//
+// Ops where the access pattern defeats pre-AVX-512 SIMD (the sparse
+// scatter in stamp, the sparse gathers in count_matches below SSE4-gather
+// widths) intentionally share the scalar routine across levels; they stay
+// in the dispatch table so the bit-identity tests cover every level
+// uniformly and so a wider ISA can specialize them later.
+//
+// Adding an ISA: see docs/ARCHITECTURE.md, "Kernel dispatch".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emmark::kernels {
+
+enum class Level : int32_t { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+const char* to_string(Level level);
+
+/// Parses an EMMARK_KERNEL value ("scalar"|"sse2"|"avx2"|"neon");
+/// throws std::invalid_argument on anything else.
+Level parse_level(const std::string& name);
+
+/// Levels this binary can execute on this CPU, ascending; always contains
+/// kScalar. A level is supported when its TU was compiled with the ISA
+/// enabled AND the running CPU reports the feature.
+std::vector<Level> supported_levels();
+bool level_supported(Level level);
+
+/// The process default: EMMARK_KERNEL if set (std::runtime_error at first
+/// use when the forced level is unsupported here), otherwise the best
+/// supported level. Resolved once and cached.
+Level default_level();
+
+/// The level kernel callers should use: the innermost ScopedLevelOverride
+/// if one is active, otherwise default_level().
+Level active_level();
+
+/// Per-call context for the Eq. 2-4 scoring sweep over one row.
+struct ScoreArgs {
+  const int8_t* codes = nullptr;    // row slice of the contiguous code buffer
+  int64_t n = 0;                    // columns in the row
+  /// Per-column additive term, precomputed once per layer: beta * S_r[c]
+  /// for insertable channels, +inf for excluded ones (FP outlier columns,
+  /// Eq. 4 infinite-saliency channels), 0.0 when beta == 0.
+  const double* colterm = nullptr;
+  double alpha = 0.0;               // Eq. 2 magnitude coefficient
+  int32_t qmax = 127;               // saturation bound: |code| >= qmax excluded
+  double* out = nullptr;            // scores row slice, fully overwritten
+};
+
+/// One dispatch level's implementations. All function pointers are
+/// non-null at every level.
+struct Ops {
+  const char* name;
+
+  /// Eq. 2-4 for one row: out[i] = A(codes[i]) + colterm[i], where
+  /// A(c) = +inf when |c| >= qmax or c == 0 (saturated / zero codes are
+  /// never watermarkable), alpha / |c| when alpha != 0, else 0.0.
+  /// Exclusions thus become ordinary +inf arithmetic: no branches, and a
+  /// score is +inf exactly when the weight is uninsertable.
+  void (*score_row)(const ScoreArgs& args);
+
+  /// Eq. 6 delta-compare: number of j in [0, n) with
+  /// suspect[loc[j]] - original[loc[j]] == bits[j], computed in int32 (an
+  /// adversarial record may carry any int8 bit value, so mod-256 tricks
+  /// would miscount). Caller has validated 0 <= loc[j] < numel; `numel`
+  /// is passed so gather levels can bounds-guard their wide loads.
+  int64_t (*count_matches)(const int8_t* suspect, const int8_t* original,
+                           const int64_t* locations, const int8_t* bits,
+                           size_t n, int64_t numel);
+
+  /// Threshold scan: appends (in ascending order) every index i with
+  /// v[i] <= threshold to `out` (caller-sized to n) and returns the
+  /// count. +inf entries pass only a +inf threshold.
+  size_t (*collect_le_f64)(const double* v, size_t n, double threshold,
+                           int64_t* out);
+
+  /// Threshold scan over int8 magnitudes: appends every index i with
+  /// |codes[i]| <= threshold (int32 abs, so |-128| == 128) and returns
+  /// the count.
+  size_t (*collect_le_abs8)(const int8_t* codes, size_t n, int32_t threshold,
+                            int64_t* out);
+
+  /// Eq. 5 stamp: codes[loc[j]] += bits[j]. The caller guarantees the sums
+  /// stay inside the quantization grid (derivation never selects a
+  /// saturated weight), which is what lets this write through the raw
+  /// buffer instead of per-element bound-checked setters.
+  void (*stamp)(int8_t* codes, const int64_t* locations, const int8_t* bits,
+                size_t n);
+};
+
+/// Table for `level`; throws std::runtime_error when the level is not
+/// supported on this host/binary.
+const Ops& ops_for(Level level);
+
+/// Table for active_level().
+const Ops& active_ops();
+
+/// RAII override of active_level() for tests and benches: runs every
+/// supported level through the exact production call sites without
+/// touching the EMMARK_KERNEL selection. Process-wide (not thread-local)
+/// because kernel dispatch is consulted on pool worker threads, which a
+/// thread-local override would never reach; nest freely on one thread,
+/// but do not hold overrides on two threads at once. Throws if `level`
+/// is unsupported.
+class ScopedLevelOverride {
+ public:
+  explicit ScopedLevelOverride(Level level);
+  ~ScopedLevelOverride();
+
+  ScopedLevelOverride(const ScopedLevelOverride&) = delete;
+  ScopedLevelOverride& operator=(const ScopedLevelOverride&) = delete;
+
+ private:
+  int32_t previous_;
+};
+
+}  // namespace emmark::kernels

@@ -1,0 +1,104 @@
+// NEON dispatch level (AArch64). Two double lanes per iteration via the
+// AArch64 float64x2 ops (vdivq_f64 requires AArch64 -- 32-bit NEON has no
+// double-precision divide, so the level is gated on __aarch64__). Byte
+// scans run 16 wide. Sparse-access ops (count_matches, stamp) share the
+// scalar routines: NEON has neither gather nor scatter.
+#include "kernels/isa_tables.h"
+#include "kernels/kernels.h"
+#include "kernels/scalar_impl.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <limits>
+
+namespace emmark::kernels {
+namespace {
+
+void score_row_neon(const ScoreArgs& a) {
+  const float64x2_t inf_v = vdupq_n_f64(std::numeric_limits<double>::infinity());
+  const float64x2_t qmax_v = vdupq_n_f64(static_cast<double>(a.qmax));
+  const float64x2_t zero_v = vdupq_n_f64(0.0);
+  const float64x2_t alpha_v = vdupq_n_f64(a.alpha);
+  const bool has_alpha = a.alpha != 0.0;
+
+  int64_t i = 0;
+  for (; i + 2 <= a.n; i += 2) {
+    const float64x2_t x = {static_cast<double>(a.codes[i]),
+                           static_cast<double>(a.codes[i + 1])};
+    const float64x2_t ax = vabsq_f64(x);
+    const uint64x2_t excluded =
+        vorrq_u64(vcgeq_f64(ax, qmax_v), vceqq_f64(ax, zero_v));
+    const float64x2_t quot = has_alpha ? vdivq_f64(alpha_v, ax) : zero_v;
+    const float64x2_t term = vbslq_f64(excluded, inf_v, quot);
+    vst1q_f64(a.out + i, vaddq_f64(term, vld1q_f64(a.colterm + i)));
+  }
+  detail::score_row_tail(a, i);
+}
+
+size_t collect_le_f64_neon(const double* v, size_t n, double threshold,
+                           int64_t* out) {
+  const float64x2_t t = vdupq_n_f64(threshold);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t le = vcleq_f64(vld1q_f64(v + i), t);
+    if (vgetq_lane_u64(le, 0) != 0) out[count++] = static_cast<int64_t>(i);
+    if (vgetq_lane_u64(le, 1) != 0) out[count++] = static_cast<int64_t>(i + 1);
+  }
+  if (i < n && v[i] <= threshold) out[count++] = static_cast<int64_t>(i);
+  return count;
+}
+
+size_t collect_le_abs8_neon(const int8_t* codes, size_t n, int32_t threshold,
+                            int64_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  if (threshold >= 0) {
+    const bool take_all = threshold >= 128;
+    const int8_t t8 = static_cast<int8_t>(threshold > 127 ? 127 : threshold);
+    const int8x16_t hi = vdupq_n_s8(t8);
+    const int8x16_t lo = vdupq_n_s8(static_cast<int8_t>(-t8));
+    for (; i + 16 <= n; i += 16) {
+      const int8x16_t c = vld1q_s8(codes + i);
+      uint8x16_t keep;
+      if (take_all) {
+        keep = vdupq_n_u8(0xff);
+      } else {
+        keep = vandq_u8(vcleq_s8(c, hi), vcgeq_s8(c, lo));
+      }
+      uint8_t lanes[16];
+      vst1q_u8(lanes, keep);
+      for (unsigned lane = 0; lane < 16; ++lane) {
+        if (lanes[lane] != 0) out[count++] = static_cast<int64_t>(i + lane);
+      }
+    }
+  }
+  return detail::collect_le_abs8_tail(codes, i, n, threshold, out, count);
+}
+
+const Ops kNeonOps = {
+    "neon",
+    score_row_neon,
+    detail::count_matches_scalar,  // no gather on NEON
+    collect_le_f64_neon,
+    collect_le_abs8_neon,
+    detail::stamp_scalar,  // sparse scatter
+};
+
+}  // namespace
+
+namespace detail {
+const Ops* neon_table() { return &kNeonOps; }
+}  // namespace detail
+
+}  // namespace emmark::kernels
+
+#else  // !AArch64 NEON
+
+namespace emmark::kernels::detail {
+const Ops* neon_table() { return nullptr; }
+}  // namespace emmark::kernels::detail
+
+#endif

@@ -1,0 +1,113 @@
+// SSE2 dispatch level: the x86 floor (every x86-64 CPU has it), so the
+// fallback lane on hosts without AVX2 still gets vector divides and
+// compares. Two double lanes per iteration; the int8 -> double widening is
+// scalar (no pmovsx below SSE4.1) but the divide/compare/blend -- the
+// expensive part -- is vector. Sparse-access ops (count_matches, stamp)
+// share the scalar routines: SSE2 has no gather or scatter.
+#include "kernels/isa_tables.h"
+#include "kernels/kernels.h"
+#include "kernels/scalar_impl.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <limits>
+
+namespace emmark::kernels {
+namespace {
+
+void score_row_sse2(const ScoreArgs& a) {
+  const __m128d inf_v = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  const __m128d qmax_v = _mm_set1_pd(static_cast<double>(a.qmax));
+  const __m128d zero_v = _mm_setzero_pd();
+  const __m128d alpha_v = _mm_set1_pd(a.alpha);
+  const __m128d sign_mask = _mm_set1_pd(-0.0);
+  const bool has_alpha = a.alpha != 0.0;
+
+  int64_t i = 0;
+  for (; i + 2 <= a.n; i += 2) {
+    const __m128d x = _mm_set_pd(static_cast<double>(a.codes[i + 1]),
+                                 static_cast<double>(a.codes[i]));
+    const __m128d ax = _mm_andnot_pd(sign_mask, x);
+    const __m128d excluded =
+        _mm_or_pd(_mm_cmpge_pd(ax, qmax_v), _mm_cmpeq_pd(ax, zero_v));
+    const __m128d quot = has_alpha ? _mm_div_pd(alpha_v, ax) : zero_v;
+    // blendv is SSE4.1; and/andnot/or is the SSE2 spelling.
+    const __m128d term =
+        _mm_or_pd(_mm_and_pd(excluded, inf_v), _mm_andnot_pd(excluded, quot));
+    _mm_storeu_pd(a.out + i, _mm_add_pd(term, _mm_loadu_pd(a.colterm + i)));
+  }
+  detail::score_row_tail(a, i);
+}
+
+size_t collect_le_f64_sse2(const double* v, size_t n, double threshold,
+                           int64_t* out) {
+  const __m128d t = _mm_set1_pd(threshold);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    unsigned mask = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_cmple_pd(_mm_loadu_pd(v + i), t)));
+    if (mask & 1u) out[count++] = static_cast<int64_t>(i);
+    if (mask & 2u) out[count++] = static_cast<int64_t>(i + 1);
+  }
+  if (i < n && v[i] <= threshold) out[count++] = static_cast<int64_t>(i);
+  return count;
+}
+
+size_t collect_le_abs8_sse2(const int8_t* codes, size_t n, int32_t threshold,
+                            int64_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  if (threshold >= 0) {
+    const bool take_all = threshold >= 128;
+    const int8_t t8 = static_cast<int8_t>(threshold > 127 ? 127 : threshold);
+    const __m128i hi = _mm_set1_epi8(t8);
+    const __m128i lo = _mm_set1_epi8(static_cast<int8_t>(-t8));
+    for (; i + 16 <= n; i += 16) {
+      const __m128i c =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+      unsigned mask;
+      if (take_all) {
+        mask = 0xffffu;
+      } else {
+        const __m128i over = _mm_cmpgt_epi8(c, hi);
+        const __m128i under = _mm_cmpgt_epi8(lo, c);
+        mask = 0xffffu & ~static_cast<unsigned>(
+                             _mm_movemask_epi8(_mm_or_si128(over, under)));
+      }
+      while (mask != 0) {
+        const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+        out[count++] = static_cast<int64_t>(i + lane);
+        mask &= mask - 1;
+      }
+    }
+  }
+  return detail::collect_le_abs8_tail(codes, i, n, threshold, out, count);
+}
+
+const Ops kSse2Ops = {
+    "sse2",
+    score_row_sse2,
+    detail::count_matches_scalar,  // no gather below AVX2
+    collect_le_f64_sse2,
+    collect_le_abs8_sse2,
+    detail::stamp_scalar,  // sparse scatter
+};
+
+}  // namespace
+
+namespace detail {
+const Ops* sse2_table() { return &kSse2Ops; }
+}  // namespace detail
+
+}  // namespace emmark::kernels
+
+#else  // !defined(__SSE2__)
+
+namespace emmark::kernels::detail {
+const Ops* sse2_table() { return nullptr; }
+}  // namespace emmark::kernels::detail
+
+#endif

@@ -1,0 +1,119 @@
+#include "kernels/select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+#include "kernels/kernels.h"
+
+namespace emmark::kernels {
+namespace {
+
+/// Orders survivors exactly like the partial_sort this module replaces:
+/// nth_element to isolate the k smallest, then sort them. `survivors`
+/// holds `count` candidate indices (an uninitialized scratch buffer --
+/// value-initializing an n-sized vector per layer would memset megabytes
+/// the scan immediately overwrites); returns the first k in (key, index)
+/// order.
+template <typename Cmp>
+std::vector<int64_t> order_survivors(int64_t* survivors, size_t count, size_t k,
+                                     Cmp cmp) {
+  if (k < count) {
+    std::nth_element(survivors, survivors + k, survivors + count, cmp);
+    count = k;
+  }
+  std::sort(survivors, survivors + count, cmp);
+  return std::vector<int64_t>(survivors, survivors + count);
+}
+
+}  // namespace
+
+std::vector<int64_t> smallest_k_by_score(const double* scores, size_t n,
+                                         size_t k) {
+  k = std::min(k, n);
+  if (k == 0) return {};
+  const Ops& ops = active_ops();
+
+  // Deterministic stride sample -> threshold estimate via nth_element
+  // (a full sample sort would rival the scan it is trying to avoid). The
+  // quantile is padded (2x the proportional rank, +8 absolute) so the
+  // scan almost always survives >= k entries on the first try;
+  // correctness never depends on it, because a short scan escalates the
+  // quantile and ultimately +inf (which admits everything).
+  constexpr size_t kSampleTarget = 2048;
+  const size_t stride = std::max<size_t>(1, n / kSampleTarget);
+  std::vector<double> sample;
+  sample.reserve(n / stride + 1);
+  for (size_t i = 0; i < n; i += stride) sample.push_back(scores[i]);
+
+  const double frac = static_cast<double>(k) / static_cast<double>(n);
+  size_t quantile = std::min(
+      sample.size() - 1,
+      static_cast<size_t>(frac * 2.0 * static_cast<double>(sample.size())) + 8);
+
+  std::unique_ptr<int64_t[]> survivors(new int64_t[n]);
+  size_t count = 0;
+  for (;;) {
+    std::nth_element(sample.begin(),
+                     sample.begin() + static_cast<int64_t>(quantile),
+                     sample.end());
+    const double threshold = sample[quantile];
+    count = ops.collect_le_f64(scores, n, threshold, survivors.get());
+    if (count >= k) break;
+    if (quantile == sample.size() - 1) {
+      // Even the sample maximum under-covers (possible when the sample
+      // missed the dense low region entirely): admit everything.
+      count = ops.collect_le_f64(scores, n,
+                                 std::numeric_limits<double>::infinity(),
+                                 survivors.get());
+      break;
+    }
+    quantile = std::min(sample.size() - 1, quantile * 2 + 8);
+  }
+
+  return order_survivors(survivors.get(), count, k, [&](int64_t a, int64_t b) {
+    const double sa = scores[static_cast<size_t>(a)];
+    const double sb = scores[static_cast<size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+}
+
+std::vector<int64_t> smallest_k_by_abs_code(const int8_t* codes, size_t n,
+                                            size_t k) {
+  k = std::min(k, n);
+  if (k == 0) return {};
+  const Ops& ops = active_ops();
+
+  // Exact threshold via a magnitude histogram: the smallest T whose
+  // cumulative count reaches k. One byte-load pass; no sampling slack
+  // needed, the scan count equals the cumulative count exactly.
+  size_t hist[129] = {};
+  for (size_t i = 0; i < n; ++i) {
+    ++hist[static_cast<size_t>(std::abs(static_cast<int32_t>(codes[i])))];
+  }
+  int32_t threshold = 0;
+  size_t cumulative = 0;
+  for (int32_t t = 0; t <= 128; ++t) {
+    cumulative += hist[static_cast<size_t>(t)];
+    if (cumulative >= k) {
+      threshold = t;
+      break;
+    }
+  }
+
+  std::unique_ptr<int64_t[]> survivors(new int64_t[cumulative]);
+  const size_t count =
+      ops.collect_le_abs8(codes, n, threshold, survivors.get());
+
+  return order_survivors(survivors.get(), count, k, [&](int64_t a, int64_t b) {
+    const int32_t ma = std::abs(static_cast<int32_t>(codes[static_cast<size_t>(a)]));
+    const int32_t mb = std::abs(static_cast<int32_t>(codes[static_cast<size_t>(b)]));
+    if (ma != mb) return ma < mb;
+    return a < b;
+  });
+}
+
+}  // namespace emmark::kernels

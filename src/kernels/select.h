@@ -1,0 +1,44 @@
+// Two-pass top-k selection over flat weight tensors.
+//
+// EmMark's candidate pool (and the magnitude-pruning attack) need the k
+// smallest elements of an n-element array under a stable (key, index)
+// order, with k << n (k = candidate_ratio * bits_per_layer, n = rows *
+// cols). The old implementation partial_sorted an n-entry index vector --
+// O(n log k) comparator calls through two indirections per compare. These
+// helpers do it in two passes:
+//
+//   1. Threshold: find a key value T guaranteed >= the true k-th smallest
+//      (a deterministic stride-sample quantile for doubles, an exact
+//      256-bin histogram for int8 magnitudes), then SIMD-scan the array
+//      collecting every index with key <= T (kernels::Ops::collect_le_*).
+//   2. Order: nth_element + sort over the survivors only (a few * k
+//      entries) with the same stable score-then-index tie-break.
+//
+// The result is byte-identical to the partial_sort it replaces -- same k
+// indices, same order, independent of the sampling -- because the scan
+// provably keeps a superset of the true top-k and the final ordering pass
+// is exact (tests/test_kernels.cpp pins this against a reference
+// partial_sort, and the derive placement pin covers the end-to-end
+// consequence).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emmark::kernels {
+
+/// Indices of the k smallest scores (ties broken by lower index), sorted
+/// by (score, index) ascending -- exactly the first k entries a
+/// partial_sort of all indices under that comparator would produce.
+/// +inf scores order after every finite score. k is clamped to n.
+std::vector<int64_t> smallest_k_by_score(const double* scores, size_t n,
+                                         size_t k);
+
+/// Indices of the k smallest |code| values (int32 magnitude, ties broken
+/// by lower index), sorted by (|code|, index) ascending. k is clamped
+/// to n.
+std::vector<int64_t> smallest_k_by_abs_code(const int8_t* codes, size_t n,
+                                            size_t k);
+
+}  // namespace emmark::kernels

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "model_zoo/zoo.h"
+#include "util/threadpool.h"
 
 namespace emmark {
 
@@ -38,7 +39,15 @@ ModelHandle ModelStore::build(const ModelSpec& spec) const {
   return handle;
 }
 
-ModelHandle ModelStore::get(const ModelSpec& spec) {
+ModelStore::~ModelStore() {
+  // A build closure posted by get_async captures `this`; wait out any
+  // still running on the pool before the members they touch go away.
+  std::unique_lock<std::mutex> lock(mutex_);
+  async_idle_cv_.wait(lock, [&] { return async_builds_ == 0; });
+}
+
+std::shared_future<ModelHandle> ModelStore::lookup(
+    const ModelSpec& spec, std::function<void()>& run_build) {
   // Validate the name eagerly so typos fail fast (and never occupy a slot).
   (void)zoo_entry(spec.model);
   const std::string key = spec.key();
@@ -52,27 +61,27 @@ ModelHandle ModelStore::get(const ModelSpec& spec) {
     if (it != entries_.end()) {
       ++stats_.hits;
       touch(key);
-      future = it->second.handle;
-    } else {
-      ++stats_.misses;
-      ++stats_.builds;
-      to_build = std::make_shared<std::promise<ModelHandle>>();
-      build_id = next_entry_id_++;
-      Entry entry;
-      entry.handle = to_build->get_future().share();
-      entry.id = build_id;
-      future = entry.handle;
-      lru_.push_front(key);
-      entry.lru_pos = lru_.begin();
-      entries_.emplace(key, std::move(entry));
-      evict_excess();
+      return it->second.handle;
     }
+    ++stats_.misses;
+    ++stats_.builds;
+    to_build = std::make_shared<std::promise<ModelHandle>>();
+    build_id = next_entry_id_++;
+    Entry entry;
+    entry.handle = to_build->get_future().share();
+    entry.id = build_id;
+    future = entry.handle;
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(key, std::move(entry));
+    evict_excess();
   }
 
-  if (to_build != nullptr) {
-    // Build outside the lock: other specs stay servable during training,
-    // and same-spec callers wait on the shared future instead of
-    // duplicating the work.
+  // The build itself runs wherever the caller puts this closure -- inline
+  // for get(), on the pool for get_async(). Either way it runs outside the
+  // lock: other specs stay servable during training, and same-spec callers
+  // wait on the shared future instead of duplicating the work.
+  run_build = [this, spec, key, to_build, build_id] {
     try {
       ModelHandle built = build(spec);
       const uint64_t footprint = built.original->code_bytes();
@@ -102,10 +111,33 @@ ModelHandle ModelStore::get(const ModelSpec& spec) {
           entries_.erase(it);
         }
       }
-      return future.get();  // rethrows for this caller
     }
-  }
+  };
+  return future;
+}
+
+ModelHandle ModelStore::get(const ModelSpec& spec) {
+  std::function<void()> run_build;
+  std::shared_future<ModelHandle> future = lookup(spec, run_build);
+  if (run_build) run_build();
   return future.get();
+}
+
+std::shared_future<ModelHandle> ModelStore::get_async(const ModelSpec& spec) {
+  std::function<void()> run_build;
+  std::shared_future<ModelHandle> future = lookup(spec, run_build);
+  if (run_build) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++async_builds_;
+    }
+    ThreadPool::active().post([this, run_build = std::move(run_build)] {
+      run_build();
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--async_builds_ == 0) async_idle_cv_.notify_all();
+    });
+  }
+  return future;
 }
 
 std::unique_ptr<QuantizedModel> ModelStore::checkout(const ModelSpec& spec) {

@@ -24,7 +24,9 @@
 // requests against one model cost exactly one build reads these).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -94,6 +96,19 @@ class ModelStore {
   /// get() retries).
   ModelHandle get(const ModelSpec& spec);
 
+  /// Non-blocking get: returns the spec's shared build future immediately.
+  /// On a miss the build is posted to the active ThreadPool instead of
+  /// running on the calling thread, so a dispatcher (router session,
+  /// server event loop) keeps taking requests while the model trains;
+  /// warm specs return an already-ready future. Same key validation,
+  /// dedup, eviction and stats semantics as get() -- both entry points
+  /// share one entry map, so a get() issued while an async build is in
+  /// flight joins it instead of rebuilding. Never call future.get() from
+  /// a pool worker (the build occupies pool capacity; a worker blocking
+  /// on it can deadlock a small pool) -- poll or wait from dispatcher
+  /// threads only.
+  std::shared_future<ModelHandle> get_async(const ModelSpec& spec);
+
   /// Copy-on-write snapshot for mutating requests: a private deep copy of
   /// the cached original (which itself stays pristine).
   std::unique_ptr<QuantizedModel> checkout(const ModelSpec& spec);
@@ -105,8 +120,15 @@ class ModelStore {
 
   const ModelStoreConfig& config() const { return config_; }
 
+  ~ModelStore();
+
  private:
   ModelHandle build(const ModelSpec& spec) const;
+  /// Shared miss/hit path for get()/get_async(): returns the entry's
+  /// future; when this call created the entry, fills `run_build` with the
+  /// closure that performs the build (the caller decides where it runs).
+  std::shared_future<ModelHandle> lookup(const ModelSpec& spec,
+                                         std::function<void()>& run_build);
   void touch(const std::string& key);   // requires mutex_ held
   void evict_lru();                     // requires mutex_ held
   void evict_excess();                  // requires mutex_ held
@@ -129,6 +151,11 @@ class ModelStore {
   uint64_t next_entry_id_ = 1;
   uint64_t resident_bytes_ = 0;
   Stats stats_;
+  /// Builds posted to the pool by get_async that have not finished; the
+  /// destructor waits them out so a posted closure never outlives the
+  /// store it captures.
+  size_t async_builds_ = 0;
+  std::condition_variable async_idle_cv_;
 };
 
 }  // namespace emmark

@@ -54,6 +54,14 @@ class QuantizedTensor {
   void set_code_flat(int64_t index, int8_t value);
   const std::vector<int8_t>& codes() const { return codes_; }
 
+  /// Raw views of the contiguous [rows * cols] code buffer for the SIMD
+  /// kernels (src/kernels/). The mutable span bypasses set_code_flat's
+  /// per-element grid check: callers must guarantee every written value
+  /// stays within [qmin, qmax] (the watermark stamp does -- derivation
+  /// never selects a saturated weight -- as does pruning to 0).
+  const int8_t* code_data() const { return codes_.data(); }
+  int8_t* code_data_mut() { return codes_.data(); }
+
   /// True when the code sits at the min or max quantization level; EmMark
   /// excludes such weights so +-1 never clips.
   bool is_saturated(int64_t row, int64_t col) const;

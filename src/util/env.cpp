@@ -5,14 +5,16 @@
 
 namespace emmark {
 
+std::string env_or(const char* name, const std::string& fallback) {
+  if (const char* value = std::getenv(name); value && *value) return value;
+  return fallback;
+}
+
 std::string cache_dir() {
-  std::string dir;
-  if (const char* env = std::getenv("EMMARK_CACHE"); env && *env) {
-    dir = env;
-  } else if (const char* home = std::getenv("HOME"); home && *home) {
-    dir = std::string(home) + "/.cache/emmark";
-  } else {
-    dir = "emmark_cache";
+  std::string dir = env_or("EMMARK_CACHE", "");
+  if (dir.empty()) {
+    const std::string home = env_or("HOME", "");
+    dir = home.empty() ? "emmark_cache" : home + "/.cache/emmark";
   }
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);

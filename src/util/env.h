@@ -1,9 +1,15 @@
-// Process environment helpers: cache directory resolution.
+// Process environment helpers: variable lookup and cache directory
+// resolution. All EMMARK_* knobs (EMMARK_CACHE, EMMARK_THREADS,
+// EMMARK_KERNEL) resolve through env_or so the lookup rules stay in one
+// place.
 #pragma once
 
 #include <string>
 
 namespace emmark {
+
+/// $name when set and non-empty, otherwise `fallback`.
+std::string env_or(const char* name, const std::string& fallback);
 
 /// Directory where trained model-zoo checkpoints are cached.
 /// Resolution order: $EMMARK_CACHE, then $HOME/.cache/emmark, then

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "util/env.h"
+
 namespace emmark {
 namespace {
 
@@ -112,8 +114,9 @@ void ThreadPool::parallel_for(size_t count,
 
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("EMMARK_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
+    const std::string env = env_or("EMMARK_THREADS", "");
+    if (!env.empty()) {
+      const long n = std::strtol(env.c_str(), nullptr, 10);
       if (n > 0) return static_cast<size_t>(n);
     }
     return static_cast<size_t>(0);

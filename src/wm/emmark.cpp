@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
+#include "kernels/select.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 
@@ -42,25 +43,20 @@ std::vector<LayerWatermark> derive_layers(const QuantizedModel& original,
     const std::vector<double> scores =
         score_layer(layer.weights, act.abs_mean, key.alpha, key.beta);
 
-    // Candidate pool: |B_c| smallest finite scores.
+    // Candidate pool: |B_c| smallest finite scores. The two-pass selection
+    // replaces a full-tensor partial_sort but preserves its exact
+    // (score, index) order, so pools -- and therefore placements -- stay
+    // byte-identical to records derived before the rewrite.
     const int64_t pool_target = key.candidate_ratio * key.bits_per_layer;
-    std::vector<int64_t> order(scores.size());
-    std::iota(order.begin(), order.end(), 0);
-    // Deterministic total order: score, then index (ties broken stably).
-    const int64_t pool_size = std::min<int64_t>(pool_target,
-                                                static_cast<int64_t>(order.size()));
-    std::partial_sort(order.begin(), order.begin() + pool_size, order.end(),
-                      [&](int64_t a, int64_t b) {
-                        const double sa = scores[static_cast<size_t>(a)];
-                        const double sb = scores[static_cast<size_t>(b)];
-                        if (sa != sb) return sa < sb;
-                        return a < b;
-                      });
+    const size_t pool_size =
+        std::min(static_cast<size_t>(pool_target), scores.size());
+    const std::vector<int64_t> order =
+        kernels::smallest_k_by_score(scores.data(), scores.size(), pool_size);
     std::vector<int64_t> pool;
-    pool.reserve(static_cast<size_t>(pool_size));
-    for (int64_t p = 0; p < pool_size; ++p) {
-      if (std::isinf(scores[static_cast<size_t>(order[static_cast<size_t>(p)])])) break;
-      pool.push_back(order[static_cast<size_t>(p)]);
+    pool.reserve(order.size());
+    for (int64_t p : order) {
+      if (std::isinf(scores[static_cast<size_t>(p)])) break;
+      pool.push_back(p);
     }
     if (static_cast<int64_t>(pool.size()) < key.bits_per_layer) {
       throw std::runtime_error("layer " + layer.name +
@@ -91,17 +87,20 @@ std::vector<LayerWatermark> derive_layers(const QuantizedModel& original,
 /// Eq. 5: stamps a derived record into `model` in place.
 void stamp_layers(QuantizedModel& model, const WatermarkRecord& record) {
   // Each iteration touches only its own layer's weights, so layers can be
-  // stamped concurrently without synchronization.
+  // stamped concurrently without synchronization. The stamp kernel writes
+  // through the raw code buffer: records reaching this path are freshly
+  // derived (insert() only), candidates are never saturated, so
+  // W'[L_i] = W[L_i] + b_i stays strictly inside the quantization grid
+  // and the per-element bound-checked setter would only burn cycles.
+  // Resolve the dispatch table once up front (the override is a
+  // process-wide atomic the workers would see too; hoisting just avoids
+  // re-consulting it per layer).
+  const kernels::Ops& ops = kernels::active_ops();
   parallel_for_index(record.layers.size(), [&](size_t i) {
     const LayerWatermark& wm = record.layers[i];
     QuantizedTensor& weights = model.layer(static_cast<int64_t>(i)).weights;
-    for (size_t j = 0; j < wm.locations.size(); ++j) {
-      const int64_t flat = wm.locations[j];
-      const int8_t original = weights.code_flat(flat);
-      // Eq. 5: W'[L_i] = W[L_i] + b_i. Candidates are never saturated, so
-      // the sum stays strictly inside the quantization grid.
-      weights.set_code_flat(flat, static_cast<int8_t>(original + wm.bits[j]));
-    }
+    ops.stamp(weights.code_data_mut(), wm.locations.data(), wm.bits.data(),
+              wm.locations.size());
   });
 }
 
@@ -173,41 +172,47 @@ std::vector<double> score_layer(const QuantizedTensor& weights,
         denom > 0.0 ? std::fabs(static_cast<double>(act_max) / denom) : kInf;
   }
 
+  // Fold every row-invariant exclusion into one per-column additive term
+  // so the inner sweep is pure arithmetic for the SIMD kernels:
+  // +inf for outlier FP columns (LLM.int8() -- no integer code to
+  // watermark) and Eq. 4-excluded channels, beta * S_r otherwise. A score
+  // is then A(code) + colterm[c], +inf exactly when the weight is
+  // structurally uninsertable -- identical bits to the old branchy walk,
+  // because zero-weighted terms stay absent from Eq. 2 rather than
+  // becoming 0 * inf (NaN): with beta = 0 an activation-minimum channel
+  // is still insertable, with alpha = 0 magnitude is ignored.
+  std::vector<double> colterm(static_cast<size_t>(cols), 0.0);
+  for (int64_t c = 0; c < cols; ++c) {
+    if (weights.is_outlier_col(c)) {
+      colterm[static_cast<size_t>(c)] = kInf;
+    } else if (beta != 0.0) {
+      const double s_r_c = s_r[static_cast<size_t>(c)];
+      colterm[static_cast<size_t>(c)] = std::isinf(s_r_c) ? kInf : beta * s_r_c;
+    }
+  }
+
   // Rows are scored in parallel over the active pool: each row writes only
   // its own scores slice, so the result is bit-identical to the serial walk
   // at any thread count. Inside derive() this runs on a pool worker and
   // falls back to inline execution; standalone callers (benches, ablations)
-  // get within-layer parallelism.
-  std::vector<double> scores(static_cast<size_t>(rows * cols), kInf);
+  // get within-layer parallelism. The per-row sweep dispatches to the
+  // active SIMD kernel (scalar/SSE2/AVX2/NEON -- bit-identical at every
+  // level, see src/kernels/kernels.h).
+  std::vector<double> scores(static_cast<size_t>(rows * cols));
+  const kernels::Ops& ops = kernels::active_ops();
+  const int8_t* codes = weights.code_data();
+  const int32_t qmax = weights.qmax();
   ThreadPool::active().parallel_for(
       static_cast<size_t>(rows), [&](size_t row_begin, size_t row_end) {
-        for (int64_t r = static_cast<int64_t>(row_begin);
-             r < static_cast<int64_t>(row_end); ++r) {
-          for (int64_t c = 0; c < cols; ++c) {
-            const int64_t flat = r * cols + c;
-            // Structural exclusions, regardless of coefficients: saturated
-            // weights are "set to 0 before scoring" (paper) so S_q = |b/0| =
-            // inf; zero codes likewise; outlier FP columns (LLM.int8()) hold
-            // no integer code to watermark at all.
-            if (weights.is_saturated_flat(flat)) continue;
-            const int8_t code = weights.code_flat(flat);
-            if (code == 0) continue;
-            if (weights.is_outlier_col(c)) continue;
-            // Zero-weighted terms are absent from Eq. 2 rather than 0 * inf
-            // (which would be NaN): with beta = 0 an activation-minimum
-            // channel is still insertable, with alpha = 0 magnitude is
-            // ignored.
-            double combined = 0.0;
-            if (alpha != 0.0) {
-              combined += alpha / std::fabs(static_cast<double>(code));  // |b| = 1
-            }
-            if (beta != 0.0) {
-              const double s_r_c = s_r[static_cast<size_t>(c)];
-              if (std::isinf(s_r_c)) continue;  // channel excluded by Eq. 4
-              combined += beta * s_r_c;
-            }
-            scores[static_cast<size_t>(flat)] = combined;
-          }
+        for (size_t r = row_begin; r < row_end; ++r) {
+          kernels::ScoreArgs args;
+          args.codes = codes + r * static_cast<size_t>(cols);
+          args.n = cols;
+          args.colterm = colterm.data();
+          args.alpha = alpha;
+          args.qmax = qmax;
+          args.out = scores.data() + r * static_cast<size_t>(cols);
+          ops.score_row(args);
         }
       });
   return scores;
@@ -226,29 +231,30 @@ ExtractionReport extract_recorded_bits(const QuantizedModel& suspect,
   // order afterwards, keeping the report independent of the thread count.
   std::vector<int64_t> matched(record.layers.size(), 0);
   std::vector<int64_t> total(record.layers.size(), 0);
+  const kernels::Ops& ops = kernels::active_ops();
   parallel_for_index(record.layers.size(), [&](size_t i) {
     const LayerWatermark& wm = record.layers[i];
     const QuantizedTensor& w_suspect = suspect.layer(static_cast<int64_t>(i)).weights;
     const QuantizedTensor& w_original = original.layer(static_cast<int64_t>(i)).weights;
     // Records reach this path from disk (evidence bundles), so the
-    // record-driven indices are untrusted input, not invariants.
+    // record-driven indices are untrusted input, not invariants: validate
+    // every shape and location before the kernel touches raw buffers.
     if (w_suspect.numel() != w_original.numel()) {
       throw std::invalid_argument("extract: layer shape mismatch");
     }
     if (wm.locations.size() != wm.bits.size()) {
       throw std::invalid_argument("extract: record bits/locations size mismatch");
     }
-    for (size_t j = 0; j < wm.locations.size(); ++j) {
-      const int64_t flat = wm.locations[j];
+    for (const int64_t flat : wm.locations) {
       if (flat < 0 || flat >= w_suspect.numel()) {
         throw std::invalid_argument("extract: record location out of range");
       }
-      // Eq. 6: dW = W'[L] - W[L]; a bit matches when dW equals b exactly.
-      const int32_t delta = static_cast<int32_t>(w_suspect.code_flat(flat)) -
-                            static_cast<int32_t>(w_original.code_flat(flat));
-      if (delta == static_cast<int32_t>(wm.bits[j])) ++matched[i];
-      ++total[i];
     }
+    // Eq. 6: dW = W'[L] - W[L]; a bit matches when dW equals b exactly.
+    matched[i] = ops.count_matches(w_suspect.code_data(), w_original.code_data(),
+                                   wm.locations.data(), wm.bits.data(),
+                                   wm.locations.size(), w_suspect.numel());
+    total[i] = static_cast<int64_t>(wm.locations.size());
   });
   ExtractionReport report;
   for (size_t i = 0; i < record.layers.size(); ++i) {

@@ -280,6 +280,11 @@ size_t WatermarkEngine::pending() const {
   return queue_.size() + in_flight_;
 }
 
+bool WatermarkEngine::queue_full() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() >= config_.max_queue;
+}
+
 WatermarkEngine::Counters WatermarkEngine::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;

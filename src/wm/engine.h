@@ -174,6 +174,14 @@ class WatermarkEngine {
   /// Requests currently queued or executing.
   size_t pending() const;
 
+  /// True when the next submit() would block on backpressure (queue at
+  /// config.max_queue). Advisory -- the state can change before a
+  /// subsequent submit -- but callers on latency-critical threads (the
+  /// server event loop deferring cold-insert submissions) use it to stay
+  /// non-blocking: a false reading at worst blocks like submit always
+  /// could, a true reading defers to the next poll.
+  bool queue_full() const;
+
   /// Snapshot of the async-path lifetime counters.
   Counters counters() const;
 

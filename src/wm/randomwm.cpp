@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 
@@ -72,14 +73,14 @@ SchemeRecord RandomWMScheme::insert(QuantizedModel& model,
   WatermarkRecord record =
       random_derive(model, key.seed, key.bits_per_layer, key.signature_seed);
 
+  // Same stamp kernel as EmMark: freshly derived locations are never
+  // saturated, so the raw-buffer write stays inside the grid.
+  const kernels::Ops& ops = kernels::active_ops();
   parallel_for_index(record.layers.size(), [&](size_t idx) {
     const LayerWatermark& wm = record.layers[idx];
     QuantizedTensor& weights = model.layer(static_cast<int64_t>(idx)).weights;
-    for (size_t j = 0; j < wm.locations.size(); ++j) {
-      const int8_t original = weights.code_flat(wm.locations[j]);
-      weights.set_code_flat(wm.locations[j],
-                            static_cast<int8_t>(original + wm.bits[j]));
-    }
+    ops.stamp(weights.code_data_mut(), wm.locations.data(), wm.bits.data(),
+              wm.locations.size());
   });
   return wrap(std::move(record));
 }

@@ -1,0 +1,464 @@
+// Kernel-dispatch invariants (src/kernels/): every SIMD level the host
+// supports must reproduce the scalar reference bit for bit -- scores,
+// selections, extraction counts, and stamped models -- at every thread
+// count. Placement invariance across hardware is an ownership-proof
+// requirement: an arbiter re-deriving a watermark on a different CPU must
+// reproduce the owner's evidence exactly.
+//
+// Also pins the two-pass candidate selection (kernels/select.h) against
+// the partial_sort it replaced: a reference implementation of the pre-PR
+// derivation lives here, and placements_equal asserts the rewrite changed
+// nothing about the records owners already hold.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/prune.h"
+#include "kernels/kernels.h"
+#include "kernels/select.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+#include "wm_fixture.h"
+
+namespace emmark {
+namespace {
+
+using testfx::WmFixture;
+namespace kn = emmark::kernels;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<kn::Level> levels() { return kn::supported_levels(); }
+
+// --- reference implementations (pre-PR semantics, kept verbatim) -------------
+
+/// The pre-rewrite candidate ordering: partial_sort of every index under
+/// (score, then index).
+std::vector<int64_t> partial_sort_smallest(const std::vector<double>& scores,
+                                           size_t k) {
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(k),
+                    order.end(), [&](int64_t a, int64_t b) {
+                      const double sa = scores[static_cast<size_t>(a)];
+                      const double sb = scores[static_cast<size_t>(b)];
+                      if (sa != sb) return sa < sb;
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+/// The pre-rewrite prune ordering: partial_sort under (|code|, index).
+std::vector<int64_t> partial_sort_smallest_abs(const std::vector<int8_t>& codes,
+                                               size_t k) {
+  std::vector<int64_t> order(codes.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(k),
+                    order.end(), [&](int64_t a, int64_t b) {
+                      const int32_t ma =
+                          std::abs(static_cast<int32_t>(codes[static_cast<size_t>(a)]));
+                      const int32_t mb =
+                          std::abs(static_cast<int32_t>(codes[static_cast<size_t>(b)]));
+                      if (ma != mb) return ma < mb;
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+/// Pre-PR derive_layers, replicated (including the per-layer RNG mix) so
+/// the selection rewrite can be pinned with placements_equal: records
+/// derived today must equal records derived before the rewrite.
+Rng layer_rng_reference(uint64_t seed, size_t layer_index) {
+  uint64_t state = seed;
+  (void)splitmix64(state);
+  return Rng(state + 0x9e3779b97f4a7c15ull * (layer_index + 1));
+}
+
+WatermarkRecord derive_reference(const QuantizedModel& original,
+                                 const ActivationStats& stats,
+                                 const WatermarkKey& key) {
+  WatermarkRecord record;
+  record.key = key;
+  for (int64_t i = 0; i < original.num_layers(); ++i) {
+    const QuantizedLayer& layer = original.layer(i);
+    const std::vector<double> scores = score_layer(
+        layer.weights, stats.find(layer.name).abs_mean, key.alpha, key.beta);
+    const size_t pool_target =
+        static_cast<size_t>(key.candidate_ratio * key.bits_per_layer);
+    const std::vector<int64_t> order = partial_sort_smallest(scores, pool_target);
+    std::vector<int64_t> pool;
+    for (int64_t p : order) {
+      if (std::isinf(scores[static_cast<size_t>(p)])) break;
+      pool.push_back(p);
+    }
+    Rng rng = layer_rng_reference(key.seed, static_cast<size_t>(i));
+    const std::vector<size_t> picks =
+        rng.sample_indices(pool.size(), static_cast<size_t>(key.bits_per_layer));
+    LayerWatermark wm;
+    wm.layer_name = layer.name;
+    for (size_t p : picks) wm.locations.push_back(pool[p]);
+    std::sort(wm.locations.begin(), wm.locations.end());
+    wm.bits = rademacher_signature(key.signature_seed + static_cast<uint64_t>(i),
+                                   key.bits_per_layer);
+    record.layers.push_back(std::move(wm));
+  }
+  return record;
+}
+
+WatermarkKey small_key() {
+  WatermarkKey key;
+  key.bits_per_layer = 6;
+  key.candidate_ratio = 10;
+  return key;
+}
+
+// --- dispatch plumbing -------------------------------------------------------
+
+TEST(KernelDispatch, ScalarAlwaysSupportedAndNamesRoundTrip) {
+  const auto supported = levels();
+  ASSERT_FALSE(supported.empty());
+  EXPECT_EQ(supported.front(), kn::Level::kScalar);
+  for (kn::Level level : supported) {
+    EXPECT_TRUE(kn::level_supported(level));
+    EXPECT_EQ(kn::parse_level(kn::to_string(level)), level);
+    EXPECT_STREQ(kn::ops_for(level).name, kn::to_string(level));
+  }
+  EXPECT_TRUE(kn::level_supported(kn::active_level()));
+  EXPECT_TRUE(kn::level_supported(kn::default_level()));
+}
+
+TEST(KernelDispatch, UnknownNameThrows) {
+  EXPECT_THROW(kn::parse_level("avx512"), std::invalid_argument);
+  EXPECT_THROW(kn::parse_level(""), std::invalid_argument);
+}
+
+TEST(KernelDispatch, UnsupportedLevelsThrow) {
+  // Every host lacks at least one level (no CPU is both x86 and ARM), so
+  // the failure path is exercised everywhere.
+  for (kn::Level level : {kn::Level::kScalar, kn::Level::kSse2, kn::Level::kAvx2,
+                          kn::Level::kNeon}) {
+    if (kn::level_supported(level)) continue;
+    EXPECT_THROW(kn::ops_for(level), std::runtime_error) << kn::to_string(level);
+    EXPECT_THROW(kn::ScopedLevelOverride{level}, std::runtime_error);
+  }
+}
+
+TEST(KernelDispatch, OverrideChangesActiveLevel) {
+  for (kn::Level level : levels()) {
+    kn::ScopedLevelOverride over(level);
+    EXPECT_EQ(kn::active_level(), level);
+  }
+  EXPECT_EQ(kn::active_level(), kn::default_level());
+}
+
+// --- score_layer -------------------------------------------------------------
+
+class KernelScore : public ::testing::Test {
+ protected:
+  /// score_layer for one fixture layer at (level, threads).
+  static std::vector<double> scores_at(const WmFixture& fx, int64_t layer,
+                                       kn::Level level, size_t threads,
+                                       double alpha = 0.5, double beta = 0.5) {
+    kn::ScopedLevelOverride kernel(level);
+    ThreadPool pool(threads);
+    ThreadPool::ScopedOverride over(pool);
+    const QuantizedLayer& l = fx.quantized->layer(layer);
+    return score_layer(l.weights, fx.stats.find(l.name).abs_mean, alpha, beta);
+  }
+};
+
+TEST_F(KernelScore, BitIdenticalAcrossLevelsAndThreadCounts) {
+  // AWQ INT4 exercises the saturation path; LLM.int8() adds FP outlier
+  // columns (the +inf colterm lanes).
+  for (QuantMethod method : {QuantMethod::kAwqInt4, QuantMethod::kLlmInt8}) {
+    const WmFixture fx(method);
+    for (int64_t layer = 0; layer < fx.quantized->num_layers(); ++layer) {
+      const std::vector<double> reference =
+          scores_at(fx, layer, kn::Level::kScalar, 1);
+      for (kn::Level level : levels()) {
+        for (size_t threads : {size_t{1}, size_t{3}}) {
+          const std::vector<double> got = scores_at(fx, layer, level, threads);
+          ASSERT_EQ(got, reference)
+              << to_string(method) << " layer " << layer << " level "
+              << kn::to_string(level) << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelScore, CoefficientEdgeCasesMatchScalar) {
+  const WmFixture fx(QuantMethod::kAwqInt4);
+  const struct { double alpha, beta; } cases[] = {{0.0, 0.5}, {0.5, 0.0}, {0.0, 0.0}};
+  for (const auto& c : cases) {
+    const std::vector<double> reference =
+        scores_at(fx, 0, kn::Level::kScalar, 1, c.alpha, c.beta);
+    for (kn::Level level : levels()) {
+      EXPECT_EQ(scores_at(fx, 0, level, 1, c.alpha, c.beta), reference)
+          << kn::to_string(level) << " alpha=" << c.alpha << " beta=" << c.beta;
+    }
+  }
+}
+
+// --- two-pass selection ------------------------------------------------------
+
+TEST(KernelSelect, SmallestKByScoreMatchesPartialSort) {
+  Rng rng(7);
+  for (const size_t n : {size_t{1}, size_t{33}, size_t{1000}, size_t{4097}}) {
+    std::vector<double> scores(n);
+    for (double& s : scores) {
+      // Coarse quantization forces heavy ties; sprinkle +inf exclusions.
+      s = rng.next_bool(0.15) ? kInf
+                              : static_cast<double>(rng.next_int(0, 40)) * 0.25;
+    }
+    for (const size_t k : {size_t{0}, size_t{1}, size_t{7}, n / 2, n - 1, n, n + 5}) {
+      const auto reference = partial_sort_smallest(scores, k);
+      for (kn::Level level : levels()) {
+        kn::ScopedLevelOverride over(level);
+        EXPECT_EQ(kn::smallest_k_by_score(scores.data(), n, k), reference)
+            << "n=" << n << " k=" << k << " level=" << kn::to_string(level);
+      }
+    }
+  }
+}
+
+TEST(KernelSelect, SmallestKByScoreAllInfStaysOrdered) {
+  const std::vector<double> scores(100, kInf);
+  const auto got = kn::smallest_k_by_score(scores.data(), scores.size(), 10);
+  EXPECT_EQ(got, partial_sort_smallest(scores, 10));
+}
+
+TEST(KernelSelect, SmallestKByAbsCodeMatchesPartialSort) {
+  Rng rng(11);
+  for (const size_t n : {size_t{1}, size_t{50}, size_t{2048}}) {
+    std::vector<int8_t> codes(n);
+    for (int8_t& c : codes) {
+      c = static_cast<int8_t>(rng.next_int(-127, 127));
+    }
+    // Force magnitude ties and both extremes.
+    if (n > 4) {
+      codes[0] = 127;
+      codes[1] = -127;
+      codes[2] = 0;
+      codes[3] = 0;
+    }
+    for (const size_t k : {size_t{0}, size_t{1}, n / 3, n}) {
+      const auto reference = partial_sort_smallest_abs(codes, k);
+      for (kn::Level level : levels()) {
+        kn::ScopedLevelOverride over(level);
+        EXPECT_EQ(kn::smallest_k_by_abs_code(codes.data(), n, k), reference)
+            << "n=" << n << " k=" << k << " level=" << kn::to_string(level);
+      }
+    }
+  }
+}
+
+// --- derive / placement stability -------------------------------------------
+
+TEST(KernelDerive, PlacementsEqualPrePRReferenceAtEveryLevel) {
+  const WmFixture fx(QuantMethod::kAwqInt4);
+  const WatermarkKey key = small_key();
+  const WatermarkRecord reference = derive_reference(*fx.quantized, fx.stats, key);
+  for (kn::Level level : levels()) {
+    kn::ScopedLevelOverride over(level);
+    WatermarkRecord derived;
+    derived.key = key;
+    derived.layers = testfx::em_derive(*fx.quantized, fx.stats, key);
+    EXPECT_TRUE(placements_equal(derived, reference)) << kn::to_string(level);
+  }
+}
+
+TEST(KernelDerive, PlacementsInvariantAcrossLevelsAndThreads) {
+  const WmFixture fx(QuantMethod::kLlmInt8);
+  const WatermarkKey key = small_key();
+  std::vector<LayerWatermark> reference;
+  for (kn::Level level : levels()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      kn::ScopedLevelOverride kernel(level);
+      ThreadPool pool(threads);
+      ThreadPool::ScopedOverride over(pool);
+      auto derived = testfx::em_derive(*fx.quantized, fx.stats, key);
+      if (reference.empty()) {
+        reference = derived;
+        continue;
+      }
+      ASSERT_EQ(derived.size(), reference.size());
+      for (size_t i = 0; i < derived.size(); ++i) {
+        EXPECT_EQ(derived[i].locations, reference[i].locations)
+            << kn::to_string(level) << " threads=" << threads << " layer " << i;
+        EXPECT_EQ(derived[i].bits, reference[i].bits);
+      }
+    }
+  }
+}
+
+// --- stamp / insert ----------------------------------------------------------
+
+TEST(KernelStamp, StampedModelsIdenticalAcrossLevels) {
+  const WmFixture fx(QuantMethod::kAwqInt4);
+  const WatermarkKey key = small_key();
+
+  // Reference: scalar-level insert, plus a manual re-application through
+  // the bound-checked setter to prove the raw-pointer stamp writes the
+  // same bytes the old set_code_flat loop did.
+  WatermarkRecord record;
+  QuantizedModel reference = *fx.quantized;
+  {
+    kn::ScopedLevelOverride over(kn::Level::kScalar);
+    record = testfx::em_insert(reference, fx.stats, key);
+  }
+  QuantizedModel manual = *fx.quantized;
+  for (size_t i = 0; i < record.layers.size(); ++i) {
+    const LayerWatermark& wm = record.layers[i];
+    QuantizedTensor& weights = manual.layer(static_cast<int64_t>(i)).weights;
+    for (size_t j = 0; j < wm.locations.size(); ++j) {
+      weights.set_code_flat(wm.locations[j],
+                            static_cast<int8_t>(weights.code_flat(wm.locations[j]) +
+                                                wm.bits[j]));
+    }
+  }
+
+  for (kn::Level level : levels()) {
+    kn::ScopedLevelOverride over(level);
+    QuantizedModel marked = *fx.quantized;
+    const WatermarkRecord got = testfx::em_insert(marked, fx.stats, key);
+    EXPECT_TRUE(placements_equal(got, record)) << kn::to_string(level);
+    for (int64_t i = 0; i < marked.num_layers(); ++i) {
+      ASSERT_EQ(marked.layer(i).weights.codes(), reference.layer(i).weights.codes())
+          << kn::to_string(level) << " layer " << i;
+      ASSERT_EQ(marked.layer(i).weights.codes(), manual.layer(i).weights.codes())
+          << kn::to_string(level) << " layer " << i;
+    }
+  }
+}
+
+// --- extract -----------------------------------------------------------------
+
+TEST(KernelExtract, ReportsIdenticalAcrossLevelsAndThreads) {
+  const WmFixture fx(QuantMethod::kAwqInt4);
+  const WatermarkKey key = small_key();
+  QuantizedModel marked = *fx.quantized;
+  const WatermarkRecord record = testfx::em_insert(marked, fx.stats, key);
+
+  for (kn::Level level : levels()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      kn::ScopedLevelOverride kernel(level);
+      ThreadPool pool(threads);
+      ThreadPool::ScopedOverride over(pool);
+      const ExtractionReport report =
+          extract_recorded_bits(marked, *fx.quantized, record);
+      EXPECT_EQ(report.matched_bits, record.total_bits()) << kn::to_string(level);
+      EXPECT_EQ(report.total_bits, record.total_bits());
+    }
+  }
+}
+
+TEST(KernelExtract, AdversarialRecordBitsNeverAliasModulo256) {
+  // A wrapped delta must not count as a match: suspect 127, original -127
+  // gives delta +254, and a forged record bit of -2 is congruent mod 256.
+  // The int32 compare (scalar and gather levels alike) must reject it.
+  const WmFixture fx(QuantMethod::kLlmInt8);  // INT8: grid reaches +-127
+  QuantizedModel original = *fx.quantized;
+  QuantizedModel suspect = *fx.quantized;
+  QuantizedTensor& w = suspect.layer(0).weights;
+  const int64_t numel = w.numel();
+
+  QuantizedTensor& wo = original.layer(0).weights;
+  // Location 0: wrapped delta. Last location: exercises the gather
+  // bounds-guard tail. Middle run: enough lanes to enter the vector loop.
+  wo.set_code_flat(0, -127);
+  w.set_code_flat(0, 127);
+  LayerWatermark wm;
+  wm.layer_name = fx.quantized->layer(0).name;
+  wm.locations = {0, numel / 3, numel / 2, numel / 2 + 1, numel - 2, numel - 1};
+  wm.bits = {-2, 1, 1, -1, 1, -1};
+  for (size_t j = 1; j < wm.locations.size(); ++j) {
+    // Make every non-wrapped location a true match.
+    const int64_t flat = wm.locations[j];
+    wo.set_code_flat(flat, 5);
+    w.set_code_flat(flat, static_cast<int8_t>(5 + wm.bits[j]));
+  }
+  WatermarkRecord record;
+  record.layers.push_back(wm);
+
+  for (kn::Level level : levels()) {
+    kn::ScopedLevelOverride over(level);
+    const ExtractionReport report = extract_recorded_bits(suspect, original, record);
+    EXPECT_EQ(report.total_bits, 6) << kn::to_string(level);
+    EXPECT_EQ(report.matched_bits, 5) << kn::to_string(level);
+  }
+}
+
+TEST(KernelExtract, CountMatchesKernelAgreesWithScalarOnDenseRuns) {
+  // Direct kernel-vs-kernel check with every location shape the gather
+  // level branches on: full vector groups, groups straddling the buffer
+  // tail, and a scalar remainder.
+  Rng rng(23);
+  const int64_t numel = 257;
+  std::vector<int8_t> original(numel), suspect(numel);
+  for (int64_t i = 0; i < numel; ++i) {
+    original[static_cast<size_t>(i)] = static_cast<int8_t>(rng.next_int(-127, 127));
+    suspect[static_cast<size_t>(i)] = static_cast<int8_t>(rng.next_int(-127, 127));
+  }
+  std::vector<int64_t> locations;
+  std::vector<int8_t> bits;
+  for (int64_t i = 0; i < numel; i += 2) {
+    locations.push_back(i);
+    bits.push_back(static_cast<int8_t>(rng.next_sign()));
+  }
+  locations.push_back(numel - 1);
+  bits.push_back(1);
+
+  const int64_t reference = kn::ops_for(kn::Level::kScalar)
+                                .count_matches(suspect.data(), original.data(),
+                                               locations.data(), bits.data(),
+                                               locations.size(), numel);
+  for (kn::Level level : levels()) {
+    EXPECT_EQ(kn::ops_for(level).count_matches(suspect.data(), original.data(),
+                                               locations.data(), bits.data(),
+                                               locations.size(), numel),
+              reference)
+        << kn::to_string(level);
+  }
+}
+
+// --- prune -------------------------------------------------------------------
+
+TEST(KernelPrune, PrunedModelsIdenticalAcrossLevelsAndToReference) {
+  const WmFixture fx(QuantMethod::kAwqInt4);
+  PruneConfig config;
+  config.fraction = 0.3;
+
+  // Reference: the pre-PR partial_sort victims, applied manually.
+  QuantizedModel reference = *fx.quantized;
+  for (int64_t i = 0; i < reference.num_layers(); ++i) {
+    QuantizedTensor& weights = reference.layer(i).weights;
+    const auto prune_count = static_cast<size_t>(
+        std::round(config.fraction * static_cast<double>(weights.numel())));
+    for (int64_t flat : partial_sort_smallest_abs(weights.codes(), prune_count)) {
+      weights.set_code_flat(flat, 0);
+    }
+  }
+
+  for (kn::Level level : levels()) {
+    kn::ScopedLevelOverride over(level);
+    QuantizedModel attacked = *fx.quantized;
+    prune_attack(attacked, config);
+    for (int64_t i = 0; i < attacked.num_layers(); ++i) {
+      ASSERT_EQ(attacked.layer(i).weights.codes(), reference.layer(i).weights.codes())
+          << kn::to_string(level) << " layer " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emmark

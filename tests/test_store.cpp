@@ -3,7 +3,9 @@
 // observability counters.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -207,6 +209,56 @@ TEST_F(StoreTest, ClearDropsResidencyButNotOutstandingHandles) {
   // Next get is a rebuild.
   (void)store.get(spec());
   EXPECT_EQ(store.stats().builds, 2u);
+}
+
+TEST_F(StoreTest, GetAsyncReturnsImmediatelyAndBuildsOnThePool) {
+  ModelStore store = make_store();
+  std::shared_future<ModelHandle> future = store.get_async(spec());
+  ASSERT_TRUE(future.valid());
+  const ModelHandle handle = future.get();
+  ASSERT_TRUE(handle);
+  ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+
+  // A warm spec resolves at once, as a hit.
+  std::shared_future<ModelHandle> again = store.get_async(spec());
+  EXPECT_EQ(again.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(again.get().original.get(), handle.original.get());
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST_F(StoreTest, GetAsyncAndGetShareOneBuild) {
+  // An async build in flight (or landed) must dedupe with synchronous
+  // get()s of the same spec: one entry map, one build.
+  ModelStore store = make_store();
+  std::shared_future<ModelHandle> future = store.get_async(spec());
+  const ModelHandle via_get = store.get(spec());
+  EXPECT_EQ(future.get().original.get(), via_get.original.get());
+  const ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(StoreTest, GetAsyncValidatesModelNameEagerly) {
+  ModelStore store = make_store();
+  ModelSpec bogus = spec();
+  bogus.model = "not-a-zoo-model";
+  EXPECT_THROW((void)store.get_async(bogus), std::out_of_range);
+  EXPECT_EQ(store.stats().misses, 0u);
+}
+
+TEST_F(StoreTest, DestructorWaitsOutInFlightAsyncBuilds) {
+  // Destroying the store right after posting a cold build must not leave
+  // the pool task touching freed members; the future stays valid after
+  // the store is gone (the promise outlives it via shared_ptr).
+  std::shared_future<ModelHandle> future;
+  {
+    ModelStore store = make_store();
+    future = store.get_async(spec("opt-2.7b-sim"));
+  }
+  EXPECT_TRUE(future.get());
 }
 
 }  // namespace
