@@ -5,6 +5,7 @@
 #   scripts/check.sh                 # Release build + tests (the tier-1 line)
 #   scripts/check.sh --warnings      # Debug build with -Wall -Wextra -Werror
 #   scripts/check.sh --sanitize      # ASan + UBSan build, full ctest suite
+#   scripts/check.sh --tsan          # ThreadSanitizer build, concurrency suites
 #   scripts/check.sh --docs          # docs lane: markdown link check, no build
 #   scripts/check.sh --build-dir DIR # custom build tree (default: build)
 #
@@ -22,6 +23,8 @@ BUILD_DIR=build
 BUILD_TYPE=Release
 WARNINGS=OFF
 SANITIZE=OFF
+TSAN=OFF
+TEST_FILTER=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -35,6 +38,17 @@ while [[ $# -gt 0 ]]; do
       BUILD_TYPE=RelWithDebInfo
       SANITIZE=ON
       BUILD_DIR=build-sanitize
+      shift
+      ;;
+    --tsan)
+      # TSan lane: the suites that hammer the pool, the engine, and both
+      # transports concurrently. TSan and ASan cannot coexist in one
+      # binary, hence the separate build tree; the single-threaded
+      # numeric suites add nothing under TSan, hence the filter.
+      BUILD_TYPE=RelWithDebInfo
+      TSAN=ON
+      BUILD_DIR=build-tsan
+      TEST_FILTER='^(test_threadpool|test_engine|test_store|test_daemon|test_server)$'
       shift
       ;;
     --build-dir)
@@ -51,7 +65,12 @@ done
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
   -DEMMARK_WARNINGS_AS_ERRORS="$WARNINGS" \
-  -DEMMARK_SANITIZE="$SANITIZE"
+  -DEMMARK_SANITIZE="$SANITIZE" \
+  -DEMMARK_TSAN="$TSAN"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 cd "$BUILD_DIR"
-ctest --output-on-failure -j "$(nproc)"
+if [[ -n "$TEST_FILTER" ]]; then
+  ctest --output-on-failure -j "$(nproc)" -R "$TEST_FILTER"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

@@ -7,9 +7,11 @@
 #include <filesystem>
 #include <future>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "model_zoo/zoo.h"
 #include "util/rng.h"
@@ -107,7 +109,10 @@ std::string json_double(double v) {
   return buf;
 }
 
-/// `key=value` parameters following the command word.
+/// `key=value` parameters following the command word. Numeric getters
+/// reject values with trailing garbage ("bits=8x"): std::stoll/std::stod
+/// stop at the first non-numeric character, so only a fully-consumed
+/// string counts as a number.
 struct Params {
   std::map<std::string, std::string> kv;
 
@@ -124,7 +129,12 @@ struct Params {
     const auto it = kv.find(key);
     if (it == kv.end()) return def;
     try {
-      return std::stoll(it->second);
+      size_t consumed = 0;
+      const int64_t value = std::stoll(it->second, &consumed);
+      if (consumed != it->second.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+      return value;
     } catch (const std::exception&) {
       throw std::invalid_argument("parameter " + key + " expects an integer, got: " +
                                   it->second);
@@ -134,7 +144,12 @@ struct Params {
     const auto it = kv.find(key);
     if (it == kv.end()) return def;
     try {
-      return std::stod(it->second);
+      size_t consumed = 0;
+      const double value = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+      return value;
     } catch (const std::exception&) {
       throw std::invalid_argument("parameter " + key + " expects a number, got: " +
                                   it->second);
@@ -162,6 +177,45 @@ std::string artifact_key(const std::string& path) {
   return ec ? path : canon.string();
 }
 
+/// True when any of `keys` is claimed by a slot older than `seq`. The
+/// sequence comparison makes the artifact gates directional: a slot only
+/// ever waits for claims from slots before it, so a reader and a writer of
+/// one path -- whichever order they arrived in -- form a chain, never a
+/// cycle of mutual deferral.
+bool claimed_before(const std::multimap<std::string, uint64_t>& claims,
+                    const std::vector<std::string>& keys, uint64_t seq) {
+  for (const std::string& key : keys) {
+    const auto range = claims.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second < seq) return true;
+    }
+  }
+  return false;
+}
+
+void release_claims(std::multimap<std::string, uint64_t>& claims,
+                    const std::vector<std::string>& keys, uint64_t seq) {
+  for (const std::string& key : keys) {
+    const auto range = claims.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == seq) {
+        claims.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+/// Drops a slot's artifact claims when its finalizer exits, success or
+/// error: the paths stop being owed once the response flushed (written /
+/// read, or never going to be).
+struct ClaimRelease {
+  std::multimap<std::string, uint64_t>& claims;
+  const std::vector<std::string>& keys;
+  uint64_t seq;
+  ~ClaimRelease() { release_claims(claims, keys, seq); }
+};
+
 std::string error_line(const std::string& id, const std::string& cmd,
                        const std::string& error) {
   return "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"" + json_escape(cmd) +
@@ -183,11 +237,56 @@ WatermarkKey key_from(const Params& params) {
   return key;
 }
 
-/// Everything an insert needs between intake and response. The engine
-/// submission is deferred until the model build future resolves: a cold
-/// build runs on the pool (ModelStore::get_async) while the session keeps
-/// taking lines, and no engine worker ever blocks waiting for a build (a
-/// worker parked on a build future could deadlock a small pool).
+// --- per-verb lazy pipelines -------------------------------------------------
+//
+// Every verb follows one shape. handle_line fills a ctx with the parsed
+// parameters and the model build future (ModelStore::get_async), then the
+// submit helper moves the request toward the engine in two non-blocking
+// steps retried on every poll:
+//
+//   1. the build future must be ready (an engine worker must never park on
+//      a build future -- builds run on the same pool, so a small pool
+//      could deadlock on itself);
+//   2. the engine must accept it (try_submit; a full queue defers to the
+//      next poll instead of parking the event loop).
+//
+// Artifact loads and the suspect deep copy live in the request's lazy
+// sources factory, which the engine invokes on the executing worker -- the
+// session thread never touches the filesystem. The blocking variant
+// (block=true, used only by the in-order finalizers, where waiting is the
+// contract) resolves the build and submits with backpressure in one call.
+// A failed build lands in ctx.fail_error instead of throwing: the response
+// slot turns it into the same error line an intake-time failure used to
+// produce.
+
+template <typename Result, typename Ctx, typename MakeRequest>
+bool submit_lazy(const std::shared_ptr<Ctx>& ctx, bool block,
+                 MakeRequest make_request,
+                 std::function<void(const Result&)> done = {}) {
+  if (ctx->result != nullptr || !ctx->fail_error.empty()) return true;
+  if (!block && !future_ready(ctx->build)) return false;
+  try {
+    ctx->handle = ctx->build.get();
+  } catch (const std::exception& e) {
+    ctx->fail_error = e.what();
+    return true;
+  }
+  auto request = make_request();
+  if (block) {
+    ctx->result = std::make_shared<std::shared_future<Result>>(
+        ctx->engine->submit(std::move(request), std::move(done)).share());
+    return true;
+  }
+  std::future<Result> out;
+  if (!ctx->engine->try_submit(request, out, std::move(done))) return false;
+  ctx->result = std::make_shared<std::shared_future<Result>>(out.share());
+  return true;
+}
+
+/// Everything an insert needs between intake and response. The worker that
+/// executes the request also writes the artifacts (completion callback):
+/// codes, record and evidence hit disk before the result future becomes
+/// ready, so a later reader gated on this slot's flush sees the files.
 struct InsertCtx {
   WatermarkEngine* engine = nullptr;
   std::shared_future<ModelHandle> build;
@@ -198,52 +297,168 @@ struct InsertCtx {
   WatermarkKey key;
   bool seed_from_id = false;
   std::string codes_path, record_path, evidence_path, owner;
+  // Written by the engine worker (completion callback) before the result
+  // future resolves; the finalizer reads them after it resolved, so the
+  // promise/future pair is the synchronization.
+  std::string artifacts_json;
+  int64_t total_bits = 0;
+  std::string save_error;
   // Set once submitted / failed.
   std::shared_ptr<std::shared_future<WatermarkEngine::InsertResult>> result;
-  std::string build_error;
+  std::string fail_error;
 };
 
-/// Resolves the build future (ready, or blocking when `block`) and submits
-/// the insert to the engine. Returns false while the build is still in
-/// flight. In the non-blocking mode a full engine queue also defers the
-/// submission (engine.submit applies blocking backpressure, and this path
-/// runs from Session::poll on the server event loop, which must never
-/// park); the next poll retries. A failed build lands in ctx.build_error
-/// instead of throwing: the response slot turns it into the same error
-/// line an intake-time build failure used to produce.
-bool submit_insert(const std::shared_ptr<InsertCtx>& ctx, bool block) {
-  if (ctx->result != nullptr || !ctx->build_error.empty()) return true;
-  if (!block) {
-    if (ctx->build.wait_for(std::chrono::seconds(0)) !=
-        std::future_status::ready) {
-      return false;
-    }
-    if (ctx->engine->queue_full()) return false;
-  }
+/// Runs on the engine worker right after the insert executed: persist the
+/// requested artifacts and price the response while still off the session
+/// thread.
+void save_insert_artifacts(const std::shared_ptr<InsertCtx>& ctx,
+                           const WatermarkEngine::InsertResult& slot) {
+  if (!slot.ok) return;
   try {
-    ctx->handle = ctx->build.get();
+    if (!ctx->codes_path.empty()) {
+      ctx->model->save_codes(ctx->codes_path);
+      ctx->artifacts_json += ",\"codes\":\"" + json_escape(ctx->codes_path) + "\"";
+    }
+    if (!ctx->record_path.empty()) {
+      slot.record.save(ctx->record_path);
+      ctx->artifacts_json += ",\"record\":\"" + json_escape(ctx->record_path) + "\"";
+    }
+    if (!ctx->evidence_path.empty()) {
+      OwnershipEvidence::create(ctx->owner, slot.record, *ctx->handle.original,
+                                *ctx->handle.stats,
+                                static_cast<uint64_t>(std::time(nullptr)))
+          .save(ctx->evidence_path);
+      ctx->artifacts_json +=
+          ",\"evidence\":\"" + json_escape(ctx->evidence_path) + "\"";
+    }
+    ctx->total_bits = WatermarkRegistry::create(slot.record.scheme())
+                          ->total_bits(slot.record);
   } catch (const std::exception& e) {
-    ctx->build_error = e.what();
-    return true;
+    ctx->save_error = e.what();
   }
+}
 
-  WatermarkEngine::InsertRequest request;
-  request.id = ctx->id;
-  request.scheme = ctx->scheme;
-  request.key = ctx->key;
-  request.seed_from_id = ctx->seed_from_id;
-  request.stats = ctx->handle.stats.get();
-  // The deep copy of the cached original happens on the engine worker
-  // (model_factory), so even a warm insert costs the session only a
-  // queue push, and back-to-back inserts pipeline instead of
-  // serializing on copies.
-  request.model_factory = [ctx] {
-    ctx->model = std::make_unique<QuantizedModel>(*ctx->handle.original);
-    return ctx->model.get();
-  };
-  ctx->result = std::make_shared<std::shared_future<WatermarkEngine::InsertResult>>(
-      ctx->engine->submit(std::move(request)).share());
-  return true;
+bool submit_insert(const std::shared_ptr<InsertCtx>& ctx, bool block) {
+  return submit_lazy<WatermarkEngine::InsertResult>(
+      ctx, block,
+      [&ctx] {
+        WatermarkEngine::InsertRequest request;
+        request.id = ctx->id;
+        request.scheme = ctx->scheme;
+        request.key = ctx->key;
+        request.seed_from_id = ctx->seed_from_id;
+        request.stats = ctx->handle.stats.get();
+        // The deep copy of the cached original happens on the engine
+        // worker (model_factory), so even a warm insert costs the session
+        // only a queue push, and back-to-back inserts pipeline instead of
+        // serializing on copies.
+        request.model_factory = [ctx] {
+          ctx->model = std::make_unique<QuantizedModel>(*ctx->handle.original);
+          return ctx->model.get();
+        };
+        return request;
+      },
+      std::function<void(const WatermarkEngine::InsertResult&)>(
+          [ctx](const WatermarkEngine::InsertResult& slot) {
+            save_insert_artifacts(ctx, slot);
+          }));
+}
+
+struct ExtractCtx {
+  WatermarkEngine* engine = nullptr;
+  std::shared_future<ModelHandle> build;
+  ModelHandle handle;
+  std::unique_ptr<QuantizedModel> suspect;
+  SchemeRecord record;
+  std::string id, codes_path, record_path;
+  std::shared_ptr<std::shared_future<WatermarkEngine::ExtractResult>> result;
+  std::string fail_error;
+};
+
+bool submit_extract(const std::shared_ptr<ExtractCtx>& ctx, bool block) {
+  return submit_lazy<WatermarkEngine::ExtractResult>(ctx, block, [&ctx] {
+    WatermarkEngine::ExtractRequest request;
+    request.id = ctx->id;
+    // The suspect deep copy and both artifact loads run on the engine
+    // worker. The factory capturing ctx also pins it until the engine
+    // finishes the slot, so an abandoned session can drop its finalizer
+    // without dangling the worker.
+    request.sources_factory = [ctx] {
+      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+      ctx->suspect->load_codes(ctx->codes_path);
+      ctx->record = SchemeRecord::load(ctx->record_path);
+      WatermarkEngine::ExtractRequest::Sources src;
+      src.suspect = ctx->suspect.get();
+      src.original = ctx->handle.original.get();
+      src.record = &ctx->record;
+      return src;
+    };
+    return request;
+  });
+}
+
+struct TraceCtx {
+  WatermarkEngine* engine = nullptr;
+  std::shared_future<ModelHandle> build;
+  ModelHandle handle;
+  std::unique_ptr<QuantizedModel> suspect;
+  FingerprintSet set;
+  std::string id, codes_path, set_path;
+  double min_wer_pct = -1.0;
+  std::shared_ptr<std::shared_future<WatermarkEngine::TraceBatchResult>> result;
+  std::string fail_error;
+};
+
+bool submit_trace(const std::shared_ptr<TraceCtx>& ctx, bool block) {
+  return submit_lazy<WatermarkEngine::TraceBatchResult>(ctx, block, [&ctx] {
+    WatermarkEngine::TraceRequest request;
+    request.id = ctx->id;
+    request.min_wer_pct = ctx->min_wer_pct;
+    request.sources_factory = [ctx] {
+      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+      ctx->suspect->load_codes(ctx->codes_path);
+      ctx->set = FingerprintSet::load(ctx->set_path);
+      WatermarkEngine::TraceRequest::Sources src;
+      src.suspect = ctx->suspect.get();
+      src.original = ctx->handle.original.get();
+      src.set = &ctx->set;
+      return src;
+    };
+    return request;
+  });
+}
+
+struct VerifyCtx {
+  WatermarkEngine* engine = nullptr;
+  std::shared_future<ModelHandle> build;
+  ModelHandle handle;
+  std::unique_ptr<QuantizedModel> suspect;
+  std::unique_ptr<OwnershipEvidence> evidence;
+  std::string id, codes_path, evidence_path;
+  double min_wer_pct = -1.0;
+  std::shared_ptr<std::shared_future<WatermarkEngine::VerifyResult>> result;
+  std::string fail_error;
+};
+
+bool submit_verify(const std::shared_ptr<VerifyCtx>& ctx, bool block) {
+  return submit_lazy<WatermarkEngine::VerifyResult>(ctx, block, [&ctx] {
+    WatermarkEngine::VerifyRequest request;
+    request.id = ctx->id;
+    request.min_wer_pct = ctx->min_wer_pct;
+    request.sources_factory = [ctx] {
+      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+      ctx->suspect->load_codes(ctx->codes_path);
+      ctx->evidence = std::make_unique<OwnershipEvidence>(
+          OwnershipEvidence::load(ctx->evidence_path));
+      WatermarkEngine::VerifyRequest::Sources src;
+      src.suspect = ctx->suspect.get();
+      src.original = ctx->handle.original.get();
+      src.stats = ctx->handle.stats.get();
+      src.evidence = ctx->evidence.get();
+      return src;
+    };
+    return request;
+  });
 }
 
 }  // namespace
@@ -263,6 +478,7 @@ RequestRouter::Shard::Shard(const RouterConfig& config)
         ec.base_seed = config.base_seed;
         ec.trace_min_wer_pct = config.min_wer_pct;
         ec.max_workers = config.max_workers;
+        if (config.engine_queue != 0) ec.max_queue = config.engine_queue;
         return ec;
       }()) {}
 
@@ -310,9 +526,15 @@ RequestRouter::Session::~Session() {
   // them would block this thread (the server's event loop) on engine
   // futures for a peer that is gone. Engine-side work stays memory-safe
   // without them: every submitted request keeps its context alive via a
-  // shared_ptr capture (insert's model_factory, the extract/trace
-  // keep-alive callbacks), so a still-executing request never dangles.
+  // shared_ptr capture (the model / sources factories and insert's
+  // artifact-save callback), so a still-executing request never dangles.
   pending_.clear();
+}
+
+void RequestRouter::Session::advance_pending() {
+  for (PendingOutput& slot : pending_) {
+    if (slot.advance) slot.advance();
+  }
 }
 
 void RequestRouter::Session::flush_pending(bool block, const LineSink& emit) {
@@ -324,25 +546,18 @@ void RequestRouter::Session::flush_pending(bool block, const LineSink& emit) {
   }
 }
 
-void RequestRouter::Session::await_artifacts(
-    std::initializer_list<std::string> paths, const LineSink& emit) {
-  for (const std::string& path : paths) {
-    if (!path.empty() && pending_writes_.count(artifact_key(path)) > 0) {
-      flush_pending(/*block=*/true, emit);
-      return;
-    }
-  }
-}
-
 void RequestRouter::Session::poll(const LineSink& emit) {
+  advance_pending();
   flush_pending(/*block=*/false, emit);
 }
 
 void RequestRouter::Session::settle(const LineSink& emit) {
+  advance_pending();
   flush_pending(/*block=*/true, emit);
 }
 
 void RequestRouter::Session::finish(const LineSink& emit) {
+  advance_pending();
   flush_pending(/*block=*/true, emit);
   if (quit_) {
     emit("{\"cmd\":\"quit\",\"ok\":true,\"served\":" + std::to_string(submitted_) +
@@ -362,7 +577,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
     while (split >> token) tokens.push_back(token);
   }
   if (tokens.empty() || tokens[0][0] == '#') {
-    flush_pending(/*block=*/false, emit);
+    poll(emit);
     return !quit_;
   }
   const std::string cmd = tokens[0];
@@ -385,59 +600,69 @@ bool RequestRouter::Session::handle_line(const std::string& line,
     if (cmd == "quit") {
       quit_ = true;
     } else if (cmd == "stats") {
-      // Settle in-flight work first so the counters are stable (and so a
-      // session transcript reads: requests, then their true cost).
-      flush_pending(/*block=*/true, emit);
-      router_.drain();
-      const std::vector<ShardSnapshot> shards = router_.shard_stats();
-      ModelStore::Stats total;
-      size_t engine_pending = 0;
-      for (const ShardSnapshot& snap : shards) {
-        total.hits += snap.store.hits;
-        total.misses += snap.store.misses;
-        total.builds += snap.store.builds;
-        total.evictions += snap.store.evictions;
-        total.resident += snap.store.resident;
-        total.resident_bytes += snap.store.resident_bytes;
-        engine_pending += snap.engine_pending;
-      }
-      std::ostringstream json;
-      json << "{\"id\":\"" << json_escape(id) << "\",\"cmd\":\"stats\",\"ok\":true"
-           << ",\"store\":{\"hits\":" << total.hits << ",\"misses\":" << total.misses
-           << ",\"builds\":" << total.builds << ",\"evictions\":" << total.evictions
-           << ",\"resident\":" << total.resident
-           << ",\"resident_bytes\":" << total.resident_bytes
-           << ",\"capacity\":" << config.store_capacity * shards.size() << "}"
-           << ",\"engine\":{\"submitted\":" << submitted_
-           << ",\"completed\":" << completed_ << ",\"failed\":" << failed_
-           << ",\"pending\":" << engine_pending << "}"
-           << ",\"shards\":[";
-      for (size_t i = 0; i < shards.size(); ++i) {
-        const ShardSnapshot& snap = shards[i];
-        json << (i ? "," : "") << "{\"shard\":" << i
-             << ",\"store\":{\"hits\":" << snap.store.hits
-             << ",\"misses\":" << snap.store.misses
-             << ",\"builds\":" << snap.store.builds
-             << ",\"evictions\":" << snap.store.evictions
-             << ",\"resident\":" << snap.store.resident
-             << ",\"resident_bytes\":" << snap.store.resident_bytes << "}"
-             << ",\"engine\":{\"submitted\":" << snap.engine.submitted
-             << ",\"completed\":" << snap.engine.completed
-             << ",\"failed\":" << snap.engine.failed
-             << ",\"cancelled\":" << snap.engine.cancelled
-             << ",\"pending\":" << snap.engine_pending << "}}";
-      }
-      json << "]}";
-      emit(json.str());
+      // Deferred like every other verb (the line flushes in request
+      // order), but the snapshot is computed at flush time and is *live*:
+      // it settles only this session's earlier slots -- by virtue of
+      // flushing after them -- and never drains the router. Another
+      // session's in-flight work shows up as engine pending counts
+      // instead of stalling this response behind it.
+      pending_.push_back(PendingOutput{
+          /*advance=*/{}, [] { return true; },
+          [this, id]() -> std::string {
+            const std::vector<ShardSnapshot> shards = router_.shard_stats();
+            ModelStore::Stats total;
+            size_t engine_pending = 0;
+            for (const ShardSnapshot& snap : shards) {
+              total.hits += snap.store.hits;
+              total.misses += snap.store.misses;
+              total.builds += snap.store.builds;
+              total.evictions += snap.store.evictions;
+              total.resident += snap.store.resident;
+              total.resident_bytes += snap.store.resident_bytes;
+              engine_pending += snap.engine_pending;
+            }
+            std::ostringstream json;
+            json << "{\"id\":\"" << json_escape(id)
+                 << "\",\"cmd\":\"stats\",\"ok\":true"
+                 << ",\"store\":{\"hits\":" << total.hits
+                 << ",\"misses\":" << total.misses
+                 << ",\"builds\":" << total.builds
+                 << ",\"evictions\":" << total.evictions
+                 << ",\"resident\":" << total.resident
+                 << ",\"resident_bytes\":" << total.resident_bytes
+                 << ",\"capacity\":"
+                 << router_.config_.store_capacity * shards.size() << "}"
+                 << ",\"engine\":{\"submitted\":" << submitted_
+                 << ",\"completed\":" << completed_ << ",\"failed\":" << failed_
+                 << ",\"pending\":" << engine_pending << "}"
+                 << ",\"shards\":[";
+            for (size_t i = 0; i < shards.size(); ++i) {
+              const ShardSnapshot& snap = shards[i];
+              json << (i ? "," : "") << "{\"shard\":" << i
+                   << ",\"store\":{\"hits\":" << snap.store.hits
+                   << ",\"misses\":" << snap.store.misses
+                   << ",\"builds\":" << snap.store.builds
+                   << ",\"evictions\":" << snap.store.evictions
+                   << ",\"resident\":" << snap.store.resident
+                   << ",\"resident_bytes\":" << snap.store.resident_bytes << "}"
+                   << ",\"engine\":{\"submitted\":" << snap.engine.submitted
+                   << ",\"completed\":" << snap.engine.completed
+                   << ",\"failed\":" << snap.engine.failed
+                   << ",\"cancelled\":" << snap.engine.cancelled
+                   << ",\"pending\":" << snap.engine_pending << "}}";
+            }
+            json << "]}";
+            return json.str();
+          }});
     } else if (cmd == "insert") {
       auto ctx = std::make_shared<InsertCtx>();
       const ModelSpec spec = spec_for();
       Shard& home = router_.shard(router_.shard_for(spec));
       ctx->engine = &home.engine;
       // Cold builds run on the pool behind the store's shared future; the
-      // engine submission happens from this session's flush path once the
-      // future resolves, so intake never stalls on zoo training and no
-      // engine worker parks on a build.
+      // engine submission happens from this session's advance path once
+      // the future resolves, so intake never stalls on zoo training and
+      // no engine worker parks on a build.
       ctx->build = home.store.get_async(spec);
       ctx->id = id;
       ctx->scheme = params.get("scheme", "emmark");
@@ -448,112 +673,101 @@ bool RequestRouter::Session::handle_line(const std::string& line,
       ctx->evidence_path = params.get("evidence", "");
       ctx->owner = params.get("owner", "owner");
 
-      // Every parse step that can throw has run; only now promise the
-      // artifact paths (a malformed line must not leave stale entries
+      // Every parse step that can throw has run; only now claim the
+      // artifact paths (a malformed line must not leave stale claims
       // that would serialize the rest of the session).
+      std::vector<std::string> writes;
       for (const std::string* path :
            {&ctx->codes_path, &ctx->record_path, &ctx->evidence_path}) {
-        if (!path->empty()) pending_writes_.insert(artifact_key(*path));
+        if (!path->empty()) writes.push_back(artifact_key(*path));
       }
+      const uint64_t seq = ++slot_seq_;
+      for (const std::string& key : writes) pending_writes_.emplace(key, seq);
 
-      submit_insert(ctx, /*block=*/false);
       ++submitted_;
+      // A writer defers behind earlier readers of its paths (they must
+      // load the old bytes) and earlier writers (last-writer-wins in
+      // request order).
+      auto advance = [this, ctx, writes, seq] {
+        if (!claimed_before(pending_writes_, writes, seq) &&
+            !claimed_before(pending_reads_, writes, seq)) {
+          submit_insert(ctx, /*block=*/false);
+        }
+      };
+      advance();
       pending_.push_back(PendingOutput{
+          std::move(advance),
           [ctx] {
-            return submit_insert(ctx, /*block=*/false) &&
-                   (!ctx->build_error.empty() || future_ready(*ctx->result));
+            return !ctx->fail_error.empty() ||
+                   (ctx->result != nullptr && future_ready(*ctx->result));
           },
-          [ctx, id, this]() -> std::string {
-            // Whatever happens below, the promised paths stop being owed
-            // once this slot flushes (written, or never going to be).
-            struct Release {
-              std::multiset<std::string>& owed;
-              const std::shared_ptr<InsertCtx>& ctx;
-              ~Release() {
-                for (const std::string* path :
-                     {&ctx->codes_path, &ctx->record_path, &ctx->evidence_path}) {
-                  if (path->empty()) continue;
-                  const auto it = owed.find(artifact_key(*path));
-                  if (it != owed.end()) owed.erase(it);
-                }
-              }
-            } release{pending_writes_, ctx};
+          [this, ctx, writes, seq, id]() -> std::string {
+            ClaimRelease release{pending_writes_, writes, seq};
+            // Blocking is the contract here: finalizers run in request
+            // order, so every earlier claim on these paths has already
+            // been released (its reads/writes happened before its future
+            // resolved) and the gate can be bypassed.
             submit_insert(ctx, /*block=*/true);
-            if (!ctx->build_error.empty()) {
+            if (!ctx->fail_error.empty()) {
               ++failed_;
-              return error_line(id, "insert", ctx->build_error);
+              return error_line(id, "insert", ctx->fail_error);
             }
             const WatermarkEngine::InsertResult slot = ctx->result->get();
             if (!slot.ok) {
               ++failed_;
               return error_line(id, "insert", slot.error);
             }
-            try {
-              std::string artifacts;
-              if (!ctx->codes_path.empty()) {
-                ctx->model->save_codes(ctx->codes_path);
-                artifacts += ",\"codes\":\"" + json_escape(ctx->codes_path) + "\"";
-              }
-              if (!ctx->record_path.empty()) {
-                slot.record.save(ctx->record_path);
-                artifacts += ",\"record\":\"" + json_escape(ctx->record_path) + "\"";
-              }
-              if (!ctx->evidence_path.empty()) {
-                OwnershipEvidence::create(
-                    ctx->owner, slot.record, *ctx->handle.original,
-                    *ctx->handle.stats,
-                    static_cast<uint64_t>(std::time(nullptr)))
-                    .save(ctx->evidence_path);
-                artifacts +=
-                    ",\"evidence\":\"" + json_escape(ctx->evidence_path) + "\"";
-              }
-              const int64_t bits = WatermarkRegistry::create(slot.record.scheme())
-                                       ->total_bits(slot.record);
-              ++completed_;
-              return "{\"id\":\"" + json_escape(id) +
-                     "\",\"cmd\":\"insert\",\"ok\":true,\"scheme\":\"" +
-                     json_escape(slot.record.scheme()) +
-                     "\",\"total_bits\":" + std::to_string(bits) +
-                     ",\"seed\":" + std::to_string(slot.key.seed) + artifacts + "}";
-            } catch (const std::exception& e) {
+            if (!ctx->save_error.empty()) {
               ++failed_;
-              return error_line(id, "insert", e.what());
+              return error_line(id, "insert", ctx->save_error);
             }
+            ++completed_;
+            return "{\"id\":\"" + json_escape(id) +
+                   "\",\"cmd\":\"insert\",\"ok\":true,\"scheme\":\"" +
+                   json_escape(slot.record.scheme()) +
+                   "\",\"total_bits\":" + std::to_string(ctx->total_bits) +
+                   ",\"seed\":" + std::to_string(slot.key.seed) +
+                   ctx->artifacts_json + "}";
           }});
     } else if (cmd == "extract") {
-      struct ExtractCtx {
-        ModelHandle handle;
-        std::unique_ptr<QuantizedModel> suspect;
-        SchemeRecord record;
-      };
       auto ctx = std::make_shared<ExtractCtx>();
-      await_artifacts({params.get("codes", ""), params.get("record", "")}, emit);
       const ModelSpec spec = spec_for();
       Shard& home = router_.shard(router_.shard_for(spec));
-      ctx->handle = home.store.get(spec);
-      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
-      ctx->suspect->load_codes(params.require("codes"));
-      ctx->record = SchemeRecord::load(params.require("record"));
+      ctx->engine = &home.engine;
+      ctx->build = home.store.get_async(spec);
+      ctx->id = id;
+      ctx->codes_path = params.require("codes");
+      ctx->record_path = params.require("record");
 
-      WatermarkEngine::ExtractRequest request;
-      request.id = id;
-      request.suspect = ctx->suspect.get();
-      request.original = ctx->handle.original.get();
-      request.record = &ctx->record;
+      const std::vector<std::string> reads = {artifact_key(ctx->codes_path),
+                                              artifact_key(ctx->record_path)};
+      const uint64_t seq = ++slot_seq_;
+      for (const std::string& key : reads) pending_reads_.emplace(key, seq);
 
-      // The keep-alive callback pins ctx (which owns the request's suspect
-      // and record) until the engine finishes the slot, so an abandoned
-      // session can drop its finalizer without dangling the worker.
-      auto future = std::make_shared<std::shared_future<WatermarkEngine::ExtractResult>>(
-          home.engine
-              .submit(std::move(request),
-                      [ctx](const WatermarkEngine::ExtractResult&) {})
-              .share());
       ++submitted_;
+      // A reader defers only behind earlier writers of its paths; later
+      // writers defer behind it (see the insert gate), so a read/write
+      // pair on one path chains in request order instead of deadlocking.
+      auto advance = [this, ctx, reads, seq] {
+        if (!claimed_before(pending_writes_, reads, seq)) {
+          submit_extract(ctx, /*block=*/false);
+        }
+      };
+      advance();
       pending_.push_back(PendingOutput{
-          [future] { return future_ready(*future); },
-          [future, ctx, id, this]() -> std::string {
-            const WatermarkEngine::ExtractResult slot = future->get();
+          std::move(advance),
+          [ctx] {
+            return !ctx->fail_error.empty() ||
+                   (ctx->result != nullptr && future_ready(*ctx->result));
+          },
+          [this, ctx, reads, seq, id]() -> std::string {
+            ClaimRelease release{pending_reads_, reads, seq};
+            submit_extract(ctx, /*block=*/true);
+            if (!ctx->fail_error.empty()) {
+              ++failed_;
+              return error_line(id, "extract", ctx->fail_error);
+            }
+            const WatermarkEngine::ExtractResult slot = ctx->result->get();
             if (!slot.ok) {
               ++failed_;
               return error_line(id, "extract", slot.error);
@@ -569,39 +783,42 @@ bool RequestRouter::Session::handle_line(const std::string& line,
                    json_double(slot.report.strength_log10()) + "}";
           }});
     } else if (cmd == "trace") {
-      struct TraceCtx {
-        ModelHandle handle;
-        std::unique_ptr<QuantizedModel> suspect;
-        FingerprintSet set;
-      };
       auto ctx = std::make_shared<TraceCtx>();
-      await_artifacts({params.get("codes", ""), params.get("set", "")}, emit);
       const ModelSpec spec = spec_for();
       Shard& home = router_.shard(router_.shard_for(spec));
-      ctx->handle = home.store.get(spec);
-      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
-      ctx->suspect->load_codes(params.require("codes"));
-      ctx->set = FingerprintSet::load(params.require("set"));
+      ctx->engine = &home.engine;
+      ctx->build = home.store.get_async(spec);
+      ctx->id = id;
+      ctx->codes_path = params.require("codes");
+      ctx->set_path = params.require("set");
+      ctx->min_wer_pct = params.get_double("min-wer", -1.0);
 
-      WatermarkEngine::TraceRequest request;
-      request.id = id;
-      request.suspect = ctx->suspect.get();
-      request.original = ctx->handle.original.get();
-      request.set = &ctx->set;
-      request.min_wer_pct = params.get_double("min-wer", -1.0);
+      const std::vector<std::string> reads = {artifact_key(ctx->codes_path),
+                                              artifact_key(ctx->set_path)};
+      const uint64_t seq = ++slot_seq_;
+      for (const std::string& key : reads) pending_reads_.emplace(key, seq);
 
-      // Keep-alive callback: same lifetime contract as extract above.
-      auto future =
-          std::make_shared<std::shared_future<WatermarkEngine::TraceBatchResult>>(
-              home.engine
-                  .submit(std::move(request),
-                          [ctx](const WatermarkEngine::TraceBatchResult&) {})
-                  .share());
       ++submitted_;
+      auto advance = [this, ctx, reads, seq] {
+        if (!claimed_before(pending_writes_, reads, seq)) {
+          submit_trace(ctx, /*block=*/false);
+        }
+      };
+      advance();
       pending_.push_back(PendingOutput{
-          [future] { return future_ready(*future); },
-          [future, ctx, id, this]() -> std::string {
-            const WatermarkEngine::TraceBatchResult slot = future->get();
+          std::move(advance),
+          [ctx] {
+            return !ctx->fail_error.empty() ||
+                   (ctx->result != nullptr && future_ready(*ctx->result));
+          },
+          [this, ctx, reads, seq, id]() -> std::string {
+            ClaimRelease release{pending_reads_, reads, seq};
+            submit_trace(ctx, /*block=*/true);
+            if (!ctx->fail_error.empty()) {
+              ++failed_;
+              return error_line(id, "trace", ctx->fail_error);
+            }
+            const WatermarkEngine::TraceBatchResult slot = ctx->result->get();
             if (!slot.ok) {
               ++failed_;
               return error_line(id, "trace", slot.error);
@@ -609,8 +826,8 @@ bool RequestRouter::Session::handle_line(const std::string& line,
             ++completed_;
             return "{\"id\":\"" + json_escape(id) +
                    "\",\"cmd\":\"trace\",\"ok\":true,\"device\":\"" +
-                   json_escape(slot.trace.device_id) +
-                   "\",\"matched\":" + (slot.trace.device_id.empty() ? "false" : "true") +
+                   json_escape(slot.trace.device_id) + "\",\"matched\":" +
+                   (slot.trace.device_id.empty() ? "false" : "true") +
                    ",\"wer_pct\":" + json_double(slot.trace.wer_pct) +
                    ",\"runner_up_wer_pct\":" +
                    json_double(slot.trace.runner_up_wer_pct) +
@@ -618,31 +835,56 @@ bool RequestRouter::Session::handle_line(const std::string& line,
                    "}";
           }});
     } else if (cmd == "verify") {
-      // Arbiter-side audit: runs inline (synchronously) but still queues
-      // its output slot so the transcript stays in request order.
-      await_artifacts({params.get("codes", ""), params.get("evidence", "")}, emit);
+      // Arbiter-side audit: an engine verb like the rest, so the evidence
+      // load, suspect copy and WER re-extraction all run on a worker.
+      auto ctx = std::make_shared<VerifyCtx>();
       const ModelSpec spec = spec_for();
       Shard& home = router_.shard(router_.shard_for(spec));
-      const ModelHandle handle = home.store.get(spec);
-      QuantizedModel suspect = *handle.original;
-      suspect.load_codes(params.require("codes"));
-      const OwnershipEvidence evidence =
-          OwnershipEvidence::load(params.require("evidence"));
-      std::string why;
-      const bool verified =
-          evidence.verify(suspect, *handle.original, *handle.stats,
-                          params.get_double("min-wer", config.min_wer_pct), &why);
+      ctx->engine = &home.engine;
+      ctx->build = home.store.get_async(spec);
+      ctx->id = id;
+      ctx->codes_path = params.require("codes");
+      ctx->evidence_path = params.require("evidence");
+      ctx->min_wer_pct = params.get_double("min-wer", config.min_wer_pct);
+
+      const std::vector<std::string> reads = {artifact_key(ctx->codes_path),
+                                              artifact_key(ctx->evidence_path)};
+      const uint64_t seq = ++slot_seq_;
+      for (const std::string& key : reads) pending_reads_.emplace(key, seq);
+
       ++submitted_;
-      ++completed_;
-      const std::string json =
-          "{\"id\":\"" + json_escape(id) +
-          "\",\"cmd\":\"verify\",\"ok\":true,\"verified\":" +
-          (verified ? "true" : "false") + ",\"owner\":\"" +
-          json_escape(evidence.owner) + "\",\"scheme\":\"" +
-          json_escape(evidence.scheme()) + "\",\"why\":\"" + json_escape(why) +
-          "\"}";
-      pending_.push_back(PendingOutput{[] { return true; },
-                                       [json]() -> std::string { return json; }});
+      auto advance = [this, ctx, reads, seq] {
+        if (!claimed_before(pending_writes_, reads, seq)) {
+          submit_verify(ctx, /*block=*/false);
+        }
+      };
+      advance();
+      pending_.push_back(PendingOutput{
+          std::move(advance),
+          [ctx] {
+            return !ctx->fail_error.empty() ||
+                   (ctx->result != nullptr && future_ready(*ctx->result));
+          },
+          [this, ctx, reads, seq, id]() -> std::string {
+            ClaimRelease release{pending_reads_, reads, seq};
+            submit_verify(ctx, /*block=*/true);
+            if (!ctx->fail_error.empty()) {
+              ++failed_;
+              return error_line(id, "verify", ctx->fail_error);
+            }
+            const WatermarkEngine::VerifyResult slot = ctx->result->get();
+            if (!slot.ok) {
+              ++failed_;
+              return error_line(id, "verify", slot.error);
+            }
+            ++completed_;
+            return "{\"id\":\"" + json_escape(id) +
+                   "\",\"cmd\":\"verify\",\"ok\":true,\"verified\":" +
+                   (slot.verified ? "true" : "false") + ",\"owner\":\"" +
+                   json_escape(slot.owner) + "\",\"scheme\":\"" +
+                   json_escape(slot.scheme) + "\",\"why\":\"" +
+                   json_escape(slot.why) + "\"}";
+          }});
     } else {
       throw std::invalid_argument(
           "unknown command: " + cmd +
@@ -653,9 +895,10 @@ bool RequestRouter::Session::handle_line(const std::string& line,
     const std::string json =
         error_line(id.empty() ? "req-" + std::to_string(++auto_id_) : id, cmd,
                    e.what());
-    pending_.push_back(PendingOutput{[] { return true; },
+    pending_.push_back(PendingOutput{{}, [] { return true; },
                                      [json]() -> std::string { return json; }});
   }
+  advance_pending();
   flush_pending(/*block=*/false, emit);
   return !quit_;
 }

@@ -12,10 +12,19 @@
 //   * RequestRouter::Session is one protocol conversation (a stdin stream,
 //     or one TCP connection): it parses request lines, dispatches to the
 //     spec's home shard, and flushes exactly one JSON line per request in
-//     request order. Ordering, artifact read-after-write dependencies, and
-//     the submitted/completed/failed counters in `stats` are all
-//     per-session; store and engine counters are per-shard (shared by every
-//     session on the same router).
+//     request order. Ordering, artifact read/write dependencies, and the
+//     submitted/completed/failed counters in `stats` are all per-session;
+//     store and engine counters are per-shard (shared by every session on
+//     the same router).
+//
+// Every verb runs as a lazy pipeline: handle_line only parses the request,
+// starts the model build via ModelStore::get_async, and queues a response
+// slot. The engine submission is deferred until the build future resolves
+// and the engine queue has room (WatermarkEngine::try_submit), retried on
+// every poll(); artifact file I/O and the suspect deep copy happen inside
+// the request's lazy factory on an engine worker. The intake thread's cost
+// per line is parse + queue push -- it never blocks on a cold build, a
+// full engine queue, or the filesystem.
 //
 // The wire protocol itself is specified normatively in docs/PROTOCOL.md;
 // the architecture (layering, threading, sharding) in docs/ARCHITECTURE.md.
@@ -28,8 +37,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -61,6 +70,10 @@ struct RouterConfig {
   uint64_t base_seed = 0;
   /// Per-shard engine worker cap (0 = thread-pool size).
   size_t max_workers = 0;
+  /// Per-shard engine queue depth (0 = engine default). Deferred
+  /// submissions retry on poll when the queue is full, so a small depth
+  /// bounds memory without ever blocking intake.
+  size_t engine_queue = 0;
   /// Default trace/verify WER gate (percent).
   double min_wer_pct = 90.0;
   /// Backend shard count (>= 1). One shard reproduces PR 3's daemon
@@ -113,7 +126,9 @@ class RequestRouter {
     return ring_.shard_for(spec.key());
   }
 
-  /// Blocks until every shard engine is idle.
+  /// Blocks until every shard engine is idle. Transport teardown only --
+  /// no request path calls this (the `stats` verb reports a live
+  /// snapshot instead of draining other sessions' work).
   void drain();
 
   std::vector<ShardSnapshot> shard_stats() const;
@@ -129,13 +144,15 @@ class RequestRouter {
 
     /// Parses and dispatches one request line. Ready responses (this
     /// request's, or earlier ones that just completed) are flushed to
-    /// `emit`. Returns false once the session saw `quit`: the caller must
+    /// `emit`. Never blocks on builds, engine backpressure, or artifact
+    /// I/O. Returns false once the session saw `quit`: the caller must
     /// stop feeding lines and call finish().
     bool handle_line(const std::string& line, const LineSink& emit);
 
-    /// Flushes responses whose results became ready, without blocking.
-    /// Transports call this between inputs so completed async work
-    /// reaches the client even while the connection is idle.
+    /// Advances deferred pipelines (build landed -> engine submission)
+    /// and flushes responses whose results became ready, without
+    /// blocking. Transports call this between inputs so completed async
+    /// work reaches the client even while the connection is idle.
     void poll(const LineSink& emit);
 
     /// Blocks until every currently pending response has flushed, without
@@ -163,25 +180,39 @@ class RequestRouter {
     /// request order, so a slot is flushed once it is ready and everything
     /// before it has been flushed.
     struct PendingOutput {
+      /// Non-blocking progression (retry a deferred engine submission
+      /// once the build future resolved, the artifact dependencies
+      /// cleared, and the engine queue has room). Empty for slots with
+      /// nothing to advance (errors, stats).
+      std::function<void()> advance;
       std::function<bool()> ready;
       std::function<std::string()> finalize;  // never throws; returns JSON
     };
 
+    /// Runs every pending slot's advance hook (not just the front):
+    /// deferred submissions behind an unfinished slot still reach the
+    /// engine as soon as their dependencies clear, so the shard executes
+    /// a session's independent requests concurrently.
+    void advance_pending();
     void flush_pending(bool block, const LineSink& emit);
-    void await_artifacts(std::initializer_list<std::string> paths,
-                         const LineSink& emit);
 
     RequestRouter& router_;
     uint64_t auto_id_ = 0;
+    uint64_t slot_seq_ = 0;
     uint64_t submitted_ = 0;
     uint64_t completed_ = 0;
     uint64_t failed_ = 0;
     bool quit_ = false;
     std::deque<PendingOutput> pending_;
-    /// Artifact paths that in-flight inserts have promised to write; a
-    /// later command reading one must not race the write (see
+    /// Artifact claims by in-flight slots, keyed by canonical path with
+    /// the claiming slot's sequence number. A reader defers its engine
+    /// submission while an earlier slot still owes a write to one of its
+    /// paths; a writer defers while an earlier slot still reads or writes
+    /// one of its paths. Ordering over slot sequence numbers keeps a
+    /// read-then-write pair on one path from deadlocking each other (see
     /// docs/PROTOCOL.md, "Artifact dependencies").
-    std::multiset<std::string> pending_writes_;
+    std::multimap<std::string, uint64_t> pending_writes_;
+    std::multimap<std::string, uint64_t> pending_reads_;
   };
 
   std::unique_ptr<Session> open_session();

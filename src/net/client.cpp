@@ -80,6 +80,16 @@ bool LineClient::recv_line(std::string& line) {
 
 void LineClient::shutdown_send() { ::shutdown(fd_, SHUT_WR); }
 
+void LineClient::reset() {
+  if (fd_ < 0) return;
+  struct linger hard = {};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd_);
+  fd_ = -1;
+}
+
 std::vector<std::string> LineClient::roundtrip(
     const std::vector<std::string>& lines, size_t expect) {
   for (const std::string& line : lines) send_line(line);

@@ -34,6 +34,12 @@ class LineClient {
   /// the session) while responses can still be read.
   void shutdown_send();
 
+  /// Hard close with SO_LINGER 0: the kernel sends RST instead of FIN, so
+  /// the server observes a connection reset rather than an orderly EOF.
+  /// For tests that exercise dead-peer handling; the client is unusable
+  /// afterwards.
+  void reset();
+
   /// Convenience: send every line, then read exactly `expect` responses.
   /// Throws if the server closes early.
   std::vector<std::string> roundtrip(const std::vector<std::string>& lines,

@@ -134,9 +134,11 @@ int SocketServer::run() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   for (auto& conn : conns_) {
-    if (conn->on_readable()) {
-      // One final drain of already-received input before settling.
-    }
+    // One final drain of already-received input before settling. A false
+    // return means the peer is gone (reset / EOF mid-request): skip the
+    // settle entirely -- finishing would park the shutdown on engine
+    // futures and then write to a dead socket.
+    if (!conn->on_readable()) continue;
     conn->finish();
     conn->flush_blocking();
   }

@@ -5,12 +5,14 @@
 // RequestRouter::Session (per-connection ordering, artifact dependencies,
 // counters) speaking the same newline-delimited JSON protocol as the stdio
 // daemon (docs/PROTOCOL.md) -- same RequestRouter code path, so responses
-// are byte-identical between transports. Heavy work (insert/extract/trace
-// bodies) runs on the shard engines' pool workers; the loop thread only
-// parses, dispatches, and shuttles bytes. The known exception is a cold
-// model build, which runs on the dispatching thread and stalls the loop
-// for its duration (docs/ARCHITECTURE.md, "Threading"); warm traffic never
-// touches it.
+// are byte-identical between transports. Heavy work -- request bodies,
+// cold model builds, artifact file I/O, suspect deep copies -- runs on the
+// shard engines' pool workers via the router's lazy verb pipelines; the
+// loop thread only parses, dispatches, and shuttles bytes, and each poll
+// cycle retries deferred engine submissions (build not ready yet, or
+// engine queue full) without ever parking (docs/ARCHITECTURE.md,
+// "Threading"). A cold build on one connection therefore never delays
+// warm traffic on another.
 //
 // Lifecycle: the constructor binds and listens (port() is valid
 // immediately; port 0 picks an ephemeral port). run() blocks until

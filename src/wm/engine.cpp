@@ -73,13 +73,17 @@ WatermarkEngine::ExtractResult WatermarkEngine::run_extract(
   ExtractResult slot;
   slot.id = request.id;
   run_guarded(slot, [&] {
-    if (request.suspect == nullptr || request.original == nullptr ||
-        request.record == nullptr) {
+    ExtractRequest::Sources src{request.suspect, request.original,
+                                request.record};
+    if (src.suspect == nullptr && request.sources_factory) {
+      src = request.sources_factory();  // materialized on this worker
+    }
+    if (src.suspect == nullptr || src.original == nullptr ||
+        src.record == nullptr) {
       throw std::invalid_argument("extract request needs suspect, original, record");
     }
-    slot.report = WatermarkRegistry::create(request.record->scheme())
-                      ->extract(*request.suspect, *request.original,
-                                *request.record);
+    slot.report = WatermarkRegistry::create(src.record->scheme())
+                      ->extract(*src.suspect, *src.original, *src.record);
   });
   return slot;
 }
@@ -89,14 +93,42 @@ WatermarkEngine::TraceBatchResult WatermarkEngine::run_trace(
   TraceBatchResult slot;
   slot.id = request.id;
   run_guarded(slot, [&] {
-    if (request.suspect == nullptr || request.original == nullptr ||
-        request.set == nullptr) {
+    TraceRequest::Sources src{request.suspect, request.original, request.set};
+    if (src.suspect == nullptr && request.sources_factory) {
+      src = request.sources_factory();  // materialized on this worker
+    }
+    if (src.suspect == nullptr || src.original == nullptr ||
+        src.set == nullptr) {
       throw std::invalid_argument("trace request needs suspect, original, set");
     }
     const double gate = request.min_wer_pct >= 0.0 ? request.min_wer_pct
                                                    : config.trace_min_wer_pct;
-    slot.trace = Fingerprinter::trace(*request.suspect, *request.original,
-                                      *request.set, gate);
+    slot.trace = Fingerprinter::trace(*src.suspect, *src.original, *src.set, gate);
+  });
+  return slot;
+}
+
+WatermarkEngine::VerifyResult WatermarkEngine::run_verify(
+    const EngineConfig& config, const VerifyRequest& request) {
+  VerifyResult slot;
+  slot.id = request.id;
+  run_guarded(slot, [&] {
+    VerifyRequest::Sources src{request.suspect, request.original, request.stats,
+                               request.evidence};
+    if (src.suspect == nullptr && request.sources_factory) {
+      src = request.sources_factory();  // materialized on this worker
+    }
+    if (src.suspect == nullptr || src.original == nullptr ||
+        src.stats == nullptr || src.evidence == nullptr) {
+      throw std::invalid_argument(
+          "verify request needs suspect, original, stats, evidence");
+    }
+    const double gate = request.min_wer_pct >= 0.0 ? request.min_wer_pct
+                                                   : config.trace_min_wer_pct;
+    slot.owner = src.evidence->owner;
+    slot.scheme = src.evidence->scheme();
+    slot.verified = src.evidence->verify(*src.suspect, *src.original,
+                                         *src.stats, gate, &slot.why);
   });
   return slot;
 }
@@ -162,15 +194,19 @@ void WatermarkEngine::pump() {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
     }
+    // Publish (callback, then promise) strictly after the in-flight count
+    // dropped: anyone who observes the future ready must never find the
+    // request still counted in pending() -- the determinism contract the
+    // `stats` verb's live snapshot leans on.
+    task.publish();
   }
 }
 
 template <typename Request, typename Result, typename Callback>
-std::future<Result> WatermarkEngine::enqueue(
-    Request request, Callback done,
-    Result (*runner)(const EngineConfig&, const Request&)) {
+bool WatermarkEngine::enqueue(Request& request, Callback done,
+                              Result (*runner)(const EngineConfig&, const Request&),
+                              bool blocking, std::future<Result>& out) {
   auto promise = std::make_shared<std::promise<Result>>();
-  std::future<Result> future = promise->get_future();
 
   auto reject = [](const Request& req, const Callback& cb,
                    const std::shared_ptr<std::promise<Result>>& prom,
@@ -189,33 +225,44 @@ std::future<Result> WatermarkEngine::enqueue(
   };
 
   std::unique_lock<std::mutex> lock(mutex_);
-  space_cv_.wait(lock, [&] {
-    return !accepting_ || queue_.size() < config_.max_queue;
-  });
+  if (blocking) {
+    space_cv_.wait(lock, [&] {
+      return !accepting_ || queue_.size() < config_.max_queue;
+    });
+  } else if (accepting_ && queue_.size() >= config_.max_queue) {
+    // Refusal leaves `request` and `out` untouched; the caller retries on
+    // a later poll. Checked-and-enqueued under one lock, unlike the
+    // advisory queue_full().
+    return false;
+  }
   if (!accepting_) {
     lock.unlock();
+    out = promise->get_future();
     reject(request, done, promise, "engine is shut down");
-    return future;
+    return true;
   }
 
   QueuedTask task;
   auto shared_request = std::make_shared<Request>(std::move(request));
   auto shared_done = std::make_shared<Callback>(std::move(done));
-  task.run = [this, shared_request, shared_done, promise, runner] {
-    Result slot = runner(config_, *shared_request);
-    {
-      std::lock_guard<std::mutex> count_lock(mutex_);
-      slot.ok ? ++counters_.completed : ++counters_.failed;
-    }
+  // run fills this box on the worker; publish consumes it strictly after
+  // the engine's in-flight count dropped (see pump()).
+  auto slot_box = std::make_shared<Result>();
+  task.run = [this, shared_request, slot_box, runner] {
+    *slot_box = runner(config_, *shared_request);
+    std::lock_guard<std::mutex> count_lock(mutex_);
+    slot_box->ok ? ++counters_.completed : ++counters_.failed;
+  };
+  task.publish = [shared_done, promise, slot_box] {
     if (*shared_done) {
       try {
-        (*shared_done)(slot);
+        (*shared_done)(*slot_box);
       } catch (...) {
         // Callback failures must not kill the pool worker or drop the
         // future; the slot still resolves below.
       }
     }
-    promise->set_value(std::move(slot));
+    promise->set_value(std::move(*slot_box));
   };
   task.cancel = [this, shared_request, shared_done, promise, reject] {
     {
@@ -231,25 +278,77 @@ std::future<Result> WatermarkEngine::enqueue(
     ++running_pumps_;
     pool_->post([this] { pump(); });
   }
-  return future;
+  lock.unlock();
+  out = promise->get_future();
+  return true;
 }
 
 std::future<WatermarkEngine::InsertResult> WatermarkEngine::submit(
     InsertRequest request, InsertCallback done) {
-  return enqueue<InsertRequest, InsertResult, InsertCallback>(
-      std::move(request), std::move(done), &WatermarkEngine::run_insert);
+  std::future<InsertResult> future;
+  enqueue<InsertRequest, InsertResult, InsertCallback>(
+      request, std::move(done), &WatermarkEngine::run_insert,
+      /*blocking=*/true, future);
+  return future;
 }
 
 std::future<WatermarkEngine::ExtractResult> WatermarkEngine::submit(
     ExtractRequest request, ExtractCallback done) {
-  return enqueue<ExtractRequest, ExtractResult, ExtractCallback>(
-      std::move(request), std::move(done), &WatermarkEngine::run_extract);
+  std::future<ExtractResult> future;
+  enqueue<ExtractRequest, ExtractResult, ExtractCallback>(
+      request, std::move(done), &WatermarkEngine::run_extract,
+      /*blocking=*/true, future);
+  return future;
 }
 
 std::future<WatermarkEngine::TraceBatchResult> WatermarkEngine::submit(
     TraceRequest request, TraceCallback done) {
+  std::future<TraceBatchResult> future;
+  enqueue<TraceRequest, TraceBatchResult, TraceCallback>(
+      request, std::move(done), &WatermarkEngine::run_trace,
+      /*blocking=*/true, future);
+  return future;
+}
+
+std::future<WatermarkEngine::VerifyResult> WatermarkEngine::submit(
+    VerifyRequest request, VerifyCallback done) {
+  std::future<VerifyResult> future;
+  enqueue<VerifyRequest, VerifyResult, VerifyCallback>(
+      request, std::move(done), &WatermarkEngine::run_verify,
+      /*blocking=*/true, future);
+  return future;
+}
+
+bool WatermarkEngine::try_submit(InsertRequest& request,
+                                 std::future<InsertResult>& out,
+                                 InsertCallback done) {
+  return enqueue<InsertRequest, InsertResult, InsertCallback>(
+      request, std::move(done), &WatermarkEngine::run_insert,
+      /*blocking=*/false, out);
+}
+
+bool WatermarkEngine::try_submit(ExtractRequest& request,
+                                 std::future<ExtractResult>& out,
+                                 ExtractCallback done) {
+  return enqueue<ExtractRequest, ExtractResult, ExtractCallback>(
+      request, std::move(done), &WatermarkEngine::run_extract,
+      /*blocking=*/false, out);
+}
+
+bool WatermarkEngine::try_submit(TraceRequest& request,
+                                 std::future<TraceBatchResult>& out,
+                                 TraceCallback done) {
   return enqueue<TraceRequest, TraceBatchResult, TraceCallback>(
-      std::move(request), std::move(done), &WatermarkEngine::run_trace);
+      request, std::move(done), &WatermarkEngine::run_trace,
+      /*blocking=*/false, out);
+}
+
+bool WatermarkEngine::try_submit(VerifyRequest& request,
+                                 std::future<VerifyResult>& out,
+                                 VerifyCallback done) {
+  return enqueue<VerifyRequest, VerifyResult, VerifyCallback>(
+      request, std::move(done), &WatermarkEngine::run_verify,
+      /*blocking=*/false, out);
 }
 
 void WatermarkEngine::drain() {

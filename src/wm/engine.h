@@ -10,12 +10,14 @@
 //     filled, in request order.
 //   * Asynchronous (service): submit() enqueues one request on a bounded
 //     queue and returns a std::future immediately; worker tasks drain the
-//     queue on the shared ThreadPool. An optional completion callback fires
-//     on the worker right before the future becomes ready. drain() blocks
-//     until the engine is idle; shutdown() stops intake, cancels queued
-//     requests (their slots report ok=false, futures still become ready)
-//     and waits for in-flight work -- a destructor-safe shutdown even with
-//     a non-empty queue.
+//     queue on the shared ThreadPool. try_submit() is the non-blocking
+//     variant for latency-critical callers (the server event loop): a full
+//     queue returns false instead of parking the submitter. An optional
+//     completion callback fires on the worker right before the future
+//     becomes ready. drain() blocks until the engine is idle; shutdown()
+//     stops intake, cancels queued requests (their slots report ok=false,
+//     futures still become ready) and waits for in-flight work -- a
+//     destructor-safe shutdown even with a non-empty queue.
 //
 // Guarantees, shared by both styles:
 //
@@ -28,15 +30,27 @@
 //     order, queue/worker interleaving, or thread count -- and two requests
 //     never share a seed unless they share an id. Async results are
 //     byte-identical to the synchronous path for the same requests.
+//   * A ready future implies the request is no longer pending(): results
+//     are published (callback, then promise) only after the engine's
+//     in-flight count dropped, so an observer that saw the future resolve
+//     never finds the same request still counted as pending -- the
+//     property that keeps `stats` snapshots deterministic after a session
+//     settled its own slots.
 //
 // Request payloads reference caller-owned models/stats (non-owning
 // pointers); the caller keeps them alive until the request's result is
-// observed (batch return, future ready, or callback fired).
+// observed (batch return, future ready, or callback fired). Each request
+// type alternatively takes a lazy factory (model_factory /
+// sources_factory) that the executing worker invokes to materialize the
+// payload -- deep copies and artifact file loads then cost the submitting
+// thread nothing.
 //
 // Queue semantics: submit() applies backpressure -- it blocks while the
-// queue holds config.max_queue requests. Worker parallelism is capped at
-// config.max_workers (0 = the bound pool's size). The engine binds
-// ThreadPool::active() at construction; create the engine inside a
+// queue holds config.max_queue requests; try_submit() refuses instead.
+// Worker parallelism is capped at config.max_workers (0 = the bound pool's
+// size). Engine pump tasks run in the pool's dispatch class, ahead of any
+// request's intra parallel_for fan-out (see util/threadpool.h). The engine
+// binds ThreadPool::active() at construction; create the engine inside a
 // ScopedOverride to pin it to a private pool, and destroy the engine before
 // that pool.
 #pragma once
@@ -56,13 +70,15 @@
 namespace emmark {
 
 class ThreadPool;
+struct OwnershipEvidence;
 
 struct EngineConfig {
   /// Base for deterministic per-request seed derivation (seed_from_id).
   uint64_t base_seed = 0;
-  /// Verdict gate applied to trace requests that do not set their own.
+  /// Verdict gate applied to trace/verify requests that do not set their own.
   double trace_min_wer_pct = 90.0;
-  /// Bounded queue depth for submit(); a full queue blocks the submitter.
+  /// Bounded queue depth: a full queue blocks submit() and refuses
+  /// try_submit().
   size_t max_queue = 256;
   /// Max concurrently executing async requests (0 = bound pool size).
   size_t max_workers = 0;
@@ -75,7 +91,7 @@ class WatermarkEngine {
   /// load without wrapping every submission. The batch entry points do not
   /// count here: they are library calls, not service traffic.
   struct Counters {
-    uint64_t submitted = 0;  // accepted submit() calls
+    uint64_t submitted = 0;  // accepted submit()/try_submit() calls
     uint64_t completed = 0;  // executed requests whose slot reported ok
     uint64_t failed = 0;     // executed requests whose slot reported !ok
     uint64_t cancelled = 0;  // queued requests cancelled by shutdown()
@@ -109,6 +125,18 @@ class WatermarkEngine {
     const QuantizedModel* suspect = nullptr;
     const QuantizedModel* original = nullptr;
     const SchemeRecord* record = nullptr;  // carries its scheme tag
+    struct Sources {
+      const QuantizedModel* suspect = nullptr;
+      const QuantizedModel* original = nullptr;
+      const SchemeRecord* record = nullptr;
+    };
+    /// Lazy alternative to the pointer fields, mirroring insert's
+    /// model_factory: invoked on the executing worker when `suspect` is
+    /// null, so suspect deep copies and artifact loads (load_codes,
+    /// SchemeRecord::load) never run on the submitting thread. Exceptions
+    /// it throws fail only this slot; the returned pointees stay
+    /// caller-owned.
+    std::function<Sources()> sources_factory;
   };
   struct ExtractResult {
     std::string id;
@@ -124,6 +152,13 @@ class WatermarkEngine {
     const FingerprintSet* set = nullptr;
     /// Negative = use config.trace_min_wer_pct.
     double min_wer_pct = -1.0;
+    struct Sources {
+      const QuantizedModel* suspect = nullptr;
+      const QuantizedModel* original = nullptr;
+      const FingerprintSet* set = nullptr;
+    };
+    /// Lazy alternative to the pointer fields (see ExtractRequest).
+    std::function<Sources()> sources_factory;
   };
   struct TraceBatchResult {
     std::string id;
@@ -132,9 +167,40 @@ class WatermarkEngine {
     TraceResult trace;
   };
 
+  /// Arbiter-side evidence audit (OwnershipEvidence::verify) as an engine
+  /// verb, so a serving layer can run it off the intake thread like every
+  /// other request.
+  struct VerifyRequest {
+    std::string id;
+    const QuantizedModel* suspect = nullptr;
+    const QuantizedModel* original = nullptr;
+    const ActivationStats* stats = nullptr;
+    const OwnershipEvidence* evidence = nullptr;
+    /// Negative = use config.trace_min_wer_pct.
+    double min_wer_pct = -1.0;
+    struct Sources {
+      const QuantizedModel* suspect = nullptr;
+      const QuantizedModel* original = nullptr;
+      const ActivationStats* stats = nullptr;
+      const OwnershipEvidence* evidence = nullptr;
+    };
+    /// Lazy alternative to the pointer fields (see ExtractRequest).
+    std::function<Sources()> sources_factory;
+  };
+  struct VerifyResult {
+    std::string id;
+    bool ok = false;
+    std::string error;
+    bool verified = false;  // the audit verdict (ok=true either way)
+    std::string owner;      // from the evidence bundle
+    std::string scheme;
+    std::string why;  // human-readable reason when verified=false
+  };
+
   using InsertCallback = std::function<void(const InsertResult&)>;
   using ExtractCallback = std::function<void(const ExtractResult&)>;
   using TraceCallback = std::function<void(const TraceBatchResult&)>;
+  using VerifyCallback = std::function<void(const VerifyResult&)>;
 
   explicit WatermarkEngine(EngineConfig config = {});
   ~WatermarkEngine();
@@ -161,6 +227,22 @@ class WatermarkEngine {
   std::future<InsertResult> submit(InsertRequest request, InsertCallback done = {});
   std::future<ExtractResult> submit(ExtractRequest request, ExtractCallback done = {});
   std::future<TraceBatchResult> submit(TraceRequest request, TraceCallback done = {});
+  std::future<VerifyResult> submit(VerifyRequest request, VerifyCallback done = {});
+
+  /// Non-blocking submit: never parks the caller. Returns false -- leaving
+  /// `request` and `out` untouched -- when the queue is at config.max_queue,
+  /// so the caller retries on a later poll. Returns true when the request
+  /// was accepted (out becomes the result future) or the engine is shut
+  /// down (out resolves at once with an ok=false rejection slot, exactly
+  /// like submit() after shutdown). A true return consumes the request.
+  bool try_submit(InsertRequest& request, std::future<InsertResult>& out,
+                  InsertCallback done = {});
+  bool try_submit(ExtractRequest& request, std::future<ExtractResult>& out,
+                  ExtractCallback done = {});
+  bool try_submit(TraceRequest& request, std::future<TraceBatchResult>& out,
+                  TraceCallback done = {});
+  bool try_submit(VerifyRequest& request, std::future<VerifyResult>& out,
+                  VerifyCallback done = {});
 
   /// Blocks until every submitted request has completed and no worker task
   /// remains scheduled.
@@ -171,15 +253,15 @@ class WatermarkEngine {
   /// in-flight requests to finish. Idempotent; called by the destructor.
   void shutdown();
 
-  /// Requests currently queued or executing.
+  /// Requests currently queued or executing. A request whose future is
+  /// ready is never counted (results publish after the in-flight count
+  /// drops -- see the file comment).
   size_t pending() const;
 
   /// True when the next submit() would block on backpressure (queue at
   /// config.max_queue). Advisory -- the state can change before a
-  /// subsequent submit -- but callers on latency-critical threads (the
-  /// server event loop deferring cold-insert submissions) use it to stay
-  /// non-blocking: a false reading at worst blocks like submit always
-  /// could, a true reading defers to the next poll.
+  /// subsequent submit -- callers that must stay non-blocking should use
+  /// try_submit(), which checks and enqueues under one lock.
   bool queue_full() const;
 
   /// Snapshot of the async-path lifetime counters.
@@ -189,17 +271,20 @@ class WatermarkEngine {
 
  private:
   struct QueuedTask {
-    std::function<void()> run;     // executes + completes the promise
-    std::function<void()> cancel;  // completes the promise with a rejection
+    std::function<void()> run;      // executes the request into its slot
+    std::function<void()> publish;  // callback + promise, after run
+    std::function<void()> cancel;   // completes the promise with a rejection
   };
 
   template <typename Request, typename Result, typename Callback>
-  std::future<Result> enqueue(Request request, Callback done,
-                              Result (*runner)(const EngineConfig&, const Request&));
+  bool enqueue(Request& request, Callback done,
+               Result (*runner)(const EngineConfig&, const Request&),
+               bool blocking, std::future<Result>& out);
 
   static InsertResult run_insert(const EngineConfig& config, const InsertRequest& request);
   static ExtractResult run_extract(const EngineConfig& config, const ExtractRequest& request);
   static TraceBatchResult run_trace(const EngineConfig& config, const TraceRequest& request);
+  static VerifyResult run_verify(const EngineConfig& config, const VerifyRequest& request);
 
   size_t worker_cap() const;
   void pump();

@@ -145,7 +145,44 @@ TEST_F(DaemonTest, SeedFromIdGivesDistinctPlacementsPerRequest) {
   EXPECT_NE(seed_of(lines[0]), seed_of(lines[1]));
 }
 
-TEST_F(DaemonTest, VerifyAuditsEvidenceInline) {
+TEST_F(DaemonTest, MalformedNumericParametersAreRejected) {
+  // std::stoll/std::stod stop at the first non-numeric character, so
+  // without a full-consumption check "bits=8x" would silently parse as 8
+  // and mint a watermark the operator did not ask for. Every partially
+  // numeric value must be a per-request error instead.
+  const std::vector<std::string> lines = run(
+      "insert id=m1 model=opt-125m-sim quant=int4 bits=8x\n"
+      "insert id=m2 model=opt-125m-sim quant=int4 seed=12.5\n"
+      "trace id=m3 model=opt-125m-sim quant=int4 codes=" + path("none.codes") +
+      " set=" + path("none.set") + " min-wer=9o\n"
+      "insert id=tail model=opt-125m-sim quant=int4 bits=8\n");
+
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"id\":\"m1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":false"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("expects an integer"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("8x"), std::string::npos) << lines[0];
+
+  // An integer parameter must not quietly truncate a fractional value.
+  EXPECT_NE(lines[1].find("\"id\":\"m2\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("expects an integer"), std::string::npos) << lines[1];
+
+  // Rejected at parse time: the trace never reaches the engine, so the
+  // nonexistent artifact paths are never opened.
+  EXPECT_NE(lines[2].find("\"id\":\"m3\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":false"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[2].find("expects a number"), std::string::npos) << lines[2];
+
+  // Well-formed numerics on the same session still work.
+  EXPECT_NE(lines[3].find("\"id\":\"tail\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ok\":true"), std::string::npos) << lines[3];
+}
+
+TEST_F(DaemonTest, VerifyAuditsEvidence) {
+  // Verify runs through the engine like every other verb (the evidence
+  // load and WER re-extraction happen on a worker); the response shape
+  // and the in-order transcript are unchanged.
   const std::vector<std::string> lines = run(
       "insert id=a model=opt-125m-sim quant=int4 codes=" + path("v.codes") +
       " evidence=" + path("v.evid") + " owner=acme\n"

@@ -419,6 +419,174 @@ TEST(AsyncEngine, BoundedQueueBackpressureStillCompletesEverything) {
   engine.drain();
 }
 
+TEST(AsyncEngine, TrySubmitRefusesFullQueueWithoutBlocking) {
+  // One pinned worker + a one-deep queue: try_submit must refuse (leaving
+  // the request reusable) instead of parking the caller the way submit()
+  // does -- the non-blocking contract the server event loop depends on.
+  EngineFixture fx;
+  ThreadPool pool(1);
+  ThreadPool::ScopedOverride over(pool);
+
+  EngineConfig config;
+  config.max_workers = 1;
+  config.max_queue = 1;
+  WatermarkEngine engine(config);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  std::vector<QuantizedModel> models(3, *fx.f.quantized);
+  auto requests = fx.make_requests(models);
+
+  // Head request: its model_factory pins the only worker on the gate.
+  auto head = requests[0];
+  head.model = nullptr;
+  QuantizedModel* head_model = &models[0];
+  head.model_factory = [&started, gate, head_model] {
+    started.set_value();
+    gate.wait();
+    return head_model;
+  };
+  auto head_future = engine.submit(std::move(head));
+  started.get_future().wait();  // worker is now executing, queue empty
+
+  // Second request fills the queue; a third must be refused, not block.
+  auto queued_future = engine.submit(requests[1]);
+  auto refused = requests[2];
+  std::future<WatermarkEngine::InsertResult> refused_future;
+  EXPECT_FALSE(engine.try_submit(refused, refused_future));
+  EXPECT_FALSE(refused_future.valid());     // out untouched
+  EXPECT_EQ(refused.id, requests[2].id);    // request untouched, reusable
+
+  release.set_value();
+  engine.drain();
+  EXPECT_TRUE(head_future.get().ok);
+  EXPECT_TRUE(queued_future.get().ok);
+
+  // With the queue drained the same request is accepted and completes.
+  EXPECT_TRUE(engine.try_submit(refused, refused_future));
+  ASSERT_TRUE(refused_future.valid());
+  EXPECT_TRUE(refused_future.get().ok);
+
+  // After shutdown, try_submit still returns true -- the request is
+  // consumed into an immediate ok=false rejection slot, like submit().
+  engine.shutdown();
+  auto late = requests[1];
+  std::future<WatermarkEngine::InsertResult> late_future;
+  EXPECT_TRUE(engine.try_submit(late, late_future));
+  const auto slot = late_future.get();
+  EXPECT_FALSE(slot.ok);
+  EXPECT_NE(slot.error.find("shut down"), std::string::npos);
+}
+
+TEST(AsyncEngine, ReadyFutureImpliesNotPending) {
+  // The publish-after-decrement contract: once a future reports ready, the
+  // request is no longer counted in pending(). (Before the split of run
+  // and publish, the promise resolved while in_flight_ was still 1.)
+  EngineFixture fx;
+  WatermarkEngine engine;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<QuantizedModel> models(1, *fx.f.quantized);
+    auto requests = fx.make_requests(models);
+    auto future = engine.submit(requests[0]);
+    EXPECT_TRUE(future.get().ok);
+    EXPECT_EQ(engine.pending(), 0u) << "round " << round;
+  }
+}
+
+TEST(AsyncEngine, LazySourcesFactoryRunsOnTheWorker) {
+  // Extract/trace requests with a sources_factory materialize their inputs
+  // on the executing worker -- the submitting thread never touches them --
+  // and produce the same report as eager pointers.
+  EngineFixture fx;
+  std::vector<QuantizedModel> models(1, *fx.f.quantized);
+  WatermarkEngine engine({/*base_seed=*/9, /*trace_min_wer_pct=*/90.0});
+  auto inserts = fx.make_requests(models);
+  const auto inserted = engine.insert_batch({inserts[0]});
+  ASSERT_TRUE(inserted[0].ok) << inserted[0].error;
+
+  struct Lazy {
+    std::unique_ptr<QuantizedModel> suspect;
+    SchemeRecord record;
+  };
+  auto lazy = std::make_shared<Lazy>();
+  std::thread::id factory_thread;
+
+  WatermarkEngine::ExtractRequest request;
+  request.id = "lazy-extract";
+  request.sources_factory = [&, lazy]() {
+    factory_thread = std::this_thread::get_id();
+    lazy->suspect = std::make_unique<QuantizedModel>(models[0]);  // off-thread deep copy
+    lazy->record = inserted[0].record;
+    WatermarkEngine::ExtractRequest::Sources src;
+    src.suspect = lazy->suspect.get();
+    src.original = fx.f.quantized.get();
+    src.record = &lazy->record;
+    return src;
+  };
+  const auto slot = engine.submit(std::move(request)).get();
+  ASSERT_TRUE(slot.ok) << slot.error;
+  EXPECT_NE(factory_thread, std::this_thread::get_id());
+  EXPECT_DOUBLE_EQ(slot.report.wer_pct(), 100.0);
+
+  // A throwing factory fails only its own slot.
+  WatermarkEngine::ExtractRequest boom;
+  boom.id = "boom";
+  boom.sources_factory = []() -> WatermarkEngine::ExtractRequest::Sources {
+    throw std::runtime_error("artifact load failed");
+  };
+  const auto failed = engine.submit(std::move(boom)).get();
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.error.find("artifact load failed"), std::string::npos);
+  engine.drain();
+}
+
+TEST(AsyncEngine, VerifyRequestAuditsEvidenceOffThread) {
+  // The arbiter audit as an engine verb: same verdicts as calling
+  // OwnershipEvidence::verify directly, per-slot error isolation included.
+  EngineFixture fx;
+  QuantizedModel marked = *fx.f.quantized;
+  const SchemeRecord record = EmMarkScheme().insert(marked, fx.f.stats, fx.key);
+  const OwnershipEvidence evidence = OwnershipEvidence::create(
+      "acme", record, *fx.f.quantized, fx.f.stats, /*created_unix=*/1234);
+
+  WatermarkEngine engine;
+  WatermarkEngine::VerifyRequest request;
+  request.id = "audit";
+  request.suspect = &marked;
+  request.original = fx.f.quantized.get();
+  request.stats = &fx.f.stats;
+  request.evidence = &evidence;
+  request.min_wer_pct = 90.0;
+  const auto slot = engine.submit(std::move(request)).get();
+  ASSERT_TRUE(slot.ok) << slot.error;
+  EXPECT_TRUE(slot.verified) << slot.why;
+  EXPECT_EQ(slot.owner, "acme");
+  EXPECT_EQ(slot.scheme, record.scheme());
+
+  // A scrubbed suspect fails the audit (ok=true, verified=false, reason).
+  QuantizedModel scrubbed = *fx.f.quantized;
+  WatermarkEngine::VerifyRequest bad;
+  bad.id = "audit-scrubbed";
+  bad.suspect = &scrubbed;
+  bad.original = fx.f.quantized.get();
+  bad.stats = &fx.f.stats;
+  bad.evidence = &evidence;
+  bad.min_wer_pct = 90.0;
+  const auto bad_slot = engine.submit(std::move(bad)).get();
+  ASSERT_TRUE(bad_slot.ok) << bad_slot.error;
+  EXPECT_FALSE(bad_slot.verified);
+  EXPECT_FALSE(bad_slot.why.empty());
+
+  // Null payloads fail the slot, not the engine.
+  WatermarkEngine::VerifyRequest empty;
+  empty.id = "audit-null";
+  const auto null_slot = engine.submit(std::move(empty)).get();
+  EXPECT_FALSE(null_slot.ok);
+  EXPECT_NE(null_slot.error.find("verify request"), std::string::npos);
+  engine.drain();
+}
+
 TEST(Engine, ZooBatchExtractionBitIdenticalAtPoolSizes1AndN) {
   // The acceptance-criterion shape: watermark two zoo models (training
   // capped, throwaway cache), then batch-extract at pool sizes 1 and N and

@@ -8,6 +8,8 @@
 // requests still in flight.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -257,6 +259,156 @@ TEST_F(ServerTest, GracefulShutdownServesThrottledBacklog) {
     EXPECT_TRUE(ok(line)) << line;
   }
   EXPECT_FALSE(client.recv_line(line));  // then EOF
+}
+
+TEST_F(ServerTest, ColdSpecOnOneConnectionDoesNotDelayWarmTraffic) {
+  // The lazy-pipeline acceptance shape: with a cold spec in flight on
+  // connection A, a warm request on connection B completes without
+  // waiting for A's model build. A fresh cache dir guarantees the big
+  // spec is genuinely cold.
+  RouterConfig rc = config();
+  rc.cache_dir = dir_ + "/cache_fair";
+  RunningServer rs(rc);
+
+  LineClient warmup("127.0.0.1", rs.server.port());
+  const auto w =
+      warmup.roundtrip({"insert id=w model=opt-125m-sim quant=int4"}, 1);
+  ASSERT_TRUE(ok(w[0])) << w[0];
+
+  LineClient cold("127.0.0.1", rs.server.port());
+  LineClient warm("127.0.0.1", rs.server.port());
+  // The extract's artifacts do not exist: it still pays for the full cold
+  // build (ModelStore::get_async starts it at parse time) before failing
+  // in its lazy sources factory -- exactly the slow-path shape needed
+  // here, without having to mint artifacts for the big model first.
+  cold.send_line("extract id=cold model=opt-1.3b-sim quant=int4 codes=" +
+                 path("fair_none.codes") + " record=" + path("fair_none.rec"));
+  // Give the event loop a cycle to read the line and start the build.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::atomic<int> order{0};
+  int cold_at = 0;
+  std::thread cold_reader([&] {
+    std::string line;
+    if (cold.recv_line(line)) {
+      EXPECT_TRUE(has_id(line, "cold")) << line;
+      EXPECT_FALSE(ok(line)) << line;  // missing artifacts, by design
+    } else {
+      ADD_FAILURE() << "cold connection closed without a response";
+    }
+    cold_at = ++order;
+  });
+  const auto lines =
+      warm.roundtrip({"insert id=hot model=opt-125m-sim quant=int4"}, 1);
+  const int warm_at = ++order;
+  EXPECT_TRUE(ok(lines[0])) << lines[0];
+  cold_reader.join();
+  EXPECT_LT(warm_at, cold_at)
+      << "warm request waited behind another connection's cold build";
+}
+
+TEST_F(ServerTest, StatsDoesNotWaitForOtherSessionsWork) {
+  // `stats` reports a live snapshot: it settles only its own session's
+  // earlier slots (by flushing after them) and never drains the router,
+  // so a probe connection gets its answer while another connection's
+  // cold request is still in flight.
+  RouterConfig rc = config();
+  rc.cache_dir = dir_ + "/cache_stats";
+  RunningServer rs(rc);
+
+  LineClient busy("127.0.0.1", rs.server.port());
+  LineClient probe("127.0.0.1", rs.server.port());
+  busy.send_line("insert id=slow model=opt-1.3b-sim quant=int4");  // cold
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::atomic<int> order{0};
+  int busy_at = 0;
+  std::thread busy_reader([&] {
+    std::string line;
+    if (busy.recv_line(line)) {
+      EXPECT_TRUE(has_id(line, "slow")) << line;
+      EXPECT_TRUE(ok(line)) << line;
+    } else {
+      ADD_FAILURE() << "busy connection closed without a response";
+    }
+    busy_at = ++order;
+  });
+  const auto stats = probe.roundtrip({"stats id=p"}, 1);
+  const int probe_at = ++order;
+  EXPECT_TRUE(ok(stats[0])) << stats[0];
+  busy_reader.join();
+  EXPECT_LT(probe_at, busy_at)
+      << "stats drained another session's in-flight work";
+}
+
+TEST_F(ServerTest, FullEngineQueueNeverBlocksIntake) {
+  // A burst far past the engine queue depth into one shard is absorbed as
+  // deferred in-session submissions (try_submit refusals), never as a
+  // blocked poll loop: a second connection stays responsive for the whole
+  // drain, and the burst still comes back complete and in order.
+  RouterConfig rc = config(/*shards=*/1);
+  rc.engine_queue = 2;
+  rc.max_workers = 1;
+  RunningServer rs(rc);
+
+  LineClient warmup("127.0.0.1", rs.server.port());
+  const auto w =
+      warmup.roundtrip({"insert id=w model=opt-125m-sim quant=int4"}, 1);
+  ASSERT_TRUE(ok(w[0])) << w[0];
+
+  LineClient bursty("127.0.0.1", rs.server.port());
+  LineClient probe("127.0.0.1", rs.server.port());
+  constexpr int kBurst = 48;
+  for (int r = 0; r < kBurst; ++r) {
+    bursty.send_line("insert id=q-" + std::to_string(r) +
+                     " model=opt-125m-sim quant=int4 seed-from-id=1");
+  }
+  // Let the server read the burst: the engine queue (depth 2) is full and
+  // the rest of the burst is deferred inside the session.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::atomic<int> order{0};
+  int burst_done_at = 0;
+  std::thread burst_reader([&] {
+    std::string line;
+    for (int r = 0; r < kBurst; ++r) {
+      if (!bursty.recv_line(line)) {
+        ADD_FAILURE() << "lost burst response " << r;
+        break;
+      }
+      EXPECT_TRUE(has_id(line, "q-" + std::to_string(r))) << line;
+      EXPECT_TRUE(ok(line)) << line;
+    }
+    burst_done_at = ++order;
+  });
+  const auto stats = probe.roundtrip({"stats id=p"}, 1);
+  const int probe_at = ++order;
+  EXPECT_TRUE(ok(stats[0])) << stats[0];
+  burst_reader.join();
+  EXPECT_LT(probe_at, burst_done_at)
+      << "a full engine queue on one connection stalled another connection";
+}
+
+TEST_F(ServerTest, GracefulShutdownSkipsResetPeers) {
+  // A peer that vanished with a TCP reset must not be settled at
+  // shutdown: on_readable() reports it dead and the server skips it,
+  // while live connections still get their in-flight responses flushed.
+  RunningServer rs(config());
+  LineClient resetter("127.0.0.1", rs.server.port());
+  LineClient stayer("127.0.0.1", rs.server.port());
+  resetter.send_line("insert id=gone model=opt-125m-sim quant=int4");
+  stayer.send_line("insert id=kept model=opt-125m-sim quant=int4");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // both read
+
+  rs.server.request_stop();
+  resetter.reset();  // RST races the shutdown settle; both orders must work
+  rs.stop();         // join: must not hang on the dead peer
+
+  std::string line;
+  ASSERT_TRUE(stayer.recv_line(line));
+  EXPECT_TRUE(has_id(line, "kept")) << line;
+  EXPECT_TRUE(ok(line)) << line;
+  EXPECT_FALSE(stayer.recv_line(line));  // then an orderly close
 }
 
 TEST_F(ServerTest, GracefulShutdownFlushesInflightRequests) {
