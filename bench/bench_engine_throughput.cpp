@@ -20,6 +20,7 @@
 //   --smoke: small fixed workload for CI (the Release lane runs this so
 //   the daemon AND socket serving paths cannot silently rot).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "cli/router.h"
+#include "obs/metrics.h"
 #include "data/corpus.h"
 #include "eval/report.h"
 #include "model_zoo/store.h"
@@ -157,6 +159,12 @@ int main(int argc, char** argv) {
     size_t workers;
     double ms;
     double rps;
+    /// Per-request latency percentiles (async cells only; submit-to-done
+    /// through the obs::Histogram, pooled over every repeat). 0 for sync
+    /// cells, where one blocking batch has no per-request latency.
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
   };
   std::vector<Row> rows;
 
@@ -187,9 +195,13 @@ int main(int argc, char** argv) {
       rows.push_back({"sync", workers, ms, 1e3 * requests_n / ms});
     }
 
-    // Async: submit everything, then drain.
+    // Async: submit everything, then drain. Each request records its
+    // submit-to-completion latency into an obs::Histogram (stamped before
+    // submit, recorded in the done callback on the worker), so the table
+    // can report tail percentiles next to throughput.
     {
       std::vector<uint64_t> digests;
+      obs::Histogram latency;
       const double ms = best_of(repeats, [&] {
         std::vector<QuantizedModel> models(requests_n, *fx.quantized);
         WatermarkEngine engine(config);
@@ -197,7 +209,15 @@ int main(int argc, char** argv) {
         Timer t;
         std::vector<std::future<WatermarkEngine::InsertResult>> futures;
         futures.reserve(requests.size());
-        for (auto& request : requests) futures.push_back(engine.submit(request));
+        for (auto& request : requests) {
+          const auto submitted_at = std::chrono::steady_clock::now();
+          futures.push_back(engine.submit(
+              request, [&latency, submitted_at](
+                           const WatermarkEngine::InsertResult&) {
+                latency.record_duration(std::chrono::steady_clock::now() -
+                                        submitted_at);
+              }));
+        }
         engine.drain();
         const double elapsed = t.milliseconds();
         digests.clear();
@@ -211,14 +231,22 @@ int main(int argc, char** argv) {
                      workers);
         return 1;
       }
-      rows.push_back({"async", workers, ms, 1e3 * requests_n / ms});
+      const obs::Histogram::Snapshot snap = latency.snapshot();
+      rows.push_back({"async", workers, ms, 1e3 * requests_n / ms,
+                      1e3 * snap.quantile(0.50), 1e3 * snap.quantile(0.95),
+                      1e3 * snap.quantile(0.99)});
     }
   }
 
-  TablePrinter table({"mode", "workers", "ms / workload", "requests/sec"});
+  TablePrinter table({"mode", "workers", "ms / workload", "requests/sec",
+                      "p50 ms", "p95 ms", "p99 ms"});
   for (const Row& row : rows) {
+    const bool has_latency = row.p50_ms > 0;
     table.add_row({row.mode, std::to_string(row.workers),
-                   TablePrinter::fmt(row.ms, 2), TablePrinter::fmt(row.rps, 1)});
+                   TablePrinter::fmt(row.ms, 2), TablePrinter::fmt(row.rps, 1),
+                   has_latency ? TablePrinter::fmt(row.p50_ms, 2) : "-",
+                   has_latency ? TablePrinter::fmt(row.p95_ms, 2) : "-",
+                   has_latency ? TablePrinter::fmt(row.p99_ms, 2) : "-"});
   }
   table.print();
   std::printf("(%zu insert requests per workload; async == sync byte-for-byte, "
@@ -324,9 +352,14 @@ int main(int argc, char** argv) {
               "\"repeats\":%d,\"smoke\":%s,\"hardware_threads\":%u,\"rows\":[",
               requests_n, repeats, smoke ? "true" : "false", hw);
   for (size_t i = 0; i < rows.size(); ++i) {
-    std::printf("%s{\"mode\":\"%s\",\"workers\":%zu,\"ms\":%.3f,\"rps\":%.1f}",
+    std::printf("%s{\"mode\":\"%s\",\"workers\":%zu,\"ms\":%.3f,\"rps\":%.1f",
                 i ? "," : "", rows[i].mode, rows[i].workers, rows[i].ms,
                 rows[i].rps);
+    if (rows[i].p50_ms > 0) {
+      std::printf(",\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f",
+                  rows[i].p50_ms, rows[i].p95_ms, rows[i].p99_ms);
+    }
+    std::printf("}");
   }
   std::printf("],\"store\":{\"model\":\"%s\",\"cold_ms\":%.1f,\"warm_ms\":%.3f,"
               "\"checkout_ms\":%.3f},\"serve\":{\"requests\":%zu,"

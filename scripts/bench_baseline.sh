@@ -14,6 +14,10 @@
 #   scripts/bench_baseline.sh --pre-json FILE     # embed a pre-rewrite bench JSON
 #                                                 # (one bench_parallel_wm JSON line)
 #                                                 # and compute speedups against it
+#   scripts/bench_baseline.sh --compare FILE      # diff the fresh run against a
+#                                                 # committed baseline (BENCH_5.json);
+#                                                 # exit 1 on a >15% regression in a
+#                                                 # comparable pinned phase
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +28,7 @@ MODEL=""
 REPEATS=5
 QUICK=0
 PRE_JSON_FILE=""
+COMPARE_FILE=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -32,9 +37,15 @@ while [[ $# -gt 0 ]]; do
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --model) MODEL="$2"; shift 2 ;;
     --pre-json) PRE_JSON_FILE="$2"; shift 2 ;;
+    --compare) COMPARE_FILE="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ -n "$COMPARE_FILE" && ! -f "$COMPARE_FILE" ]]; then
+  echo "compare baseline not found: $COMPARE_FILE" >&2
+  exit 2
+fi
 
 if [[ ! -x "$BUILD_DIR/bench_parallel_wm" || ! -x "$BUILD_DIR/bench_engine_throughput" ]]; then
   echo "bench binaries missing; build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -44,6 +55,12 @@ fi
 WM_ARGS=(--repeats "$REPEATS")
 if [[ "$QUICK" == 1 ]]; then
   WM_ARGS=(--repeats 2 --model opt-125m-sim)
+  if [[ -n "$COMPARE_FILE" ]]; then
+    # Best-of-2 has not converged for the microsecond-scale score phase;
+    # a regression gate needs settled numbers (the kernel bench is fast,
+    # the quick savings are all in the engine bench's zoo training).
+    WM_ARGS=(--repeats "$REPEATS" --model opt-125m-sim)
+  fi
 fi
 if [[ -n "$MODEL" ]]; then
   WM_ARGS+=(--model "$MODEL")
@@ -146,3 +163,76 @@ with open(os.environ["OUT"], "w") as f:
     f.write("\n")
 print(f"[bench_baseline] wrote {os.environ['OUT']}")
 EOF
+
+if [[ -n "$COMPARE_FILE" ]]; then
+  # Regression gate against a committed baseline. Relative speedups
+  # (scalar/SIMD ratios) are machine-portable, so they are compared
+  # whenever the benched model matches; absolute phase timings are only
+  # meaningful on the same CPU, so those are compared only when the CPU
+  # string matches too. A fresh phase more than 15% worse than the
+  # baseline fails the gate.
+  OUT="$OUT" COMPARE_FILE="$COMPARE_FILE" python3 - <<'EOF'
+import json
+import os
+import sys
+
+with open(os.environ["OUT"]) as f:
+    fresh = json.load(f)
+with open(os.environ["COMPARE_FILE"]) as f:
+    base = json.load(f)
+
+TOLERANCE = 0.15
+checks = 0
+failures = 0
+
+def check(name, baseline, current, higher_is_better):
+    global checks, failures
+    checks += 1
+    if higher_is_better:
+        regressed = current < baseline * (1.0 - TOLERANCE)
+        delta_pct = 100.0 * (current - baseline) / baseline
+    else:
+        regressed = current > baseline * (1.0 + TOLERANCE)
+        delta_pct = 100.0 * (current - baseline) / baseline
+    verdict = "REGRESSION" if regressed else "ok"
+    print(f"[bench_compare] {verdict:10s} {name}: baseline {baseline:g}, "
+          f"fresh {current:g} ({delta_pct:+.1f}%)")
+    if regressed:
+        failures += 1
+
+fresh_sum, base_sum = fresh["summary"], base["summary"]
+same_model = fresh_sum["model"] == base_sum["model"]
+same_cpu = fresh["machine"]["cpu"] == base["machine"]["cpu"]
+
+if same_model:
+    for phase in ("derive", "score"):
+        check(f"kernel_speedup.{phase}",
+              base_sum["kernel_speedup"][phase],
+              fresh_sum["kernel_speedup"][phase],
+              higher_is_better=True)
+else:
+    print(f"[bench_compare] model mismatch ({fresh_sum['model']} vs "
+          f"{base_sum['model']}); skipping speedup checks")
+
+if same_model and same_cpu:
+    for phase in ("derive", "extract", "score"):
+        check(f"best_kernel.{phase}_ms",
+              base_sum["best_kernel"][f"{phase}_ms"],
+              fresh_sum["best_kernel"][f"{phase}_ms"],
+              higher_is_better=False)
+else:
+    print("[bench_compare] CPU or model differs from baseline; skipping "
+          "absolute-timing checks")
+
+if checks == 0:
+    print("[bench_compare] nothing comparable against "
+          f"{os.environ['COMPARE_FILE']}; gate passes vacuously")
+elif failures:
+    print(f"[bench_compare] FAILED: {failures} of {checks} checks regressed "
+          f"past {int(TOLERANCE * 100)}%")
+    sys.exit(1)
+else:
+    print(f"[bench_compare] all {checks} checks within "
+          f"{int(TOLERANCE * 100)}% of {os.environ['COMPARE_FILE']}")
+EOF
+fi

@@ -48,7 +48,7 @@ while [[ $# -gt 0 ]]; do
       BUILD_TYPE=RelWithDebInfo
       TSAN=ON
       BUILD_DIR=build-tsan
-      TEST_FILTER='^(test_threadpool|test_engine|test_store|test_daemon|test_server)$'
+      TEST_FILTER='^(test_threadpool|test_engine|test_store|test_daemon|test_server|test_metrics)$'
       shift
       ;;
     --build-dir)

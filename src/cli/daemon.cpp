@@ -16,6 +16,9 @@ int run_daemon(std::istream& in, std::ostream& out, const DaemonConfig& config) 
   std::string line;
   while (std::getline(in, line)) {
     if (!session->handle_line(line, emit)) break;
+    // The stdio transport has no poll cycle; the idle-TTL sweep rides the
+    // line loop instead (cheap no-op when --store-ttl is off).
+    router.sweep_stores();
   }
   session->finish(emit);
   router.drain();

@@ -250,6 +250,13 @@ void add_router_options(ArgParser& args) {
                   "queue defers submissions to the next poll, never blocks intake");
   args.add_option("base-seed", "0", "engine base seed for seed-from-id requests");
   args.add_option("min-wer", "90", "default verify/trace WER gate (percent)");
+  args.add_option("max-queued", "0",
+                  "per-shard admission bound: fast-fail new requests with an "
+                  "overload error once a shard holds this many queued "
+                  "requests (0 = never shed)");
+  args.add_option("store-ttl", "0",
+                  "evict store entries idle longer than this many seconds "
+                  "(0 = keep until LRU pressure)");
   args.add_flag("echo", "echo each parsed command to stderr");
 }
 
@@ -264,6 +271,8 @@ RouterConfig router_config_from(const ArgParser& args) {
   config.max_workers = static_cast<size_t>(args.get_int("workers"));
   config.engine_queue = static_cast<size_t>(args.get_int("engine-queue"));
   config.min_wer_pct = args.get_double("min-wer");
+  config.max_queued = static_cast<size_t>(args.get_int("max-queued"));
+  config.store_ttl_sec = args.get_double("store-ttl");
   config.echo = args.get_flag("echo");
   return config;
 }

@@ -76,6 +76,55 @@ size_t ShardRouter::shard_for(const std::string& key) const {
   return it == ring_.end() ? ring_.front().second : it->second;
 }
 
+// --- request-lifecycle metrics -----------------------------------------------
+
+/// Pre-registered series behind the `metrics` verb. Registration (a
+/// name+label lookup under the registry mutex) happens once, at router
+/// construction; the request path only touches the resolved pointers --
+/// relaxed atomic increments, per the obs record-path cost contract.
+struct RouterMetrics {
+  static constexpr size_t kVerbs = 4;
+  static constexpr const char* kVerbNames[kVerbs] = {"insert", "extract",
+                                                     "trace", "verify"};
+  static constexpr size_t kPhases = 4;
+  static constexpr const char* kPhaseNames[kPhases] = {"queue", "run", "flush",
+                                                       "total"};
+
+  obs::Histogram* latency[kVerbs][kPhases];
+  obs::Counter* requests[kVerbs];
+  obs::Counter* failures[kVerbs];
+  std::vector<obs::Counter*> shed;  // per shard
+  obs::Counter* scrapes = nullptr;
+
+  RouterMetrics(obs::MetricsRegistry& registry, size_t shards) {
+    for (size_t v = 0; v < kVerbs; ++v) {
+      for (size_t p = 0; p < kPhases; ++p) {
+        latency[v][p] = &registry.histogram(
+            "emmark_request_latency_seconds",
+            "Request lifecycle phase latency per verb (queue: parse to "
+            "engine submit; run: submit to completion; flush: completion to "
+            "response emit; total: parse to emit).",
+            {{"verb", kVerbNames[v]}, {"phase", kPhaseNames[p]}});
+      }
+      requests[v] =
+          &registry.counter("emmark_requests_total", "Responses emitted per verb.",
+                            {{"verb", kVerbNames[v]}});
+      failures[v] = &registry.counter("emmark_request_failures_total",
+                                      "Responses with ok=false per verb.",
+                                      {{"verb", kVerbNames[v]}});
+    }
+    shed.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      shed.push_back(&registry.counter(
+          "emmark_requests_shed_total",
+          "Requests fast-failed by admission control (--max-queued).",
+          {{"shard", std::to_string(s)}}));
+    }
+    scrapes = &registry.counter("emmark_metrics_scrapes_total",
+                                "metrics-verb scrapes served.");
+  }
+};
+
 // --- wire helpers ------------------------------------------------------------
 
 namespace {
@@ -237,6 +286,88 @@ WatermarkKey key_from(const Params& params) {
   return key;
 }
 
+constexpr size_t kInsertVerb = 0;
+constexpr size_t kExtractVerb = 1;
+constexpr size_t kTraceVerb = 2;
+constexpr size_t kVerifyVerb = 3;
+
+size_t verb_index(const std::string& cmd) {
+  if (cmd == "insert") return kInsertVerb;
+  if (cmd == "extract") return kExtractVerb;
+  if (cmd == "trace") return kTraceVerb;
+  return kVerifyVerb;
+}
+
+/// Lifecycle timestamps for one request. `parse` is stamped at intake,
+/// `submit` when the engine accepts the request, `complete` on the engine
+/// worker just before the result future resolves -- the future is the
+/// synchronization that makes `complete` safe to read at flush time.
+struct RequestStamps {
+  std::chrono::steady_clock::time_point parse{};
+  std::chrono::steady_clock::time_point submit{};
+  std::chrono::steady_clock::time_point complete{};
+};
+
+/// RAII deferred-slot accounting against the request's home shard: armed
+/// at parse, released when the request reaches the engine (or permanently
+/// fails before it; the destructor covers abandoned sessions). The count
+/// feeds the admission-control load and the deferred-slots gauge.
+class DeferredSlot {
+ public:
+  DeferredSlot() = default;
+  DeferredSlot(const DeferredSlot&) = delete;
+  DeferredSlot& operator=(const DeferredSlot&) = delete;
+  ~DeferredSlot() { release(); }
+
+  void arm(std::atomic<size_t>& count) {
+    release();
+    count_ = &count;
+    count_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void release() {
+    if (count_ != nullptr) {
+      count_->fetch_sub(1, std::memory_order_relaxed);
+      count_ = nullptr;
+    }
+  }
+
+ private:
+  std::atomic<size_t>* count_ = nullptr;
+};
+
+/// Thrown by the admission check; handle_line turns it into the
+/// structured overload error line (`"shed":true`, docs/PROTOCOL.md §7).
+struct OverloadError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void record_request(RouterMetrics& metrics, size_t verb,
+                    const RequestStamps& stamps, bool ok) {
+  const auto flush = std::chrono::steady_clock::now();
+  constexpr std::chrono::steady_clock::time_point kUnset{};
+  metrics.latency[verb][3]->record_duration(flush - stamps.parse);
+  if (stamps.submit != kUnset) {
+    metrics.latency[verb][0]->record_duration(stamps.submit - stamps.parse);
+    if (stamps.complete != kUnset) {
+      metrics.latency[verb][1]->record_duration(stamps.complete -
+                                                stamps.submit);
+      metrics.latency[verb][2]->record_duration(flush - stamps.complete);
+    }
+  }
+  metrics.requests[verb]->inc();
+  if (!ok) metrics.failures[verb]->inc();
+}
+
+/// Scoped flush-time recorder for a verb finalizer: destruction stamps the
+/// flush and records every phase; the finalizer flips `ok` on success.
+struct RequestRecord {
+  RouterMetrics& metrics;
+  size_t verb;
+  const RequestStamps& stamps;
+  bool ok = false;
+  ~RequestRecord() { record_request(metrics, verb, stamps, ok); }
+};
+
 // --- per-verb lazy pipelines -------------------------------------------------
 //
 // Every verb follows one shape. handle_line fills a ctx with the parsed
@@ -269,17 +400,22 @@ bool submit_lazy(const std::shared_ptr<Ctx>& ctx, bool block,
     ctx->handle = ctx->build.get();
   } catch (const std::exception& e) {
     ctx->fail_error = e.what();
+    ctx->deferred.release();  // never reaching the engine
     return true;
   }
   auto request = make_request();
   if (block) {
     ctx->result = std::make_shared<std::shared_future<Result>>(
         ctx->engine->submit(std::move(request), std::move(done)).share());
+    ctx->stamps.submit = std::chrono::steady_clock::now();
+    ctx->deferred.release();
     return true;
   }
   std::future<Result> out;
   if (!ctx->engine->try_submit(request, out, std::move(done))) return false;
   ctx->result = std::make_shared<std::shared_future<Result>>(out.share());
+  ctx->stamps.submit = std::chrono::steady_clock::now();
+  ctx->deferred.release();
   return true;
 }
 
@@ -306,6 +442,8 @@ struct InsertCtx {
   // Set once submitted / failed.
   std::shared_ptr<std::shared_future<WatermarkEngine::InsertResult>> result;
   std::string fail_error;
+  RequestStamps stamps;
+  DeferredSlot deferred;
 };
 
 /// Runs on the engine worker right after the insert executed: persist the
@@ -361,6 +499,7 @@ bool submit_insert(const std::shared_ptr<InsertCtx>& ctx, bool block) {
       std::function<void(const WatermarkEngine::InsertResult&)>(
           [ctx](const WatermarkEngine::InsertResult& slot) {
             save_insert_artifacts(ctx, slot);
+            ctx->stamps.complete = std::chrono::steady_clock::now();
           }));
 }
 
@@ -373,28 +512,36 @@ struct ExtractCtx {
   std::string id, codes_path, record_path;
   std::shared_ptr<std::shared_future<WatermarkEngine::ExtractResult>> result;
   std::string fail_error;
+  RequestStamps stamps;
+  DeferredSlot deferred;
 };
 
 bool submit_extract(const std::shared_ptr<ExtractCtx>& ctx, bool block) {
-  return submit_lazy<WatermarkEngine::ExtractResult>(ctx, block, [&ctx] {
-    WatermarkEngine::ExtractRequest request;
-    request.id = ctx->id;
-    // The suspect deep copy and both artifact loads run on the engine
-    // worker. The factory capturing ctx also pins it until the engine
-    // finishes the slot, so an abandoned session can drop its finalizer
-    // without dangling the worker.
-    request.sources_factory = [ctx] {
-      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
-      ctx->suspect->load_codes(ctx->codes_path);
-      ctx->record = SchemeRecord::load(ctx->record_path);
-      WatermarkEngine::ExtractRequest::Sources src;
-      src.suspect = ctx->suspect.get();
-      src.original = ctx->handle.original.get();
-      src.record = &ctx->record;
-      return src;
-    };
-    return request;
-  });
+  return submit_lazy<WatermarkEngine::ExtractResult>(
+      ctx, block,
+      [&ctx] {
+        WatermarkEngine::ExtractRequest request;
+        request.id = ctx->id;
+        // The suspect deep copy and both artifact loads run on the engine
+        // worker. The factory capturing ctx also pins it until the engine
+        // finishes the slot, so an abandoned session can drop its finalizer
+        // without dangling the worker.
+        request.sources_factory = [ctx] {
+          ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+          ctx->suspect->load_codes(ctx->codes_path);
+          ctx->record = SchemeRecord::load(ctx->record_path);
+          WatermarkEngine::ExtractRequest::Sources src;
+          src.suspect = ctx->suspect.get();
+          src.original = ctx->handle.original.get();
+          src.record = &ctx->record;
+          return src;
+        };
+        return request;
+      },
+      std::function<void(const WatermarkEngine::ExtractResult&)>(
+          [ctx](const WatermarkEngine::ExtractResult&) {
+            ctx->stamps.complete = std::chrono::steady_clock::now();
+          }));
 }
 
 struct TraceCtx {
@@ -407,25 +554,33 @@ struct TraceCtx {
   double min_wer_pct = -1.0;
   std::shared_ptr<std::shared_future<WatermarkEngine::TraceBatchResult>> result;
   std::string fail_error;
+  RequestStamps stamps;
+  DeferredSlot deferred;
 };
 
 bool submit_trace(const std::shared_ptr<TraceCtx>& ctx, bool block) {
-  return submit_lazy<WatermarkEngine::TraceBatchResult>(ctx, block, [&ctx] {
-    WatermarkEngine::TraceRequest request;
-    request.id = ctx->id;
-    request.min_wer_pct = ctx->min_wer_pct;
-    request.sources_factory = [ctx] {
-      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
-      ctx->suspect->load_codes(ctx->codes_path);
-      ctx->set = FingerprintSet::load(ctx->set_path);
-      WatermarkEngine::TraceRequest::Sources src;
-      src.suspect = ctx->suspect.get();
-      src.original = ctx->handle.original.get();
-      src.set = &ctx->set;
-      return src;
-    };
-    return request;
-  });
+  return submit_lazy<WatermarkEngine::TraceBatchResult>(
+      ctx, block,
+      [&ctx] {
+        WatermarkEngine::TraceRequest request;
+        request.id = ctx->id;
+        request.min_wer_pct = ctx->min_wer_pct;
+        request.sources_factory = [ctx] {
+          ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+          ctx->suspect->load_codes(ctx->codes_path);
+          ctx->set = FingerprintSet::load(ctx->set_path);
+          WatermarkEngine::TraceRequest::Sources src;
+          src.suspect = ctx->suspect.get();
+          src.original = ctx->handle.original.get();
+          src.set = &ctx->set;
+          return src;
+        };
+        return request;
+      },
+      std::function<void(const WatermarkEngine::TraceBatchResult&)>(
+          [ctx](const WatermarkEngine::TraceBatchResult&) {
+            ctx->stamps.complete = std::chrono::steady_clock::now();
+          }));
 }
 
 struct VerifyCtx {
@@ -438,27 +593,35 @@ struct VerifyCtx {
   double min_wer_pct = -1.0;
   std::shared_ptr<std::shared_future<WatermarkEngine::VerifyResult>> result;
   std::string fail_error;
+  RequestStamps stamps;
+  DeferredSlot deferred;
 };
 
 bool submit_verify(const std::shared_ptr<VerifyCtx>& ctx, bool block) {
-  return submit_lazy<WatermarkEngine::VerifyResult>(ctx, block, [&ctx] {
-    WatermarkEngine::VerifyRequest request;
-    request.id = ctx->id;
-    request.min_wer_pct = ctx->min_wer_pct;
-    request.sources_factory = [ctx] {
-      ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
-      ctx->suspect->load_codes(ctx->codes_path);
-      ctx->evidence = std::make_unique<OwnershipEvidence>(
-          OwnershipEvidence::load(ctx->evidence_path));
-      WatermarkEngine::VerifyRequest::Sources src;
-      src.suspect = ctx->suspect.get();
-      src.original = ctx->handle.original.get();
-      src.stats = ctx->handle.stats.get();
-      src.evidence = ctx->evidence.get();
-      return src;
-    };
-    return request;
-  });
+  return submit_lazy<WatermarkEngine::VerifyResult>(
+      ctx, block,
+      [&ctx] {
+        WatermarkEngine::VerifyRequest request;
+        request.id = ctx->id;
+        request.min_wer_pct = ctx->min_wer_pct;
+        request.sources_factory = [ctx] {
+          ctx->suspect = std::make_unique<QuantizedModel>(*ctx->handle.original);
+          ctx->suspect->load_codes(ctx->codes_path);
+          ctx->evidence = std::make_unique<OwnershipEvidence>(
+              OwnershipEvidence::load(ctx->evidence_path));
+          WatermarkEngine::VerifyRequest::Sources src;
+          src.suspect = ctx->suspect.get();
+          src.original = ctx->handle.original.get();
+          src.stats = ctx->handle.stats.get();
+          src.evidence = ctx->evidence.get();
+          return src;
+        };
+        return request;
+      },
+      std::function<void(const WatermarkEngine::VerifyResult&)>(
+          [ctx](const WatermarkEngine::VerifyResult&) {
+            ctx->stamps.complete = std::chrono::steady_clock::now();
+          }));
 }
 
 }  // namespace
@@ -471,6 +634,7 @@ RequestRouter::Shard::Shard(const RouterConfig& config)
         sc.cache_dir = config.cache_dir;
         sc.capacity = config.store_capacity;
         sc.max_resident_bytes = config.max_resident_bytes;
+        sc.idle_ttl_sec = config.store_ttl_sec;
         return sc;
       }()),
       engine([&] {
@@ -489,6 +653,7 @@ RequestRouter::RequestRouter(const RouterConfig& config)
   for (size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_));
   }
+  metrics_ = std::make_unique<RouterMetrics>(registry_, config_.shards);
 }
 
 RequestRouter::~RequestRouter() {
@@ -512,6 +677,117 @@ std::vector<RequestRouter::ShardSnapshot> RequestRouter::shard_stats() const {
     out.push_back(snap);
   }
   return out;
+}
+
+void RequestRouter::sweep_stores() {
+  for (auto& shard : shards_) shard->store.sweep_idle();
+}
+
+std::string RequestRouter::metrics_text() {
+  metrics_->scrapes->inc();
+  obs::Exposition out;
+  registry_.expose(out);
+
+  // Shard-derived families: gauges sampled and histograms merged at scrape
+  // time, so the engine/store record paths never touch the registry. Every
+  // family name is distinct from the registered ones, keeping families
+  // contiguous as the exposition format requires.
+  auto shard_label = [](size_t i) {
+    return obs::Labels{{"shard", std::to_string(i)}};
+  };
+
+  out.family("emmark_engine_queue_depth", "gauge",
+             "Requests queued or executing on the shard engine.");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out.sample("emmark_engine_queue_depth", shard_label(i),
+               static_cast<uint64_t>(shards_[i]->engine.pending()));
+  }
+  out.family("emmark_engine_deferred_slots", "gauge",
+             "Requests parsed but not yet handed to the shard engine.");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out.sample("emmark_engine_deferred_slots", shard_label(i),
+               static_cast<uint64_t>(
+                   shards_[i]->deferred.load(std::memory_order_relaxed)));
+  }
+  out.family("emmark_engine_requests_total", "counter",
+             "Lifetime shard-engine async requests by final state.");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const WatermarkEngine::Counters counters = shards_[i]->engine.counters();
+    const std::pair<const char*, uint64_t> states[] = {
+        {"submitted", counters.submitted},
+        {"completed", counters.completed},
+        {"failed", counters.failed},
+        {"cancelled", counters.cancelled}};
+    for (const auto& [state, value] : states) {
+      obs::Labels labels = shard_label(i);
+      labels.emplace_back("state", state);
+      out.sample("emmark_engine_requests_total", labels, value);
+    }
+  }
+
+  obs::Histogram::Snapshot queue_wait;
+  obs::Histogram::Snapshot exec;
+  obs::Histogram::Snapshot build;
+  obs::Histogram::Snapshot hit;
+  obs::Histogram::Snapshot miss;
+  for (const auto& shard : shards_) {
+    queue_wait.merge(shard->engine.queue_wait_histogram().snapshot());
+    exec.merge(shard->engine.exec_histogram().snapshot());
+    build.merge(shard->store.build_histogram().snapshot());
+    hit.merge(shard->store.hit_histogram().snapshot());
+    miss.merge(shard->store.miss_histogram().snapshot());
+  }
+  out.family("emmark_engine_queue_wait_seconds", "histogram",
+             "Engine enqueue-to-dequeue wait, merged across shards.");
+  out.histogram("emmark_engine_queue_wait_seconds", {}, queue_wait);
+  out.family("emmark_engine_exec_seconds", "histogram",
+             "Engine request execution time, merged across shards.");
+  out.histogram("emmark_engine_exec_seconds", {}, exec);
+
+  out.family("emmark_store_events_total", "counter",
+             "Lifetime shard-store cache events.");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ModelStore::Stats stats = shards_[i]->store.stats();
+    const std::pair<const char*, uint64_t> events[] = {
+        {"hit", stats.hits},
+        {"miss", stats.misses},
+        {"build", stats.builds},
+        {"eviction", stats.evictions}};
+    for (const auto& [event, value] : events) {
+      obs::Labels labels = shard_label(i);
+      labels.emplace_back("event", event);
+      out.sample("emmark_store_events_total", labels, value);
+    }
+  }
+  std::vector<ModelStore::Stats> store_stats;
+  store_stats.reserve(shards_.size());
+  for (const auto& shard : shards_) store_stats.push_back(shard->store.stats());
+  out.family("emmark_store_resident_entries", "gauge",
+             "Models resident in the shard store.");
+  for (size_t i = 0; i < store_stats.size(); ++i) {
+    out.sample("emmark_store_resident_entries", shard_label(i),
+               static_cast<uint64_t>(store_stats[i].resident));
+  }
+  out.family("emmark_store_resident_bytes", "gauge",
+             "Code-buffer bytes resident in the shard store.");
+  for (size_t i = 0; i < store_stats.size(); ++i) {
+    out.sample("emmark_store_resident_bytes", shard_label(i),
+               store_stats[i].resident_bytes);
+  }
+  out.family("emmark_store_build_seconds", "histogram",
+             "Cold zoo build duration, merged across shards.");
+  out.histogram("emmark_store_build_seconds", {}, build);
+  out.family("emmark_store_lookup_hit_seconds", "histogram",
+             "Warm store lookup duration, merged across shards.");
+  out.histogram("emmark_store_lookup_hit_seconds", {}, hit);
+  out.family("emmark_store_miss_to_ready_seconds", "histogram",
+             "Miss-to-ready duration (lookup start until the build landed), "
+             "merged across shards.");
+  out.histogram("emmark_store_miss_to_ready_seconds", {}, miss);
+
+  std::string text = out.text();
+  text += "# EOF";
+  return text;
 }
 
 std::unique_ptr<RequestRouter::Session> RequestRouter::open_session() {
@@ -597,6 +873,30 @@ bool RequestRouter::Session::handle_line(const std::string& line,
       return spec;
     };
 
+    // Admission control (--max-queued): resolve the home shard and shed
+    // *before* any work happens -- no build started, no claims taken, not
+    // counted submitted -- when the shard's engine backlog plus its
+    // deferred (parsed-but-unsubmitted) slots are at the bound. Per shard:
+    // a burst into one shard sheds without touching warm traffic homed on
+    // the others.
+    auto admit = [&](const ModelSpec& spec) -> Shard& {
+      const size_t index = router_.shard_for(spec);
+      Shard& home = router_.shard(index);
+      if (config.max_queued > 0) {
+        const size_t load = home.deferred.load(std::memory_order_relaxed) +
+                            home.engine.pending();
+        if (load >= config.max_queued) {
+          router_.metrics_->shed[index]->inc();
+          throw OverloadError("overloaded: shard " + std::to_string(index) +
+                              " has " + std::to_string(load) +
+                              " queued requests (bound " +
+                              std::to_string(config.max_queued) +
+                              "); retry later");
+        }
+      }
+      return home;
+    };
+
     if (cmd == "quit") {
       quit_ = true;
     } else if (cmd == "stats") {
@@ -657,8 +957,10 @@ bool RequestRouter::Session::handle_line(const std::string& line,
     } else if (cmd == "insert") {
       auto ctx = std::make_shared<InsertCtx>();
       const ModelSpec spec = spec_for();
-      Shard& home = router_.shard(router_.shard_for(spec));
+      Shard& home = admit(spec);
       ctx->engine = &home.engine;
+      ctx->stamps.parse = std::chrono::steady_clock::now();
+      ctx->deferred.arm(home.deferred);
       // Cold builds run on the pool behind the store's shared future; the
       // engine submission happens from this session's advance path once
       // the future resolves, so intake never stalls on zoo training and
@@ -703,6 +1005,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
           },
           [this, ctx, writes, seq, id]() -> std::string {
             ClaimRelease release{pending_writes_, writes, seq};
+            RequestRecord record{*router_.metrics_, kInsertVerb, ctx->stamps};
             // Blocking is the contract here: finalizers run in request
             // order, so every earlier claim on these paths has already
             // been released (its reads/writes happened before its future
@@ -722,6 +1025,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
               return error_line(id, "insert", ctx->save_error);
             }
             ++completed_;
+            record.ok = true;
             return "{\"id\":\"" + json_escape(id) +
                    "\",\"cmd\":\"insert\",\"ok\":true,\"scheme\":\"" +
                    json_escape(slot.record.scheme()) +
@@ -732,8 +1036,10 @@ bool RequestRouter::Session::handle_line(const std::string& line,
     } else if (cmd == "extract") {
       auto ctx = std::make_shared<ExtractCtx>();
       const ModelSpec spec = spec_for();
-      Shard& home = router_.shard(router_.shard_for(spec));
+      Shard& home = admit(spec);
       ctx->engine = &home.engine;
+      ctx->stamps.parse = std::chrono::steady_clock::now();
+      ctx->deferred.arm(home.deferred);
       ctx->build = home.store.get_async(spec);
       ctx->id = id;
       ctx->codes_path = params.require("codes");
@@ -762,6 +1068,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
           },
           [this, ctx, reads, seq, id]() -> std::string {
             ClaimRelease release{pending_reads_, reads, seq};
+            RequestRecord record{*router_.metrics_, kExtractVerb, ctx->stamps};
             submit_extract(ctx, /*block=*/true);
             if (!ctx->fail_error.empty()) {
               ++failed_;
@@ -773,6 +1080,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
               return error_line(id, "extract", slot.error);
             }
             ++completed_;
+            record.ok = true;
             return "{\"id\":\"" + json_escape(id) +
                    "\",\"cmd\":\"extract\",\"ok\":true,\"scheme\":\"" +
                    json_escape(ctx->record.scheme()) +
@@ -785,8 +1093,10 @@ bool RequestRouter::Session::handle_line(const std::string& line,
     } else if (cmd == "trace") {
       auto ctx = std::make_shared<TraceCtx>();
       const ModelSpec spec = spec_for();
-      Shard& home = router_.shard(router_.shard_for(spec));
+      Shard& home = admit(spec);
       ctx->engine = &home.engine;
+      ctx->stamps.parse = std::chrono::steady_clock::now();
+      ctx->deferred.arm(home.deferred);
       ctx->build = home.store.get_async(spec);
       ctx->id = id;
       ctx->codes_path = params.require("codes");
@@ -813,6 +1123,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
           },
           [this, ctx, reads, seq, id]() -> std::string {
             ClaimRelease release{pending_reads_, reads, seq};
+            RequestRecord record{*router_.metrics_, kTraceVerb, ctx->stamps};
             submit_trace(ctx, /*block=*/true);
             if (!ctx->fail_error.empty()) {
               ++failed_;
@@ -824,6 +1135,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
               return error_line(id, "trace", slot.error);
             }
             ++completed_;
+            record.ok = true;
             return "{\"id\":\"" + json_escape(id) +
                    "\",\"cmd\":\"trace\",\"ok\":true,\"device\":\"" +
                    json_escape(slot.trace.device_id) + "\",\"matched\":" +
@@ -839,8 +1151,10 @@ bool RequestRouter::Session::handle_line(const std::string& line,
       // load, suspect copy and WER re-extraction all run on a worker.
       auto ctx = std::make_shared<VerifyCtx>();
       const ModelSpec spec = spec_for();
-      Shard& home = router_.shard(router_.shard_for(spec));
+      Shard& home = admit(spec);
       ctx->engine = &home.engine;
+      ctx->stamps.parse = std::chrono::steady_clock::now();
+      ctx->deferred.arm(home.deferred);
       ctx->build = home.store.get_async(spec);
       ctx->id = id;
       ctx->codes_path = params.require("codes");
@@ -867,6 +1181,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
           },
           [this, ctx, reads, seq, id]() -> std::string {
             ClaimRelease release{pending_reads_, reads, seq};
+            RequestRecord record{*router_.metrics_, kVerifyVerb, ctx->stamps};
             submit_verify(ctx, /*block=*/true);
             if (!ctx->fail_error.empty()) {
               ++failed_;
@@ -878,6 +1193,7 @@ bool RequestRouter::Session::handle_line(const std::string& line,
               return error_line(id, "verify", slot.error);
             }
             ++completed_;
+            record.ok = true;
             return "{\"id\":\"" + json_escape(id) +
                    "\",\"cmd\":\"verify\",\"ok\":true,\"verified\":" +
                    (slot.verified ? "true" : "false") + ",\"owner\":\"" +
@@ -885,11 +1201,36 @@ bool RequestRouter::Session::handle_line(const std::string& line,
                    json_escape(slot.scheme) + "\",\"why\":\"" +
                    json_escape(slot.why) + "\"}";
           }});
+    } else if (cmd == "metrics") {
+      // Prometheus text exposition (docs/PROTOCOL.md §5): the one verb
+      // whose response is multi-line, terminated by a `# EOF` line. The
+      // slot flushes in request order like any other, and the snapshot is
+      // live like `stats` -- computed at flush, never draining anyone.
+      // Scrapes do not count into submitted_ (the stats JSON stays
+      // byte-compatible whether or not anyone scrapes).
+      pending_.push_back(PendingOutput{
+          /*advance=*/{}, [] { return true; },
+          [this]() -> std::string { return router_.metrics_text(); }});
     } else {
       throw std::invalid_argument(
           "unknown command: " + cmd +
-          " (known: insert extract verify trace stats quit)");
+          " (known: insert extract verify trace stats metrics quit)");
     }
+  } catch (const OverloadError& e) {
+    // Structured fast-fail: a normal error line plus "shed":true so
+    // clients can tell overload from request failure, and the per-verb
+    // failure counters move with it (the shed counter already did, in
+    // admit()).
+    ++failed_;
+    const size_t verb = verb_index(cmd);
+    router_.metrics_->requests[verb]->inc();
+    router_.metrics_->failures[verb]->inc();
+    const std::string json =
+        "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"" + json_escape(cmd) +
+        "\",\"ok\":false,\"error\":\"" + json_escape(e.what()) +
+        "\",\"shed\":true}";
+    pending_.push_back(PendingOutput{{}, [] { return true; },
+                                     [json]() -> std::string { return json; }});
   } catch (const std::exception& e) {
     ++failed_;
     const std::string json =

@@ -34,6 +34,7 @@
 // router's shards are thread-safe and shared by any number of sessions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -45,6 +46,7 @@
 
 #include "model_zoo/store.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
 #include "wm/engine.h"
 
 namespace emmark {
@@ -79,6 +81,16 @@ struct RouterConfig {
   /// Backend shard count (>= 1). One shard reproduces PR 3's daemon
   /// exactly; N shards partition the spec key space N ways.
   size_t shards = 1;
+  /// Admission-control bound per shard (0 = never shed): a request whose
+  /// home shard already holds this many queued requests -- engine
+  /// pending() plus parsed-but-not-yet-submitted deferred slots -- is
+  /// fast-failed at parse time with a structured overload error instead
+  /// of being queued (docs/PROTOCOL.md §7). Per shard, so a burst into
+  /// one shard sheds without touching warm traffic on the others.
+  size_t max_queued = 0;
+  /// Per-shard ModelStore idle TTL in seconds (0 = keep until LRU
+  /// pressure); swept by the serving loops via sweep_stores().
+  double store_ttl_sec = 0;
   /// Echo each parsed command to stderr (interactive sessions).
   bool echo = false;
 };
@@ -132,6 +144,23 @@ class RequestRouter {
   void drain();
 
   std::vector<ShardSnapshot> shard_stats() const;
+
+  /// The process-wide metrics registry behind the `metrics` verb.
+  /// Transports register their own series here (the socket server adds
+  /// poll-cycle and connection metrics); recording through the returned
+  /// references is lock-free.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+
+  /// Full Prometheus text exposition for the `metrics` verb: every
+  /// registered series plus shard-derived families (engine queue depths
+  /// and wait/exec histograms, store residency and latency histograms,
+  /// merged across shards at scrape time). Ends with a `# EOF` line, no
+  /// trailing newline (transports append it).
+  std::string metrics_text();
+
+  /// Runs each shard store's idle-TTL sweep (no-op when --store-ttl is
+  /// off). Driven from the serving poll/pump cycles.
+  void sweep_stores();
 
   /// One protocol conversation. Responses stream through the sink passed
   /// to each call, strictly in request order for this session.
@@ -219,19 +248,28 @@ class RequestRouter {
 
  private:
   friend class Session;
+  friend struct RouterMetrics;
 
   /// One backend shard: an independent model cache plus engine.
   struct Shard {
     explicit Shard(const RouterConfig& config);
     ModelStore store;
     WatermarkEngine engine;
+    /// Requests parsed but not yet handed to the engine (build future
+    /// unresolved, artifact gates, full engine queue). Together with
+    /// engine.pending() this is the shard's admission-control load.
+    std::atomic<size_t> deferred{0};
   };
 
   Shard& shard(size_t index) { return *shards_[index]; }
 
   RouterConfig config_;
   ShardRouter ring_;
+  obs::MetricsRegistry registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Pre-registered request-lifecycle series (per-verb latency phases,
+  /// request/failure/shed counters); defined in router.cpp.
+  std::unique_ptr<struct RouterMetrics> metrics_;
 };
 
 }  // namespace emmark

@@ -48,6 +48,7 @@ ModelStore::~ModelStore() {
 
 std::shared_future<ModelHandle> ModelStore::lookup(
     const ModelSpec& spec, std::function<void()>& run_build) {
+  const auto lookup_start = std::chrono::steady_clock::now();
   // Validate the name eagerly so typos fail fast (and never occupy a slot).
   (void)zoo_entry(spec.model);
   const std::string key = spec.key();
@@ -61,6 +62,8 @@ std::shared_future<ModelHandle> ModelStore::lookup(
     if (it != entries_.end()) {
       ++stats_.hits;
       touch(key);
+      hit_hist_.record_duration(std::chrono::steady_clock::now() -
+                                lookup_start);
       return it->second.handle;
     }
     ++stats_.misses;
@@ -70,6 +73,7 @@ std::shared_future<ModelHandle> ModelStore::lookup(
     Entry entry;
     entry.handle = to_build->get_future().share();
     entry.id = build_id;
+    entry.last_touch = lookup_start;
     future = entry.handle;
     lru_.push_front(key);
     entry.lru_pos = lru_.begin();
@@ -81,9 +85,13 @@ std::shared_future<ModelHandle> ModelStore::lookup(
   // for get(), on the pool for get_async(). Either way it runs outside the
   // lock: other specs stay servable during training, and same-spec callers
   // wait on the shared future instead of duplicating the work.
-  run_build = [this, spec, key, to_build, build_id] {
+  run_build = [this, spec, key, to_build, build_id, lookup_start] {
     try {
+      const auto build_start = std::chrono::steady_clock::now();
       ModelHandle built = build(spec);
+      const auto built_at = std::chrono::steady_clock::now();
+      build_hist_.record_duration(built_at - build_start);
+      miss_hist_.record_duration(built_at - lookup_start);
       const uint64_t footprint = built.original->code_bytes();
       to_build->set_value(std::move(built));
       {
@@ -94,6 +102,7 @@ std::shared_future<ModelHandle> ModelStore::lookup(
         auto it = entries_.find(key);
         if (it != entries_.end() && it->second.id == build_id) {
           it->second.bytes = footprint;
+          it->second.last_touch = built_at;
           resident_bytes_ += footprint;
           evict_over_budget(/*protect=*/key);
         }
@@ -165,6 +174,30 @@ void ModelStore::touch(const std::string& key) {
   lru_.erase(it->second.lru_pos);
   lru_.push_front(key);
   it->second.lru_pos = lru_.begin();
+  it->second.last_touch = std::chrono::steady_clock::now();
+}
+
+void ModelStore::sweep_idle() {
+  if (config_.idle_ttl_sec <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> ttl(config_.idle_ttl_sec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    // Never evict an in-flight build: its waiters share the entry's
+    // future, and the build closure still needs the slot to land its
+    // footprint (same reason evict_over_budget skips bytes==0 entries).
+    const bool ready = entry.handle.wait_for(std::chrono::seconds(0)) ==
+                       std::future_status::ready;
+    if (!ready || now - entry.last_touch <= ttl) {
+      ++it;
+      continue;
+    }
+    resident_bytes_ -= entry.bytes;
+    lru_.erase(entry.lru_pos);
+    it = entries_.erase(it);
+    ++stats_.evictions;
+  }
 }
 
 void ModelStore::evict_lru() {

@@ -24,6 +24,7 @@
 // requests against one model cost exactly one build reads these).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -34,6 +35,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
 #include "quant/calib.h"
 #include "quant/qmodel.h"
 
@@ -70,6 +72,10 @@ struct ModelStoreConfig {
   /// when it alone exceeds the budget (evicting it would just thrash:
   /// every get() of that spec would become a rebuild).
   uint64_t max_resident_bytes = 0;
+  /// Optional idle TTL in seconds (0 = keep until LRU pressure): entries
+  /// not touched for longer are evicted by sweep_idle(), which the serving
+  /// poll loops call periodically. In-flight builds are never evicted.
+  double idle_ttl_sec = 0;
 };
 
 class ModelStore {
@@ -115,6 +121,20 @@ class ModelStore {
 
   Stats stats() const;
 
+  /// Evicts entries idle longer than config.idle_ttl_sec (no-op when the
+  /// TTL is 0). An entry is idle-stamped at creation, on every hit, and
+  /// when its build completes; entries whose build is still in flight are
+  /// never evicted, whatever their age. Meant to be driven from the
+  /// serving poll/pump cycles, cheap to call when the TTL is off.
+  void sweep_idle();
+
+  /// Latency distributions for scraping: zoo build duration, hit-path
+  /// lookup duration, and miss-to-ready duration (lookup start until the
+  /// entry's build lands). Merge snapshots across shard stores.
+  const obs::Histogram& build_histogram() const { return build_hist_; }
+  const obs::Histogram& hit_histogram() const { return hit_hist_; }
+  const obs::Histogram& miss_histogram() const { return miss_hist_; }
+
   /// Drops every resident entry (outstanding handles stay valid).
   void clear();
 
@@ -142,6 +162,8 @@ class ModelStore {
     std::list<std::string>::iterator lru_pos;
     uint64_t id = 0;     // distinguishes re-created slots in failure cleanup
     uint64_t bytes = 0;  // code-buffer footprint; 0 until the build lands
+    /// Last hit/creation/build-completion, for the idle-TTL sweep.
+    std::chrono::steady_clock::time_point last_touch;
   };
 
   ModelStoreConfig config_;
@@ -156,6 +178,9 @@ class ModelStore {
   /// store it captures.
   size_t async_builds_ = 0;
   std::condition_variable async_idle_cv_;
+  obs::Histogram build_hist_;
+  obs::Histogram hit_hist_;
+  obs::Histogram miss_hist_;
 };
 
 }  // namespace emmark

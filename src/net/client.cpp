@@ -90,6 +90,20 @@ void LineClient::reset() {
   fd_ = -1;
 }
 
+std::vector<std::string> LineClient::recv_until(const std::string& terminator) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (;;) {
+    if (!recv_line(line)) {
+      throw std::runtime_error("server closed after " +
+                               std::to_string(lines.size()) +
+                               " lines without \"" + terminator + "\"");
+    }
+    lines.push_back(line);
+    if (line == terminator) return lines;
+  }
+}
+
 std::vector<std::string> LineClient::roundtrip(
     const std::vector<std::string>& lines, size_t expect) {
   for (const std::string& line : lines) send_line(line);

@@ -40,6 +40,12 @@ class LineClient {
   /// afterwards.
   void reset();
 
+  /// Blocks until a line equal to `terminator` arrives; returns every line
+  /// read including the terminator. For multi-line responses framed by a
+  /// sentinel line (the `metrics` verb ends with "# EOF"). Throws if the
+  /// server closes before the terminator.
+  std::vector<std::string> recv_until(const std::string& terminator);
+
   /// Convenience: send every line, then read exactly `expect` responses.
   /// Throws if the server closes early.
   std::vector<std::string> roundtrip(const std::vector<std::string>& lines,

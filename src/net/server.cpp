@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "net/conn.h"
@@ -28,6 +29,17 @@ void set_nonblocking(int fd) {
 
 SocketServer::SocketServer(RequestRouter& router, ServerConfig config)
     : router_(router), config_(std::move(config)) {
+  obs::MetricsRegistry& registry = router_.metrics_registry();
+  poll_cycle_hist_ = &registry.histogram(
+      "emmark_server_poll_cycle_seconds",
+      "Busy time per server poll cycle (event + pump passes, excluding the "
+      "poll wait).");
+  connections_gauge_ = &registry.gauge("emmark_server_connections",
+                                       "Connections currently open.");
+  accepted_counter_ = &registry.counter(
+      "emmark_server_connections_accepted_total",
+      "Connections accepted since start.");
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket(): " + std::string(strerror(errno)));
 
@@ -75,6 +87,7 @@ void SocketServer::accept_new_connections() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     conns_.push_back(std::make_unique<Conn>(fd, router_.open_session(),
                                             config_.max_inflight_per_conn));
+    accepted_counter_->inc();
     connection_count_.store(conns_.size(), std::memory_order_relaxed);
   }
 }
@@ -97,6 +110,7 @@ int SocketServer::run() {
 
     const int rc = ::poll(fds.data(), fds.size(), config_.poll_interval_ms);
     if (rc < 0 && errno != EINTR) break;
+    const auto busy_start = std::chrono::steady_clock::now();
 
     if (fds[0].revents & POLLIN) accept_new_connections();
 
@@ -127,6 +141,10 @@ int SocketServer::run() {
                                 }),
                  conns_.end());
     connection_count_.store(conns_.size(), std::memory_order_relaxed);
+    connections_gauge_->set(static_cast<int64_t>(conns_.size()));
+    router_.sweep_stores();
+    poll_cycle_hist_->record_duration(std::chrono::steady_clock::now() -
+                                      busy_start);
   }
 
   // Graceful shutdown: no new connections, then settle every live session

@@ -81,6 +81,13 @@ class SocketServer {
   std::atomic<bool> stop_{false};
   std::atomic<size_t> connection_count_{0};
   std::vector<std::unique_ptr<Conn>> conns_;
+  /// Server-side series in the router's registry, scraped via `metrics`:
+  /// busy time per poll cycle (time spent outside ::poll, i.e. the event
+  /// and pump passes -- a growing tail here means the loop thread is doing
+  /// work that belongs on the engines), open/accepted connection counts.
+  obs::Histogram* poll_cycle_hist_ = nullptr;
+  obs::Gauge* connections_gauge_ = nullptr;
+  obs::Counter* accepted_counter_ = nullptr;
 };
 
 }  // namespace emmark

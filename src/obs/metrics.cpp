@@ -1,0 +1,252 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace emmark::obs {
+namespace {
+
+// Upper bound of finite bucket i, in seconds (2^i microseconds).
+double bucket_upper_seconds(size_t i) {
+  return static_cast<double>(uint64_t{1} << i) / 1e6;
+}
+
+// Shortest-ish deterministic rendering: %.10g covers every bucket bound
+// exactly and keeps sums readable.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Renders `{k1="v1",k2="v2"}`, with `extra` (the histogram `le`) appended
+// last; empty when there is nothing to render.
+std::string render_labels(const Labels& labels,
+                          const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first;
+    out += "=\"";
+    out += escape_label_value(extra->second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_us += other.sum_us;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == kBuckets - 1) return bucket_upper_seconds(kBuckets - 2);
+      const double lower = i == 0 ? 0.0 : bucket_upper_seconds(i - 1);
+      const double upper = bucket_upper_seconds(i);
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * (into < 0 ? 0 : into);
+    }
+    cumulative = next;
+  }
+  return bucket_upper_seconds(kBuckets - 2);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Exposition::family(const std::string& name, const std::string& type,
+                        const std::string& help) {
+  text_ += "# HELP ";
+  text_ += name;
+  text_ += ' ';
+  text_ += help;
+  text_ += "\n# TYPE ";
+  text_ += name;
+  text_ += ' ';
+  text_ += type;
+  text_ += '\n';
+}
+
+void Exposition::sample(const std::string& name, const Labels& labels,
+                        uint64_t value) {
+  text_ += name;
+  text_ += render_labels(labels, nullptr);
+  text_ += ' ';
+  text_ += std::to_string(value);
+  text_ += '\n';
+}
+
+void Exposition::sample(const std::string& name, const Labels& labels,
+                        int64_t value) {
+  text_ += name;
+  text_ += render_labels(labels, nullptr);
+  text_ += ' ';
+  text_ += std::to_string(value);
+  text_ += '\n';
+}
+
+void Exposition::sample(const std::string& name, const Labels& labels,
+                        double value) {
+  text_ += name;
+  text_ += render_labels(labels, nullptr);
+  text_ += ' ';
+  text_ += format_double(value);
+  text_ += '\n';
+}
+
+void Exposition::histogram(const std::string& name, const Labels& labels,
+                           const Histogram::Snapshot& snap) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += snap.buckets[i];
+    const std::pair<std::string, std::string> le{
+        "le", i == Histogram::kBuckets - 1
+                  ? "+Inf"
+                  : format_double(bucket_upper_seconds(i))};
+    text_ += name;
+    text_ += "_bucket";
+    text_ += render_labels(labels, &le);
+    text_ += ' ';
+    text_ += std::to_string(cumulative);
+    text_ += '\n';
+  }
+  text_ += name;
+  text_ += "_sum";
+  text_ += render_labels(labels, nullptr);
+  text_ += ' ';
+  text_ += format_double(snap.sum_seconds());
+  text_ += '\n';
+  text_ += name;
+  text_ += "_count";
+  text_ += render_labels(labels, nullptr);
+  text_ += ' ';
+  text_ += std::to_string(snap.count);
+  text_ += '\n';
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(const std::string& name,
+                                                    const std::string& help,
+                                                    Type type) {
+  for (Family& family : families_) {
+    if (family.name != name) continue;
+    if (family.type != type) {
+      throw std::logic_error("metric '" + name +
+                             "' re-registered with a different type");
+    }
+    return family;
+  }
+  families_.push_back(Family{name, help, type, {}});
+  return families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_of(Family& family,
+                                                    const Labels& labels) {
+  for (Series& series : family.series) {
+    if (series.labels == labels) return series;
+  }
+  family.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  return family.series.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_of(family_of(name, help, Type::kCounter), labels);
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_of(family_of(name, help, Type::kGauge), labels);
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_of(family_of(name, help, Type::kHistogram), labels);
+  if (!series.histogram) series.histogram = std::make_unique<Histogram>();
+  return *series.histogram;
+}
+
+void MetricsRegistry::expose(Exposition& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Family& family : families_) {
+    const char* type = family.type == Type::kCounter    ? "counter"
+                       : family.type == Type::kGauge    ? "gauge"
+                                                        : "histogram";
+    out.family(family.name, type, family.help);
+    for (const Series& series : family.series) {
+      switch (family.type) {
+        case Type::kCounter:
+          out.sample(family.name, series.labels, series.counter->value());
+          break;
+        case Type::kGauge:
+          out.sample(family.name, series.labels, series.gauge->value());
+          break;
+        case Type::kHistogram:
+          out.histogram(family.name, series.labels,
+                        series.histogram->snapshot());
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace emmark::obs

@@ -185,7 +185,10 @@ void WatermarkEngine::pump() {
       ++in_flight_;
       space_cv_.notify_one();
     }
+    const auto dequeued_at = std::chrono::steady_clock::now();
+    queue_wait_hist_.record_duration(dequeued_at - task.enqueued_at);
     task.run();  // never throws: the executor captures errors in the slot
+    exec_hist_.record_duration(std::chrono::steady_clock::now() - dequeued_at);
     {
       // The idle notification is owned by the pump exit path: in_flight_
       // can only reach zero while at least this pump is still counted in
@@ -273,6 +276,7 @@ bool WatermarkEngine::enqueue(Request& request, Callback done,
            "engine shut down before the request ran");
   };
   ++counters_.submitted;
+  task.enqueued_at = std::chrono::steady_clock::now();
   queue_.push_back(std::move(task));
   if (running_pumps_ < worker_cap()) {
     ++running_pumps_;

@@ -55,6 +55,7 @@
 // that pool.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -64,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "wm/fingerprint.h"
 #include "wm/scheme.h"
 
@@ -267,6 +269,16 @@ class WatermarkEngine {
   /// Snapshot of the async-path lifetime counters.
   Counters counters() const;
 
+  /// Queue-wait (enqueue -> dequeue) latency distribution of the async
+  /// path. Recorded lock-free by pump workers; scrape via snapshot(), and
+  /// merge snapshots across shard engines at scrape time.
+  const obs::Histogram& queue_wait_histogram() const {
+    return queue_wait_hist_;
+  }
+
+  /// Execution (dequeue -> run returned) latency distribution.
+  const obs::Histogram& exec_histogram() const { return exec_hist_; }
+
   const EngineConfig& config() const { return config_; }
 
  private:
@@ -274,6 +286,7 @@ class WatermarkEngine {
     std::function<void()> run;      // executes the request into its slot
     std::function<void()> publish;  // callback + promise, after run
     std::function<void()> cancel;   // completes the promise with a rejection
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   template <typename Request, typename Result, typename Callback>
@@ -300,6 +313,8 @@ class WatermarkEngine {
   size_t in_flight_ = 0;      // requests currently executing
   bool accepting_ = true;
   Counters counters_;
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram exec_hist_;
 };
 
 }  // namespace emmark

@@ -179,6 +179,46 @@ TEST_F(DaemonTest, MalformedNumericParametersAreRejected) {
   EXPECT_NE(lines[3].find("\"ok\":true"), std::string::npos) << lines[3];
 }
 
+TEST_F(DaemonTest, MetricsVerbExposesPrometheusTextOverStdio) {
+  // `metrics` is the one multi-line response in the protocol: Prometheus
+  // text exposition terminated by a "# EOF" line, available over the
+  // stdio transport exactly like over sockets. After one insert the
+  // per-verb latency histogram must hold that request.
+  const std::vector<std::string> lines = run(
+      "insert id=a model=opt-125m-sim quant=int4\n"
+      "metrics\n"
+      "quit\n");
+
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"cmd\":\"quit\""), std::string::npos);
+
+  // Everything between the insert response and the quit line is the
+  // exposition; its last line is the terminator.
+  std::string exposition;
+  for (size_t i = 1; i + 1 < lines.size(); ++i) exposition += lines[i] + "\n";
+  EXPECT_EQ(lines[lines.size() - 2], "# EOF");
+  EXPECT_NE(
+      exposition.find("# TYPE emmark_request_latency_seconds histogram"),
+      std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("emmark_request_latency_seconds_count{verb=\"insert"
+                            "\",phase=\"total\"} 1"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("emmark_requests_total{verb=\"insert\"} 1"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("emmark_store_events_total{shard=\"0\",event=\""
+                            "build\"} 1"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("emmark_metrics_scrapes_total 1"),
+            std::string::npos)
+      << exposition;
+}
+
 TEST_F(DaemonTest, VerifyAuditsEvidence) {
   // Verify runs through the engine like every other verb (the evidence
   // load and WER re-extraction happen on a worker); the response shape

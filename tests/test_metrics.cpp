@@ -1,0 +1,256 @@
+// Tests for the observability primitives (src/obs/metrics.h): deterministic
+// log2 bucketing, cross-shard snapshot merging, lock-free concurrent
+// recording (the TSan lane runs this suite), and the pinned Prometheus text
+// exposition format the `metrics` verb emits.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace emmark::obs {
+namespace {
+
+TEST(Histogram, BucketIndexIsDeterministicLog2) {
+  // Bucket i holds values <= 2^i microseconds.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Histogram::bucket_index(2), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 2u);
+  EXPECT_EQ(Histogram::bucket_index(5), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 3u);
+  EXPECT_EQ(Histogram::bucket_index(9), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1025), 11u);
+  EXPECT_EQ(Histogram::bucket_index(uint64_t{1} << 26), 26u);
+  // Everything past the largest finite bound lands in the +Inf bucket.
+  EXPECT_EQ(Histogram::bucket_index((uint64_t{1} << 26) + 1),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(uint64_t{1} << 40),
+            Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, RecordsCountSumAndBuckets) {
+  Histogram h;
+  h.record_us(1);
+  h.record_us(3);
+  h.record_us(3);
+  h.record_seconds(0.001);  // 1000 us -> bucket 10 (le 1024 us)
+  h.record_duration(std::chrono::microseconds(2));
+
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum_us, 1u + 3u + 3u + 1000u + 2u);
+  EXPECT_EQ(snap.buckets[0], 1u);  // the 1 us sample
+  EXPECT_EQ(snap.buckets[1], 1u);  // the 2 us sample
+  EXPECT_EQ(snap.buckets[2], 2u);  // both 3 us samples
+  EXPECT_EQ(snap.buckets[10], 1u);
+  EXPECT_DOUBLE_EQ(snap.sum_seconds(), 1009.0 / 1e6);
+}
+
+TEST(Histogram, NegativeDurationsClampToZeroBucket) {
+  Histogram h;
+  h.record_duration(std::chrono::microseconds(-5));
+  h.record_seconds(-1.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum_us, 0u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+}
+
+TEST(Histogram, SnapshotsMergeAcrossShards) {
+  Histogram a;
+  Histogram b;
+  a.record_us(3);
+  a.record_us(100);
+  b.record_us(3);
+  b.record_us(uint64_t{1} << 30);  // +Inf bucket
+
+  Histogram::Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum_us, 3u + 100u + 3u + (uint64_t{1} << 30));
+  EXPECT_EQ(merged.buckets[2], 2u);  // both 3 us samples
+  EXPECT_EQ(merged.buckets[7], 1u);  // 100 us -> le 128 us
+  EXPECT_EQ(merged.buckets[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(Histogram, QuantilesInterpolateAndStayMonotone) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record_us(100);  // bucket 7: (64, 128] us
+  const Histogram::Snapshot snap = h.snapshot();
+
+  const double p50 = snap.quantile(0.50);
+  const double p99 = snap.quantile(0.99);
+  // Every sample is in one bucket, so quantiles interpolate inside it.
+  EXPECT_GT(p50, 64e-6);
+  EXPECT_LE(p50, 128e-6);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 128e-6);
+
+  EXPECT_DOUBLE_EQ(Histogram::Snapshot{}.quantile(0.5), 0.0);
+
+  // +Inf samples report the largest finite bound rather than infinity.
+  Histogram inf;
+  inf.record_us(uint64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(inf.snapshot().quantile(0.99),
+                   static_cast<double>(uint64_t{1} << 26) / 1e6);
+}
+
+TEST(Histogram, ConcurrentRecordsAreLossless) {
+  // The record path is relaxed atomics only; hammer it from several
+  // threads and require exact totals (TSan covers the data-race side).
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record_us(static_cast<uint64_t>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<uint64_t>(t + 1) * kPerThread;
+  }
+  EXPECT_EQ(snap.sum_us, expected_sum);
+  uint64_t bucketed = 0;
+  for (uint64_t b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, snap.count);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("emmark_test_total", "help", {{"verb", "insert"}});
+  Counter& b = reg.counter("emmark_test_total", "help", {{"verb", "insert"}});
+  Counter& c = reg.counter("emmark_test_total", "help", {{"verb", "extract"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(2);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(c.value(), 0u);
+
+  // Same name, different metric type is a programming error.
+  EXPECT_THROW(reg.gauge("emmark_test_total", "help"), std::logic_error);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndRecordingIsSafe) {
+  // Registration takes the registry mutex; recording does not. Mix both
+  // from several threads for the TSan lane.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter& mine = reg.counter("emmark_race_total", "help",
+                                  {{"t", std::to_string(t % 2)}});
+      Histogram& hist = reg.histogram("emmark_race_seconds", "help");
+      for (int i = 0; i < 1000; ++i) {
+        mine.inc();
+        hist.record_us(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  Counter& zero = reg.counter("emmark_race_total", "help", {{"t", "0"}});
+  Counter& one = reg.counter("emmark_race_total", "help", {{"t", "1"}});
+  EXPECT_EQ(zero.value() + one.value(), static_cast<uint64_t>(kThreads * 1000));
+  EXPECT_EQ(reg.histogram("emmark_race_seconds", "help").snapshot().count,
+            static_cast<uint64_t>(kThreads * 1000));
+}
+
+TEST(Exposition, LabelValuesAreEscaped) {
+  Exposition out;
+  out.sample("m", {{"k", "a\"b\\c\nd"}}, uint64_t{1});
+  EXPECT_EQ(out.text(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(Exposition, HistogramLabelsPutLeLast) {
+  Histogram h;
+  h.record_us(1);
+  Exposition out;
+  out.histogram("m_seconds", {{"verb", "x"}}, h.snapshot());
+  EXPECT_NE(out.text().find("m_seconds_bucket{verb=\"x\",le=\"1e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.text().find("m_seconds_sum{verb=\"x\"} 1e-06\n"),
+            std::string::npos);
+  EXPECT_NE(out.text().find("m_seconds_count{verb=\"x\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ExpositionFormatIsPinned) {
+  MetricsRegistry reg;
+  reg.counter("emmark_test_requests_total", "Requests served.",
+              {{"verb", "insert"}})
+      .inc(3);
+  reg.counter("emmark_test_requests_total", "Requests served.",
+              {{"verb", "extract"}})
+      .inc(1);
+  reg.gauge("emmark_test_queue_depth", "Queued requests.").set(-2);
+  Histogram& h =
+      reg.histogram("emmark_test_latency_seconds", "Request latency.");
+  h.record_us(1);
+  h.record_us(3);
+  h.record_us(5000000);  // 5 s -> bucket 23 (le 8.388608 s)
+
+  Exposition out;
+  reg.expose(out);
+
+  const std::string expected =
+      "# HELP emmark_test_requests_total Requests served.\n"
+      "# TYPE emmark_test_requests_total counter\n"
+      "emmark_test_requests_total{verb=\"insert\"} 3\n"
+      "emmark_test_requests_total{verb=\"extract\"} 1\n"
+      "# HELP emmark_test_queue_depth Queued requests.\n"
+      "# TYPE emmark_test_queue_depth gauge\n"
+      "emmark_test_queue_depth -2\n"
+      "# HELP emmark_test_latency_seconds Request latency.\n"
+      "# TYPE emmark_test_latency_seconds histogram\n"
+      "emmark_test_latency_seconds_bucket{le=\"1e-06\"} 1\n"
+      "emmark_test_latency_seconds_bucket{le=\"2e-06\"} 1\n"
+      "emmark_test_latency_seconds_bucket{le=\"4e-06\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"8e-06\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"1.6e-05\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"3.2e-05\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"6.4e-05\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.000128\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.000256\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.000512\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.001024\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.002048\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.004096\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.008192\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.016384\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.032768\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.065536\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.131072\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.262144\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"0.524288\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"1.048576\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"2.097152\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"4.194304\"} 2\n"
+      "emmark_test_latency_seconds_bucket{le=\"8.388608\"} 3\n"
+      "emmark_test_latency_seconds_bucket{le=\"16.777216\"} 3\n"
+      "emmark_test_latency_seconds_bucket{le=\"33.554432\"} 3\n"
+      "emmark_test_latency_seconds_bucket{le=\"67.108864\"} 3\n"
+      "emmark_test_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "emmark_test_latency_seconds_sum 5.000004\n"
+      "emmark_test_latency_seconds_count 3\n";
+  EXPECT_EQ(out.text(), expected);
+}
+
+}  // namespace
+}  // namespace emmark::obs

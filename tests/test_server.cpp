@@ -389,6 +389,144 @@ TEST_F(ServerTest, FullEngineQueueNeverBlocksIntake) {
       << "a full engine queue on one connection stalled another connection";
 }
 
+TEST_F(ServerTest, MetricsScrapeDoesNotBlockOtherConnections) {
+  // `metrics` is a live scrape, same contract as `stats`: a probe
+  // connection gets the full exposition (terminated by "# EOF") while
+  // another connection's cold build is still in flight.
+  RouterConfig rc = config();
+  rc.cache_dir = dir_ + "/cache_metrics";
+  RunningServer rs(rc);
+
+  LineClient busy("127.0.0.1", rs.server.port());
+  LineClient probe("127.0.0.1", rs.server.port());
+  busy.send_line("insert id=slow model=opt-1.3b-sim quant=int4");  // cold
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::atomic<int> order{0};
+  int busy_at = 0;
+  std::thread busy_reader([&] {
+    std::string line;
+    if (busy.recv_line(line)) {
+      EXPECT_TRUE(has_id(line, "slow")) << line;
+      EXPECT_TRUE(ok(line)) << line;
+    } else {
+      ADD_FAILURE() << "busy connection closed without a response";
+    }
+    busy_at = ++order;
+  });
+  probe.send_line("metrics");
+  const std::vector<std::string> scrape = probe.recv_until("# EOF");
+  const int probe_at = ++order;
+  busy_reader.join();
+  EXPECT_LT(probe_at, busy_at)
+      << "metrics drained another session's in-flight work";
+
+  // The exposition carries every layer's families: request lifecycle,
+  // engine, store, and the socket server's own series.
+  std::string joined;
+  for (const std::string& line : scrape) joined += line + "\n";
+  EXPECT_NE(joined.find("# TYPE emmark_request_latency_seconds histogram"),
+            std::string::npos)
+      << joined;
+  EXPECT_NE(joined.find("emmark_engine_queue_depth{shard=\"0\"}"),
+            std::string::npos)
+      << joined;
+  EXPECT_NE(joined.find("# TYPE emmark_engine_queue_wait_seconds histogram"),
+            std::string::npos)
+      << joined;
+  EXPECT_NE(joined.find("emmark_store_resident_bytes"), std::string::npos)
+      << joined;
+  EXPECT_NE(joined.find("emmark_server_connections 2"), std::string::npos)
+      << joined;
+  EXPECT_EQ(scrape.back(), "# EOF");
+}
+
+TEST_F(ServerTest, OverloadBoundShedsColdBurstWithoutTouchingWarmTraffic) {
+  // Admission control: with --max-queued 3, a burst of cold requests fills
+  // the cold shard's deferred slots; the next request homed there is
+  // fast-failed with a structured overload error ("shed":true) while warm
+  // traffic homed on the other shard proceeds untouched, and the shed is
+  // visible in `metrics`.
+  RouterConfig rc = config(/*shards=*/2);
+  rc.cache_dir = dir_ + "/cache_shed";
+  rc.max_queued = 3;
+  RunningServer rs(rc);
+
+  // Pick a warm model homed on a different shard than the cold spec, so
+  // the per-shard bound demonstrably does not leak across shards.
+  const auto shard_of = [&](const std::string& model) {
+    ModelSpec spec;
+    spec.model = model;
+    spec.method = QuantMethod::kAwqInt4;
+    spec.train_steps_cap = rc.train_steps_cap;
+    return rs.router.shard_for(spec);
+  };
+  const size_t cold_shard = shard_of("opt-1.3b-sim");
+  std::string warm_model;
+  for (const char* candidate :
+       {"opt-125m-sim", "opt-2.7b-sim", "llama2-7b-sim"}) {
+    if (shard_of(candidate) != cold_shard) {
+      warm_model = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(warm_model.empty()) << "no candidate landed off the cold shard";
+
+  LineClient warmup("127.0.0.1", rs.server.port());
+  const auto w =
+      warmup.roundtrip({"insert id=w model=" + warm_model + " quant=int4"}, 1);
+  ASSERT_TRUE(ok(w[0])) << w[0];
+
+  // Three cold extracts park as deferred slots on the cold shard (build
+  // future unresolved), filling the bound without completing anything.
+  LineClient bursty("127.0.0.1", rs.server.port());
+  for (int r = 0; r < 3; ++r) {
+    bursty.send_line("extract id=c-" + std::to_string(r) +
+                     " model=opt-1.3b-sim quant=int4 codes=" +
+                     path("shed_none.codes") + " record=" +
+                     path("shed_none.rec"));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Over the bound: deterministic fast-fail, well-formed, marked shed.
+  LineClient shed("127.0.0.1", rs.server.port());
+  const auto s = shed.roundtrip(
+      {"extract id=over model=opt-1.3b-sim quant=int4 codes=" +
+       path("shed_none.codes") + " record=" + path("shed_none.rec")},
+      1);
+  EXPECT_TRUE(has_id(s[0], "over")) << s[0];
+  EXPECT_FALSE(ok(s[0])) << s[0];
+  EXPECT_NE(s[0].find("\"shed\":true"), std::string::npos) << s[0];
+  EXPECT_NE(s[0].find("overloaded: shard"), std::string::npos) << s[0];
+
+  // Warm traffic homed on the other shard is not shed while the cold
+  // shard is saturated.
+  const auto hot = shed.roundtrip(
+      {"insert id=hot model=" + warm_model + " quant=int4"}, 1);
+  EXPECT_TRUE(ok(hot[0])) << hot[0];
+
+  // The shed counter in the exposition matches: exactly one shed, on the
+  // cold shard.
+  shed.send_line("metrics");
+  const std::vector<std::string> scrape = shed.recv_until("# EOF");
+  std::string joined;
+  for (const std::string& line : scrape) joined += line + "\n";
+  EXPECT_NE(joined.find("emmark_requests_shed_total{shard=\"" +
+                        std::to_string(cold_shard) + "\"} 1"),
+            std::string::npos)
+      << joined;
+
+  // The parked burst still completes its pipeline (failing on the missing
+  // artifacts, not on admission) once the build lands.
+  std::string line;
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(bursty.recv_line(line));
+    EXPECT_TRUE(has_id(line, "c-" + std::to_string(r))) << line;
+    EXPECT_FALSE(ok(line)) << line;
+    EXPECT_EQ(line.find("\"shed\":true"), std::string::npos) << line;
+  }
+}
+
 TEST_F(ServerTest, GracefulShutdownSkipsResetPeers) {
   // A peer that vanished with a TCP reset must not be settled at
   // shutdown: on_readable() reports it dead and the server skips it,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "model_zoo/store.h"
+#include "util/threadpool.h"
 #include "wm/evidence.h"
 
 namespace emmark {
@@ -247,6 +248,71 @@ TEST_F(StoreTest, GetAsyncValidatesModelNameEagerly) {
   bogus.model = "not-a-zoo-model";
   EXPECT_THROW((void)store.get_async(bogus), std::out_of_range);
   EXPECT_EQ(store.stats().misses, 0u);
+}
+
+TEST_F(StoreTest, SweepEvictsIdleEntriesAndHitsRefreshTheClock) {
+  ModelStoreConfig config;
+  config.cache_dir = cache_dir_;
+  config.idle_ttl_sec = 0.05;
+  ModelStore store(config);
+  (void)store.get(spec());
+  EXPECT_EQ(store.stats().resident, 1u);
+
+  // Fresh entries survive a sweep; so do entries re-touched by a hit
+  // after the TTL elapsed once.
+  store.sweep_idle();
+  EXPECT_EQ(store.stats().resident, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  (void)store.get(spec());  // hit: resets last_touch
+  store.sweep_idle();
+  EXPECT_EQ(store.stats().resident, 1u);
+
+  // Left idle past the TTL, the entry goes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  store.sweep_idle();
+  const ModelStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.resident, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST_F(StoreTest, SweepIsANoopWithoutATtl) {
+  ModelStore store = make_store();  // idle_ttl_sec = 0
+  (void)store.get(spec());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  store.sweep_idle();
+  EXPECT_EQ(store.stats().resident, 1u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+}
+
+TEST_F(StoreTest, SweepNeverEvictsAnInFlightBuild) {
+  // Park the (single-threaded) pool behind a gate so a posted async build
+  // cannot start: however stale the entry's clock gets, the sweep must
+  // keep it -- waiters share its future, and the build closure still needs
+  // the slot to land its footprint.
+  ThreadPool pool(1);
+  ThreadPool::ScopedOverride over(pool);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.post([opened] { opened.wait(); });
+
+  ModelStoreConfig config;
+  config.cache_dir = cache_dir_;
+  config.idle_ttl_sec = 0.05;
+  ModelStore store(config);
+  std::shared_future<ModelHandle> future = store.get_async(spec());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  store.sweep_idle();  // entry is stale but its build has not even started
+  EXPECT_EQ(store.stats().resident, 1u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  gate.set_value();
+  EXPECT_TRUE(future.get());
+
+  // Once landed (completion re-stamps the clock), idleness counts again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  store.sweep_idle();
+  EXPECT_EQ(store.stats().resident, 0u);
+  EXPECT_EQ(store.stats().evictions, 1u);
 }
 
 TEST_F(StoreTest, DestructorWaitsOutInFlightAsyncBuilds) {
