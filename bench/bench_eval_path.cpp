@@ -1,0 +1,347 @@
+// Eval-path kernels: dispatched GEMM, fused dequant-GEMM, the table-driven
+// DCT, and end-to-end quantized perplexity.
+//
+// Each phase carries its own in-bench legacy reference -- the pre-rewrite
+// naive gemm_nt, materialize-then-multiply dequantization, and the
+// std::cos direct-form DCT -- so the reported speedups are measured
+// against what the eval path actually cost before the vectorized kernels
+// landed, not against the current scalar tier (which already uses the
+// tiled drivers and cosine table). Every kernel level is then swept with
+// the pool pinned at one thread, and results are checked against the
+// legacy output: GEMM and dequant must match bit-for-bit (the kernel
+// contract), the DCT within round-off (same per-output sum order; only
+// the cosine factors differ sub-ULP from std::cos).
+//
+// A table prints per phase, plus one machine-readable JSON line
+// (scripts/bench_baseline.sh folds it into BENCH_8.json).
+//
+// Usage: bench_eval_path [--model <zoo-name>] [--repeats N] [--quick]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/kernels.h"
+#include "quant/qtensor.h"
+#include "signal/dct.h"
+#include "tensor/gemm.h"
+#include "util/argparse.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace emmark;
+using namespace emmark::bench;
+
+/// Largest zoo entry by quantized-parameter proxy.
+const ZooEntry& largest_entry() {
+  const auto& entries = zoo_entries();
+  const ZooEntry* best = &entries.front();
+  auto weight_proxy = [](const ZooEntry& e) {
+    return e.n_layers * (4 * e.d_model * e.d_model + 3 * e.d_model * e.ffn_hidden);
+  };
+  for (const ZooEntry& e : entries) {
+    if (weight_proxy(e) > weight_proxy(*best)) best = &e;
+  }
+  return *best;
+}
+
+double best_of(int repeats, const std::function<double()>& run_ms) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) best = std::min(best, run_ms());
+  return best;
+}
+
+/// GEMM-sized work finishes in ~0.1 ms, where timer resolution and
+/// allocator jitter swamp a single call; every sample of the gemm and
+/// dequant phases loops the op this many times and reports the mean, so
+/// the 15% CI regression gate sees settled numbers.
+constexpr int kInnerIters = 16;
+
+// --- legacy references (pre-kernel eval path, verbatim) -----------------
+
+/// The naive register-accumulating gemm_nt the eval path ran before the
+/// tiled drivers: C[i][j] = dot(A row i, B row j), ascending p.
+void legacy_gemm_nt(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+}
+
+/// The element-at-a-time dequantize the eval path materialized weights
+/// through before dequant_span_f32 existed.
+Tensor legacy_dequantize(const QuantizedTensor& w) {
+  Tensor out({w.rows(), w.cols()});
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    float* row = out.data() + r * w.cols();
+    for (int64_t c = 0; c < w.cols(); ++c) {
+      row[c] = static_cast<float>(w.code(r, c)) * w.scale(r, c);
+      if (w.has_input_scale()) row[c] /= w.input_scale()[static_cast<size_t>(c)];
+    }
+  }
+  for (size_t k = 0; k < w.outlier_cols().size(); ++k) {
+    const int64_t c = w.outlier_cols()[k];
+    for (int64_t r = 0; r < w.rows(); ++r) {
+      out.at(r, c) = w.dequantize_at(r, c);
+    }
+  }
+  return out;
+}
+
+/// The std::cos direct-form DCT-II SpecMark shipped with before the
+/// cosine table.
+std::vector<double> legacy_dct2(std::span<const double> x) {
+  const size_t n = x.size();
+  std::vector<double> y(n, 0.0);
+  if (n == 0) return y;
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+  for (size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += x[i] * std::cos(std::numbers::pi / static_cast<double>(n) *
+                             (static_cast<double>(i) + 0.5) *
+                             static_cast<double>(k));
+    }
+    y[k] = acc * (k == 0 ? norm0 : norm);
+  }
+  return y;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_eval_path",
+                 "Dispatched eval-path kernels vs the pre-rewrite legacy path");
+  args.add_option("model", largest_entry().name, "zoo model for dequant/ppl");
+  args.add_option("repeats", "5", "timing repeats per cell (best-of)");
+  args.add_flag("quick", "smaller problem sizes, single repeat");
+  if (!args.parse(argc, argv)) return 2;
+  const std::string model_name = args.get("model");
+  const bool quick = args.get_flag("quick");
+  const int repeats =
+      quick ? 1 : std::max(1, static_cast<int>(args.get_int("repeats")));
+
+  const auto& entries = zoo_entries();
+  if (std::none_of(entries.begin(), entries.end(),
+                   [&](const ZooEntry& e) { return e.name == model_name; })) {
+    std::fprintf(stderr, "unknown zoo model: %s\navailable:", model_name.c_str());
+    for (const ZooEntry& e : entries) std::fprintf(stderr, " %s", e.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  print_header("Eval-path kernels",
+               "Legacy naive path vs dispatched GEMM / fused dequant / DCT");
+
+  BenchContext ctx;
+  const ZooEntry& entry = zoo_entry(model_name);
+  auto fp = ctx.zoo().model(model_name);
+  auto stats = ctx.zoo().stats(model_name);
+  const QuantizedModel qm(*fp, *stats,
+                          method_for(entry.family, QuantBits::kInt4));
+
+  // Largest quantization layer: the dequant timing target.
+  int64_t big = 0;
+  for (int64_t i = 1; i < qm.num_layers(); ++i) {
+    if (qm.layer(i).weights.numel() > qm.layer(big).weights.numel()) big = i;
+  }
+  const QuantizedTensor& w = qm.layer(big).weights;
+
+  // GEMM shape: a token block against the model's FFN up-projection, the
+  // widest matmul a forward pass runs.
+  const int64_t gm = quick ? 8 : 32;
+  const int64_t gk = entry.d_model;
+  const int64_t gn = entry.ffn_hidden;
+  Rng rng(42);
+  std::vector<float> ga(static_cast<size_t>(gm * gk));
+  std::vector<float> gb(static_cast<size_t>(gn * gk));  // B^T row-major
+  for (float& v : ga) v = rng.next_normal_f();
+  for (float& v : gb) v = rng.next_normal_f();
+  std::vector<float> dq_x(static_cast<size_t>(gm * w.cols()));
+  for (float& v : dq_x) v = rng.next_normal_f();
+
+  const size_t dct_n = quick ? 512 : 2048;  // SpecMark's chunk length
+  std::vector<double> dct_x(dct_n);
+  for (double& v : dct_x) v = rng.next_normal();
+
+  PplConfig ppl_config;
+  ppl_config.seq_len = 32;
+  const int ppl_repeats = quick ? 1 : std::min(repeats, 2);
+
+  // --- legacy row -------------------------------------------------------
+  ThreadPool pool(1);
+  ThreadPool::ScopedOverride over(pool);
+
+  std::vector<float> ref_gemm(static_cast<size_t>(gm * gn));
+  const double legacy_gemm_ms = best_of(repeats, [&] {
+    Timer t;
+    for (int it = 0; it < kInnerIters; ++it) {
+      legacy_gemm_nt(ga.data(), gb.data(), ref_gemm.data(), gm, gk, gn);
+    }
+    return t.milliseconds() / kInnerIters;
+  });
+
+  std::vector<float> ref_dequant(static_cast<size_t>(gm * w.rows()));
+  const double legacy_dequant_ms = best_of(repeats, [&] {
+    Timer t;
+    for (int it = 0; it < kInnerIters; ++it) {
+      const Tensor weff = legacy_dequantize(w);
+      legacy_gemm_nt(dq_x.data(), weff.data(), ref_dequant.data(), gm,
+                     w.cols(), w.rows());
+    }
+    return t.milliseconds() / kInnerIters;
+  });
+
+  std::vector<double> ref_dct;
+  const double legacy_dct_ms = best_of(repeats, [&] {
+    Timer t;
+    ref_dct = legacy_dct2(std::span<const double>(dct_x));
+    return t.milliseconds();
+  });
+
+  double ref_ppl = 0.0;
+  const double legacy_ppl_ms = best_of(ppl_repeats, [&] {
+    Timer t;
+    auto m = qm.materialize();
+    ref_ppl = perplexity(*m, ctx.test_stream(), ppl_config);
+    return t.milliseconds();
+  });
+
+  // --- dispatched rows, per kernel level --------------------------------
+  struct Row {
+    kernels::Level level;
+    double gemm_ms;
+    double dequant_ms;
+    double dct_ms;
+    double ppl_ms;
+  };
+  std::vector<Row> rows;
+  for (kernels::Level level : kernels::supported_levels()) {
+    kernels::ScopedLevelOverride kernel(level);
+    const char* label = kernels::to_string(level);
+    Row row{level, 0.0, 0.0, 0.0, 0.0};
+
+    std::vector<float> out(static_cast<size_t>(gm * gn));
+    row.gemm_ms = best_of(repeats, [&] {
+      Timer t;
+      for (int it = 0; it < kInnerIters; ++it) {
+        gemm_nt(ga.data(), gb.data(), out.data(), gm, gk, gn);
+      }
+      return t.milliseconds() / kInnerIters;
+    });
+    if (!bitwise_equal(out, ref_gemm)) {
+      std::fprintf(stderr, "FATAL: gemm_nt at %s diverged from legacy\n", label);
+      return 1;
+    }
+
+    std::vector<float> dq_out(static_cast<size_t>(gm * w.rows()));
+    row.dequant_ms = best_of(repeats, [&] {
+      Timer t;
+      for (int it = 0; it < kInnerIters; ++it) {
+        dequant_gemm_nt(dq_x.data(), w, dq_out.data(), gm);
+      }
+      return t.milliseconds() / kInnerIters;
+    });
+    if (!bitwise_equal(dq_out, ref_dequant)) {
+      std::fprintf(stderr, "FATAL: fused dequant-GEMM at %s diverged\n", label);
+      return 1;
+    }
+
+    std::vector<double> dct_out;
+    row.dct_ms = best_of(repeats, [&] {
+      Timer t;
+      dct_out = dct2(std::span<const double>(dct_x));
+      return t.milliseconds();
+    });
+    for (size_t i = 0; i < dct_n; ++i) {
+      if (std::fabs(dct_out[i] - ref_dct[i]) > 1e-9) {
+        std::fprintf(stderr, "FATAL: dct2 at %s diverged at bin %zu\n", label, i);
+        return 1;
+      }
+    }
+
+    double ppl = 0.0;
+    row.ppl_ms = best_of(ppl_repeats, [&] {
+      Timer t;
+      ppl = perplexity(qm, ctx.test_stream(), ppl_config);
+      return t.milliseconds();
+    });
+    if (ppl != ref_ppl) {
+      std::fprintf(stderr, "FATAL: fused perplexity at %s != materialized\n",
+                   label);
+      return 1;
+    }
+    rows.push_back(row);
+  }
+
+  TablePrinter table({"path", "gemm ms", "dequant ms", "dct ms", "ppl ms",
+                      "gemm x", "dequant x", "dct x", "ppl x"});
+  table.add_row({"legacy", TablePrinter::fmt(legacy_gemm_ms, 3),
+                 TablePrinter::fmt(legacy_dequant_ms, 3),
+                 TablePrinter::fmt(legacy_dct_ms, 3),
+                 TablePrinter::fmt(legacy_ppl_ms, 1), "1.00", "1.00", "1.00",
+                 "1.00"});
+  for (const Row& row : rows) {
+    table.add_row({kernels::to_string(row.level),
+                   TablePrinter::fmt(row.gemm_ms, 3),
+                   TablePrinter::fmt(row.dequant_ms, 3),
+                   TablePrinter::fmt(row.dct_ms, 3),
+                   TablePrinter::fmt(row.ppl_ms, 1),
+                   TablePrinter::fmt(legacy_gemm_ms / row.gemm_ms, 2),
+                   TablePrinter::fmt(legacy_dequant_ms / row.dequant_ms, 2),
+                   TablePrinter::fmt(legacy_dct_ms / row.dct_ms, 2),
+                   TablePrinter::fmt(legacy_ppl_ms / row.ppl_ms, 2)});
+  }
+  table.print();
+  std::printf("(gemm: %lld x %lld x %lld nt; dequant: fused vs materialize, "
+              "layer %s; dct: n = %zu; 1 pool thread; active default = %s)\n",
+              static_cast<long long>(gm), static_cast<long long>(gk),
+              static_cast<long long>(gn), qm.layer(big).name.c_str(), dct_n,
+              kernels::to_string(kernels::default_level()));
+
+  std::printf("\nJSON: {\"bench\":\"eval_path\",\"model\":\"%s\",\"repeats\":%d,"
+              "\"quick\":%s,\"kernel_default\":\"%s\","
+              "\"gemm_shape\":[%lld,%lld,%lld],\"dct_n\":%zu,"
+              "\"legacy\":{\"gemm_ms\":%.4f,\"dequant_ms\":%.4f,"
+              "\"dct_ms\":%.4f,\"ppl_ms\":%.2f},\"kernels\":[",
+              model_name.c_str(), repeats, quick ? "true" : "false",
+              kernels::to_string(kernels::default_level()),
+              static_cast<long long>(gm), static_cast<long long>(gk),
+              static_cast<long long>(gn), dct_n, legacy_gemm_ms,
+              legacy_dequant_ms, legacy_dct_ms, legacy_ppl_ms);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%s{\"kernel\":\"%s\",\"gemm_ms\":%.4f,\"dequant_ms\":%.4f,"
+                "\"dct_ms\":%.4f,\"ppl_ms\":%.2f,\"gemm_speedup\":%.3f,"
+                "\"dequant_speedup\":%.3f,\"dct_speedup\":%.3f,"
+                "\"ppl_speedup\":%.3f}",
+                i ? "," : "", kernels::to_string(row.level), row.gemm_ms,
+                row.dequant_ms, row.dct_ms, row.ppl_ms,
+                legacy_gemm_ms / row.gemm_ms,
+                legacy_dequant_ms / row.dequant_ms, legacy_dct_ms / row.dct_ms,
+                legacy_ppl_ms / row.ppl_ms);
+  }
+  std::printf("]}\n");
+  return 0;
+}

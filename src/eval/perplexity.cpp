@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "quant/qmodel.h"
+
 namespace emmark {
 
 double perplexity(TransformerLM& model, const std::vector<TokenId>& stream,
@@ -15,6 +17,12 @@ double perplexity(TransformerLM& model, const std::vector<TokenId>& stream,
   }
   if (tokens == 0) return 0.0;
   return std::exp(nll_sum / static_cast<double>(tokens));
+}
+
+double perplexity(const QuantizedModel& deployed,
+                  const std::vector<TokenId>& stream, const PplConfig& config) {
+  const std::unique_ptr<TransformerLM> view = deployed.materialize_view();
+  return perplexity(*view, stream, config);
 }
 
 }  // namespace emmark

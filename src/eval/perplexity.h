@@ -19,4 +19,13 @@ struct PplConfig {
 double perplexity(TransformerLM& model, const std::vector<TokenId>& stream,
                   const PplConfig& config = {});
 
+class QuantizedModel;
+
+/// Perplexity of an embedded model through the fused dequant-GEMM eval
+/// path (QuantizedModel::materialize_view): no per-layer dequantize()
+/// temporaries, numerically identical to materialize() + perplexity().
+double perplexity(const QuantizedModel& deployed,
+                  const std::vector<TokenId>& stream,
+                  const PplConfig& config = {});
+
 }  // namespace emmark

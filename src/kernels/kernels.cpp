@@ -17,6 +17,9 @@ const Ops kScalarOps = {
     detail::collect_le_f64_scalar,
     detail::collect_le_abs8_scalar,
     detail::stamp_scalar,
+    detail::axpy_f32_scalar,
+    detail::axpy_f64_scalar,
+    detail::dequant_span_f32_scalar,
 };
 
 /// Does the running CPU have the level's instructions? (Compile-time
@@ -30,11 +33,18 @@ bool cpu_has(Level level) {
       return __builtin_cpu_supports("sse2");
     case Level::kAvx2:
       return __builtin_cpu_supports("avx2");
+    case Level::kAvx512:
+      // The TU needs F (doubles/masks), BW (byte compares in
+      // collect_le_abs8), and VL (256-bit mask compares in count_matches).
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
     case Level::kNeon:
       return false;
 #elif defined(__aarch64__) || defined(__ARM_NEON)
     case Level::kSse2:
     case Level::kAvx2:
+    case Level::kAvx512:
       return false;
     case Level::kNeon:
       return true;
@@ -56,6 +66,8 @@ const Ops* table_for(Level level) {
       return detail::avx2_table();
     case Level::kNeon:
       return detail::neon_table();
+    case Level::kAvx512:
+      return detail::avx512_table();
   }
   return nullptr;
 }
@@ -72,16 +84,18 @@ const char* to_string(Level level) {
     case Level::kSse2: return "sse2";
     case Level::kAvx2: return "avx2";
     case Level::kNeon: return "neon";
+    case Level::kAvx512: return "avx512";
   }
   return "unknown";
 }
 
 Level parse_level(const std::string& name) {
-  for (Level level : {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon}) {
+  for (Level level : {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon,
+                      Level::kAvx512}) {
     if (name == to_string(level)) return level;
   }
   throw std::invalid_argument("unknown kernel level: " + name +
-                              " (use scalar, sse2, avx2, or neon)");
+                              " (use scalar, sse2, avx2, neon, or avx512)");
 }
 
 bool level_supported(Level level) {
@@ -90,7 +104,8 @@ bool level_supported(Level level) {
 
 std::vector<Level> supported_levels() {
   std::vector<Level> levels;
-  for (Level level : {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon}) {
+  for (Level level : {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon,
+                      Level::kAvx512}) {
     if (level_supported(level)) levels.push_back(level);
   }
   return levels;

@@ -1,13 +1,18 @@
-// Runtime-dispatched SIMD kernels for the watermark hot loops.
+// Runtime-dispatched SIMD kernels for the watermark and eval hot loops.
 //
 // EmMark's derivation cost is dominated by three inner loops: the Eq. 2-4
 // scoring sweep over every int8 code (score_row), the Eq. 6 delta-compare
 // at extraction (count_matches), and the Eq. 5 stamp (stamp). On top of
 // them sit the threshold scans (collect_le_*) that power the two-pass
-// candidate selection in src/kernels/select.h. Each op exists at up to
-// four dispatch levels -- scalar, SSE2, AVX2, NEON -- selected once per
-// process by CPUID-style detection and forceable via EMMARK_KERNEL
-// (scalar|sse2|avx2|neon, resolved through util/env).
+// candidate selection in src/kernels/select.h, and the eval-path
+// microkernels: axpy_f32 (the one inner loop every blocked GEMM layout in
+// src/tensor/gemm.cpp reduces to), dequant_span_f32 (int8 codes x group
+// scale -> fp32, feeding both QuantizedTensor::dequantize and the fused
+// dequant-GEMM), and axpy_f64 (the DCT-II/III accumulate in
+// src/signal/dct.cpp). Each op exists at up to five dispatch levels --
+// scalar, SSE2, AVX2, NEON, AVX-512 -- selected once per process by
+// CPUID-style detection and forceable via EMMARK_KERNEL
+// (scalar|sse2|avx2|neon|avx512, resolved through util/env).
 //
 // The contract every level must honour: **bit-identical results**. The
 // scalar implementation is the semantic reference; a vector level may only
@@ -33,11 +38,17 @@
 
 namespace emmark::kernels {
 
-enum class Level : int32_t { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+enum class Level : int32_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+  kAvx512 = 4,
+};
 
 const char* to_string(Level level);
 
-/// Parses an EMMARK_KERNEL value ("scalar"|"sse2"|"avx2"|"neon");
+/// Parses an EMMARK_KERNEL value ("scalar"|"sse2"|"avx2"|"neon"|"avx512");
 /// throws std::invalid_argument on anything else.
 Level parse_level(const std::string& name);
 
@@ -108,6 +119,28 @@ struct Ops {
   /// buffer instead of per-element bound-checked setters.
   void (*stamp)(int8_t* codes, const int64_t* locations, const int8_t* bits,
                 size_t n);
+
+  /// Eval-path microkernel: dst[j] += a * src[j] for j in [0, n). Every
+  /// blocked GEMM layout in src/tensor/gemm.cpp lowers to sweeps of this
+  /// op over output lanes; because each dst[j] is an independent
+  /// accumulator, vector widths only change how many outputs advance per
+  /// instruction, never the per-output summation order. One IEEE mul and
+  /// one IEEE add per element -- implementations must not fuse them (FMA
+  /// rounds once where mul+add rounds twice, breaking bit-identity).
+  void (*axpy_f32)(float* dst, const float* src, float a, int64_t n);
+
+  /// Same contract in double; the DCT-II/III accumulate over cosine-table
+  /// rows in src/signal/dct.cpp.
+  void (*axpy_f64)(double* dst, const double* src, double a, int64_t n);
+
+  /// Dequantize one group-aligned span of int8 codes:
+  ///   out[t] = float(codes[t]) * scale            (input_scale == nullptr)
+  ///   out[t] = float(codes[t]) * scale / input_scale[t]   (otherwise)
+  /// Mirrors QuantizedTensor::dequantize() exactly (mul then true IEEE
+  /// divide, never a reciprocal-multiply) so the fused dequant-GEMM path
+  /// is bit-identical to materialize-then-multiply.
+  void (*dequant_span_f32)(const int8_t* codes, float scale,
+                           const float* input_scale, float* out, int64_t n);
 };
 
 /// Table for `level`; throws std::runtime_error when the level is not

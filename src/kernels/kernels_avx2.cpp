@@ -145,6 +145,49 @@ size_t collect_le_abs8_avx2(const int8_t* codes, size_t n, int32_t threshold,
   return detail::collect_le_abs8_tail(codes, i, n, threshold, out, count);
 }
 
+void axpy_f32_avx2(float* dst, const float* src, float a, int64_t n) {
+  // Explicit mul + add (not _mm256_fmadd_ps): FMA's single rounding would
+  // diverge from the scalar reference's two roundings.
+  const __m256 av = _mm256_set1_ps(a);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(src + j));
+    _mm256_storeu_ps(dst + j, _mm256_add_ps(_mm256_loadu_ps(dst + j), prod));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+void axpy_f64_avx2(double* dst, const double* src, double a, int64_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d prod = _mm256_mul_pd(av, _mm256_loadu_pd(src + j));
+    _mm256_storeu_pd(dst + j, _mm256_add_pd(_mm256_loadu_pd(dst + j), prod));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+void dequant_span_f32_avx2(const int8_t* codes, float scale,
+                           const float* input_scale, float* out, int64_t n) {
+  const __m256 scale_v = _mm256_set1_ps(scale);
+  int64_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    // 8 int8 codes -> int32 -> float (exact conversions), then the same
+    // mul(/div) sequence as the scalar reference.
+    const __m128i packed =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + t));
+    const __m256i c32 = _mm256_cvtepi8_epi32(packed);
+    __m256 v = _mm256_mul_ps(_mm256_cvtepi32_ps(c32), scale_v);
+    if (input_scale != nullptr) {
+      v = _mm256_div_ps(v, _mm256_loadu_ps(input_scale + t));
+    }
+    _mm256_storeu_ps(out + t, v);
+  }
+  detail::dequant_span_f32_scalar(codes + t, scale,
+                                  input_scale ? input_scale + t : nullptr,
+                                  out + t, n - t);
+}
+
 const Ops kAvx2Ops = {
     "avx2",
     score_row_avx2,
@@ -152,6 +195,9 @@ const Ops kAvx2Ops = {
     collect_le_f64_avx2,
     collect_le_abs8_avx2,
     detail::stamp_scalar,  // sparse scatter: no AVX2 scatter instruction
+    axpy_f32_avx2,
+    axpy_f64_avx2,
+    dequant_span_f32_avx2,
 };
 
 }  // namespace

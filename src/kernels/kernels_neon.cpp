@@ -78,6 +78,51 @@ size_t collect_le_abs8_neon(const int8_t* codes, size_t n, int32_t threshold,
   return detail::collect_le_abs8_tail(codes, i, n, threshold, out, count);
 }
 
+void axpy_f32_neon(float* dst, const float* src, float a, int64_t n) {
+  // vmulq + vaddq, never vfmaq: FMA's single rounding would diverge from
+  // the scalar reference's two roundings.
+  const float32x4_t av = vdupq_n_f32(a);
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float32x4_t prod = vmulq_f32(av, vld1q_f32(src + j));
+    vst1q_f32(dst + j, vaddq_f32(vld1q_f32(dst + j), prod));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+void axpy_f64_neon(double* dst, const double* src, double a, int64_t n) {
+  const float64x2_t av = vdupq_n_f64(a);
+  int64_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const float64x2_t prod = vmulq_f64(av, vld1q_f64(src + j));
+    vst1q_f64(dst + j, vaddq_f64(vld1q_f64(dst + j), prod));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+void dequant_span_f32_neon(const int8_t* codes, float scale,
+                           const float* input_scale, float* out, int64_t n) {
+  const float32x4_t scale_v = vdupq_n_f32(scale);
+  int64_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    const int8x8_t c8 = vld1_s8(codes + t);
+    const int16x8_t c16 = vmovl_s8(c8);
+    const int32x4_t lo32 = vmovl_s16(vget_low_s16(c16));
+    const int32x4_t hi32 = vmovl_s16(vget_high_s16(c16));
+    float32x4_t lo = vmulq_f32(vcvtq_f32_s32(lo32), scale_v);
+    float32x4_t hi = vmulq_f32(vcvtq_f32_s32(hi32), scale_v);
+    if (input_scale != nullptr) {
+      lo = vdivq_f32(lo, vld1q_f32(input_scale + t));
+      hi = vdivq_f32(hi, vld1q_f32(input_scale + t + 4));
+    }
+    vst1q_f32(out + t, lo);
+    vst1q_f32(out + t + 4, hi);
+  }
+  detail::dequant_span_f32_scalar(codes + t, scale,
+                                  input_scale ? input_scale + t : nullptr,
+                                  out + t, n - t);
+}
+
 const Ops kNeonOps = {
     "neon",
     score_row_neon,
@@ -85,6 +130,9 @@ const Ops kNeonOps = {
     collect_le_f64_neon,
     collect_le_abs8_neon,
     detail::stamp_scalar,  // sparse scatter
+    axpy_f32_neon,
+    axpy_f64_neon,
+    dequant_span_f32_neon,
 };
 
 }  // namespace

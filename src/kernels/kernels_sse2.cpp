@@ -12,6 +12,7 @@
 
 #include <emmintrin.h>
 
+#include <cstring>
 #include <limits>
 
 namespace emmark::kernels {
@@ -87,6 +88,49 @@ size_t collect_le_abs8_sse2(const int8_t* codes, size_t n, int32_t threshold,
   return detail::collect_le_abs8_tail(codes, i, n, threshold, out, count);
 }
 
+void axpy_f32_sse2(float* dst, const float* src, float a, int64_t n) {
+  const __m128 av = _mm_set1_ps(a);
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128 prod = _mm_mul_ps(av, _mm_loadu_ps(src + j));
+    _mm_storeu_ps(dst + j, _mm_add_ps(_mm_loadu_ps(dst + j), prod));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+void axpy_f64_sse2(double* dst, const double* src, double a, int64_t n) {
+  const __m128d av = _mm_set1_pd(a);
+  int64_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d prod = _mm_mul_pd(av, _mm_loadu_pd(src + j));
+    _mm_storeu_pd(dst + j, _mm_add_pd(_mm_loadu_pd(dst + j), prod));
+  }
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+void dequant_span_f32_sse2(const int8_t* codes, float scale,
+                           const float* input_scale, float* out, int64_t n) {
+  // 4 int8 codes -> int32 (unpack + shift sign-extension; pmovsx is
+  // SSE4.1) -> float, then the same mul(/div) the scalar reference does.
+  const __m128 scale_v = _mm_set1_ps(scale);
+  int64_t t = 0;
+  for (; t + 4 <= n; t += 4) {
+    int32_t packed;
+    std::memcpy(&packed, codes + t, sizeof(packed));
+    __m128i c32 = _mm_unpacklo_epi8(_mm_cvtsi32_si128(packed), _mm_setzero_si128());
+    c32 = _mm_unpacklo_epi16(c32, _mm_setzero_si128());
+    c32 = _mm_srai_epi32(_mm_slli_epi32(c32, 24), 24);
+    __m128 v = _mm_mul_ps(_mm_cvtepi32_ps(c32), scale_v);
+    if (input_scale != nullptr) {
+      v = _mm_div_ps(v, _mm_loadu_ps(input_scale + t));
+    }
+    _mm_storeu_ps(out + t, v);
+  }
+  detail::dequant_span_f32_scalar(codes + t, scale,
+                                  input_scale ? input_scale + t : nullptr,
+                                  out + t, n - t);
+}
+
 const Ops kSse2Ops = {
     "sse2",
     score_row_sse2,
@@ -94,6 +138,9 @@ const Ops kSse2Ops = {
     collect_le_f64_sse2,
     collect_le_abs8_sse2,
     detail::stamp_scalar,  // sparse scatter
+    axpy_f32_sse2,
+    axpy_f64_sse2,
+    dequant_span_f32_sse2,
 };
 
 }  // namespace

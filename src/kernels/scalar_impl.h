@@ -78,6 +78,36 @@ inline void stamp_scalar(int8_t* codes, const int64_t* locations,
   }
 }
 
+// The eval-path microkernels below are the semantic reference for the
+// blocked GEMM / dequant / DCT paths. Each dst element is an independent
+// accumulator, so the vector levels differ only in how many outputs they
+// advance per instruction. The whole repo builds with -ffp-contract=off,
+// which keeps these loops honest: the compiler may auto-vectorize them
+// (same per-element IEEE ops) but may not fuse mul+add into FMA.
+
+inline void axpy_f32_scalar(float* dst, const float* src, float a, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) dst[j] += a * src[j];
+}
+
+inline void axpy_f64_scalar(double* dst, const double* src, double a,
+                            int64_t n) {
+  for (int64_t j = 0; j < n; ++j) dst[j] += a * src[j];
+}
+
+inline void dequant_span_f32_scalar(const int8_t* codes, float scale,
+                                    const float* input_scale, float* out,
+                                    int64_t n) {
+  if (input_scale == nullptr) {
+    for (int64_t t = 0; t < n; ++t) {
+      out[t] = static_cast<float>(codes[t]) * scale;
+    }
+  } else {
+    for (int64_t t = 0; t < n; ++t) {
+      out[t] = static_cast<float>(codes[t]) * scale / input_scale[t];
+    }
+  }
+}
+
 // --- vector-tail helpers -----------------------------------------------------
 //
 // Every SIMD level finishes its main loop at some element `i` and hands the

@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "quant/qtensor.h"
 #include "tensor/gemm.h"
 
 namespace emmark {
@@ -23,7 +24,11 @@ void Linear::forward(const Tensor& x, Tensor& y) {
   const int64_t m = x.dim(0);
   cached_x_ = x;
   y = Tensor({m, out_features_});
-  gemm_nt(x.data(), w_.value.data(), y.data(), m, in_features_, out_features_);
+  if (qweight_ != nullptr) {
+    dequant_gemm_nt(x.data(), *qweight_, y.data(), m);
+  } else {
+    gemm_nt(x.data(), w_.value.data(), y.data(), m, in_features_, out_features_);
+  }
   if (has_bias_) {
     const float* b = b_.value.data();
     for (int64_t i = 0; i < m; ++i) {
@@ -35,6 +40,10 @@ void Linear::forward(const Tensor& x, Tensor& y) {
 }
 
 void Linear::backward(const Tensor& dy, Tensor& dx) {
+  if (qweight_ != nullptr) {
+    throw TensorError("Linear " + name_ +
+                      ": backward through a fused quantized-weight view");
+  }
   const int64_t m = dy.dim(0);
   dx = Tensor({m, in_features_});
   gemm_nn(dy.data(), w_.value.data(), dx.data(), m, out_features_, in_features_);
@@ -64,6 +73,14 @@ std::vector<Parameter*> Linear::parameters() {
     out.push_back(&lora_->b());
   }
   return out;
+}
+
+void Linear::set_quantized_weight(const QuantizedTensor* q) {
+  if (q != nullptr &&
+      (q->rows() != out_features_ || q->cols() != in_features_)) {
+    throw TensorError("Linear " + name_ + ": quantized weight shape mismatch");
+  }
+  qweight_ = q;
 }
 
 void Linear::attach_lora(int64_t rank, float alpha, uint64_t seed) {

@@ -16,6 +16,8 @@
 
 namespace emmark {
 
+class QuantizedTensor;
+
 class Linear {
  public:
   /// Initializes W ~ N(0, 0.02) (GPT-style) and b = 0 when `bias` is set.
@@ -41,6 +43,15 @@ class Linear {
   void set_frozen(bool frozen) { frozen_ = frozen; }
   bool frozen() const { return frozen_; }
 
+  /// Evaluation-only fused-dequant mode: subsequent forwards stream `q`'s
+  /// int8 codes through dequant_gemm_nt instead of reading W, skipping the
+  /// full-tensor dequantize() temporary (bit-identical output -- see
+  /// quant/qtensor.h). The layer does not own `q`; the caller keeps it
+  /// alive (QuantizedModel::materialize_view). backward() throws in this
+  /// mode. Pass nullptr to restore the plain weight path.
+  void set_quantized_weight(const QuantizedTensor* q);
+  bool has_quantized_weight() const { return qweight_ != nullptr; }
+
   /// Input of the most recent forward() -- used by activation calibration
   /// (quant/calib.h) to gather per-channel statistics without hooks.
   const Tensor& last_input() const { return cached_x_; }
@@ -61,6 +72,7 @@ class Linear {
   bool frozen_ = false;
   Parameter w_;  // [out, in]
   Parameter b_;  // [out]
+  const QuantizedTensor* qweight_ = nullptr;  // unowned; eval-only fused path
   Tensor cached_x_;
   std::shared_ptr<LoraAdapter> lora_;
 };

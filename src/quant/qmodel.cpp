@@ -165,4 +165,19 @@ std::unique_ptr<TransformerLM> QuantizedModel::materialize() const {
   return model;
 }
 
+std::unique_ptr<TransformerLM> QuantizedModel::materialize_view() const {
+  auto model = base_->clone();
+  auto linears = model->quantizable_linears();
+  if (linears.size() != layers_.size()) {
+    throw std::logic_error("quantized layer count does not match model");
+  }
+  for (size_t i = 0; i < linears.size(); ++i) {
+    if (linears[i].name != layers_[i].name) {
+      throw std::logic_error("quantized layer order mismatch: " + linears[i].name);
+    }
+    linears[i].linear->set_quantized_weight(&layers_[i].weights);
+  }
+  return model;
+}
+
 }  // namespace emmark

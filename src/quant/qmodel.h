@@ -84,6 +84,14 @@ class QuantizedModel {
   /// weight replaced by the dequantized effective weight.
   std::unique_ptr<TransformerLM> materialize() const;
 
+  /// Fused-eval twin of materialize(): a clone whose linears stream this
+  /// model's int8 codes through the fused dequant-GEMM instead of holding
+  /// dequantized weight tensors -- no O(rows * cols) FP temporaries, same
+  /// forwards bit for bit (see quant/qtensor.h). The view borrows the
+  /// codes: it is valid only while this QuantizedModel is alive and its
+  /// layers are not resized. backward() through the view throws.
+  std::unique_ptr<TransformerLM> materialize_view() const;
+
   /// Codes snapshot: just the integer codes of every layer. Watermarking
   /// only flips codes (scales/outliers/base weights are untouched), so a
   /// snapshot applied onto a freshly re-quantized original reconstructs the

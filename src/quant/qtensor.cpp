@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
+#include "tensor/gemm.h"
+
 namespace emmark {
 
 const char* to_string(QuantBits bits) {
@@ -90,20 +93,35 @@ float QuantizedTensor::dequantize_at(int64_t row, int64_t col) const {
 Tensor QuantizedTensor::dequantize() const {
   Tensor out({rows_, cols_});
   for (int64_t r = 0; r < rows_; ++r) {
-    float* row = out.data() + r * cols_;
-    for (int64_t c = 0; c < cols_; ++c) {
-      row[c] = static_cast<float>(code(r, c)) * scale(r, c);
-      if (!input_scale_.empty()) row[c] /= input_scale_[static_cast<size_t>(c)];
-    }
+    dequant_row_span(r, 0, cols_, out.data() + r * cols_);
+  }
+  return out;
+}
+
+void QuantizedTensor::dequant_row_span(int64_t row, int64_t col0, int64_t len,
+                                       float* out) const {
+  const kernels::Ops& ops = kernels::active_ops();
+  const int8_t* codes = codes_.data() + row * cols_ + col0;
+  const float* in_scale =
+      input_scale_.empty() ? nullptr : input_scale_.data() + col0;
+  const int64_t gs = group_size_ > 0 ? group_size_ : cols_;
+  int64_t done = 0;
+  while (done < len) {
+    const int64_t col = col0 + done;
+    const int64_t group_end = (col / gs + 1) * gs;
+    const int64_t span = std::min(len - done, group_end - col);
+    ops.dequant_span_f32(codes + done, scales_.at(row, col / gs),
+                         in_scale != nullptr ? in_scale + done : nullptr,
+                         out + done, span);
+    done += span;
   }
   // Outlier columns overwrite the quantized path.
   for (size_t k = 0; k < outlier_cols_.size(); ++k) {
     const int64_t c = outlier_cols_[k];
-    for (int64_t r = 0; r < rows_; ++r) {
-      out.at(r, c) = outlier_weights_.at(r, static_cast<int64_t>(k));
+    if (c >= col0 && c < col0 + len) {
+      out[c - col0] = outlier_weights_.at(row, static_cast<int64_t>(k));
     }
   }
-  return out;
 }
 
 void QuantizedTensor::save(BinaryWriter& w) const {
@@ -162,6 +180,21 @@ QuantizedTensor quantize_rtn(const Tensor& w, QuantBits bits, int64_t group_size
     }
   }
   return q;
+}
+
+void dequant_gemm_nt(const float* x, const QuantizedTensor& w, float* y,
+                     int64_t m, bool accumulate) {
+  gemm_nt_packed(
+      x, y, m, w.cols(), w.rows(), accumulate,
+      [&w](int64_t p0, int64_t pb, int64_t j0, int64_t jb, float* panel) {
+        // Dequantize each weight row's K-slice (contiguous codes), then
+        // transpose into the K-major panel the axpy sweep expects.
+        float rowbuf[kGemmPanelK];
+        for (int64_t j = 0; j < jb; ++j) {
+          w.dequant_row_span(j0 + j, p0, pb, rowbuf);
+          for (int64_t p = 0; p < pb; ++p) panel[p * jb + j] = rowbuf[p];
+        }
+      });
 }
 
 }  // namespace emmark

@@ -87,6 +87,13 @@ class QuantizedTensor {
   /// Dequantized value of a single element (0 contribution path for
   /// outlier columns returns the FP outlier weight).
   float dequantize_at(int64_t row, int64_t col) const;
+  /// Dequantizes W_eff[row][col0 .. col0+len) into `out` through the
+  /// dispatched dequant kernel: group-aligned segments stream through
+  /// dequant_span_f32, then in-range outlier columns overwrite. The
+  /// building block both dequantize() and the fused dequant-GEMM share,
+  /// which is what makes fused == materialize-then-multiply bitwise.
+  void dequant_row_span(int64_t row, int64_t col0, int64_t len,
+                        float* out) const;
 
   // -- persistence --------------------------------------------------------
   void save(BinaryWriter& w) const;
@@ -111,5 +118,14 @@ class QuantizedTensor {
 
 /// Plain round-to-nearest group-wise quantization of `w` [rows, cols].
 QuantizedTensor quantize_rtn(const Tensor& w, QuantBits bits, int64_t group_size);
+
+/// Fused dequantize-GEMM: Y(M,N) += X(M, w.cols) * W_eff(w.rows, w.cols)^T
+/// without materializing W_eff. Panels of int8 codes dequantize straight
+/// into the gemm_nt_packed driver's cache-resident scratch, so eval-path
+/// forwards touch O(panel) float temporaries instead of an O(rows * cols)
+/// dequantize() tensor. Bit-identical to w.dequantize() + gemm_nt (same
+/// per-element dequant ops, same ascending-K summation order).
+void dequant_gemm_nt(const float* x, const QuantizedTensor& w, float* y,
+                     int64_t m, bool accumulate = false);
 
 }  // namespace emmark

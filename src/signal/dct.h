@@ -1,9 +1,13 @@
 // Orthonormal DCT-II and its inverse (DCT-III), the transform SpecMark uses
 // to embed signatures in the spectral domain of weight vectors.
 //
-// O(n^2) direct evaluation: quantization-layer weight vectors in this
-// reproduction are a few thousand elements, where the direct form is both
-// fast enough and trivially correct.
+// Still the O(n^2) direct form (chunk vectors here are a few thousand
+// elements), but the inner loops walk a precomputed 4n-entry cosine table
+// -- every DCT angle folds onto it exactly -- and accumulate whole output
+// rows through the dispatched axpy_f64 kernel (src/kernels), so the per
+// element cost is a table load and one vector mul+add instead of a
+// std::cos call. Per-output summation order is fixed, so results are
+// bit-identical across every kernel dispatch level.
 #pragma once
 
 #include <span>
@@ -17,7 +21,8 @@ std::vector<double> dct2(std::span<const double> x);
 /// Inverse of dct2 (orthonormal DCT-III).
 std::vector<double> idct2(std::span<const double> y);
 
-/// Convenience float overloads (compute in double, cast back).
+/// Float overloads: compute in double with element-wise conversion inside
+/// the kernel path (no whole-vector conversion temporaries).
 std::vector<float> dct2(std::span<const float> x);
 std::vector<float> idct2(std::span<const float> y);
 

@@ -1,52 +1,127 @@
 #include "tensor/gemm.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "util/threadpool.h"
 
 namespace emmark {
+namespace {
+
+// Tile extents. kKc bounds the K-slice so a B tile (kKc x kNc floats for
+// the nn/tn layouts) and a packed panel (kKc x kNcPacked) stay cache
+// resident across the row sweep; kKc doubles as the kGemmPanelK contract
+// with PanelPackers. Tiling never changes results: per output element the
+// p sum still runs strictly ascending across tiles.
+constexpr int64_t kKc = kGemmPanelK;
+constexpr int64_t kNc = 256;
+constexpr int64_t kNcPacked = 128;
+static_assert(kKc == kGemmPanelK, "panel contract");
+
+/// Runs fn over row blocks of [0, m), on the active pool when the matmul
+/// is big enough to amortize chunk scheduling. Each row is owned by
+/// exactly one block, so the thread count cannot change results.
+void rows_parallel(int64_t m, int64_t k, int64_t n,
+                   const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t flops = 2 * m * k * n;
+  if (flops < (int64_t{1} << 21) || ThreadPool::active().size() <= 1) {
+    fn(0, m);
+    return;
+  }
+  ThreadPool::active().parallel_for(
+      static_cast<size_t>(m), [&fn](size_t begin, size_t end) {
+        fn(static_cast<int64_t>(begin), static_cast<int64_t>(end));
+      });
+}
+
+}  // namespace
 
 void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_val = a_row[p];
-      if (a_val == 0.0f) continue;
-      const float* b_row = b + p * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+  const kernels::Ops& ops = kernels::active_ops();
+  rows_parallel(m, k, n, [&](int64_t i0, int64_t i1) {
+    for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const int64_t p1 = std::min(k, p0 + kKc);
+      for (int64_t j0 = 0; j0 < n; j0 += kNc) {
+        const int64_t jb = std::min(kNc, n - j0);
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* a_row = a + i * k;
+          float* c_row = c + i * n + j0;
+          // No a_val == 0 skip: on dense eval matrices the branch is pure
+          // misprediction cost, and 0 * b + c == c for the finite values
+          // these layers produce (pinned by test_gemm's zeros-heavy case).
+          for (int64_t p = p0; p < p1; ++p) {
+            ops.axpy_f32(c_row, b + p * n + j0, a_row[p], jb);
+          }
+        }
+      }
     }
-  }
+  });
 }
 
 void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n, bool accumulate) {
-  // C[i][j] = dot(A row i, B row j): both operands stream contiguously.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float acc = accumulate ? c_row[j] : 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] = acc;
-    }
-  }
+  // B rows become panel columns by copy-transpose; after that the layout
+  // is identical to nn and the same axpy sweep applies.
+  gemm_nt_packed(a, c, m, k, n, accumulate,
+                 [b, k](int64_t p0, int64_t pb, int64_t j0, int64_t jb,
+                        float* panel) {
+                   for (int64_t j = 0; j < jb; ++j) {
+                     const float* b_row = b + (j0 + j) * k + p0;
+                     for (int64_t p = 0; p < pb; ++p) {
+                       panel[p * jb + j] = b_row[p];
+                     }
+                   }
+                 });
 }
 
 void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
-  for (int64_t p = 0; p < k; ++p) {
-    const float* a_row = a + p * m;
-    const float* b_row = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float a_val = a_row[i];
-      if (a_val == 0.0f) continue;
-      float* c_row = c + i * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+  const kernels::Ops& ops = kernels::active_ops();
+  rows_parallel(m, k, n, [&](int64_t i0, int64_t i1) {
+    for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const int64_t p1 = std::min(k, p0 + kKc);
+      for (int64_t j0 = 0; j0 < n; j0 += kNc) {
+        const int64_t jb = std::min(kNc, n - j0);
+        for (int64_t i = i0; i < i1; ++i) {
+          float* c_row = c + i * n + j0;
+          for (int64_t p = p0; p < p1; ++p) {
+            ops.axpy_f32(c_row, b + p * n + j0, a[p * m + i], jb);
+          }
+        }
+      }
     }
-  }
+  });
+}
+
+void gemm_nt_packed(const float* x, float* y, int64_t m, int64_t k, int64_t n,
+                    bool accumulate, const PanelPacker& pack) {
+  if (!accumulate) std::memset(y, 0, static_cast<size_t>(m * n) * sizeof(float));
+  const kernels::Ops& ops = kernels::active_ops();
+  rows_parallel(m, k, n, [&](int64_t i0, int64_t i1) {
+    // One panel per row block: blocks run on different workers, and
+    // re-packing per block is cheap next to the O(rows * panel) multiply.
+    std::vector<float> panel(
+        static_cast<size_t>(kKc) * static_cast<size_t>(std::min(kNcPacked, n)));
+    for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const int64_t pb = std::min(kKc, k - p0);
+      for (int64_t j0 = 0; j0 < n; j0 += kNcPacked) {
+        const int64_t jb = std::min(kNcPacked, n - j0);
+        pack(p0, pb, j0, jb, panel.data());
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* x_row = x + i * k;
+          float* y_row = y + i * n + j0;
+          for (int64_t p = 0; p < pb; ++p) {
+            ops.axpy_f32(y_row, panel.data() + p * jb, x_row[p0 + p], jb);
+          }
+        }
+      }
+    }
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

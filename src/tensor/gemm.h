@@ -4,16 +4,26 @@
 //   gemm_nn: C += A(M,K)   * B(K,N)
 //   gemm_nt: C += A(M,K)   * B(N,K)^T   (linear forward with row-major W)
 //   gemm_tn: C += A(K,M)^T * B(K,N)     (weight gradients)
-// Plain raw-pointer kernels with an i-k-j loop order that the compiler
-// auto-vectorizes; matrices here are small (<= a few hundred per side), so
-// cache blocking buys nothing measurable.
+//
+// All three are cache-tiled drivers over the dispatched axpy_f32
+// microkernel (src/kernels): the inner loop vectorizes over *output*
+// lanes c_row[j], each an independent accumulator, so the per-output
+// summation order -- p strictly ascending -- is the same at every SIMD
+// level and results are bit-identical to the scalar reference. Row blocks
+// fan out to the active ThreadPool above the tile loops (row ownership is
+// exclusive, so thread count cannot change results either).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "tensor/tensor.h"
 
 namespace emmark {
+
+/// Upper bound on the K-extent (`pb`) of one packed panel handed to a
+/// PanelPacker; packers may size per-row scratch buffers to it.
+inline constexpr int64_t kGemmPanelK = 256;
 
 /// C(M,N) += A(M,K) * B(K,N). `accumulate=false` clears C first.
 void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
@@ -26,6 +36,24 @@ void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t k,
 /// C(M,N) += A(K,M)^T * B(K,N).
 void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n, bool accumulate = false);
+
+/// Fills one K-major panel for gemm_nt_packed: panel[p * jb + j] must
+/// receive B^T[p0 + p][j0 + j] (== B[j0 + j][p0 + p]) for p in [0, pb),
+/// j in [0, jb), with pb <= kGemmPanelK. The packer is where the B
+/// operand's storage format is abstracted away: plain gemm_nt packs by
+/// copy-transpose, the quantizer's fused path dequantizes int8 codes
+/// straight into the panel (see QuantizedTensor::dequant_gemm_nt).
+using PanelPacker =
+    std::function<void(int64_t p0, int64_t pb, int64_t j0, int64_t jb,
+                       float* panel)>;
+
+/// Shared driver behind gemm_nt and the fused dequantize-GEMM:
+/// Y(M,N) += X(M,K) * W(N,K)^T where W is only reachable through `pack`.
+/// Per output element the K sum runs strictly ascending, so results are
+/// bit-identical to the naive nt loop regardless of tiling, SIMD level,
+/// or thread count.
+void gemm_nt_packed(const float* x, float* y, int64_t m, int64_t k, int64_t n,
+                    bool accumulate, const PanelPacker& pack);
 
 /// out = a(M,K) * b(K,N) with shape checks; convenience for tests.
 Tensor matmul(const Tensor& a, const Tensor& b);

@@ -6,6 +6,7 @@
 #include <numbers>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "signal/dct.h"
 #include "util/rng.h"
 
@@ -83,6 +84,24 @@ TEST(Dct, FloatOverloadMatchesDouble) {
   const auto yd = dct2(std::span<const double>(xd));
   for (size_t i = 0; i < xf.size(); ++i) {
     EXPECT_NEAR(yf[i], static_cast<float>(yd[i]), 1e-5f);
+  }
+}
+
+TEST(Dct, RoundTripHoldsAtEveryKernelLevel) {
+  // The transforms route through the dispatched axpy_f64; the analytic
+  // inverse property must survive every vector backend, not just the one
+  // this host happens to pick.
+  Rng rng(23);
+  std::vector<double> x(129);
+  for (auto& v : x) v = rng.next_normal();
+  for (kernels::Level level : kernels::supported_levels()) {
+    kernels::ScopedLevelOverride guard(level);
+    const auto back = idct2(std::span<const double>(dct2(std::span<const double>(x))));
+    ASSERT_EQ(back.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(back[i], x[i], 1e-9)
+          << "level=" << kernels::to_string(level) << " i=" << i;
+    }
   }
 }
 

@@ -100,6 +100,81 @@ TEST(Gemm, AccumulateAddsToExisting) {
   }
 }
 
+TEST(Gemm, AccumulateNtAddsToExisting) {
+  Rng rng(6);
+  const Tensor a = random_tensor(4, 6, rng);
+  const Tensor bt = random_tensor(5, 6, rng);
+  Tensor c({4, 5});
+  gemm_nt(a.data(), bt.data(), c.data(), 4, 6, 5);
+  Tensor c2 = c;
+  gemm_nt(a.data(), bt.data(), c2.data(), 4, 6, 5, /*accumulate=*/true);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c2.flat()[i], 2.0f * c.flat()[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, AccumulateTnAddsToExisting) {
+  Rng rng(7);
+  const Tensor at = random_tensor(6, 4, rng);
+  const Tensor b = random_tensor(6, 5, rng);
+  Tensor c({4, 5});
+  gemm_tn(at.data(), b.data(), c.data(), 4, 6, 5);
+  Tensor c2 = c;
+  gemm_tn(at.data(), b.data(), c2.data(), 4, 6, 5, /*accumulate=*/true);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c2.flat()[i], 2.0f * c.flat()[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, AccumulateFalseOverwritesStaleOutput) {
+  // The non-accumulate path must fully clear C, including rows a zeros
+  // operand never touches.
+  Rng rng(8);
+  const Tensor a = random_tensor(3, 4, rng);
+  const Tensor b = random_tensor(4, 5, rng);
+  Tensor c({3, 5});
+  for (float& v : c.flat()) v = 99.0f;  // stale garbage
+  gemm_nn(a.data(), b.data(), c.data(), 3, 4, 5);
+  expect_close(c, reference_nn(a, b));
+}
+
+TEST(Gemm, ZerosHeavyMatricesMatchReference) {
+  // The old kernels skipped a_val == 0.0f; the vectorized rewrite dropped
+  // the branch. This pins the semantics it must preserve: exact zeros in
+  // either operand contribute nothing.
+  Rng rng(13);
+  const int64_t m = 17, k = 40, n = 23;
+  Tensor a = random_tensor(m, k, rng);
+  Tensor b = random_tensor(k, n, rng);
+  for (float& v : a.flat()) {
+    if (rng.next_bool(0.6)) v = 0.0f;
+  }
+  for (float& v : b.flat()) {
+    if (rng.next_bool(0.3)) v = 0.0f;
+  }
+  Tensor c({m, n});
+  gemm_nn(a.data(), b.data(), c.data(), m, k, n);
+  expect_close(c, reference_nn(a, b));
+
+  // Same density through gemm_tn (the other layout that had the skip).
+  Tensor at({k, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor c_tn({m, n});
+  gemm_tn(at.data(), b.data(), c_tn.data(), m, k, n);
+  expect_close(c_tn, reference_nn(a, b));
+
+  // An all-zero A must produce an exactly-zero C (no NaN/Inf leakage).
+  Tensor zeros({m, k});
+  Tensor cz({m, n});
+  for (float& v : cz.flat()) v = 42.0f;
+  gemm_nn(zeros.data(), b.data(), cz.data(), m, k, n);
+  for (int64_t i = 0; i < cz.numel(); ++i) {
+    EXPECT_EQ(cz.flat()[i], 0.0f) << "at " << i;
+  }
+}
+
 TEST(Gemm, MatmulChecksShapes) {
   Tensor a({2, 3});
   Tensor b({4, 2});

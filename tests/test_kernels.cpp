@@ -21,6 +21,9 @@
 #include "attack/prune.h"
 #include "kernels/kernels.h"
 #include "kernels/select.h"
+#include "quant/qtensor.h"
+#include "signal/dct.h"
+#include "tensor/gemm.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 #include "wm_fixture.h"
@@ -137,15 +140,22 @@ TEST(KernelDispatch, ScalarAlwaysSupportedAndNamesRoundTrip) {
 }
 
 TEST(KernelDispatch, UnknownNameThrows) {
-  EXPECT_THROW(kn::parse_level("avx512"), std::invalid_argument);
+  EXPECT_THROW(kn::parse_level("avx1024"), std::invalid_argument);
   EXPECT_THROW(kn::parse_level(""), std::invalid_argument);
+}
+
+TEST(KernelDispatch, Avx512IsAValidLevelName) {
+  // avx512 joined the level enum in the eval-path PR; whether it is
+  // *supported* depends on the host, but the name must always parse.
+  EXPECT_EQ(kn::parse_level("avx512"), kn::Level::kAvx512);
+  EXPECT_STREQ(kn::to_string(kn::Level::kAvx512), "avx512");
 }
 
 TEST(KernelDispatch, UnsupportedLevelsThrow) {
   // Every host lacks at least one level (no CPU is both x86 and ARM), so
   // the failure path is exercised everywhere.
   for (kn::Level level : {kn::Level::kScalar, kn::Level::kSse2, kn::Level::kAvx2,
-                          kn::Level::kNeon}) {
+                          kn::Level::kNeon, kn::Level::kAvx512}) {
     if (kn::level_supported(level)) continue;
     EXPECT_THROW(kn::ops_for(level), std::runtime_error) << kn::to_string(level);
     EXPECT_THROW(kn::ScopedLevelOverride{level}, std::runtime_error);
@@ -457,6 +467,158 @@ TEST(KernelPrune, PrunedModelsIdenticalAcrossLevelsAndToReference) {
       ASSERT_EQ(attacked.layer(i).weights.codes(), reference.layer(i).weights.codes())
           << kn::to_string(level) << " layer " << i;
     }
+  }
+}
+
+// --- eval-path kernels: GEMM / dequant / DCT ---------------------------------
+//
+// The blocked GEMM drivers (tensor/gemm.cpp), the dequant kernels behind
+// QuantizedTensor, and the table-driven DCT all promise the same contract
+// as the watermark kernels: bit-identical results at every dispatch level
+// and thread count. These suites pin it with exact equality, never
+// tolerances.
+
+std::vector<float> random_floats(Rng& rng, size_t n, float stddev = 1.0f) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.next_normal_f(0.0f, stddev);
+  return v;
+}
+
+TEST(KernelGemm, AllLayoutsBitIdenticalAcrossLevelsAndThreadCounts) {
+  Rng rng(41);
+  const struct { int64_t m, k, n; } shapes[] = {
+      {1, 1, 1}, {7, 5, 3}, {33, 64, 65}, {5, 300, 9}, {16, 256, 130}};
+  using GemmFn = void (*)(const float*, const float*, float*, int64_t, int64_t,
+                          int64_t, bool);
+  const struct { const char* name; GemmFn fn; bool b_is_nt; } layouts[] = {
+      {"nn", gemm_nn, false}, {"nt", gemm_nt, true}, {"tn", gemm_tn, false}};
+  for (const auto& s : shapes) {
+    // gemm_tn reads A as [k, m]; same element count either way.
+    const std::vector<float> a = random_floats(rng, static_cast<size_t>(s.m * s.k));
+    const std::vector<float> b = random_floats(rng, static_cast<size_t>(s.k * s.n));
+    const std::vector<float> c0 = random_floats(rng, static_cast<size_t>(s.m * s.n));
+    for (const auto& layout : layouts) {
+      for (bool accumulate : {false, true}) {
+        std::vector<float> reference = c0;
+        {
+          kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+          ThreadPool pool(1);
+          ThreadPool::ScopedOverride over(pool);
+          layout.fn(a.data(), b.data(), reference.data(), s.m, s.k, s.n,
+                    accumulate);
+        }
+        for (kn::Level level : levels()) {
+          for (size_t threads : {size_t{1}, size_t{3}}) {
+            kn::ScopedLevelOverride kernel(level);
+            ThreadPool pool(threads);
+            ThreadPool::ScopedOverride over(pool);
+            std::vector<float> got = c0;
+            layout.fn(a.data(), b.data(), got.data(), s.m, s.k, s.n, accumulate);
+            ASSERT_EQ(got, reference)
+                << layout.name << " m=" << s.m << " k=" << s.k << " n=" << s.n
+                << " accumulate=" << accumulate << " level="
+                << kn::to_string(level) << " threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// A quantized tensor exercising every dequant decoration at once:
+/// group-wise scales, per-column input scale, and FP outlier columns.
+QuantizedTensor decorated_qtensor(int64_t rows, int64_t cols) {
+  Rng rng(53);
+  Tensor w({rows, cols});
+  for (float& v : w.flat()) v = rng.next_normal_f(0.0f, 0.05f);
+  QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, /*group_size=*/16);
+  std::vector<float> input_scale(static_cast<size_t>(cols));
+  for (float& s : input_scale) s = 0.5f + std::fabs(rng.next_normal_f(0.0f, 0.3f));
+  q.set_input_scale(std::move(input_scale));
+  Tensor outliers({rows, 2});
+  for (float& v : outliers.flat()) v = rng.next_normal_f(0.0f, 0.4f);
+  q.set_outliers({3, static_cast<int32_t>(cols - 1)}, std::move(outliers));
+  return q;
+}
+
+TEST(KernelDequant, DequantizeBitIdenticalAcrossLevels) {
+  const QuantizedTensor q = decorated_qtensor(37, 64);
+  Tensor reference;
+  {
+    kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+    reference = q.dequantize();
+  }
+  for (kn::Level level : levels()) {
+    kn::ScopedLevelOverride kernel(level);
+    const Tensor got = q.dequantize();
+    ASSERT_EQ(std::vector<float>(got.flat().begin(), got.flat().end()),
+              std::vector<float>(reference.flat().begin(), reference.flat().end()))
+        << kn::to_string(level);
+  }
+}
+
+TEST(KernelDequant, FusedGemmMatchesMaterializeThenMultiplyBitwise) {
+  const QuantizedTensor q = decorated_qtensor(35, 48);
+  Rng rng(59);
+  const int64_t m = 9;
+  const std::vector<float> x =
+      random_floats(rng, static_cast<size_t>(m * q.cols()));
+  const std::vector<float> y0 =
+      random_floats(rng, static_cast<size_t>(m * q.rows()));
+  for (bool accumulate : {false, true}) {
+    std::vector<float> reference = y0;
+    {
+      kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+      const Tensor w_eff = q.dequantize();
+      gemm_nt(x.data(), w_eff.data(), reference.data(), m, q.cols(), q.rows(),
+              accumulate);
+    }
+    for (kn::Level level : levels()) {
+      kn::ScopedLevelOverride kernel(level);
+      std::vector<float> got = y0;
+      dequant_gemm_nt(x.data(), q, got.data(), m, accumulate);
+      ASSERT_EQ(got, reference)
+          << kn::to_string(level) << " accumulate=" << accumulate;
+    }
+  }
+}
+
+TEST(KernelDct, TransformsBitIdenticalAcrossLevels) {
+  Rng rng(61);
+  for (const size_t n : {size_t{1}, size_t{5}, size_t{64}, size_t{257}}) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.next_normal();
+    std::vector<double> spec_ref, time_ref;
+    {
+      kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+      spec_ref = dct2(std::span<const double>(x));
+      time_ref = idct2(std::span<const double>(spec_ref));
+    }
+    for (kn::Level level : levels()) {
+      kn::ScopedLevelOverride kernel(level);
+      const auto spec = dct2(std::span<const double>(x));
+      ASSERT_EQ(spec, spec_ref) << "dct2 n=" << n << " " << kn::to_string(level);
+      ASSERT_EQ(idct2(std::span<const double>(spec)), time_ref)
+          << "idct2 n=" << n << " " << kn::to_string(level);
+    }
+  }
+}
+
+TEST(KernelDct, FloatOverloadsBitIdenticalAcrossLevels) {
+  Rng rng(67);
+  std::vector<float> x(200);
+  for (float& v : x) v = rng.next_normal_f();
+  std::vector<float> spec_ref, time_ref;
+  {
+    kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+    spec_ref = dct2(std::span<const float>(x));
+    time_ref = idct2(std::span<const float>(spec_ref));
+  }
+  for (kn::Level level : levels()) {
+    kn::ScopedLevelOverride kernel(level);
+    const auto spec = dct2(std::span<const float>(x));
+    ASSERT_EQ(spec, spec_ref) << kn::to_string(level);
+    ASSERT_EQ(idct2(std::span<const float>(spec)), time_ref) << kn::to_string(level);
   }
 }
 

@@ -72,6 +72,36 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+TEST_P(AllMethods, FusedViewPerplexityEqualsMaterialize) {
+  // materialize_view() streams codes through the fused dequant-GEMM; the
+  // kernel contract says forwards are bit-identical to materialize(), so
+  // perplexity must match exactly -- not approximately.
+  QmFixture f;
+  const QuantizedModel qm(*f.model, f.stats, GetParam());
+  PplConfig ppl_config;
+  ppl_config.seq_len = 16;
+  auto deq = qm.materialize();
+  const double materialized = perplexity(*deq, f.corpus.valid, ppl_config);
+  const double fused = perplexity(qm, f.corpus.valid, ppl_config);
+  EXPECT_EQ(fused, materialized) << to_string(GetParam());
+}
+
+TEST(QModel, FusedViewBackwardThrows) {
+  QmFixture f;
+  const QuantizedModel qm(*f.model, f.stats, QuantMethod::kRtnInt8);
+  auto view = qm.materialize_view();
+  auto linears = view->quantizable_linears();
+  ASSERT_FALSE(linears.empty());
+  Linear* linear = linears[0].linear;
+  EXPECT_TRUE(linear->has_quantized_weight());
+  Tensor x({2, linear->in_features()});
+  Tensor y;
+  linear->forward(x, y);
+  Tensor dy({2, linear->out_features()});
+  Tensor dx;
+  EXPECT_THROW(linear->backward(dy, dx), TensorError);
+}
+
 TEST(QModel, Int8TighterThanInt4) {
   QmFixture f;
   const QuantizedModel q8(*f.model, f.stats, QuantMethod::kRtnInt8);
