@@ -6,6 +6,7 @@
 #   scripts/check.sh --warnings      # Debug build with -Wall -Wextra -Werror
 #   scripts/check.sh --sanitize      # ASan + UBSan build, full ctest suite
 #   scripts/check.sh --tsan          # ThreadSanitizer build, concurrency suites
+#   scripts/check.sh --procs         # process-shard / HTTP / conformance suites
 #   scripts/check.sh --docs          # docs lane: markdown link check, no build
 #   scripts/check.sh --build-dir DIR # custom build tree (default: build)
 #
@@ -48,7 +49,16 @@ while [[ $# -gt 0 ]]; do
       BUILD_TYPE=RelWithDebInfo
       TSAN=ON
       BUILD_DIR=build-tsan
-      TEST_FILTER='^(test_threadpool|test_engine|test_store|test_daemon|test_server|test_metrics)$'
+      TEST_FILTER='^(test_threadpool|test_engine|test_store|test_daemon|test_server|test_metrics|test_process_shards)$'
+      shift
+      ;;
+    --procs)
+      # Process-shard lane: the supervisor + worker-process fleet, its
+      # HTTP front door, and the cross-transport protocol conformance
+      # corpus. These fork and SIGKILL real worker processes, so CI runs
+      # them in their own job where a wedged fleet cannot mask (or be
+      # masked by) the rest of the suite.
+      TEST_FILTER='^(test_process_shards|test_http|test_protocol_conformance)$'
       shift
       ;;
     --build-dir)

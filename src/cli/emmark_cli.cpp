@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "cli/daemon.h"
+#include "cli/worker.h"
 #include "net/server.h"
+#include "net/supervisor.h"
 #include "data/corpus.h"
 #include "model_zoo/zoo.h"
 #include "util/argparse.h"
@@ -302,11 +304,68 @@ int cmd_daemon(const std::vector<std::string>& argv) {
 // --- serve ------------------------------------------------------------------
 
 SocketServer* g_serve_instance = nullptr;
+Supervisor* g_supervisor_instance = nullptr;
 
 extern "C" void serve_signal_handler(int) {
   // Async-signal-safe: just flips an atomic; the poll loop notices within
   // one poll interval and shuts down gracefully.
   if (g_serve_instance != nullptr) g_serve_instance->request_stop();
+  if (g_supervisor_instance != nullptr) g_supervisor_instance->request_stop();
+}
+
+int cmd_shard_worker(const std::vector<std::string>& argv) {
+  ArgParser args("emmark_cli shard-worker",
+                 "internal: one process-shard worker (spawned by "
+                 "`serve --process-shards`; docs/PROTOCOL.md §8)");
+  args.add_option("socket", "", "Unix-domain socket path to listen on");
+  args.add_option("shard", "0", "this worker's shard index (labels/logs)");
+  args.add_option("max-inflight", "64",
+                  "unflushed requests per connection before reads pause");
+  add_router_options(args);
+  if (!args.parse(argv)) return 2;
+  if (args.get("socket").empty()) {
+    std::fprintf(stderr, "error: shard-worker requires --socket\n");
+    return 2;
+  }
+
+  ShardWorkerConfig config;
+  config.socket_path = args.get("socket");
+  config.shard_index = static_cast<size_t>(args.get_int("shard"));
+  config.max_inflight_per_conn =
+      static_cast<size_t>(args.get_int("max-inflight"));
+  config.router = router_config_from(args);
+  return run_shard_worker(std::move(config));
+}
+
+int cmd_serve_process_shards(const ArgParser& args) {
+  SupervisorConfig config;
+  config.port = static_cast<uint16_t>(args.get_int("port"));
+  config.bind_addr = args.get("bind");
+  config.max_inflight_per_conn =
+      static_cast<size_t>(args.get_int("max-inflight"));
+  config.worker_cmd = args.get("worker-cmd");
+  config.socket_dir = args.get("socket-dir");
+  config.respawn_backoff_ms = static_cast<int>(args.get_int("respawn-backoff"));
+  config.respawn_backoff_max_ms =
+      static_cast<int>(args.get_int("respawn-backoff-max"));
+  config.router = router_config_from(args);
+
+  Supervisor supervisor(std::move(config));
+  g_supervisor_instance = &supervisor;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  std::fprintf(stderr,
+               "emmark_cli serve: supervisor on %s:%u, %zu worker "
+               "process%s; HTTP on the same port (GET /metrics, POST "
+               "/v1/<verb>); SIGINT/SIGTERM for graceful shutdown\n",
+               args.get("bind").c_str(),
+               static_cast<unsigned>(supervisor.port()), supervisor.workers(),
+               supervisor.workers() == 1 ? "" : "es");
+  const int rc = supervisor.run();
+  std::fprintf(stderr, "emmark_cli serve: shut down cleanly\n");
+  g_supervisor_instance = nullptr;
+  return rc;
 }
 
 int cmd_serve(const std::vector<std::string>& argv) {
@@ -317,8 +376,22 @@ int cmd_serve(const std::vector<std::string>& argv) {
   args.add_option("bind", "127.0.0.1", "bind address");
   args.add_option("max-inflight", "64",
                   "unflushed requests per connection before reads pause");
+  args.add_flag("process-shards",
+                "one worker process per shard behind a supervising proxy "
+                "(respawn on crash) plus HTTP/1.1 on the same port");
+  args.add_option("worker-cmd", "",
+                  "worker binary for --process-shards (default: this binary)");
+  args.add_option("socket-dir", "",
+                  "directory for worker Unix sockets (default: temp dir)");
+  args.add_option("respawn-backoff", "200",
+                  "initial worker respawn delay in ms (doubles per "
+                  "consecutive failure)");
+  args.add_option("respawn-backoff-max", "5000",
+                  "respawn delay cap in ms");
   add_router_options(args);
   if (!args.parse(argv)) return 2;
+
+  if (args.get_flag("process-shards")) return cmd_serve_process_shards(args);
 
   RequestRouter router(router_config_from(args));
 
@@ -560,6 +633,8 @@ int run(int argc, char** argv) {
   cli.add_command("list-schemes", "print registered watermarking schemes");
   cli.add_command("daemon", "serving loop with a warm model store (JSON results)");
   cli.add_command("serve", "TCP socket server over the daemon protocol (sharded)");
+  cli.add_command("shard-worker",
+                  "internal: one process-shard worker (spawned by serve)");
   cli.add_command("selftest", "end-to-end disk round-trip over every scheme");
   if (!cli.parse(argc, argv)) return 2;
 
@@ -572,6 +647,7 @@ int run(int argc, char** argv) {
     if (cli.command() == "list-schemes") return cmd_list_schemes();
     if (cli.command() == "daemon") return cmd_daemon(cli.command_args());
     if (cli.command() == "serve") return cmd_serve(cli.command_args());
+    if (cli.command() == "shard-worker") return cmd_shard_worker(cli.command_args());
     if (cli.command() == "selftest") return cmd_selftest(cli.command_args());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,45 @@
+// Shard worker: one process-level shard of the serving fleet.
+//
+// `emmark_cli serve --process-shards` promotes each in-process shard to
+// its own worker process. A worker is the existing stack unchanged -- a
+// single-shard RequestRouter behind a SocketServer -- listening on a
+// Unix-domain socket the supervisor (src/net/supervisor.h) assigns, and
+// speaking exactly the docs/PROTOCOL.md wire format. The supervisor owns
+// the consistent-hash ring and proxies client lines here; the worker
+// neither knows its siblings nor the ring -- crash isolation comes from
+// that ignorance.
+//
+// Lifecycle: spawned via the internal `emmark_cli shard-worker`
+// subcommand, serves until SIGTERM (graceful: settles live sessions,
+// drains engines), and is respawned by the supervisor if it dies any
+// other way. The EMMARK_TEST_CRASH_ON environment variable is a
+// fault-injection hook for the test harness: value "startup" makes the
+// worker exit before binding its socket (crash-loop / backoff tests);
+// any other non-empty value makes it _exit(42) the moment a request line
+// containing that substring arrives (mid-burst SIGKILL-equivalent death
+// with a deterministic trigger).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cli/router.h"
+
+namespace emmark {
+
+struct ShardWorkerConfig {
+  /// Unix-domain socket path to listen on (assigned by the supervisor).
+  std::string socket_path;
+  /// This worker's shard index on the supervisor's ring (labels, logs).
+  size_t shard_index = 0;
+  /// Per-connection in-flight bound, as in ServerConfig.
+  size_t max_inflight_per_conn = 64;
+  /// Router config for the worker's backend; shards is forced to 1 (the
+  /// supervisor's ring already did the partitioning).
+  RouterConfig router;
+};
+
+/// Runs a shard worker to completion. Returns the process exit code.
+int run_shard_worker(ShardWorkerConfig config);
+
+}  // namespace emmark

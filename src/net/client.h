@@ -18,6 +18,9 @@ class LineClient {
   /// Connects (blocking) to host:port; throws std::runtime_error on
   /// failure.
   LineClient(const std::string& host, uint16_t port);
+  /// Connects (blocking) to a Unix-domain socket path (the process-shard
+  /// workers listen on these); throws std::runtime_error on failure.
+  explicit LineClient(const std::string& unix_path);
   ~LineClient();
 
   LineClient(const LineClient&) = delete;

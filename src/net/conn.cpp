@@ -16,10 +16,12 @@ constexpr size_t kMaxLineBytes = 1 << 20;
 }  // namespace
 
 Conn::Conn(int fd, std::unique_ptr<RequestRouter::Session> session,
-           size_t max_inflight)
+           size_t max_inflight,
+           std::function<void(const std::string&)> line_tap)
     : fd_(fd),
       session_(std::move(session)),
-      max_inflight_(max_inflight == 0 ? 1 : max_inflight) {
+      max_inflight_(max_inflight == 0 ? 1 : max_inflight),
+      line_tap_(std::move(line_tap)) {
   sink_ = [this](const std::string& line) {
     out_buf_ += line;
     out_buf_ += '\n';
@@ -50,6 +52,7 @@ void Conn::feed_buffered_lines() {
         std::string line = std::move(in_buf_);
         in_buf_.clear();
         if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line_tap_) line_tap_(line);
         session_->handle_line(line, sink_);
         continue;
       }
@@ -58,6 +61,7 @@ void Conn::feed_buffered_lines() {
     std::string line = in_buf_.substr(0, nl);
     in_buf_.erase(0, nl + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_tap_) line_tap_(line);
     session_->handle_line(line, sink_);
   }
   // Input is over (EOF or quit), every buffered line was consumed, and

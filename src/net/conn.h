@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -31,8 +32,11 @@ class Conn {
  public:
   /// Takes ownership of `fd` (closed on destruction). `max_inflight`
   /// bounds the session's unflushed requests before reads pause.
+  /// `line_tap`, if set, sees every complete line before the session does
+  /// (fault-injection hook; see ServerConfig::line_tap).
   Conn(int fd, std::unique_ptr<RequestRouter::Session> session,
-       size_t max_inflight);
+       size_t max_inflight,
+       std::function<void(const std::string&)> line_tap = {});
   ~Conn();
 
   Conn(const Conn&) = delete;
@@ -80,6 +84,7 @@ class Conn {
   int fd_;
   std::unique_ptr<RequestRouter::Session> session_;
   size_t max_inflight_;
+  std::function<void(const std::string&)> line_tap_;
   std::string in_buf_;
   std::string out_buf_;
   bool input_eof_ = false;   // peer closed its write side

@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -39,6 +40,27 @@ SocketServer::SocketServer(RequestRouter& router, ServerConfig config)
   accepted_counter_ = &registry.counter(
       "emmark_server_connections_accepted_total",
       "Connections accepted since start.");
+
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("unix socket path too long: " + config_.unix_path);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+    addr.sun_family = AF_UNIX;
+    ::strncpy(addr.sun_path, config_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unix_path.c_str());  // stale socket from a crashed run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(listen_fd_, SOMAXCONN) < 0) {
+      const std::string why = strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("bind/listen on " + config_.unix_path + ": " + why);
+    }
+    set_nonblocking(listen_fd_);
+    return;
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket(): " + std::string(strerror(errno)));
@@ -73,6 +95,7 @@ SocketServer::SocketServer(RequestRouter& router, ServerConfig config)
 
 SocketServer::~SocketServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
 }
 
 void SocketServer::accept_new_connections() {
@@ -83,10 +106,13 @@ void SocketServer::accept_new_connections() {
       break;  // EAGAIN (no more pending) or transient accept error
     }
     set_nonblocking(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.unix_path.empty()) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     conns_.push_back(std::make_unique<Conn>(fd, router_.open_session(),
-                                            config_.max_inflight_per_conn));
+                                            config_.max_inflight_per_conn,
+                                            config_.line_tap));
     accepted_counter_->inc();
     connection_count_.store(conns_.size(), std::memory_order_relaxed);
   }

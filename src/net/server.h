@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,12 +41,23 @@ struct ServerConfig {
   /// Bind address. Loopback by default: the daemon protocol is
   /// unauthenticated, so exposing it wider is an explicit operator choice.
   std::string bind_addr = "127.0.0.1";
+  /// Non-empty: listen on this Unix-domain socket path instead of TCP
+  /// (port/bind_addr are ignored, port() reports 0). Used by the
+  /// process-shard workers, which only ever talk to their supervisor on
+  /// the same host. A stale file at the path is unlinked before bind; the
+  /// path is unlinked again on destruction.
+  std::string unix_path;
   /// Unflushed requests per connection before the server stops reading
   /// from that socket (TCP backpressure instead of an unbounded queue).
   size_t max_inflight_per_conn = 64;
   /// Poll timeout: the latency floor for flushing async completions to
   /// idle connections.
   int poll_interval_ms = 20;
+  /// Optional tap invoked with every complete request line before it is
+  /// handed to the session. Test hook: the shard worker uses it for
+  /// EMMARK_TEST_CRASH_ON fault injection (die deterministically when a
+  /// chosen request arrives). Must not block.
+  std::function<void(const std::string&)> line_tap;
 };
 
 class SocketServer {

@@ -1,0 +1,1353 @@
+#include "net/supervisor.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "model_zoo/zoo.h"
+#include "net/http.h"
+#include "obs/merge.h"
+
+namespace emmark {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Every supervisor fd is close-on-exec so spawned workers do not inherit
+// the front door, sibling links, or client sockets.
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string error_json(const std::string& id, const std::string& cmd,
+                       const std::string& error) {
+  return "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"" + json_escape(cmd) +
+         "\",\"ok\":false,\"error\":\"" + json_escape(error) + "\"}";
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream split(line);
+  std::string token;
+  while (split >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// key=value parse with the router's strictness (router.cpp parse_params):
+/// throws std::invalid_argument on a token without '=' or with an empty
+/// key. The supervisor re-parses only for routing and HTTP validation;
+/// canonical error bytes still come from a worker.
+std::map<std::string, std::string> parse_kv(
+    const std::vector<std::string>& tokens) {
+  std::map<std::string, std::string> kv;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value, got: " + tokens[i]);
+    }
+    kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+std::string kv_get(const std::map<std::string, std::string>& kv,
+                   const std::string& key, const std::string& def) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? def : it->second;
+}
+
+/// First u64 after `"key":` in a shallow JSON line; 0 if absent. The
+/// stats/quit merges only need the router's own fixed-shape output, so a
+/// real JSON parser would be dead weight here.
+uint64_t find_u64(const std::string& s, const std::string& quoted_key) {
+  const size_t at = s.find("\"" + quoted_key + "\":");
+  if (at == std::string::npos) return 0;
+  return std::strtoull(s.c_str() + at + quoted_key.size() + 3, nullptr, 10);
+}
+
+std::string find_string(const std::string& s, const std::string& quoted_key) {
+  const std::string needle = "\"" + quoted_key + "\":\"";
+  const size_t at = s.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t start = at + needle.size();
+  std::string out;
+  for (size_t i = start; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      out += s[i + 1];
+      ++i;
+      continue;
+    }
+    if (s[i] == '"') break;
+    out += s[i];
+  }
+  return out;
+}
+
+constexpr size_t kMaxLineBytes = 1 << 20;  // same rule as net/conn.cpp
+const char* const kHandshakeId = "__sup_handshake__";
+
+bool is_engine_verb(const std::string& cmd) {
+  return cmd == "insert" || cmd == "extract" || cmd == "verify" ||
+         cmd == "trace";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+struct Supervisor::Impl {
+  // One queued response for one client request, filled either locally
+  // (HTTP 400/404, fast-fail retryable errors) or by worker completions.
+  // Responses flush strictly in request order per client.
+  struct Slot {
+    bool ready = false;
+    std::string text;  // one response line / merged exposition, no '\n'
+    std::string id, cmd;
+    size_t shard = 0;
+    bool is_quit = false;
+    // HTTP framing (unused in line mode). http_status 0 = derive from
+    // the response text (503 on shed/retryable, else 200).
+    bool http = false;
+    int http_status = 0;
+    std::string content_type = "application/json";
+    bool http_close = false;
+    // Fan-out bookkeeping (stats/metrics/quit).
+    size_t awaiting = 0;
+    std::vector<std::string> parts;  // indexed by source (worker, or +1)
+    uint64_t served = 0;
+  };
+
+  struct ClientConn {
+    int fd = -1;
+    std::string in, out;
+    enum class Mode { kUnknown, kLine, kHttp } mode = Mode::kUnknown;
+    bool input_eof = false;
+    bool dead = false;
+    bool quitting = false;          // saw quit; later input is ignored
+    bool close_after_flush = false;
+    std::deque<std::shared_ptr<Slot>> slots;
+    HttpParser http;
+  };
+
+  // One Unix-socket connection to a worker: either the per-worker
+  // control link (client == nullptr; carries the handshake) or a lazily
+  // opened per-(client, worker) proxy link. Responses on a link are
+  // matched to expectations strictly FIFO -- the worker session
+  // guarantees request-order responses, so no request ids are needed on
+  // the wire.
+  struct PendingRead {
+    bool until_eof = false;  // multi-line response ending with "# EOF"
+    std::function<void(std::vector<std::string>&&, bool ok)> done;
+  };
+
+  struct Link {
+    int fd = -1;
+    size_t worker = 0;
+    ClientConn* client = nullptr;  // nullptr: control link
+    std::string in, out;
+    std::deque<PendingRead> reads;
+    std::vector<std::string> multi;  // accumulating until_eof lines
+    bool closing = false;            // close once reads drain (post-quit)
+    bool dead = false;
+  };
+
+  struct WorkerProc {
+    size_t index = 0;
+    uint64_t generation = 0;
+    std::string socket_path;
+    pid_t pid = -1;
+    enum class State { kDown, kConnecting, kHandshaking, kReady, kBackoff };
+    State state = State::kDown;
+    int failures = 0;       // consecutive spawn/serve failures
+    bool ever_resolved = false;  // first spawn reached ready-or-failed
+    Clock::time_point spawned_at{};
+    Clock::time_point next_spawn{};
+    Clock::time_point handshake_deadline{};
+    // Published for the cross-thread accessors.
+    std::atomic<pid_t> pub_pid{-1};
+    std::atomic<bool> pub_ready{false};
+    std::atomic<uint64_t> pub_respawns{0};
+    std::atomic<int> pub_backoff_ms{0};
+  };
+
+  SupervisorConfig cfg;
+  ShardRouter ring;
+  obs::MetricsRegistry registry;
+  std::vector<obs::Gauge*> up_gauges;
+  std::vector<obs::Counter*> respawn_counters;
+  std::vector<obs::Counter*> retryable_counters;
+  obs::Counter* accepted_counter = nullptr;
+  obs::Gauge* connections_gauge = nullptr;
+
+  int listen_fd = -1;
+  uint16_t port = 0;
+  std::atomic<bool> stop{false};
+  std::string socket_dir;
+  bool own_socket_dir = false;
+
+  std::vector<std::unique_ptr<WorkerProc>> workers;
+  std::vector<std::unique_ptr<ClientConn>> clients;
+  std::vector<std::unique_ptr<Link>> links;
+
+  explicit Impl(SupervisorConfig config)
+      : cfg(std::move(config)),
+        ring(cfg.router.shards == 0 ? 1 : cfg.router.shards) {
+    if (cfg.router.shards == 0) cfg.router.shards = 1;
+
+    for (size_t i = 0; i < cfg.router.shards; ++i) {
+      const std::string shard = std::to_string(i);
+      up_gauges.push_back(&registry.gauge(
+          "emmark_supervisor_worker_up",
+          "1 while the shard's worker process is serving.", {{"shard", shard}}));
+      respawn_counters.push_back(&registry.counter(
+          "emmark_supervisor_respawns_total",
+          "Worker respawns (spawns beyond each shard's first).",
+          {{"shard", shard}}));
+      retryable_counters.push_back(&registry.counter(
+          "emmark_supervisor_retryable_errors_total",
+          "Requests failed with a retryable error because the shard's "
+          "worker was down.",
+          {{"shard", shard}}));
+    }
+    accepted_counter =
+        &registry.counter("emmark_supervisor_connections_accepted_total",
+                          "Front-door connections accepted since start.");
+    connections_gauge = &registry.gauge("emmark_supervisor_connections",
+                                        "Front-door connections open.");
+
+    if (cfg.socket_dir.empty()) {
+      socket_dir = (std::filesystem::temp_directory_path() /
+                    ("emmark-sup-" + std::to_string(::getpid())))
+                       .string();
+      own_socket_dir = true;
+    } else {
+      socket_dir = cfg.socket_dir;
+    }
+    std::filesystem::create_directories(socket_dir);
+
+    bind_front_door();
+
+    workers.reserve(cfg.router.shards);
+    for (size_t i = 0; i < cfg.router.shards; ++i) {
+      workers.push_back(std::make_unique<WorkerProc>());
+      workers.back()->index = i;
+      spawn(*workers.back());
+    }
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    for (auto& c : clients) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    for (auto& l : links) {
+      if (l->fd >= 0) ::close(l->fd);
+    }
+    for (auto& w : workers) {
+      if (w->pid > 0) {
+        ::kill(w->pid, SIGKILL);
+        ::waitpid(w->pid, nullptr, 0);
+      }
+      if (!w->socket_path.empty()) ::unlink(w->socket_path.c_str());
+    }
+    if (own_socket_dir) {
+      std::error_code ec;
+      std::filesystem::remove_all(socket_dir, ec);
+    }
+  }
+
+  void bind_front_door() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+    }
+    set_cloexec(listen_fd);
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    if (::inet_pton(AF_INET, cfg.bind_addr.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("bad bind address: " + cfg.bind_addr);
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(listen_fd, SOMAXCONN) < 0) {
+      throw std::runtime_error("bind/listen on " + cfg.bind_addr + ":" +
+                               std::to_string(cfg.port) + ": " +
+                               std::string(strerror(errno)));
+    }
+    set_nonblocking(listen_fd);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      port = ntohs(bound.sin_port);
+    }
+  }
+
+  // ---- worker lifecycle ----------------------------------------------------
+
+  std::string worker_binary() const {
+    return cfg.worker_cmd.empty() ? "/proc/self/exe" : cfg.worker_cmd;
+  }
+
+  void spawn(WorkerProc& w) {
+    ++w.generation;
+    if (!w.socket_path.empty()) ::unlink(w.socket_path.c_str());
+    w.socket_path = socket_dir + "/w" + std::to_string(w.index) + ".g" +
+                    std::to_string(w.generation) + ".sock";
+
+    std::vector<std::string> argv = {
+        worker_binary(), "shard-worker",
+        "--socket", w.socket_path,
+        "--shard", std::to_string(w.index),
+        "--max-inflight", std::to_string(cfg.max_inflight_per_conn),
+        "--cache", cfg.router.cache_dir,
+        "--capacity", std::to_string(cfg.router.store_capacity),
+        "--max-bytes", std::to_string(cfg.router.max_resident_bytes),
+        "--train-cap", std::to_string(cfg.router.train_steps_cap),
+        "--workers", std::to_string(cfg.router.max_workers),
+        "--engine-queue", std::to_string(cfg.router.engine_queue),
+        "--base-seed", std::to_string(cfg.router.base_seed),
+        "--min-wer", std::to_string(cfg.router.min_wer_pct),
+        "--max-queued", std::to_string(cfg.router.max_queued),
+        "--store-ttl", std::to_string(cfg.router.store_ttl_sec),
+    };
+    if (cfg.router.echo) argv.push_back("--echo");
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "[supervisor] fork for shard %zu failed: %s\n",
+                   w.index, strerror(errno));
+      worker_failed(w);
+      return;
+    }
+    if (pid == 0) {
+      // Child. Die with the supervisor (covers a SIGKILLed parent that
+      // never runs its teardown), then become the worker. Environment is
+      // inherited on purpose: EMMARK_TEST_CRASH_ON set by the test
+      // harness must reach the worker.
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      std::vector<char*> cargv;
+      cargv.reserve(argv.size() + 1);
+      for (auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+      cargv.push_back(nullptr);
+      ::execv(cargv[0], cargv.data());
+      std::fprintf(stderr, "[shard-worker %zu] execv %s: %s\n", w.index,
+                   cargv[0], strerror(errno));
+      ::_exit(127);
+    }
+
+    if (w.generation > 1) {
+      w.pub_respawns.fetch_add(1, std::memory_order_relaxed);
+      respawn_counters[w.index]->inc();
+    }
+    w.pid = pid;
+    w.pub_pid.store(pid, std::memory_order_relaxed);
+    w.spawned_at = Clock::now();
+    w.handshake_deadline =
+        w.spawned_at + std::chrono::milliseconds(cfg.handshake_timeout_ms);
+    w.state = WorkerProc::State::kConnecting;
+  }
+
+  Link* open_link(size_t worker_index, ClientConn* client) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string& path = workers[worker_index]->socket_path;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return nullptr;
+    }
+    ::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    // Blocking connect: for a listening Unix socket this completes as
+    // soon as the kernel queues it in the backlog -- it does not wait for
+    // the worker to accept(), so it cannot stall the loop.
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    set_nonblocking(fd);
+    set_cloexec(fd);
+    auto link = std::make_unique<Link>();
+    link->fd = fd;
+    link->worker = worker_index;
+    link->client = client;
+    links.push_back(std::move(link));
+    return links.back().get();
+  }
+
+  void try_handshake(WorkerProc& w) {
+    Link* link = open_link(w.index, nullptr);
+    if (link == nullptr) return;  // socket not up yet; retry next cycle
+    link->out += std::string("stats id=") + kHandshakeId + "\n";
+    const uint64_t gen = w.generation;
+    link->reads.push_back(PendingRead{
+        false, [this, &w, gen](std::vector<std::string>&& lines, bool ok) {
+          if (w.generation != gen) return;  // stale generation
+          if (ok && !lines.empty() &&
+              lines[0].find("\"ok\":true") != std::string::npos) {
+            w.state = WorkerProc::State::kReady;
+            w.ever_resolved = true;
+            w.pub_ready.store(true, std::memory_order_relaxed);
+            w.pub_backoff_ms.store(0, std::memory_order_relaxed);
+            up_gauges[w.index]->set(1);
+          }
+          // On !ok the death path has already scheduled the respawn.
+        }});
+    w.state = WorkerProc::State::kHandshaking;
+  }
+
+  /// Consecutive-failure backoff, capped. Shift guarded against overflow.
+  int backoff_ms_for(int failures) const {
+    int64_t ms = cfg.respawn_backoff_ms;
+    for (int i = 1; i < failures && ms < cfg.respawn_backoff_max_ms; ++i) {
+      ms *= 2;
+    }
+    return static_cast<int>(
+        std::min<int64_t>(ms, cfg.respawn_backoff_max_ms));
+  }
+
+  void schedule_respawn(WorkerProc& w, bool was_healthy) {
+    w.failures = was_healthy ? 1 : w.failures + 1;
+    w.ever_resolved = true;
+    const int delay = backoff_ms_for(w.failures);
+    w.next_spawn = Clock::now() + std::chrono::milliseconds(delay);
+    w.state = WorkerProc::State::kBackoff;
+    w.pub_backoff_ms.store(delay, std::memory_order_relaxed);
+  }
+
+  /// The worker's process is gone (reaped) or being discarded: fail all
+  /// in-flight requests on it with retryable errors and arm the backoff.
+  void worker_down(WorkerProc& w) {
+    const bool was_healthy =
+        w.state == WorkerProc::State::kReady &&
+        Clock::now() - w.spawned_at >=
+            std::chrono::milliseconds(cfg.healthy_after_ms);
+    w.pid = -1;
+    w.pub_pid.store(-1, std::memory_order_relaxed);
+    w.pub_ready.store(false, std::memory_order_relaxed);
+    up_gauges[w.index]->set(0);
+    fail_links_for_worker(w.index);
+    if (!w.socket_path.empty()) ::unlink(w.socket_path.c_str());
+    schedule_respawn(w, was_healthy);
+  }
+
+  /// Spawn-side failure (fork error, handshake timeout): kill whatever
+  /// half-started and treat as a down worker.
+  void worker_failed(WorkerProc& w) {
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, nullptr, 0);  // prompt: SIGKILL cannot be blocked
+    }
+    worker_down(w);
+  }
+
+  void fail_links_for_worker(size_t index) {
+    for (auto& link : links) {
+      if (link->worker != index || link->dead) continue;
+      link->dead = true;
+      auto reads = std::move(link->reads);
+      link->reads.clear();
+      for (auto& pr : reads) pr.done({}, false);
+    }
+  }
+
+  void reap_workers() {
+    for (auto& wp : workers) {
+      WorkerProc& w = *wp;
+      if (w.pid <= 0) continue;
+      int status = 0;
+      if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+        std::fprintf(stderr,
+                     "[supervisor] shard %zu worker pid %d exited (%s %d); "
+                     "respawning\n",
+                     w.index, static_cast<int>(w.pid),
+                     WIFSIGNALED(status) ? "signal" : "status",
+                     WIFSIGNALED(status) ? WTERMSIG(status)
+                                         : WEXITSTATUS(status));
+        worker_down(w);
+      }
+    }
+  }
+
+  void advance_worker_states(bool allow_spawn) {
+    const auto now = Clock::now();
+    for (auto& wp : workers) {
+      WorkerProc& w = *wp;
+      switch (w.state) {
+        case WorkerProc::State::kDown:
+          if (allow_spawn) spawn(w);
+          break;
+        case WorkerProc::State::kBackoff:
+          if (allow_spawn && now >= w.next_spawn) spawn(w);
+          break;
+        case WorkerProc::State::kConnecting:
+          if (now > w.handshake_deadline) {
+            std::fprintf(stderr,
+                         "[supervisor] shard %zu worker never came up; "
+                         "killing\n",
+                         w.index);
+            worker_failed(w);
+          } else {
+            try_handshake(w);
+          }
+          break;
+        case WorkerProc::State::kHandshaking:
+          if (now > w.handshake_deadline) {
+            std::fprintf(stderr,
+                         "[supervisor] shard %zu handshake timed out; "
+                         "killing\n",
+                         w.index);
+            worker_failed(w);
+          }
+          break;
+        case WorkerProc::State::kReady:
+          break;
+      }
+    }
+  }
+
+  bool accepting() const {
+    // Hold the front door until every worker's first spawn has resolved
+    // (ready, or failed into backoff): a client connecting during the
+    // startup race would see spurious retryable errors.
+    for (const auto& w : workers) {
+      if (!w->ever_resolved) return false;
+    }
+    return true;
+  }
+
+  // ---- routing -------------------------------------------------------------
+
+  std::string retryable_error(const std::string& id, const std::string& cmd,
+                              size_t shard) {
+    retryable_counters[shard]->inc();
+    return "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"" +
+           json_escape(cmd) + "\",\"ok\":false,\"error\":\"shard " +
+           std::to_string(shard) +
+           " worker unavailable (respawning); retry later\","
+           "\"retryable\":true}";
+  }
+
+  /// Home shard for a request line, replicating the session's spec
+  /// resolution (router.cpp spec_for). Anything unparseable routes to
+  /// shard 0, whose worker then produces the canonical error bytes.
+  size_t route_shard(const std::vector<std::string>& tokens) {
+    if (tokens.empty() || !is_engine_verb(tokens[0])) return 0;
+    try {
+      const auto kv = parse_kv(tokens);
+      ModelSpec spec;
+      spec.model = kv_get(kv, "model", "opt-125m-sim");
+      spec.method = parse_quant_spec(kv_get(kv, "quant", "int4"),
+                                     zoo_entry(spec.model).family);
+      spec.train_steps_cap = cfg.router.train_steps_cap;
+      return ring.shard_for(spec.key());
+    } catch (const std::exception&) {
+      return 0;
+    }
+  }
+
+  Link* link_for(ClientConn& c, size_t worker_index) {
+    for (auto& link : links) {
+      if (!link->dead && !link->closing && link->client == &c &&
+          link->worker == worker_index) {
+        return link.get();
+      }
+    }
+    return open_link(worker_index, &c);
+  }
+
+  std::string own_exposition() {
+    obs::Exposition out;
+    registry.expose(out);
+    return out.text();
+  }
+
+  void finalize_metrics(const std::shared_ptr<Slot>& slot) {
+    slot->text = obs::merge_expositions(slot->parts) + "# EOF";
+    slot->http_status = slot->http ? 200 : 0;
+    slot->ready = true;
+  }
+
+  void finalize_stats(const std::shared_ptr<Slot>& slot) {
+    // Reassemble the single-process `stats` shape (router.cpp) from the
+    // per-worker single-shard snapshots: top-level store/engine sums, and
+    // the shards array concatenated with each worker's lone shard entry
+    // renumbered to its ring index.
+    uint64_t hits = 0, misses = 0, builds = 0, evictions = 0, resident = 0,
+             resident_bytes = 0, capacity = 0;
+    uint64_t submitted = 0, completed = 0, failed = 0, pending = 0;
+    std::string id;
+    std::string shards_json;
+    size_t present = 0;
+    for (size_t i = 0; i < slot->parts.size(); ++i) {
+      const std::string& part = slot->parts[i];
+      if (part.empty()) continue;
+      ++present;
+      if (id.empty()) id = find_string(part, "id");
+      capacity += find_u64(part, "capacity");
+      submitted += find_u64(part, "submitted");
+      completed += find_u64(part, "completed");
+      failed += find_u64(part, "failed");
+      const size_t arr = part.find("\"shards\":[");
+      if (arr == std::string::npos) continue;
+      // part ends ...,"shards":[{...}]}
+      std::string inner = part.substr(arr + 10);
+      if (inner.size() >= 2 && inner.compare(inner.size() - 2, 2, "]}") == 0) {
+        inner.resize(inner.size() - 2);
+      }
+      hits += find_u64(inner, "hits");
+      misses += find_u64(inner, "misses");
+      builds += find_u64(inner, "builds");
+      evictions += find_u64(inner, "evictions");
+      resident += find_u64(inner, "resident");
+      resident_bytes += find_u64(inner, "resident_bytes");
+      pending += find_u64(inner, "pending");
+      const std::string tag = "\"shard\":0";
+      const size_t at = inner.find(tag);
+      if (at != std::string::npos) {
+        inner = inner.substr(0, at) + "\"shard\":" + std::to_string(i) +
+                inner.substr(at + tag.size());
+      }
+      if (!shards_json.empty()) shards_json += ",";
+      shards_json += inner;
+    }
+    if (present == 0) {
+      slot->text = error_json(slot->id, "stats",
+                              "no shard workers available; retry later");
+      slot->text.insert(slot->text.size() - 1, ",\"retryable\":true");
+      slot->ready = true;
+      return;
+    }
+    slot->text =
+        "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"stats\",\"ok\":true," +
+        "\"store\":{\"hits\":" + std::to_string(hits) +
+        ",\"misses\":" + std::to_string(misses) +
+        ",\"builds\":" + std::to_string(builds) +
+        ",\"evictions\":" + std::to_string(evictions) +
+        ",\"resident\":" + std::to_string(resident) +
+        ",\"resident_bytes\":" + std::to_string(resident_bytes) +
+        ",\"capacity\":" + std::to_string(capacity) + "}," +
+        "\"engine\":{\"submitted\":" + std::to_string(submitted) +
+        ",\"completed\":" + std::to_string(completed) +
+        ",\"failed\":" + std::to_string(failed) +
+        ",\"pending\":" + std::to_string(pending) + "}," +
+        "\"shards\":[" + shards_json + "]}";
+    slot->ready = true;
+  }
+
+  void route_line(ClientConn& c, const std::string& line) {
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') return;  // no response
+    const std::string& cmd = tokens[0];
+
+    auto slot = std::make_shared<Slot>();
+    slot->cmd = cmd;
+    for (const auto& t : tokens) {
+      if (t.rfind("id=", 0) == 0) slot->id = t.substr(3);
+    }
+    c.slots.push_back(slot);
+
+    if (cmd == "quit") {
+      c.quitting = true;
+      slot->is_quit = true;
+      for (auto& link : links) {
+        if (link->dead || link->closing || link->client != &c) continue;
+        link->out += "quit\n";
+        link->closing = true;  // close once the quit response arrives
+        ++slot->awaiting;
+        link->reads.push_back(PendingRead{
+            false, [slot](std::vector<std::string>&& lines, bool ok) {
+              if (ok && !lines.empty()) {
+                slot->served += find_u64(lines[0], "served");
+              }
+              if (--slot->awaiting == 0) {
+                slot->text = "{\"cmd\":\"quit\",\"ok\":true,\"served\":" +
+                             std::to_string(slot->served) + "}";
+                slot->ready = true;
+              }
+            }});
+      }
+      if (slot->awaiting == 0) {
+        slot->text = "{\"cmd\":\"quit\",\"ok\":true,\"served\":0}";
+        slot->ready = true;
+      }
+      return;
+    }
+
+    if (cmd == "metrics") {
+      start_metrics(c, slot);
+      return;
+    }
+
+    if (cmd == "stats") {
+      start_stats(c, slot, line);
+      return;
+    }
+
+    // Engine verbs, unknown commands, malformed lines: one owning worker
+    // (shard 0 for anything unroutable) produces the canonical response.
+    const size_t shard = route_shard(tokens);
+    slot->shard = shard;
+    forward_to_worker(c, slot, shard, line);
+  }
+
+  void forward_to_worker(ClientConn& c, const std::shared_ptr<Slot>& slot,
+                         size_t shard, const std::string& line) {
+    WorkerProc& w = *workers[shard];
+    Link* link = (w.state == WorkerProc::State::kReady)
+                     ? link_for(c, shard)
+                     : nullptr;
+    if (link == nullptr) {
+      slot->text = retryable_error(slot->id, slot->cmd, shard);
+      slot->ready = true;
+      return;
+    }
+    link->out += line;
+    link->out += '\n';
+    link->reads.push_back(PendingRead{
+        false, [this, slot, shard](std::vector<std::string>&& lines, bool ok) {
+          slot->text = ok && !lines.empty()
+                           ? lines[0]
+                           : retryable_error(slot->id, slot->cmd, shard);
+          slot->ready = true;
+        }});
+  }
+
+  void start_metrics(ClientConn& c, const std::shared_ptr<Slot>& slot) {
+    // parts[0] = the supervisor's own series; parts[1+i] = worker i.
+    slot->parts.assign(workers.size() + 1, "");
+    slot->parts[0] = own_exposition();
+    for (size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i]->state != WorkerProc::State::kReady) continue;
+      Link* link = link_for(c, i);
+      if (link == nullptr) continue;
+      link->out += "metrics\n";
+      ++slot->awaiting;
+      link->reads.push_back(PendingRead{
+          true, [this, slot, i](std::vector<std::string>&& lines, bool ok) {
+            if (ok) {
+              std::string part;
+              for (const auto& l : lines) {
+                part += l;
+                part += '\n';
+              }
+              slot->parts[1 + i] = std::move(part);
+            }
+            if (--slot->awaiting == 0) finalize_metrics(slot);
+          }});
+    }
+    if (slot->awaiting == 0) finalize_metrics(slot);
+  }
+
+  void start_stats(ClientConn& c, const std::shared_ptr<Slot>& slot,
+                   const std::string& line) {
+    slot->parts.assign(workers.size(), "");
+    for (size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i]->state != WorkerProc::State::kReady) continue;
+      Link* link = link_for(c, i);
+      if (link == nullptr) continue;
+      link->out += line;
+      link->out += '\n';
+      ++slot->awaiting;
+      link->reads.push_back(PendingRead{
+          false, [this, slot, i](std::vector<std::string>&& lines, bool ok) {
+            if (ok && !lines.empty()) slot->parts[i] = std::move(lines[0]);
+            if (--slot->awaiting == 0) finalize_stats(slot);
+          }});
+    }
+    if (slot->awaiting == 0) finalize_stats(slot);
+  }
+
+  // ---- HTTP ----------------------------------------------------------------
+
+  void local_http_slot(ClientConn& c, int status, const std::string& body,
+                       bool close_conn) {
+    auto slot = std::make_shared<Slot>();
+    slot->http = true;
+    slot->http_status = status;
+    slot->text = body;
+    slot->http_close = close_conn;
+    slot->ready = true;
+    c.slots.push_back(slot);
+  }
+
+  /// docs/PROTOCOL.md §8: required-parameter table, enforced before
+  /// forwarding so a missing parameter maps to 400 (the worker would
+  /// report it as a runtime ok:false line, which must stay 200).
+  static const char* missing_required(const std::string& verb,
+                                      const std::map<std::string, std::string>& kv) {
+    auto need = [&kv](const char* key) -> const char* {
+      return kv.count(key) ? nullptr : key;
+    };
+    if (verb == "extract") {
+      if (const char* k = need("codes")) return k;
+      if (const char* k = need("record")) return k;
+    } else if (verb == "verify") {
+      if (const char* k = need("codes")) return k;
+      if (const char* k = need("evidence")) return k;
+    } else if (verb == "trace") {
+      if (const char* k = need("codes")) return k;
+      if (const char* k = need("set")) return k;
+    }
+    return nullptr;
+  }
+
+  void handle_http_request(ClientConn& c, const HttpRequest& req) {
+    if (req.method == "GET" && req.target == "/metrics") {
+      auto slot = std::make_shared<Slot>();
+      slot->http = true;
+      slot->cmd = "metrics";
+      slot->content_type = "text/plain; version=0.0.4; charset=utf-8";
+      slot->http_close = req.close;
+      c.slots.push_back(slot);
+      start_metrics(c, slot);
+      return;
+    }
+
+    if (req.method == "POST" && req.target.rfind("/v1/", 0) == 0) {
+      const std::string verb = req.target.substr(4);
+      if (!is_engine_verb(verb) && verb != "stats") {
+        local_http_slot(c, 404,
+                        error_json("", verb, "unknown verb: " + verb +
+                                                 " (known: insert extract "
+                                                 "verify trace stats)"),
+                        req.close);
+        return;
+      }
+      if (req.body.find('\n') != std::string::npos ||
+          req.body.find('\r') != std::string::npos) {
+        local_http_slot(c, 400,
+                        error_json("", verb, "body must be a single line of "
+                                             "key=value parameters"),
+                        req.close);
+        return;
+      }
+      std::string line = verb;
+      if (!req.body.empty()) line += " " + req.body;
+      const auto tokens = tokenize(line);
+      std::string id;
+      for (const auto& t : tokens) {
+        if (t.rfind("id=", 0) == 0) id = t.substr(3);
+      }
+      // Parse errors map to 400 here instead of being forwarded: HTTP
+      // callers get status-code semantics, line callers get the worker's
+      // canonical error line.
+      try {
+        const auto kv = parse_kv(tokens);
+        if (is_engine_verb(verb)) {
+          ModelSpec spec;
+          spec.model = kv_get(kv, "model", "opt-125m-sim");
+          spec.method = parse_quant_spec(kv_get(kv, "quant", "int4"),
+                                         zoo_entry(spec.model).family);
+          if (const char* key = missing_required(verb, kv)) {
+            local_http_slot(
+                c, 400,
+                error_json(id, verb, "missing parameter: " + std::string(key)),
+                req.close);
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        local_http_slot(c, 400, error_json(id, verb, e.what()), req.close);
+        return;
+      }
+
+      auto slot = std::make_shared<Slot>();
+      slot->http = true;
+      slot->http_close = req.close;
+      slot->cmd = verb;
+      slot->id = id;
+      c.slots.push_back(slot);
+      if (verb == "stats") {
+        start_stats(c, slot, line);
+      } else {
+        const size_t shard = route_shard(tokens);
+        slot->shard = shard;
+        forward_to_worker(c, slot, shard, line);
+      }
+      return;
+    }
+
+    local_http_slot(
+        c, 404,
+        error_json("", "", "not found: " + req.method + " " + req.target),
+        req.close);
+  }
+
+  // ---- client IO -----------------------------------------------------------
+
+  void process_client_input(ClientConn& c) {
+    if (c.mode == ClientConn::Mode::kUnknown) {
+      switch (sniff_transport(c.in)) {
+        case TransportSniff::kUndecided:
+          if (c.input_eof) c.mode = ClientConn::Mode::kLine;  // short EOF
+          else return;
+          break;
+        case TransportSniff::kHttp:
+          c.mode = ClientConn::Mode::kHttp;
+          break;
+        case TransportSniff::kLine:
+          c.mode = ClientConn::Mode::kLine;
+          break;
+      }
+    }
+
+    if (c.mode == ClientConn::Mode::kLine) {
+      while (!c.quitting && c.slots.size() < cfg.max_inflight_per_conn) {
+        const size_t nl = c.in.find('\n');
+        std::string line;
+        if (nl == std::string::npos) {
+          if (!c.input_eof || c.in.empty()) break;
+          line = std::move(c.in);  // unterminated trailing line at EOF
+          c.in.clear();
+        } else {
+          line = c.in.substr(0, nl);
+          c.in.erase(0, nl + 1);
+        }
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        route_line(c, line);
+      }
+      if (c.quitting) c.in.clear();
+      return;
+    }
+
+    while (!c.close_after_flush && c.slots.size() < cfg.max_inflight_per_conn) {
+      HttpRequest req;
+      std::string error;
+      const auto status = c.http.parse(c.in, req, &error);
+      if (status == HttpParser::Status::kNeedMore) break;
+      if (status == HttpParser::Status::kError) {
+        local_http_slot(c, 400, error_json("", "", error), /*close=*/true);
+        c.input_eof = true;  // stop reading a stream we cannot frame
+        break;
+      }
+      handle_http_request(c, req);
+    }
+  }
+
+  bool read_client(ClientConn& c) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        c.in.append(chunk, static_cast<size_t>(n));
+        if (c.mode != ClientConn::Mode::kHttp &&
+            c.in.size() > kMaxLineBytes &&
+            c.in.find('\n') == std::string::npos) {
+          return false;  // oversized line: drop, as net/conn.cpp does
+        }
+        if (c.slots.size() >= cfg.max_inflight_per_conn) break;
+        continue;
+      }
+      if (n == 0) {
+        c.input_eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    process_client_input(c);
+    return true;
+  }
+
+  bool flush_client(ClientConn& c) {
+    while (!c.out.empty()) {
+      const ssize_t n = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void pump_client(ClientConn& c) {
+    while (!c.slots.empty() && c.slots.front()->ready) {
+      const auto slot = c.slots.front();
+      c.slots.pop_front();
+      if (c.mode == ClientConn::Mode::kHttp) {
+        int status = slot->http_status;
+        if (status == 0) {
+          const bool unavailable =
+              slot->text.find("\"shed\":true") != std::string::npos ||
+              slot->text.find("\"retryable\":true") != std::string::npos;
+          status = unavailable ? 503 : 200;
+        }
+        c.out += http_response(status, slot->content_type, slot->text + "\n",
+                               /*keep_alive=*/!slot->http_close);
+        if (slot->http_close) c.close_after_flush = true;
+      } else {
+        c.out += slot->text;
+        c.out += '\n';
+        if (slot->is_quit) c.close_after_flush = true;
+      }
+    }
+    // A flush may have freed in-flight slots for buffered input.
+    if (!c.in.empty() || c.input_eof) process_client_input(c);
+  }
+
+  void drop_client(ClientConn* c) {
+    for (auto& link : links) {
+      if (link->client == c && !link->dead) {
+        link->dead = true;
+        link->reads.clear();  // responses for a vanished client: discard
+      }
+    }
+    if (c->fd >= 0) ::close(c->fd);
+  }
+
+  bool client_finished(const ClientConn& c) {
+    if (c.close_after_flush && c.out.empty()) return true;
+    return c.input_eof && c.in.empty() && c.slots.empty() && c.out.empty();
+  }
+
+  // ---- link IO -------------------------------------------------------------
+
+  void link_consume(Link& link) {
+    while (!link.reads.empty()) {
+      const size_t nl = link.in.find('\n');
+      if (nl == std::string::npos) return;
+      std::string line = link.in.substr(0, nl);
+      link.in.erase(0, nl + 1);
+      PendingRead& pr = link.reads.front();
+      if (pr.until_eof) {
+        link.multi.push_back(std::move(line));
+        if (link.multi.back() != "# EOF") continue;
+        auto done = std::move(pr.done);
+        auto lines = std::move(link.multi);
+        link.multi.clear();
+        link.reads.pop_front();
+        done(std::move(lines), true);
+      } else {
+        auto done = std::move(pr.done);
+        link.reads.pop_front();
+        done({std::move(line)}, true);
+      }
+    }
+  }
+
+  bool read_link(Link& link) {
+    char chunk[8192];
+    for (;;) {
+      const ssize_t n = ::recv(link.fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        link.in.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        // A worker never half-closes a live conversation: EOF here means
+        // the process died (reaped next cycle) or finished its quit.
+        link_consume(link);
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    link_consume(link);
+    return true;
+  }
+
+  bool flush_link(Link& link) {
+    while (!link.out.empty()) {
+      const ssize_t n =
+          ::send(link.fd, link.out.data(), link.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        link.out.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void fail_link(Link& link) {
+    if (link.dead) return;
+    link.dead = true;
+    auto reads = std::move(link.reads);
+    link.reads.clear();
+    for (auto& pr : reads) pr.done({}, false);
+  }
+
+  // ---- main loop -----------------------------------------------------------
+
+  void accept_clients() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      set_nonblocking(fd);
+      set_cloexec(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto client = std::make_unique<ClientConn>();
+      client->fd = fd;
+      clients.push_back(std::move(client));
+      accepted_counter->inc();
+    }
+    connections_gauge->set(static_cast<int64_t>(clients.size()));
+  }
+
+  void one_cycle(bool allow_accept, bool allow_spawn) {
+    reap_workers();
+    advance_worker_states(allow_spawn);
+
+    struct Ref {
+      enum class Kind { kListen, kClient, kLink } kind;
+      void* ptr;
+    };
+    std::vector<struct pollfd> fds;
+    std::vector<Ref> refs;
+    if (allow_accept && accepting()) {
+      fds.push_back({listen_fd, POLLIN, 0});
+      refs.push_back({Ref::Kind::kListen, nullptr});
+    }
+    for (auto& c : clients) {
+      short events = 0;
+      if (!c->input_eof && !c->quitting &&
+          c->slots.size() < cfg.max_inflight_per_conn) {
+        events |= POLLIN;
+      }
+      if (!c->out.empty()) events |= POLLOUT;
+      fds.push_back({c->fd, events, 0});
+      refs.push_back({Ref::Kind::kClient, c.get()});
+    }
+    for (auto& l : links) {
+      if (l->dead) continue;
+      short events = POLLIN;
+      if (!l->out.empty()) events |= POLLOUT;
+      fds.push_back({l->fd, events, 0});
+      refs.push_back({Ref::Kind::kLink, l.get()});
+    }
+
+    const int rc =
+        ::poll(fds.data(), fds.size(), cfg.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) return;
+
+    for (size_t i = 0; i < fds.size(); ++i) {
+      const short revents = fds[i].revents;
+      if (revents == 0) continue;
+      switch (refs[i].kind) {
+        case Ref::Kind::kListen:
+          if (revents & POLLIN) accept_clients();
+          break;
+        case Ref::Kind::kClient: {
+          auto* c = static_cast<ClientConn*>(refs[i].ptr);
+          if ((revents & (POLLIN | POLLHUP | POLLERR)) && !read_client(*c)) {
+            c->dead = true;
+          } else if ((revents & POLLOUT) && !flush_client(*c)) {
+            c->dead = true;
+          }
+          break;
+        }
+        case Ref::Kind::kLink: {
+          auto* l = static_cast<Link*>(refs[i].ptr);
+          if ((revents & (POLLIN | POLLHUP | POLLERR)) && !read_link(*l)) {
+            fail_link(*l);
+          } else if ((revents & POLLOUT) && !flush_link(*l)) {
+            fail_link(*l);
+          }
+          break;
+        }
+      }
+    }
+
+    // Opportunistic link writes (freshly enqueued requests should not
+    // wait a poll interval), then drain finished links.
+    for (auto& l : links) {
+      if (!l->dead && !l->out.empty() && !flush_link(*l)) fail_link(*l);
+    }
+    links.erase(std::remove_if(links.begin(), links.end(),
+                               [](const std::unique_ptr<Link>& l) {
+                                 if (l->dead ||
+                                     (l->closing && l->reads.empty())) {
+                                   if (l->fd >= 0) ::close(l->fd);
+                                   return true;
+                                 }
+                                 return false;
+                               }),
+                links.end());
+
+    // Flush ready responses and sweep finished/dead clients.
+    for (auto& c : clients) {
+      if (c->dead) continue;
+      pump_client(*c);
+      if (!c->out.empty() && !flush_client(*c)) c->dead = true;
+    }
+    clients.erase(
+        std::remove_if(clients.begin(), clients.end(),
+                       [this](const std::unique_ptr<ClientConn>& c) {
+                         if (c->dead || client_finished(*c)) {
+                           drop_client(c.get());
+                           return true;
+                         }
+                         return false;
+                       }),
+        clients.end());
+    connections_gauge->set(static_cast<int64_t>(clients.size()));
+
+    // Requests enqueued by the pump pass (links opened or written above)
+    // go on the wire now instead of waiting out a poll interval.
+    for (auto& l : links) {
+      if (!l->dead && !l->out.empty() && !flush_link(*l)) fail_link(*l);
+    }
+  }
+
+  int run() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      one_cycle(/*allow_accept=*/true, /*allow_spawn=*/true);
+    }
+
+    // Graceful shutdown: close the door, drain live clients within the
+    // grace budget (no respawns -- a worker dying now just fails its
+    // remaining requests retryable), then terminate workers.
+    ::close(listen_fd);
+    listen_fd = -1;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(cfg.shutdown_grace_ms);
+    auto draining = [this] {
+      for (const auto& c : clients) {
+        if (!c->slots.empty() || !c->out.empty()) return true;
+      }
+      return false;
+    };
+    while (draining() && Clock::now() < deadline) {
+      one_cycle(/*allow_accept=*/false, /*allow_spawn=*/false);
+    }
+    for (auto& c : clients) drop_client(c.get());
+    clients.clear();
+
+    for (auto& w : workers) {
+      if (w->pid > 0) ::kill(w->pid, SIGTERM);
+    }
+    const auto kill_deadline = Clock::now() + std::chrono::seconds(5);
+    for (auto& w : workers) {
+      while (w->pid > 0) {
+        if (::waitpid(w->pid, nullptr, WNOHANG) == w->pid) {
+          w->pid = -1;
+          w->pub_pid.store(-1, std::memory_order_relaxed);
+          break;
+        }
+        if (Clock::now() >= kill_deadline) {
+          ::kill(w->pid, SIGKILL);
+          ::waitpid(w->pid, nullptr, 0);
+          w->pid = -1;
+          w->pub_pid.store(-1, std::memory_order_relaxed);
+          break;
+        }
+        struct timespec ts = {0, 10 * 1000 * 1000};
+        ::nanosleep(&ts, nullptr);
+      }
+      w->pub_ready.store(false, std::memory_order_relaxed);
+      if (!w->socket_path.empty()) ::unlink(w->socket_path.c_str());
+    }
+    for (auto& l : links) {
+      if (l->fd >= 0) ::close(l->fd);
+    }
+    links.clear();
+    if (own_socket_dir) {
+      std::error_code ec;
+      std::filesystem::remove_all(socket_dir, ec);
+    }
+    return 0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+Supervisor::Supervisor(SupervisorConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+Supervisor::~Supervisor() = default;
+
+uint16_t Supervisor::port() const { return impl_->port; }
+
+int Supervisor::run() { return impl_->run(); }
+
+void Supervisor::request_stop() {
+  impl_->stop.store(true, std::memory_order_relaxed);
+}
+
+size_t Supervisor::workers() const { return impl_->workers.size(); }
+
+pid_t Supervisor::worker_pid(size_t shard) const {
+  return impl_->workers[shard]->pub_pid.load(std::memory_order_relaxed);
+}
+
+bool Supervisor::worker_ready(size_t shard) const {
+  return impl_->workers[shard]->pub_ready.load(std::memory_order_relaxed);
+}
+
+uint64_t Supervisor::worker_respawns(size_t shard) const {
+  return impl_->workers[shard]->pub_respawns.load(std::memory_order_relaxed);
+}
+
+int Supervisor::worker_backoff_ms(size_t shard) const {
+  return impl_->workers[shard]->pub_backoff_ms.load(std::memory_order_relaxed);
+}
+
+}  // namespace emmark

@@ -1,0 +1,35 @@
+// Cross-process Prometheus exposition merge.
+//
+// The supervisor (src/net/supervisor.h) scrapes each shard worker's
+// `metrics` verb and must present the fleet as a single exposition: one
+// `# HELP`/`# TYPE` header per family, every worker's series under it,
+// and series that appear in more than one worker (the shard-merged
+// histograms each worker renders without shard labels, e.g.
+// `emmark_engine_queue_wait_seconds_bucket`) summed by plain addition --
+// the property the fixed log2 histogram buckets were designed for
+// (docs/ARCHITECTURE.md §8).
+//
+// The merge is purely textual so it needs no shared registry across
+// processes: families keep first-seen order across the input parts,
+// samples keep first-seen order within their family, and a series that
+// occurs in exactly one part is passed through byte-for-byte (summing
+// only happens on genuine collisions, so single-owner series -- the
+// common case, thanks to per-shard labels -- are never reformatted).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emmark::obs {
+
+/// Merges Prometheus text expositions. Each part is exposition text
+/// (`# HELP`/`# TYPE` headers, sample lines); `# EOF` terminator lines
+/// and blank lines are skipped. Returns the merged exposition with every
+/// line newline-terminated and no terminator appended (callers frame it
+/// per their transport). Colliding series (same name and label set in
+/// multiple parts) are summed: integer-valued collisions stay integers,
+/// anything else is summed as double and rendered with the same `%.10g`
+/// format the registry's own exposition uses.
+std::string merge_expositions(const std::vector<std::string>& parts);
+
+}  // namespace emmark::obs
