@@ -213,15 +213,30 @@ int main(int argc, char** argv) {
   {
     ThreadPool pool(1);
     ThreadPool::ScopedOverride over(pool);
-    for (kernels::Level level : kernels::supported_levels()) {
-      kernels::ScopedLevelOverride kernel(level);
-      Cell cell;
-      if (!run_cell(std::string("kernel level ") + kernels::to_string(level),
-                    cell)) {
-        return 1;
+    // Two timing windows per level, min-merged: these per-level ratios
+    // feed bench_baseline.sh --compare's regression gate, and on shared
+    // hosts scheduler-noise bursts span whole best-of windows -- a burst
+    // inside a single window would skew the stored scalar/SIMD ratio.
+    for (int pass = 0; pass < 2; ++pass) {
+      size_t idx = 0;
+      for (kernels::Level level : kernels::supported_levels()) {
+        kernels::ScopedLevelOverride kernel(level);
+        Cell cell;
+        if (!run_cell(std::string("kernel level ") + kernels::to_string(level),
+                      cell)) {
+          return 1;
+        }
+        if (pass == 0) {
+          kernel_rows.push_back({level, cell.derive_ms, cell.extract_ms,
+                                 cell.score_ms});
+        } else {
+          KernelRow& row = kernel_rows[idx];
+          row.derive_ms = std::min(row.derive_ms, cell.derive_ms);
+          row.extract_ms = std::min(row.extract_ms, cell.extract_ms);
+          row.score_ms = std::min(row.score_ms, cell.score_ms);
+        }
+        ++idx;
       }
-      kernel_rows.push_back({level, cell.derive_ms, cell.extract_ms,
-                             cell.score_ms});
     }
   }
 

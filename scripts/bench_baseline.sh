@@ -2,13 +2,13 @@
 # Perf baseline: run the watermark hot-path bench, the eval-path kernel
 # bench, and the serving-stack smoke bench, then assemble one JSON
 # document (machine info, kernel dispatch level, per-phase timings in
-# both ms and ns) for the repo's bench trajectory. BENCH_8.json at the
+# both ms and ns) for the repo's bench trajectory. BENCH_10.json at the
 # repo root is a committed snapshot produced by this script; CI
 # regenerates a fresh one per run and uploads it as an artifact so the
 # trajectory has points per machine.
 #
 # Usage:
-#   scripts/bench_baseline.sh                     # full run -> BENCH_8.json
+#   scripts/bench_baseline.sh                     # full run -> BENCH_10.json
 #   scripts/bench_baseline.sh --quick             # small model, few repeats (CI)
 #   scripts/bench_baseline.sh --out PATH          # custom output path
 #   scripts/bench_baseline.sh --build-dir DIR     # custom build tree (default: build)
@@ -16,7 +16,7 @@
 #                                                 # (one bench_parallel_wm JSON line)
 #                                                 # and compute speedups against it
 #   scripts/bench_baseline.sh --compare FILE      # diff the fresh run against a
-#                                                 # committed baseline (BENCH_8.json);
+#                                                 # committed baseline (BENCH_10.json);
 #                                                 # exit 1 on a >15% regression in a
 #                                                 # comparable pinned phase
 set -euo pipefail
@@ -24,7 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=BENCH_8.json
+OUT=BENCH_10.json
 MODEL=""
 REPEATS=5
 QUICK=0
@@ -142,7 +142,7 @@ def phases(row):
 eval_best = min(eval_path["kernels"], key=lambda r: r["gemm_ms"])
 
 doc = {
-    "bench_baseline_version": 8,
+    "bench_baseline_version": 10,
     "machine": {
         "os": f"{platform.system()} {platform.release()}",
         "arch": platform.machine(),
@@ -168,6 +168,10 @@ doc = {
                 phase: round(eval_best[f"{phase}_speedup"], 3)
                 for phase in ("gemm", "dequant", "dct", "ppl")
             },
+            # Batched-eval + packed-int4 phases run at the default kernel
+            # level; the gate below pins on kernel_level matching.
+            "packed_int4_speedup": round(eval_path["packed_int4"]["speedup"], 3),
+            "batched_eval_speedup": round(eval_path["batched_eval"]["speedup"], 3),
         },
     },
     "parallel_wm": wm,
@@ -303,6 +307,30 @@ if "eval_path" in fresh and "eval_path" in base:
     else:
         print("[bench_compare] eval-path model or kernel level differs; "
               "skipping eval-path checks")
+
+    # Batched-eval and packed-int4 phases (this PR's additions) run at the
+    # default dispatch level, so they are only comparable when both runs
+    # dispatched the same level. Speedups are self-normalizing ratios;
+    # absolute timings additionally need the same CPU and problem size.
+    same_level = fresh["kernel_level"] == base["kernel_level"]
+    if ("packed_int4" in fe and "packed_int4" in be and same_level
+            and fe.get("quick") == be.get("quick")):
+        check("eval.packed_int4_speedup",
+              be["packed_int4"]["speedup"], fe["packed_int4"]["speedup"],
+              higher_is_better=True)
+        check("eval.batched_eval_speedup",
+              be["batched_eval"]["speedup"], fe["batched_eval"]["speedup"],
+              higher_is_better=True)
+        if same_cpu:
+            check("eval.packed_int4.packed_ms",
+                  be["packed_int4"]["packed_ms"], fe["packed_int4"]["packed_ms"],
+                  higher_is_better=False, tolerance=ABS_TOLERANCE)
+            check("eval.batched_eval.merged_ms",
+                  be["batched_eval"]["merged_ms"], fe["batched_eval"]["merged_ms"],
+                  higher_is_better=False, tolerance=ABS_TOLERANCE)
+    elif "packed_int4" in be:
+        print("[bench_compare] kernel level or problem size differs; "
+              "skipping packed-int4/batched-eval checks")
 else:
     print("[bench_compare] baseline predates the eval-path bench; "
           "skipping eval-path checks")

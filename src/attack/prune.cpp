@@ -22,11 +22,12 @@ void prune_attack(QuantizedModel& model, const PruneConfig& config) {
         std::round(config.fraction * static_cast<double>(n)));
     if (prune_count <= 0) return;
 
+    // One mutable unpacked view serves both the selection scan and the
+    // zero writes; int4 storage repacks when the guard dies.
+    QuantizedTensor::CodesMut codes = weights.codes_mut();
     const std::vector<int64_t> victims = kernels::smallest_k_by_abs_code(
-        weights.code_data(), static_cast<size_t>(n),
-        static_cast<size_t>(prune_count));
-    int8_t* codes = weights.code_data_mut();
-    for (const int64_t flat : victims) codes[flat] = 0;
+        codes.data(), static_cast<size_t>(n), static_cast<size_t>(prune_count));
+    for (const int64_t flat : victims) codes.data()[flat] = 0;
   });
 }
 

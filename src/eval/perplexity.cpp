@@ -6,11 +6,44 @@
 
 namespace emmark {
 
+namespace {
+
+// Greedily merges consecutive equal-seq_len tiles into one Batch while the
+// merged token count stays within `max_tokens` (a merge always keeps at
+// least one tile, so a cap smaller than one window still evaluates).
+// Single-tile runs are moved through untouched -- no token copies.
+std::vector<Batch> merge_eval_batches(std::vector<Batch> tiles,
+                                      int64_t max_tokens) {
+  if (max_tokens <= 0) return tiles;
+  std::vector<Batch> merged;
+  for (size_t i = 0; i < tiles.size();) {
+    Batch run = std::move(tiles[i]);
+    size_t j = i + 1;
+    while (j < tiles.size() && tiles[j].seq_len == run.seq_len &&
+           (run.batch_size + tiles[j].batch_size) * run.seq_len <= max_tokens) {
+      const Batch& next = tiles[j];
+      run.batch_size += next.batch_size;
+      run.inputs.insert(run.inputs.end(), next.inputs.begin(), next.inputs.end());
+      run.targets.insert(run.targets.end(), next.targets.begin(),
+                         next.targets.end());
+      ++j;
+    }
+    merged.push_back(std::move(run));
+    i = j;
+  }
+  return merged;
+}
+
+}  // namespace
+
 double perplexity(TransformerLM& model, const std::vector<TokenId>& stream,
                   const PplConfig& config) {
   double nll_sum = 0.0;
   int64_t tokens = 0;
-  for (const Batch& batch : tile_eval_batches(stream, config.batch_size, config.seq_len)) {
+  const std::vector<Batch> batches =
+      merge_eval_batches(tile_eval_batches(stream, config.batch_size, config.seq_len),
+                         config.max_tokens_per_forward);
+  for (const Batch& batch : batches) {
     const LossStats stats = model.forward_loss(batch);
     nll_sum += stats.nll_sum;
     tokens += stats.tokens;

@@ -12,6 +12,18 @@ namespace emmark {
 struct PplConfig {
   int64_t batch_size = 8;
   int64_t seq_len = 32;
+  // Consecutive eval windows are merged into one forward pass until the
+  // activation matrix reaches this many tokens (rows * seq_len), so every
+  // per-layer weight-panel pack is amortized across the whole batch instead
+  // of being redone per window. 0 disables merging (one forward per tiled
+  // batch, the pre-batching behavior). Merging never changes the result:
+  // forward_loss sums NLL over rows independently, so the partition of
+  // windows into forward calls is invisible in the returned perplexity.
+  // Default 1024: swept end-to-end on the zoo sim models -- batch-1
+  // streaming callers gain ~2x (panel packs amortize over 32 windows'
+  // rows instead of one), while larger merges start spilling the merged
+  // activations and attention probs out of L2 and give the win back.
+  int64_t max_tokens_per_forward = 1024;
 };
 
 /// Exact token-level perplexity of `model` over `stream`:

@@ -5,9 +5,11 @@
 // at extraction (count_matches), and the Eq. 5 stamp (stamp). On top of
 // them sit the threshold scans (collect_le_*) that power the two-pass
 // candidate selection in src/kernels/select.h, and the eval-path
-// microkernels: axpy_f32 (the one inner loop every blocked GEMM layout in
-// src/tensor/gemm.cpp reduces to), dequant_span_f32 (int8 codes x group
-// scale -> fp32, feeding both QuantizedTensor::dequantize and the fused
+// microkernels: axpy_f32 / gemm_panel_f32 (the inner loops every blocked
+// GEMM layout in src/tensor/gemm.cpp reduces to -- gemm_panel_f32 is the
+// register-tiled K-panel sweep the drivers now prefer), dequant_span_f32
+// and dequant_packed_span_f32 (int8 / packed-int4 codes x group scale ->
+// fp32, feeding both QuantizedTensor::dequantize and the fused
 // dequant-GEMM), and axpy_f64 (the DCT-II/III accumulate in
 // src/signal/dct.cpp). Each op exists at up to five dispatch levels --
 // scalar, SSE2, AVX2, NEON, AVX-512 -- selected once per process by
@@ -66,6 +68,49 @@ Level default_level();
 /// The level kernel callers should use: the innermost ScopedLevelOverride
 /// if one is active, otherwise default_level().
 Level active_level();
+
+/// EMMARK_GEMM_PREFETCH knob (default on; "0" disables): when set, the
+/// vector gemm_panel_f32 levels and the panel packers issue software
+/// prefetches for the next panel row / next weight row. Prefetch never
+/// changes results, only cache timing, so it needs no bit-identity lane
+/// of its own. Resolved once and cached.
+bool gemm_prefetch_enabled();
+
+// --- packed-int4 nibble codec ------------------------------------------------
+//
+// QuantBits::kInt4 tensors store two codes per byte: the EVEN column in the
+// low nibble, the ODD column in the high nibble, row stride (cols + 1) / 2
+// bytes (an odd-cols row leaves its final high nibble zero). These three
+// helpers are the single definition of that layout; QuantizedTensor and the
+// per-ISA dequant_packed_span_f32 kernels both build on them. The int4 grid
+// is [-7, 7], so the 4-bit two's-complement nibble round-trips every legal
+// code exactly.
+
+/// Low-nibble (even column) code of a packed byte, sign-extended from 4 bits.
+inline int8_t int4_unpack_lo(uint8_t byte) {
+  return static_cast<int8_t>(static_cast<int8_t>(static_cast<uint8_t>(byte << 4)) >> 4);
+}
+
+/// High-nibble (odd column) code of a packed byte, sign-extended from 4 bits.
+inline int8_t int4_unpack_hi(uint8_t byte) {
+  return static_cast<int8_t>(static_cast<int8_t>(byte) >> 4);
+}
+
+/// Packs two int4-grid codes into one byte (lo = even column, hi = odd).
+inline uint8_t int4_pack(int8_t lo, int8_t hi) {
+  return static_cast<uint8_t>((static_cast<uint8_t>(lo) & 0x0F) |
+                              (static_cast<uint8_t>(hi) << 4));
+}
+
+/// Bytes one packed int4 row occupies: two codes per byte, odd tail padded.
+inline int64_t int4_row_bytes(int64_t cols) { return (cols + 1) / 2; }
+
+/// gemm_panel_f32 flag bit: the caller is writing the final K-panel of a
+/// large C tile, so a level MAY use streaming (non-temporal) stores for
+/// aligned full-width output blocks. The stored bits are identical either
+/// way -- the flag is purely a cache-management hint -- and levels without
+/// NT stores (scalar, NEON) ignore it.
+inline constexpr uint32_t kGemmFlagNtStore = 1u << 0;
 
 /// Per-call context for the Eq. 2-4 scoring sweep over one row.
 struct ScoreArgs {
@@ -141,6 +186,32 @@ struct Ops {
   /// is bit-identical to materialize-then-multiply.
   void (*dequant_span_f32)(const int8_t* codes, float scale,
                            const float* input_scale, float* out, int64_t n);
+
+  /// GEMM panel microkernel: for j in [0, jb)
+  ///   dst[j] += sum over p in [0, pb) ascending of
+  ///             x[p * x_stride] * panel[p * panel_stride + j].
+  /// This is the axpy sweep over one K-panel with dst kept in registers:
+  /// each dst[j] is loaded once, accumulated in strict ascending-p order
+  /// (the same per-output summation order as pb back-to-back axpy_f32
+  /// calls, hence bit-identical to them), and stored once -- instead of a
+  /// load/store round trip per K step. Same FMA prohibition as axpy_f32:
+  /// one IEEE mul and one IEEE add per element. `flags` carries
+  /// kGemmFlagNtStore (see above); levels may ignore it.
+  void (*gemm_panel_f32)(float* dst, const float* panel, int64_t panel_stride,
+                         const float* x, int64_t x_stride, int64_t pb,
+                         int64_t jb, uint32_t flags);
+
+  /// Dequantize one group-aligned span of a PACKED int4 row (two codes per
+  /// byte, layout per the nibble codec above). `packed_row` is the start of
+  /// the row's packed bytes; `col0` is the absolute column of out[0]
+  /// (needed for nibble parity); `input_scale`, when non-null, is already
+  /// offset to col0. Produces exactly dequant_span_f32 applied to the
+  /// unpacked codes: vector levels decode nibbles into a local int8 buffer
+  /// and reuse their own dequant_span_f32 FP loop, so fused packed panels
+  /// stay bit-identical to materialize-then-multiply.
+  void (*dequant_packed_span_f32)(const uint8_t* packed_row, int64_t col0,
+                                  float scale, const float* input_scale,
+                                  float* out, int64_t n);
 };
 
 /// Table for `level`; throws std::runtime_error when the level is not

@@ -188,6 +188,122 @@ void dequant_span_f32_avx2(const int8_t* codes, float scale,
                                   out + t, n - t);
 }
 
+void gemm_panel_f32_avx2(float* dst, const float* panel, int64_t panel_stride,
+                         const float* x, int64_t x_stride, int64_t pb,
+                         int64_t jb, uint32_t flags) {
+  // dst stays in registers across the whole K-panel: four accumulators per
+  // 32-output block, strict ascending-p adds (the same per-output IEEE
+  // sequence as the axpy sweep), explicit mul + add (no FMA).
+  const bool prefetch = gemm_prefetch_enabled();
+  const bool want_nt = (flags & kGemmFlagNtStore) != 0;
+  bool streamed = false;
+  int64_t j = 0;
+  for (; j + 32 <= jb; j += 32) {
+    __m256 acc0 = _mm256_loadu_ps(dst + j);
+    __m256 acc1 = _mm256_loadu_ps(dst + j + 8);
+    __m256 acc2 = _mm256_loadu_ps(dst + j + 16);
+    __m256 acc3 = _mm256_loadu_ps(dst + j + 24);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      if (prefetch) {
+        _mm_prefetch(reinterpret_cast<const char*>(row + panel_stride),
+                     _MM_HINT_T0);
+      }
+      const __m256 xv = _mm256_set1_ps(*xp);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(xv, _mm256_loadu_ps(row)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(xv, _mm256_loadu_ps(row + 8)));
+      acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(xv, _mm256_loadu_ps(row + 16)));
+      acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(xv, _mm256_loadu_ps(row + 24)));
+    }
+    if (want_nt && (reinterpret_cast<uintptr_t>(dst + j) & 31u) == 0) {
+      // Streaming stores write the identical bits; they only skip the
+      // read-for-ownership, which is a win when C is bigger than cache.
+      _mm256_stream_ps(dst + j, acc0);
+      _mm256_stream_ps(dst + j + 8, acc1);
+      _mm256_stream_ps(dst + j + 16, acc2);
+      _mm256_stream_ps(dst + j + 24, acc3);
+      streamed = true;
+    } else {
+      _mm256_storeu_ps(dst + j, acc0);
+      _mm256_storeu_ps(dst + j + 8, acc1);
+      _mm256_storeu_ps(dst + j + 16, acc2);
+      _mm256_storeu_ps(dst + j + 24, acc3);
+    }
+  }
+  for (; j + 8 <= jb; j += 8) {
+    __m256 acc = _mm256_loadu_ps(dst + j);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      acc = _mm256_add_ps(acc,
+                          _mm256_mul_ps(_mm256_set1_ps(*xp), _mm256_loadu_ps(row)));
+    }
+    _mm256_storeu_ps(dst + j, acc);
+  }
+  // Drain the write-combining buffers before anyone (including pool
+  // synchronization) reads the streamed outputs.
+  if (streamed) _mm_sfence();
+  if (j < jb) {
+    detail::gemm_panel_f32_scalar(dst + j, panel + j, panel_stride, x, x_stride,
+                                  pb, jb - j, 0);
+  }
+}
+
+void dequant_packed_span_f32_avx2(const uint8_t* packed_row, int64_t col0,
+                                  float scale, const float* input_scale,
+                                  float* out, int64_t n) {
+  int64_t t = 0;
+  if (n > 0 && (col0 & 1) != 0) {
+    // Peel the leading odd column so the main loop always starts on a byte
+    // boundary (even column = low nibble).
+    detail::dequant_packed_span_f32_scalar(packed_row, col0, scale, input_scale,
+                                           out, 1);
+    t = 1;
+  }
+  const __m256i nib_mask16 = _mm256_set1_epi16(0x000F);
+  const __m256i bias = _mm256_set1_epi8(8);
+  const __m256 scale_v = _mm256_set1_ps(scale);
+  for (; t + 32 <= n; t += 32) {
+    // 16 packed bytes -> 32 codes: widen each byte to a 16-bit lane, take
+    // low nibble (even column) into the lane's low byte and high nibble
+    // (odd column) into its high byte -- little-endian 16-bit lanes land
+    // the codes back in column order -- then sign-extend 4 -> 8 bits via
+    // (x ^ 8) - 8.
+    const __m128i bytes = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(packed_row + ((col0 + t) >> 1)));
+    const __m256i wide = _mm256_cvtepu8_epi16(bytes);
+    const __m256i lo = _mm256_and_si256(wide, nib_mask16);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(wide, 4), nib_mask16);
+    const __m256i inter = _mm256_or_si256(lo, _mm256_slli_epi16(hi, 8));
+    const __m256i codes =
+        _mm256_sub_epi8(_mm256_xor_si256(inter, bias), bias);
+    // The codes stay in the register: each 8-code chunk runs the exact
+    // int8 -> int32 -> float -> mul(/div) element sequence of
+    // dequant_span_f32_avx2 (conversions are exact, the FP ops are
+    // per-element), so skipping the int8 scratch round trip changes no
+    // bits -- it only halves the L1 traffic of the decode.
+    const __m128i lane0 = _mm256_castsi256_si128(codes);
+    const __m128i lane1 = _mm256_extracti128_si256(codes, 1);
+    const __m128i chunks[4] = {lane0, _mm_srli_si128(lane0, 8), lane1,
+                               _mm_srli_si128(lane1, 8)};
+    for (int q = 0; q < 4; ++q) {
+      const __m256i c32 = _mm256_cvtepi8_epi32(chunks[q]);
+      __m256 v = _mm256_mul_ps(_mm256_cvtepi32_ps(c32), scale_v);
+      if (input_scale != nullptr) {
+        v = _mm256_div_ps(v, _mm256_loadu_ps(input_scale + t + 8 * q));
+      }
+      _mm256_storeu_ps(out + t + 8 * q, v);
+    }
+  }
+  if (t < n) {
+    detail::dequant_packed_span_f32_scalar(
+        packed_row, col0 + t, scale, input_scale ? input_scale + t : nullptr,
+        out + t, n - t);
+  }
+}
+
 const Ops kAvx2Ops = {
     "avx2",
     score_row_avx2,
@@ -198,6 +314,8 @@ const Ops kAvx2Ops = {
     axpy_f32_avx2,
     axpy_f64_avx2,
     dequant_span_f32_avx2,
+    gemm_panel_f32_avx2,
+    dequant_packed_span_f32_avx2,
 };
 
 }  // namespace

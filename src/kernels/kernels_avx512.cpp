@@ -181,6 +181,125 @@ void dequant_span_f32_avx512(const int8_t* codes, float scale,
                                   out + t, n - t);
 }
 
+void gemm_panel_f32_avx512(float* dst, const float* panel, int64_t panel_stride,
+                           const float* x, int64_t x_stride, int64_t pb,
+                           int64_t jb, uint32_t flags) {
+  // dst stays in registers across the whole K-panel: four accumulators per
+  // 64-output block, strict ascending-p adds (the same per-output IEEE
+  // sequence as the axpy sweep), explicit mul + add (no FMA).
+  const bool prefetch = gemm_prefetch_enabled();
+  const bool want_nt = (flags & kGemmFlagNtStore) != 0;
+  bool streamed = false;
+  int64_t j = 0;
+  for (; j + 64 <= jb; j += 64) {
+    __m512 acc0 = _mm512_loadu_ps(dst + j);
+    __m512 acc1 = _mm512_loadu_ps(dst + j + 16);
+    __m512 acc2 = _mm512_loadu_ps(dst + j + 32);
+    __m512 acc3 = _mm512_loadu_ps(dst + j + 48);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      if (prefetch) {
+        _mm_prefetch(reinterpret_cast<const char*>(row + panel_stride),
+                     _MM_HINT_T0);
+      }
+      const __m512 xv = _mm512_set1_ps(*xp);
+      acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(xv, _mm512_loadu_ps(row)));
+      acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(xv, _mm512_loadu_ps(row + 16)));
+      acc2 = _mm512_add_ps(acc2, _mm512_mul_ps(xv, _mm512_loadu_ps(row + 32)));
+      acc3 = _mm512_add_ps(acc3, _mm512_mul_ps(xv, _mm512_loadu_ps(row + 48)));
+    }
+    if (want_nt && (reinterpret_cast<uintptr_t>(dst + j) & 63u) == 0) {
+      // Streaming stores write the identical bits; they only skip the
+      // read-for-ownership, which is a win when C is bigger than cache.
+      _mm512_stream_ps(dst + j, acc0);
+      _mm512_stream_ps(dst + j + 16, acc1);
+      _mm512_stream_ps(dst + j + 32, acc2);
+      _mm512_stream_ps(dst + j + 48, acc3);
+      streamed = true;
+    } else {
+      _mm512_storeu_ps(dst + j, acc0);
+      _mm512_storeu_ps(dst + j + 16, acc1);
+      _mm512_storeu_ps(dst + j + 32, acc2);
+      _mm512_storeu_ps(dst + j + 48, acc3);
+    }
+  }
+  for (; j + 16 <= jb; j += 16) {
+    __m512 acc = _mm512_loadu_ps(dst + j);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      acc = _mm512_add_ps(acc,
+                          _mm512_mul_ps(_mm512_set1_ps(*xp), _mm512_loadu_ps(row)));
+    }
+    _mm512_storeu_ps(dst + j, acc);
+  }
+  // Drain the write-combining buffers before anyone (including pool
+  // synchronization) reads the streamed outputs.
+  if (streamed) _mm_sfence();
+  if (j < jb) {
+    detail::gemm_panel_f32_scalar(dst + j, panel + j, panel_stride, x, x_stride,
+                                  pb, jb - j, 0);
+  }
+}
+
+void dequant_packed_span_f32_avx512(const uint8_t* packed_row, int64_t col0,
+                                    float scale, const float* input_scale,
+                                    float* out, int64_t n) {
+  int64_t t = 0;
+  if (n > 0 && (col0 & 1) != 0) {
+    // Peel the leading odd column so the main loop always starts on a byte
+    // boundary (even column = low nibble).
+    detail::dequant_packed_span_f32_scalar(packed_row, col0, scale, input_scale,
+                                           out, 1);
+    t = 1;
+  }
+  const __m512i nib_mask16 = _mm512_set1_epi16(0x000F);
+  const __m512i bias = _mm512_set1_epi8(8);
+  const __m512 scale_v = _mm512_set1_ps(scale);
+  for (; t + 64 <= n; t += 64) {
+    // 32 packed bytes -> 64 codes: widen each byte to a 16-bit lane, take
+    // low nibble (even column) into the lane's low byte and high nibble
+    // (odd column) into its high byte -- little-endian 16-bit lanes land
+    // the codes back in column order -- then sign-extend 4 -> 8 bits via
+    // (x ^ 8) - 8.
+    const __m256i bytes = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(packed_row + ((col0 + t) >> 1)));
+    const __m512i wide = _mm512_cvtepu8_epi16(bytes);
+    const __m512i lo = _mm512_and_si512(wide, nib_mask16);
+    const __m512i hi =
+        _mm512_and_si512(_mm512_srli_epi16(wide, 4), nib_mask16);
+    const __m512i inter = _mm512_or_si512(lo, _mm512_slli_epi16(hi, 8));
+    const __m512i codes =
+        _mm512_sub_epi8(_mm512_xor_si512(inter, bias), bias);
+    // The codes stay in the register: each 16-code lane block runs the
+    // exact int8 -> int32 -> float -> mul(/div) element sequence of
+    // dequant_span_f32_avx512 (conversions are exact, the FP ops are
+    // per-element), so skipping the int8 scratch round trip changes no
+    // bits -- it only halves the L1 traffic of the decode.
+    for (int q = 0; q < 4; ++q) {
+      __m128i c8;
+      switch (q) {
+        case 0: c8 = _mm512_extracti32x4_epi32(codes, 0); break;
+        case 1: c8 = _mm512_extracti32x4_epi32(codes, 1); break;
+        case 2: c8 = _mm512_extracti32x4_epi32(codes, 2); break;
+        default: c8 = _mm512_extracti32x4_epi32(codes, 3); break;
+      }
+      const __m512i c32 = _mm512_cvtepi8_epi32(c8);
+      __m512 v = _mm512_mul_ps(_mm512_cvtepi32_ps(c32), scale_v);
+      if (input_scale != nullptr) {
+        v = _mm512_div_ps(v, _mm512_loadu_ps(input_scale + t + 16 * q));
+      }
+      _mm512_storeu_ps(out + t + 16 * q, v);
+    }
+  }
+  if (t < n) {
+    detail::dequant_packed_span_f32_scalar(
+        packed_row, col0 + t, scale, input_scale ? input_scale + t : nullptr,
+        out + t, n - t);
+  }
+}
+
 const Ops kAvx512Ops = {
     "avx512",
     score_row_avx512,
@@ -192,6 +311,8 @@ const Ops kAvx512Ops = {
     axpy_f32_avx512,
     axpy_f64_avx512,
     dequant_span_f32_avx512,
+    gemm_panel_f32_avx512,
+    dequant_packed_span_f32_avx512,
 };
 
 }  // namespace

@@ -123,6 +123,87 @@ void dequant_span_f32_neon(const int8_t* codes, float scale,
                                   out + t, n - t);
 }
 
+void gemm_panel_f32_neon(float* dst, const float* panel, int64_t panel_stride,
+                         const float* x, int64_t x_stride, int64_t pb,
+                         int64_t jb, uint32_t /*flags*/) {
+  // dst stays in registers across the whole K-panel: four accumulators per
+  // 16-output block, strict ascending-p adds (the same per-output IEEE
+  // sequence as the axpy sweep), explicit mul + add (no FMA). NEON has no
+  // streaming-store instruction, so the NT-store flag is ignored.
+  const bool prefetch = gemm_prefetch_enabled();
+  int64_t j = 0;
+  for (; j + 16 <= jb; j += 16) {
+    float32x4_t acc0 = vld1q_f32(dst + j);
+    float32x4_t acc1 = vld1q_f32(dst + j + 4);
+    float32x4_t acc2 = vld1q_f32(dst + j + 8);
+    float32x4_t acc3 = vld1q_f32(dst + j + 12);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      if (prefetch) __builtin_prefetch(row + panel_stride);
+      const float32x4_t xv = vdupq_n_f32(*xp);
+      acc0 = vaddq_f32(acc0, vmulq_f32(xv, vld1q_f32(row)));
+      acc1 = vaddq_f32(acc1, vmulq_f32(xv, vld1q_f32(row + 4)));
+      acc2 = vaddq_f32(acc2, vmulq_f32(xv, vld1q_f32(row + 8)));
+      acc3 = vaddq_f32(acc3, vmulq_f32(xv, vld1q_f32(row + 12)));
+    }
+    vst1q_f32(dst + j, acc0);
+    vst1q_f32(dst + j + 4, acc1);
+    vst1q_f32(dst + j + 8, acc2);
+    vst1q_f32(dst + j + 12, acc3);
+  }
+  for (; j + 4 <= jb; j += 4) {
+    float32x4_t acc = vld1q_f32(dst + j);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(*xp), vld1q_f32(row)));
+    }
+    vst1q_f32(dst + j, acc);
+  }
+  if (j < jb) {
+    detail::gemm_panel_f32_scalar(dst + j, panel + j, panel_stride, x, x_stride,
+                                  pb, jb - j, 0);
+  }
+}
+
+void dequant_packed_span_f32_neon(const uint8_t* packed_row, int64_t col0,
+                                  float scale, const float* input_scale,
+                                  float* out, int64_t n) {
+  int64_t t = 0;
+  if (n > 0 && (col0 & 1) != 0) {
+    // Peel the leading odd column so the main loop always starts on a byte
+    // boundary (even column = low nibble).
+    detail::dequant_packed_span_f32_scalar(packed_row, col0, scale, input_scale,
+                                           out, 1);
+    t = 1;
+  }
+  const uint8x8_t nib_mask = vdup_n_u8(0x0F);
+  const int8x16_t bias = vdupq_n_s8(8);
+  alignas(16) int8_t buf[16];
+  for (; t + 16 <= n; t += 16) {
+    // 8 packed bytes -> 16 codes: split nibbles, zip even (low-nibble) and
+    // odd (high-nibble) codes back into column order, then sign-extend
+    // 4 -> 8 bits via (x ^ 8) - 8.
+    const uint8x8_t bytes = vld1_u8(packed_row + ((col0 + t) >> 1));
+    const uint8x8_t lo = vand_u8(bytes, nib_mask);
+    const uint8x8_t hi = vshr_n_u8(bytes, 4);
+    const uint8x8x2_t zipped = vzip_u8(lo, hi);
+    const int8x16_t inter =
+        vreinterpretq_s8_u8(vcombine_u8(zipped.val[0], zipped.val[1]));
+    const int8x16_t codes = vsubq_s8(veorq_s8(inter, bias), bias);
+    vst1q_s8(buf, codes);
+    // Reuse this level's unpacked FP loop => bit-identical dequant.
+    dequant_span_f32_neon(buf, scale, input_scale ? input_scale + t : nullptr,
+                          out + t, 16);
+  }
+  if (t < n) {
+    detail::dequant_packed_span_f32_scalar(
+        packed_row, col0 + t, scale, input_scale ? input_scale + t : nullptr,
+        out + t, n - t);
+  }
+}
+
 const Ops kNeonOps = {
     "neon",
     score_row_neon,
@@ -133,6 +214,8 @@ const Ops kNeonOps = {
     axpy_f32_neon,
     axpy_f64_neon,
     dequant_span_f32_neon,
+    gemm_panel_f32_neon,
+    dequant_packed_span_f32_neon,
 };
 
 }  // namespace

@@ -131,6 +131,118 @@ void dequant_span_f32_sse2(const int8_t* codes, float scale,
                                   out + t, n - t);
 }
 
+void gemm_panel_f32_sse2(float* dst, const float* panel, int64_t panel_stride,
+                         const float* x, int64_t x_stride, int64_t pb,
+                         int64_t jb, uint32_t flags) {
+  // dst stays in registers across the whole K-panel: four accumulators per
+  // 16-output block, strict ascending-p adds (the same per-output IEEE
+  // sequence as the axpy sweep), explicit mul + add (no FMA).
+  const bool prefetch = gemm_prefetch_enabled();
+  const bool want_nt = (flags & kGemmFlagNtStore) != 0;
+  bool streamed = false;
+  int64_t j = 0;
+  for (; j + 16 <= jb; j += 16) {
+    __m128 acc0 = _mm_loadu_ps(dst + j);
+    __m128 acc1 = _mm_loadu_ps(dst + j + 4);
+    __m128 acc2 = _mm_loadu_ps(dst + j + 8);
+    __m128 acc3 = _mm_loadu_ps(dst + j + 12);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      if (prefetch) {
+        _mm_prefetch(reinterpret_cast<const char*>(row + panel_stride),
+                     _MM_HINT_T0);
+      }
+      const __m128 xv = _mm_set1_ps(*xp);
+      acc0 = _mm_add_ps(acc0, _mm_mul_ps(xv, _mm_loadu_ps(row)));
+      acc1 = _mm_add_ps(acc1, _mm_mul_ps(xv, _mm_loadu_ps(row + 4)));
+      acc2 = _mm_add_ps(acc2, _mm_mul_ps(xv, _mm_loadu_ps(row + 8)));
+      acc3 = _mm_add_ps(acc3, _mm_mul_ps(xv, _mm_loadu_ps(row + 12)));
+    }
+    if (want_nt && (reinterpret_cast<uintptr_t>(dst + j) & 15u) == 0) {
+      // Streaming stores write the identical bits; they only skip the
+      // read-for-ownership, which is a win when C is bigger than cache.
+      _mm_stream_ps(dst + j, acc0);
+      _mm_stream_ps(dst + j + 4, acc1);
+      _mm_stream_ps(dst + j + 8, acc2);
+      _mm_stream_ps(dst + j + 12, acc3);
+      streamed = true;
+    } else {
+      _mm_storeu_ps(dst + j, acc0);
+      _mm_storeu_ps(dst + j + 4, acc1);
+      _mm_storeu_ps(dst + j + 8, acc2);
+      _mm_storeu_ps(dst + j + 12, acc3);
+    }
+  }
+  for (; j + 4 <= jb; j += 4) {
+    __m128 acc = _mm_loadu_ps(dst + j);
+    const float* row = panel + j;
+    const float* xp = x;
+    for (int64_t p = 0; p < pb; ++p, row += panel_stride, xp += x_stride) {
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(*xp), _mm_loadu_ps(row)));
+    }
+    _mm_storeu_ps(dst + j, acc);
+  }
+  // Drain the write-combining buffers before anyone (including pool
+  // synchronization) reads the streamed outputs.
+  if (streamed) _mm_sfence();
+  if (j < jb) {
+    detail::gemm_panel_f32_scalar(dst + j, panel + j, panel_stride, x, x_stride,
+                                  pb, jb - j, 0);
+  }
+}
+
+void dequant_packed_span_f32_sse2(const uint8_t* packed_row, int64_t col0,
+                                  float scale, const float* input_scale,
+                                  float* out, int64_t n) {
+  int64_t t = 0;
+  if (n > 0 && (col0 & 1) != 0) {
+    // Peel the leading odd column so the main loop always starts on a byte
+    // boundary (even column = low nibble).
+    detail::dequant_packed_span_f32_scalar(packed_row, col0, scale, input_scale,
+                                           out, 1);
+    t = 1;
+  }
+  const __m128i nib_mask = _mm_set1_epi8(0x0F);
+  const __m128i bias = _mm_set1_epi8(8);
+  const __m128 scale_v = _mm_set1_ps(scale);
+  for (; t + 16 <= n; t += 16) {
+    // 8 packed bytes -> 16 codes: split nibbles, interleave back into
+    // column order, sign-extend 4 -> 8 bits via (x ^ 8) - 8.
+    const __m128i bytes = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(packed_row + ((col0 + t) >> 1)));
+    const __m128i lo = _mm_and_si128(bytes, nib_mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(bytes, 4), nib_mask);
+    const __m128i inter = _mm_unpacklo_epi8(lo, hi);
+    const __m128i codes = _mm_sub_epi8(_mm_xor_si128(inter, bias), bias);
+    // The codes stay in the register: each 4-code chunk is zero-widened
+    // to 32-bit lanes, sign-extended with the same slli/srai-24 trick as
+    // dequant_span_f32_sse2, then runs its exact int32 -> float ->
+    // mul(/div) element sequence (conversions are exact, the FP ops are
+    // per-element), so skipping the int8 scratch round trip changes no
+    // bits -- it only halves the L1 traffic of the decode.
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i w_lo = _mm_unpacklo_epi8(codes, zero);
+    const __m128i w_hi = _mm_unpackhi_epi8(codes, zero);
+    const __m128i chunks[4] = {
+        _mm_unpacklo_epi16(w_lo, zero), _mm_unpackhi_epi16(w_lo, zero),
+        _mm_unpacklo_epi16(w_hi, zero), _mm_unpackhi_epi16(w_hi, zero)};
+    for (int q = 0; q < 4; ++q) {
+      const __m128i c32 = _mm_srai_epi32(_mm_slli_epi32(chunks[q], 24), 24);
+      __m128 v = _mm_mul_ps(_mm_cvtepi32_ps(c32), scale_v);
+      if (input_scale != nullptr) {
+        v = _mm_div_ps(v, _mm_loadu_ps(input_scale + t + 4 * q));
+      }
+      _mm_storeu_ps(out + t + 4 * q, v);
+    }
+  }
+  if (t < n) {
+    detail::dequant_packed_span_f32_scalar(
+        packed_row, col0 + t, scale, input_scale ? input_scale + t : nullptr,
+        out + t, n - t);
+  }
+}
+
 const Ops kSse2Ops = {
     "sse2",
     score_row_sse2,
@@ -141,6 +253,8 @@ const Ops kSse2Ops = {
     axpy_f32_sse2,
     axpy_f64_sse2,
     dequant_span_f32_sse2,
+    gemm_panel_f32_sse2,
+    dequant_packed_span_f32_sse2,
 };
 
 }  // namespace

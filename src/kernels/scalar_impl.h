@@ -108,6 +108,39 @@ inline void dequant_span_f32_scalar(const int8_t* codes, float scale,
   }
 }
 
+inline void gemm_panel_f32_scalar(float* dst, const float* panel,
+                                  int64_t panel_stride, const float* x,
+                                  int64_t x_stride, int64_t pb, int64_t jb,
+                                  uint32_t /*flags*/) {
+  for (int64_t j = 0; j < jb; ++j) {
+    // Register accumulator, ascending p: the identical IEEE add sequence as
+    // pb axpy_f32 sweeps hitting dst[j] through memory.
+    float acc = dst[j];
+    const float* col = panel + j;
+    for (int64_t p = 0; p < pb; ++p) {
+      acc += x[p * x_stride] * col[p * panel_stride];
+    }
+    dst[j] = acc;
+  }
+}
+
+inline void dequant_packed_span_f32_scalar(const uint8_t* packed_row,
+                                           int64_t col0, float scale,
+                                           const float* input_scale, float* out,
+                                           int64_t n) {
+  for (int64_t t = 0; t < n; ++t) {
+    const int64_t col = col0 + t;
+    const uint8_t byte = packed_row[col >> 1];
+    const int8_t code =
+        (col & 1) ? int4_unpack_hi(byte) : int4_unpack_lo(byte);
+    if (input_scale == nullptr) {
+      out[t] = static_cast<float>(code) * scale;
+    } else {
+      out[t] = static_cast<float>(code) * scale / input_scale[t];
+    }
+  }
+}
+
 // --- vector-tail helpers -----------------------------------------------------
 //
 // Every SIMD level finishes its main loop at some element `i` and hands the

@@ -22,7 +22,11 @@ void Linear::forward(const Tensor& x, Tensor& y) {
     throw TensorError("Linear " + name_ + ": bad input shape " + x.shape_string());
   }
   const int64_t m = x.dim(0);
-  cached_x_ = x;
+  // The input cache only feeds backward() and calibration, both of which
+  // run on FP models; fused quantized-weight views are eval-only (backward
+  // throws below), so skipping the deep copy there trims a per-layer
+  // O(batch * in_features) memcpy off the batched eval path.
+  if (qweight_ == nullptr) cached_x_ = x;
   y = Tensor({m, out_features_});
   if (qweight_ != nullptr) {
     dequant_gemm_nt(x.data(), *qweight_, y.data(), m);

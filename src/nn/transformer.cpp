@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "util/phaseprof.h"
 
 namespace emmark {
 
@@ -197,6 +198,7 @@ LossStats TransformerLM::forward_loss(const Batch& batch) {
   cached_targets_ = batch.targets;
 
   LossStats stats;
+  phaseprof::ScopedTimer timer(phaseprof::Phase::kSoftmaxNll);
   const int64_t rows = batch.batch_size * batch.seq_len;
   std::vector<float> logp(static_cast<size_t>(config_.vocab_size));
   for (int64_t i = 0; i < rows; ++i) {

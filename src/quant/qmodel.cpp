@@ -96,9 +96,12 @@ int64_t QuantizedModel::quantized_param_count() const {
 }
 
 uint64_t QuantizedModel::code_bytes() const {
+  // Resident storage, not logical element count: packed int4 layers charge
+  // two codes per byte, so an int4 model budgets ~half its int8 twin in
+  // the ModelStore and the resident-bytes gauge.
   uint64_t total = 0;
   for (const auto& layer : layers_) {
-    total += layer.weights.codes().size() * sizeof(int8_t);
+    total += layer.weights.storage_bytes();
   }
   return total;
 }
@@ -141,7 +144,9 @@ void QuantizedModel::load_codes(const std::string& path) {
       throw SerializeError("codes snapshot does not match layer " + layer.name);
     }
     const std::vector<int8_t> codes = reader.read_vector<int8_t>();
-    if (codes.size() != layer.weights.codes().size()) {
+    // The snapshot format is one int8 per code (unpacked) at every bit
+    // width, so the expected size is the logical element count.
+    if (codes.size() != static_cast<size_t>(layer.weights.numel())) {
       throw SerializeError("codes snapshot size mismatch in " + layer.name);
     }
     for (size_t i = 0; i < codes.size(); ++i) {

@@ -6,6 +6,7 @@
 
 #include "kernels/kernels.h"
 #include "tensor/gemm.h"
+#include "util/phaseprof.h"
 
 namespace emmark {
 
@@ -25,8 +26,19 @@ QuantizedTensor::QuantizedTensor(int64_t rows, int64_t cols, QuantBits bits,
     throw std::invalid_argument("QuantizedTensor: cols must be a multiple of group_size");
   }
   groups_per_row_ = group_size > 0 ? cols / group_size : 1;
-  codes_.assign(static_cast<size_t>(rows * cols), 0);
+  row_stride_ = packed() ? kernels::int4_row_bytes(cols) : cols;
+  codes_.assign(static_cast<size_t>(rows * row_stride_), 0);
   scales_ = Tensor({rows, groups_per_row_});
+}
+
+int8_t QuantizedTensor::code(int64_t row, int64_t col) const {
+  if (packed()) {
+    const uint8_t byte =
+        static_cast<uint8_t>(codes_[static_cast<size_t>(storage_offset(row, col))]);
+    return (col & 1) ? kernels::int4_unpack_hi(byte)
+                     : kernels::int4_unpack_lo(byte);
+  }
+  return codes_[static_cast<size_t>(row * cols_ + col)];
 }
 
 void QuantizedTensor::set_code(int64_t row, int64_t col, int8_t value) {
@@ -38,15 +50,88 @@ void QuantizedTensor::set_code_flat(int64_t index, int8_t value) {
     throw std::out_of_range("quantized code out of range for " +
                             std::string(to_string(bits_)));
   }
+  if (packed()) {
+    const int64_t row = index / cols_;
+    const int64_t col = index % cols_;
+    int8_t& slot = codes_[static_cast<size_t>(storage_offset(row, col))];
+    const uint8_t byte = static_cast<uint8_t>(slot);
+    const uint8_t updated =
+        (col & 1)
+            ? kernels::int4_pack(kernels::int4_unpack_lo(byte), value)
+            : kernels::int4_pack(value, kernels::int4_unpack_hi(byte));
+    slot = static_cast<int8_t>(updated);
+    return;
+  }
   codes_[static_cast<size_t>(index)] = value;
 }
 
+std::vector<int8_t> QuantizedTensor::codes() const {
+  if (!packed()) return codes_;
+  std::vector<int8_t> out(static_cast<size_t>(rows_ * cols_));
+  unpack_into(out.data());
+  return out;
+}
+
+QuantizedTensor::CodesView QuantizedTensor::codes_view() const {
+  CodesView view;
+  if (packed()) {
+    view.scratch_.resize(static_cast<size_t>(rows_ * cols_));
+    unpack_into(view.scratch_.data());
+    view.ptr_ = view.scratch_.data();
+  } else {
+    view.ptr_ = codes_.data();
+  }
+  return view;
+}
+
+QuantizedTensor::CodesMut QuantizedTensor::codes_mut() {
+  CodesMut guard;
+  if (packed()) {
+    guard.scratch_.resize(static_cast<size_t>(rows_ * cols_));
+    unpack_into(guard.scratch_.data());
+    guard.ptr_ = guard.scratch_.data();
+    guard.owner_ = this;
+  } else {
+    guard.ptr_ = codes_.data();
+  }
+  return guard;
+}
+
+void QuantizedTensor::unpack_into(int8_t* out) const {
+  for (int64_t r = 0; r < rows_; ++r) {
+    const uint8_t* row =
+        reinterpret_cast<const uint8_t*>(codes_.data()) + r * row_stride_;
+    int8_t* dst = out + r * cols_;
+    const int64_t pairs = cols_ / 2;
+    for (int64_t b = 0; b < pairs; ++b) {
+      dst[2 * b] = kernels::int4_unpack_lo(row[b]);
+      dst[2 * b + 1] = kernels::int4_unpack_hi(row[b]);
+    }
+    if (cols_ & 1) dst[cols_ - 1] = kernels::int4_unpack_lo(row[pairs]);
+  }
+}
+
+void QuantizedTensor::pack_from(const int8_t* unpacked) {
+  for (int64_t r = 0; r < rows_; ++r) {
+    uint8_t* row = reinterpret_cast<uint8_t*>(codes_.data()) + r * row_stride_;
+    const int8_t* src = unpacked + r * cols_;
+    const int64_t pairs = cols_ / 2;
+    for (int64_t b = 0; b < pairs; ++b) {
+      row[b] = kernels::int4_pack(src[2 * b], src[2 * b + 1]);
+    }
+    // Odd tail: the unused high nibble stays zero so packed buffers of
+    // equal grids compare equal byte-for-byte.
+    if (cols_ & 1) row[pairs] = kernels::int4_pack(src[cols_ - 1], 0);
+  }
+}
+
 bool QuantizedTensor::is_saturated(int64_t row, int64_t col) const {
-  return is_saturated_flat(row * cols_ + col);
+  const int8_t c = code(row, col);
+  return c <= qmin() || c >= qmax();
 }
 
 bool QuantizedTensor::is_saturated_flat(int64_t index) const {
-  const int8_t c = codes_[static_cast<size_t>(index)];
+  const int8_t c = code_flat(index);
   return c <= qmin() || c >= qmax();
 }
 
@@ -91,6 +176,7 @@ float QuantizedTensor::dequantize_at(int64_t row, int64_t col) const {
 }
 
 Tensor QuantizedTensor::dequantize() const {
+  phaseprof::ScopedTimer timer(phaseprof::Phase::kDequant);
   Tensor out({rows_, cols_});
   for (int64_t r = 0; r < rows_; ++r) {
     dequant_row_span(r, 0, cols_, out.data() + r * cols_);
@@ -101,19 +187,36 @@ Tensor QuantizedTensor::dequantize() const {
 void QuantizedTensor::dequant_row_span(int64_t row, int64_t col0, int64_t len,
                                        float* out) const {
   const kernels::Ops& ops = kernels::active_ops();
-  const int8_t* codes = codes_.data() + row * cols_ + col0;
   const float* in_scale =
       input_scale_.empty() ? nullptr : input_scale_.data() + col0;
   const int64_t gs = group_size_ > 0 ? group_size_ : cols_;
-  int64_t done = 0;
-  while (done < len) {
-    const int64_t col = col0 + done;
-    const int64_t group_end = (col / gs + 1) * gs;
-    const int64_t span = std::min(len - done, group_end - col);
-    ops.dequant_span_f32(codes + done, scales_.at(row, col / gs),
-                         in_scale != nullptr ? in_scale + done : nullptr,
-                         out + done, span);
-    done += span;
+  if (packed()) {
+    // Packed int4: nibbles decode inside the kernel, straight from the
+    // resident bytes -- half the code traffic of the unpacked layout.
+    const uint8_t* row_codes =
+        reinterpret_cast<const uint8_t*>(codes_.data()) + row * row_stride_;
+    int64_t done = 0;
+    while (done < len) {
+      const int64_t col = col0 + done;
+      const int64_t group_end = (col / gs + 1) * gs;
+      const int64_t span = std::min(len - done, group_end - col);
+      ops.dequant_packed_span_f32(
+          row_codes, col, scales_.at(row, col / gs),
+          in_scale != nullptr ? in_scale + done : nullptr, out + done, span);
+      done += span;
+    }
+  } else {
+    const int8_t* codes = codes_.data() + row * cols_ + col0;
+    int64_t done = 0;
+    while (done < len) {
+      const int64_t col = col0 + done;
+      const int64_t group_end = (col / gs + 1) * gs;
+      const int64_t span = std::min(len - done, group_end - col);
+      ops.dequant_span_f32(codes + done, scales_.at(row, col / gs),
+                           in_scale != nullptr ? in_scale + done : nullptr,
+                           out + done, span);
+      done += span;
+    }
   }
   // Outlier columns overwrite the quantized path.
   for (size_t k = 0; k < outlier_cols_.size(); ++k) {
@@ -129,7 +232,10 @@ void QuantizedTensor::save(BinaryWriter& w) const {
   w.write_i64(cols_);
   w.write_u32(static_cast<uint32_t>(bits_));
   w.write_i64(group_size_);
-  w.write_vector(codes_);
+  // The wire format stays one int8 per code for every bit width: packed
+  // int4 is a resident-layout optimization, not a format change, so old
+  // checkpoints load unmodified and new ones load on old builds.
+  w.write_vector(codes());
   scales_.save(w);
   w.write_vector(input_scale_);
   w.write_vector(outlier_cols_);
@@ -143,9 +249,14 @@ QuantizedTensor QuantizedTensor::load(BinaryReader& r) {
   if (bits_raw != 4 && bits_raw != 8) throw SerializeError("bad quant bit width");
   const int64_t group_size = r.read_i64();
   QuantizedTensor q(rows, cols, static_cast<QuantBits>(bits_raw), group_size);
-  q.codes_ = r.read_vector<int8_t>();
-  if (static_cast<int64_t>(q.codes_.size()) != rows * cols) {
+  const std::vector<int8_t> unpacked = r.read_vector<int8_t>();
+  if (static_cast<int64_t>(unpacked.size()) != rows * cols) {
     throw SerializeError("quantized code payload mismatch");
+  }
+  if (q.packed()) {
+    q.pack_from(unpacked.data());
+  } else {
+    q.codes_ = unpacked;
   }
   q.scales_ = Tensor::load(r);
   q.input_scale_ = r.read_vector<float>();
@@ -184,13 +295,21 @@ QuantizedTensor quantize_rtn(const Tensor& w, QuantBits bits, int64_t group_size
 
 void dequant_gemm_nt(const float* x, const QuantizedTensor& w, float* y,
                      int64_t m, bool accumulate) {
+  const bool prefetch = kernels::gemm_prefetch_enabled();
   gemm_nt_packed(
       x, y, m, w.cols(), w.rows(), accumulate,
-      [&w](int64_t p0, int64_t pb, int64_t j0, int64_t jb, float* panel) {
+      [&w, prefetch](int64_t p0, int64_t pb, int64_t j0, int64_t jb,
+                     float* panel) {
         // Dequantize each weight row's K-slice (contiguous codes), then
-        // transpose into the K-major panel the axpy sweep expects.
+        // transpose into the K-major panel the panel sweep expects.
+        // Timed as kDequant nested inside the driver's kGemm scope;
+        // consumers subtract to get GEMM-exclusive time.
+        phaseprof::ScopedTimer timer(phaseprof::Phase::kDequant);
         float rowbuf[kGemmPanelK];
         for (int64_t j = 0; j < jb; ++j) {
+          // Pull the next weight row's code bytes toward L1 while this
+          // row dequantizes.
+          if (prefetch) w.prefetch_row_span(j0 + j + 1, p0);
           w.dequant_row_span(j0 + j, p0, pb, rowbuf);
           for (int64_t p = 0; p < pb; ++p) panel[p * jb + j] = rowbuf[p];
         }

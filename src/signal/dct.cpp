@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "kernels/kernels.h"
+#include "util/phaseprof.h"
 
 namespace emmark {
 namespace {
@@ -57,6 +58,7 @@ void cos_row(const std::vector<double>& tab, size_t four_n, size_t first,
 
 template <typename Src>
 std::vector<double> dct2_core(const Src* x, size_t n) {
+  phaseprof::ScopedTimer timer(phaseprof::Phase::kDct);
   std::vector<double> y(n, 0.0);
   if (n == 0) return y;
   const std::vector<double>& tab = cos_table(n);
@@ -78,6 +80,7 @@ std::vector<double> dct2_core(const Src* x, size_t n) {
 
 template <typename Src>
 std::vector<double> idct2_core(const Src* y, size_t n) {
+  phaseprof::ScopedTimer timer(phaseprof::Phase::kDct);
   std::vector<double> x(n, 0.0);
   if (n == 0) return x;
   const std::vector<double>& tab = cos_table(n);

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "kernels/kernels.h"
+#include "util/env.h"
+#include "util/phaseprof.h"
 #include "util/threadpool.h"
 
 namespace emmark {
@@ -36,26 +38,36 @@ void rows_parallel(int64_t m, int64_t k, int64_t n,
       });
 }
 
+/// NT-store hint for the final K-panel of a C tile. Off by default
+/// (EMMARK_NT_STORE=1 enables -- an experiment knob, see BENCH notes):
+/// streaming stores only pay off when C spills cache, so the hint is also
+/// gated on the output size. Identical stored bits either way.
+uint32_t nt_store_flags(int64_t m, int64_t n) {
+  static const bool enabled = env_or("EMMARK_NT_STORE", "0") == "1";
+  if (!enabled) return 0;
+  return m * n >= (int64_t{1} << 16) ? kernels::kGemmFlagNtStore : 0u;
+}
+
 }  // namespace
 
 void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
   const kernels::Ops& ops = kernels::active_ops();
+  const uint32_t last_panel_flags = nt_store_flags(m, n);
+  phaseprof::ScopedTimer timer(phaseprof::Phase::kGemm);
   rows_parallel(m, k, n, [&](int64_t i0, int64_t i1) {
     for (int64_t p0 = 0; p0 < k; p0 += kKc) {
       const int64_t p1 = std::min(k, p0 + kKc);
+      const uint32_t flags = p1 == k ? last_panel_flags : 0u;
       for (int64_t j0 = 0; j0 < n; j0 += kNc) {
         const int64_t jb = std::min(kNc, n - j0);
         for (int64_t i = i0; i < i1; ++i) {
-          const float* a_row = a + i * k;
-          float* c_row = c + i * n + j0;
-          // No a_val == 0 skip: on dense eval matrices the branch is pure
-          // misprediction cost, and 0 * b + c == c for the finite values
-          // these layers produce (pinned by test_gemm's zeros-heavy case).
-          for (int64_t p = p0; p < p1; ++p) {
-            ops.axpy_f32(c_row, b + p * n + j0, a_row[p], jb);
-          }
+          // One gemm_panel call per (row, K-panel, N-tile): c_row lives in
+          // registers across the whole K-slice instead of a load/store
+          // round trip per p, with the same ascending-p IEEE add order.
+          ops.gemm_panel_f32(c + i * n + j0, b + p0 * n + j0, n, a + i * k + p0,
+                             1, p1 - p0, jb, flags);
         }
       }
     }
@@ -65,12 +77,16 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
 void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n, bool accumulate) {
   // B rows become panel columns by copy-transpose; after that the layout
-  // is identical to nn and the same axpy sweep applies.
+  // is identical to nn and the same panel sweep applies.
+  const bool prefetch = kernels::gemm_prefetch_enabled();
   gemm_nt_packed(a, c, m, k, n, accumulate,
-                 [b, k](int64_t p0, int64_t pb, int64_t j0, int64_t jb,
-                        float* panel) {
+                 [b, k, prefetch](int64_t p0, int64_t pb, int64_t j0,
+                                  int64_t jb, float* panel) {
                    for (int64_t j = 0; j < jb; ++j) {
                      const float* b_row = b + (j0 + j) * k + p0;
+                     // Pull the next B row toward L1 while transposing this
+                     // one (b_row + k == same K-slice of row j + 1).
+                     if (prefetch && j + 1 < jb) __builtin_prefetch(b_row + k);
                      for (int64_t p = 0; p < pb; ++p) {
                        panel[p * jb + j] = b_row[p];
                      }
@@ -82,16 +98,19 @@ void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t k,
              int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
   const kernels::Ops& ops = kernels::active_ops();
+  const uint32_t last_panel_flags = nt_store_flags(m, n);
+  phaseprof::ScopedTimer timer(phaseprof::Phase::kGemm);
   rows_parallel(m, k, n, [&](int64_t i0, int64_t i1) {
     for (int64_t p0 = 0; p0 < k; p0 += kKc) {
       const int64_t p1 = std::min(k, p0 + kKc);
+      const uint32_t flags = p1 == k ? last_panel_flags : 0u;
       for (int64_t j0 = 0; j0 < n; j0 += kNc) {
         const int64_t jb = std::min(kNc, n - j0);
         for (int64_t i = i0; i < i1; ++i) {
-          float* c_row = c + i * n + j0;
-          for (int64_t p = p0; p < p1; ++p) {
-            ops.axpy_f32(c_row, b + p * n + j0, a[p * m + i], jb);
-          }
+          // A^T walks column i of A with stride m; the microkernel takes
+          // the stride directly, so no transpose copy is needed here.
+          ops.gemm_panel_f32(c + i * n + j0, b + p0 * n + j0, n, a + p0 * m + i,
+                             m, p1 - p0, jb, flags);
         }
       }
     }
@@ -102,6 +121,8 @@ void gemm_nt_packed(const float* x, float* y, int64_t m, int64_t k, int64_t n,
                     bool accumulate, const PanelPacker& pack) {
   if (!accumulate) std::memset(y, 0, static_cast<size_t>(m * n) * sizeof(float));
   const kernels::Ops& ops = kernels::active_ops();
+  const uint32_t last_panel_flags = nt_store_flags(m, n);
+  phaseprof::ScopedTimer timer(phaseprof::Phase::kGemm);
   rows_parallel(m, k, n, [&](int64_t i0, int64_t i1) {
     // One panel per row block: blocks run on different workers, and
     // re-packing per block is cheap next to the O(rows * panel) multiply.
@@ -109,15 +130,16 @@ void gemm_nt_packed(const float* x, float* y, int64_t m, int64_t k, int64_t n,
         static_cast<size_t>(kKc) * static_cast<size_t>(std::min(kNcPacked, n)));
     for (int64_t p0 = 0; p0 < k; p0 += kKc) {
       const int64_t pb = std::min(kKc, k - p0);
+      const uint32_t flags = p0 + pb == k ? last_panel_flags : 0u;
       for (int64_t j0 = 0; j0 < n; j0 += kNcPacked) {
         const int64_t jb = std::min(kNcPacked, n - j0);
         pack(p0, pb, j0, jb, panel.data());
         for (int64_t i = i0; i < i1; ++i) {
-          const float* x_row = x + i * k;
-          float* y_row = y + i * n + j0;
-          for (int64_t p = 0; p < pb; ++p) {
-            ops.axpy_f32(y_row, panel.data() + p * jb, x_row[p0 + p], jb);
-          }
+          // The panel is packed once per (K, N) tile and then amortized
+          // over every row in the block -- the reason batched eval (large
+          // m) beats per-token calls even though the FLOPs are identical.
+          ops.gemm_panel_f32(y + i * n + j0, panel.data(), jb, x + i * k + p0,
+                             1, pb, jb, flags);
         }
       }
     }

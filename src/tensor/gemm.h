@@ -5,13 +5,17 @@
 //   gemm_nt: C += A(M,K)   * B(N,K)^T   (linear forward with row-major W)
 //   gemm_tn: C += A(K,M)^T * B(K,N)     (weight gradients)
 //
-// All three are cache-tiled drivers over the dispatched axpy_f32
-// microkernel (src/kernels): the inner loop vectorizes over *output*
-// lanes c_row[j], each an independent accumulator, so the per-output
-// summation order -- p strictly ascending -- is the same at every SIMD
-// level and results are bit-identical to the scalar reference. Row blocks
-// fan out to the active ThreadPool above the tile loops (row ownership is
-// exclusive, so thread count cannot change results either).
+// All three are cache-tiled drivers over the dispatched gemm_panel_f32
+// microkernel (src/kernels): per (row, K-panel, N-tile) the output lanes
+// c_row[j] are loaded into registers once, accumulated in strictly
+// ascending p order, and stored once. Each lane is an independent
+// accumulator with the same per-output summation order as an axpy sweep
+// at every SIMD level, so results are bit-identical to the scalar
+// reference. Row blocks fan out to the active ThreadPool above the tile
+// loops (row ownership is exclusive, so thread count cannot change
+// results either). Two env knobs tune memory behavior without touching
+// results: EMMARK_GEMM_PREFETCH (default on) and EMMARK_NT_STORE
+// (default off; streaming stores for large-C final panels).
 #pragma once
 
 #include <cstdint>

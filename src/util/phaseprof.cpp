@@ -1,0 +1,39 @@
+#include "util/phaseprof.h"
+
+namespace emmark::phaseprof {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_phase_ns[static_cast<size_t>(Phase::kCount)] = {};
+}  // namespace detail
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kGemm: return "gemm";
+    case Phase::kDequant: return "dequant";
+    case Phase::kAttention: return "attention";
+    case Phase::kSoftmaxNll: return "softmax_nll";
+    case Phase::kDct: return "dct";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  for (auto& counter : detail::g_phase_ns) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t total_ns(Phase phase) {
+  return detail::g_phase_ns[static_cast<size_t>(phase)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace emmark::phaseprof

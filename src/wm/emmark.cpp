@@ -99,7 +99,10 @@ void stamp_layers(QuantizedModel& model, const WatermarkRecord& record) {
   parallel_for_index(record.layers.size(), [&](size_t i) {
     const LayerWatermark& wm = record.layers[i];
     QuantizedTensor& weights = model.layer(static_cast<int64_t>(i)).weights;
-    ops.stamp(weights.code_data_mut(), wm.locations.data(), wm.bits.data(),
+    // codes_mut() hands the kernel an unpacked grid and repacks int4
+    // storage when the guard dies at the end of the iteration.
+    QuantizedTensor::CodesMut codes = weights.codes_mut();
+    ops.stamp(codes.data(), wm.locations.data(), wm.bits.data(),
               wm.locations.size());
   });
 }
@@ -200,7 +203,10 @@ std::vector<double> score_layer(const QuantizedTensor& weights,
   // level, see src/kernels/kernels.h).
   std::vector<double> scores(static_cast<size_t>(rows * cols));
   const kernels::Ops& ops = kernels::active_ops();
-  const int8_t* codes = weights.code_data();
+  // One unpacked view for the whole scoring sweep (int4 unpacks once here,
+  // not per row); workers only read it.
+  const QuantizedTensor::CodesView codes_view = weights.codes_view();
+  const int8_t* codes = codes_view.data();
   const int32_t qmax = weights.qmax();
   ThreadPool::active().parallel_for(
       static_cast<size_t>(rows), [&](size_t row_begin, size_t row_end) {
@@ -251,7 +257,9 @@ ExtractionReport extract_recorded_bits(const QuantizedModel& suspect,
       }
     }
     // Eq. 6: dW = W'[L] - W[L]; a bit matches when dW equals b exactly.
-    matched[i] = ops.count_matches(w_suspect.code_data(), w_original.code_data(),
+    const QuantizedTensor::CodesView suspect_codes = w_suspect.codes_view();
+    const QuantizedTensor::CodesView original_codes = w_original.codes_view();
+    matched[i] = ops.count_matches(suspect_codes.data(), original_codes.data(),
                                    wm.locations.data(), wm.bits.data(),
                                    wm.locations.size(), w_suspect.numel());
     total[i] = static_cast<int64_t>(wm.locations.size());

@@ -79,7 +79,8 @@ SchemeRecord RandomWMScheme::insert(QuantizedModel& model,
   parallel_for_index(record.layers.size(), [&](size_t idx) {
     const LayerWatermark& wm = record.layers[idx];
     QuantizedTensor& weights = model.layer(static_cast<int64_t>(idx)).weights;
-    ops.stamp(weights.code_data_mut(), wm.locations.data(), wm.bits.data(),
+    QuantizedTensor::CodesMut codes = weights.codes_mut();
+    ops.stamp(codes.data(), wm.locations.data(), wm.bits.data(),
               wm.locations.size());
   });
   return wrap(std::move(record));

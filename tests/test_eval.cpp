@@ -61,6 +61,29 @@ TEST(Perplexity, EmptyStreamGivesZero) {
   EXPECT_EQ(perplexity(*f.model, {}, {}), 0.0);
 }
 
+TEST(Perplexity, BatchMergingInvariant) {
+  // Merging consecutive eval windows into one forward pass leaves every
+  // per-row activation and per-token NLL bit-identical (rows are
+  // independent through every layer); only the double-precision grouping
+  // of the NLL sum across forward_loss calls shifts, so the perplexity
+  // agrees to rounding at every merge cap -- including caps smaller than
+  // one window (which still evaluate one window at a time) and 0 (merging
+  // disabled).
+  EvalFixture f;
+  f.train_briefly();
+  PplConfig config;
+  config.batch_size = 2;
+  config.seq_len = 16;
+  config.max_tokens_per_forward = 0;
+  const double unmerged = perplexity(*f.model, f.corpus.valid, config);
+  for (const int64_t cap : {int64_t{1}, int64_t{32}, int64_t{96}, int64_t{4096}}) {
+    config.max_tokens_per_forward = cap;
+    EXPECT_NEAR(perplexity(*f.model, f.corpus.valid, config), unmerged,
+                1e-9 * unmerged)
+        << "cap=" << cap;
+  }
+}
+
 TEST(ZeroShot, UntrainedNearChance) {
   EvalFixture f;
   const auto suite = make_task_suite(synth_vocab(), 40, 3);

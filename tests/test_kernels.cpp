@@ -622,5 +622,119 @@ TEST(KernelDct, FloatOverloadsBitIdenticalAcrossLevels) {
   }
 }
 
+TEST(KernelGemmPanel, MatchesScalarBitwiseAcrossLevelsAndFlags) {
+  Rng rng(71);
+  // jb spans the sub-block ladders of every level (1..partial, one widest
+  // block, several widest blocks + tail); pb covers short and full panels;
+  // strides exercise both contiguous x (stride 1) and strided activations.
+  const struct { int64_t pb, jb, panel_stride, x_stride; } shapes[] = {
+      {1, 1, 1, 1},     {5, 3, 7, 2},      {64, 17, 17, 1},
+      {256, 64, 64, 3}, {37, 130, 133, 1}, {256, 257, 257, 1}};
+  for (const auto& s : shapes) {
+    const std::vector<float> panel =
+        random_floats(rng, static_cast<size_t>(s.pb * s.panel_stride));
+    const std::vector<float> x =
+        random_floats(rng, static_cast<size_t>(s.pb * s.x_stride));
+    const std::vector<float> dst0 = random_floats(rng, static_cast<size_t>(s.jb));
+    std::vector<float> reference = dst0;
+    {
+      kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+      kn::active_ops().gemm_panel_f32(reference.data(), panel.data(),
+                                      s.panel_stride, x.data(), s.x_stride,
+                                      s.pb, s.jb, 0);
+    }
+    for (kn::Level level : levels()) {
+      for (uint32_t flags : {0u, kn::kGemmFlagNtStore}) {
+        kn::ScopedLevelOverride kernel(level);
+        std::vector<float> got = dst0;
+        kn::active_ops().gemm_panel_f32(got.data(), panel.data(), s.panel_stride,
+                                        x.data(), s.x_stride, s.pb, s.jb, flags);
+        ASSERT_EQ(got, reference)
+            << "pb=" << s.pb << " jb=" << s.jb << " level="
+            << kn::to_string(level) << " flags=" << flags;
+      }
+    }
+  }
+}
+
+TEST(KernelDequant, PackedSpanBitIdenticalAcrossLevels) {
+  Rng rng(73);
+  const int64_t cols = 259;  // odd: exercises the padded tail byte
+  std::vector<int8_t> codes(static_cast<size_t>(cols));
+  for (int8_t& c : codes) {
+    c = static_cast<int8_t>(static_cast<int64_t>(rng.next_u64() % 15) - 7);
+  }
+  std::vector<uint8_t> packed(static_cast<size_t>(kn::int4_row_bytes(cols)), 0);
+  for (int64_t c = 0; c < cols; ++c) {
+    uint8_t& b = packed[static_cast<size_t>(c >> 1)];
+    b = (c & 1) ? kn::int4_pack(kn::int4_unpack_lo(b), codes[static_cast<size_t>(c)])
+                : kn::int4_pack(codes[static_cast<size_t>(c)], 0);
+  }
+  std::vector<float> input_scale(static_cast<size_t>(cols));
+  for (float& s : input_scale) s = 0.5f + std::fabs(rng.next_normal_f(0.0f, 0.3f));
+  const float scale = 0.0375f;
+  // col0 parity and span tails: even/odd starts, spans ending mid-byte,
+  // single elements, and the full row.
+  const struct { int64_t col0, n; } spans[] = {
+      {0, cols}, {0, 1}, {1, 1}, {1, 64}, {2, 63}, {17, 100}, {200, 59}, {258, 1}};
+  for (const auto& sp : spans) {
+    for (bool with_input_scale : {false, true}) {
+      const float* is = with_input_scale
+                            ? input_scale.data() + sp.col0
+                            : nullptr;
+      std::vector<float> reference(static_cast<size_t>(sp.n));
+      {
+        kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+        kn::active_ops().dequant_packed_span_f32(packed.data(), sp.col0, scale,
+                                                 is, reference.data(), sp.n);
+      }
+      for (kn::Level level : levels()) {
+        kn::ScopedLevelOverride kernel(level);
+        std::vector<float> got(static_cast<size_t>(sp.n));
+        kn::active_ops().dequant_packed_span_f32(packed.data(), sp.col0, scale,
+                                                 is, got.data(), sp.n);
+        ASSERT_EQ(got, reference)
+            << "col0=" << sp.col0 << " n=" << sp.n << " input_scale="
+            << with_input_scale << " level=" << kn::to_string(level);
+        // Decode semantics: each lane is the signed nibble times scale.
+        for (int64_t t = 0; t < sp.n; ++t) {
+          float want = static_cast<float>(codes[static_cast<size_t>(sp.col0 + t)]) * scale;
+          if (with_input_scale) want /= is[t];
+          ASSERT_EQ(got[static_cast<size_t>(t)], want);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDequant, PackedFusedGemmBitIdenticalAcrossLevelsAndThreads) {
+  // decorated_qtensor is int4, i.e. packed storage: the fused path unpacks
+  // nibbles inside the panel pack. The scalar single-thread run is the
+  // reference; every level and thread count must reproduce it bitwise.
+  const QuantizedTensor q = decorated_qtensor(33, 80);
+  Rng rng(79);
+  const int64_t m = 17;
+  const std::vector<float> x =
+      random_floats(rng, static_cast<size_t>(m * q.cols()));
+  std::vector<float> reference(static_cast<size_t>(m * q.rows()), 0.0f);
+  {
+    kn::ScopedLevelOverride kernel(kn::Level::kScalar);
+    ThreadPool pool(1);
+    ThreadPool::ScopedOverride over(pool);
+    dequant_gemm_nt(x.data(), q, reference.data(), m);
+  }
+  for (kn::Level level : levels()) {
+    for (size_t threads : {size_t{1}, size_t{3}}) {
+      kn::ScopedLevelOverride kernel(level);
+      ThreadPool pool(threads);
+      ThreadPool::ScopedOverride over(pool);
+      std::vector<float> got(static_cast<size_t>(m * q.rows()), 0.0f);
+      dequant_gemm_nt(x.data(), q, got.data(), m);
+      ASSERT_EQ(got, reference)
+          << kn::to_string(level) << " threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace emmark

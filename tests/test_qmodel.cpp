@@ -86,6 +86,21 @@ TEST_P(AllMethods, FusedViewPerplexityEqualsMaterialize) {
   EXPECT_EQ(fused, materialized) << to_string(GetParam());
 }
 
+TEST(QModel, PackedInt4CodeBytesHalfOfInt8Twin) {
+  // code_bytes() reports RESIDENT storage (what ModelStore budgets and
+  // the resident-bytes gauge exports): int4 models pack two codes per
+  // byte, so the same architecture quantized at int4 must charge half
+  // the int8 twin's bytes (exactly half here -- every quantizable layer
+  // in the fixture has even column counts).
+  QmFixture f;
+  const QuantizedModel q8(*f.model, f.stats, QuantMethod::kRtnInt8);
+  const QuantizedModel q4(*f.model, f.stats, QuantMethod::kRtnInt4);
+  EXPECT_EQ(q8.quantized_param_count(), q4.quantized_param_count());
+  EXPECT_EQ(q8.code_bytes(),
+            static_cast<uint64_t>(q8.quantized_param_count()));
+  EXPECT_EQ(q4.code_bytes(), q8.code_bytes() / 2);
+}
+
 TEST(QModel, FusedViewBackwardThrows) {
   QmFixture f;
   const QuantizedModel qm(*f.model, f.stats, QuantMethod::kRtnInt8);

@@ -154,5 +154,95 @@ TEST(QTensor, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(QTensorPacked, Int4PackRoundTripIncludingOddTail) {
+  // Odd column count: the last packed byte carries one real code plus a
+  // zero pad nibble. Every write must read back exactly, through both the
+  // per-element accessor and the unpacked codes() view.
+  Rng rng(97);
+  QuantizedTensor q(3, 33, QuantBits::kInt4, 0);
+  std::vector<int8_t> want(static_cast<size_t>(q.numel()));
+  for (int64_t i = 0; i < q.numel(); ++i) {
+    const int8_t c = static_cast<int8_t>(static_cast<int64_t>(rng.next_u64() % 15) - 7);
+    want[static_cast<size_t>(i)] = c;
+    q.set_code_flat(i, c);
+  }
+  EXPECT_EQ(q.codes(), want);
+  for (int64_t r = 0; r < q.rows(); ++r) {
+    for (int64_t c = 0; c < q.cols(); ++c) {
+      ASSERT_EQ(q.code(r, c), want[static_cast<size_t>(r * q.cols() + c)])
+          << "r=" << r << " c=" << c;
+    }
+  }
+  // Writing one element must not disturb its byte-mate (nibble RMW).
+  q.set_code(1, 6, -7);
+  q.set_code(1, 7, 7);
+  EXPECT_EQ(q.code(1, 6), -7);
+  EXPECT_EQ(q.code(1, 7), 7);
+  q.set_code(1, 6, 3);
+  EXPECT_EQ(q.code(1, 7), 7);
+}
+
+TEST(QTensorPacked, GroupBoundaryCodesSurvivePackAndDequant) {
+  // Codes straddling a group boundary sit in one shared byte (columns 15
+  // and 16 with group_size 16): each must dequantize with its own group's
+  // scale after the packed round trip.
+  Tensor w = random_weight(2, 32, 11);
+  QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, 16);
+  q.set_code(0, 15, 5);
+  q.set_code(0, 16, -6);
+  EXPECT_EQ(q.code(0, 15), 5);
+  EXPECT_EQ(q.code(0, 16), -6);
+  EXPECT_EQ(q.dequantize_at(0, 15), 5.0f * q.scale(0, 15));
+  EXPECT_EQ(q.dequantize_at(0, 16), -6.0f * q.scale(0, 16));
+}
+
+TEST(QTensorPacked, CodesMutGuardRepacksOnDestruction) {
+  QuantizedTensor q(2, 5, QuantBits::kInt4, 0);
+  {
+    QuantizedTensor::CodesMut codes = q.codes_mut();
+    codes.data()[0] = 7;
+    codes.data()[9] = -7;  // last element: odd-tail byte of row 1
+  }
+  EXPECT_EQ(q.code(0, 0), 7);
+  EXPECT_EQ(q.code(1, 4), -7);
+  const QuantizedTensor::CodesView view = q.codes_view();
+  EXPECT_EQ(view.data()[0], 7);
+  EXPECT_EQ(view.data()[9], -7);
+}
+
+TEST(QTensorPacked, Int4StorageHalfOfInt8Twin) {
+  // Same logical shape, same group geometry: packed int4 must occupy
+  // ceil(cols / 2) bytes per row against the int8 twin's cols.
+  for (const int64_t cols : {int64_t{32}, int64_t{33}}) {
+    QuantizedTensor q4(7, cols, QuantBits::kInt4, 0);
+    QuantizedTensor q8(7, cols, QuantBits::kInt8, 0);
+    EXPECT_EQ(q8.storage_bytes(), static_cast<size_t>(7 * cols));
+    EXPECT_EQ(q4.storage_bytes(), static_cast<size_t>(7 * ((cols + 1) / 2)));
+  }
+}
+
+TEST(QTensorPacked, SaveLoadKeepsUnpackedWireFormat) {
+  // The on-disk codes vector stays one int8 per logical element at every
+  // bit width, so snapshots written before packing still load.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emmark_qt_packed_rt.bin").string();
+  Tensor w = random_weight(3, 33, 13);
+  QuantizedTensor q = quantize_rtn(w, QuantBits::kInt4, 0);
+  {
+    BinaryWriter writer(path, "QTEST", 1);
+    q.save(writer);
+    writer.close();
+  }
+  BinaryReader reader(path, "QTEST", 1);
+  const QuantizedTensor back = QuantizedTensor::load(reader);
+  EXPECT_EQ(back.codes(), q.codes());
+  EXPECT_EQ(back.storage_bytes(), q.storage_bytes());
+  const Tensor a = q.dequantize();
+  const Tensor b = back.dequantize();
+  EXPECT_EQ(std::vector<float>(a.flat().begin(), a.flat().end()),
+            std::vector<float>(b.flat().begin(), b.flat().end()));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace emmark
